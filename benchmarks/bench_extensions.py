@@ -1,0 +1,178 @@
+"""Extension studies beyond the paper's evaluation.
+
+* Hierarchical tiling for many-class models — the natural scaling path
+  Fig. 6(c)'s row-delay growth motivates.
+* Retention: how long the programmed states keep classifying correctly
+  (the deployment question the paper leaves open).
+* Inference throughput of the behavioural engine (sanity/perf tracking
+  for the simulator itself).
+"""
+
+import numpy as np
+
+from repro.core import FeBiMEngine, quantize_model
+from repro.core.pipeline import FeBiMPipeline
+from repro.crossbar.tiling import TiledFeBiM
+from repro.datasets import load_iris, train_test_split
+from repro.devices import RetentionModel
+
+
+def _many_class_model(k=48, f=4, m=8, seed=0):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for _ in range(f):
+        t = rng.random((k, m)) ** 4 + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    return quantize_model(tables, np.full(k, 1.0 / k), n_levels=4)
+
+
+def test_extension_tiled_scaling(once):
+    """Tiling a 48-class model into <=8-row tiles cuts worst-case delay
+    while preserving the decisions."""
+    model = _many_class_model()
+    tiled = TiledFeBiM(model, max_rows=8, seed=0)
+    flat = tiled.flat_reference(seed=0)
+    rng = np.random.default_rng(1)
+    evidence = rng.integers(0, 8, size=(40, 4))
+
+    def run():
+        return tiled.predict(evidence)
+
+    tiled_preds = once(run)
+    scores = model.level_scores(evidence)
+    top = scores.max(axis=1)
+
+    t_delay = tiled.infer_one(evidence[0]).delay
+    f_delay = flat.infer_one(evidence[0]).delay
+    print(f"\n48-class model: flat delay {f_delay * 1e12:.0f} ps vs "
+          f"tiled ({tiled.n_tiles} tiles) {t_delay * 1e12:.0f} ps")
+    assert t_delay < f_delay
+    # Every hierarchical decision attains the maximum digital score.
+    for i, pred in enumerate(tiled_preds):
+        assert scores[i, pred] == top[i]
+
+
+def test_extension_retention(once):
+    """Accuracy of an aged iris crossbar vs bake time."""
+    data = load_iris()
+    X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+    levels = pipe.discretizer_.transform(X_te)
+    retention = RetentionModel()
+    xbar = pipe.engine_.crossbar
+    layout = pipe.engine_.layout
+
+    def aged_accuracy(elapsed):
+        correct = 0
+        for sample, label in zip(levels, y_te):
+            currents = retention.aged_wordline_currents(
+                xbar, layout.active_columns(sample), elapsed
+            )
+            correct += int(np.argmax(currents)) == label
+        return correct / len(y_te)
+
+    def study():
+        times = {"fresh": 0.0, "1 day": 86400.0, "1 year": 3.15e7, "10 years": 3.15e8}
+        return {name: aged_accuracy(t) for name, t in times.items()}
+
+    accs = once(study)
+    print()
+    for name, acc in accs.items():
+        print(f"retention {name:9s}: {acc * 100:.2f} %")
+    # With the calibrated 5 mV/decade drift, a decade of storage costs
+    # only a few points of accuracy.
+    assert accs["10 years"] > accs["fresh"] - 0.10
+    assert accs["1 day"] > accs["fresh"] - 0.05
+
+
+def test_extension_engine_throughput(benchmark):
+    """Simulator throughput: batched in-memory inference on iris."""
+    data = load_iris()
+    X_tr, X_te, y_tr, _ = train_test_split(data.data, data.target, seed=0)
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+    levels = pipe.discretizer_.transform(X_te)
+
+    result = benchmark(pipe.engine_.predict, levels)
+    assert result.shape == (len(levels),)
+
+
+def test_extension_tan_xor(once):
+    """Tree-augmented NB on XOR-structured data: naive Bayes is blind to
+    the pairwise dependency; TAN recovers it and maps onto the same
+    crossbar with widened joint-evidence blocks."""
+    from repro.bayes import CategoricalNaiveBayes, TreeAugmentedNaiveBayes
+
+    rng = np.random.default_rng(3)
+    n = 1200
+    f0 = rng.integers(0, 2, n)
+    f1 = rng.integers(0, 2, n)
+    y = np.where(rng.random(n) < 0.9, f0 ^ f1, 1 - (f0 ^ f1))
+    X = np.column_stack([f0, f1, rng.integers(0, 2, n)])
+    X_tr, X_te, y_tr, y_te = X[:600], X[600:], y[:600], y[600:]
+
+    def run():
+        naive = CategoricalNaiveBayes(n_levels=2).fit(X_tr, y_tr)
+        tan = TreeAugmentedNaiveBayes(n_levels=2).fit(X_tr, y_tr)
+        engine, _ = tan.to_engine(q_l=2, seed=0)
+        return (
+            naive.score(X_te, y_te),
+            tan.score(X_te, y_te),
+            engine.score(tan.evidence_columns(X_te), y_te),
+        )
+
+    naive_acc, tan_acc, hw_acc = once(run)
+    print(f"\nXOR task: naive {naive_acc * 100:.1f} %, TAN {tan_acc * 100:.1f} %, "
+          f"TAN-on-crossbar {hw_acc * 100:.1f} %")
+    assert tan_acc > naive_acc + 0.15   # TAN captures the dependency
+    assert hw_acc > tan_acc - 0.05      # the mapping preserves it
+
+
+def test_extension_endurance(once):
+    """Accuracy of arrays built from cycled (fatigued) devices."""
+    from repro.devices import EnduranceModel, FeFET
+
+    data = load_iris()
+    X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+    endurance = EnduranceModel()
+
+    def study():
+        accs = {}
+        for cycles in (0.0, 1e6, 1e9, 3e9):
+            aged = endurance.aged_device(FeFET(), cycles)
+            pipe = FeBiMPipeline(q_f=4, q_l=2, template=aged, seed=0).fit(X_tr, y_tr)
+            accs[cycles] = pipe.score(X_te, y_te, mode="hardware")
+        return accs
+
+    accs = once(study)
+    print()
+    for cycles, acc in accs.items():
+        factor = endurance.window_factor(cycles)
+        print(f"cycles {cycles:8.0e}: window x{factor:.2f}, "
+              f"accuracy {acc * 100:.2f} %")
+    # The wake-up plateau is safe; deep fatigue must not be silent.
+    assert accs[1e6] > accs[0.0] - 0.03
+    lifetime = endurance.cycles_to_window_fraction(0.7)
+    print(f"cycles to 70 % window: {lifetime:.1e} "
+          "(reprogramming budget for retraining)")
+    assert 1e7 < lifetime < 1e10
+
+
+def test_extension_macro_transient(once):
+    """Full-macro inference waveform: WL settling into the WTA, with the
+    transient hazard (fast-settling loser leading early) resolved."""
+    from repro.crossbar import macro_transient
+
+    data = load_iris()
+    X_tr, X_te, y_tr, _ = train_test_split(data.data, data.target, seed=0)
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+    sample = pipe.discretizer_.transform(X_te[:1])[0]
+    currents = pipe.engine_.wordline_currents(sample)
+
+    result = once(macro_transient, currents, cols=64, settle_spread=0.3)
+    print(f"\nmacro transient: winner WL{result.winner + 1}, "
+          f"resolved at {result.resolution_time * 1e12:.0f} ps "
+          f"(steady-state currents "
+          f"{np.round(currents * 1e6, 2).tolist()} uA)")
+    assert result.winner == int(np.argmax(currents))
+    assert result.resolved
+    assert result.resolution_time < 1.2e-9

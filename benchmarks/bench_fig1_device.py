@@ -1,0 +1,32 @@
+"""Fig. 1(c): multi-level I_D-V_G characteristics.
+
+Paper: 4 V_TH states programmed with 3-4 V pulse trains, well-separated
+I_DS curves over V_G in [-0.4, 1.2] V, read window 0.1-1.0 uA at V_on.
+"""
+
+import numpy as np
+
+from repro.experiments.fig1_device import format_fig1, run_fig1
+
+
+def test_fig1_multilevel_idvg(once):
+    result = once(run_fig1)
+    print()
+    print(format_fig1(result))
+
+    assert result.n_states == 4
+    # Read currents span the paper's 0.1-1.0 uA window.
+    np.testing.assert_allclose(result.read_currents[0], 0.1e-6, atol=0.03e-6)
+    assert result.read_currents[-1] > 0.9e-6
+    # States remain distinguishable (the MLC premise).
+    assert result.min_state_separation() > 0.2e-6
+    assert np.all(result.on_off_ratio() > 1e5)
+
+
+def test_fig1_16_state_extension(once):
+    """Beyond the paper: the device model supports a 4-bit (16-state)
+    window with still-monotone state currents."""
+    result = once(run_fig1, n_states=16)
+    currents = result.read_currents
+    print(f"\n16-state read currents (uA): {np.round(currents * 1e6, 3)}")
+    assert np.all(np.diff(currents) > 0)

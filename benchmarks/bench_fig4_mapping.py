@@ -1,0 +1,33 @@
+"""Fig. 4: probability -> FeFET state mapping and write configurations.
+
+Paper: (a) P truncated at 0.1, natural-log normalised to P' in
+[-1.3, 1.0], 10 uniform levels mapped linearly to 0.1-1.0 uA;
+(b) ~40-70 gate pulses select the state.
+"""
+
+import numpy as np
+
+from repro.experiments.fig4_mapping import format_fig4, run_fig4a, run_fig4b
+
+
+def test_fig4a_mapping_staircase(once):
+    result = once(run_fig4a)
+    lo, hi = result.p_prime_range
+    print()
+    print(f"P' range measured [{lo:.3f}, {hi:.3f}]  |  paper [-1.3, 1.0]")
+    assert hi == 1.0
+    assert abs(lo - (-1.3026)) < 0.01
+    assert result.currents.min() == 0.1e-6
+    assert result.currents.max() == 1.0e-6
+
+
+def test_fig4b_write_configurations(once):
+    a = run_fig4a()
+    b = once(run_fig4b)
+    print()
+    print(format_fig4(a, b))
+    counts = b.pulse_counts
+    assert 35 <= counts.min() and counts.max() <= 75  # paper: ~40-70
+    assert np.all(np.diff(counts) > 0)
+    # Programming error well below the 10-level separation (0.1 uA).
+    assert b.max_error() < 0.05e-6

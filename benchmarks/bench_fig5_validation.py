@@ -1,0 +1,42 @@
+"""Fig. 5: posterior accumulation and WTA functional validation.
+
+Paper: (a,b) theoretical I_WL from cell currents exactly matches circuit
+simulation over P'_a, P'_b in [-1.3, 1.0] (I_WL 0.2-2.0 uA);
+(c) WTA winner distinguishable in < 300 ps.
+"""
+
+import numpy as np
+
+from repro.experiments.fig5_validation import (
+    format_fig5,
+    run_fig5_currents,
+    run_fig5_wta,
+)
+
+
+def test_fig5ab_theoretical_vs_simulated(once):
+    result = once(run_fig5_currents)
+    print()
+    print(f"I_WL range: {result.theoretical.min() * 1e6:.2f}.."
+          f"{result.theoretical.max() * 1e6:.2f} uA (paper 0.2..2.0)")
+    print(f"max relative error: {result.max_rel_error() * 100:.2f} %")
+    assert result.theoretical.min() == 0.2e-6
+    assert result.theoretical.max() == 2.0e-6
+    # The paper reports an exact match; the behavioural model matches to
+    # within the pulse-programming granularity.
+    assert result.max_rel_error() < 0.06
+    # Ordering is preserved to within the per-cell programming error
+    # (two cells per wordline -> at most ~2x the cell error, still well
+    # below the 0.1 uA level gap that decisions rest on).
+    flat_t = result.theoretical.ravel()
+    flat_s = result.simulated.ravel()
+    order_t = np.argsort(flat_t, kind="stable")
+    assert np.all(np.diff(flat_s[order_t]) > -0.05e-6)
+
+
+def test_fig5c_wta_transient(once):
+    result = once(run_fig5_wta)
+    print()
+    print(format_fig5(run_fig5_currents(n_levels=4), result))
+    assert result.all_correct()
+    assert result.example.resolution_time < 300e-12

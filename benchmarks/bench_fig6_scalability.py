@@ -1,0 +1,48 @@
+"""Fig. 6: inference delay and energy scalability.
+
+Paper: (a) 2 rows, 2->256 columns: delay ~200 -> ~800 ps;
+(b) energy grows to tens of fJ, array part dominating;
+(c) 32 columns, 2->32 rows: delay ~200 -> ~1000 ps;
+(d) energy to ~250 fJ, sensing part dominating.
+"""
+
+import numpy as np
+
+from repro.experiments.fig6_scalability import format_fig6, run_fig6
+
+
+def test_fig6_delay_energy_sweeps(once):
+    result = once(run_fig6)
+    print()
+    print(format_fig6(result))
+
+    # Delay endpoints (paper's axes).
+    assert result.col_delays[0] == np.clip(result.col_delays[0], 150e-12, 260e-12)
+    assert result.col_delays[-1] == np.clip(result.col_delays[-1], 650e-12, 950e-12)
+    assert result.row_delays[-1] == np.clip(result.row_delays[-1], 850e-12, 1150e-12)
+
+    # Monotone growth in both sweeps.
+    assert np.all(np.diff(result.col_delays) > 0)
+    assert np.all(np.diff(result.row_delays) > 0)
+    assert np.all(np.diff(result.col_energy_total) > 0)
+    assert np.all(np.diff(result.row_energy_total) > 0)
+
+    # The paper's energy split: wide arrays are array-dominated, tall
+    # arrays sensing-dominated.
+    assert result.col_energy_array[-1] > result.col_energy_sensing[-1]
+    assert result.row_energy_sensing[-1] > result.row_energy_array[-1]
+
+    # Magnitudes in the paper's axis ranges.
+    assert 20e-15 < result.col_energy_total[-1] < 120e-15
+    assert 150e-15 < result.row_energy_total[-1] < 450e-15
+
+
+def test_fig6_delay_shape_factors(once):
+    """The growth *factors* (robust to absolute calibration)."""
+    result = once(run_fig6)
+    col_factor = result.col_delays[-1] / result.col_delays[0]
+    row_factor = result.row_delays[-1] / result.row_delays[0]
+    print(f"\ndelay growth: x{col_factor:.1f} over 2->256 cols "
+          f"(paper ~4x), x{row_factor:.1f} over 2->32 rows (paper ~5x)")
+    assert 2.5 < col_factor < 6.0
+    assert 2.5 < row_factor < 6.0

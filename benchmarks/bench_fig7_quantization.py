@@ -1,0 +1,40 @@
+"""Fig. 7: inference accuracy vs quantisation precision, three datasets.
+
+Paper: with Q_f or Q_l as low as 2 bit, the GNBC accuracy drop vs the
+64-bit software baseline is negligible on iris/wine/cancer.
+
+The paper runs 100 epochs per point; this benchmark uses 30 (the means
+are stable to well under a percent — EXPERIMENTS.md records both).
+"""
+
+from repro.experiments.fig7_quantization import format_fig7, run_fig7
+
+EPOCHS = 30
+
+
+def test_fig7_quantization_sweeps(once):
+    result = once(
+        run_fig7,
+        datasets=("iris", "wine", "cancer"),
+        bits=(1, 2, 4, 8),
+        epochs=EPOCHS,
+        seed=0,
+    )
+    print()
+    print(format_fig7(result))
+
+    for name in ("iris", "wine", "cancer"):
+        baseline = result.baseline[name]
+        assert baseline > 0.85
+        # 2-bit points: negligible drop (the paper's headline for Fig. 7).
+        drop_qf2 = baseline - result.vs_qf[name][1]
+        drop_ql2 = baseline - result.vs_ql[name][1]
+        print(f"{name}: drop at Qf=2bit {drop_qf2 * 100:+.2f} %, "
+              f"at Ql=2bit {drop_ql2 * 100:+.2f} %")
+        assert drop_qf2 < 0.06
+        assert drop_ql2 < 0.04
+        # 8-bit points: within a hair of the baseline.
+        assert baseline - result.vs_qf[name][-1] < 0.04
+        assert baseline - result.vs_ql[name][-1] < 0.03
+        # 1-bit features are the only visibly degraded point.
+        assert result.vs_qf[name][0] <= result.vs_qf[name][-1] + 0.02

@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one paper figure/table, prints the series the
+paper reports (visible with ``-s``) and records the regeneration time
+with pytest-benchmark.  Slow statistical experiments run a single round.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a function with exactly one timed execution."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Scalability study: how FeBiM's latency/energy scale, and why IMC wins.
+
+Reproduces the Fig. 6 sweeps programmatically, sizes hypothetical
+deployments (how large a Bayesian model fits at a given latency/energy
+budget) and quantifies the von Neumann memory-traffic gap the paper's
+introduction argues against (Sec. 1).
+
+Run:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro.baselines import VonNeumannCostModel
+from repro.crossbar import CircuitParameters, DelayModel, EnergyModel
+from repro.experiments.fig6_scalability import format_fig6, run_fig6
+
+
+def main() -> None:
+    # ---- the paper's Fig. 6 sweeps ----------------------------------------
+    print(format_fig6(run_fig6()))
+
+    # ---- deployment sizing -------------------------------------------------
+    print("\n=== deployment sizing (worst-case latency / energy) ===")
+    delay_model = DelayModel()
+    energy_model = EnergyModel()
+    print("model shape (classes x features x levels)   array     delay     energy")
+    for k, n, m in [(3, 4, 16), (10, 8, 16), (10, 32, 16), (100, 64, 16)]:
+        rows, cols = k, n * m
+        delay = delay_model.inference_delay(rows, cols)
+        # Inference activates n BLs; currents ~ mid-range.
+        currents = np.full(rows, n * 0.55e-6)
+        energy = energy_model.inference_energy(
+            rows, cols, n_active_bls=n, wordline_currents=currents, delay=delay
+        )
+        print(f"{k:4d} x {n:3d} x {m:3d} {'':>24s} {rows:4d}x{cols:<5d} "
+              f"{delay * 1e12:6.0f} ps {energy.total * 1e15:8.1f} fJ")
+
+    # ---- the von Neumann gap ------------------------------------------------
+    print("\n=== von Neumann memory-traffic gap (Sec. 1 motivation) ===")
+    cpu = VonNeumannCostModel()
+    params = CircuitParameters()
+    print("model (k x n)    CPU fetches  CPU energy   FeBiM energy   ratio")
+    for k, n in [(3, 4), (10, 8), (10, 32)]:
+        cost = cpu.inference_cost(k, n)
+        rows, cols = k, n * 16
+        currents = np.full(rows, n * 0.55e-6)
+        delay = DelayModel(params).inference_delay(rows, cols)
+        febim = EnergyModel(params).inference_energy(
+            rows, cols, n_active_bls=n, wordline_currents=currents, delay=delay
+        )
+        ratio = cost["energy"] / febim.total
+        print(f"{k:3d} x {n:3d} {'':>6s} {cost['fetches']:11d}  "
+              f"{cost['energy'] * 1e12:8.2f} pJ   {febim.total * 1e15:9.2f} fJ   "
+              f"{ratio:6.0f} x")
+    print("\n-> fetching each probability from separate memory costs orders of "
+          "magnitude more than computing inside the storage array.")
+
+
+if __name__ == "__main__":
+    main()

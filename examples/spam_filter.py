@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Spam detection: categorical naive Bayes on FeBiM vs the memristor machine.
+
+The paper cites spam detection as a classic Bayesian-classifier workload
+(Sec. 4.2, ref. [37]).  This example:
+
+1. generates a synthetic email corpus: per-message feature counts
+   (exclamation density, ALL-CAPS ratio, link count, spam-keyword hits,
+   sender reputation) drawn from class-conditional distributions;
+2. trains a categorical naive Bayes by frequency counting;
+3. deploys it three ways — float64 software, the FeBiM crossbar (1
+   cycle/inference), and the stochastic memristor Bayesian machine
+   baseline [16] at several bitstream lengths — reproducing the
+   cycles-vs-accuracy trade-off Table 1 summarises.
+
+Run:  python examples/spam_filter.py
+"""
+
+import numpy as np
+
+from repro.baselines import MemristorBayesianMachine
+from repro.bayes import CategoricalNaiveBayes
+from repro.core.engine import FeBiMEngine
+from repro.core.quantization import quantize_model
+from repro.datasets import accuracy_score
+
+N_LEVELS = 8  # each feature discretised to 8 levels (Q_f = 3 bit)
+FEATURES = [
+    "exclamation density",
+    "ALL-CAPS ratio",
+    "link count",
+    "spam keyword hits",
+    "sender reputation",
+]
+
+
+def make_corpus(n: int, seed: int):
+    """Synthetic labelled corpus: features already discretised to levels."""
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) < 0.4).astype(int)  # 40 % spam
+    X = np.zeros((n, len(FEATURES)), dtype=int)
+    # Ham concentrates on low levels, spam on high — with overlap so the
+    # problem is non-trivial.
+    for f in range(len(FEATURES)):
+        ham = np.clip(rng.poisson(1.4, n), 0, N_LEVELS - 1)
+        spam = np.clip(N_LEVELS - 1 - rng.poisson(1.8, n), 0, N_LEVELS - 1)
+        X[:, f] = np.where(y == 1, spam, ham)
+    # Sender reputation is inverted (high = reputable = ham).
+    X[:, 4] = N_LEVELS - 1 - X[:, 4]
+    return X, y
+
+
+def main() -> None:
+    X_train, y_train = make_corpus(400, seed=11)
+    X_test, y_test = make_corpus(2000, seed=99)
+    print(f"corpus: {len(y_train)} train / {len(y_test)} test, "
+          f"{y_train.mean() * 100:.0f} % spam, {len(FEATURES)} features "
+          f"x {N_LEVELS} levels")
+
+    # ---- software categorical naive Bayes --------------------------------
+    nb = CategoricalNaiveBayes(n_levels=N_LEVELS, alpha=1.0).fit(X_train, y_train)
+    sw_acc = nb.score(X_test, y_test)
+    print(f"\nsoftware naive Bayes accuracy: {sw_acc * 100:.2f} %")
+
+    # ---- FeBiM: quantise and program the crossbar ------------------------
+    model = quantize_model(
+        nb.likelihoods_, nb.class_prior_, n_levels=4, classes=nb.classes_
+    )
+    engine = FeBiMEngine(model, seed=3)
+    rows, cols = engine.shape
+    hw_pred = engine.predict(X_test)
+    hw_acc = accuracy_score(y_test, hw_pred)
+    report = engine.infer_one(X_test[0])
+    print(f"FeBiM ({rows}x{cols} crossbar, prior column "
+          f"{'on' if engine.layout.include_prior else 'off'}): "
+          f"{hw_acc * 100:.2f} % at 1 cycle/inference, "
+          f"{report.energy.total * 1e15:.1f} fJ, {report.delay * 1e12:.0f} ps")
+
+    # ---- memristor Bayesian machine baseline [16] -------------------------
+    machine = MemristorBayesianMachine(nb.likelihoods_, nb.class_prior_)
+    print("\nmemristor Bayesian machine (stochastic computing):")
+    print("cycles/inference   accuracy")
+    subset = slice(0, 400)  # stochastic simulation is slow; subsample
+    for cycles in (1, 8, 32, 128, 255):
+        acc = machine.score(X_test[subset], y_test[subset], n_cycles=cycles)
+        print(f"{cycles:16d}   {acc * 100:6.2f} %")
+    print("\n-> the baseline needs long bitstreams (many cycles) to match the "
+          "posterior ordering FeBiM resolves in a single cycle.")
+
+
+if __name__ == "__main__":
+    main()

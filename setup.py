@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs on environments without
+the ``wheel`` package (offline, no PEP 517 build isolation)."""
+
+from setuptools import setup
+
+setup()

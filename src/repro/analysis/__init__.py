@@ -1,0 +1,57 @@
+"""Metrics and evaluation harnesses for the paper's headline numbers.
+
+* :mod:`repro.analysis.density` — cell area, storage density (Mb/mm^2)
+  and computing density (MO/mm^2).
+* :mod:`repro.analysis.efficiency` — the paper's op counting and
+  TOPS/W computation, plus a full FeBiM performance summary.
+* :mod:`repro.analysis.montecarlo` — V_TH-variation robustness sweeps
+  (Fig. 8c).
+* :mod:`repro.analysis.comparison` — Table 1: FeBiM vs the published
+  NVM-based Bayesian inference implementations.
+"""
+
+from repro.analysis.density import (
+    array_area,
+    computing_density,
+    storage_density,
+)
+from repro.analysis.efficiency import (
+    PerformanceSummary,
+    ops_per_inference,
+    summarize_pipeline,
+    tops_per_watt,
+)
+from repro.analysis.montecarlo import variation_sweep
+from repro.analysis.ablation import (
+    format_ablation,
+    normalization_ablation,
+    prior_column_ablation,
+    truncation_sweep,
+)
+from repro.analysis.comparison import (
+    FEBIM_ROW,
+    ImplementationRow,
+    PUBLISHED_ROWS,
+    build_table1,
+    improvement_factors,
+)
+
+__all__ = [
+    "format_ablation",
+    "normalization_ablation",
+    "prior_column_ablation",
+    "truncation_sweep",
+    "array_area",
+    "computing_density",
+    "storage_density",
+    "PerformanceSummary",
+    "ops_per_inference",
+    "summarize_pipeline",
+    "tops_per_watt",
+    "variation_sweep",
+    "ImplementationRow",
+    "PUBLISHED_ROWS",
+    "FEBIM_ROW",
+    "build_table1",
+    "improvement_factors",
+]

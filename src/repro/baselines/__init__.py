@@ -1,0 +1,36 @@
+"""Baseline Bayesian inference implementations FeBiM is compared against.
+
+* :mod:`repro.baselines.memristor_machine` — a functional simulator of
+  the memristor-based Bayesian machine [16]: digital 8-bit likelihood
+  storage, LFSR-driven stochastic bitstreams, AND-gate products and
+  per-class counters, taking 1-255 cycles per inference.
+* :mod:`repro.baselines.rng_prototypes` — behavioural models of the
+  binary-evidence RNG prototypes built from MTJs [13] and
+  memtransistors [14]: sigmoid-biased Bernoulli sources combined with
+  stochastic logic over thousands of cycles.
+* :mod:`repro.baselines.cmos_reference` — the float64 von Neumann
+  software reference, with a simple memory-traffic cost model showing
+  why separate probability storage is the bottleneck (Sec. 1).
+"""
+
+from repro.baselines.memristor_machine import (
+    LinearFeedbackShiftRegister,
+    MemristorBayesianMachine,
+)
+from repro.baselines.rng_prototypes import (
+    StochasticRngSource,
+    BinaryRngBayesianPrototype,
+)
+from repro.baselines.cmos_reference import (
+    SoftwareBayesianReference,
+    VonNeumannCostModel,
+)
+
+__all__ = [
+    "LinearFeedbackShiftRegister",
+    "MemristorBayesianMachine",
+    "StochasticRngSource",
+    "BinaryRngBayesianPrototype",
+    "SoftwareBayesianReference",
+    "VonNeumannCostModel",
+]

@@ -1,0 +1,116 @@
+"""Software (von Neumann) reference and its memory-traffic cost model.
+
+:class:`SoftwareBayesianReference` is the float64 log-domain GNBC — the
+"software baseline" of Figs. 7/8 — thinly wrapping
+:class:`~repro.bayes.gaussian_nb.GaussianNaiveBayes` with the discretised
+evaluation path so it can score the same discrete inputs the hardware
+sees.
+
+:class:`VonNeumannCostModel` quantifies the Sec. 1 motivation: on a CPU,
+every posterior evaluation fetches each likelihood parameter from a
+separate memory, so energy is dominated by data movement; FeBiM removes
+that traffic entirely by computing *in* the storage array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.bayes.categorical_nb import CategoricalNaiveBayes
+from repro.bayes.gaussian_nb import GaussianNaiveBayes
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class SoftwareBayesianReference:
+    """Float64 GNBC reference, with an optional discrete-evidence path."""
+
+    def __init__(self):
+        self.gnb = GaussianNaiveBayes()
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SoftwareBayesianReference":
+        self.gnb.fit(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Exact continuous-evidence MAP predictions."""
+        return self.gnb.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self.gnb.score(X, y)
+
+    def discrete_model(
+        self, edges: List[np.ndarray]
+    ) -> CategoricalNaiveBayes:
+        """Exact bin-mass categorical model over the given feature bins.
+
+        This is the *unquantised* discrete reference: the same evidence
+        discretisation the hardware uses, but float64 likelihoods — so
+        comparing it against the quantised model isolates likelihood
+        quantisation loss from evidence discretisation loss.
+        """
+        tables = [
+            self.gnb.bin_likelihoods(f, feature_edges)
+            for f, feature_edges in enumerate(edges)
+        ]
+        return CategoricalNaiveBayes.from_tables(
+            tables, self.gnb.class_prior_, classes=self.gnb.classes_
+        )
+
+
+@dataclass(frozen=True)
+class VonNeumannCostModel:
+    """First-order energy/latency model of CPU-style Bayesian inference.
+
+    Attributes
+    ----------
+    e_dram_access:
+        Energy per parameter fetch from off-chip memory (joules);
+        ~20 pJ/word is a standard 45 nm figure.
+    e_alu_op:
+        Energy per floating-point add (joules); ~1 pJ at 45 nm.
+    t_cycle:
+        Clock period (seconds).
+    cycles_per_fetch, cycles_per_op:
+        Latency accounting per memory access / ALU op.
+    """
+
+    e_dram_access: float = 20e-12
+    e_alu_op: float = 1e-12
+    t_cycle: float = 1e-9
+    cycles_per_fetch: int = 4
+    cycles_per_op: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.e_dram_access, "e_dram_access")
+        check_positive(self.e_alu_op, "e_alu_op")
+        check_positive(self.t_cycle, "t_cycle")
+        check_positive_int(self.cycles_per_fetch, "cycles_per_fetch")
+        check_positive_int(self.cycles_per_op, "cycles_per_op")
+
+    def inference_cost(self, n_classes: int, n_features: int) -> dict:
+        """Energy/latency of one naive-Bayes posterior evaluation.
+
+        Each class fetches ``n_features`` likelihoods + 1 prior and sums
+        them; the argmax adds ``n_classes - 1`` compares.
+        """
+        check_positive_int(n_classes, "n_classes")
+        check_positive_int(n_features, "n_features")
+        fetches = n_classes * (n_features + 1)
+        ops = n_classes * n_features + (n_classes - 1)
+        energy = fetches * self.e_dram_access + ops * self.e_alu_op
+        cycles = fetches * self.cycles_per_fetch + ops * self.cycles_per_op
+        return {
+            "fetches": fetches,
+            "ops": ops,
+            "energy": energy,
+            "cycles": cycles,
+            "latency": cycles * self.t_cycle,
+        }
+
+    def energy_ratio_vs(self, febim_energy: float, n_classes: int, n_features: int) -> float:
+        """How many times more energy the CPU model burns than FeBiM."""
+        check_positive(febim_energy, "febim_energy")
+        return self.inference_cost(n_classes, n_features)["energy"] / febim_energy

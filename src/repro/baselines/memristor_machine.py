@@ -1,0 +1,196 @@
+"""Functional simulator of the memristor-based Bayesian machine [16].
+
+Harabi et al. (Nature Electronics 2023) store 8-bit quantised likelihoods
+in 2T2R memristor arrays and compute posteriors with near-memory
+*stochastic computing*: each cycle, a linear-feedback shift register
+(LFSR) produces a pseudo-random byte per evidence node; a comparator
+turns the stored byte into a Bernoulli bit (1 with probability p); AND
+gates multiply the per-feature bits; and a counter per class accumulates
+the surviving 1s.  After ``T`` cycles the counter ratios estimate the
+posterior products, and the class with the highest count wins.
+
+This is the paper's key comparison point: the machine needs 1-255 clock
+cycles per inference (bitstream length trades accuracy for speed) plus
+CMOS logic, whereas FeBiM resolves in a single cycle with no calculation
+circuitry.  The simulator exposes exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Maximal-length 16-bit Fibonacci LFSR taps (x^16 + x^14 + x^13 + x^11 + 1).
+_TAPS16 = (15, 13, 12, 10)
+
+
+class LinearFeedbackShiftRegister:
+    """16-bit Fibonacci LFSR producing pseudo-random bytes.
+
+    Parameters
+    ----------
+    seed:
+        Non-zero initial register state (< 2^16).
+    """
+
+    PERIOD = 2**16 - 1
+
+    def __init__(self, seed: int = 0xACE1):
+        if not 0 < seed < 2**16:
+            raise ValueError(f"seed must lie in 1..{2**16 - 1}, got {seed}")
+        self.state = int(seed)
+
+    def step(self) -> int:
+        """Advance one bit; returns the new state."""
+        bit = 0
+        for tap in _TAPS16:
+            bit ^= (self.state >> tap) & 1
+        self.state = ((self.state << 1) | bit) & 0xFFFF
+        return self.state
+
+    def next_byte(self) -> int:
+        """Advance 8 bits and return the low byte of the state."""
+        for _ in range(8):
+            self.step()
+        return self.state & 0xFF
+
+    def byte_stream(self, n: int) -> np.ndarray:
+        """``n`` successive bytes as an array."""
+        check_positive_int(n, "n")
+        return np.array([self.next_byte() for _ in range(n)], dtype=np.uint8)
+
+
+class MemristorBayesianMachine:
+    """Stochastic-computing Bayesian machine over 8-bit likelihood bytes.
+
+    Parameters
+    ----------
+    likelihood_tables:
+        Per-feature arrays ``(n_classes, n_levels)`` of ``P(B_i = b|A)``.
+    class_prior:
+        Prior ``P(A)``; quantised into a prior byte column like [16]'s
+        prior memory.
+    quant_bits:
+        Storage quantisation (8 in the published machine).
+    """
+
+    def __init__(
+        self,
+        likelihood_tables: List[np.ndarray],
+        class_prior: np.ndarray,
+        quant_bits: int = 8,
+    ):
+        if not likelihood_tables:
+            raise ValueError("need at least one likelihood table")
+        check_positive_int(quant_bits, "quant_bits")
+        if quant_bits > 8:
+            raise ValueError("quant_bits must be <= 8 (byte-wide storage)")
+        self.quant_bits = quant_bits
+        self._scale = 2**quant_bits - 1
+
+        prior = np.asarray(class_prior, dtype=float)
+        self.n_classes = prior.shape[0]
+        # Probabilities are stored relative to the per-column maximum so
+        # the full byte range is used (the machine's normalisation step).
+        self.prior_bytes = self._to_bytes(prior[:, None])[:, 0]
+        self.likelihood_bytes = []
+        for f, table in enumerate(likelihood_tables):
+            table = np.asarray(table, dtype=float)
+            if table.shape[0] != self.n_classes:
+                raise ValueError(
+                    f"table {f} class count {table.shape[0]} != {self.n_classes}"
+                )
+            self.likelihood_bytes.append(self._to_bytes(table))
+        self.n_features = len(self.likelihood_bytes)
+
+    def _to_bytes(self, table: np.ndarray) -> np.ndarray:
+        if np.any(table < 0):
+            raise ValueError("probabilities must be non-negative")
+        maxima = table.max(axis=0, keepdims=True)
+        maxima[maxima == 0] = 1.0
+        return np.rint(table / maxima * self._scale).astype(np.int32)
+
+    # ------------------------------------------------------------ inference
+    def stored_bytes_for(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """The byte column addressed by one sample, shape (classes, f+1)."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.shape != (self.n_features,):
+            raise ValueError(
+                f"evidence_levels must have shape ({self.n_features},), "
+                f"got {evidence_levels.shape}"
+            )
+        cols = [self.prior_bytes[:, None]]
+        for f, table in enumerate(self.likelihood_bytes):
+            cols.append(table[:, evidence_levels[f]][:, None])
+        return np.concatenate(cols, axis=1)
+
+    def infer_counts(
+        self,
+        evidence_levels: np.ndarray,
+        n_cycles: int = 255,
+        lfsr_seed: int = 0xACE1,
+    ) -> np.ndarray:
+        """Per-class counter values after ``n_cycles`` stochastic cycles.
+
+        Each (feature + prior) position gets an independent LFSR (offset
+        seeds), as in the machine's per-column random sources; identical
+        comparisons across classes share the random byte, which is the
+        correlation-friendly arrangement [16] uses to sharpen argmax.
+        """
+        check_positive_int(n_cycles, "n_cycles")
+        bytes_matrix = self.stored_bytes_for(evidence_levels)  # (k, f+1)
+        n_sources = bytes_matrix.shape[1]
+        lfsrs = [
+            LinearFeedbackShiftRegister(((lfsr_seed + 7919 * i) % self.PERIOD_SPACE) or 1)
+            for i in range(n_sources)
+        ]
+        shift = 8 - self.quant_bits
+        counts = np.zeros(self.n_classes, dtype=int)
+        for _ in range(n_cycles):
+            random_values = np.array(
+                [lf.next_byte() >> shift for lf in lfsrs], dtype=np.int32
+            )
+            bits = bytes_matrix > random_values[None, :]
+            counts += np.all(bits, axis=1)
+        return counts
+
+    PERIOD_SPACE = 2**16 - 1
+
+    def predict_one(
+        self, evidence_levels: np.ndarray, n_cycles: int = 255, lfsr_seed: int = 0xACE1
+    ) -> int:
+        """MAP class from the stochastic counters (ties -> lowest)."""
+        counts = self.infer_counts(evidence_levels, n_cycles, lfsr_seed)
+        return int(np.argmax(counts))
+
+    def predict(
+        self, evidence_levels: np.ndarray, n_cycles: int = 255, lfsr_seed: int = 0xACE1
+    ) -> np.ndarray:
+        """Batch prediction; one independent seed offset per sample."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.ndim != 2:
+            raise ValueError("evidence_levels must be 2-D (batch)")
+        return np.array(
+            [
+                self.predict_one(
+                    row, n_cycles, ((lfsr_seed + 31 * i) % self.PERIOD_SPACE) or 1
+                )
+                for i, row in enumerate(evidence_levels)
+            ]
+        )
+
+    def exact_log_posterior(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """The digital reference the counters converge to (log domain)."""
+        bytes_matrix = self.stored_bytes_for(evidence_levels).astype(float)
+        probs = np.maximum(bytes_matrix / self._scale, 1e-12)
+        return np.log(probs).sum(axis=1)
+
+    def score(
+        self, evidence_levels: np.ndarray, y: np.ndarray, n_cycles: int = 255
+    ) -> float:
+        """Accuracy at a given bitstream length."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(evidence_levels, n_cycles) == y))

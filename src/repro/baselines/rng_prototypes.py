@@ -1,0 +1,158 @@
+"""Behavioural models of the binary-evidence RNG prototypes [13, 14].
+
+The MTJ prototype (Vodenicarevic et al.) and the memtransistor prototype
+(Zheng et al.) implement Bayesian inference over *binary* evidence by
+generating probability-encoded random bitstreams on demand — a
+superparamagnetic junction (or memtransistor noise source) biased so its
+'1' rate equals the desired probability — and combining streams with
+logic gates (AND for products, Muller C-elements for re-decorrelation).
+They store no probabilities: every inference regenerates them over
+hundreds to thousands of clock cycles, which is exactly the efficiency
+gap Table 1 quantifies.
+
+The model here captures the algorithmic behaviour: sigmoid-biased
+Bernoulli sources, stochastic product estimation and its cycle-count /
+accuracy trade-off for two-hypothesis problems.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class StochasticRngSource:
+    """A tunable Bernoulli bitstream source (superparamagnetic MTJ model).
+
+    The junction's '1' dwell fraction follows a sigmoid of the control
+    input (spin-torque bias current / gate voltage):
+
+        p(u) = 1 / (1 + exp(-(u - u0) / u_scale))
+
+    Parameters
+    ----------
+    u0, u_scale:
+        Sigmoid centre and slope of the control-to-probability transfer.
+    """
+
+    def __init__(self, u0: float = 0.0, u_scale: float = 1.0, seed: RngLike = None):
+        if u_scale <= 0:
+            raise ValueError(f"u_scale must be positive, got {u_scale}")
+        self.u0 = float(u0)
+        self.u_scale = float(u_scale)
+        self._rng = ensure_rng(seed)
+
+    def probability(self, control: float) -> float:
+        """The '1' rate produced by a control input."""
+        return float(1.0 / (1.0 + np.exp(-(control - self.u0) / self.u_scale)))
+
+    def control_for(self, probability: float) -> float:
+        """Inverse transfer: control input for a target '1' rate."""
+        if not 0.0 < probability < 1.0:
+            raise ValueError(
+                f"probability must lie strictly in (0, 1), got {probability}"
+            )
+        return self.u0 + self.u_scale * float(np.log(probability / (1.0 - probability)))
+
+    def bitstream(self, probability: float, n_bits: int) -> np.ndarray:
+        """``n_bits`` Bernoulli(probability) samples (the RNG output)."""
+        check_positive_int(n_bits, "n_bits")
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        return (self._rng.random(n_bits) < probability).astype(np.uint8)
+
+
+class BinaryRngBayesianPrototype:
+    """Binary-evidence Bayesian inference via stochastic bitstreams.
+
+    Supports ``k`` hypotheses with binary evidence nodes: for each
+    hypothesis the per-feature likelihoods P(B_i = b_i | A_j) are
+    generated as bitstreams and ANDed; the hypothesis whose product
+    stream has the most 1s after ``n_cycles`` wins.  The published
+    prototypes run 2000 [13] / 200 [14] cycles per inference.
+
+    Parameters
+    ----------
+    likelihoods:
+        Per-feature arrays ``(n_classes, 2)`` over binary evidence.
+    class_prior:
+        Hypothesis prior, length ``n_classes``.
+    n_cycles:
+        Bitstream length per inference.
+    """
+
+    def __init__(
+        self,
+        likelihoods: Sequence[np.ndarray],
+        class_prior: np.ndarray,
+        n_cycles: int = 2000,
+        seed: RngLike = None,
+    ):
+        if not likelihoods:
+            raise ValueError("need at least one likelihood table")
+        self.class_prior = np.asarray(class_prior, dtype=float)
+        self.class_prior = self.class_prior / self.class_prior.sum()
+        self.n_classes = self.class_prior.shape[0]
+        self.tables: List[np.ndarray] = []
+        for f, table in enumerate(likelihoods):
+            table = np.asarray(table, dtype=float)
+            if table.shape != (self.n_classes, 2):
+                raise ValueError(
+                    f"table {f} must have shape ({self.n_classes}, 2) for "
+                    f"binary evidence, got {table.shape}"
+                )
+            if np.any(table < 0) or np.any(table > 1):
+                raise ValueError(f"table {f} entries must lie in [0, 1]")
+            self.tables.append(table)
+        self.n_features = len(self.tables)
+        self.n_cycles = check_positive_int(n_cycles, "n_cycles")
+        self.source = StochasticRngSource(seed=seed)
+
+    def infer_counts(self, evidence: np.ndarray) -> np.ndarray:
+        """Per-hypothesis surviving-1 counts for one binary sample."""
+        evidence = np.asarray(evidence, dtype=int)
+        if evidence.shape != (self.n_features,):
+            raise ValueError(
+                f"evidence must have shape ({self.n_features},), got {evidence.shape}"
+            )
+        if np.any((evidence != 0) & (evidence != 1)):
+            raise ValueError("evidence must be binary (0/1)")
+        counts = np.zeros(self.n_classes, dtype=int)
+        for cls in range(self.n_classes):
+            stream = self.source.bitstream(self.class_prior[cls], self.n_cycles)
+            for f in range(self.n_features):
+                p = float(self.tables[f][cls, evidence[f]])
+                stream = stream & self.source.bitstream(p, self.n_cycles)
+            counts[cls] = int(stream.sum())
+        return counts
+
+    def predict_one(self, evidence: np.ndarray) -> int:
+        """MAP hypothesis index."""
+        return int(np.argmax(self.infer_counts(evidence)))
+
+    def predict(self, evidence: np.ndarray) -> np.ndarray:
+        """Batch MAP prediction."""
+        evidence = np.asarray(evidence, dtype=int)
+        if evidence.ndim != 2:
+            raise ValueError("evidence must be 2-D (batch)")
+        return np.array([self.predict_one(row) for row in evidence])
+
+    def exact_posterior(self, evidence: np.ndarray) -> np.ndarray:
+        """Closed-form posterior the stochastic estimate converges to."""
+        evidence = np.asarray(evidence, dtype=int)
+        post = self.class_prior.copy()
+        for f in range(self.n_features):
+            post = post * self.tables[f][:, evidence[f]]
+        norm = post.sum()
+        if norm <= 0:
+            raise ValueError("evidence has zero probability under the model")
+        return post / norm
+
+    def score(self, evidence: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy over a batch."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(evidence) == y))

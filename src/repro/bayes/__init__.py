@@ -1,0 +1,47 @@
+"""Bayesian model substrate.
+
+Implements from scratch the probabilistic models FeBiM maps onto hardware:
+
+* :class:`GaussianNaiveBayes` — the paper's GNBC (Sec. 4.2), trained in
+  float64 as the software baseline and as the source of likelihoods for
+  the crossbar.
+* :class:`CategoricalNaiveBayes` — naive Bayes over already-discrete
+  evidence, the form that is literally programmed into the array.
+* :class:`FeatureDiscretizer` — uniform evidence binning to ``m = 2^Qf``
+  levels (Sec. 3.3, step 1).
+* :mod:`repro.bayes.network` — small discrete Bayesian networks (the
+  Fig. 2 workflow example generalised), with exact enumeration inference
+  and ancestral sampling.
+"""
+
+from repro.bayes.gaussian_nb import GaussianNaiveBayes
+from repro.bayes.categorical_nb import CategoricalNaiveBayes
+from repro.bayes.discretize import FeatureDiscretizer
+from repro.bayes.network import (
+    BayesianNetwork,
+    DiscreteNode,
+    naive_bayes_network,
+)
+from repro.bayes.tan import TreeAugmentedNaiveBayes
+from repro.bayes.metrics import (
+    brier_score,
+    currents_to_posterior,
+    expected_calibration_error,
+    negative_log_likelihood,
+    predictive_entropy,
+)
+
+__all__ = [
+    "TreeAugmentedNaiveBayes",
+    "brier_score",
+    "currents_to_posterior",
+    "expected_calibration_error",
+    "negative_log_likelihood",
+    "predictive_entropy",
+    "GaussianNaiveBayes",
+    "CategoricalNaiveBayes",
+    "FeatureDiscretizer",
+    "BayesianNetwork",
+    "DiscreteNode",
+    "naive_bayes_network",
+]

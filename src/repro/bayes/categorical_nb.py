@@ -1,0 +1,147 @@
+"""Categorical (discrete-evidence) naive Bayes.
+
+This is the model form that is *literally* programmed into the FeBiM
+crossbar: every feature takes one of ``m`` discrete levels and the model
+stores a likelihood table ``P(B_i = b | A_j)`` per feature.  The engine
+derives such a model either by discretising a fitted Gaussian NB (bin
+masses under each class Gaussian) or by direct frequency counting here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+
+class CategoricalNaiveBayes:
+    """Naive Bayes over integer-coded categorical features.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of levels per feature (shared across features, matching the
+        crossbar's equal-sized likelihood blocks).
+    alpha:
+        Additive (Laplace) smoothing count.  ``alpha > 0`` guarantees
+        strictly positive likelihoods, which the logarithmic mapping
+        requires.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    classes_:         sorted class labels
+    class_prior_:     prior per class
+    likelihoods_:     list (per feature) of arrays ``(n_classes, n_levels)``
+                      whose rows sum to 1
+    """
+
+    def __init__(self, n_levels: int, alpha: float = 1.0):
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        if alpha <= 0:
+            raise ValueError(
+                f"alpha must be > 0 (log mapping needs positive likelihoods), got {alpha}"
+            )
+        self.n_levels = int(n_levels)
+        self.alpha = float(alpha)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CategoricalNaiveBayes":
+        """Count level frequencies per class with Laplace smoothing."""
+        X = np.asarray(X, dtype=int)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+        if np.any(X < 0) or np.any(X >= self.n_levels):
+            raise ValueError(f"feature levels must lie in 0..{self.n_levels - 1}")
+
+        self.classes_, counts = np.unique(y, return_counts=True)
+        self.class_prior_ = counts / counts.sum()
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+
+        self.likelihoods_: List[np.ndarray] = []
+        for f in range(n_features):
+            table = np.full((n_classes, self.n_levels), self.alpha)
+            for idx, cls in enumerate(self.classes_):
+                levels, lv_counts = np.unique(X[y == cls, f], return_counts=True)
+                table[idx, levels] += lv_counts
+            table /= table.sum(axis=1, keepdims=True)
+            self.likelihoods_.append(table)
+        return self
+
+    @classmethod
+    def from_tables(
+        cls,
+        likelihoods: List[np.ndarray],
+        class_prior: np.ndarray,
+        classes: Optional[np.ndarray] = None,
+    ) -> "CategoricalNaiveBayes":
+        """Build a model directly from likelihood tables.
+
+        Used by the pipeline to wrap bin-mass tables computed from a
+        Gaussian NB fit (see :meth:`GaussianNaiveBayes.bin_likelihoods`).
+        """
+        if not likelihoods:
+            raise ValueError("need at least one likelihood table")
+        class_prior = np.asarray(class_prior, dtype=float)
+        n_classes = class_prior.shape[0]
+        n_levels = np.asarray(likelihoods[0]).shape[1]
+        model = cls(n_levels=n_levels, alpha=1.0)
+        model.class_prior_ = class_prior / class_prior.sum()
+        model.classes_ = (
+            np.arange(n_classes) if classes is None else np.asarray(classes)
+        )
+        tables = []
+        for f, table in enumerate(likelihoods):
+            table = np.asarray(table, dtype=float)
+            if table.shape != (n_classes, n_levels):
+                raise ValueError(
+                    f"table {f} has shape {table.shape}, expected {(n_classes, n_levels)}"
+                )
+            if np.any(table < 0):
+                raise ValueError(f"table {f} contains negative entries")
+            sums = table.sum(axis=1, keepdims=True)
+            if np.any(sums <= 0):
+                raise ValueError(f"table {f} has an all-zero row")
+            tables.append(table / sums)
+        model.likelihoods_ = tables
+        return model
+
+    # ------------------------------------------------------------- inference
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "likelihoods_"):
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        """log P(A) + sum_i log P(B_i|A), shape ``(n_samples, n_classes)``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=int)
+        n_features = len(self.likelihoods_)
+        if X.ndim != 2 or X.shape[1] != n_features:
+            raise ValueError(f"X must have shape (n, {n_features}), got {X.shape}")
+        if np.any(X < 0) or np.any(X >= self.n_levels):
+            raise ValueError(f"feature levels must lie in 0..{self.n_levels - 1}")
+        # Guard against zero entries in externally supplied tables.
+        jll = np.tile(np.log(self.class_prior_), (X.shape[0], 1))
+        with np.errstate(divide="ignore"):
+            for f, table in enumerate(self.likelihoods_):
+                jll += np.log(table[:, X[:, f]]).T
+        return jll
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """MAP class labels."""
+        self._check_fitted()
+        return self.classes_[np.argmax(self.joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Posterior probabilities, rows summing to 1."""
+        jll = self.joint_log_likelihood(X)
+        m = jll.max(axis=1, keepdims=True)
+        p = np.exp(jll - m)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))

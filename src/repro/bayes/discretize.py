@@ -1,0 +1,103 @@
+"""Evidence discretisation (Sec. 3.3, step 1).
+
+FeBiM quantises each continuous evidence value to ``m = 2^Qf`` discrete
+levels; each level corresponds to one bitline in the feature's likelihood
+block.  We bin uniformly between the per-feature min/max observed during
+training and clamp test-time values into the edge bins, which mirrors the
+hardware (an out-of-range evidence value still activates exactly one BL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class FeatureDiscretizer:
+    """Uniform per-feature binning into a fixed number of levels.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of discrete evidence levels ``m`` (the paper uses powers of
+        two, ``m = 2^Qf``, but any ``m >= 1`` is accepted).
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    mins_, maxs_:
+        Per-feature training range.
+    edges_:
+        Bin edges, shape ``(n_features, n_levels + 1)``.
+    """
+
+    def __init__(self, n_levels: int):
+        self.n_levels = check_positive_int(n_levels, "n_levels")
+
+    @classmethod
+    def from_bits(cls, q_f: int) -> "FeatureDiscretizer":
+        """Construct with ``m = 2^q_f`` levels (feature precision in bits)."""
+        q_f = check_positive_int(q_f, "q_f")
+        return cls(2**q_f)
+
+    def fit(self, X: np.ndarray) -> "FeatureDiscretizer":
+        """Learn per-feature ranges from the training data."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError(f"X must be a non-empty 2-D array, got shape {X.shape}")
+        self.mins_ = X.min(axis=0)
+        self.maxs_ = X.max(axis=0)
+        spans = self.maxs_ - self.mins_
+        # A constant feature gets a degenerate but usable single-value range.
+        spans = np.where(spans > 0, spans, 1.0)
+        self._spans = spans
+        steps = spans / self.n_levels
+        offsets = np.arange(self.n_levels + 1)[None, :]
+        self.edges_ = self.mins_[:, None] + steps[:, None] * offsets
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "edges_"):
+            raise RuntimeError("discretizer is not fitted; call fit() first")
+
+    @property
+    def n_features_(self) -> int:
+        self._check_fitted()
+        return self.edges_.shape[0]
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map values to integer levels in ``0..n_levels-1`` (clamped)."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}"
+            )
+        rel = (X - self.mins_[None, :]) / self._spans[None, :]
+        levels = np.floor(rel * self.n_levels).astype(int)
+        return np.clip(levels, 0, self.n_levels - 1)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its levels."""
+        return self.fit(X).transform(X)
+
+    def bin_centers(self, feature: int) -> np.ndarray:
+        """Centre value of each bin for one feature, length ``n_levels``."""
+        self._check_fitted()
+        edges = self.edges_[feature]
+        return 0.5 * (edges[:-1] + edges[1:])
+
+    def inverse_transform(self, levels: np.ndarray) -> np.ndarray:
+        """Map integer levels back to bin-centre feature values."""
+        self._check_fitted()
+        levels = np.asarray(levels, dtype=int)
+        if levels.ndim != 2 or levels.shape[1] != self.n_features_:
+            raise ValueError(
+                f"levels must have shape (n, {self.n_features_}), got {levels.shape}"
+            )
+        if np.any(levels < 0) or np.any(levels >= self.n_levels):
+            raise ValueError("levels out of range")
+        centers = np.stack(
+            [self.bin_centers(f) for f in range(self.n_features_)], axis=0
+        )
+        return np.take_along_axis(centers, levels.T, axis=1).T

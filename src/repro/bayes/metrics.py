@@ -1,0 +1,128 @@
+"""Posterior-quality metrics: the 'uncertainty estimation' the paper
+motivates (Sec. 1: Bayesian inference provides "interpretable
+predictions and reliable uncertainty estimation").
+
+Beyond argmax accuracy, a deployed Bayesian engine is judged on its
+posterior *probabilities*.  These metrics let the repo quantify what the
+quantised/in-memory posterior retains:
+
+* predictive entropy — the model's per-sample uncertainty;
+* Brier score — squared error of the probability vector;
+* expected calibration error (ECE) — confidence vs accuracy;
+* negative log-likelihood.
+
+Crossbar wordline currents convert back to a posterior with
+:func:`currents_to_posterior` (invert the affine level map, then
+softmax in the quantised log domain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.utils.validation import check_positive_int
+
+
+def _check_proba(proba: np.ndarray) -> np.ndarray:
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got shape {proba.shape}")
+    if np.any(proba < -1e-12) or np.any(proba > 1 + 1e-12):
+        raise ValueError("probabilities must lie in [0, 1]")
+    sums = proba.sum(axis=1)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValueError("probability rows must sum to 1")
+    return np.clip(proba, 0.0, 1.0)
+
+
+def predictive_entropy(proba: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of each posterior row."""
+    proba = _check_proba(proba)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(proba > 0, proba * np.log(proba), 0.0)
+    return -terms.sum(axis=1)
+
+
+def brier_score(proba: np.ndarray, y_true: np.ndarray) -> float:
+    """Mean squared error of the posterior vs the one-hot truth."""
+    proba = _check_proba(proba)
+    y_true = np.asarray(y_true, dtype=int)
+    if y_true.shape != (proba.shape[0],):
+        raise ValueError("y_true length must match probability rows")
+    if np.any(y_true < 0) or np.any(y_true >= proba.shape[1]):
+        raise ValueError("y_true labels out of range")
+    onehot = np.zeros_like(proba)
+    onehot[np.arange(len(y_true)), y_true] = 1.0
+    return float(np.mean(np.sum((proba - onehot) ** 2, axis=1)))
+
+
+def negative_log_likelihood(proba: np.ndarray, y_true: np.ndarray) -> float:
+    """Mean -log P(true class), with a 1e-12 floor."""
+    proba = _check_proba(proba)
+    y_true = np.asarray(y_true, dtype=int)
+    picked = proba[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+
+def expected_calibration_error(
+    proba: np.ndarray, y_true: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: |confidence - accuracy| averaged over confidence bins."""
+    check_positive_int(n_bins, "n_bins")
+    proba = _check_proba(proba)
+    y_true = np.asarray(y_true, dtype=int)
+    confidence = proba.max(axis=1)
+    predicted = proba.argmax(axis=1)
+    correct = (predicted == y_true).astype(float)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    ece = 0.0
+    n = len(y_true)
+    for b in range(n_bins):
+        lo, hi = edges[b], edges[b + 1]
+        sel = (confidence > lo) & (confidence <= hi) if b else (
+            (confidence >= lo) & (confidence <= hi)
+        )
+        if not sel.any():
+            continue
+        gap = abs(confidence[sel].mean() - correct[sel].mean())
+        ece += (sel.sum() / n) * gap
+    return float(ece)
+
+
+def currents_to_posterior(
+    wordline_currents: np.ndarray,
+    n_active: int,
+    spec: MultiLevelCellSpec,
+    quant_step: float,
+) -> np.ndarray:
+    """Recover a posterior from measured wordline currents.
+
+    Inverts the affine mapping of Sec. 3.3: the wordline current is
+    ``n_active * i_min + score * level_separation`` where ``score`` is
+    the summed quantised log-probability level; converting scores back
+    to the quantised log domain (``score * quant_step``) and
+    soft-maxing yields the posterior the analog array encodes.
+
+    Parameters
+    ----------
+    wordline_currents:
+        Shape ``(n_samples, n_classes)`` or ``(n_classes,)`` (amperes).
+    n_active:
+        Activated cells per wordline.
+    spec:
+        The cell spec (defines the affine map).
+    quant_step:
+        The quantiser's log-domain step
+        (:attr:`UniformQuantizer.step`).
+    """
+    currents = np.atleast_2d(np.asarray(wordline_currents, dtype=float))
+    check_positive_int(n_active, "n_active")
+    sep = spec.level_separation()
+    if sep <= 0:
+        raise ValueError("spec must have more than one level")
+    scores = (currents - n_active * spec.i_min) / sep
+    log_post = scores * quant_step
+    log_post -= log_post.max(axis=1, keepdims=True)
+    post = np.exp(log_post)
+    return post / post.sum(axis=1, keepdims=True)

@@ -1,0 +1,173 @@
+"""Command-line interface: ``febim <command>``.
+
+Commands
+--------
+``train``    Train a GNBC on a bundled dataset, program the crossbar,
+             report software/quantised/hardware accuracy and circuit
+             metrics; optionally save the model artifact.
+``eval``     Load a saved model artifact and score it on a dataset.
+``table1``   Regenerate the Table 1 comparison.
+``sweep``    Print the Fig. 6 delay/energy scalability sweeps.
+``info``     Show calibrated device/circuit parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.analysis.efficiency import summarize_pipeline
+    from repro.core.pipeline import FeBiMPipeline
+    from repro.datasets import load_dataset, train_test_split
+    from repro.devices.variation import VariationModel
+
+    data = load_dataset(args.dataset)
+    print(data.describe())
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        data.data, data.target, test_size=args.test_size, seed=args.seed
+    )
+    variation = VariationModel.from_millivolts(args.sigma_vth_mv)
+    pipe = FeBiMPipeline(
+        q_f=args.qf, q_l=args.ql, variation=variation, seed=args.seed
+    ).fit(X_tr, y_tr)
+    rows, cols = pipe.engine_.shape
+    print(f"crossbar: {rows} x {cols}, {pipe.engine_.spec.n_levels} states/cell")
+    for mode in ("software", "quantized", "hardware"):
+        print(f"accuracy [{mode:9s}] {pipe.score(X_te, y_te, mode=mode) * 100:6.2f} %")
+    summary = summarize_pipeline(pipe, X_te, y_te)
+    print(summary.format_lines())
+    if args.save:
+        from repro.io import save_model
+
+        path = save_model(args.save, pipe.quantized_model_, pipe.engine_.spec)
+        print(f"model artifact written to {path}")
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from repro.bayes.discretize import FeatureDiscretizer
+    from repro.core.engine import FeBiMEngine
+    from repro.datasets import load_dataset, train_test_split
+    from repro.io import load_model
+
+    model, spec = load_model(args.model)
+    engine = FeBiMEngine(model, spec=spec, seed=args.seed)
+    data = load_dataset(args.dataset)
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        data.data, data.target, test_size=args.test_size, seed=args.seed
+    )
+    widths = {t.shape[1] for t in model.likelihood_levels}
+    if len(widths) != 1:
+        print("error: artifact has heterogeneous evidence widths", file=sys.stderr)
+        return 2
+    disc = FeatureDiscretizer(widths.pop()).fit(X_tr)
+    acc = engine.score(disc.transform(X_te), y_te)
+    print(f"crossbar {engine.shape[0]} x {engine.shape[1]}")
+    print(f"hardware accuracy on {args.dataset}: {acc * 100:.2f} %")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1_comparison import (
+        format_table1_experiment,
+        run_table1,
+    )
+
+    print(format_table1_experiment(run_table1(seed=args.seed)))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.fig6_scalability import format_fig6, run_fig6
+
+    print(format_fig6(run_fig6()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report, write_report
+
+    if args.output:
+        path = write_report(
+            args.output, epochs=args.epochs, seed=args.seed, fast=args.fast
+        )
+        print(f"report written to {path}")
+    else:
+        print(generate_report(epochs=args.epochs, seed=args.seed, fast=args.fast))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.crossbar.parameters import CircuitParameters
+    from repro.devices import FeFET, MultiLevelCellSpec, PulseProgrammer
+
+    params = CircuitParameters()
+    device = FeFET()
+    print("operating point")
+    print(f"  V_on/V_off/V_w      {params.v_on} / {params.v_off} / {params.v_write} V")
+    print(f"  memory window       [{device.vth_low}, {device.vth_high}] V")
+    print(f"  cell area           {params.cell_area * 1e12:.3f} um^2 (45 nm)")
+    spec = MultiLevelCellSpec()
+    currents = ", ".join(f"{c * 1e6:.1f}" for c in spec.level_currents())
+    print(f"  2-bit state currents  [{currents}] uA at V_on")
+    table = PulseProgrammer(device, spec).pulse_count_map()
+    print(f"  write pulse counts  {table}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="febim",
+        description="FeBiM: FeFET in-memory Bayesian inference engine "
+        "(DAC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train, program and score a GNBC")
+    train.add_argument("--dataset", default="iris", choices=["iris", "wine", "cancer"])
+    train.add_argument("--qf", type=int, default=4, help="feature bits (default 4)")
+    train.add_argument("--ql", type=int, default=2, help="likelihood bits (default 2)")
+    train.add_argument("--test-size", type=float, default=0.7)
+    train.add_argument("--sigma-vth-mv", type=float, default=0.0)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--save", metavar="PATH", help="write the model artifact JSON")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("eval", help="score a saved model artifact")
+    evaluate.add_argument("model", help="artifact path from 'train --save'")
+    evaluate.add_argument("--dataset", default="iris", choices=["iris", "wine", "cancer"])
+    evaluate.add_argument("--test-size", type=float, default=0.7)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=_cmd_eval)
+
+    table1 = sub.add_parser("table1", help="regenerate the Table 1 comparison")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(func=_cmd_table1)
+
+    sweep = sub.add_parser("sweep", help="print the Fig. 6 scalability sweeps")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full evaluation (all figures + Table 1)"
+    )
+    report.add_argument("--epochs", type=int, default=20)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--fast", action="store_true", help="skip the slow grids")
+    report.add_argument("--output", metavar="PATH", help="write to a file")
+    report.set_defaults(func=_cmd_report)
+
+    info = sub.add_parser("info", help="show calibrated device/circuit parameters")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``febim`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

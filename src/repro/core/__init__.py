@@ -1,0 +1,45 @@
+"""FeBiM's core contribution: probability quantization, mapping, engine.
+
+* :mod:`repro.core.quantization` — logarithmic conversion, truncation and
+  column normalisation (Eq. 6), uniform quantisation to ``2^Ql`` levels.
+* :mod:`repro.core.mapping` — linear level -> FeFET I_DS mapping
+  (Fig. 4a) and assembly of the full crossbar level matrix.
+* :mod:`repro.core.engine` — the in-memory Bayesian inference engine:
+  programmed crossbar + sensing, one-cycle MAP decisions, delay/energy
+  accounting.
+* :mod:`repro.core.pipeline` — end-to-end workflow (Fig. 2): train a
+  Gaussian NB in software, discretise evidence, quantise likelihoods,
+  program the array, infer in memory.
+"""
+
+from repro.core.quantization import (
+    LOG_DECADE,
+    QuantizedBayesianModel,
+    UniformQuantizer,
+    log_normalize_columns,
+    log_normalize_global,
+    log_normalize_vector,
+    quantize_model,
+)
+from repro.core.mapping import ProbabilityMapper, levels_to_currents
+from repro.core.engine import FeBiMEngine, InferenceReport
+from repro.core.pipeline import FeBiMPipeline, run_epochs
+from repro.core.compiler import CompiledNetwork, compile_network
+
+__all__ = [
+    "LOG_DECADE",
+    "QuantizedBayesianModel",
+    "UniformQuantizer",
+    "log_normalize_columns",
+    "log_normalize_global",
+    "log_normalize_vector",
+    "quantize_model",
+    "ProbabilityMapper",
+    "levels_to_currents",
+    "FeBiMEngine",
+    "InferenceReport",
+    "FeBiMPipeline",
+    "run_epochs",
+    "CompiledNetwork",
+    "compile_network",
+]

@@ -1,0 +1,164 @@
+"""Compile discrete Bayesian networks onto the FeBiM crossbar.
+
+FeBiM's crossbar computes Eq. 5 for naive-Bayes-*shaped* models: one
+class/event node and conditionally independent evidence nodes (Fig. 2).
+:func:`compile_network` checks that a :class:`BayesianNetwork` has that
+shape, extracts its prior/CPTs, quantises them (Sec. 3.3) and returns a
+:class:`CompiledNetwork` wrapping a programmed engine with name-based
+evidence access — so diagnostic networks written as graphs deploy to the
+in-memory engine in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.bayes.network import BayesianNetwork
+from repro.core.engine import FeBiMEngine, InferenceReport
+from repro.core.quantization import quantize_model
+from repro.crossbar.parameters import CircuitParameters
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.devices.variation import VariationModel
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class CompiledNetwork:
+    """A Bayesian network deployed on a FeBiM engine.
+
+    Attributes
+    ----------
+    engine:
+        The programmed crossbar engine.
+    class_node:
+        Name of the event/class node.
+    class_states:
+        The class node's state names, in row order.
+    evidence_nodes:
+        Evidence node names, in block order.
+    evidence_states:
+        State names per evidence node (defining the level coding).
+    """
+
+    engine: FeBiMEngine
+    class_node: str
+    class_states: List[str]
+    evidence_nodes: List[str]
+    evidence_states: Dict[str, List[str]]
+
+    def _levels_for(self, evidence: Mapping[str, Union[str, int]]) -> np.ndarray:
+        missing = [n for n in self.evidence_nodes if n not in evidence]
+        if missing:
+            raise ValueError(
+                f"evidence missing for nodes {missing}; the crossbar "
+                "activates one column per block and needs every node observed"
+            )
+        levels = np.empty(len(self.evidence_nodes), dtype=int)
+        for i, name in enumerate(self.evidence_nodes):
+            value = evidence[name]
+            states = self.evidence_states[name]
+            if isinstance(value, str):
+                try:
+                    levels[i] = states.index(value)
+                except ValueError:
+                    raise KeyError(
+                        f"node {name!r} has no state {value!r}; states: {states}"
+                    ) from None
+            else:
+                idx = int(value)
+                if not 0 <= idx < len(states):
+                    raise ValueError(
+                        f"state index {idx} out of range for node {name!r}"
+                    )
+                levels[i] = idx
+        return levels
+
+    def infer(self, evidence: Mapping[str, Union[str, int]]) -> str:
+        """One-cycle in-memory MAP state of the class node."""
+        levels = self._levels_for(evidence)
+        winner = int(self.engine.predict(levels)[0])
+        return self.class_states[winner]
+
+    def infer_report(self, evidence: Mapping[str, Union[str, int]]) -> InferenceReport:
+        """Full circuit-level report for one inference."""
+        return self.engine.infer_one(self._levels_for(evidence))
+
+    @property
+    def shape(self) -> tuple:
+        return self.engine.shape
+
+
+def compile_network(
+    network: BayesianNetwork,
+    class_node: str,
+    q_l: int = 2,
+    clip_decades: float = 1.0,
+    spec: Optional[MultiLevelCellSpec] = None,
+    variation: Optional[VariationModel] = None,
+    params: Optional[CircuitParameters] = None,
+    seed: RngLike = None,
+) -> CompiledNetwork:
+    """Quantise and program a naive-Bayes-shaped network onto a crossbar.
+
+    Parameters
+    ----------
+    network:
+        The source network.  Every node other than ``class_node`` must
+        have exactly ``[class_node]`` as parents (the Fig. 2 shape);
+        anything else raises with an explanation.
+    class_node:
+        The event node whose MAP state the WTA resolves.
+    q_l:
+        Likelihood quantisation bits (``2^q_l`` FeFET states).
+
+    Raises
+    ------
+    ValueError
+        If the network is not naive-Bayes-shaped, names an unknown class
+        node, or has no evidence nodes.
+    """
+    check_positive_int(q_l, "q_l")
+    if class_node not in network:
+        raise ValueError(f"unknown class node {class_node!r}")
+    cls = network.node(class_node)
+    if cls.parents:
+        raise ValueError(
+            f"class node {class_node!r} must be a root, has parents {cls.parents}"
+        )
+
+    evidence_nodes = []
+    for name in network.node_names:
+        if name == class_node:
+            continue
+        node = network.node(name)
+        if node.parents != [class_node]:
+            raise ValueError(
+                f"node {name!r} has parents {node.parents}; FeBiM's crossbar "
+                f"computes Eq. 5 only for evidence conditioned directly (and "
+                f"only) on {class_node!r} — marginalise or restructure first"
+            )
+        evidence_nodes.append(name)
+    if not evidence_nodes:
+        raise ValueError("network has no evidence nodes to map")
+
+    likelihoods = [network.node(name).cpt for name in evidence_nodes]
+    model = quantize_model(
+        likelihoods,
+        cls.cpt,
+        n_levels=2**q_l,
+        clip_decades=clip_decades,
+    )
+    engine = FeBiMEngine(
+        model, spec=spec, variation=variation, params=params, seed=seed
+    )
+    return CompiledNetwork(
+        engine=engine,
+        class_node=class_node,
+        class_states=list(cls.states),
+        evidence_nodes=evidence_nodes,
+        evidence_states={n: list(network.node(n).states) for n in evidence_nodes},
+    )

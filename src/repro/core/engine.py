@@ -1,0 +1,202 @@
+"""The FeBiM in-memory Bayesian inference engine (Sec. 3, Fig. 3).
+
+:class:`FeBiMEngine` owns a programmed :class:`FeFETCrossbar`, its column
+layout and its sensing module.  Inference is one "cycle": activate one
+bitline per evidence node (plus the prior column when present), read the
+accumulated wordline currents — which *are* the quantised log-posteriors
+— and let the WTA pick the winner.
+
+The engine also reports per-inference delay/energy through the calibrated
+circuit models and exposes the programmed state map (Fig. 8b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mapping import ProbabilityMapper, levels_to_currents
+from repro.core.quantization import QuantizedBayesianModel
+from repro.crossbar.array import FeFETCrossbar
+from repro.crossbar.energy import EnergyBreakdown, EnergyModel
+from repro.crossbar.parameters import CircuitParameters
+from repro.crossbar.sensing import SensingModule
+from repro.crossbar.timing import DelayModel
+from repro.devices.fefet import FeFET, MultiLevelCellSpec
+from repro.devices.variation import VariationModel
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """Per-inference circuit-level summary.
+
+    Attributes
+    ----------
+    prediction:
+        Winning class label.
+    wordline_currents:
+        The accumulated I_WL vector (amperes) — the analog posterior.
+    delay:
+        Worst-case inference latency (seconds).
+    energy:
+        Energy breakdown (array vs sensing), joules.
+    """
+
+    prediction: int
+    wordline_currents: np.ndarray
+    delay: float
+    energy: EnergyBreakdown
+
+
+class FeBiMEngine:
+    """A programmed FeBiM macro ready for in-memory inference.
+
+    Parameters
+    ----------
+    model:
+        The quantised Bayesian model to program.
+    spec:
+        Multi-level cell spec (defaults to 4 levels over 0.1-1.0 uA; must
+        match the model's quantisation level count).
+    variation:
+        FeFET V_TH variation for robustness studies; ideal by default.
+    params:
+        Circuit operating point / calibration constants.
+    template:
+        Template FeFET device (physics).
+    mirror_gain_sigma:
+        Current-mirror mismatch in the sensing module.
+    seed:
+        Seed for the variation draws.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedBayesianModel,
+        spec: Optional[MultiLevelCellSpec] = None,
+        variation: Optional[VariationModel] = None,
+        params: Optional[CircuitParameters] = None,
+        template: Optional[FeFET] = None,
+        mirror_gain_sigma: float = 0.0,
+        seed: RngLike = None,
+    ):
+        self.model = model
+        self.spec = spec or MultiLevelCellSpec(n_levels=model.quantizer.n_levels)
+        self.params = params or CircuitParameters()
+        mapper = ProbabilityMapper(self.spec)
+        self.level_matrix, self.layout = mapper.level_matrix(model)
+
+        self.crossbar = FeFETCrossbar(
+            rows=self.layout.total_rows,
+            cols=self.layout.total_cols,
+            spec=self.spec,
+            template=template,
+            variation=variation,
+            params=self.params,
+            seed=seed,
+        )
+        self.crossbar.program_matrix(self.level_matrix)
+        self.sensing = SensingModule(
+            self.layout.total_rows,
+            params=self.params,
+            mirror_gain_sigma=mirror_gain_sigma,
+            seed=seed,
+        )
+        self.delay_model = DelayModel(self.params)
+        self.energy_model = EnergyModel(self.params)
+
+    # ---------------------------------------------------------------- reads
+    def wordline_currents(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Measured I_WL for one discretised sample (amperes)."""
+        mask = self.layout.active_columns(evidence_levels)
+        return self.crossbar.wordline_currents(mask)
+
+    def ideal_wordline_currents(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Theoretical I_WL from the spec's target currents (Fig. 5a).
+
+        Sums the *ideal* level currents of the activated cells — no
+        device physics, variation or leakage.
+        """
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        scores = self.model.level_scores(evidence_levels[None, :])[0]
+        n_active = self.layout.activated_per_inference
+        # n_active cells per row, each i_min + level * step: the sum is
+        # affine in the level sum.
+        return n_active * self.spec.i_min + scores * self.spec.level_separation()
+
+    # ------------------------------------------------------------ inference
+    def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """In-memory MAP predictions for a batch of discretised samples."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.ndim == 1:
+            evidence_levels = evidence_levels[None, :]
+        masks = self.layout.active_columns_batch(evidence_levels)
+        out = np.empty(evidence_levels.shape[0], dtype=self.model.classes.dtype)
+        for i, mask in enumerate(masks):
+            currents = self.crossbar.wordline_currents(mask)
+            out[i] = self.model.classes[self.sensing.decide(currents)]
+        return out
+
+    def infer_one(self, evidence_levels: np.ndarray) -> InferenceReport:
+        """Single inference with full circuit-level reporting."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        mask = self.layout.active_columns(evidence_levels)
+        currents = self.crossbar.wordline_currents(mask)
+        winner = self.sensing.decide(currents)
+
+        ordered = np.sort(currents)
+        gap = float(ordered[-1] - ordered[-2]) if currents.size > 1 else None
+        min_gap = max(gap or self.spec.level_separation(), 1e-9 * self.spec.i_min)
+        delay = self.delay_model.inference_delay(
+            rows=self.crossbar.rows,
+            cols=self.crossbar.cols,
+            i_total=max(float(currents.sum()), 1e-12),
+            delta_i=min_gap,
+        )
+        energy = self.energy_model.inference_energy(
+            rows=self.crossbar.rows,
+            cols=self.crossbar.cols,
+            n_active_bls=self.layout.activated_per_inference,
+            wordline_currents=currents,
+            delay=delay,
+        )
+        return InferenceReport(
+            prediction=int(self.model.classes[winner]),
+            wordline_currents=currents,
+            delay=delay,
+            energy=energy,
+        )
+
+    def score(self, evidence_levels: np.ndarray, y: np.ndarray) -> float:
+        """In-memory classification accuracy."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(evidence_levels) == y))
+
+    # ------------------------------------------------------------- reporting
+    def state_map(self) -> np.ndarray:
+        """Programmed ideal I_DS per cell (amperes) — Fig. 8(b)."""
+        currents = np.zeros(self.level_matrix.shape)
+        programmed = self.level_matrix >= 0
+        currents[programmed] = levels_to_currents(
+            self.level_matrix[programmed], self.spec
+        )
+        return currents
+
+    def measured_state_map(self) -> np.ndarray:
+        """Measured I_DS per cell with all columns activated (amperes)."""
+        return self.crossbar.current_matrix()
+
+    @property
+    def shape(self) -> tuple:
+        """(rows, cols) of the programmed array."""
+        return (self.crossbar.rows, self.crossbar.cols)
+
+    def __repr__(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"FeBiMEngine({rows}x{cols} crossbar, {self.spec.n_levels} levels, "
+            f"prior_column={self.layout.include_prior})"
+        )

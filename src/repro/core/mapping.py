@@ -1,0 +1,117 @@
+"""Linear mapping from quantised levels to FeFET states (Fig. 4a).
+
+The last step of Sec. 3.3: normalised log-probability levels map linearly
+onto the discrete FeFET read currents — level 0 (most truncated, P' =
+1 - D) to ``i_min`` = 0.1 uA, the top level (P' = 1) to ``i_max`` =
+1.0 uA.  :class:`ProbabilityMapper` also assembles the full crossbar
+level matrix from a quantised model and a column layout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.quantization import QuantizedBayesianModel
+from repro.crossbar.layout import BayesianArrayLayout
+from repro.devices.fefet import MultiLevelCellSpec
+
+
+def levels_to_currents(levels: np.ndarray, spec: MultiLevelCellSpec) -> np.ndarray:
+    """Target read current of each level index (amperes).
+
+    Vectorised linear map; raises on out-of-range levels.
+    """
+    levels = np.asarray(levels)
+    if np.any(levels < 0) or np.any(levels >= spec.n_levels):
+        raise ValueError(f"levels must lie in 0..{spec.n_levels - 1}")
+    return spec.level_currents()[levels]
+
+
+class ProbabilityMapper:
+    """Assembles the crossbar level matrix from a quantised model.
+
+    Parameters
+    ----------
+    spec:
+        Multi-level cell spec; its ``n_levels`` must equal the quantised
+        model's level count (one FeFET state per quantisation level).
+    """
+
+    def __init__(self, spec: Optional[MultiLevelCellSpec] = None):
+        self.spec = spec or MultiLevelCellSpec()
+
+    def layout_for(self, model: QuantizedBayesianModel) -> BayesianArrayLayout:
+        """The column layout implied by the model's shape.
+
+        Per-feature block widths follow the likelihood tables, so mixed
+        evidence arities (general Bayesian networks) are supported.
+        """
+        return BayesianArrayLayout(
+            n_features=model.n_features,
+            n_levels=[t.shape[1] for t in model.likelihood_levels],
+            n_classes=model.n_classes,
+            include_prior=model.has_prior_column,
+        )
+
+    def level_matrix(
+        self, model: QuantizedBayesianModel
+    ) -> Tuple[np.ndarray, BayesianArrayLayout]:
+        """Crossbar level matrix ``(k, total_cols)`` plus its layout.
+
+        Every cell is programmed (the model defines a level for each
+        (class, feature, evidence-value) triple and, when present, each
+        prior entry).
+        """
+        if self.spec.n_levels != model.quantizer.n_levels:
+            raise ValueError(
+                f"cell spec has {self.spec.n_levels} states but the model was "
+                f"quantised to {model.quantizer.n_levels} levels"
+            )
+        layout = self.layout_for(model)
+        matrix = np.full((layout.total_rows, layout.total_cols), -1, dtype=int)
+        if model.has_prior_column:
+            matrix[:, layout.prior_col] = model.prior_levels
+        for f, table in enumerate(model.likelihood_levels):
+            matrix[:, layout.block_slice(f)] = table
+        return matrix, layout
+
+    def current_matrix(self, model: QuantizedBayesianModel) -> np.ndarray:
+        """Ideal programmed I_DS map (amperes) — the Fig. 8(b) picture."""
+        matrix, _ = self.level_matrix(model)
+        currents = np.zeros(matrix.shape)
+        programmed = matrix >= 0
+        currents[programmed] = levels_to_currents(matrix[programmed], self.spec)
+        return currents
+
+    def fig4_example(
+        self, probabilities: np.ndarray, n_levels: int = 10, clip_decades: float = 1.0
+    ) -> dict:
+        """Reproduce the Fig. 4(a) mapping walk-through for a column.
+
+        Returns the intermediate quantities (truncated P, normalised P',
+        quantised levels, mapped currents) for a single probability
+        column, so experiments/benchmarks can print the staircase.
+        """
+        from repro.core.quantization import (
+            UniformQuantizer,
+            log_normalize_vector,
+        )
+
+        probabilities = np.asarray(probabilities, dtype=float)
+        spec = MultiLevelCellSpec(
+            n_levels=n_levels, i_min=self.spec.i_min, i_max=self.spec.i_max
+        )
+        p_prime = log_normalize_vector(probabilities, clip_decades)
+        quantizer = UniformQuantizer(n_levels, clip_decades)
+        levels = quantizer.quantize(p_prime)
+        return {
+            "p": probabilities,
+            "p_truncated": np.maximum(
+                probabilities, probabilities.max() * 10.0**(-clip_decades)
+            ),
+            "p_prime": p_prime,
+            "levels": levels,
+            "currents": levels_to_currents(levels, spec),
+        }

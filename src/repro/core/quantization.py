@@ -1,0 +1,292 @@
+"""Probability quantization and normalisation (Sec. 3.3, Eq. 6, Fig. 4a).
+
+The scheme, exactly as the paper describes it:
+
+1. **Truncate** very small probabilities so the dynamic range to encode
+   is bounded.  Fig. 4(a) truncates at P = 0.1 (one decade below the
+   column maximum of 1.0); we generalise this to a configurable number of
+   decades below each column's maximum.
+2. **Logarithm**: natural log, so Eq. 3's products become sums (Eq. 5).
+   With one decade of truncation and a column max of 1, the normalised
+   values span [ln 0.1 + 1, 1] = [-1.303, 1.0] — matching Fig. 4(a)'s
+   -1.3..1.0 axis, which confirms the natural-log reading.
+3. **Column normalisation** (Eq. 6): add ``1 - max(log p)`` per column,
+   scaling each column's maximum to exactly 1.  This enlarges posterior
+   differences without changing any argmax.
+4. **Uniform quantisation** of the normalised values onto ``L = 2^Ql``
+   levels spanning the full representable range ``[1 - D, 1]`` where
+   ``D = clip_decades * ln 10``.
+
+Because every inference activates the *same number* of cells on every
+wordline, the affine level -> current map preserves argmax: ideal
+hardware decisions equal the quantised digital decisions (tested as an
+invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_positive_int
+
+#: ln 10 — the log-domain width of one probability decade.
+LOG_DECADE = float(np.log(10.0))
+
+
+def _clipped_log(p: np.ndarray, clip_decades: float, axis: Optional[int]) -> np.ndarray:
+    """Natural log of ``p`` truncated ``clip_decades`` below the max.
+
+    ``axis`` selects the normalisation group (0 = per column); ``None``
+    treats the whole array as one group.
+    """
+    p = np.asarray(p, dtype=float)
+    if np.any(~np.isfinite(p)) or np.any(p < 0):
+        raise ValueError("probabilities must be finite and non-negative")
+    width = clip_decades * LOG_DECADE
+    with np.errstate(divide="ignore"):
+        logp = np.log(p)
+    max_log = np.max(logp, axis=axis, keepdims=axis is not None)
+    if np.any(~np.isfinite(max_log)):
+        raise ValueError("a normalisation group is entirely zero")
+    return np.maximum(logp, max_log - width)
+
+
+def log_normalize_columns(table: np.ndarray, clip_decades: float = 1.0) -> np.ndarray:
+    """Apply truncation + log + Eq. 6 column normalisation to a table.
+
+    Parameters
+    ----------
+    table:
+        Likelihood table ``(n_classes, n_values)``; column ``b`` holds
+        ``P(B = b | A_j)`` for every class ``j``.
+    clip_decades:
+        Truncation depth in decades below each column's maximum (the
+        paper's Fig. 4 example corresponds to 1.0).
+
+    Returns
+    -------
+    Normalised ``P'`` with every column's maximum equal to 1.0 and all
+    entries within ``[1 - clip_decades * ln 10, 1]``.
+    """
+    table = np.asarray(table, dtype=float)
+    if table.ndim != 2:
+        raise ValueError(f"table must be 2-D, got shape {table.shape}")
+    check_positive(clip_decades, "clip_decades")
+    logp = _clipped_log(table, clip_decades, axis=0)
+    return logp + (1.0 - logp.max(axis=0, keepdims=True))
+
+
+def log_normalize_vector(prior: np.ndarray, clip_decades: float = 1.0) -> np.ndarray:
+    """Eq. 6 normalisation of the prior vector (its own column)."""
+    prior = np.asarray(prior, dtype=float)
+    if prior.ndim != 1 or prior.size == 0:
+        raise ValueError(f"prior must be a non-empty 1-D array, got {prior.shape}")
+    check_positive(clip_decades, "clip_decades")
+    logp = _clipped_log(prior, clip_decades, axis=None)
+    return logp + (1.0 - logp.max())
+
+
+class UniformQuantizer:
+    """Uniform scalar quantiser over the normalised log range.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of quantisation levels ``L`` (``2^Ql`` in the paper).
+    clip_decades:
+        Sets the representable range ``[1 - clip_decades * ln 10, 1]``.
+    """
+
+    def __init__(self, n_levels: int, clip_decades: float = 1.0):
+        self.n_levels = check_positive_int(n_levels, "n_levels")
+        check_positive(clip_decades, "clip_decades")
+        self.lo = 1.0 - clip_decades * LOG_DECADE
+        self.hi = 1.0
+
+    @classmethod
+    def from_bits(cls, q_l: int, clip_decades: float = 1.0) -> "UniformQuantizer":
+        """Construct with ``L = 2^q_l`` levels."""
+        check_positive_int(q_l, "q_l")
+        return cls(2**q_l, clip_decades)
+
+    @property
+    def step(self) -> float:
+        """Reconstruction step between adjacent levels."""
+        if self.n_levels == 1:
+            return 0.0
+        return (self.hi - self.lo) / (self.n_levels - 1)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Nearest-level indices in ``0..L-1`` (values clamped to range)."""
+        values = np.asarray(values, dtype=float)
+        if self.n_levels == 1:
+            return np.zeros(values.shape, dtype=int)
+        rel = (np.clip(values, self.lo, self.hi) - self.lo) / (self.hi - self.lo)
+        return np.rint(rel * (self.n_levels - 1)).astype(int)
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """Reconstruction values of level indices."""
+        levels = np.asarray(levels)
+        if np.any(levels < 0) or np.any(levels >= self.n_levels):
+            raise ValueError(f"levels must lie in 0..{self.n_levels - 1}")
+        if self.n_levels == 1:
+            return np.full(levels.shape, self.hi)
+        return self.lo + levels.astype(float) * self.step
+
+    def max_error(self) -> float:
+        """Worst-case absolute quantisation error (half a step)."""
+        return 0.5 * self.step
+
+
+@dataclass
+class QuantizedBayesianModel:
+    """A naive Bayes model after quantisation — ready for mapping.
+
+    Attributes
+    ----------
+    likelihood_levels:
+        One ``(n_classes, n_levels_evidence)`` integer array per feature.
+    prior_levels:
+        Integer prior levels (length ``n_classes``) or ``None`` when the
+        prior is uniform and the prior column is omitted (Fig. 8b).
+    quantizer:
+        The scalar quantiser used (defines L and the value range).
+    classes:
+        Class labels in row order.
+    """
+
+    likelihood_levels: List[np.ndarray]
+    prior_levels: Optional[np.ndarray]
+    quantizer: UniformQuantizer
+    classes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    def __post_init__(self) -> None:
+        if not self.likelihood_levels:
+            raise ValueError("need at least one likelihood table")
+        shapes = {t.shape[0] for t in self.likelihood_levels}
+        if len(shapes) != 1:
+            raise ValueError("likelihood tables disagree on class count")
+        k = shapes.pop()
+        if self.prior_levels is not None and self.prior_levels.shape != (k,):
+            raise ValueError(
+                f"prior_levels must have shape ({k},), got {self.prior_levels.shape}"
+            )
+        if self.classes.size == 0:
+            self.classes = np.arange(k)
+
+    @property
+    def n_classes(self) -> int:
+        return self.likelihood_levels[0].shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return len(self.likelihood_levels)
+
+    @property
+    def n_evidence_levels(self) -> int:
+        return self.likelihood_levels[0].shape[1]
+
+    @property
+    def has_prior_column(self) -> bool:
+        return self.prior_levels is not None
+
+    def level_scores(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Summed quantisation levels per class — the digital posterior.
+
+        ``evidence_levels`` has shape ``(n_samples, n_features)``; the
+        result ``(n_samples, n_classes)``.  Argmax of these integer
+        scores is exactly what the ideal crossbar computes in currents.
+        """
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.ndim != 2 or evidence_levels.shape[1] != self.n_features:
+            raise ValueError(
+                f"evidence_levels must have shape (n, {self.n_features}), "
+                f"got {evidence_levels.shape}"
+            )
+        n = evidence_levels.shape[0]
+        scores = np.zeros((n, self.n_classes), dtype=int)
+        if self.prior_levels is not None:
+            scores += self.prior_levels[None, :]
+        for f, table in enumerate(self.likelihood_levels):
+            scores += table[:, evidence_levels[:, f]].T
+        return scores
+
+    def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Digital MAP prediction from quantised levels."""
+        return self.classes[np.argmax(self.level_scores(evidence_levels), axis=1)]
+
+
+def log_normalize_global(table: np.ndarray, clip_decades: float = 1.0) -> np.ndarray:
+    """Ablation variant of Eq. 6: one offset for the *whole* table.
+
+    Truncation and the +``(1 - max log p)`` shift are applied against the
+    table-wide maximum instead of per column.  Columns whose own maximum
+    is small then sit far below 1.0, wasting quantiser range — exactly
+    the effect the paper's column normalisation removes.  Used by the
+    normalisation ablation study.
+    """
+    table = np.asarray(table, dtype=float)
+    if table.ndim != 2:
+        raise ValueError(f"table must be 2-D, got shape {table.shape}")
+    check_positive(clip_decades, "clip_decades")
+    logp = _clipped_log(table, clip_decades, axis=None)
+    return logp + (1.0 - logp.max())
+
+
+def quantize_model(
+    likelihoods: List[np.ndarray],
+    class_prior: np.ndarray,
+    n_levels: int,
+    clip_decades: float = 1.0,
+    classes: Optional[np.ndarray] = None,
+    force_prior_column: bool = False,
+    uniform_tol: float = 1e-9,
+    normalization: str = "column",
+) -> QuantizedBayesianModel:
+    """Full Sec. 3.3 quantisation of a naive Bayes model.
+
+    Parameters
+    ----------
+    likelihoods:
+        Per-feature tables ``(n_classes, m)`` of ``P(B_i = b | A)``.
+    class_prior:
+        Prior ``P(A)``, length ``n_classes``.
+    n_levels:
+        Likelihood quantisation levels ``L = 2^Ql``.
+    force_prior_column:
+        Materialise the prior column even for a uniform prior (the paper
+        omits it in that case, which is the default here).
+    normalization:
+        ``"column"`` — the paper's Eq. 6 (default); ``"global"`` — one
+        offset per table, the ablation variant showing why Eq. 6 matters.
+    """
+    if normalization not in ("column", "global"):
+        raise ValueError(
+            f"normalization must be 'column' or 'global', got {normalization!r}"
+        )
+    normalize = (
+        log_normalize_columns if normalization == "column" else log_normalize_global
+    )
+    quantizer = UniformQuantizer(n_levels, clip_decades)
+    level_tables = [
+        quantizer.quantize(normalize(t, clip_decades)) for t in likelihoods
+    ]
+    class_prior = np.asarray(class_prior, dtype=float)
+    uniform = np.allclose(
+        class_prior, class_prior.mean(), atol=uniform_tol * max(class_prior.mean(), 1e-300)
+    )
+    if uniform and not force_prior_column:
+        prior_levels = None
+    else:
+        prior_levels = quantizer.quantize(
+            log_normalize_vector(class_prior, clip_decades)
+        )
+    return QuantizedBayesianModel(
+        likelihood_levels=level_tables,
+        prior_levels=prior_levels,
+        quantizer=quantizer,
+        classes=np.arange(len(class_prior)) if classes is None else np.asarray(classes),
+    )

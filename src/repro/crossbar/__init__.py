@@ -1,0 +1,50 @@
+"""FeFET crossbar array substrate (Sec. 3.2, Fig. 3).
+
+* :class:`CircuitParameters` — operating voltages, parasitics and the
+  calibrated delay/energy constants shared by all circuit models.
+* :class:`FeFETCrossbar` — the core array: one multi-level FeFET per
+  cell, wordline (drain) current accumulation, half-``V_w`` write-disturb
+  accounting, device variation.
+* :class:`BayesianArrayLayout` — the prior-column + per-feature
+  likelihood-block column organisation.
+* :class:`WinnerTakeAll` / :func:`wta_transient` — sensing: behavioural
+  winner detection plus an ODE transient model (Fig. 5c).
+* :class:`SensingModule` — current mirrors + WTA with energy accounting.
+* :class:`DelayModel` / :class:`EnergyModel` — inference latency and
+  energy (Fig. 6, Table 1), calibrated to the paper's reported
+  magnitudes.
+"""
+
+from repro.crossbar.parameters import CircuitParameters
+from repro.crossbar.array import FeFETCrossbar
+from repro.crossbar.layout import BayesianArrayLayout
+from repro.crossbar.wta import WinnerTakeAll, WTATransientResult, wta_transient
+from repro.crossbar.sensing import CurrentMirror, SensingModule
+from repro.crossbar.timing import DelayModel
+from repro.crossbar.energy import EnergyBreakdown, EnergyModel
+from repro.crossbar.transient import MacroTransientResult, macro_transient
+from repro.crossbar.controller import (
+    ProgrammingStats,
+    ProgramVerifyController,
+)
+
+# NOTE: repro.crossbar.tiling builds on repro.core.engine and is exported
+# from the top-level package instead, to keep this layer import-acyclic.
+
+__all__ = [
+    "MacroTransientResult",
+    "macro_transient",
+    "ProgrammingStats",
+    "ProgramVerifyController",
+    "CircuitParameters",
+    "FeFETCrossbar",
+    "BayesianArrayLayout",
+    "WinnerTakeAll",
+    "WTATransientResult",
+    "wta_transient",
+    "CurrentMirror",
+    "SensingModule",
+    "DelayModel",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

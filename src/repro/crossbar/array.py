@@ -1,0 +1,243 @@
+"""The core FeFET crossbar array (Sec. 3.2, Fig. 3).
+
+One multi-level FeFET per cell; drains share a wordline (WL) per row,
+gates share a bitline (BL) per column, sources ground to a sourceline.
+Programming drives pulse trains onto a selected row's cells (half-``V_w``
+bias on unselected rows, whose tiny residual polarisation gain is
+*modelled*, not ignored); inference activates one column per evidence
+block and accumulates the activated cells' currents along each WL.
+
+The implementation is vectorised: instead of 2-D lists of
+:class:`~repro.devices.fefet.FeFET` objects, the array stores each cell's
+accumulated switching-time exposure and static V_TH offset as matrices
+and evaluates polarisation -> V_TH -> current with numpy.  A template
+:class:`FeFET` supplies the shared device physics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crossbar.parameters import CircuitParameters
+from repro.devices.fefet import FeFET, MultiLevelCellSpec
+from repro.devices.preisach import _lognormal_cdf
+from repro.devices.programming import PulseProgrammer
+from repro.devices.variation import VariationModel
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class FeFETCrossbar:
+    """A rows x cols array of multi-level FeFET cells.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions: rows = events/classes (wordlines), cols =
+        prior + likelihood columns (bitlines).
+    spec:
+        Multi-level cell specification (levels <-> target currents).
+    template:
+        Template device defining the shared physics; defaults to the
+        calibrated :class:`FeFET`.
+    variation:
+        Device-to-device variation model; offsets are drawn once at
+        construction (they are static manufacturing variation).
+    params:
+        Circuit operating point.
+    seed:
+        RNG seed for the variation draw.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[MultiLevelCellSpec] = None,
+        template: Optional[FeFET] = None,
+        variation: Optional[VariationModel] = None,
+        params: Optional[CircuitParameters] = None,
+        seed: RngLike = None,
+    ):
+        self.rows = check_positive_int(rows, "rows")
+        self.cols = check_positive_int(cols, "cols")
+        self.spec = spec or MultiLevelCellSpec()
+        self.template = template or FeFET()
+        self.variation = variation or VariationModel()
+        self.params = params or CircuitParameters()
+        self._rng = ensure_rng(seed)
+
+        layer = self.template.layer
+        self._sigma = layer.sigma
+        self._median_time = layer.median_switching_time(layer.nominal_amplitude)
+        self._pulse_width = layer.nominal_width
+        # Merz-law equivalence factor for half-V_w disturb exposure.
+        disturb_median = layer.median_switching_time(self.params.v_disturb)
+        self._disturb_time_scale = self._median_time / disturb_median
+
+        self._programmer = PulseProgrammer(self.template, self.spec)
+        self._level_pulses = np.array(
+            [cfg.n_pulses for cfg in self._programmer.build_table()], dtype=int
+        )
+
+        # Per-cell state: accumulated equivalent switching time (s), the
+        # static V_TH offset, and the programmed level (-1 = erased).
+        self._acc_time = np.zeros((rows, cols))
+        self._vth_offsets = self.variation.sample_offsets((rows, cols), self._rng)
+        self.levels = np.full((rows, cols), -1, dtype=int)
+        self.write_pulse_total = 0
+
+    # ------------------------------------------------------------- programming
+    def erase_all(self) -> None:
+        """Full-array erase (block erase before (re)programming)."""
+        self._acc_time.fill(0.0)
+        self.levels.fill(-1)
+
+    def program_cell(self, row: int, col: int, level: int) -> None:
+        """Erase and program one cell to a discrete level.
+
+        Applies the level's pulse train to the selected cell and the
+        corresponding half-``V_w`` disturb exposure to every *other* row's
+        cell on the same column (the paper's write-inhibit scheme).
+        """
+        self._check_cell(row, col)
+        if not 0 <= level < self.spec.n_levels:
+            raise ValueError(
+                f"level must lie in 0..{self.spec.n_levels - 1}, got {level}"
+            )
+        n_pulses = int(self._level_pulses[level])
+        self._acc_time[row, col] = n_pulses * self._pulse_width
+        self.levels[row, col] = level
+        self.write_pulse_total += n_pulses
+        # Disturb: unselected rows on this column accumulate equivalent
+        # exposure at V_w/2, scaled by the Merz-law equivalence.
+        disturb = n_pulses * self._pulse_width * self._disturb_time_scale
+        others = np.arange(self.rows) != row
+        self._acc_time[others, col] += disturb
+
+    def program_matrix(self, level_matrix: np.ndarray) -> None:
+        """Program the whole array from a level matrix (-1 leaves erased)."""
+        level_matrix = np.asarray(level_matrix, dtype=int)
+        if level_matrix.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"level matrix must have shape {(self.rows, self.cols)}, "
+                f"got {level_matrix.shape}"
+            )
+        if np.any(level_matrix >= self.spec.n_levels):
+            raise ValueError("level matrix contains out-of-range levels")
+        self.erase_all()
+        for row in range(self.rows):
+            for col in range(self.cols):
+                level = level_matrix[row, col]
+                if level >= 0:
+                    self.program_cell(row, col, int(level))
+
+    # ------------------------------------------------------------------ state
+    def _check_cell(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(
+                f"cell ({row}, {col}) outside array {self.rows}x{self.cols}"
+            )
+
+    def polarization_matrix(self) -> np.ndarray:
+        """Switched domain fraction of every cell, shape (rows, cols)."""
+        return _lognormal_cdf(self._acc_time, self._median_time, self._sigma)
+
+    def vth_matrix(self) -> np.ndarray:
+        """Threshold voltage of every cell including variation offsets."""
+        pol = self.polarization_matrix()
+        ideal = self.template.vth_high - pol * self.template.memory_window
+        return ideal + self._vth_offsets
+
+    def cell_current(self, row: int, col: int, v_gate: Optional[float] = None) -> float:
+        """Read current of one cell (amperes)."""
+        self._check_cell(row, col)
+        v_gate = self.params.v_on if v_gate is None else v_gate
+        return float(self.template.idvg.current(v_gate, self.vth_matrix()[row, col]))
+
+    def current_matrix(
+        self, active_cols: Optional[np.ndarray] = None, read_noise_seed: RngLike = None
+    ) -> np.ndarray:
+        """Per-cell currents with activated/inhibited gate biasing.
+
+        Parameters
+        ----------
+        active_cols:
+            Boolean mask of activated columns (``V_on`` gates); inhibited
+            columns get ``V_off``.  ``None`` activates everything.
+        read_noise_seed:
+            Seed for the optional per-read noise draw (only drawn when the
+            variation model has ``sigma_read > 0``).
+        """
+        mask = self._column_mask(active_cols)
+        v_gates = np.where(mask, self.params.v_on, self.params.v_off)
+        vth = self.vth_matrix()
+        if self.variation.sigma_read > 0.0:
+            rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
+            vth = vth + self.variation.sample_read_noise((self.rows, self.cols), rng)
+        return self.template.idvg.current(v_gates[None, :], vth)
+
+    def wordline_currents(
+        self, active_cols: Optional[np.ndarray] = None, read_noise_seed: RngLike = None
+    ) -> np.ndarray:
+        """Accumulated I_WL per row — the in-memory posterior (Eq. 5)."""
+        return self.current_matrix(active_cols, read_noise_seed).sum(axis=1)
+
+    def _column_mask(self, active_cols: Optional[np.ndarray]) -> np.ndarray:
+        if active_cols is None:
+            return np.ones(self.cols, dtype=bool)
+        mask = np.asarray(active_cols)
+        if mask.dtype != bool:
+            # Accept an iterable of column indices as well.
+            idx = np.asarray(active_cols, dtype=int)
+            if idx.ndim != 1:
+                raise ValueError("active_cols must be a bool mask or index list")
+            if np.any(idx < 0) or np.any(idx >= self.cols):
+                raise ValueError("active column index out of range")
+            mask = np.zeros(self.cols, dtype=bool)
+            mask[idx] = True
+        elif mask.shape != (self.cols,):
+            raise ValueError(
+                f"active_cols mask must have shape ({self.cols},), got {mask.shape}"
+            )
+        return mask
+
+    # -------------------------------------------------------------- metrics
+    def ideal_current_for_level(self, level: int) -> float:
+        """The spec's target current for a level (amperes)."""
+        return self.spec.current_for_level(level)
+
+    def max_disturb_shift(self) -> float:
+        """Largest |V_TH drift| due to accumulated write disturb (volts).
+
+        Computed against a disturb-free reference; the half-bias scheme
+        should keep this orders of magnitude below a level's V_TH step.
+        """
+        programmed = self.levels >= 0
+        if not programmed.any():
+            return 0.0
+        clean_time = np.where(
+            programmed, self._level_pulses[np.maximum(self.levels, 0)] * self._pulse_width, 0.0
+        )
+        pol_clean = _lognormal_cdf(clean_time, self._median_time, self._sigma)
+        pol_actual = self.polarization_matrix()
+        return float(
+            np.max(np.abs(pol_actual - pol_clean)) * self.template.memory_window
+        )
+
+    @property
+    def area(self) -> float:
+        """Cell-array silicon area (m^2)."""
+        return self.rows * self.cols * self.params.cell_area
+
+    def storage_bits(self) -> float:
+        """Total bits stored at this spec's levels-per-cell."""
+        return self.rows * self.cols * self.spec.bits
+
+    def __repr__(self) -> str:
+        return (
+            f"FeFETCrossbar({self.rows}x{self.cols}, {self.spec.n_levels} levels, "
+            f"sigma_vth={self.variation.sigma_vth * 1e3:.0f} mV)"
+        )

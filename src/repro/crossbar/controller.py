@@ -1,0 +1,169 @@
+"""Program-and-verify (ISPP-style) write controller.
+
+The paper programs cells *open loop*: each state has a fixed pulse count
+(Fig. 4b), so a device's static V_TH offset translates directly into a
+read-current error — that is the mechanism behind the Fig. 8(c) accuracy
+loss.  Production MLC flows instead use incremental-step pulse
+programming with verify reads (ISPP): pulse, read, repeat until the
+*measured* current reaches the target.  Closed-loop programming absorbs
+most of the device-to-device variation into the pulse count, leaving
+only the one-pulse quantisation residual and any read noise.
+
+:class:`ProgramVerifyController` implements that loop on top of
+:class:`~repro.crossbar.array.FeFETCrossbar`, with statistics (pulses
+spent, residual errors) so the verify-vs-open-loop trade-off — extra
+write time/energy for restored accuracy — can be quantified
+(`bench_ablations.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crossbar.array import FeFETCrossbar
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ProgrammingStats:
+    """Outcome of one verified array-programming pass.
+
+    Attributes
+    ----------
+    total_pulses:
+        Write pulses spent across all programmed cells.
+    verify_reads:
+        Verify read operations performed.
+    max_residual:
+        Worst |measured - target| current after programming (amperes).
+    unconverged:
+        Cells that hit the pulse cap before reaching their target.
+    """
+
+    total_pulses: int
+    verify_reads: int
+    max_residual: float
+    unconverged: int
+
+
+class ProgramVerifyController:
+    """Closed-loop (program-and-verify) writes for a FeFET crossbar.
+
+    Parameters
+    ----------
+    crossbar:
+        The array to program (mutated in place).
+    tolerance:
+        Acceptable undershoot below the target current before stopping
+        (amperes); the loop stops at the first read >= target -
+        tolerance.  Defaults to 20 %% of the level separation.
+    max_pulses_per_cell:
+        Per-cell pulse cap (ISPP abort).
+    """
+
+    def __init__(
+        self,
+        crossbar: FeFETCrossbar,
+        tolerance: float = None,
+        max_pulses_per_cell: int = 400,
+    ):
+        self.crossbar = crossbar
+        sep = crossbar.spec.level_separation()
+        if tolerance is None:
+            tolerance = 0.2 * sep if sep > 0 else 0.1 * crossbar.spec.i_max
+        self.tolerance = check_positive(tolerance, "tolerance")
+        self.max_pulses_per_cell = check_positive_int(
+            max_pulses_per_cell, "max_pulses_per_cell"
+        )
+
+    # ------------------------------------------------------------ primitives
+    def _verify_read(self, row: int, col: int) -> float:
+        """Read one cell's current including its variation offset."""
+        return self.crossbar.cell_current(row, col)
+
+    def program_cell(self, row: int, col: int, level: int) -> dict:
+        """Erase and ISPP-program one cell; returns per-cell stats.
+
+        The loop applies single nominal pulses with a verify read after
+        each, stopping once the measured current reaches
+        ``target - tolerance`` (or the pulse cap).
+        """
+        xbar = self.crossbar
+        if not 0 <= level < xbar.spec.n_levels:
+            raise ValueError(
+                f"level must lie in 0..{xbar.spec.n_levels - 1}, got {level}"
+            )
+        target = xbar.spec.current_for_level(level)
+        width = xbar._pulse_width
+
+        # Erase this cell (keep the disturb bookkeeping identical to the
+        # open-loop path: unselected rows see half-V_w per applied pulse).
+        xbar._acc_time[row, col] = 0.0
+        xbar.levels[row, col] = level
+
+        pulses = 0
+        reads = 0
+        measured = self._verify_read(row, col)
+        reads += 1
+        while measured < target - self.tolerance and pulses < self.max_pulses_per_cell:
+            xbar._acc_time[row, col] += width
+            disturb = width * xbar._disturb_time_scale
+            others = np.arange(xbar.rows) != row
+            xbar._acc_time[others, col] += disturb
+            pulses += 1
+            measured = self._verify_read(row, col)
+            reads += 1
+        xbar.write_pulse_total += pulses
+        return {
+            "pulses": pulses,
+            "reads": reads,
+            "residual": abs(measured - target),
+            "converged": measured >= target - self.tolerance,
+        }
+
+    # --------------------------------------------------------------- arrays
+    def program_matrix(self, level_matrix: np.ndarray) -> ProgrammingStats:
+        """Verified programming of the whole array (-1 leaves erased)."""
+        level_matrix = np.asarray(level_matrix, dtype=int)
+        xbar = self.crossbar
+        if level_matrix.shape != (xbar.rows, xbar.cols):
+            raise ValueError(
+                f"level matrix must have shape {(xbar.rows, xbar.cols)}, "
+                f"got {level_matrix.shape}"
+            )
+        if np.any(level_matrix >= xbar.spec.n_levels):
+            raise ValueError("level matrix contains out-of-range levels")
+        xbar.erase_all()
+        total_pulses = 0
+        reads = 0
+        max_residual = 0.0
+        unconverged = 0
+        for row in range(xbar.rows):
+            for col in range(xbar.cols):
+                level = level_matrix[row, col]
+                if level < 0:
+                    continue
+                stats = self.program_cell(row, col, int(level))
+                total_pulses += stats["pulses"]
+                reads += stats["reads"]
+                max_residual = max(max_residual, stats["residual"])
+                unconverged += 0 if stats["converged"] else 1
+        return ProgrammingStats(
+            total_pulses=total_pulses,
+            verify_reads=reads,
+            max_residual=max_residual,
+            unconverged=unconverged,
+        )
+
+
+def reprogram_engine_verified(engine, tolerance: float = None) -> ProgrammingStats:
+    """Replace an engine's open-loop programming with verified writes.
+
+    Convenience for studies: takes a fitted
+    :class:`~repro.core.engine.FeBiMEngine`, reprograms its crossbar
+    closed-loop against the same level matrix and returns the stats.
+    """
+    controller = ProgramVerifyController(engine.crossbar, tolerance=tolerance)
+    return controller.program_matrix(engine.level_matrix)

@@ -1,0 +1,66 @@
+"""Row/column driver energy primitives (the "array" energy of Fig. 6).
+
+The paper's array energy consists of the WL- and BL-driver dissipation.
+We model three charge-based components:
+
+* bitline switching: an activated BL swings from ``V_off`` to ``V_on``
+  against the gate capacitance of every attached cell;
+* wordline pre-biasing: each WL is driven to the read bias against the
+  drain capacitance of every attached cell;
+* conduction: the accumulated wordline currents flow from the WL bias
+  for the inference duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar.parameters import CircuitParameters
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def bitline_switch_energy(
+    params: CircuitParameters, rows: int, n_active_bls: int
+) -> float:
+    """Energy to swing ``n_active_bls`` bitlines to ``V_on`` (joules)."""
+    check_positive_int(rows, "rows")
+    if n_active_bls < 0:
+        raise ValueError(f"n_active_bls must be >= 0, got {n_active_bls}")
+    c_bl = params.c_bl_per_cell * rows
+    return n_active_bls * c_bl * params.bl_swing**2
+
+
+def wordline_bias_energy(params: CircuitParameters, rows: int, cols: int) -> float:
+    """Energy to drive every wordline to the read bias (joules)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    c_wl = params.c_wl_per_cell * cols
+    return rows * c_wl * params.v_wl_read**2
+
+
+def conduction_energy(
+    params: CircuitParameters, wordline_currents: np.ndarray, delay: float
+) -> float:
+    """Energy dissipated by cell currents during the inference (joules)."""
+    check_positive(delay, "delay")
+    currents = np.asarray(wordline_currents, dtype=float)
+    if np.any(currents < 0):
+        raise ValueError("wordline currents must be non-negative")
+    return float(currents.sum()) * params.v_wl_read * delay
+
+
+def write_pulse_energy(
+    params: CircuitParameters, rows: int, n_pulses: int, c_gate: float = 0.05e-15
+) -> float:
+    """Programming energy of a pulse train on one bitline (joules).
+
+    FeFET writes are field-driven (~fJ/bit, Sec. 2.1): the cost is
+    charging the gate stack each pulse, at the full ``V_w`` for the
+    selected row and ``V_w/2`` for the inhibited rows sharing the column.
+    """
+    check_positive_int(rows, "rows")
+    if n_pulses < 0:
+        raise ValueError(f"n_pulses must be >= 0, got {n_pulses}")
+    e_selected = c_gate * params.v_write**2
+    e_inhibited = (rows - 1) * c_gate * params.v_disturb**2
+    return n_pulses * (e_selected + e_inhibited)

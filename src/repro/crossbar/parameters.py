@@ -1,0 +1,107 @@
+"""Shared circuit parameters and calibrated model constants.
+
+Voltages follow Sec. 3.2 of the paper (``V_on`` = 0.5 V, ``V_off`` =
+-0.5 V, ``V_w`` = 4 V write pulses, half-``V_w`` inhibit).  The parasitic
+capacitances and the delay/energy coefficients are *behavioural
+calibration constants*: they are chosen so that the model reproduces the
+paper's reported operating points —
+
+* iris-GNBC average inference energy ~17.2 fJ (Table 1),
+* Fig. 6 delay range ~200-800 ps over 2-256 columns (2 rows) and
+  ~200-1000 ps over 2-32 rows (32 columns),
+* Fig. 6 energy magnitudes (tens of fJ column sweep, ~250 fJ row sweep)
+  with the paper's array-vs-sensing split (array-dominated when wide,
+  sensing-dominated when tall).
+
+They are not extracted from a PDK; see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CircuitParameters:
+    """Operating point and calibrated parasitics of the FeBiM macro.
+
+    Attributes
+    ----------
+    v_dd:
+        Supply for the sensing module (volts).
+    v_on, v_off:
+        Activated / inhibited bitline (gate) read voltages.
+    v_write:
+        Gate write pulse amplitude ``V_w``; unselected rows see
+        ``v_write / 2`` under the half-bias disturb-inhibit scheme.
+    v_wl_read:
+        Wordline (drain) read bias during inference.
+    c_bl_per_cell:
+        Bitline capacitance contributed by each attached cell (farads).
+    c_wl_per_cell:
+        Wordline capacitance contributed by each attached cell (farads).
+    t_base, t_per_col, t_per_row, t_gap_coeff:
+        Delay model constants (seconds): fixed overhead, per-column WL
+        settling, per-row WTA common-node loading, and the worst-case
+        current-gap resolution coefficient.
+    e_mirror_per_row, e_wta_per_row:
+        Fixed sensing charge-energy per row per inference (joules).
+    mirror_ratio:
+        Current-mirror attenuation into the WTA (dimensionless).
+    cell_area:
+        Layout area of one 1-FeFET cell at 45 nm (m^2); the paper lays
+        out 0.076 um^2 per cell.
+    """
+
+    v_dd: float = 0.8
+    v_on: float = 0.5
+    v_off: float = -0.5
+    v_write: float = 4.0
+    v_wl_read: float = 0.1
+
+    c_bl_per_cell: float = 0.05e-15
+    c_wl_per_cell: float = 0.02e-15
+
+    t_base: float = 140e-12
+    t_per_col: float = 2.4e-12
+    t_per_row: float = 24e-12
+    t_gap_coeff: float = 5e-12
+
+    e_mirror_per_row: float = 3.6e-15
+    e_wta_per_row: float = 1.8e-15
+    mirror_ratio: float = 0.02
+
+    cell_area: float = 0.076e-12
+
+    def __post_init__(self) -> None:
+        if self.v_on <= self.v_off:
+            raise ValueError(
+                f"v_on ({self.v_on}) must exceed v_off ({self.v_off})"
+            )
+        for name in (
+            "v_dd",
+            "v_write",
+            "v_wl_read",
+            "c_bl_per_cell",
+            "c_wl_per_cell",
+            "t_base",
+            "t_per_col",
+            "t_per_row",
+            "t_gap_coeff",
+            "e_mirror_per_row",
+            "e_wta_per_row",
+            "mirror_ratio",
+            "cell_area",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def v_disturb(self) -> float:
+        """Half-bias seen by unselected rows during write (volts)."""
+        return self.v_write / 2.0
+
+    @property
+    def bl_swing(self) -> float:
+        """Bitline voltage swing when activating a column (volts)."""
+        return self.v_on - self.v_off

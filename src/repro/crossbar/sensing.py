@@ -1,0 +1,120 @@
+"""Sensing module: current mirrors feeding the WTA circuit (Fig. 3).
+
+Each wordline's accumulated current is copied into the WTA through a
+current mirror (``I_CM`` in the paper's figure).  Mirrors contribute two
+non-idealities captured here: a fixed attenuation ratio (the copy runs at
+a scaled-down current to save power) and a per-mirror random gain
+mismatch.  The :class:`SensingModule` combines mirrors + behavioural WTA
+and reports its contribution to inference energy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.crossbar.parameters import CircuitParameters
+from repro.crossbar.wta import WinnerTakeAll
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class CurrentMirror:
+    """Per-row current mirrors with ratio and Gaussian gain mismatch.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of mirrors (one per wordline).
+    ratio:
+        Nominal copy ratio (output/input current).
+    gain_sigma:
+        Relative std of the per-mirror static gain error; a 1 %% mismatch
+        is typical of minimum-size mirrors.  Gains are drawn once.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        ratio: float = 0.02,
+        gain_sigma: float = 0.0,
+        seed: RngLike = None,
+    ):
+        self.n_rows = check_positive_int(n_rows, "n_rows")
+        if ratio <= 0:
+            raise ValueError(f"ratio must be positive, got {ratio}")
+        if gain_sigma < 0:
+            raise ValueError(f"gain_sigma must be >= 0, got {gain_sigma}")
+        self.ratio = float(ratio)
+        self.gain_sigma = float(gain_sigma)
+        rng = ensure_rng(seed)
+        self.gains = self.ratio * (
+            1.0 + (rng.normal(0.0, gain_sigma, size=n_rows) if gain_sigma else 0.0)
+        )
+
+    def copy(self, wordline_currents: np.ndarray) -> np.ndarray:
+        """Mirror the wordline currents into the WTA inputs."""
+        currents = np.asarray(wordline_currents, dtype=float)
+        if currents.shape != (self.n_rows,):
+            raise ValueError(
+                f"expected {self.n_rows} wordline currents, got shape {currents.shape}"
+            )
+        return currents * self.gains
+
+
+class SensingModule:
+    """Mirrors + WTA: turns wordline currents into a one-hot decision.
+
+    Parameters
+    ----------
+    n_rows:
+        Wordline count.
+    params:
+        Circuit parameters (energy constants).
+    mirror_gain_sigma:
+        Mirror mismatch; 0 for the ideal sensing used in most experiments.
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        params: Optional[CircuitParameters] = None,
+        mirror_gain_sigma: float = 0.0,
+        seed: RngLike = None,
+    ):
+        self.params = params or CircuitParameters()
+        self.mirrors = CurrentMirror(
+            n_rows,
+            ratio=self.params.mirror_ratio,
+            gain_sigma=mirror_gain_sigma,
+            seed=seed,
+        )
+        self.wta = WinnerTakeAll()
+
+    @property
+    def n_rows(self) -> int:
+        return self.mirrors.n_rows
+
+    def decide(self, wordline_currents: np.ndarray) -> int:
+        """Winning wordline index (the predicted event)."""
+        return self.wta.winner(self.mirrors.copy(wordline_currents))
+
+    def one_hot(self, wordline_currents: np.ndarray) -> np.ndarray:
+        """One-hot decision vector."""
+        return self.wta.one_hot(self.mirrors.copy(wordline_currents))
+
+    def energy(self, wordline_currents: np.ndarray, delay: float) -> float:
+        """Sensing energy for one inference (joules).
+
+        Fixed per-row mirror/WTA charge energy plus the dynamic term from
+        conducting the mirrored currents for the inference duration.
+        """
+        currents = np.asarray(wordline_currents, dtype=float)
+        fixed = self.n_rows * (
+            self.params.e_mirror_per_row + self.params.e_wta_per_row
+        )
+        dynamic = (
+            2.0 * self.params.mirror_ratio * float(currents.sum()) * self.params.v_dd * delay
+        )
+        return fixed + dynamic

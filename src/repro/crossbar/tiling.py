@@ -1,0 +1,179 @@
+"""Multi-tile scaling for many-class Bayesian models.
+
+Fig. 6(c) shows WTA delay/energy growing with the row count: a single
+WTA stage stops being attractive beyond a few tens of competing
+wordlines.  The standard remedy — and the natural extension of the
+paper's "scalable WTA" — is hierarchical winner resolution: partition
+the classes across tiles with at most ``max_rows`` wordlines each, let
+each tile's local WTA pick a tile-winner, and resolve the tile-winners'
+mirrored currents in a second-stage WTA.
+
+:class:`TiledFeBiM` implements that: functionally it reproduces the
+flat engine's decisions (each local winner is the true row maximum of
+its tile, and the global maximum is one of the local winners — argmax
+is associative), while delay follows the *slowest tile + stage 2* and
+energy the *sum of tiles + stage 2*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.engine import FeBiMEngine
+from repro.core.quantization import QuantizedBayesianModel, UniformQuantizer
+from repro.crossbar.parameters import CircuitParameters
+from repro.crossbar.timing import DelayModel
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.devices.variation import VariationModel
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def _slice_model(
+    model: QuantizedBayesianModel, rows: np.ndarray
+) -> QuantizedBayesianModel:
+    """A sub-model over a subset of classes (tile rows)."""
+    return QuantizedBayesianModel(
+        likelihood_levels=[t[rows] for t in model.likelihood_levels],
+        prior_levels=(
+            None if model.prior_levels is None else model.prior_levels[rows]
+        ),
+        quantizer=UniformQuantizer(
+            model.quantizer.n_levels,
+            (1.0 - model.quantizer.lo) / np.log(10.0),
+        ),
+        classes=model.classes[rows],
+    )
+
+
+@dataclass(frozen=True)
+class TiledInferenceReport:
+    """Circuit-level summary of one hierarchical inference."""
+
+    prediction: int
+    tile_winners: np.ndarray
+    tile_currents: np.ndarray
+    delay: float
+    energy: float
+
+
+class TiledFeBiM:
+    """A Bayesian model partitioned across row-limited crossbar tiles.
+
+    Parameters
+    ----------
+    model:
+        The quantised model (any class count).
+    max_rows:
+        Maximum wordlines per tile (local WTA fan-in limit).
+    spec, variation, params, seed:
+        Forwarded to every tile's engine.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedBayesianModel,
+        max_rows: int = 16,
+        spec: Optional[MultiLevelCellSpec] = None,
+        variation: Optional[VariationModel] = None,
+        params: Optional[CircuitParameters] = None,
+        seed: RngLike = None,
+    ):
+        self.max_rows = check_positive_int(max_rows, "max_rows")
+        self.model = model
+        self.params = params or CircuitParameters()
+        rng = ensure_rng(seed)
+
+        k = model.n_classes
+        boundaries = list(range(0, k, self.max_rows)) + [k]
+        self.tile_rows: List[np.ndarray] = [
+            np.arange(boundaries[i], boundaries[i + 1])
+            for i in range(len(boundaries) - 1)
+        ]
+        self.tiles: List[FeBiMEngine] = [
+            FeBiMEngine(
+                _slice_model(model, rows),
+                spec=spec,
+                variation=variation,
+                params=self.params,
+                seed=rng,
+            )
+            for rows in self.tile_rows
+        ]
+        self._delay_model = DelayModel(self.params)
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def total_rows(self) -> int:
+        return self.model.n_classes
+
+    # ------------------------------------------------------------ inference
+    def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Hierarchical MAP predictions for a batch."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.ndim == 1:
+            evidence_levels = evidence_levels[None, :]
+        out = np.empty(evidence_levels.shape[0], dtype=self.model.classes.dtype)
+        for i, sample in enumerate(evidence_levels):
+            out[i] = self.infer_one(sample).prediction
+        return out
+
+    def infer_one(self, evidence_levels: np.ndarray) -> TiledInferenceReport:
+        """One hierarchical inference with delay/energy accounting."""
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        tile_winner_currents = np.empty(self.n_tiles)
+        tile_winner_rows = np.empty(self.n_tiles, dtype=int)
+        tile_delays = np.empty(self.n_tiles)
+        tile_energy = 0.0
+        for t, engine in enumerate(self.tiles):
+            report = engine.infer_one(evidence_levels)
+            currents = report.wordline_currents
+            local = int(np.argmax(currents))
+            tile_winner_rows[t] = self.tile_rows[t][local]
+            tile_winner_currents[t] = currents[local]
+            tile_delays[t] = report.delay
+            tile_energy += report.energy.total
+
+        winner_tile = int(np.argmax(tile_winner_currents))
+        prediction = self.model.classes[tile_winner_rows[winner_tile]]
+
+        # Stage 2: a WTA over the tile winners' mirrored currents.  Tiles
+        # resolve in parallel; stage 2 starts when the slowest finishes.
+        if self.n_tiles > 1:
+            ordered = np.sort(tile_winner_currents)
+            gap = max(float(ordered[-1] - ordered[-2]), 1e-9 * ordered[-1])
+            stage2_delay = (
+                self.params.t_base / 2.0
+                + self._delay_model.wta_loading(self.n_tiles)
+                + self._delay_model.gap_resolution(
+                    float(tile_winner_currents.sum()), gap
+                )
+            )
+            stage2_energy = self.n_tiles * (
+                self.params.e_mirror_per_row + self.params.e_wta_per_row
+            )
+        else:
+            stage2_delay = 0.0
+            stage2_energy = 0.0
+
+        return TiledInferenceReport(
+            prediction=int(prediction),
+            tile_winners=tile_winner_rows,
+            tile_currents=tile_winner_currents,
+            delay=float(tile_delays.max() + stage2_delay),
+            energy=float(tile_energy + stage2_energy),
+        )
+
+    def score(self, evidence_levels: np.ndarray, y: np.ndarray) -> float:
+        """Hierarchical classification accuracy."""
+        return float(np.mean(self.predict(evidence_levels) == np.asarray(y)))
+
+    def flat_reference(self, seed: RngLike = None) -> FeBiMEngine:
+        """A single flat engine over the same model (for comparisons)."""
+        return FeBiMEngine(self.model, params=self.params, seed=seed)

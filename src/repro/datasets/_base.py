@@ -1,0 +1,73 @@
+"""Common dataset container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled classification dataset.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"iris"``.
+    data:
+        Feature matrix of shape ``(n_samples, n_features)``.
+    target:
+        Integer class labels of shape ``(n_samples,)`` in ``0..n_classes-1``.
+    feature_names:
+        Human-readable feature names, length ``n_features``.
+    target_names:
+        Human-readable class names, length ``n_classes``.
+    synthetic:
+        True when the data was generated from calibrated statistics rather
+        than measured samples (see package docstring).
+    """
+
+    name: str
+    data: np.ndarray
+    target: np.ndarray
+    feature_names: List[str] = field(default_factory=list)
+    target_names: List[str] = field(default_factory=list)
+    synthetic: bool = False
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data, dtype=float)
+        target = np.asarray(self.target, dtype=int)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if target.ndim != 1 or target.shape[0] != data.shape[0]:
+            raise ValueError(
+                f"target shape {target.shape} incompatible with data {data.shape}"
+            )
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "target", target)
+
+    @property
+    def n_samples(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.target.max()) + 1 if self.target.size else 0
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class, shape ``(n_classes,)``."""
+        return np.bincount(self.target, minlength=self.n_classes)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        kind = "synthetic" if self.synthetic else "measured"
+        return (
+            f"{self.name}: {self.n_samples} samples x {self.n_features} features, "
+            f"{self.n_classes} classes {self.class_counts().tolist()} ({kind})"
+        )

@@ -1,0 +1,161 @@
+"""Synthetic digits-like dataset: a many-class workload.
+
+The paper's three benchmark datasets have 2-3 classes, which never
+stresses the WTA fan-in (Fig. 6c shows why that matters: delay grows
+with rows).  This generator produces a 10-class, 64-feature problem in
+the spirit of the classic 8x8 handwritten-digits data: each class has a
+fixed 8x8 intensity prototype (a coarse glyph) and samples are noisy
+renderings of it.  Used by the tiling extension studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._base import Dataset
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+# Coarse 8x8 glyph prototypes for the ten digits: '#' marks high
+# intensity.  Fidelity to real handwriting is irrelevant — what matters
+# is 10 distinguishable 64-dimensional class-conditional distributions.
+_GLYPHS = [
+    [".####...",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     ".####..."],
+    ["...#....",
+     "..##....",
+     ".#.#....",
+     "...#....",
+     "...#....",
+     "...#....",
+     "...#....",
+     ".#####.."],
+    [".####...",
+     "#....#..",
+     ".....#..",
+     "....#...",
+     "...#....",
+     "..#.....",
+     ".#......",
+     "######.."],
+    [".####...",
+     "#....#..",
+     ".....#..",
+     "..###...",
+     ".....#..",
+     ".....#..",
+     "#....#..",
+     ".####..."],
+    ["...##...",
+     "..#.#...",
+     ".#..#...",
+     "#...#...",
+     "######..",
+     "....#...",
+     "....#...",
+     "....#..."],
+    ["######..",
+     "#.......",
+     "#.......",
+     "#####...",
+     ".....#..",
+     ".....#..",
+     "#....#..",
+     ".####..."],
+    [".####...",
+     "#.......",
+     "#.......",
+     "#####...",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     ".####..."],
+    ["######..",
+     ".....#..",
+     "....#...",
+     "...#....",
+     "..#.....",
+     "..#.....",
+     "..#.....",
+     "..#....."],
+    [".####...",
+     "#....#..",
+     "#....#..",
+     ".####...",
+     "#....#..",
+     "#....#..",
+     "#....#..",
+     ".####..."],
+    [".####...",
+     "#....#..",
+     "#....#..",
+     ".#####..",
+     ".....#..",
+     ".....#..",
+     ".....#..",
+     ".####..."],
+]
+
+
+def _prototypes() -> np.ndarray:
+    protos = np.zeros((10, 64))
+    for digit, rows in enumerate(_GLYPHS):
+        grid = np.array([[c == "#" for c in row] for row in rows], dtype=float)
+        protos[digit] = (grid * 12.0 + 2.0).ravel()  # intensities 2 / 14
+    return protos
+
+
+def load_digits_like(
+    n_samples: int = 1000,
+    noise: float = 3.0,
+    blur: float = 0.35,
+    seed: RngLike = 2024,
+) -> Dataset:
+    """A 10-class, 64-feature noisy-glyph dataset.
+
+    Parameters
+    ----------
+    n_samples:
+        Total samples, spread uniformly over the ten classes.
+    noise:
+        Per-pixel Gaussian noise std (intensity units; prototypes span
+        2-14).
+    blur:
+        Fraction of each pixel's neighbours mixed in (crude optics),
+        which correlates nearby features — deliberately violating naive
+        independence a little, like real images do.
+    """
+    check_positive_int(n_samples, "n_samples")
+    check_positive(noise, "noise")
+    if not 0.0 <= blur < 1.0:
+        raise ValueError(f"blur must lie in [0, 1), got {blur}")
+    rng = ensure_rng(seed)
+    protos = _prototypes()
+    target = rng.integers(0, 10, size=n_samples)
+    clean = protos[target]
+
+    if blur > 0:
+        grids = clean.reshape(-1, 8, 8)
+        neighbours = (
+            np.roll(grids, 1, axis=1)
+            + np.roll(grids, -1, axis=1)
+            + np.roll(grids, 1, axis=2)
+            + np.roll(grids, -1, axis=2)
+        ) / 4.0
+        clean = ((1 - blur) * grids + blur * neighbours).reshape(-1, 64)
+
+    data = np.clip(clean + rng.normal(scale=noise, size=clean.shape), 0.0, 16.0)
+    return Dataset(
+        name="digits_like",
+        data=data,
+        target=target,
+        feature_names=[f"px_{r}{c}" for r in range(8) for c in range(8)],
+        target_names=[str(d) for d in range(10)],
+        synthetic=True,
+    )

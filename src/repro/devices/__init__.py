@@ -1,0 +1,41 @@
+"""FeFET device substrate.
+
+Behavioural models of the multi-level ferroelectric FET that FeBiM uses
+as its 1-transistor probability storage cell (Sec. 2.1, Fig. 1):
+
+* :class:`IdVgCharacteristic` — smooth subthreshold-to-saturation drain
+  current model ``I_DS(V_G; V_TH)`` (Fig. 1c), invertible so that target
+  read currents map back to threshold voltages.
+* :class:`FerroelectricLayer` — partial polarisation switching under a
+  train of gate write pulses (Fig. 1b), a nucleation-limited-switching
+  flavour of the experimentally calibrated Preisach model the paper uses
+  in SPECTRE.
+* :class:`FeFET` — the complete device: erase, pulse-train programming,
+  threshold-voltage state, current readout with variation.
+* :class:`MultiLevelCellSpec` — the discrete-state abstraction (L states
+  <-> evenly spaced I_DS targets) the mapping scheme of Sec. 3.3 relies on.
+* :class:`PulseProgrammer` — finds the write pulse count for each state
+  (Fig. 4b) and verifies programming accuracy.
+* :class:`VariationModel` — Gaussian V_TH device-to-device variation used
+  by the Monte-Carlo robustness study (Fig. 8c).
+"""
+
+from repro.devices.idvg import IdVgCharacteristic
+from repro.devices.preisach import FerroelectricLayer
+from repro.devices.fefet import FeFET, MultiLevelCellSpec
+from repro.devices.programming import PulseProgrammer, WriteConfiguration
+from repro.devices.variation import VariationModel
+from repro.devices.retention import RetentionModel
+from repro.devices.endurance import EnduranceModel
+
+__all__ = [
+    "RetentionModel",
+    "EnduranceModel",
+    "IdVgCharacteristic",
+    "FerroelectricLayer",
+    "FeFET",
+    "MultiLevelCellSpec",
+    "PulseProgrammer",
+    "WriteConfiguration",
+    "VariationModel",
+]

@@ -1,0 +1,182 @@
+"""The complete FeFET device model and its multi-level-cell abstraction.
+
+A :class:`FeFET` ties together the ferroelectric layer (polarisation
+state, pulse programming) and the transistor I-V curve: the switched
+domain fraction linearly interpolates V_TH between the erased high-V_TH
+state and the fully-programmed low-V_TH state (the memory window), and
+the I-V model turns V_TH into a read current.
+
+:class:`MultiLevelCellSpec` captures the discrete-state abstraction of
+Sec. 3.3: ``L`` states whose read currents are evenly spaced over
+[``i_min``, ``i_max``] = [0.1, 1.0] uA at ``V_on`` = 0.5 V — exactly the
+linear level -> I_DS mapping of Fig. 4(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.idvg import IdVgCharacteristic
+from repro.devices.preisach import FerroelectricLayer
+from repro.utils.validation import check_positive, check_positive_int
+
+#: Paper operating voltages (Sec. 3.2).
+V_ON = 0.5
+V_OFF = -0.5
+V_WRITE = 4.0
+
+
+@dataclass(frozen=True)
+class MultiLevelCellSpec:
+    """Discrete multi-level cell specification.
+
+    Parameters
+    ----------
+    n_levels:
+        Number of programmable states ``L`` (e.g. 4 for Q_l = 2 bit, 10
+        for the Fig. 4 example).
+    i_min, i_max:
+        Read currents (amperes, at ``v_read``) of the lowest/highest
+        state.  The paper uses 0.1 and 1.0 uA.
+    v_read:
+        Gate read voltage ``V_on``.
+    """
+
+    n_levels: int = 4
+    i_min: float = 0.1e-6
+    i_max: float = 1.0e-6
+    v_read: float = V_ON
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_levels, "n_levels")
+        check_positive(self.i_min, "i_min")
+        check_positive(self.i_max, "i_max")
+        if self.i_max <= self.i_min and self.n_levels > 1:
+            raise ValueError(
+                f"i_max ({self.i_max}) must exceed i_min ({self.i_min})"
+            )
+
+    @property
+    def bits(self) -> float:
+        """Equivalent storage bits per cell, ``log2(L)``."""
+        return float(np.log2(self.n_levels))
+
+    def level_currents(self) -> np.ndarray:
+        """Target read current of every level, shape ``(n_levels,)``.
+
+        Level 0 is the *lowest* current (most negative quantised
+        log-probability); level ``L-1`` the highest (probability ~1).
+        """
+        if self.n_levels == 1:
+            return np.array([self.i_max])
+        return np.linspace(self.i_min, self.i_max, self.n_levels)
+
+    def current_for_level(self, level: int) -> float:
+        """Target current of one level (amperes)."""
+        if not 0 <= level < self.n_levels:
+            raise ValueError(
+                f"level must lie in 0..{self.n_levels - 1}, got {level}"
+            )
+        return float(self.level_currents()[level])
+
+    def level_separation(self) -> float:
+        """Current gap between adjacent levels (amperes)."""
+        if self.n_levels == 1:
+            return 0.0
+        return (self.i_max - self.i_min) / (self.n_levels - 1)
+
+
+class FeFET:
+    """A single multi-level FeFET storage cell.
+
+    Parameters
+    ----------
+    idvg:
+        Transistor I-V model (defaults calibrated to the 0.1-1.0 uA
+        window at V_on = 0.5 V).
+    layer:
+        Ferroelectric switching model.
+    vth_high, vth_low:
+        Memory window: erased (polarisation 0) and fully programmed
+        (polarisation 1) threshold voltages.
+    vth_offset:
+        Static device-to-device V_TH deviation (volts), normally supplied
+        by a :class:`~repro.devices.variation.VariationModel`.
+    """
+
+    def __init__(
+        self,
+        idvg: Optional[IdVgCharacteristic] = None,
+        layer: Optional[FerroelectricLayer] = None,
+        vth_high: float = 0.70,
+        vth_low: float = 0.10,
+        vth_offset: float = 0.0,
+    ):
+        if vth_low >= vth_high:
+            raise ValueError(
+                f"memory window requires vth_low < vth_high, got "
+                f"[{vth_low}, {vth_high}]"
+            )
+        self.idvg = idvg or IdVgCharacteristic()
+        self.layer = layer or FerroelectricLayer()
+        self.vth_high = float(vth_high)
+        self.vth_low = float(vth_low)
+        self.vth_offset = float(vth_offset)
+
+    # ----------------------------------------------------------------- state
+    @property
+    def memory_window(self) -> float:
+        """V_TH span between erased and fully-programmed states (volts)."""
+        return self.vth_high - self.vth_low
+
+    @property
+    def vth(self) -> float:
+        """Current threshold voltage including the device offset."""
+        pol = self.layer.polarization
+        return self.vth_high - pol * self.memory_window + self.vth_offset
+
+    def vth_for_polarization(self, polarization: float) -> float:
+        """Ideal (offset-free) V_TH at a given switched fraction."""
+        if not 0.0 <= polarization <= 1.0:
+            raise ValueError(
+                f"polarization must lie in [0, 1], got {polarization}"
+            )
+        return self.vth_high - polarization * self.memory_window
+
+    def polarization_for_vth(self, vth: float) -> float:
+        """Switched fraction needed for an ideal V_TH (clamped to [0,1])."""
+        pol = (self.vth_high - vth) / self.memory_window
+        return float(np.clip(pol, 0.0, 1.0))
+
+    # ------------------------------------------------------------ operations
+    def erase(self) -> None:
+        """Full erase to the high-V_TH state."""
+        self.layer.erase()
+
+    def apply_write_pulses(
+        self, n_pulses: int, amplitude: float = V_WRITE, width: float = None
+    ) -> float:
+        """Apply a write pulse train; returns the resulting V_TH."""
+        self.layer.apply_pulses(n_pulses, amplitude=amplitude, width=width)
+        return self.vth
+
+    def read_current(self, v_gate: float = V_ON) -> float:
+        """Drain-source current at the given gate voltage (amperes)."""
+        return float(self.idvg.current(v_gate, self.vth))
+
+    def is_cut_off(self, v_gate: float = V_OFF, threshold: float = 1e-9) -> bool:
+        """True when the inhibited current is below ``threshold`` amps."""
+        return self.read_current(v_gate) < threshold
+
+    def clone(self) -> "FeFET":
+        """Independent copy (shared I-V model, copied layer state)."""
+        return FeFET(
+            idvg=self.idvg,
+            layer=self.layer.clone(),
+            vth_high=self.vth_high,
+            vth_low=self.vth_low,
+            vth_offset=self.vth_offset,
+        )

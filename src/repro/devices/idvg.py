@@ -1,0 +1,115 @@
+"""FeFET drain-current model ``I_DS(V_G; V_TH)`` (Fig. 1c).
+
+We use the EKV-style interpolation
+
+    I_DS = I_spec * [ln(1 + exp((V_G - V_TH) / (2 n phi_t)))]^2
+
+which is exponential in weak inversion (subthreshold) and quadratic in
+strong inversion, with a smooth transition — adequate for a behavioural
+crossbar model where only the *read* operating points matter:
+
+* activated gate (``V_on`` = 0.5 V): the device conducts an I_DS set by
+  its programmed V_TH; the mapping scheme targets 0.1–1.0 uA.
+* inhibited gate (``V_off`` = -0.5 V): the device is cut off (fA-range
+  leakage), so unselected columns contribute ~nothing to the wordline sum.
+
+Default constants are calibrated so the full mapped current range
+(0.1–1.0 uA at V_on) corresponds to V_TH in roughly [0.0, 0.35] V, inside
+the multi-level window demonstrated by MLC FeFET experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+#: Thermal voltage at 300 K (volts).
+PHI_T = 0.02585
+
+
+class IdVgCharacteristic:
+    """Smooth I_D-V_G curve parameterised by threshold voltage.
+
+    Parameters
+    ----------
+    i_spec:
+        Specific current prefactor (amperes).  Sets the absolute current
+        scale; the default places 1.0 uA at ``V_G - V_TH ~ 0.5 V``.
+    ideality:
+        Subthreshold ideality factor ``n`` (dimensionless, > 1).
+    phi_t:
+        Thermal voltage (volts).
+    """
+
+    def __init__(
+        self,
+        i_spec: float = 8.0e-8,
+        ideality: float = 1.0,
+        phi_t: float = PHI_T,
+    ):
+        self.i_spec = check_positive(i_spec, "i_spec")
+        self.ideality = check_positive(ideality, "ideality")
+        self.phi_t = check_positive(phi_t, "phi_t")
+
+    @property
+    def _slope(self) -> float:
+        """The EKV slope voltage ``2 n phi_t`` (volts)."""
+        return 2.0 * self.ideality * self.phi_t
+
+    def current(self, v_gate, v_th) -> np.ndarray:
+        """Drain current for gate voltage(s) and threshold voltage(s).
+
+        Broadcasts over both arguments; returns amperes.
+        """
+        x = (np.asarray(v_gate, dtype=float) - np.asarray(v_th, dtype=float)) / self._slope
+        # log1p(exp(x)) computed stably for large |x|.
+        soft = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+        return self.i_spec * soft**2
+
+    def transconductance(self, v_gate, v_th) -> np.ndarray:
+        """dI_DS/dV_G (siemens), used for variation sensitivity analysis."""
+        x = (np.asarray(v_gate, dtype=float) - np.asarray(v_th, dtype=float)) / self._slope
+        xs = np.minimum(x, 30.0)
+        soft = np.where(x > 30.0, x, np.log1p(np.exp(xs)))
+        sigmoid = np.where(x > 30.0, 1.0, 1.0 / (1.0 + np.exp(-xs)))
+        return 2.0 * self.i_spec * soft * sigmoid / self._slope
+
+    def vth_for_current(
+        self, target_current: float, v_gate: float, tol: float = 1e-15
+    ) -> float:
+        """Invert the curve: the V_TH giving ``target_current`` at ``v_gate``.
+
+        Exact analytic inversion of the EKV expression:
+        ``x = ln(exp(sqrt(I/I_spec)) - 1)`` and ``V_TH = V_G - x * slope``.
+        Falls back to bisection when the analytic form is numerically
+        degenerate (extremely small currents).
+        """
+        check_positive(target_current, "target_current")
+        sqrt_ratio = np.sqrt(target_current / self.i_spec)
+        if sqrt_ratio > 1e-12:
+            with np.errstate(over="ignore"):
+                inner = np.expm1(sqrt_ratio)
+            if np.isfinite(inner) and inner > 0:
+                x = float(np.log(inner))
+                return v_gate - x * self._slope
+        # Bisection fallback over a wide V_TH window.
+        lo, hi = v_gate - 5.0, v_gate + 5.0
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.current(v_gate, mid) > target_current:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol:
+                break
+        return 0.5 * (lo + hi)
+
+    def sweep(
+        self, v_th: float, v_start: float = -0.4, v_stop: float = 1.2, points: int = 161
+    ) -> tuple:
+        """Return ``(v_gate, i_ds)`` arrays for one Fig. 1(c)-style curve."""
+        if points < 2:
+            raise ValueError(f"points must be >= 2, got {points}")
+        v = np.linspace(v_start, v_stop, points)
+        return v, self.current(v, v_th)

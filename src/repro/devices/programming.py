@@ -1,0 +1,136 @@
+"""Write-configuration search: pulse counts for target states (Fig. 4b).
+
+For each discrete level of a :class:`MultiLevelCellSpec`, the programmer
+finds the number of nominal write pulses that lands the FeFET's read
+current closest to the level's target.  Because the switched fraction is
+monotone in the pulse count, a simple monotone search suffices — this is
+the software analogue of the paper's per-state "write configuration".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.devices.fefet import FeFET, MultiLevelCellSpec
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class WriteConfiguration:
+    """Recipe for programming one discrete state into a FeFET.
+
+    Attributes
+    ----------
+    level:
+        Target state index (0-based).
+    n_pulses:
+        Number of nominal write pulses after a full erase.
+    amplitude, width:
+        Pulse amplitude (V) and width (s).
+    target_current, achieved_current:
+        The level's ideal read current and the current actually reached
+        by ``n_pulses`` (amperes) — their gap is the programming error.
+    """
+
+    level: int
+    n_pulses: int
+    amplitude: float
+    width: float
+    target_current: float
+    achieved_current: float
+
+    @property
+    def current_error(self) -> float:
+        """Absolute programming error (amperes)."""
+        return abs(self.achieved_current - self.target_current)
+
+
+class PulseProgrammer:
+    """Finds and applies write configurations for a multi-level spec.
+
+    Parameters
+    ----------
+    device:
+        Template FeFET (its layer physics and I-V model define the
+        search space).  The programmer never mutates the template.
+    spec:
+        The multi-level cell specification to program against.
+    max_pulses:
+        Upper bound of the pulse-count search.
+    """
+
+    def __init__(
+        self,
+        device: FeFET,
+        spec: MultiLevelCellSpec,
+        max_pulses: int = 500,
+    ):
+        self.device = device
+        self.spec = spec
+        self.max_pulses = check_positive_int(max_pulses, "max_pulses")
+
+    def _current_after(self, n_pulses: int) -> float:
+        """Ideal read current after n pulses from erase (pure prediction)."""
+        pol = self.device.layer.switched_fraction_after(n_pulses)
+        vth = self.device.vth_for_polarization(pol)
+        return float(self.device.idvg.current(self.spec.v_read, vth))
+
+    def configuration_for_level(self, level: int) -> WriteConfiguration:
+        """Best pulse count for one level (minimum current error)."""
+        target = self.spec.current_for_level(level)
+        # The current-after-N curve is monotone non-decreasing; scan for
+        # the first N meeting the target, then compare with N-1.
+        lo, hi = 0, self.max_pulses
+        if self._current_after(hi) < target:
+            raise ValueError(
+                f"level {level}: target {target:.3e} A unreachable within "
+                f"{self.max_pulses} pulses — widen the memory window or "
+                "raise max_pulses"
+            )
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._current_after(mid) < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        candidates = [n for n in (lo - 1, lo) if n >= 0]
+        best = min(candidates, key=lambda n: abs(self._current_after(n) - target))
+        return WriteConfiguration(
+            level=level,
+            n_pulses=best,
+            amplitude=self.device.layer.nominal_amplitude,
+            width=self.device.layer.nominal_width,
+            target_current=target,
+            achieved_current=self._current_after(best),
+        )
+
+    def build_table(self) -> List[WriteConfiguration]:
+        """Write configuration for every level — the Fig. 4(b) staircase."""
+        return [self.configuration_for_level(lv) for lv in range(self.spec.n_levels)]
+
+    def pulse_count_map(self) -> Dict[int, int]:
+        """{level: pulse count} convenience view of :meth:`build_table`."""
+        return {cfg.level: cfg.n_pulses for cfg in self.build_table()}
+
+    def program(self, device: FeFET, level: int) -> WriteConfiguration:
+        """Erase ``device`` and program it to ``level``; returns the recipe.
+
+        The achieved current recorded in the returned configuration is the
+        *ideal* one; the device's own read current additionally reflects
+        its V_TH offset (device variation).
+        """
+        cfg = self.configuration_for_level(level)
+        device.erase()
+        device.apply_write_pulses(
+            cfg.n_pulses, amplitude=cfg.amplitude, width=cfg.width
+        )
+        return cfg
+
+    def max_programming_error(self) -> float:
+        """Worst-case |achieved - target| over all levels (amperes).
+
+        Should be well below the level separation for reliable MLC
+        operation; tests assert this margin.
+        """
+        return max(cfg.current_error for cfg in self.build_table())

@@ -1,0 +1,58 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each ``run_*`` function regenerates the corresponding figure's data
+series (or table rows) and each ``format_*`` renders it as the text the
+benchmark harness prints.  The mapping to the paper:
+
+=====================  ==============================================
+Module                 Paper content
+=====================  ==============================================
+fig1_device            Fig. 1(c): multi-level I_D-V_G characteristics
+fig4_mapping           Fig. 4(a): mapping staircase; 4(b): pulse counts
+fig5_validation        Fig. 5(a,b): theoretical vs simulated I_WL;
+                       5(c): WTA transient
+fig6_scalability       Fig. 6(a-d): delay/energy vs columns and rows
+fig7_quantization      Fig. 7(a,b): accuracy vs Q_f / Q_l per dataset
+fig8_iris              Fig. 8(a): Q_f x Q_l accuracy map; (b) state
+                       map; (c) variation robustness
+table1_comparison      Table 1: cross-implementation comparison
+=====================  ==============================================
+"""
+
+from repro.experiments.fig1_device import run_fig1, format_fig1
+from repro.experiments.fig4_mapping import run_fig4a, run_fig4b, format_fig4
+from repro.experiments.fig5_validation import (
+    run_fig5_currents,
+    run_fig5_wta,
+    format_fig5,
+)
+from repro.experiments.fig6_scalability import run_fig6, format_fig6
+from repro.experiments.fig7_quantization import run_fig7, format_fig7
+from repro.experiments.fig8_iris import (
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+    format_fig8,
+)
+from repro.experiments.table1_comparison import run_table1, format_table1_experiment
+
+__all__ = [
+    "run_fig1",
+    "format_fig1",
+    "run_fig4a",
+    "run_fig4b",
+    "format_fig4",
+    "run_fig5_currents",
+    "run_fig5_wta",
+    "format_fig5",
+    "run_fig6",
+    "format_fig6",
+    "run_fig7",
+    "format_fig7",
+    "run_fig8a",
+    "run_fig8b",
+    "run_fig8c",
+    "format_fig8",
+    "run_table1",
+    "format_table1_experiment",
+]

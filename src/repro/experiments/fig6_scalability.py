@@ -1,0 +1,106 @@
+"""Fig. 6: delay/energy scalability sweeps.
+
+(a, b) 2 rows, columns 2 -> 256 (all bitlines activated): inference
+delay ~200 -> ~800 ps, energy a few -> tens of fJ, array-dominated at
+large column counts.
+
+(c, d) 32 columns, rows 2 -> 32: delay ~200 -> ~1000 ps, energy up to
+~250 fJ, sensing-dominated at large row counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.crossbar.energy import EnergyModel
+from repro.crossbar.parameters import CircuitParameters
+from repro.crossbar.timing import DelayModel
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """Both sweeps: delay and energy series (SI units)."""
+
+    col_counts: np.ndarray
+    col_delays: np.ndarray
+    col_energy_array: np.ndarray
+    col_energy_sensing: np.ndarray
+    row_counts: np.ndarray
+    row_delays: np.ndarray
+    row_energy_array: np.ndarray
+    row_energy_sensing: np.ndarray
+
+    @property
+    def col_energy_total(self) -> np.ndarray:
+        return self.col_energy_array + self.col_energy_sensing
+
+    @property
+    def row_energy_total(self) -> np.ndarray:
+        return self.row_energy_array + self.row_energy_sensing
+
+
+def run_fig6(
+    col_counts: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 256),
+    col_rows: int = 2,
+    row_counts: Sequence[int] = (2, 4, 8, 16, 32),
+    row_cols: int = 32,
+    params: CircuitParameters = None,
+) -> Fig6Result:
+    """Run both Fig. 6 sweeps with all bitlines activated."""
+    params = params or CircuitParameters()
+    delay_model = DelayModel(params)
+    energy_model = EnergyModel(params)
+
+    col_delays, col_e_array, col_e_sense = [], [], []
+    for cols in col_counts:
+        col_delays.append(delay_model.inference_delay(col_rows, int(cols)))
+        e = energy_model.stress_energy(col_rows, int(cols))
+        col_e_array.append(e.array)
+        col_e_sense.append(e.sensing)
+
+    row_delays, row_e_array, row_e_sense = [], [], []
+    for rows in row_counts:
+        row_delays.append(delay_model.inference_delay(int(rows), row_cols))
+        e = energy_model.stress_energy(int(rows), row_cols)
+        row_e_array.append(e.array)
+        row_e_sense.append(e.sensing)
+
+    return Fig6Result(
+        col_counts=np.asarray(col_counts, dtype=int),
+        col_delays=np.asarray(col_delays),
+        col_energy_array=np.asarray(col_e_array),
+        col_energy_sensing=np.asarray(col_e_sense),
+        row_counts=np.asarray(row_counts, dtype=int),
+        row_delays=np.asarray(row_delays),
+        row_energy_array=np.asarray(row_e_array),
+        row_energy_sensing=np.asarray(row_e_sense),
+    )
+
+
+def format_fig6(result: Fig6Result) -> str:
+    """Both sweeps as paper-style series."""
+    lines = [
+        "Fig. 6(a,b) — 2 rows, growing columns (all BLs active)",
+        "cols   delay (ps)   E_array (fJ)   E_sensing (fJ)   E_total (fJ)",
+    ]
+    for i, cols in enumerate(result.col_counts):
+        lines.append(
+            f"{cols:4d}   {result.col_delays[i] * 1e12:10.0f}   "
+            f"{result.col_energy_array[i] * 1e15:12.2f}   "
+            f"{result.col_energy_sensing[i] * 1e15:14.2f}   "
+            f"{result.col_energy_total[i] * 1e15:12.2f}"
+        )
+    lines.append("")
+    lines.append("Fig. 6(c,d) — 32 columns, growing rows (all BLs active)")
+    lines.append("rows   delay (ps)   E_array (fJ)   E_sensing (fJ)   E_total (fJ)")
+    for i, rows in enumerate(result.row_counts):
+        lines.append(
+            f"{rows:4d}   {result.row_delays[i] * 1e12:10.0f}   "
+            f"{result.row_energy_array[i] * 1e15:12.2f}   "
+            f"{result.row_energy_sensing[i] * 1e15:14.2f}   "
+            f"{result.row_energy_total[i] * 1e15:12.2f}"
+        )
+    return "\n".join(lines)

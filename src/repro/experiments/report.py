@@ -1,0 +1,90 @@
+"""One-shot evaluation report: every figure/table in a single run.
+
+:func:`generate_report` regenerates the paper's full evaluation (at a
+configurable epoch budget) and returns it as one text document — the
+programmatic counterpart of EXPERIMENTS.md, exposed on the CLI as
+``febim report``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.utils.validation import check_positive_int
+
+_RULE = "=" * 72
+
+
+def generate_report(epochs: int = 20, seed: int = 0, fast: bool = False) -> str:
+    """Regenerate every evaluation artefact and format it as text.
+
+    Parameters
+    ----------
+    epochs:
+        Epoch budget for the statistical experiments (the paper uses
+        100; 20 keeps a full report under ~2 minutes).
+    fast:
+        Skip the two slowest grids (Fig. 7 over all datasets and the
+        full Fig. 8a precision grid), replacing them with iris-only /
+        operating-point summaries.
+    """
+    check_positive_int(epochs, "epochs")
+    from repro.experiments import (
+        format_fig1,
+        format_fig4,
+        format_fig5,
+        format_fig6,
+        format_fig8,
+        format_table1_experiment,
+        run_fig1,
+        run_fig4a,
+        run_fig4b,
+        run_fig5_currents,
+        run_fig5_wta,
+        run_fig6,
+        run_fig8a,
+        run_fig8b,
+        run_fig8c,
+        run_table1,
+    )
+    from repro.experiments.fig7_quantization import format_fig7, run_fig7
+
+    sections = [
+        "FeBiM evaluation report (regenerated)",
+        _RULE,
+        format_fig1(run_fig1()),
+        _RULE,
+        format_fig4(run_fig4a(), run_fig4b()),
+        _RULE,
+        format_fig5(run_fig5_currents(), run_fig5_wta()),
+        _RULE,
+        format_fig6(run_fig6()),
+        _RULE,
+    ]
+
+    fig7_datasets = ("iris",) if fast else ("iris", "wine", "cancer")
+    sections.append(
+        format_fig7(run_fig7(datasets=fig7_datasets, epochs=epochs, seed=seed))
+    )
+    sections.append(_RULE)
+
+    grid_bits = (2, 4) if fast else (1, 2, 3, 4, 5, 6, 7, 8)
+    fig8a = run_fig8a(qf_bits=grid_bits, ql_bits=grid_bits, epochs=epochs, seed=seed)
+    fig8b = run_fig8b(seed=seed)
+    fig8c = run_fig8c(epochs=epochs, seed=seed)
+    sections.append(format_fig8(fig8a, fig8b, fig8c))
+    sections.append(_RULE)
+    sections.append(format_table1_experiment(run_table1(seed=seed)))
+    return "\n".join(sections)
+
+
+def write_report(
+    path: str, epochs: int = 20, seed: int = 0, fast: bool = False
+) -> Optional[str]:
+    """Generate and write the report; returns the path written."""
+    from pathlib import Path
+
+    text = generate_report(epochs=epochs, seed=seed, fast=fast)
+    out = Path(path)
+    out.write_text(text + "\n")
+    return str(out)

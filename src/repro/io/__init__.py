@@ -1,0 +1,23 @@
+"""Serialization of trained/quantised FeBiM models.
+
+A deployment artifact for FeBiM is small: the quantised level tables,
+the cell spec and (for provenance) the write-configuration table.  This
+package round-trips that artifact through JSON so a model trained on one
+machine can be programmed onto an engine elsewhere.
+"""
+
+from repro.io.serialize import (
+    engine_manifest,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+__all__ = [
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+    "engine_manifest",
+]

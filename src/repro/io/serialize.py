@@ -1,0 +1,134 @@
+"""JSON round-trip for quantised FeBiM models.
+
+The serialised form is deliberately plain JSON (no pickle): integer
+level tables, the quantiser's range parameters and the cell spec — the
+exact information a programming controller needs to write an array.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.engine import FeBiMEngine
+from repro.core.quantization import (
+    LOG_DECADE,
+    QuantizedBayesianModel,
+    UniformQuantizer,
+)
+from repro.devices.fefet import MultiLevelCellSpec
+
+FORMAT_VERSION = 1
+
+
+def model_to_dict(
+    model: QuantizedBayesianModel, spec: MultiLevelCellSpec = None
+) -> dict:
+    """Serialise a quantised model (and optional cell spec) to a dict."""
+    spec = spec or MultiLevelCellSpec(n_levels=model.quantizer.n_levels)
+    if spec.n_levels != model.quantizer.n_levels:
+        raise ValueError(
+            f"spec has {spec.n_levels} levels but model is quantised to "
+            f"{model.quantizer.n_levels}"
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "quantizer": {
+            "n_levels": model.quantizer.n_levels,
+            "clip_decades": (1.0 - model.quantizer.lo) / LOG_DECADE,
+        },
+        "spec": {
+            "n_levels": spec.n_levels,
+            "i_min": spec.i_min,
+            "i_max": spec.i_max,
+            "v_read": spec.v_read,
+        },
+        "classes": np.asarray(model.classes).tolist(),
+        "prior_levels": (
+            None if model.prior_levels is None else model.prior_levels.tolist()
+        ),
+        "likelihood_levels": [t.tolist() for t in model.likelihood_levels],
+    }
+
+
+def model_from_dict(data: dict) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
+    """Rebuild ``(model, spec)`` from :func:`model_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    qz = data["quantizer"]
+    quantizer = UniformQuantizer(int(qz["n_levels"]), float(qz["clip_decades"]))
+    sp = data["spec"]
+    spec = MultiLevelCellSpec(
+        n_levels=int(sp["n_levels"]),
+        i_min=float(sp["i_min"]),
+        i_max=float(sp["i_max"]),
+        v_read=float(sp["v_read"]),
+    )
+    prior = data["prior_levels"]
+    model = QuantizedBayesianModel(
+        likelihood_levels=[
+            np.asarray(t, dtype=int) for t in data["likelihood_levels"]
+        ],
+        prior_levels=None if prior is None else np.asarray(prior, dtype=int),
+        quantizer=quantizer,
+        classes=np.asarray(data["classes"]),
+    )
+    # Validate level ranges against the quantiser.
+    for f, table in enumerate(model.likelihood_levels):
+        if np.any(table < 0) or np.any(table >= quantizer.n_levels):
+            raise ValueError(f"likelihood table {f} has out-of-range levels")
+    if model.prior_levels is not None and (
+        np.any(model.prior_levels < 0)
+        or np.any(model.prior_levels >= quantizer.n_levels)
+    ):
+        raise ValueError("prior levels out of range")
+    return model, spec
+
+
+def save_model(
+    path: Union[str, Path],
+    model: QuantizedBayesianModel,
+    spec: MultiLevelCellSpec = None,
+) -> Path:
+    """Write the model artifact as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(model_to_dict(model, spec), indent=2))
+    return path
+
+
+def load_model(path: Union[str, Path]) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
+    """Read a model artifact written by :func:`save_model`."""
+    data = json.loads(Path(path).read_text())
+    return model_from_dict(data)
+
+
+def engine_manifest(engine: FeBiMEngine) -> dict:
+    """Programming manifest for an engine: geometry, write configs, map.
+
+    What a hardware programming controller would consume: per-level
+    pulse counts plus the full level matrix.
+    """
+    programmer = engine.crossbar._programmer
+    return {
+        "rows": engine.crossbar.rows,
+        "cols": engine.crossbar.cols,
+        "include_prior": engine.layout.include_prior,
+        "write_configurations": [
+            {
+                "level": cfg.level,
+                "n_pulses": cfg.n_pulses,
+                "amplitude_v": cfg.amplitude,
+                "width_s": cfg.width,
+                "target_current_a": cfg.target_current,
+            }
+            for cfg in programmer.build_table()
+        ],
+        "level_matrix": engine.level_matrix.tolist(),
+    }

@@ -1,0 +1,45 @@
+"""Shared utilities: physical units, random-number helpers, validation."""
+
+from repro.utils.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    TERA,
+    from_si,
+    to_si,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "FEMTO",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "MICRO",
+    "MILLI",
+    "NANO",
+    "PICO",
+    "TERA",
+    "from_si",
+    "to_si",
+    "ensure_rng",
+    "check_array_1d",
+    "check_array_2d",
+    "check_in_range",
+    "check_positive",
+    "check_positive_int",
+    "check_probability_matrix",
+]

@@ -1,0 +1,34 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+``ensure_rng`` normalises all three into a Generator so call sites never
+branch on the type themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted seed form.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, or an
+        existing ``Generator`` which is returned unchanged (so a caller can
+        thread one RNG through a whole experiment).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )

@@ -1,0 +1,60 @@
+"""SI unit prefixes and conversion helpers.
+
+All internal computations in :mod:`repro` use base SI units (amperes,
+volts, seconds, joules, square metres).  The paper reports values in
+micro-amps, picoseconds, femtojoules and Mb/mm^2, so these constants keep
+conversions explicit and greppable instead of scattering bare ``1e-6``
+literals through the code.
+"""
+
+from __future__ import annotations
+
+#: SI prefix multipliers (value of one prefixed unit in base units).
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+_PREFIXES = {
+    "m": MILLI,
+    "u": MICRO,
+    "µ": MICRO,
+    "n": NANO,
+    "p": PICO,
+    "f": FEMTO,
+    "k": KILO,
+    "M": MEGA,
+    "G": GIGA,
+    "T": TERA,
+    "": 1.0,
+}
+
+
+def to_si(value: float, prefix: str) -> float:
+    """Convert ``value`` expressed with an SI ``prefix`` into base units.
+
+    >>> to_si(1.0, "u")   # 1 uA -> 1e-6 A
+    1e-06
+    """
+    try:
+        return value * _PREFIXES[prefix]
+    except KeyError:
+        raise ValueError(f"unknown SI prefix {prefix!r}") from None
+
+
+def from_si(value: float, prefix: str) -> float:
+    """Convert ``value`` in base SI units into the prefixed unit.
+
+    >>> from_si(1e-6, "u")   # 1e-6 A -> 1 uA
+    1.0
+    """
+    try:
+        return value / _PREFIXES[prefix]
+    except KeyError:
+        raise ValueError(f"unknown SI prefix {prefix!r}") from None

@@ -1,0 +1,70 @@
+"""Input validation helpers shared across the library.
+
+These raise early, with messages naming the offending argument, instead of
+letting numpy broadcast errors surface deep inside device or array code.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it unchanged."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Require an integer ``value >= 1``; return it as a built-in int."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Require ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return float(value)
+
+
+def check_array_1d(arr: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 1-D float array, rejecting other shapes."""
+    out = np.asarray(arr, dtype=float)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {out.shape}")
+    return out
+
+
+def check_array_2d(
+    arr: np.ndarray, name: str, shape: Tuple[int, int] = None
+) -> np.ndarray:
+    """Coerce to a 2-D float array, optionally enforcing an exact shape."""
+    out = np.asarray(arr, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {out.shape}")
+    if shape is not None and out.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {out.shape}")
+    return out
+
+
+def check_probability_matrix(arr: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 2-D array of probabilities in (0, 1]."""
+    out = check_array_2d(arr, name)
+    if np.any(~np.isfinite(out)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(out <= 0) or np.any(out > 1):
+        raise ValueError(f"{name} entries must lie in (0, 1]")
+    return out

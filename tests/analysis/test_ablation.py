@@ -1,0 +1,93 @@
+"""Ablation studies for the design choices."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ablation import (
+    format_ablation,
+    normalization_ablation,
+    prior_column_ablation,
+    truncation_sweep,
+)
+from repro.datasets import make_gaussian_blobs
+
+
+class TestNormalizationAblation:
+    @pytest.fixture(scope="class")
+    def results(self, iris):
+        return normalization_ablation(iris, q_l=1, epochs=10, seed=0)
+
+    def test_both_variants_present(self, results):
+        assert set(results) == {"column", "global"}
+
+    def test_column_normalisation_wins_at_1bit(self, results):
+        """Eq. 6's motivation: per-column normalisation preserves
+        accuracy at coarse likelihood precision."""
+        assert results["column"].mean() > results["global"].mean() + 0.02
+
+    def test_column_still_at_least_as_good_at_high_precision(self, iris):
+        # Global normalisation keeps hurting even at fine precision: the
+        # truncation depth is measured from the *global* maximum, so
+        # weak columns lose their entire dynamic range.
+        fine = normalization_ablation(iris, q_l=6, epochs=8, seed=0)
+        assert fine["column"].mean() >= fine["global"].mean() - 0.01
+
+    def test_invalid_normalization_mode(self):
+        from repro.core import quantize_model
+
+        with pytest.raises(ValueError, match="normalization"):
+            quantize_model(
+                [np.array([[0.5, 0.5], [0.5, 0.5]])],
+                np.array([0.5, 0.5]),
+                n_levels=4,
+                normalization="nope",
+            )
+
+
+class TestTruncationSweep:
+    @pytest.fixture(scope="class")
+    def results(self, iris):
+        return truncation_sweep(iris, decades=(0.25, 1.0, 4.0), epochs=8, seed=0)
+
+    def test_keys(self, results):
+        assert set(results) == {0.25, 1.0, 4.0}
+
+    def test_paper_depth_competitive(self, results):
+        """One decade (the Fig. 4a choice) lands within a few percent of
+        the best depth — it trades a little dynamic range for robustness
+        at coarse Q_l."""
+        means = {d: acc.mean() for d, acc in results.items()}
+        assert means[1.0] >= max(means.values()) - 0.05
+
+    def test_invalid_decades(self, iris):
+        with pytest.raises(ValueError):
+            truncation_sweep(iris, decades=(0.0,), epochs=1)
+
+
+class TestPriorColumnAblation:
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        return make_gaussian_blobs(
+            n_samples=400,
+            n_classes=3,
+            weights=[0.7, 0.2, 0.1],
+            class_sep=2.0,
+            scale=1.2,
+            seed=4,
+        )
+
+    @pytest.fixture(scope="class")
+    def results(self, skewed):
+        return prior_column_ablation(skewed, epochs=8, seed=0)
+
+    def test_variants(self, results):
+        assert set(results) == {"with_prior", "uniform_assumed"}
+
+    def test_prior_column_helps_on_skewed_data(self, results):
+        assert results["with_prior"].mean() >= results["uniform_assumed"].mean() - 0.01
+
+
+class TestFormat:
+    def test_format(self):
+        text = format_ablation({"a": np.array([0.9, 0.92])}, "study")
+        assert "study" in text and "91.00%" in text

@@ -1,0 +1,84 @@
+"""Table 1 comparison rows."""
+
+import pytest
+
+from repro.analysis import (
+    FEBIM_ROW,
+    PUBLISHED_ROWS,
+    build_table1,
+    improvement_factors,
+)
+from repro.analysis.comparison import format_table1
+
+
+class TestPublishedRows:
+    def test_three_baselines(self):
+        assert len(PUBLISHED_ROWS) == 3
+
+    def test_mtj_row(self):
+        row = PUBLISHED_ROWS[0]
+        assert row.technology == "MTJ"
+        assert row.clocks_per_inference == (2000.0, 2000.0)
+        assert row.storage_density_mb_mm2 is None  # "\*" in the paper
+
+    def test_memtransistor_row(self):
+        row = PUBLISHED_ROWS[1]
+        assert row.efficiency_tops_w == (0.0025, 0.0025)
+
+    def test_memristor_row_ranges(self):
+        row = PUBLISHED_ROWS[2]
+        assert row.clocks_per_inference == (1.0, 255.0)
+        assert row.efficiency_tops_w == (2.14, 13.39)
+        assert row.storage_density_mb_mm2 == pytest.approx(2.47)
+
+    def test_best_efficiency(self):
+        assert PUBLISHED_ROWS[2].best_efficiency == pytest.approx(13.39)
+
+
+class TestFebimRow:
+    def test_paper_values(self):
+        assert FEBIM_ROW.storage_density_mb_mm2 == pytest.approx(26.32)
+        assert FEBIM_ROW.efficiency_tops_w == (581.40, 581.40)
+        assert FEBIM_ROW.clocks_per_inference == (1.0, 1.0)
+
+    def test_single_cycle(self):
+        assert FEBIM_ROW.best_clocks == 1.0
+
+
+class TestImprovementFactors:
+    def test_paper_headline_factors(self):
+        density_x, efficiency_x = improvement_factors()
+        assert density_x == pytest.approx(10.7, abs=0.1)
+        assert efficiency_x == pytest.approx(43.4, abs=0.2)
+
+
+class TestBuildAndFormat:
+    def test_build_default(self):
+        rows = build_table1()
+        assert len(rows) == 4
+        assert rows[-1] is FEBIM_ROW
+
+    def test_build_with_measured_summary(self, fitted_pipeline, iris_split):
+        from repro.analysis import summarize_pipeline
+
+        _, X_te, _, y_te = iris_split
+        summary = summarize_pipeline(fitted_pipeline, X_te[:20], y_te[:20])
+        rows = build_table1(summary)
+        assert "measured" in rows[-1].reference
+        assert rows[-1].storage_density_mb_mm2 == pytest.approx(26.32, abs=0.01)
+
+    def test_format_contains_all_rows(self):
+        text = format_table1()
+        for row in build_table1():
+            assert row.technology in text
+
+    def test_format_ranged_entries(self):
+        text = format_table1()
+        assert "1~255" in text
+        assert "2.14~13.39" in text
+
+    def test_format_unreported_density(self):
+        # The RNG prototypes report no storage density.
+        lines = format_table1().splitlines()
+        mtj_line = next(l for l in lines if "MTJ" in l)
+        assert " - " in mtj_line or mtj_line.rstrip().split()[-3] == "-"

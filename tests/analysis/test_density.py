@@ -1,0 +1,44 @@
+"""Area/density metrics — Table 1's exact derivations."""
+
+import pytest
+
+from repro.analysis import array_area, computing_density, storage_density
+from repro.crossbar import CircuitParameters
+from repro.devices import MultiLevelCellSpec
+
+
+class TestStorageDensity:
+    def test_paper_headline_26_32(self):
+        """2 bit / 0.076 um^2 = 26.32 Mb/mm^2 (Table 1)."""
+        assert storage_density() == pytest.approx(26.32, abs=0.01)
+
+    def test_scales_with_bits(self):
+        d2 = storage_density(MultiLevelCellSpec(n_levels=4))
+        d4 = storage_density(MultiLevelCellSpec(n_levels=16))
+        assert d4 == pytest.approx(2 * d2)
+
+    def test_scales_inverse_with_area(self):
+        small = storage_density(params=CircuitParameters(cell_area=0.038e-12))
+        assert small == pytest.approx(2 * storage_density(), rel=1e-6)
+
+
+class TestArrayArea:
+    def test_iris_macro(self):
+        # 3 x 64 cells x 0.076 um^2 = 14.592 um^2.
+        assert array_area(3, 64) == pytest.approx(14.592e-12)
+
+    def test_invalid_dims(self):
+        with pytest.raises((ValueError, TypeError)):
+            array_area(0, 4)
+
+
+class TestComputingDensity:
+    def test_paper_headline_0_69(self):
+        """10 ops on the 3x64 iris macro -> 0.69 MO/mm^2 (Table 1)."""
+        assert computing_density(10, array_area(3, 64)) == pytest.approx(0.69, abs=0.005)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            computing_density(0, 1e-12)
+        with pytest.raises(ValueError):
+            computing_density(10, 0)

@@ -1,0 +1,90 @@
+"""Op counting, TOPS/W, performance summaries."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PerformanceSummary,
+    ops_per_inference,
+    summarize_pipeline,
+    tops_per_watt,
+)
+
+
+class TestOpsPerInference:
+    def test_iris_is_10(self):
+        """k=3 classes, 4 activated cells/row: 3*(4-1)+1 = 10 (Table 1)."""
+        assert ops_per_inference(3, 4) == 10
+
+    def test_with_prior_column(self):
+        assert ops_per_inference(3, 5) == 13
+
+    def test_single_active_cell(self):
+        # No additions, just the WTA op.
+        assert ops_per_inference(4, 1) == 1
+
+    def test_invalid(self):
+        with pytest.raises((ValueError, TypeError)):
+            ops_per_inference(0, 4)
+
+
+class TestTopsPerWatt:
+    def test_paper_headline_581(self):
+        """10 ops / 17.20 fJ = 581.40 TOPS/W (Table 1)."""
+        assert tops_per_watt(10, 17.20e-15) == pytest.approx(581.40, abs=0.01)
+
+    def test_scaling(self):
+        assert tops_per_watt(20, 17.20e-15) == pytest.approx(
+            2 * tops_per_watt(10, 17.20e-15), rel=1e-9
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            tops_per_watt(10, 0.0)
+
+
+class TestPerformanceSummary:
+    @pytest.fixture()
+    def summary(self):
+        return PerformanceSummary(
+            rows=3,
+            cols=64,
+            bits_per_cell=2.0,
+            ops=10,
+            energy_per_inference=17.20e-15,
+            delay_per_inference=370e-12,
+            accuracy=0.9464,
+        )
+
+    def test_storage_density(self, summary):
+        assert summary.storage_density_mb_mm2 == pytest.approx(26.32, abs=0.01)
+
+    def test_computing_density(self, summary):
+        assert summary.computing_density_mo_mm2 == pytest.approx(0.69, abs=0.01)
+
+    def test_efficiency(self, summary):
+        assert summary.efficiency_tops_w == pytest.approx(581.40, abs=0.01)
+
+    def test_single_cycle(self, summary):
+        assert summary.clocks_per_inference == 1
+
+    def test_format_lines(self, summary):
+        text = summary.format_lines()
+        assert "26.32" in text and "581.4" in text and "94.64" in text
+
+
+class TestSummarizePipeline:
+    def test_measured_summary_matches_paper(self, fitted_pipeline, iris_split):
+        _, X_te, _, y_te = iris_split
+        summary = summarize_pipeline(fitted_pipeline, X_te[:30], y_te[:30])
+        assert summary.rows == 3 and summary.cols == 64
+        assert summary.ops == 10
+        assert summary.storage_density_mb_mm2 == pytest.approx(26.32, abs=0.01)
+        assert summary.efficiency_tops_w == pytest.approx(581.4, rel=0.10)
+        assert summary.accuracy > 0.8
+
+    def test_unfitted_pipeline_rejected(self):
+        from repro.core.pipeline import FeBiMPipeline
+
+        with pytest.raises(RuntimeError):
+            summarize_pipeline(FeBiMPipeline(), np.zeros((1, 4)), np.zeros(1))

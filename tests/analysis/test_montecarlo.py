@@ -1,0 +1,52 @@
+"""Monte-Carlo variation sweeps (Fig. 8c)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import variation_sweep
+from repro.analysis.montecarlo import summarize_sweep
+
+
+class TestVariationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, iris):
+        return variation_sweep(
+            iris, sigmas_mv=(0.0, 45.0), epochs=8, seed=0
+        )
+
+    def test_keys_are_sigmas(self, sweep):
+        assert set(sweep) == {0.0, 45.0}
+
+    def test_epoch_counts(self, sweep):
+        for acc in sweep.values():
+            assert acc.shape == (8,)
+
+    def test_accuracies_valid(self, sweep):
+        for acc in sweep.values():
+            assert np.all((acc >= 0) & (acc <= 1))
+
+    def test_variation_degrades_mean(self, sweep):
+        assert sweep[45.0].mean() <= sweep[0.0].mean() + 0.01
+
+    def test_drop_in_paper_band(self, sweep):
+        # ~5 % mean drop at 45 mV (Fig. 8c); allow a generous band for
+        # the small epoch count used in tests.
+        drop = sweep[0.0].mean() - sweep[45.0].mean()
+        assert 0.0 <= drop < 0.15
+
+    def test_negative_sigma_rejected(self, iris):
+        with pytest.raises(ValueError):
+            variation_sweep(iris, sigmas_mv=(-1.0,), epochs=1)
+
+    def test_reproducible(self, iris):
+        a = variation_sweep(iris, sigmas_mv=(15.0,), epochs=3, seed=9)
+        b = variation_sweep(iris, sigmas_mv=(15.0,), epochs=3, seed=9)
+        np.testing.assert_array_equal(a[15.0], b[15.0])
+
+
+class TestSummarizeSweep:
+    def test_format(self):
+        results = {0.0: np.array([0.9, 0.95]), 45.0: np.array([0.85, 0.9])}
+        text = summarize_sweep(results)
+        assert "sigma_vth" in text
+        assert text.count("\n") == 2

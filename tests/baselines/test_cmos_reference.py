@@ -1,0 +1,68 @@
+"""Software reference and von Neumann cost model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SoftwareBayesianReference, VonNeumannCostModel
+from repro.bayes import FeatureDiscretizer
+
+
+class TestSoftwareReference:
+    def test_matches_gnb(self, iris_split):
+        X_tr, X_te, y_tr, _ = iris_split
+        ref = SoftwareBayesianReference().fit(X_tr, y_tr)
+        from repro.bayes import GaussianNaiveBayes
+
+        gnb = GaussianNaiveBayes().fit(X_tr, y_tr)
+        np.testing.assert_array_equal(ref.predict(X_te), gnb.predict(X_te))
+
+    def test_score(self, iris_split):
+        X_tr, X_te, y_tr, y_te = iris_split
+        ref = SoftwareBayesianReference().fit(X_tr, y_tr)
+        assert ref.score(X_te, y_te) > 0.85
+
+    def test_discrete_model_consistent(self, iris_split):
+        """The float64 discrete reference tracks the continuous GNBC."""
+        X_tr, X_te, y_tr, _ = iris_split
+        ref = SoftwareBayesianReference().fit(X_tr, y_tr)
+        disc = FeatureDiscretizer.from_bits(6).fit(X_tr)
+        model = ref.discrete_model(list(disc.edges_))
+        agreement = np.mean(
+            model.predict(disc.transform(X_te)) == ref.predict(X_te)
+        )
+        assert agreement > 0.9
+
+
+class TestVonNeumannCostModel:
+    @pytest.fixture()
+    def cpu(self):
+        return VonNeumannCostModel()
+
+    def test_iris_fetch_count(self, cpu):
+        # 3 classes x (4 likelihoods + 1 prior) = 15 fetches.
+        assert cpu.inference_cost(3, 4)["fetches"] == 15
+
+    def test_op_count(self, cpu):
+        # 3*4 adds + 2 compares.
+        assert cpu.inference_cost(3, 4)["ops"] == 14
+
+    def test_energy_dominated_by_memory(self, cpu):
+        cost = cpu.inference_cost(3, 4)
+        memory = cost["fetches"] * cpu.e_dram_access
+        assert memory / cost["energy"] > 0.9
+
+    def test_latency(self, cpu):
+        cost = cpu.inference_cost(3, 4)
+        assert cost["latency"] == pytest.approx(cost["cycles"] * cpu.t_cycle)
+
+    def test_ratio_vs_febim_large(self, cpu):
+        # Table 1's motivation: orders of magnitude over IMC.
+        assert cpu.energy_ratio_vs(17.2e-15, 3, 4) > 1000
+
+    def test_invalid_dimensions(self, cpu):
+        with pytest.raises((ValueError, TypeError)):
+            cpu.inference_cost(0, 4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            VonNeumannCostModel(e_dram_access=0.0)

@@ -1,0 +1,119 @@
+"""Memristor Bayesian machine baseline (stochastic computing)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LinearFeedbackShiftRegister, MemristorBayesianMachine
+
+
+@pytest.fixture()
+def machine():
+    tables = [
+        np.array([[0.9, 0.05, 0.05], [0.1, 0.1, 0.8]]),
+        np.array([[0.8, 0.2], [0.3, 0.7]]),
+    ]
+    return MemristorBayesianMachine(tables, np.array([0.5, 0.5]))
+
+
+class TestLFSR:
+    def test_period_is_maximal(self):
+        lfsr = LinearFeedbackShiftRegister(seed=1)
+        seen = {lfsr.state}
+        for _ in range(LinearFeedbackShiftRegister.PERIOD):
+            lfsr.step()
+            if lfsr.state in seen and len(seen) < LinearFeedbackShiftRegister.PERIOD:
+                break
+            seen.add(lfsr.state)
+        assert len(seen) == LinearFeedbackShiftRegister.PERIOD
+
+    def test_never_zero(self):
+        lfsr = LinearFeedbackShiftRegister(seed=0xACE1)
+        for _ in range(5000):
+            assert lfsr.step() != 0
+
+    def test_bytes_cover_range(self):
+        lfsr = LinearFeedbackShiftRegister(seed=7)
+        stream = lfsr.byte_stream(4000)
+        assert stream.min() < 10 and stream.max() > 245
+
+    def test_bytes_roughly_uniform(self):
+        lfsr = LinearFeedbackShiftRegister(seed=3)
+        stream = lfsr.byte_stream(20000)
+        assert abs(stream.mean() - 127.5) < 5.0
+
+    def test_deterministic(self):
+        a = LinearFeedbackShiftRegister(seed=5).byte_stream(50)
+        b = LinearFeedbackShiftRegister(seed=5).byte_stream(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_seed(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(seed=0)
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(seed=2**16)
+
+
+class TestMachineStorage:
+    def test_byte_quantisation_normalised_per_column(self, machine):
+        # Each likelihood column's max maps to the full byte.
+        for table in machine.likelihood_bytes:
+            assert np.all(table.max(axis=0) == 255)
+
+    def test_stored_bytes_shape(self, machine):
+        bytes_matrix = machine.stored_bytes_for(np.array([0, 1]))
+        assert bytes_matrix.shape == (2, 3)  # prior + 2 features
+
+    def test_quant_bits_cap(self):
+        with pytest.raises(ValueError, match="<= 8"):
+            MemristorBayesianMachine(
+                [np.array([[0.5, 0.5]])], np.array([1.0]), quant_bits=9
+            )
+
+    def test_evidence_shape_checked(self, machine):
+        with pytest.raises(ValueError):
+            machine.stored_bytes_for(np.array([0]))
+
+
+class TestInference:
+    def test_counts_monotone_in_cycles(self, machine):
+        short = machine.infer_counts(np.array([0, 0]), n_cycles=16)
+        long = machine.infer_counts(np.array([0, 0]), n_cycles=255)
+        assert long.sum() >= short.sum()
+
+    def test_counts_bounded_by_cycles(self, machine):
+        counts = machine.infer_counts(np.array([0, 0]), n_cycles=100)
+        assert np.all(counts <= 100)
+
+    def test_long_streams_follow_exact_posterior(self, machine):
+        evidence = np.array([0, 0])  # strongly favours class 0
+        exact = machine.exact_log_posterior(evidence)
+        pred = machine.predict_one(evidence, n_cycles=255)
+        assert pred == int(np.argmax(exact))
+
+    def test_predict_batch(self, machine):
+        X = np.array([[0, 0], [2, 1], [0, 1]])
+        preds = machine.predict(X, n_cycles=255)
+        assert preds.shape == (3,)
+        assert preds[0] == 0 and preds[1] == 1
+
+    def test_accuracy_improves_with_cycles(self, machine):
+        """The 1-255 cycles/inference trade-off of Table 1."""
+        rng = np.random.default_rng(0)
+        n = 150
+        y = rng.integers(0, 2, n)
+        X = np.zeros((n, 2), dtype=int)
+        X[:, 0] = np.where(y == 0, 0, 2)
+        X[:, 1] = np.where(y == 0, 0, 1)
+        acc_short = machine.score(X, y, n_cycles=1)
+        acc_long = machine.score(X, y, n_cycles=128)
+        assert acc_long >= acc_short
+        assert acc_long > 0.95
+
+    def test_deterministic_given_seed(self, machine):
+        a = machine.infer_counts(np.array([1, 0]), n_cycles=64, lfsr_seed=123)
+        b = machine.infer_counts(np.array([1, 0]), n_cycles=64, lfsr_seed=123)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_cycles(self, machine):
+        with pytest.raises((ValueError, TypeError)):
+            machine.infer_counts(np.array([0, 0]), n_cycles=0)

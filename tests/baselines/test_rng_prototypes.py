@@ -1,0 +1,118 @@
+"""RNG-based binary-evidence Bayesian prototypes [13, 14]."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BinaryRngBayesianPrototype, StochasticRngSource
+
+
+class TestStochasticSource:
+    def test_sigmoid_transfer(self):
+        source = StochasticRngSource()
+        assert source.probability(0.0) == pytest.approx(0.5)
+        assert source.probability(10.0) > 0.99
+        assert source.probability(-10.0) < 0.01
+
+    def test_control_inverse(self):
+        source = StochasticRngSource(u0=0.3, u_scale=2.0)
+        for p in (0.1, 0.5, 0.9):
+            assert source.probability(source.control_for(p)) == pytest.approx(p)
+
+    def test_control_for_bounds(self):
+        source = StochasticRngSource()
+        with pytest.raises(ValueError):
+            source.control_for(0.0)
+        with pytest.raises(ValueError):
+            source.control_for(1.0)
+
+    def test_bitstream_rate(self):
+        source = StochasticRngSource(seed=0)
+        stream = source.bitstream(0.3, 20000)
+        assert stream.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_bitstream_binary(self):
+        stream = StochasticRngSource(seed=1).bitstream(0.5, 100)
+        assert set(np.unique(stream)) <= {0, 1}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            StochasticRngSource().bitstream(1.5, 10)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            StochasticRngSource(u_scale=0.0)
+
+
+class TestBinaryPrototype:
+    @pytest.fixture()
+    def prototype(self):
+        likelihoods = [
+            np.array([[0.9, 0.1], [0.2, 0.8]]),
+            np.array([[0.7, 0.3], [0.4, 0.6]]),
+        ]
+        return BinaryRngBayesianPrototype(
+            likelihoods, np.array([0.5, 0.5]), n_cycles=2000, seed=0
+        )
+
+    def test_exact_posterior_bayes(self, prototype):
+        post = prototype.exact_posterior(np.array([0, 0]))
+        expected = np.array([0.5 * 0.9 * 0.7, 0.5 * 0.2 * 0.4])
+        expected /= expected.sum()
+        np.testing.assert_allclose(post, expected)
+
+    def test_counts_track_posterior(self, prototype):
+        counts = prototype.infer_counts(np.array([0, 0]))
+        assert counts[0] > counts[1]
+
+    def test_predict_matches_exact_for_clear_cases(self, prototype):
+        for evidence in ([0, 0], [1, 1]):
+            ev = np.array(evidence)
+            exact = int(np.argmax(prototype.exact_posterior(ev)))
+            assert prototype.predict_one(ev) == exact
+
+    def test_batch_predict(self, prototype):
+        X = np.array([[0, 0], [1, 1], [0, 1]])
+        assert prototype.predict(X).shape == (3,)
+
+    def test_score(self, prototype):
+        X = np.array([[0, 0], [1, 1]])
+        y = np.array([0, 1])
+        assert prototype.score(X, y) == 1.0
+
+    def test_nonbinary_evidence_rejected(self, prototype):
+        with pytest.raises(ValueError, match="binary"):
+            prototype.infer_counts(np.array([0, 2]))
+
+    def test_nonbinary_table_rejected(self):
+        with pytest.raises(ValueError, match="binary"):
+            BinaryRngBayesianPrototype(
+                [np.ones((2, 3)) / 3], np.array([0.5, 0.5])
+            )
+
+    def test_probability_range_checked(self):
+        with pytest.raises(ValueError):
+            BinaryRngBayesianPrototype(
+                [np.array([[1.2, -0.2], [0.5, 0.5]])], np.array([0.5, 0.5])
+            )
+
+    def test_zero_probability_evidence(self):
+        proto = BinaryRngBayesianPrototype(
+            [np.array([[1.0, 0.0], [1.0, 0.0]])], np.array([0.5, 0.5]), seed=0
+        )
+        with pytest.raises(ValueError, match="zero probability"):
+            proto.exact_posterior(np.array([1]))
+
+    def test_short_streams_noisier(self):
+        """Fewer cycles -> more decision errors on a close call."""
+        likelihoods = [np.array([[0.55, 0.45], [0.45, 0.55]])]
+        errors = {16: 0, 4000: 0}
+        for cycles, _ in errors.items():
+            proto = BinaryRngBayesianPrototype(
+                likelihoods, np.array([0.5, 0.5]), n_cycles=cycles, seed=1
+            )
+            wrong = 0
+            for _ in range(40):
+                if proto.predict_one(np.array([0])) != 0:
+                    wrong += 1
+            errors[cycles] = wrong
+        assert errors[16] >= errors[4000]

@@ -1,0 +1,119 @@
+"""Categorical naive Bayes."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import CategoricalNaiveBayes
+
+
+@pytest.fixture()
+def tiny():
+    """3-level feature pair with a deterministic class pattern."""
+    X = np.array([[0, 0], [0, 1], [1, 0], [2, 2], [2, 1], [1, 2]])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    return CategoricalNaiveBayes(n_levels=3, alpha=1.0).fit(X, y), X, y
+
+
+class TestFit:
+    def test_likelihood_rows_sum_to_one(self, tiny):
+        model, _, _ = tiny
+        for table in model.likelihoods_:
+            np.testing.assert_allclose(table.sum(axis=1), 1.0)
+
+    def test_laplace_smoothing_no_zeros(self, tiny):
+        model, _, _ = tiny
+        for table in model.likelihoods_:
+            assert np.all(table > 0)
+
+    def test_counts_reflected(self, tiny):
+        model, _, _ = tiny
+        # Class 0 saw feature-0 levels [0, 0, 1]: counts (2,1,0)+alpha.
+        np.testing.assert_allclose(
+            model.likelihoods_[0][0], np.array([3.0, 2.0, 1.0]) / 6.0
+        )
+
+    def test_prior_from_frequencies(self, tiny):
+        model, _, _ = tiny
+        np.testing.assert_allclose(model.class_prior_, [0.5, 0.5])
+
+    def test_out_of_range_levels_rejected(self):
+        with pytest.raises(ValueError, match="levels must lie"):
+            CategoricalNaiveBayes(n_levels=2).fit(np.array([[2]]), np.array([0]))
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalNaiveBayes(n_levels=2).fit(np.array([[-1]]), np.array([0]))
+
+    def test_alpha_zero_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CategoricalNaiveBayes(n_levels=2, alpha=0.0)
+
+
+class TestPredict:
+    def test_training_accuracy(self, tiny):
+        model, X, y = tiny
+        assert model.score(X, y) == 1.0
+
+    def test_proba_rows_sum_to_one(self, tiny):
+        model, X, _ = tiny
+        np.testing.assert_allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CategoricalNaiveBayes(n_levels=2).predict(np.zeros((1, 1), dtype=int))
+
+    def test_wrong_feature_count(self, tiny):
+        model, _, _ = tiny
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 3), dtype=int))
+
+    def test_jll_matches_manual(self, tiny):
+        model, _, _ = tiny
+        x = np.array([[0, 0]])
+        expected = np.log(model.class_prior_).copy()
+        for f in range(2):
+            expected += np.log(model.likelihoods_[f][:, 0])
+        np.testing.assert_allclose(model.joint_log_likelihood(x)[0], expected)
+
+
+class TestFromTables:
+    def test_tables_normalised(self):
+        tables = [np.array([[2.0, 2.0], [1.0, 3.0]])]
+        model = CategoricalNaiveBayes.from_tables(tables, np.array([0.5, 0.5]))
+        np.testing.assert_allclose(model.likelihoods_[0][0], [0.5, 0.5])
+        np.testing.assert_allclose(model.likelihoods_[0][1], [0.25, 0.75])
+
+    def test_prior_normalised(self):
+        tables = [np.array([[1.0, 1.0], [1.0, 1.0]])]
+        model = CategoricalNaiveBayes.from_tables(tables, np.array([3.0, 1.0]))
+        np.testing.assert_allclose(model.class_prior_, [0.75, 0.25])
+
+    def test_custom_classes(self):
+        tables = [np.array([[0.9, 0.1], [0.1, 0.9]])]
+        model = CategoricalNaiveBayes.from_tables(
+            tables, np.array([0.5, 0.5]), classes=np.array([10, 20])
+        )
+        assert model.predict(np.array([[0]]))[0] == 10
+        assert model.predict(np.array([[1]]))[0] == 20
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            CategoricalNaiveBayes.from_tables(
+                [np.ones((2, 3)), np.ones((3, 3))], np.array([0.5, 0.5])
+            )
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            CategoricalNaiveBayes.from_tables(
+                [np.array([[0.5, -0.5], [0.5, 0.5]])], np.array([0.5, 0.5])
+            )
+
+    def test_zero_row_rejected(self):
+        with pytest.raises(ValueError, match="all-zero"):
+            CategoricalNaiveBayes.from_tables(
+                [np.array([[0.0, 0.0], [0.5, 0.5]])], np.array([0.5, 0.5])
+            )
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalNaiveBayes.from_tables([], np.array([1.0]))

@@ -1,0 +1,129 @@
+"""Evidence discretisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes import FeatureDiscretizer
+
+
+@pytest.fixture()
+def fitted():
+    X = np.array([[0.0, 10.0], [1.0, 20.0], [2.0, 30.0], [4.0, 50.0]])
+    return FeatureDiscretizer(n_levels=4).fit(X), X
+
+
+class TestConstruction:
+    def test_from_bits(self):
+        assert FeatureDiscretizer.from_bits(4).n_levels == 16
+
+    def test_from_bits_q1(self):
+        assert FeatureDiscretizer.from_bits(1).n_levels == 2
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            FeatureDiscretizer(0)
+
+    def test_invalid_bits(self):
+        with pytest.raises((ValueError, TypeError)):
+            FeatureDiscretizer.from_bits(0)
+
+
+class TestFitTransform:
+    def test_ranges_learned(self, fitted):
+        disc, _ = fitted
+        np.testing.assert_allclose(disc.mins_, [0.0, 10.0])
+        np.testing.assert_allclose(disc.maxs_, [4.0, 50.0])
+
+    def test_edges_shape(self, fitted):
+        disc, _ = fitted
+        assert disc.edges_.shape == (2, 5)
+
+    def test_min_maps_to_zero(self, fitted):
+        disc, _ = fitted
+        levels = disc.transform(np.array([[0.0, 10.0]]))
+        assert levels.tolist() == [[0, 0]]
+
+    def test_max_maps_to_top_level(self, fitted):
+        disc, _ = fitted
+        levels = disc.transform(np.array([[4.0, 50.0]]))
+        assert levels.tolist() == [[3, 3]]
+
+    def test_out_of_range_clamped(self, fitted):
+        disc, _ = fitted
+        levels = disc.transform(np.array([[-100.0, 1e6]]))
+        assert levels.tolist() == [[0, 3]]
+
+    def test_interior_binning(self, fitted):
+        disc, _ = fitted
+        # Feature 0 spans [0, 4] in 4 bins of width 1.
+        levels = disc.transform(np.array([[0.5, 10.0], [1.5, 10.0], [3.9, 10.0]]))
+        assert levels[:, 0].tolist() == [0, 1, 3]
+
+    def test_constant_feature_usable(self):
+        X = np.array([[5.0, 1.0], [5.0, 2.0], [5.0, 3.0]])
+        disc = FeatureDiscretizer(4).fit(X)
+        levels = disc.transform(X)
+        assert np.all(levels[:, 0] == levels[0, 0])
+
+    def test_fit_transform_equivalent(self, fitted):
+        disc, X = fitted
+        np.testing.assert_array_equal(
+            disc.transform(X), FeatureDiscretizer(4).fit_transform(X)
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FeatureDiscretizer(4).transform(np.zeros((1, 2)))
+
+    def test_wrong_width_raises(self, fitted):
+        disc, _ = fitted
+        with pytest.raises(ValueError):
+            disc.transform(np.zeros((1, 3)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureDiscretizer(4).fit(np.empty((0, 2)))
+
+    @given(
+        n_levels=st.integers(min_value=1, max_value=64),
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_levels_in_range(self, n_levels, values):
+        X = np.asarray(values)[:, None]
+        disc = FeatureDiscretizer(n_levels).fit(X)
+        levels = disc.transform(X)
+        assert levels.min() >= 0 and levels.max() < n_levels
+
+    @given(n_levels=st.integers(min_value=2, max_value=32))
+    @settings(max_examples=25, deadline=None)
+    def test_property_monotone(self, n_levels):
+        X = np.linspace(0, 1, 50)[:, None]
+        disc = FeatureDiscretizer(n_levels).fit(X)
+        levels = disc.transform(X)[:, 0]
+        assert np.all(np.diff(levels) >= 0)
+
+
+class TestInverse:
+    def test_bin_centers(self, fitted):
+        disc, _ = fitted
+        np.testing.assert_allclose(disc.bin_centers(0), [0.5, 1.5, 2.5, 3.5])
+
+    def test_inverse_transform_roundtrip_within_bin(self, fitted):
+        disc, X = fitted
+        levels = disc.transform(X)
+        recon = disc.inverse_transform(levels)
+        # Reconstruction error is at most half a bin width.
+        widths = (disc.maxs_ - disc.mins_) / disc.n_levels
+        assert np.all(np.abs(recon - np.clip(X, disc.mins_, disc.maxs_)) <= widths / 2 + 1e-12)
+
+    def test_inverse_rejects_bad_levels(self, fitted):
+        disc, _ = fitted
+        with pytest.raises(ValueError, match="out of range"):
+            disc.inverse_transform(np.array([[4, 0]]))

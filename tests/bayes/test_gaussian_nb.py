@@ -1,0 +1,169 @@
+"""Gaussian naive Bayes classifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes import GaussianNaiveBayes
+from repro.datasets import make_gaussian_blobs
+
+
+@pytest.fixture()
+def simple_fit():
+    """Two well-separated 1-D classes with known statistics."""
+    X = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    return GaussianNaiveBayes().fit(X, y), X, y
+
+
+class TestFit:
+    def test_means(self, simple_fit):
+        model, _, _ = simple_fit
+        np.testing.assert_allclose(model.theta_[:, 0], [1.0, 11.0])
+
+    def test_variances(self, simple_fit):
+        model, _, _ = simple_fit
+        np.testing.assert_allclose(model.var_[:, 0], [2 / 3, 2 / 3], rtol=1e-6)
+
+    def test_priors_from_frequencies(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 0, 1])
+        model = GaussianNaiveBayes().fit(X, y)
+        np.testing.assert_allclose(model.class_prior_, [0.75, 0.25])
+
+    def test_explicit_priors_used(self, simple_fit):
+        _, X, y = simple_fit
+        model = GaussianNaiveBayes(priors=np.array([0.9, 0.1])).fit(X, y)
+        np.testing.assert_allclose(model.class_prior_, [0.9, 0.1])
+
+    def test_priors_must_sum_to_one(self, simple_fit):
+        _, X, y = simple_fit
+        with pytest.raises(ValueError, match="sum to 1"):
+            GaussianNaiveBayes(priors=np.array([0.5, 0.4])).fit(X, y)
+
+    def test_priors_length_checked(self, simple_fit):
+        _, X, y = simple_fit
+        with pytest.raises(ValueError, match="length"):
+            GaussianNaiveBayes(priors=np.array([1.0])).fit(X, y)
+
+    def test_string_labels_supported(self):
+        X = np.array([[0.0], [0.5], [10.0], [10.5]])
+        y = np.array(["ham", "ham", "spam", "spam"])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert set(model.predict(X)) <= {"ham", "spam"}
+
+    def test_zero_variance_feature_smoothed(self):
+        X = np.array([[1.0, 0.0], [1.0, 1.0], [1.0, 10.0], [1.0, 11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert np.all(model.var_ > 0)
+        assert model.score(X, y) == 1.0
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1e-9)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit(np.zeros((4, 2)), np.zeros(3))
+
+
+class TestPredict:
+    def test_separable_perfect(self, simple_fit):
+        model, X, y = simple_fit
+        np.testing.assert_array_equal(model.predict(X), y)
+
+    def test_midpoint_assignment(self, simple_fit):
+        model, _, _ = simple_fit
+        # Slightly nearer class 0's mean.
+        assert model.predict(np.array([[5.9]]))[0] == 0
+        assert model.predict(np.array([[6.1]]))[0] == 1
+
+    def test_proba_rows_sum_to_one(self, simple_fit):
+        model, X, _ = simple_fit
+        np.testing.assert_allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_log_proba_consistent(self, simple_fit):
+        model, X, _ = simple_fit
+        np.testing.assert_allclose(
+            np.exp(model.predict_log_proba(X)), model.predict_proba(X), rtol=1e-10
+        )
+
+    def test_prior_shifts_decision(self):
+        X = np.array([[0.0], [1.0], [2.0], [4.0], [5.0], [6.0]])
+        y = np.array([0, 0, 0, 1, 1, 1])
+        boundary = np.array([[3.0]])
+        heavy0 = GaussianNaiveBayes(priors=np.array([0.99, 0.01])).fit(X, y)
+        heavy1 = GaussianNaiveBayes(priors=np.array([0.01, 0.99])).fit(X, y)
+        assert heavy0.predict(boundary)[0] == 0
+        assert heavy1.predict(boundary)[0] == 1
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GaussianNaiveBayes().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count_raises(self, simple_fit):
+        model, _, _ = simple_fit
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 3)))
+
+    def test_blobs_high_accuracy(self):
+        d = make_gaussian_blobs(n_samples=600, class_sep=8.0, seed=0)
+        model = GaussianNaiveBayes().fit(d.data, d.target)
+        assert model.score(d.data, d.target) > 0.98
+
+    @given(shift=st.floats(min_value=3.0, max_value=50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_separated_classes_learned(self, shift):
+        rng = np.random.default_rng(0)
+        X0 = rng.normal(0.0, 0.5, size=(30, 2))
+        X1 = rng.normal(shift, 0.5, size=(30, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 30 + [1] * 30)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+
+class TestLikelihoodHelpers:
+    def test_feature_likelihood_peaks_at_mean(self, simple_fit):
+        model, _, _ = simple_fit
+        values = np.linspace(-5, 20, 501)
+        pdf = model.feature_likelihood(0, values)
+        assert values[np.argmax(pdf[0])] == pytest.approx(1.0, abs=0.1)
+        assert values[np.argmax(pdf[1])] == pytest.approx(11.0, abs=0.1)
+
+    def test_bin_likelihoods_rows_sum_to_one(self, simple_fit):
+        model, _, _ = simple_fit
+        edges = np.linspace(-5.0, 20.0, 9)
+        mass = model.bin_likelihoods(0, edges)
+        np.testing.assert_allclose(mass.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_bin_likelihoods_tails_clamped(self, simple_fit):
+        model, _, _ = simple_fit
+        # Narrow edge range: the tails fold into the outer bins.
+        edges = np.array([0.9, 1.0, 1.1])
+        mass = model.bin_likelihoods(0, edges)
+        np.testing.assert_allclose(mass.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_bin_likelihoods_nonnegative(self, simple_fit):
+        model, _, _ = simple_fit
+        mass = model.bin_likelihoods(0, np.linspace(-2, 14, 17))
+        assert np.all(mass >= 0)
+
+    def test_bin_mass_concentrates_near_mean(self, simple_fit):
+        model, _, _ = simple_fit
+        edges = np.linspace(-5.0, 20.0, 26)  # 1-unit bins
+        mass = model.bin_likelihoods(0, edges)
+        # Class 0 mean is 1.0 -> bin [0,1) or [1,2) dominates.
+        assert np.argmax(mass[0]) in (5, 6)
+        assert np.argmax(mass[1]) in (15, 16)
+
+    def test_bad_edges_rejected(self, simple_fit):
+        model, _, _ = simple_fit
+        with pytest.raises(ValueError, match="increasing"):
+            model.bin_likelihoods(0, np.array([1.0, 1.0, 2.0]))

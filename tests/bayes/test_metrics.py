@@ -1,0 +1,153 @@
+"""Posterior-quality / uncertainty metrics."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.metrics import (
+    brier_score,
+    currents_to_posterior,
+    expected_calibration_error,
+    negative_log_likelihood,
+    predictive_entropy,
+)
+
+
+class TestPredictiveEntropy:
+    def test_certain_is_zero(self):
+        assert predictive_entropy(np.array([[1.0, 0.0]]))[0] == 0.0
+
+    def test_uniform_is_log_k(self):
+        k = 4
+        proba = np.full((1, k), 1.0 / k)
+        assert predictive_entropy(proba)[0] == pytest.approx(np.log(k))
+
+    def test_monotone_in_uncertainty(self):
+        sharp = predictive_entropy(np.array([[0.95, 0.05]]))[0]
+        flat = predictive_entropy(np.array([[0.6, 0.4]]))[0]
+        assert flat > sharp
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            predictive_entropy(np.array([[0.7, 0.7]]))
+
+
+class TestBrierScore:
+    def test_perfect_is_zero(self):
+        proba = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert brier_score(proba, np.array([0, 1])) == 0.0
+
+    def test_worst_binary_is_two(self):
+        proba = np.array([[1.0, 0.0]])
+        assert brier_score(proba, np.array([1])) == pytest.approx(2.0)
+
+    def test_uniform_binary(self):
+        proba = np.array([[0.5, 0.5]])
+        assert brier_score(proba, np.array([0])) == pytest.approx(0.5)
+
+    def test_label_range_checked(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([[0.5, 0.5]]), np.array([2]))
+
+
+class TestNLL:
+    def test_matches_manual(self):
+        proba = np.array([[0.8, 0.2], [0.3, 0.7]])
+        expected = -(np.log(0.8) + np.log(0.7)) / 2
+        assert negative_log_likelihood(proba, np.array([0, 1])) == pytest.approx(expected)
+
+    def test_zero_probability_floored(self):
+        proba = np.array([[1.0, 0.0]])
+        assert np.isfinite(negative_log_likelihood(proba, np.array([1])))
+
+
+class TestECE:
+    def test_perfectly_calibrated_near_zero(self):
+        rng = np.random.default_rng(0)
+        n = 20000
+        p = rng.uniform(0.5, 1.0, n)
+        proba = np.column_stack([p, 1 - p])
+        y = (rng.random(n) > p).astype(int)  # class 0 with prob p
+        assert expected_calibration_error(proba, y) < 0.02
+
+    def test_overconfident_detected(self):
+        rng = np.random.default_rng(1)
+        n = 5000
+        proba = np.tile([0.99, 0.01], (n, 1))
+        y = (rng.random(n) < 0.4).astype(int)  # only 60 % correct
+        assert expected_calibration_error(proba, y) > 0.3
+
+    def test_invalid_bins(self):
+        with pytest.raises((ValueError, TypeError)):
+            expected_calibration_error(np.array([[0.5, 0.5]]), np.array([0]), n_bins=0)
+
+
+class TestCurrentsToPosterior:
+    def test_rows_sum_to_one(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        pipe = fitted_pipeline
+        levels = pipe.discretizer_.transform(X_te[:8])
+        currents = np.array([pipe.engine_.wordline_currents(l) for l in levels])
+        post = currents_to_posterior(
+            currents,
+            pipe.engine_.layout.activated_per_inference,
+            pipe.engine_.spec,
+            pipe.quantized_model_.quantizer.step,
+        )
+        np.testing.assert_allclose(post.sum(axis=1), 1.0)
+
+    def test_argmax_matches_hardware_prediction(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        pipe = fitted_pipeline
+        levels = pipe.discretizer_.transform(X_te[:20])
+        currents = np.array([pipe.engine_.wordline_currents(l) for l in levels])
+        post = currents_to_posterior(
+            currents,
+            pipe.engine_.layout.activated_per_inference,
+            pipe.engine_.spec,
+            pipe.quantized_model_.quantizer.step,
+        )
+        hw = pipe.engine_.predict(levels)
+        np.testing.assert_array_equal(post.argmax(axis=1), hw)
+
+    def test_tracks_quantized_digital_posterior(self, fitted_pipeline, iris_split):
+        """The analog posterior equals the quantised digital posterior
+        up to programming error."""
+        _, X_te, _, _ = iris_split
+        pipe = fitted_pipeline
+        levels = pipe.discretizer_.transform(X_te[:10])
+        scores = pipe.quantized_model_.level_scores(levels).astype(float)
+        step = pipe.quantized_model_.quantizer.step
+        log_digital = scores * step
+        log_digital -= log_digital.max(axis=1, keepdims=True)
+        digital = np.exp(log_digital)
+        digital /= digital.sum(axis=1, keepdims=True)
+
+        currents = np.array([pipe.engine_.wordline_currents(l) for l in levels])
+        analog = currents_to_posterior(
+            currents,
+            pipe.engine_.layout.activated_per_inference,
+            pipe.engine_.spec,
+            step,
+        )
+        np.testing.assert_allclose(analog, digital, atol=0.06)
+
+    def test_single_row_input(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        pipe = fitted_pipeline
+        level = pipe.discretizer_.transform(X_te[:1])[0]
+        currents = pipe.engine_.wordline_currents(level)
+        post = currents_to_posterior(
+            currents,
+            pipe.engine_.layout.activated_per_inference,
+            pipe.engine_.spec,
+            pipe.quantized_model_.quantizer.step,
+        )
+        assert post.shape == (1, 3)
+
+    def test_single_level_spec_rejected(self):
+        from repro.devices import MultiLevelCellSpec
+
+        with pytest.raises(ValueError):
+            currents_to_posterior(
+                np.array([1e-6, 2e-6]), 4, MultiLevelCellSpec(n_levels=1), 0.1
+            )

@@ -1,0 +1,220 @@
+"""Discrete Bayesian networks."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import BayesianNetwork, DiscreteNode, naive_bayes_network
+
+
+def rain_network():
+    """Classic rain -> sprinkler/wet-grass style chain (small)."""
+    net = BayesianNetwork()
+    net.add_node(DiscreteNode("rain", ["no", "yes"], cpt=np.array([0.8, 0.2])))
+    net.add_node(
+        DiscreteNode(
+            "sprinkler",
+            ["off", "on"],
+            parents=["rain"],
+            cpt=np.array([[0.6, 0.4], [0.99, 0.01]]),
+        )
+    )
+    net.add_node(
+        DiscreteNode(
+            "wet",
+            ["dry", "wet"],
+            parents=["rain", "sprinkler"],
+            cpt=np.array(
+                [
+                    [[1.0, 0.0], [0.1, 0.9]],
+                    [[0.2, 0.8], [0.01, 0.99]],
+                ]
+            ),
+        )
+    )
+    return net
+
+
+class TestNodeValidation:
+    def test_cpt_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DiscreteNode("a", ["x", "y"], cpt=np.array([0.5, 0.4]))
+
+    def test_cpt_nonnegative(self):
+        with pytest.raises(ValueError, match="negative"):
+            DiscreteNode("a", ["x", "y"], cpt=np.array([1.5, -0.5]))
+
+    def test_cpt_last_axis_matches_states(self):
+        with pytest.raises(ValueError, match="states"):
+            DiscreteNode("a", ["x", "y", "z"], cpt=np.array([0.5, 0.5]))
+
+    def test_state_index(self):
+        node = DiscreteNode("a", ["x", "y"], cpt=np.array([0.5, 0.5]))
+        assert node.state_index("y") == 1
+
+    def test_unknown_state(self):
+        node = DiscreteNode("a", ["x", "y"], cpt=np.array([0.5, 0.5]))
+        with pytest.raises(KeyError):
+            node.state_index("z")
+
+
+class TestStructure:
+    def test_topological_order(self):
+        net = rain_network()
+        order = net.node_names
+        assert order.index("rain") < order.index("sprinkler") < order.index("wet")
+
+    def test_duplicate_node_rejected(self):
+        net = rain_network()
+        with pytest.raises(ValueError, match="duplicate"):
+            net.add_node(DiscreteNode("rain", ["a"], cpt=np.array([1.0])))
+
+    def test_unknown_parent_rejected(self):
+        net = BayesianNetwork()
+        with pytest.raises(ValueError, match="unknown parent"):
+            net.add_node(
+                DiscreteNode("b", ["x"], parents=["missing"], cpt=np.array([[1.0]]))
+            )
+
+    def test_cpt_shape_vs_parents(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("a", ["x", "y"], cpt=np.array([0.5, 0.5])))
+        with pytest.raises(ValueError, match="CPT shape"):
+            # Parent has 2 states but CPT sized for 3.
+            net.add_node(
+                DiscreteNode(
+                    "b",
+                    ["u", "v"],
+                    parents=["a"],
+                    cpt=np.full((3, 2), 0.5),
+                )
+            )
+
+    def test_contains_and_len(self):
+        net = rain_network()
+        assert "rain" in net and "nothing" not in net
+        assert len(net) == 3
+
+
+class TestInference:
+    def test_joint_probability(self):
+        net = rain_network()
+        p = net.joint_probability({"rain": "yes", "sprinkler": "off", "wet": "wet"})
+        assert p == pytest.approx(0.2 * 0.99 * 0.8)
+
+    def test_joint_requires_full_assignment(self):
+        net = rain_network()
+        with pytest.raises(ValueError, match="missing"):
+            net.joint_probability({"rain": "yes"})
+
+    def test_posterior_no_evidence_is_marginal(self):
+        net = rain_network()
+        np.testing.assert_allclose(net.posterior("rain"), [0.8, 0.2])
+
+    def test_posterior_with_evidence_bayes_rule(self):
+        net = rain_network()
+        # P(rain | wet) computed by hand via enumeration.
+        post = net.posterior("rain", {"wet": "wet"})
+        # P(wet|no rain) = .6*0 + .4*.9 = .36 ; P(wet|rain) = .99*.8+.01*.99=.8019
+        expected_yes = 0.2 * 0.8019 / (0.2 * 0.8019 + 0.8 * 0.36)
+        assert post[1] == pytest.approx(expected_yes, rel=1e-10)
+
+    def test_posterior_sums_to_one(self):
+        net = rain_network()
+        assert net.posterior("sprinkler", {"wet": "wet"}).sum() == pytest.approx(1.0)
+
+    def test_query_in_evidence_is_onehot(self):
+        net = rain_network()
+        np.testing.assert_allclose(net.posterior("rain", {"rain": "yes"}), [0.0, 1.0])
+
+    def test_integer_evidence_indices(self):
+        net = rain_network()
+        a = net.posterior("rain", {"wet": 1})
+        b = net.posterior("rain", {"wet": "wet"})
+        np.testing.assert_allclose(a, b)
+
+    def test_zero_probability_evidence_raises(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("a", ["x", "y"], cpt=np.array([1.0, 0.0])))
+        net.add_node(
+            DiscreteNode(
+                "b",
+                ["u", "v"],
+                parents=["a"],
+                cpt=np.array([[0.5, 0.5], [0.5, 0.5]]),
+            )
+        )
+        # Evidence a="y" has prior probability zero.
+        with pytest.raises(ValueError, match="zero probability"):
+            net.posterior("b", {"a": "y"})
+
+    def test_map_state(self):
+        net = rain_network()
+        state, prob = net.map_state("rain", {"wet": "wet"})
+        assert state in ("no", "yes")
+        assert 0.0 < prob <= 1.0
+
+
+class TestSampling:
+    def test_sample_count_and_keys(self):
+        net = rain_network()
+        samples = net.sample(20, seed=0)
+        assert len(samples) == 20
+        assert set(samples[0]) == {"rain", "sprinkler", "wet"}
+
+    def test_sample_frequencies_converge(self):
+        net = rain_network()
+        samples = net.sample(4000, seed=1)
+        rain_rate = np.mean([s["rain"] == "yes" for s in samples])
+        assert rain_rate == pytest.approx(0.2, abs=0.03)
+
+    def test_deterministic_child_respected(self):
+        net = rain_network()
+        samples = net.sample(500, seed=2)
+        for s in samples:
+            if s["rain"] == "no" and s["sprinkler"] == "off":
+                assert s["wet"] == "dry"  # P(wet)=0 in that branch
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            rain_network().sample(0)
+
+
+class TestNaiveBayesNetwork:
+    def test_structure(self):
+        net = naive_bayes_network(
+            np.array([0.5, 0.5]),
+            [np.array([[0.9, 0.1], [0.2, 0.8]])],
+        )
+        assert len(net) == 2
+        assert net.node("evidence_1").parents == ["event"]
+
+    def test_posterior_matches_bayes_theorem(self):
+        prior = np.array([0.7, 0.3])
+        table = np.array([[0.9, 0.1], [0.2, 0.8]])
+        net = naive_bayes_network(prior, [table])
+        post = net.posterior("event", {"evidence_1": 1})
+        expected = prior * table[:, 1]
+        expected = expected / expected.sum()
+        np.testing.assert_allclose(post, expected)
+
+    def test_multiple_evidence_nodes_product(self):
+        prior = np.array([0.5, 0.5])
+        t1 = np.array([[0.9, 0.1], [0.5, 0.5]])
+        t2 = np.array([[0.8, 0.2], [0.3, 0.7]])
+        net = naive_bayes_network(prior, [t1, t2])
+        post = net.posterior("event", {"evidence_1": 0, "evidence_2": 1})
+        expected = prior * t1[:, 0] * t2[:, 1]
+        expected /= expected.sum()
+        np.testing.assert_allclose(post, expected)
+
+    def test_name_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            naive_bayes_network(
+                np.array([0.5, 0.5]),
+                [np.array([[0.9, 0.1], [0.2, 0.8]])],
+                evidence_names=["a", "b"],
+            )
+
+    def test_bad_table_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            naive_bayes_network(np.array([0.5, 0.5]), [np.ones((3, 2)) / 2])

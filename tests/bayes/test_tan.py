@@ -1,0 +1,151 @@
+"""Tree-augmented naive Bayes and its crossbar mapping."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import FeatureDiscretizer, TreeAugmentedNaiveBayes
+from repro.bayes.tan import conditional_mutual_information
+from repro.datasets import load_iris, train_test_split
+
+
+def correlated_dataset(n=600, seed=0):
+    """Feature 1 is a noisy copy of feature 0 given the class — TAN's
+    sweet spot, where naive independence is badly wrong."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    base = np.where(y == 0, rng.integers(0, 2, n), rng.integers(2, 4, n))
+    copy = np.clip(base + rng.integers(-1, 2, n), 0, 3)
+    noise = rng.integers(0, 4, n)
+    X = np.column_stack([base, copy, noise])
+    return X, y
+
+
+class TestConditionalMutualInformation:
+    def test_independent_features_near_zero(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        xi = rng.integers(0, 4, 4000)
+        xj = rng.integers(0, 4, 4000)
+        assert conditional_mutual_information(xi, xj, y, 4, 4) < 0.02
+
+    def test_copied_feature_high(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 2000)
+        xi = rng.integers(0, 4, 2000)
+        assert conditional_mutual_information(xi, xi, y, 4, 4) > 1.0
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 3, 200)
+        xi = rng.integers(0, 4, 200)
+        xj = rng.integers(0, 4, 200)
+        assert conditional_mutual_information(xi, xj, y, 4, 4) >= 0.0
+
+
+class TestStructureLearning:
+    def test_single_feature_root_only(self):
+        X = np.array([[0], [1], [2], [3]])
+        y = np.array([0, 0, 1, 1])
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        assert tan.parents_ == [None]
+
+    def test_tree_has_one_root(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        assert tan.parents_.count(None) == 1
+
+    def test_correlated_pair_linked(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        # Feature 1 should attach to feature 0 (or vice versa).
+        assert tan.parents_[1] == 0 or tan.parents_[0] == 1
+
+    def test_block_widths(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        widths = tan.block_widths()
+        assert widths[[p is None for p in tan.parents_].index(True)] == 4
+        assert sorted(set(widths)) == [4, 16]
+
+    def test_tables_normalised_per_parent_slice(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        for f, parent in enumerate(tan.parents_):
+            table = tan.tables_[f]
+            if parent is None:
+                np.testing.assert_allclose(table.sum(axis=1), 1.0)
+            else:
+                slices = table.reshape(table.shape[0], 4, 4)
+                np.testing.assert_allclose(slices.sum(axis=2), 1.0)
+
+    def test_level_range_checked(self):
+        with pytest.raises(ValueError):
+            TreeAugmentedNaiveBayes(n_levels=2).fit(
+                np.array([[3]]), np.array([0])
+            )
+
+
+class TestPrediction:
+    def test_beats_naive_on_correlated_data(self):
+        from repro.bayes import CategoricalNaiveBayes
+
+        X, y = correlated_dataset(seed=3)
+        X_tr, X_te = X[:400], X[400:]
+        y_tr, y_te = y[:400], y[400:]
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X_tr, y_tr)
+        naive = CategoricalNaiveBayes(n_levels=4).fit(X_tr, y_tr)
+        assert tan.score(X_te, y_te) >= naive.score(X_te, y_te) - 0.01
+
+    def test_iris_accuracy_reasonable(self):
+        data = load_iris()
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+        disc = FeatureDiscretizer.from_bits(3).fit(X_tr)
+        tan = TreeAugmentedNaiveBayes(n_levels=8).fit(disc.transform(X_tr), y_tr)
+        assert tan.score(disc.transform(X_te), y_te) > 0.8
+
+    def test_evidence_columns_joint_coding(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        cols = tan.evidence_columns(X[:5])
+        for f, parent in enumerate(tan.parents_):
+            if parent is None:
+                np.testing.assert_array_equal(cols[:5, f], X[:5, f])
+            else:
+                np.testing.assert_array_equal(
+                    cols[:5, f], X[:5, parent] * 4 + X[:5, f]
+                )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TreeAugmentedNaiveBayes(n_levels=4).predict(np.zeros((1, 2), dtype=int))
+
+
+class TestCrossbarMapping:
+    def test_engine_geometry(self):
+        X, y = correlated_dataset()
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X, y)
+        engine, _ = tan.to_engine(q_l=2, seed=0)
+        expected_cols = sum(tan.block_widths())  # uniform prior omitted?
+        if engine.layout.include_prior:
+            expected_cols += 1
+        assert engine.shape == (2, expected_cols)
+
+    def test_hardware_matches_digital_tan(self):
+        """The widened-block mapping preserves the TAN argmax on the
+        ideal crossbar (same invariant as naive Bayes)."""
+        X, y = correlated_dataset(seed=5)
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X[:400], y[:400])
+        engine, _ = tan.to_engine(q_l=4, seed=0)
+        cols = tan.evidence_columns(X[400:460])
+        hw = engine.predict(cols)
+        digital = engine.model.predict(cols)
+        np.testing.assert_array_equal(hw, digital)
+
+    def test_hardware_accuracy_tracks_software(self):
+        X, y = correlated_dataset(seed=7)
+        X_tr, X_te = X[:400], X[400:]
+        y_tr, y_te = y[:400], y[400:]
+        tan = TreeAugmentedNaiveBayes(n_levels=4).fit(X_tr, y_tr)
+        engine, _ = tan.to_engine(q_l=3, seed=0)
+        hw_acc = engine.score(tan.evidence_columns(X_te), y_te)
+        assert hw_acc > tan.score(X_te, y_te) - 0.08

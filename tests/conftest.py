@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Session-scoped fixtures cache the expensive objects (datasets, fitted
+pipelines) so the several-hundred-test suite stays fast; tests that
+mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_cancer, load_iris, load_wine, train_test_split
+
+
+@pytest.fixture(scope="session")
+def iris():
+    return load_iris()
+
+
+@pytest.fixture(scope="session")
+def wine():
+    return load_wine()
+
+
+@pytest.fixture(scope="session")
+def cancer():
+    return load_cancer()
+
+
+@pytest.fixture(scope="session")
+def iris_split(iris):
+    """A fixed stratified split of iris: (X_train, X_test, y_train, y_test)."""
+    return train_test_split(iris.data, iris.target, test_size=0.7, seed=123)
+
+
+@pytest.fixture(scope="session")
+def fitted_pipeline(iris_split):
+    """A fitted FeBiM pipeline at the paper's operating point (read-only)."""
+    X_train, _, y_train, _ = iris_split
+    return FeBiMPipeline(q_f=4, q_l=2, seed=321).fit(X_train, y_train)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2024)

@@ -1,0 +1,121 @@
+"""Bayesian network -> crossbar compiler."""
+
+import numpy as np
+import pytest
+
+from repro.bayes import BayesianNetwork, DiscreteNode, naive_bayes_network
+from repro.core import compile_network
+
+
+@pytest.fixture()
+def diag_net():
+    prior = np.array([0.7, 0.2, 0.1])
+    likelihoods = [
+        np.array([[0.6, 0.35, 0.05], [0.1, 0.3, 0.6], [0.15, 0.35, 0.5]]),
+        np.array([[0.2, 0.6, 0.2], [0.3, 0.5, 0.2], [0.1, 0.2, 0.7]]),
+    ]
+    return naive_bayes_network(
+        prior, likelihoods, class_name="disease", evidence_names=["fever", "cough"]
+    )
+
+
+@pytest.fixture()
+def compiled(diag_net):
+    return compile_network(diag_net, "disease", seed=0)
+
+
+class TestCompile:
+    def test_shape(self, compiled):
+        # 3 classes x (prior + 3 + 3 columns).
+        assert compiled.shape == (3, 7)
+
+    def test_nonuniform_prior_materialised(self, compiled):
+        assert compiled.engine.layout.include_prior
+
+    def test_evidence_order_topological(self, compiled):
+        assert compiled.evidence_nodes == ["fever", "cough"]
+
+    def test_class_states(self, compiled):
+        assert compiled.class_states == ["A1", "A2", "A3"]
+
+    def test_uniform_prior_omits_column(self):
+        net = naive_bayes_network(
+            np.array([0.5, 0.5]), [np.array([[0.9, 0.1], [0.2, 0.8]])]
+        )
+        comp = compile_network(net, "event", seed=0)
+        assert not comp.engine.layout.include_prior
+
+    def test_unknown_class_node(self, diag_net):
+        with pytest.raises(ValueError, match="unknown class node"):
+            compile_network(diag_net, "nonexistent")
+
+    def test_class_node_must_be_root(self, diag_net):
+        with pytest.raises(ValueError, match="must be a root"):
+            compile_network(diag_net, "fever")
+
+    def test_non_naive_structure_rejected(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("c", ["a", "b"], cpt=np.array([0.5, 0.5])))
+        net.add_node(
+            DiscreteNode(
+                "e1", ["x", "y"], parents=["c"], cpt=np.array([[0.9, 0.1], [0.2, 0.8]])
+            )
+        )
+        net.add_node(
+            DiscreteNode(
+                "e2",
+                ["u", "v"],
+                parents=["e1"],  # chained, not naive
+                cpt=np.array([[0.5, 0.5], [0.5, 0.5]]),
+            )
+        )
+        with pytest.raises(ValueError, match="conditioned directly"):
+            compile_network(net, "c")
+
+    def test_no_evidence_rejected(self):
+        net = BayesianNetwork()
+        net.add_node(DiscreteNode("c", ["a", "b"], cpt=np.array([0.5, 0.5])))
+        with pytest.raises(ValueError, match="no evidence"):
+            compile_network(net, "c")
+
+
+class TestInference:
+    def test_matches_exact_map_mostly(self, diag_net, compiled):
+        """The in-memory MAP matches exact enumeration except on
+        quantisation-coarsened near-ties."""
+        import itertools
+
+        agree = 0
+        total = 0
+        for f, c in itertools.product(range(3), range(3)):
+            evidence = {"fever": f, "cough": c}
+            exact_idx = int(np.argmax(diag_net.posterior("disease", evidence)))
+            post = diag_net.posterior("disease", evidence)
+            margin = np.sort(post)[-1] - np.sort(post)[-2]
+            hw_state = compiled.infer(evidence)
+            total += 1
+            if hw_state == compiled.class_states[exact_idx] or margin < 0.1:
+                agree += 1
+        assert agree == total
+
+    def test_string_and_index_evidence_equivalent(self, compiled):
+        by_index = compiled.infer({"fever": 2, "cough": 1})
+        by_name = compiled.infer({"fever": "b3", "cough": "b2"})
+        assert by_index == by_name
+
+    def test_missing_evidence_rejected(self, compiled):
+        with pytest.raises(ValueError, match="missing"):
+            compiled.infer({"fever": 1})
+
+    def test_unknown_state_name(self, compiled):
+        with pytest.raises(KeyError):
+            compiled.infer({"fever": "b9", "cough": 0})
+
+    def test_out_of_range_index(self, compiled):
+        with pytest.raises(ValueError):
+            compiled.infer({"fever": 3, "cough": 0})
+
+    def test_report_fields(self, compiled):
+        report = compiled.infer_report({"fever": 0, "cough": 0})
+        assert report.delay > 0 and report.energy.total > 0
+        assert report.wordline_currents.shape == (3,)

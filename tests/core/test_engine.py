@@ -1,0 +1,189 @@
+"""The FeBiM inference engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FeBiMEngine
+from repro.core.quantization import quantize_model
+from repro.devices import MultiLevelCellSpec, VariationModel
+
+
+def toy_model(prior=(0.5, 0.5), n_levels=4):
+    tables = [
+        np.array([[0.8, 0.15, 0.05], [0.1, 0.2, 0.7]]),
+        np.array([[0.6, 0.4], [0.2, 0.8]]),
+    ]
+    return quantize_model(tables, np.array(prior), n_levels=n_levels)
+
+
+@pytest.fixture()
+def engine():
+    return FeBiMEngine(toy_model(), seed=0)
+
+
+class TestConstruction:
+    def test_shape_matches_layout(self, engine):
+        assert engine.shape == (2, 5)  # 3 + 2 likelihood columns, no prior
+
+    def test_prior_column_materialised(self):
+        engine = FeBiMEngine(toy_model(prior=(0.8, 0.2)), seed=0)
+        assert engine.shape == (2, 6)
+        assert engine.layout.include_prior
+
+    def test_default_spec_follows_model(self):
+        engine = FeBiMEngine(toy_model(n_levels=8), seed=0)
+        assert engine.spec.n_levels == 8
+
+    def test_spec_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeBiMEngine(toy_model(n_levels=4), spec=MultiLevelCellSpec(n_levels=8))
+
+    def test_repr(self, engine):
+        assert "FeBiMEngine" in repr(engine)
+
+
+class TestIdealCurrents:
+    def test_affine_in_level_scores(self, engine):
+        evidence = np.array([0, 1])
+        scores = engine.model.level_scores(evidence[None, :])[0]
+        ideal = engine.ideal_wordline_currents(evidence)
+        n = engine.layout.activated_per_inference
+        expected = n * engine.spec.i_min + scores * engine.spec.level_separation()
+        np.testing.assert_allclose(ideal, expected)
+
+    def test_measured_close_to_ideal(self, engine):
+        evidence = np.array([0, 1])
+        measured = engine.wordline_currents(evidence)
+        ideal = engine.ideal_wordline_currents(evidence)
+        np.testing.assert_allclose(measured, ideal, rtol=0.06)
+
+    def test_range_within_spec(self, engine):
+        for e0 in range(3):
+            for e1 in range(2):
+                ideal = engine.ideal_wordline_currents(np.array([e0, e1]))
+                n = engine.layout.activated_per_inference
+                assert np.all(ideal >= n * engine.spec.i_min - 1e-12)
+                assert np.all(ideal <= n * engine.spec.i_max + 1e-12)
+
+
+class TestPredictions:
+    def test_hardware_equals_digital_when_ideal(self, engine):
+        """The core invariant: the ideal crossbar's argmax equals the
+        quantised digital argmax (same active-cell count per row)."""
+        evidence = np.array(
+            [[e0, e1] for e0 in range(3) for e1 in range(2)]
+        )
+        np.testing.assert_array_equal(
+            engine.predict(evidence), engine.model.predict(evidence)
+        )
+
+    def test_single_sample_shape(self, engine):
+        pred = engine.predict(np.array([0, 0]))
+        assert pred.shape == (1,)
+
+    def test_prior_column_breaks_ties_toward_likely_class(self):
+        # Identical likelihood rows: only the prior separates classes.
+        tables = [np.array([[0.5, 0.5], [0.5, 0.5]])]
+        model = quantize_model(tables, np.array([0.9, 0.1]), n_levels=4)
+        engine = FeBiMEngine(model, seed=0)
+        assert engine.predict(np.array([[0], [1]])).tolist() == [0, 0]
+
+    def test_score(self, engine):
+        evidence = np.array([[0, 0], [2, 1]])
+        y = engine.predict(evidence)
+        assert engine.score(evidence, y) == 1.0
+
+    def test_custom_class_labels_propagate(self):
+        tables = [np.array([[0.9, 0.1], [0.1, 0.9]])]
+        model = quantize_model(
+            tables, np.array([0.5, 0.5]), n_levels=4, classes=np.array([42, 99])
+        )
+        engine = FeBiMEngine(model, seed=0)
+        assert set(engine.predict(np.array([[0], [1]]))) <= {42, 99}
+
+    def test_variation_can_flip_predictions(self):
+        evidence = np.array([[1, 0]])  # a weakly separated input
+        ideal = FeBiMEngine(toy_model(), seed=0).predict(evidence)[0]
+        flips = 0
+        for seed in range(25):
+            noisy = FeBiMEngine(
+                toy_model(),
+                variation=VariationModel(sigma_vth=0.12),
+                seed=seed,
+            )
+            if noisy.predict(evidence)[0] != ideal:
+                flips += 1
+        assert flips > 0
+
+
+class TestInferenceReport:
+    def test_fields(self, engine):
+        report = engine.infer_one(np.array([0, 1]))
+        assert report.prediction in (0, 1)
+        assert report.wordline_currents.shape == (2,)
+        assert report.delay > 0
+        assert report.energy.total > 0
+
+    def test_delay_in_sub_ns_range(self, engine):
+        report = engine.infer_one(np.array([0, 1]))
+        assert 50e-12 < report.delay < 2e-9
+
+    def test_energy_in_fj_range(self, engine):
+        report = engine.infer_one(np.array([0, 1]))
+        assert 1e-15 < report.energy.total < 1e-12
+
+    def test_prediction_consistent_with_predict(self, engine):
+        evidence = np.array([2, 1])
+        assert engine.infer_one(evidence).prediction == engine.predict(evidence)[0]
+
+
+class TestStateMap:
+    def test_shape(self, engine):
+        assert engine.state_map().shape == engine.shape
+
+    def test_values_are_spec_levels(self, engine):
+        levels = MultiLevelCellSpec(n_levels=4).level_currents()
+        unique = np.unique(engine.state_map())
+        for value in unique:
+            assert np.min(np.abs(levels - value)) < 1e-12
+
+    def test_measured_map_close(self, engine):
+        ideal = engine.state_map()
+        measured = engine.measured_state_map()
+        np.testing.assert_allclose(measured, ideal, atol=0.05e-6)
+
+
+class TestArgmaxInvariantProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n_levels_evidence=st.integers(min_value=2, max_value=5),
+        n_features=st.integers(min_value=1, max_value=4),
+        n_classes=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_ideal_hardware_matches_digital(
+        self, seed, n_levels_evidence, n_features, n_classes
+    ):
+        """Property: for any random model, zero-variation crossbar
+        predictions equal the quantised digital model's predictions."""
+        rng = np.random.default_rng(seed)
+        tables = []
+        for _ in range(n_features):
+            t = rng.random((n_classes, n_levels_evidence)) + 0.01
+            tables.append(t / t.sum(axis=1, keepdims=True))
+        prior = rng.random(n_classes) + 0.1
+        prior /= prior.sum()
+        model = quantize_model(tables, prior, n_levels=4)
+        engine = FeBiMEngine(model, seed=0)
+        evidence = rng.integers(0, n_levels_evidence, size=(12, n_features))
+        # Exactly-tied digital scores are broken by sub-LSB programming
+        # imprecision in the analog domain; the invariant applies to
+        # samples with a unique digital maximum.
+        scores = model.level_scores(evidence)
+        top = np.max(scores, axis=1)
+        untied = (scores == top[:, None]).sum(axis=1) == 1
+        np.testing.assert_array_equal(
+            engine.predict(evidence)[untied], model.predict(evidence)[untied]
+        )

@@ -1,0 +1,116 @@
+"""Model serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FeBiMEngine, quantize_model
+from repro.devices import MultiLevelCellSpec
+from repro.io import (
+    engine_manifest,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+
+
+@pytest.fixture()
+def model():
+    tables = [
+        np.array([[0.7, 0.2, 0.1], [0.1, 0.3, 0.6]]),
+        np.array([[0.5, 0.5], [0.9, 0.1]]),
+    ]
+    return quantize_model(tables, np.array([0.8, 0.2]), n_levels=4)
+
+
+class TestDictRoundtrip:
+    def test_levels_preserved(self, model):
+        rebuilt, _ = model_from_dict(model_to_dict(model))
+        for a, b in zip(rebuilt.likelihood_levels, model.likelihood_levels):
+            np.testing.assert_array_equal(a, b)
+
+    def test_prior_preserved(self, model):
+        rebuilt, _ = model_from_dict(model_to_dict(model))
+        np.testing.assert_array_equal(rebuilt.prior_levels, model.prior_levels)
+
+    def test_uniform_prior_none_preserved(self):
+        tables = [np.array([[0.9, 0.1], [0.2, 0.8]])]
+        m = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        rebuilt, _ = model_from_dict(model_to_dict(m))
+        assert rebuilt.prior_levels is None
+
+    def test_quantizer_preserved(self, model):
+        rebuilt, _ = model_from_dict(model_to_dict(model))
+        assert rebuilt.quantizer.n_levels == 4
+        assert rebuilt.quantizer.lo == pytest.approx(model.quantizer.lo)
+
+    def test_spec_preserved(self, model):
+        spec = MultiLevelCellSpec(n_levels=4, i_min=0.2e-6, i_max=2.0e-6)
+        _, rebuilt_spec = model_from_dict(model_to_dict(model, spec))
+        assert rebuilt_spec.i_min == pytest.approx(0.2e-6)
+        assert rebuilt_spec.i_max == pytest.approx(2.0e-6)
+
+    def test_predictions_identical(self, model):
+        rebuilt, _ = model_from_dict(model_to_dict(model))
+        X = np.array([[0, 0], [1, 1], [2, 0]])
+        np.testing.assert_array_equal(rebuilt.predict(X), model.predict(X))
+
+    def test_spec_level_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="levels"):
+            model_to_dict(model, MultiLevelCellSpec(n_levels=8))
+
+    def test_bad_version_rejected(self, model):
+        data = model_to_dict(model)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict(data)
+
+    def test_out_of_range_levels_rejected(self, model):
+        data = model_to_dict(model)
+        data["likelihood_levels"][0][0][0] = 7
+        with pytest.raises(ValueError, match="out-of-range"):
+            model_from_dict(data)
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, model, tmp_path):
+        path = save_model(tmp_path / "model.json", model)
+        rebuilt, spec = load_model(path)
+        X = np.array([[2, 1]])
+        np.testing.assert_array_equal(rebuilt.predict(X), model.predict(X))
+        assert spec.n_levels == 4
+
+    def test_file_is_plain_json(self, model, tmp_path):
+        path = save_model(tmp_path / "model.json", model)
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+
+    def test_engine_from_loaded_model(self, model, tmp_path):
+        path = save_model(tmp_path / "model.json", model)
+        rebuilt, spec = load_model(path)
+        a = FeBiMEngine(model, seed=0)
+        b = FeBiMEngine(rebuilt, spec=spec, seed=0)
+        X = np.array([[0, 1], [2, 0]])
+        np.testing.assert_array_equal(a.predict(X), b.predict(X))
+
+
+class TestEngineManifest:
+    def test_manifest_contents(self, model):
+        engine = FeBiMEngine(model, seed=0)
+        manifest = engine_manifest(engine)
+        assert manifest["rows"] == 2
+        assert manifest["cols"] == 6  # prior + 3 + 2
+        assert len(manifest["write_configurations"]) == 4
+        assert len(manifest["level_matrix"]) == 2
+
+    def test_manifest_json_serialisable(self, model):
+        engine = FeBiMEngine(model, seed=0)
+        text = json.dumps(engine_manifest(engine))
+        assert "write_configurations" in text
+
+    def test_pulse_counts_monotone(self, model):
+        engine = FeBiMEngine(model, seed=0)
+        pulses = [c["n_pulses"] for c in engine_manifest(engine)["write_configurations"]]
+        assert pulses == sorted(pulses)

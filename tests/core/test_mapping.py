@@ -1,0 +1,109 @@
+"""Level -> current mapping and crossbar matrix assembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import ProbabilityMapper, levels_to_currents
+from repro.core.quantization import quantize_model
+from repro.devices import MultiLevelCellSpec
+
+
+@pytest.fixture()
+def model_uniform():
+    tables = [
+        np.array([[0.7, 0.2, 0.1], [0.1, 0.3, 0.6]]),
+        np.array([[0.5, 0.5], [0.9, 0.1]]),
+    ]
+    return quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+
+
+@pytest.fixture()
+def model_prior():
+    tables = [np.array([[0.7, 0.3], [0.4, 0.6]])]
+    return quantize_model(tables, np.array([0.8, 0.2]), n_levels=4)
+
+
+class TestLevelsToCurrents:
+    def test_fig4_linear_map(self):
+        spec = MultiLevelCellSpec(n_levels=10)
+        currents = levels_to_currents(np.arange(10), spec)
+        np.testing.assert_allclose(currents, np.linspace(0.1e-6, 1.0e-6, 10))
+
+    def test_paper_2bit_levels(self):
+        spec = MultiLevelCellSpec(n_levels=4)
+        np.testing.assert_allclose(
+            levels_to_currents(np.array([0, 1, 2, 3]), spec),
+            [0.1e-6, 0.4e-6, 0.7e-6, 1.0e-6],
+        )
+
+    def test_matrix_input(self):
+        spec = MultiLevelCellSpec(n_levels=4)
+        out = levels_to_currents(np.array([[0, 3], [1, 2]]), spec)
+        assert out.shape == (2, 2)
+
+    def test_out_of_range(self):
+        spec = MultiLevelCellSpec(n_levels=4)
+        with pytest.raises(ValueError):
+            levels_to_currents(np.array([4]), spec)
+
+    @given(level=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_property_affine(self, level):
+        spec = MultiLevelCellSpec(n_levels=16)
+        current = float(levels_to_currents(np.array([level]), spec)[0])
+        assert current == pytest.approx(
+            spec.i_min + level * spec.level_separation(), rel=1e-12
+        )
+
+
+class TestProbabilityMapper:
+    def test_layout_no_prior(self, model_uniform):
+        layout = ProbabilityMapper(MultiLevelCellSpec(4)).layout_for(model_uniform)
+        assert not layout.include_prior
+        assert layout.total_cols == 3 + 2
+
+    def test_layout_with_prior(self, model_prior):
+        layout = ProbabilityMapper(MultiLevelCellSpec(4)).layout_for(model_prior)
+        assert layout.include_prior
+        assert layout.total_cols == 1 + 2
+
+    def test_level_matrix_all_programmed(self, model_uniform):
+        matrix, _ = ProbabilityMapper(MultiLevelCellSpec(4)).level_matrix(model_uniform)
+        assert np.all(matrix >= 0)
+
+    def test_level_matrix_blocks_match_tables(self, model_uniform):
+        mapper = ProbabilityMapper(MultiLevelCellSpec(4))
+        matrix, layout = mapper.level_matrix(model_uniform)
+        for f, table in enumerate(model_uniform.likelihood_levels):
+            np.testing.assert_array_equal(matrix[:, layout.block_slice(f)], table)
+
+    def test_prior_column_placed(self, model_prior):
+        mapper = ProbabilityMapper(MultiLevelCellSpec(4))
+        matrix, layout = mapper.level_matrix(model_prior)
+        np.testing.assert_array_equal(
+            matrix[:, layout.prior_col], model_prior.prior_levels
+        )
+
+    def test_spec_level_mismatch_rejected(self, model_uniform):
+        with pytest.raises(ValueError, match="states"):
+            ProbabilityMapper(MultiLevelCellSpec(8)).level_matrix(model_uniform)
+
+    def test_current_matrix_values(self, model_uniform):
+        mapper = ProbabilityMapper(MultiLevelCellSpec(4))
+        currents = mapper.current_matrix(model_uniform)
+        assert currents.min() >= 0.1e-6 - 1e-12
+        assert currents.max() <= 1.0e-6 + 1e-12
+
+    def test_fig4_example_keys(self):
+        mapper = ProbabilityMapper()
+        example = mapper.fig4_example(np.array([1.0, 0.5, 0.05]))
+        assert set(example) == {"p", "p_truncated", "p_prime", "levels", "currents"}
+
+    def test_fig4_example_truncation(self):
+        mapper = ProbabilityMapper()
+        example = mapper.fig4_example(np.array([1.0, 0.05]))
+        assert example["p_truncated"][1] == pytest.approx(0.1)
+        assert example["currents"][1] == pytest.approx(0.1e-6)
+        assert example["currents"][0] == pytest.approx(1.0e-6)

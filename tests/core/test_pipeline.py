@@ -1,0 +1,142 @@
+"""End-to-end pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline, run_epochs
+from repro.datasets import load_iris, make_gaussian_blobs, train_test_split
+from repro.devices import VariationModel
+
+
+class TestFit:
+    def test_iris_builds_3x64(self, fitted_pipeline):
+        assert fitted_pipeline.engine_.shape == (3, 64)
+
+    def test_uniform_iris_prior_omitted(self, fitted_pipeline):
+        # Stratified split keeps iris balanced -> uniform prior -> no
+        # prior column (Fig. 8b).
+        assert not fitted_pipeline.engine_.layout.include_prior
+
+    def test_force_prior_column(self, iris_split):
+        X_tr, _, y_tr, _ = iris_split
+        pipe = FeBiMPipeline(q_f=4, q_l=2, force_prior_column=True, seed=0).fit(
+            X_tr, y_tr
+        )
+        assert pipe.engine_.shape == (3, 65)
+
+    def test_unbalanced_data_gets_prior_column(self):
+        d = make_gaussian_blobs(
+            n_samples=300, n_classes=2, weights=[0.8, 0.2], class_sep=6.0, seed=0
+        )
+        pipe = FeBiMPipeline(q_f=2, q_l=2, seed=0).fit(d.data, d.target)
+        assert pipe.engine_.layout.include_prior
+
+    def test_qf_sets_block_width(self, iris_split):
+        X_tr, _, y_tr, _ = iris_split
+        pipe = FeBiMPipeline(q_f=2, q_l=2, seed=0).fit(X_tr, y_tr)
+        assert pipe.engine_.shape == (3, 4 * 4)
+
+    def test_ql_sets_cell_levels(self, iris_split):
+        X_tr, _, y_tr, _ = iris_split
+        pipe = FeBiMPipeline(q_f=2, q_l=3, seed=0).fit(X_tr, y_tr)
+        assert pipe.engine_.spec.n_levels == 8
+
+    def test_invalid_bits(self):
+        with pytest.raises((ValueError, TypeError)):
+            FeBiMPipeline(q_f=0)
+        with pytest.raises((ValueError, TypeError)):
+            FeBiMPipeline(q_l=0)
+
+
+class TestPredict:
+    def test_modes_available(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        for mode in ("software", "quantized", "hardware"):
+            preds = fitted_pipeline.predict(X_te[:10], mode=mode)
+            assert preds.shape == (10,)
+
+    def test_invalid_mode(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        with pytest.raises(ValueError, match="mode"):
+            fitted_pipeline.predict(X_te, mode="quantum")
+
+    def test_hardware_equals_quantized_ideal(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        np.testing.assert_array_equal(
+            fitted_pipeline.predict(X_te, mode="hardware"),
+            fitted_pipeline.predict(X_te, mode="quantized"),
+        )
+
+    def test_paper_accuracy_band(self, fitted_pipeline, iris_split):
+        _, X_te, _, y_te = iris_split
+        acc = fitted_pipeline.score(X_te, y_te, mode="hardware")
+        assert acc > 0.85  # single split; the 100-epoch mean is ~93-95 %
+
+    def test_quantization_tracks_software(self, fitted_pipeline, iris_split):
+        _, X_te, _, y_te = iris_split
+        sw = fitted_pipeline.score(X_te, y_te, mode="software")
+        hw = fitted_pipeline.score(X_te, y_te, mode="hardware")
+        assert abs(sw - hw) < 0.08
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            FeBiMPipeline().predict(np.zeros((1, 4)))
+
+
+class TestCircuitReports:
+    def test_inference_report(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        report = fitted_pipeline.inference_report(X_te[0])
+        assert report.wordline_currents.shape == (3,)
+
+    def test_report_requires_1d(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        with pytest.raises(ValueError, match="1-D"):
+            fitted_pipeline.inference_report(X_te[:2])
+
+    def test_average_energy_near_table1(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        energy = fitted_pipeline.average_energy(X_te[:30])
+        assert energy == pytest.approx(17.2e-15, rel=0.10)
+
+    def test_average_delay_sub_ns(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        delay = fitted_pipeline.average_delay(X_te[:10])
+        assert 100e-12 < delay < 1e-9
+
+
+class TestRunEpochs:
+    def test_returns_epoch_count(self):
+        acc = run_epochs(load_iris(), epochs=5, seed=0)
+        assert acc.shape == (5,)
+
+    def test_accuracies_valid(self):
+        acc = run_epochs(load_iris(), epochs=5, seed=0)
+        assert np.all((acc >= 0) & (acc <= 1))
+
+    def test_reproducible(self):
+        a = run_epochs(load_iris(), epochs=4, seed=11)
+        b = run_epochs(load_iris(), epochs=4, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+    def test_software_mode(self):
+        acc = run_epochs(load_iris(), mode="software", epochs=4, seed=0)
+        assert acc.mean() > 0.9
+
+    def test_hardware_mode_with_variation(self):
+        acc = run_epochs(
+            load_iris(),
+            mode="hardware",
+            epochs=3,
+            variation=VariationModel.from_millivolts(45),
+            seed=0,
+        )
+        assert acc.mean() > 0.6
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_epochs(load_iris(), mode="nope", epochs=1)
+
+    def test_invalid_epochs(self):
+        with pytest.raises((ValueError, TypeError)):
+            run_epochs(load_iris(), epochs=0)

@@ -1,0 +1,237 @@
+"""Probability quantization and Eq. 6 normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quantization import (
+    LOG_DECADE,
+    UniformQuantizer,
+    log_normalize_columns,
+    log_normalize_vector,
+    quantize_model,
+)
+
+
+class TestLogNormalizeColumns:
+    def test_column_max_is_one(self):
+        table = np.array([[0.9, 0.2], [0.3, 0.8]])
+        out = log_normalize_columns(table)
+        np.testing.assert_allclose(out.max(axis=0), 1.0)
+
+    def test_fig4_range(self):
+        # Truncate at one decade, max P = 1 -> P' in [ln 0.1 + 1, 1]
+        # = [-1.303, 1.0], matching Fig. 4(a).
+        table = np.array([[1.0], [0.05]])
+        out = log_normalize_columns(table, clip_decades=1.0)
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[1, 0] == pytest.approx(1.0 - LOG_DECADE, rel=1e-12)
+        assert out[1, 0] == pytest.approx(-1.3026, abs=1e-3)
+
+    def test_truncation_relative_to_column_max(self):
+        # Column max 0.01: truncation happens one decade below *it*.
+        table = np.array([[0.01], [1e-9]])
+        out = log_normalize_columns(table)
+        assert out[1, 0] == pytest.approx(1.0 - LOG_DECADE)
+
+    def test_order_preserved_within_column(self):
+        table = np.array([[0.9, 0.1], [0.5, 0.6], [0.2, 0.9]])
+        out = log_normalize_columns(table)
+        for col in range(2):
+            assert np.array_equal(np.argsort(out[:, col]), np.argsort(table[:, col]))
+
+    def test_zero_probability_truncated_not_inf(self):
+        table = np.array([[1.0], [0.0]])
+        out = log_normalize_columns(table)
+        assert np.isfinite(out).all()
+        assert out[1, 0] == pytest.approx(1.0 - LOG_DECADE)
+
+    def test_wider_clip_keeps_more_range(self):
+        table = np.array([[1.0], [1e-3]])
+        one = log_normalize_columns(table, clip_decades=1.0)
+        four = log_normalize_columns(table, clip_decades=4.0)
+        assert four[1, 0] < one[1, 0]
+
+    def test_all_zero_column_rejected(self):
+        with pytest.raises(ValueError, match="entirely zero"):
+            log_normalize_columns(np.array([[0.0], [0.0]]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log_normalize_columns(np.array([[-0.1], [0.5]]))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            log_normalize_columns(np.array([0.5, 0.5]))
+
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=1e-6, max_value=1.0), min_size=2, max_size=5),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_range_and_max(self, rows):
+        width = min(len(r) for r in rows)
+        table = np.array([r[:width] for r in rows])
+        out = log_normalize_columns(table)
+        assert np.all(out <= 1.0 + 1e-12)
+        assert np.all(out >= 1.0 - LOG_DECADE - 1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0)
+
+
+class TestLogNormalizeVector:
+    def test_uniform_prior_all_ones(self):
+        out = log_normalize_vector(np.array([0.25, 0.25, 0.25, 0.25]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_max_is_one(self):
+        out = log_normalize_vector(np.array([0.7, 0.2, 0.1]))
+        assert out.max() == pytest.approx(1.0)
+
+    def test_order_preserved(self):
+        prior = np.array([0.5, 0.3, 0.2])
+        out = log_normalize_vector(prior)
+        assert np.array_equal(np.argsort(out), np.argsort(prior))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            log_normalize_vector(np.array([]))
+
+
+class TestUniformQuantizer:
+    def test_from_bits(self):
+        assert UniformQuantizer.from_bits(2).n_levels == 4
+        assert UniformQuantizer.from_bits(8).n_levels == 256
+
+    def test_range(self):
+        q = UniformQuantizer(4)
+        assert q.lo == pytest.approx(1.0 - LOG_DECADE)
+        assert q.hi == 1.0
+
+    def test_endpoints_map_to_extremes(self):
+        q = UniformQuantizer(4)
+        assert q.quantize(np.array([q.hi]))[0] == 3
+        assert q.quantize(np.array([q.lo]))[0] == 0
+
+    def test_out_of_range_clamped(self):
+        q = UniformQuantizer(4)
+        assert q.quantize(np.array([5.0]))[0] == 3
+        assert q.quantize(np.array([-5.0]))[0] == 0
+
+    def test_dequantize_roundtrip(self):
+        q = UniformQuantizer(16)
+        levels = np.arange(16)
+        np.testing.assert_array_equal(q.quantize(q.dequantize(levels)), levels)
+
+    def test_quantization_error_bounded(self):
+        q = UniformQuantizer(8)
+        values = np.linspace(q.lo, q.hi, 1001)
+        recon = q.dequantize(q.quantize(values))
+        assert np.max(np.abs(recon - values)) <= q.max_error() + 1e-12
+
+    def test_single_level(self):
+        q = UniformQuantizer(1)
+        assert q.quantize(np.array([0.0]))[0] == 0
+        assert q.dequantize(np.array([0]))[0] == 1.0
+        assert q.step == 0.0
+
+    def test_dequantize_range_checked(self):
+        q = UniformQuantizer(4)
+        with pytest.raises(ValueError):
+            q.dequantize(np.array([4]))
+
+    @given(
+        n_levels=st.integers(min_value=2, max_value=256),
+        value=st.floats(min_value=-1.303, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_nearest_level(self, n_levels, value):
+        q = UniformQuantizer(n_levels)
+        level = int(q.quantize(np.array([value]))[0])
+        recon = float(q.dequantize(np.array([level]))[0])
+        assert abs(recon - value) <= q.step / 2 + 1e-9
+
+    @given(values=st.lists(st.floats(min_value=-1.3, max_value=1.0), min_size=2, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_monotone(self, values):
+        q = UniformQuantizer(16)
+        arr = np.sort(np.asarray(values))
+        levels = q.quantize(arr)
+        assert np.all(np.diff(levels) >= 0)
+
+
+class TestQuantizeModel:
+    @pytest.fixture()
+    def tables(self):
+        return [
+            np.array([[0.7, 0.2, 0.1], [0.1, 0.3, 0.6]]),
+            np.array([[0.5, 0.5], [0.9, 0.1]]),
+        ]
+
+    def test_uniform_prior_omitted(self, tables):
+        model = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        assert model.prior_levels is None
+        assert not model.has_prior_column
+
+    def test_nonuniform_prior_kept(self, tables):
+        model = quantize_model(tables, np.array([0.8, 0.2]), n_levels=4)
+        assert model.prior_levels is not None
+        assert model.prior_levels[0] == 3  # max prior -> top level
+
+    def test_force_prior_column(self, tables):
+        model = quantize_model(
+            tables, np.array([0.5, 0.5]), n_levels=4, force_prior_column=True
+        )
+        assert model.has_prior_column
+        np.testing.assert_array_equal(model.prior_levels, [3, 3])
+
+    def test_level_shapes(self, tables):
+        model = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        assert model.n_features == 2
+        assert model.likelihood_levels[0].shape == (2, 3)
+        assert model.likelihood_levels[1].shape == (2, 2)
+
+    def test_column_max_hits_top_level(self, tables):
+        model = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        for table in model.likelihood_levels:
+            assert np.all(table.max(axis=0) == 3)
+
+    def test_level_scores_shape(self, tables):
+        model = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        scores = model.level_scores(np.array([[0, 1], [2, 0]]))
+        assert scores.shape == (2, 2)
+
+    def test_predict_matches_unquantized_when_fine(self, tables):
+        """At 8-bit quantisation the argmax must agree with float64."""
+        from repro.bayes import CategoricalNaiveBayes
+
+        prior = np.array([0.6, 0.4])
+        reference = CategoricalNaiveBayes.from_tables(
+            [tables[0]], prior
+        )
+        model = quantize_model([tables[0]], prior, n_levels=256)
+        X = np.array([[0], [1], [2]])
+        np.testing.assert_array_equal(model.predict(X), reference.predict(X))
+
+    def test_custom_classes(self, tables):
+        model = quantize_model(
+            tables, np.array([0.5, 0.5]), n_levels=4, classes=np.array([7, 9])
+        )
+        preds = model.predict(np.array([[0, 0]]))
+        assert preds[0] in (7, 9)
+
+    def test_mismatched_class_counts_rejected(self):
+        with pytest.raises(ValueError, match="disagree"):
+            quantize_model(
+                [np.ones((2, 3)) / 3, np.ones((3, 2)) / 2],
+                np.array([0.5, 0.5]),
+                n_levels=4,
+            )
+
+    def test_evidence_shape_checked(self, tables):
+        model = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        with pytest.raises(ValueError):
+            model.level_scores(np.array([[0, 1, 2]]))

@@ -1,0 +1,197 @@
+"""The FeFET crossbar array."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import FeFETCrossbar
+from repro.devices import MultiLevelCellSpec, VariationModel
+
+
+@pytest.fixture()
+def xbar():
+    return FeFETCrossbar(rows=3, cols=5, spec=MultiLevelCellSpec(n_levels=4), seed=0)
+
+
+class TestProgramming:
+    def test_fresh_array_erased(self, xbar):
+        assert np.all(xbar.levels == -1)
+        assert np.all(xbar.polarization_matrix() == 0.0)
+
+    def test_program_cell_records_level(self, xbar):
+        xbar.program_cell(1, 2, 3)
+        assert xbar.levels[1, 2] == 3
+
+    def test_programmed_current_near_target(self, xbar):
+        for level in range(4):
+            xbar.erase_all()
+            xbar.program_cell(0, 0, level)
+            got = xbar.cell_current(0, 0)
+            assert got == pytest.approx(
+                xbar.ideal_current_for_level(level), abs=0.05e-6
+            )
+
+    def test_program_matrix(self, xbar):
+        levels = np.array([[0, 1, 2, 3, 0], [3, 2, 1, 0, 3], [1, 1, 1, 1, 1]])
+        xbar.program_matrix(levels)
+        np.testing.assert_array_equal(xbar.levels, levels)
+
+    def test_program_matrix_minus_one_stays_erased(self, xbar):
+        levels = np.full((3, 5), -1)
+        levels[0, 0] = 2
+        xbar.program_matrix(levels)
+        assert xbar.levels[1, 1] == -1
+        assert xbar.polarization_matrix()[0, 0] > 0
+
+    def test_program_matrix_shape_checked(self, xbar):
+        with pytest.raises(ValueError, match="shape"):
+            xbar.program_matrix(np.zeros((2, 5), dtype=int))
+
+    def test_program_matrix_level_range_checked(self, xbar):
+        with pytest.raises(ValueError, match="out-of-range"):
+            xbar.program_matrix(np.full((3, 5), 4))
+
+    def test_program_out_of_bounds_cell(self, xbar):
+        with pytest.raises(IndexError):
+            xbar.program_cell(3, 0, 0)
+
+    def test_program_bad_level(self, xbar):
+        with pytest.raises(ValueError, match="level"):
+            xbar.program_cell(0, 0, 4)
+
+    def test_reprogramming_overwrites(self, xbar):
+        xbar.program_cell(0, 0, 3)
+        xbar.program_cell(0, 0, 0)
+        assert xbar.cell_current(0, 0) == pytest.approx(0.1e-6, abs=0.05e-6)
+
+    def test_write_pulse_total_accumulates(self, xbar):
+        assert xbar.write_pulse_total == 0
+        xbar.program_cell(0, 0, 3)
+        assert xbar.write_pulse_total > 0
+
+
+class TestWriteDisturb:
+    def test_disturb_shift_negligible(self):
+        xbar = FeFETCrossbar(rows=8, cols=8, seed=0)
+        rng = np.random.default_rng(1)
+        xbar.program_matrix(rng.integers(0, 4, size=(8, 8)))
+        # Drift well below a 10 mV fraction of the level step.
+        assert xbar.max_disturb_shift() < 1e-3
+
+    def test_disturb_grows_with_writes_but_stays_small(self):
+        xbar = FeFETCrossbar(rows=4, cols=2, seed=0)
+        xbar.program_cell(0, 0, 3)
+        first = xbar.max_disturb_shift()
+        for _ in range(20):
+            xbar.program_cell(1, 0, 3)
+            xbar.levels[1, 0] = 3
+        assert xbar.max_disturb_shift() >= first
+        assert xbar.max_disturb_shift() < 5e-3
+
+    def test_no_disturb_without_programming(self, xbar):
+        assert xbar.max_disturb_shift() == 0.0
+
+
+class TestReadout:
+    def test_wordline_sums_activated_cells(self, xbar):
+        xbar.program_matrix(np.full((3, 5), 3))
+        mask = np.zeros(5, dtype=bool)
+        mask[[0, 2]] = True
+        currents = xbar.wordline_currents(mask)
+        expected = 2 * xbar.cell_current(0, 0)
+        # Rows differ by the (tiny) accumulated write-disturb shift.
+        np.testing.assert_allclose(currents, expected, rtol=1e-3)
+
+    def test_inhibited_columns_contribute_nothing(self, xbar):
+        xbar.program_matrix(np.full((3, 5), 3))
+        one_col = np.zeros(5, dtype=bool)
+        one_col[0] = True
+        all_cols = np.ones(5, dtype=bool)
+        i_one = xbar.wordline_currents(one_col)
+        i_all = xbar.wordline_currents(all_cols)
+        np.testing.assert_allclose(i_all, 5 * i_one, rtol=1e-3)
+
+    def test_erased_cells_negligible_current(self, xbar):
+        currents = xbar.wordline_currents()
+        assert np.all(currents < 1e-9)
+
+    def test_index_list_accepted(self, xbar):
+        xbar.program_matrix(np.full((3, 5), 2))
+        a = xbar.wordline_currents([1, 3])
+        mask = np.zeros(5, dtype=bool)
+        mask[[1, 3]] = True
+        np.testing.assert_allclose(a, xbar.wordline_currents(mask))
+
+    def test_bad_mask_shape(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.wordline_currents(np.ones(4, dtype=bool))
+
+    def test_bad_index(self, xbar):
+        with pytest.raises(ValueError):
+            xbar.wordline_currents([5])
+
+    def test_current_matrix_shape(self, xbar):
+        assert xbar.current_matrix().shape == (3, 5)
+
+
+class TestVariation:
+    def test_zero_variation_deterministic(self):
+        a = FeFETCrossbar(rows=2, cols=2, seed=1)
+        b = FeFETCrossbar(rows=2, cols=2, seed=2)
+        for x in (a, b):
+            x.program_matrix(np.array([[0, 3], [3, 0]]))
+        np.testing.assert_allclose(
+            a.wordline_currents(), b.wordline_currents(), rtol=1e-12
+        )
+
+    def test_variation_changes_currents(self):
+        ideal = FeFETCrossbar(rows=2, cols=2, seed=3)
+        varied = FeFETCrossbar(
+            rows=2, cols=2, variation=VariationModel(sigma_vth=0.045), seed=3
+        )
+        for x in (ideal, varied):
+            x.program_matrix(np.array([[0, 3], [3, 0]]))
+        assert not np.allclose(
+            ideal.wordline_currents(), varied.wordline_currents(), rtol=1e-3
+        )
+
+    def test_variation_seed_reproducible(self):
+        kwargs = dict(rows=2, cols=2, variation=VariationModel(sigma_vth=0.045))
+        a = FeFETCrossbar(seed=5, **kwargs)
+        b = FeFETCrossbar(seed=5, **kwargs)
+        for x in (a, b):
+            x.program_matrix(np.array([[1, 2], [2, 1]]))
+        np.testing.assert_allclose(a.wordline_currents(), b.wordline_currents())
+
+    def test_read_noise_varies_per_read(self):
+        xbar = FeFETCrossbar(
+            rows=2,
+            cols=2,
+            variation=VariationModel(sigma_read=0.02),
+            seed=6,
+        )
+        xbar.program_matrix(np.array([[1, 2], [2, 1]]))
+        a = xbar.wordline_currents()
+        b = xbar.wordline_currents()
+        assert not np.allclose(a, b, rtol=1e-6)
+
+
+class TestGeometry:
+    def test_area(self, xbar):
+        assert xbar.area == pytest.approx(15 * 0.076e-12)
+
+    def test_storage_bits(self, xbar):
+        assert xbar.storage_bits() == pytest.approx(15 * 2.0)
+
+    def test_repr(self, xbar):
+        assert "3x5" in repr(xbar)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_wordline_count(self, rows, cols):
+        xbar = FeFETCrossbar(rows=rows, cols=cols, seed=0)
+        assert xbar.wordline_currents().shape == (rows,)

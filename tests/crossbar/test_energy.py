@@ -1,0 +1,109 @@
+"""Energy model and drivers (Fig. 6b/6d, Table 1 calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CircuitParameters, EnergyModel
+from repro.crossbar.drivers import (
+    bitline_switch_energy,
+    conduction_energy,
+    wordline_bias_energy,
+    write_pulse_energy,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return CircuitParameters()
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+class TestDrivers:
+    def test_bitline_energy_scales_with_rows_and_bls(self, params):
+        base = bitline_switch_energy(params, rows=2, n_active_bls=1)
+        assert bitline_switch_energy(params, 4, 1) == pytest.approx(2 * base)
+        assert bitline_switch_energy(params, 2, 3) == pytest.approx(3 * base)
+
+    def test_bitline_zero_bls(self, params):
+        assert bitline_switch_energy(params, 2, 0) == 0.0
+
+    def test_bitline_negative_rejected(self, params):
+        with pytest.raises(ValueError):
+            bitline_switch_energy(params, 2, -1)
+
+    def test_wordline_energy_scales(self, params):
+        base = wordline_bias_energy(params, 1, 16)
+        assert wordline_bias_energy(params, 3, 16) == pytest.approx(3 * base)
+        assert wordline_bias_energy(params, 1, 32) == pytest.approx(2 * base)
+
+    def test_conduction_energy(self, params):
+        e = conduction_energy(params, np.array([1e-6, 2e-6]), 300e-12)
+        assert e == pytest.approx(3e-6 * params.v_wl_read * 300e-12)
+
+    def test_conduction_rejects_negative_current(self, params):
+        with pytest.raises(ValueError):
+            conduction_energy(params, np.array([-1e-6]), 300e-12)
+
+    def test_write_energy_fj_scale(self, params):
+        # FeFET writes are ~fJ/bit (Sec. 2.1).
+        e = write_pulse_energy(params, rows=3, n_pulses=60)
+        assert 1e-15 < e < 1e-10
+
+    def test_write_energy_zero_pulses(self, params):
+        assert write_pulse_energy(params, 3, 0) == 0.0
+
+
+class TestEnergyModel:
+    def test_breakdown_parts_positive(self, model):
+        e = model.inference_energy(3, 64, 4, np.full(3, 2e-6))
+        for part in (e.bitline, e.wordline, e.conduction, e.mirrors, e.wta):
+            assert part > 0
+
+    def test_total_is_sum(self, model):
+        e = model.inference_energy(3, 64, 4, np.full(3, 2e-6))
+        assert e.total == pytest.approx(e.array + e.sensing)
+        assert e.array == pytest.approx(e.bitline + e.wordline + e.conduction)
+        assert e.sensing == pytest.approx(e.mirrors + e.wta)
+
+    def test_iris_operating_point_near_17fj(self, model):
+        """Table 1: ~17.20 fJ per iris inference."""
+        from repro.crossbar import DelayModel
+
+        currents = np.full(3, 4 * 0.55e-6)
+        delay = DelayModel().inference_delay(3, 64, i_total=float(currents.sum()))
+        e = model.inference_energy(3, 64, 4, currents, delay=delay)
+        assert e.total == pytest.approx(17.2e-15, rel=0.10)
+
+    def test_stress_energy_all_bls(self, model):
+        e = model.stress_energy(2, 256)
+        # Fig. 6(b) magnitude: tens of fJ.
+        assert 20e-15 < e.total < 120e-15
+
+    def test_fig6d_magnitude(self, model):
+        e = model.stress_energy(32, 32)
+        # Fig. 6(d) magnitude: ~250 fJ.
+        assert 150e-15 < e.total < 450e-15
+
+    def test_wide_array_array_dominated(self, model):
+        e = model.stress_energy(2, 256)
+        assert e.array > e.sensing
+
+    def test_tall_array_sensing_dominated(self, model):
+        e = model.stress_energy(32, 32)
+        assert e.sensing > e.array
+
+    def test_energy_monotone_in_cols(self, model):
+        totals = [model.stress_energy(2, c).total for c in (2, 8, 32, 128)]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_energy_monotone_in_rows(self, model):
+        totals = [model.stress_energy(r, 32).total for r in (2, 8, 32)]
+        assert all(b > a for a, b in zip(totals, totals[1:]))
+
+    def test_default_delay_computed(self, model):
+        e = model.inference_energy(2, 8, 2, np.full(2, 1e-6))
+        assert e.total > 0

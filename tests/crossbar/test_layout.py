@@ -1,0 +1,137 @@
+"""Bayesian array column layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import BayesianArrayLayout
+
+
+@pytest.fixture()
+def layout():
+    # iris-like: 4 features x 16 levels, 3 classes, no prior column.
+    return BayesianArrayLayout(
+        n_features=4, n_levels=16, n_classes=3, include_prior=False
+    )
+
+
+@pytest.fixture()
+def layout_prior():
+    return BayesianArrayLayout(n_features=2, n_levels=3, n_classes=2)
+
+
+class TestGeometry:
+    def test_iris_is_3x64(self, layout):
+        assert layout.total_rows == 3
+        assert layout.total_cols == 64
+
+    def test_prior_adds_column(self, layout_prior):
+        assert layout_prior.total_cols == 1 + 2 * 3
+
+    def test_prior_col_index(self, layout_prior):
+        assert layout_prior.prior_col == 0
+
+    def test_prior_col_without_prior_raises(self, layout):
+        with pytest.raises(ValueError, match="no prior column"):
+            layout.prior_col
+
+    def test_likelihood_col_layout(self, layout_prior):
+        # prior | f0:b0 b1 b2 | f1:b0 b1 b2
+        assert layout_prior.likelihood_col(0, 0) == 1
+        assert layout_prior.likelihood_col(0, 2) == 3
+        assert layout_prior.likelihood_col(1, 0) == 4
+        assert layout_prior.likelihood_col(1, 2) == 6
+
+    def test_likelihood_col_no_prior(self, layout):
+        assert layout.likelihood_col(0, 0) == 0
+        assert layout.likelihood_col(3, 15) == 63
+
+    def test_block_slice(self, layout):
+        sl = layout.block_slice(2)
+        assert (sl.start, sl.stop) == (32, 48)
+
+    def test_out_of_range_feature(self, layout):
+        with pytest.raises(ValueError):
+            layout.likelihood_col(4, 0)
+
+    def test_out_of_range_level(self, layout):
+        with pytest.raises(ValueError):
+            layout.likelihood_col(0, 16)
+
+    def test_activated_per_inference(self, layout, layout_prior):
+        assert layout.activated_per_inference == 4
+        assert layout_prior.activated_per_inference == 3
+
+    def test_column_labels(self, layout_prior):
+        labels = layout_prior.column_labels()
+        assert labels[0] == "prior"
+        assert labels[1] == "f0:b0"
+        assert len(labels) == layout_prior.total_cols
+
+
+class TestActivation:
+    def test_one_column_per_feature(self, layout):
+        mask = layout.active_columns(np.array([0, 5, 10, 15]))
+        assert mask.sum() == 4
+        assert mask[layout.likelihood_col(1, 5)]
+
+    def test_prior_always_active(self, layout_prior):
+        mask = layout_prior.active_columns(np.array([1, 2]))
+        assert mask[0]
+        assert mask.sum() == 3
+
+    def test_wrong_length_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.active_columns(np.array([0, 1]))
+
+    def test_batch_matches_single(self, layout):
+        batch = np.array([[0, 5, 10, 15], [15, 0, 3, 7]])
+        masks = layout.active_columns_batch(batch)
+        for i, levels in enumerate(batch):
+            np.testing.assert_array_equal(masks[i], layout.active_columns(levels))
+
+    def test_batch_out_of_range(self, layout):
+        with pytest.raises(ValueError, match="out of range"):
+            layout.active_columns_batch(np.array([[0, 0, 0, 16]]))
+
+    def test_batch_shape_checked(self, layout):
+        with pytest.raises(ValueError):
+            layout.active_columns_batch(np.zeros((2, 3), dtype=int))
+
+    @given(
+        n_features=st.integers(min_value=1, max_value=6),
+        n_levels=st.integers(min_value=1, max_value=8),
+        n_classes=st.integers(min_value=1, max_value=5),
+        include_prior=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_activation_count(
+        self, n_features, n_levels, n_classes, include_prior
+    ):
+        layout = BayesianArrayLayout(
+            n_features=n_features,
+            n_levels=n_levels,
+            n_classes=n_classes,
+            include_prior=include_prior,
+        )
+        levels = np.zeros(n_features, dtype=int)
+        mask = layout.active_columns(levels)
+        assert mask.sum() == layout.activated_per_inference
+        assert mask.shape == (layout.total_cols,)
+
+    @given(
+        n_features=st.integers(min_value=1, max_value=5),
+        n_levels=st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_distinct_columns_per_feature(self, n_features, n_levels):
+        layout = BayesianArrayLayout(
+            n_features=n_features, n_levels=n_levels, n_classes=2, include_prior=False
+        )
+        cols = {
+            layout.likelihood_col(f, v)
+            for f in range(n_features)
+            for v in range(n_levels)
+        }
+        assert len(cols) == n_features * n_levels

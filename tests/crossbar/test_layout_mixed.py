@@ -1,0 +1,88 @@
+"""Heterogeneous block widths (general Bayesian networks / TAN)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import BayesianArrayLayout
+
+
+@pytest.fixture()
+def mixed():
+    # A TAN-like layout: root feature (4 cols) + two joint blocks (16).
+    return BayesianArrayLayout(
+        n_features=3, n_levels=[4, 16, 16], n_classes=2, include_prior=True
+    )
+
+
+class TestMixedGeometry:
+    def test_total_cols(self, mixed):
+        assert mixed.total_cols == 1 + 4 + 16 + 16
+
+    def test_block_widths(self, mixed):
+        assert mixed.block_widths == (4, 16, 16)
+
+    def test_block_slices_contiguous(self, mixed):
+        s0, s1, s2 = (mixed.block_slice(f) for f in range(3))
+        assert (s0.start, s0.stop) == (1, 5)
+        assert (s1.start, s1.stop) == (5, 21)
+        assert (s2.start, s2.stop) == (21, 37)
+
+    def test_likelihood_col_per_block_bounds(self, mixed):
+        assert mixed.likelihood_col(0, 3) == 4
+        with pytest.raises(ValueError, match="0..3"):
+            mixed.likelihood_col(0, 4)
+        assert mixed.likelihood_col(1, 15) == 20
+
+    def test_uniform_accessor_raises_on_mixed(self, mixed):
+        with pytest.raises(ValueError, match="heterogeneous"):
+            mixed.n_levels
+
+    def test_uniform_accessor_works_when_uniform(self):
+        layout = BayesianArrayLayout(n_features=2, n_levels=[3, 3], n_classes=2)
+        assert layout.n_levels == 3
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            BayesianArrayLayout(n_features=3, n_levels=[4, 4], n_classes=2)
+
+    def test_equality(self, mixed):
+        twin = BayesianArrayLayout(
+            n_features=3, n_levels=[4, 16, 16], n_classes=2, include_prior=True
+        )
+        assert mixed == twin
+        other = BayesianArrayLayout(
+            n_features=3, n_levels=[4, 16, 8], n_classes=2, include_prior=True
+        )
+        assert mixed != other
+
+    def test_repr(self, mixed):
+        assert "widths=(4, 16, 16)" in repr(mixed)
+
+
+class TestMixedActivation:
+    def test_one_column_per_block(self, mixed):
+        mask = mixed.active_columns(np.array([3, 15, 0]))
+        assert mask.sum() == 4  # prior + 3 blocks
+        assert mask[mixed.prior_col]
+        assert mask[mixed.likelihood_col(1, 15)]
+
+    def test_per_block_range_enforced(self, mixed):
+        with pytest.raises(ValueError):
+            mixed.active_columns(np.array([4, 0, 0]))
+
+    def test_batch_respects_widths(self, mixed):
+        batch = np.array([[0, 0, 0], [3, 15, 15]])
+        masks = mixed.active_columns_batch(batch)
+        assert masks.shape == (2, mixed.total_cols)
+        assert masks.sum(axis=1).tolist() == [4, 4]
+
+    def test_batch_out_of_range_per_block(self, mixed):
+        with pytest.raises(ValueError, match="out of range"):
+            mixed.active_columns_batch(np.array([[0, 16, 0]]))
+
+    def test_labels_follow_widths(self, mixed):
+        labels = mixed.column_labels()
+        assert labels[0] == "prior"
+        assert labels[1] == "f0:b0" and labels[4] == "f0:b3"
+        assert labels[5] == "f1:b0"
+        assert len(labels) == mixed.total_cols

@@ -1,0 +1,49 @@
+"""Circuit parameters."""
+
+import dataclasses
+
+import pytest
+
+from repro.crossbar import CircuitParameters
+
+
+class TestDefaults:
+    def test_paper_operating_point(self):
+        p = CircuitParameters()
+        assert p.v_on == pytest.approx(0.5)
+        assert p.v_off == pytest.approx(-0.5)
+        assert p.v_write == pytest.approx(4.0)
+
+    def test_half_bias_disturb(self):
+        assert CircuitParameters().v_disturb == pytest.approx(2.0)
+
+    def test_bl_swing(self):
+        assert CircuitParameters().bl_swing == pytest.approx(1.0)
+
+    def test_cell_area_is_paper_value(self):
+        # 0.076 um^2 at 45 nm (Table 1 derivation).
+        assert CircuitParameters().cell_area == pytest.approx(0.076e-12)
+
+    def test_frozen(self):
+        p = CircuitParameters()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            p.v_dd = 1.0
+
+
+class TestValidation:
+    def test_von_must_exceed_voff(self):
+        with pytest.raises(ValueError, match="v_on"):
+            CircuitParameters(v_on=-0.5, v_off=0.5)
+
+    @pytest.mark.parametrize("field", [
+        "v_dd", "v_write", "v_wl_read", "c_bl_per_cell", "c_wl_per_cell",
+        "t_base", "t_per_col", "t_per_row", "t_gap_coeff",
+        "e_mirror_per_row", "e_wta_per_row", "mirror_ratio", "cell_area",
+    ])
+    def test_positive_fields(self, field):
+        with pytest.raises(ValueError, match=field):
+            CircuitParameters(**{field: 0.0})
+
+    def test_custom_values_kept(self):
+        p = CircuitParameters(v_dd=1.2, cell_area=0.05e-12)
+        assert p.v_dd == 1.2 and p.cell_area == 0.05e-12

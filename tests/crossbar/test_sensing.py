@@ -1,0 +1,88 @@
+"""Current mirrors and the sensing module."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CircuitParameters, SensingModule
+from repro.crossbar.sensing import CurrentMirror
+
+
+class TestCurrentMirror:
+    def test_ideal_copy_scaled(self):
+        mirror = CurrentMirror(n_rows=3, ratio=0.02)
+        out = mirror.copy(np.array([1e-6, 2e-6, 3e-6]))
+        np.testing.assert_allclose(out, [0.02e-6, 0.04e-6, 0.06e-6])
+
+    def test_mismatch_perturbs_gains(self):
+        mirror = CurrentMirror(n_rows=100, ratio=0.02, gain_sigma=0.05, seed=0)
+        rel = mirror.gains / 0.02 - 1.0
+        assert rel.std() == pytest.approx(0.05, rel=0.3)
+
+    def test_mismatch_preserves_large_ordering(self):
+        mirror = CurrentMirror(n_rows=2, ratio=1.0, gain_sigma=0.01, seed=1)
+        out = mirror.copy(np.array([1e-6, 2e-6]))
+        assert out[1] > out[0]
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            CurrentMirror(n_rows=3).copy(np.array([1e-6, 2e-6]))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            CurrentMirror(n_rows=2, ratio=0.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            CurrentMirror(n_rows=2, gain_sigma=-0.1)
+
+    def test_gains_reproducible(self):
+        a = CurrentMirror(n_rows=5, gain_sigma=0.02, seed=3)
+        b = CurrentMirror(n_rows=5, gain_sigma=0.02, seed=3)
+        np.testing.assert_array_equal(a.gains, b.gains)
+
+
+class TestSensingModule:
+    def test_decides_argmax(self):
+        module = SensingModule(n_rows=3)
+        assert module.decide(np.array([1e-6, 3e-6, 2e-6])) == 1
+
+    def test_one_hot(self):
+        module = SensingModule(n_rows=3)
+        np.testing.assert_array_equal(
+            module.one_hot(np.array([3e-6, 1e-6, 2e-6])), [1.0, 0.0, 0.0]
+        )
+
+    def test_uses_params_ratio(self):
+        params = CircuitParameters(mirror_ratio=0.5)
+        module = SensingModule(n_rows=2, params=params)
+        assert module.mirrors.ratio == 0.5
+
+    def test_energy_fixed_part_scales_with_rows(self):
+        p = CircuitParameters()
+        e2 = SensingModule(n_rows=2, params=p).energy(np.zeros(2) + 1e-9, 300e-12)
+        e4 = SensingModule(n_rows=4, params=p).energy(np.zeros(4) + 1e-9, 300e-12)
+        assert e4 == pytest.approx(2 * e2, rel=0.01)
+
+    def test_energy_grows_with_current(self):
+        module = SensingModule(n_rows=2)
+        low = module.energy(np.array([1e-6, 1e-6]), 300e-12)
+        high = module.energy(np.array([100e-6, 100e-6]), 300e-12)
+        assert high > low
+
+    def test_energy_positive(self):
+        module = SensingModule(n_rows=1)
+        assert module.energy(np.array([1e-6]), 1e-12) > 0
+
+    def test_mirror_mismatch_can_flip_close_calls(self):
+        # With heavy mismatch a near-tie can be decided wrongly; with an
+        # ideal mirror it cannot.
+        currents = np.array([1.000e-6, 1.001e-6])
+        ideal = SensingModule(n_rows=2, mirror_gain_sigma=0.0)
+        assert ideal.decide(currents) == 1
+        flipped = False
+        for seed in range(30):
+            noisy = SensingModule(n_rows=2, mirror_gain_sigma=0.05, seed=seed)
+            if noisy.decide(currents) == 0:
+                flipped = True
+                break
+        assert flipped

@@ -1,0 +1,98 @@
+"""Hierarchical multi-tile engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import quantize_model
+from repro.crossbar.tiling import TiledFeBiM
+
+
+def make_model(k=20, f=3, m=4, seed=0, sharp=True):
+    """A k-class model; ``sharp=True`` spreads scores to avoid ties."""
+    rng = np.random.default_rng(seed)
+    tables = []
+    for _ in range(f):
+        t = rng.random((k, m)) ** (4.0 if sharp else 1.0) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    return quantize_model(tables, np.full(k, 1.0 / k), n_levels=4)
+
+
+@pytest.fixture()
+def tiled():
+    return TiledFeBiM(make_model(), max_rows=8, seed=0)
+
+
+class TestPartitioning:
+    def test_tile_count(self, tiled):
+        assert tiled.n_tiles == 3  # 8 + 8 + 4
+
+    def test_rows_partition_classes(self, tiled):
+        all_rows = np.concatenate(tiled.tile_rows)
+        np.testing.assert_array_equal(np.sort(all_rows), np.arange(20))
+
+    def test_tile_sizes_capped(self, tiled):
+        for rows in tiled.tile_rows:
+            assert len(rows) <= 8
+
+    def test_single_tile_when_small(self):
+        tiled = TiledFeBiM(make_model(k=5), max_rows=8, seed=0)
+        assert tiled.n_tiles == 1
+
+    def test_invalid_max_rows(self):
+        with pytest.raises((ValueError, TypeError)):
+            TiledFeBiM(make_model(), max_rows=0)
+
+
+class TestHierarchicalInference:
+    def test_prediction_is_a_digital_maximizer(self, tiled):
+        """The hierarchical winner always attains the maximum digital
+        score (exact-tie winners may differ from the flat engine's
+        tie-break, but never score lower)."""
+        rng = np.random.default_rng(1)
+        evidence = rng.integers(0, 4, size=(30, 3))
+        scores = tiled.model.level_scores(evidence)
+        preds = tiled.predict(evidence)
+        for i, pred in enumerate(preds):
+            assert scores[i, pred] == scores[i].max()
+
+    def test_matches_flat_on_untied_samples(self, tiled):
+        rng = np.random.default_rng(2)
+        evidence = rng.integers(0, 4, size=(30, 3))
+        scores = tiled.model.level_scores(evidence)
+        top = scores.max(axis=1)
+        untied = (scores == top[:, None]).sum(axis=1) == 1
+        flat = tiled.flat_reference(seed=0)
+        np.testing.assert_array_equal(
+            tiled.predict(evidence)[untied], flat.predict(evidence)[untied]
+        )
+
+    def test_report_fields(self, tiled):
+        report = tiled.infer_one(np.array([0, 1, 2]))
+        assert report.tile_winners.shape == (3,)
+        assert report.tile_currents.shape == (3,)
+        assert report.delay > 0 and report.energy > 0
+
+    def test_tiling_cuts_delay_for_tall_models(self):
+        model = make_model(k=48)
+        tiled = TiledFeBiM(model, max_rows=8, seed=0)
+        flat = tiled.flat_reference(seed=0)
+        sample = np.array([0, 1, 2])
+        assert tiled.infer_one(sample).delay < flat.infer_one(sample).delay
+
+    def test_stage2_energy_overhead_small(self, tiled):
+        report = tiled.infer_one(np.array([1, 1, 1]))
+        flat = tiled.flat_reference(seed=0).infer_one(np.array([1, 1, 1]))
+        # Tiled energy stays within ~2x of flat (extra WLs + stage 2).
+        assert report.energy < 2.0 * flat.energy.total + 50e-15
+
+    def test_score(self, tiled):
+        rng = np.random.default_rng(3)
+        evidence = rng.integers(0, 4, size=(10, 3))
+        y = tiled.predict(evidence)
+        assert tiled.score(evidence, y) == 1.0
+
+    def test_single_tile_no_stage2(self):
+        tiled = TiledFeBiM(make_model(k=4), max_rows=8, seed=0)
+        report = tiled.infer_one(np.array([0, 0, 0]))
+        flat = tiled.flat_reference(seed=0).infer_one(np.array([0, 0, 0]))
+        assert report.delay == pytest.approx(flat.delay, rel=0.01)

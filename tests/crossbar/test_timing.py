@@ -1,0 +1,77 @@
+"""Delay model (Fig. 6a/6c calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import DelayModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DelayModel()
+
+
+class TestComponents:
+    def test_wordline_settling_linear(self, model):
+        assert model.wordline_settling(200) == pytest.approx(
+            100 * model.wordline_settling(2)
+        )
+
+    def test_wta_loading_linear(self, model):
+        assert model.wta_loading(32) == pytest.approx(16 * model.wta_loading(2))
+
+    def test_gap_resolution_log(self, model):
+        t1 = model.gap_resolution(1e-6, 1e-7)
+        t2 = model.gap_resolution(1e-5, 1e-7)
+        assert t2 - t1 == pytest.approx(
+            model.params.t_gap_coeff * np.log(10.0), rel=1e-9
+        )
+
+    def test_gap_resolution_floor(self, model):
+        # i_total < delta_i clamps to zero extra time.
+        assert model.gap_resolution(1e-8, 1e-6) == 0.0
+
+    def test_invalid_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.gap_resolution(-1.0, 1e-7)
+        with pytest.raises((ValueError, TypeError)):
+            model.wordline_settling(0)
+
+
+class TestCalibration:
+    """The Fig. 6 endpoints the constants were fitted to."""
+
+    def test_small_array_near_200ps(self, model):
+        assert model.inference_delay(2, 2) == pytest.approx(200e-12, rel=0.15)
+
+    def test_wide_array_near_800ps(self, model):
+        assert model.inference_delay(2, 256) == pytest.approx(800e-12, rel=0.15)
+
+    def test_tall_array_near_1000ps(self, model):
+        assert model.inference_delay(32, 32) == pytest.approx(1000e-12, rel=0.15)
+
+    def test_monotone_in_cols(self, model):
+        delays = model.column_sweep(2, [2, 4, 8, 16, 32, 64, 128, 256])
+        assert np.all(np.diff(delays) > 0)
+
+    def test_monotone_in_rows(self, model):
+        delays = model.row_sweep(32, [2, 4, 8, 16, 32])
+        assert np.all(np.diff(delays) > 0)
+
+    def test_col_growth_is_sublinear_overall(self, model):
+        # 128x more columns -> ~4x more delay (the paper's shape).
+        ratio = model.inference_delay(2, 256) / model.inference_delay(2, 2)
+        assert 2.0 < ratio < 8.0
+
+    def test_row_growth_factor(self, model):
+        ratio = model.inference_delay(32, 32) / model.inference_delay(2, 32)
+        assert 2.0 < ratio < 6.0
+
+    def test_explicit_gap_shortens_or_lengthens(self, model):
+        wide_gap = model.inference_delay(3, 64, i_total=4e-6, delta_i=1e-6)
+        narrow_gap = model.inference_delay(3, 64, i_total=4e-6, delta_i=1e-8)
+        assert narrow_gap > wide_gap
+
+    def test_sweep_shapes(self, model):
+        assert model.column_sweep(2, [2, 4]).shape == (2,)
+        assert model.row_sweep(32, [2, 4, 8]).shape == (3,)

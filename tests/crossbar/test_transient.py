@@ -1,0 +1,67 @@
+"""Macro-level inference transient."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import macro_transient
+
+
+class TestMacroTransient:
+    def test_winner_is_final_argmax(self):
+        result = macro_transient(np.array([2.2e-6, 1.0e-6, 1.6e-6]), cols=64)
+        assert result.winner == 0
+
+    def test_resolves_within_window(self):
+        result = macro_transient(np.array([2.2e-6, 1.0e-6]), cols=64)
+        assert result.resolved
+        assert result.resolution_time < 1e-9
+
+    def test_settling_approaches_steady_state(self):
+        finals = np.array([2.0e-6, 1.0e-6])
+        result = macro_transient(finals, cols=64, t_stop=2e-9)
+        np.testing.assert_allclose(
+            result.wordline_currents[:, -1], finals, rtol=0.01
+        )
+
+    def test_settling_starts_at_zero(self):
+        result = macro_transient(np.array([2.0e-6, 1.0e-6]), cols=64)
+        np.testing.assert_allclose(result.wordline_currents[:, 0], 0.0)
+
+    def test_more_columns_slower(self):
+        fast = macro_transient(np.array([2.0e-6, 1.0e-6]), cols=16)
+        slow = macro_transient(np.array([2.0e-6, 1.0e-6]), cols=512)
+        assert slow.resolution_time > fast.resolution_time
+
+    def test_transient_hazard_still_resolves_correctly(self):
+        """Row 1 (odd: slow-settling) holds the larger final current;
+        the fast-settling row 0 leads early but the winner must still be
+        row 1 and the resolution time must postdate the crossover."""
+        result = macro_transient(
+            np.array([1.5e-6, 2.0e-6]), cols=256, settle_spread=0.5
+        )
+        assert result.winner == 1
+        early = result.wordline_currents[:, 20]
+        assert early[0] > early[1]  # the hazard exists
+
+    def test_resolution_requires_held_window(self):
+        # A near-tie with big skew should not report a spuriously early
+        # resolution from the transient lead.
+        result = macro_transient(
+            np.array([1.90e-6, 2.0e-6]), cols=256, settle_spread=0.5
+        )
+        if result.resolved:
+            shares = result.wta_outputs[result.winner] / result.wta_outputs.sum(axis=0)
+            idx = np.searchsorted(result.time, result.resolution_time)
+            assert np.all(shares[idx:] >= 0.9 - 1e-6)
+
+    def test_outputs_conserve_bias(self):
+        result = macro_transient(np.array([2.0e-6, 1.0e-6]), cols=64, i_bias=8e-6)
+        np.testing.assert_allclose(result.wta_outputs.sum(axis=0), 8e-6, rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            macro_transient(np.array([1e-6]), cols=64)
+        with pytest.raises(ValueError):
+            macro_transient(np.array([1e-6, -1e-6]), cols=64)
+        with pytest.raises((ValueError, TypeError)):
+            macro_transient(np.array([1e-6, 2e-6]), cols=0)

@@ -1,0 +1,116 @@
+"""Winner-take-all sensing — behavioural and transient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crossbar import WinnerTakeAll, wta_transient
+
+
+class TestBehavioralWTA:
+    def test_picks_max(self):
+        assert WinnerTakeAll().winner(np.array([1.0, 3.0, 2.0])) == 1
+
+    def test_one_hot(self):
+        out = WinnerTakeAll().one_hot(np.array([0.2, 0.9, 0.5]))
+        np.testing.assert_array_equal(out, [0.0, 1.0, 0.0])
+
+    def test_tie_resolves_lowest(self):
+        assert WinnerTakeAll().winner(np.array([2.0, 2.0, 1.0])) == 0
+
+    def test_tie_error_mode(self):
+        with pytest.raises(ValueError, match="tie"):
+            WinnerTakeAll(ties="error").winner(np.array([2.0, 2.0]))
+
+    def test_margin(self):
+        assert WinnerTakeAll().margin(np.array([1.0, 3.0, 2.5])) == pytest.approx(0.5)
+
+    def test_margin_single_input(self):
+        assert WinnerTakeAll().margin(np.array([1.0])) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WinnerTakeAll().winner(np.array([]))
+
+    def test_invalid_tie_mode(self):
+        with pytest.raises(ValueError):
+            WinnerTakeAll(ties="random")
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e-5, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_argmax(self, currents):
+        arr = np.asarray(currents)
+        assert WinnerTakeAll().winner(arr) == int(np.argmax(arr))
+
+
+class TestWTATransient:
+    def test_paper_case_resolves_fast(self):
+        # Fig. 5(c): clearly separated currents resolve < 300 ps.
+        result = wta_transient(np.array([2.0e-6, 0.2e-6]))
+        assert result.winner == 0
+        assert result.resolved
+        assert result.resolution_time < 300e-12
+
+    def test_winner_output_approaches_bias(self):
+        result = wta_transient(np.array([2.0e-6, 0.2e-6]), i_bias=8e-6)
+        assert result.outputs[0, -1] == pytest.approx(8e-6, rel=0.05)
+        assert result.outputs[1, -1] < 0.4e-6
+
+    def test_symmetric_case_swapped(self):
+        a = wta_transient(np.array([2.0e-6, 0.2e-6]))
+        b = wta_transient(np.array([0.2e-6, 2.0e-6]))
+        assert a.winner == 0 and b.winner == 1
+
+    def test_small_gap_slower(self):
+        fast = wta_transient(np.array([2.0e-6, 0.2e-6]))
+        slow = wta_transient(np.array([1.2e-6, 1.0e-6]))
+        assert slow.resolution_time > fast.resolution_time
+
+    def test_three_way_competition(self):
+        result = wta_transient(np.array([0.5e-6, 1.5e-6, 1.0e-6]))
+        assert result.winner == 1
+
+    def test_exact_tie_breaks_to_lowest(self):
+        result = wta_transient(np.array([1.0e-6, 1.0e-6]))
+        assert result.winner == 0
+
+    def test_outputs_conserve_bias(self):
+        result = wta_transient(np.array([1.0e-6, 0.4e-6, 0.2e-6]), i_bias=8e-6)
+        totals = result.outputs.sum(axis=0)
+        np.testing.assert_allclose(totals, 8e-6, rtol=1e-6)
+
+    def test_time_axis(self):
+        result = wta_transient(np.array([1.0e-6, 0.5e-6]), t_stop=500e-12)
+        assert result.time[0] == 0.0
+        assert result.time[-1] == pytest.approx(500e-12)
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(ValueError):
+            wta_transient(np.array([1.0e-6]))
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            wta_transient(np.array([1.0e-6, -0.1e-6]))
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            wta_transient(
+                np.array([1e-6, 2e-6]), resolve_fraction=0.1, loser_fraction=0.9
+            )
+
+    @given(
+        i1=st.floats(min_value=0.2e-6, max_value=2.0e-6),
+        i2=st.floats(min_value=0.2e-6, max_value=2.0e-6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_winner_is_argmax(self, i1, i2):
+        result = wta_transient(np.array([i1, i2]))
+        if abs(i1 - i2) > 0.05e-6:  # exclude near-ties
+            assert result.winner == int(np.argmax([i1, i2]))

@@ -1,0 +1,56 @@
+"""Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+
+
+def make(n=6, f=2, k=2):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        data=rng.normal(size=(n, f)),
+        target=np.arange(n) % k,
+        feature_names=[f"x{i}" for i in range(f)],
+        target_names=[f"c{i}" for i in range(k)],
+    )
+
+
+class TestDataset:
+    def test_shapes(self):
+        d = make()
+        assert d.n_samples == 6 and d.n_features == 2 and d.n_classes == 2
+
+    def test_data_coerced_to_float(self):
+        d = Dataset(name="t", data=[[1, 2], [3, 4]], target=[0, 1])
+        assert d.data.dtype == float
+
+    def test_target_coerced_to_int(self):
+        d = Dataset(name="t", data=[[1.0], [2.0]], target=[0.0, 1.0])
+        assert d.target.dtype == int
+
+    def test_class_counts(self):
+        d = make(n=7, k=2)
+        assert d.class_counts().tolist() == [4, 3]
+
+    def test_describe_mentions_name_and_kind(self):
+        text = make().describe()
+        assert "toy" in text and "measured" in text
+
+    def test_synthetic_flag_in_describe(self):
+        d = Dataset(name="s", data=[[1.0]], target=[0], synthetic=True)
+        assert "synthetic" in d.describe()
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError, match="data must be 2-D"):
+            Dataset(name="t", data=np.zeros(4), target=np.zeros(4, dtype=int))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            Dataset(name="t", data=np.zeros((4, 2)), target=np.zeros(3, dtype=int))
+
+    def test_frozen(self):
+        d = make()
+        with pytest.raises(AttributeError):
+            d.name = "other"

@@ -1,0 +1,105 @@
+"""Digits-like many-class dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_digits_like
+
+
+class TestDigitsLike:
+    @pytest.fixture(scope="class")
+    def digits(self):
+        return load_digits_like(seed=0)
+
+    def test_shape(self, digits):
+        assert digits.data.shape == (1000, 64)
+        assert digits.n_classes == 10
+
+    def test_synthetic(self, digits):
+        assert digits.synthetic
+
+    def test_intensity_range(self, digits):
+        assert digits.data.min() >= 0.0
+        assert digits.data.max() <= 16.0
+
+    def test_all_classes_present(self, digits):
+        assert (digits.class_counts() > 0).all()
+
+    def test_reproducible(self):
+        a, b = load_digits_like(seed=5), load_digits_like(seed=5)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_classes_separable_by_gnb(self, digits):
+        from repro.bayes import GaussianNaiveBayes
+
+        model = GaussianNaiveBayes().fit(digits.data, digits.target)
+        assert model.score(digits.data, digits.target) > 0.95
+
+    def test_noise_controls_difficulty(self):
+        from repro.bayes import GaussianNaiveBayes
+
+        hard = load_digits_like(noise=8.0, seed=1)
+        easy = load_digits_like(noise=1.0, seed=1)
+        acc_hard = GaussianNaiveBayes().fit(hard.data, hard.target).score(
+            hard.data, hard.target
+        )
+        acc_easy = GaussianNaiveBayes().fit(easy.data, easy.target).score(
+            easy.data, easy.target
+        )
+        assert acc_easy > acc_hard
+
+    def test_blur_correlates_neighbours(self):
+        sharp = load_digits_like(blur=0.0, noise=0.5, seed=2)
+        blurred = load_digits_like(blur=0.6, noise=0.5, seed=2)
+        # Blur pulls adjacent-pixel correlation up.
+        def adjacency_corr(data):
+            grids = data.reshape(-1, 8, 8)
+            a = grids[:, :, :-1].ravel()
+            b = grids[:, :, 1:].ravel()
+            return np.corrcoef(a, b)[0, 1]
+
+        assert adjacency_corr(blurred.data) > adjacency_corr(sharp.data)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            load_digits_like(blur=1.0)
+        with pytest.raises(ValueError):
+            load_digits_like(noise=0.0)
+
+
+class TestManyClassEndToEnd:
+    def test_ten_class_crossbar(self):
+        """The full pipeline on a 10-class, 64-feature workload: a
+        10 x 257 crossbar with hardware accuracy tracking software."""
+        from repro.core.pipeline import FeBiMPipeline
+        from repro.datasets import train_test_split
+
+        d = load_digits_like(n_samples=600, seed=0)
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            d.data, d.target, test_size=0.5, seed=0
+        )
+        pipe = FeBiMPipeline(q_f=2, q_l=2, seed=0).fit(X_tr, y_tr)
+        rows, cols = pipe.engine_.shape
+        assert rows == 10
+        assert cols in (256, 257)  # prior column iff counts uneven
+        sw = pipe.score(X_te[:150], y_te[:150], mode="software")
+        hw = pipe.score(X_te[:150], y_te[:150], mode="hardware")
+        assert sw > 0.9
+        assert hw > sw - 0.1
+
+    def test_tiled_ten_class(self):
+        from repro import TiledFeBiM
+        from repro.core.pipeline import FeBiMPipeline
+        from repro.datasets import train_test_split
+
+        d = load_digits_like(n_samples=500, seed=1)
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            d.data, d.target, test_size=0.5, seed=1
+        )
+        pipe = FeBiMPipeline(q_f=2, q_l=2, seed=0).fit(X_tr, y_tr)
+        tiled = TiledFeBiM(pipe.quantized_model_, max_rows=4, seed=0)
+        levels = pipe.discretizer_.transform(X_te[:80])
+        flat_acc = pipe.engine_.score(levels, y_te[:80])
+        tiled_acc = tiled.score(levels, y_te[:80])
+        assert tiled.n_tiles == 3
+        assert abs(tiled_acc - flat_acc) < 0.08

@@ -1,0 +1,56 @@
+"""The embedded iris data must be the canonical Fisher/UCI dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_iris
+
+
+@pytest.fixture(scope="module")
+def iris():
+    return load_iris()
+
+
+class TestIrisIntegrity:
+    def test_shape(self, iris):
+        assert iris.data.shape == (150, 4)
+        assert iris.target.shape == (150,)
+
+    def test_balanced_classes(self, iris):
+        assert iris.class_counts().tolist() == [50, 50, 50]
+
+    def test_not_synthetic(self, iris):
+        assert not iris.synthetic
+
+    def test_first_row_is_canonical(self, iris):
+        np.testing.assert_allclose(iris.data[0], [5.1, 3.5, 1.4, 0.2])
+
+    def test_last_row_is_canonical(self, iris):
+        np.testing.assert_allclose(iris.data[149], [5.9, 3.0, 5.1, 1.8])
+
+    def test_known_feature_means(self, iris):
+        # Canonical dataset-wide means (UCI): 5.843, 3.057, 3.758, 1.199.
+        np.testing.assert_allclose(
+            iris.data.mean(axis=0), [5.8433, 3.0573, 3.758, 1.1993], atol=2e-3
+        )
+
+    def test_setosa_petal_length_mean(self, iris):
+        setosa = iris.data[iris.target == 0]
+        assert setosa[:, 2].mean() == pytest.approx(1.462, abs=1e-3)
+
+    def test_virginica_sepal_length_mean(self, iris):
+        virginica = iris.data[iris.target == 2]
+        assert virginica[:, 0].mean() == pytest.approx(6.588, abs=1e-3)
+
+    def test_value_ranges(self, iris):
+        assert iris.data.min() >= 0.1
+        assert iris.data.max() <= 7.9
+
+    def test_names(self, iris):
+        assert iris.target_names == ["setosa", "versicolor", "virginica"]
+        assert len(iris.feature_names) == 4
+
+    def test_loader_returns_fresh_copies(self):
+        a, b = load_iris(), load_iris()
+        a.data[0, 0] = 99.0
+        assert b.data[0, 0] != 99.0

@@ -1,0 +1,94 @@
+"""Train/test splitting and scoring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import accuracy_score, load_iris, train_test_split
+
+
+@pytest.fixture(scope="module")
+def iris():
+    return load_iris()
+
+
+class TestTrainTestSplit:
+    def test_paper_protocol_sizes(self, iris):
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            iris.data, iris.target, test_size=0.7, seed=0
+        )
+        assert len(y_tr) + len(y_te) == 150
+        # 70 % test of each 50-sample class = 35 per class.
+        assert len(y_te) == 105
+        assert len(y_tr) == 45
+
+    def test_stratified_preserves_proportions(self, iris):
+        _, _, y_tr, y_te = train_test_split(iris.data, iris.target, seed=1)
+        assert np.bincount(y_tr).tolist() == [15, 15, 15]
+        assert np.bincount(y_te).tolist() == [35, 35, 35]
+
+    def test_no_sample_overlap_or_loss(self, iris):
+        X_tr, X_te, _, _ = train_test_split(iris.data, iris.target, seed=2)
+        combined = np.vstack([X_tr, X_te])
+        assert combined.shape == iris.data.shape
+        # Same multiset of rows (sort both lexicographically).
+        key = lambda arr: arr[np.lexsort(arr.T)]
+        np.testing.assert_allclose(key(combined), key(iris.data))
+
+    def test_min_two_train_samples_per_class(self):
+        X = np.arange(12, dtype=float).reshape(6, 2)
+        y = np.array([0, 0, 0, 1, 1, 1])
+        _, _, y_tr, _ = train_test_split(X, y, test_size=0.9, seed=0)
+        assert (np.bincount(y_tr) >= 2).all()
+
+    def test_reproducible(self, iris):
+        a = train_test_split(iris.data, iris.target, seed=9)
+        b = train_test_split(iris.data, iris.target, seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[3], b[3])
+
+    def test_seeds_differ(self, iris):
+        a = train_test_split(iris.data, iris.target, seed=1)[0]
+        b = train_test_split(iris.data, iris.target, seed=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_unstratified_sizes(self, iris):
+        _, X_te, _, _ = train_test_split(
+            iris.data, iris.target, test_size=0.5, stratify=False, seed=0
+        )
+        assert len(X_te) == 75
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_test_size(self, iris, bad):
+        with pytest.raises(ValueError, match="test_size"):
+            train_test_split(iris.data, iris.target, test_size=bad)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 2)), np.zeros(3))
+
+    @given(test_size=st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_property_partition(self, test_size):
+        X = np.arange(60, dtype=float).reshape(30, 2)
+        y = np.array([0] * 15 + [1] * 15)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=test_size, seed=0)
+        assert len(X_tr) + len(X_te) == 30
+        assert len(y_tr) == len(X_tr) and len(y_te) == len(X_te)
+
+
+class TestAccuracyScore:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 0]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            accuracy_score([1, 2], [1, 2, 3])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_score([], [])

@@ -1,0 +1,80 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_gaussian_blobs
+from repro.datasets.synthetic import make_two_moons_like
+
+
+class TestGaussianBlobs:
+    def test_default_shape(self):
+        d = make_gaussian_blobs(seed=0)
+        assert d.data.shape == (300, 4)
+        assert d.n_classes == 3
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            make_gaussian_blobs(seed=5).data, make_gaussian_blobs(seed=5).data
+        )
+
+    def test_separable_when_far(self):
+        from repro.bayes import GaussianNaiveBayes
+
+        d = make_gaussian_blobs(class_sep=10.0, scale=0.5, seed=1)
+        acc = GaussianNaiveBayes().fit(d.data, d.target).score(d.data, d.target)
+        assert acc > 0.99
+
+    def test_weights_bias_class_frequencies(self):
+        d = make_gaussian_blobs(
+            n_samples=3000, n_classes=2, weights=[0.9, 0.1], seed=2
+        )
+        counts = d.class_counts()
+        assert counts[0] > 5 * counts[1]
+
+    def test_weights_wrong_length_raises(self):
+        with pytest.raises(ValueError, match="weights"):
+            make_gaussian_blobs(n_classes=3, weights=[0.5, 0.5], seed=0)
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            make_gaussian_blobs(n_classes=2, weights=[-1.0, 2.0], seed=0)
+
+    @pytest.mark.parametrize("bad_kwargs", [
+        {"n_samples": 0},
+        {"n_features": 0},
+        {"n_classes": 0},
+        {"scale": 0.0},
+        {"class_sep": -1.0},
+    ])
+    def test_invalid_params(self, bad_kwargs):
+        with pytest.raises((ValueError, TypeError)):
+            make_gaussian_blobs(**bad_kwargs)
+
+    @given(
+        n=st.integers(min_value=2, max_value=60),
+        f=st.integers(min_value=1, max_value=6),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_shapes_and_labels(self, n, f, k):
+        d = make_gaussian_blobs(n_samples=n, n_features=f, n_classes=k, seed=0)
+        assert d.data.shape == (n, f)
+        assert d.target.min() >= 0 and d.target.max() < k
+
+
+class TestTwoMoonsLike:
+    def test_shape(self):
+        d = make_two_moons_like(n_samples=101, seed=0)
+        assert d.data.shape == (101, 2)
+        assert d.class_counts().tolist() == [50, 51]
+
+    def test_two_classes(self):
+        assert make_two_moons_like(seed=0).n_classes == 2
+
+    def test_noise_increases_spread(self):
+        tight = make_two_moons_like(noise=0.01, seed=3).data.std()
+        loose = make_two_moons_like(noise=0.5, seed=3).data.std()
+        assert loose > tight

@@ -1,0 +1,110 @@
+"""Write-endurance model (wake-up / fatigue)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import EnduranceModel, FeFET
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnduranceModel()
+
+
+class TestWindowFactor:
+    def test_pristine_is_unity(self, model):
+        assert model.window_factor(0) == pytest.approx(1.0)
+
+    def test_wakeup_widens(self, model):
+        assert model.window_factor(1e4) > 1.0
+
+    def test_fatigue_narrows(self, model):
+        assert model.window_factor(1e10) < 0.5
+
+    def test_half_window_near_fatigue_cycles(self, model):
+        # By construction fatigue halves the window at ~n_fatigue (the
+        # residual wake-up gain shifts it slightly).
+        assert model.window_factor(model.fatigue_cycles) == pytest.approx(
+            0.5 * (1 + model.wakeup_gain), rel=0.01
+        )
+
+    def test_monotone_after_wakeup(self, model):
+        cycles = np.logspace(4, 12, 30)
+        factors = model.window_factor(cycles)
+        assert np.all(np.diff(factors) < 0)
+
+    def test_vectorised(self, model):
+        out = model.window_factor(np.array([0.0, 1e6, 1e9]))
+        assert out.shape == (3,)
+
+    def test_negative_cycles_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.window_factor(-1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EnduranceModel(fatigue_cycles=0.0)
+        with pytest.raises(ValueError):
+            EnduranceModel(wakeup_gain=-0.1)
+
+
+class TestCyclesToFraction:
+    def test_inverse_of_window_factor(self, model):
+        cycles = model.cycles_to_window_fraction(0.7)
+        assert model.window_factor(cycles) == pytest.approx(0.7, rel=1e-3)
+
+    def test_lifetime_in_plausible_band(self, model):
+        # 70 % window retention somewhere in the 1e7..1e10 cycle range.
+        cycles = model.cycles_to_window_fraction(0.7)
+        assert 1e7 < cycles < 1e10
+
+    def test_unreachable_fraction(self):
+        gentle = EnduranceModel(fatigue_cycles=1e30)
+        with pytest.raises(ValueError, match="never falls"):
+            gentle.cycles_to_window_fraction(0.5)
+
+    def test_invalid_fraction(self, model):
+        with pytest.raises(ValueError):
+            model.cycles_to_window_fraction(1.5)
+
+
+class TestAgedDevice:
+    def test_window_scaled(self, model):
+        fresh = FeFET()
+        aged = model.aged_device(fresh, 1e9)
+        factor = model.window_factor(1e9)
+        assert aged.memory_window == pytest.approx(
+            fresh.memory_window * factor, rel=1e-9
+        )
+
+    def test_midpoint_preserved(self, model):
+        fresh = FeFET()
+        aged = model.aged_device(fresh, 1e9)
+        assert (aged.vth_high + aged.vth_low) / 2 == pytest.approx(
+            (fresh.vth_high + fresh.vth_low) / 2
+        )
+
+    def test_template_untouched(self, model):
+        fresh = FeFET()
+        window = fresh.memory_window
+        model.aged_device(fresh, 1e10)
+        assert fresh.memory_window == window
+
+    def test_aged_array_still_classifies_midlife(self, model):
+        """A mid-life (1e6-cycle, wake-up plateau) device is as good or
+        better; a 1e9-cycle device has lost margin."""
+        from repro.core.pipeline import FeBiMPipeline
+        from repro.datasets import load_iris, train_test_split
+
+        data = load_iris()
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+        fresh_acc = (
+            FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr).score(X_te, y_te)
+        )
+        midlife = model.aged_device(FeFET(), 1e6)
+        mid_acc = (
+            FeBiMPipeline(q_f=4, q_l=2, template=midlife, seed=0)
+            .fit(X_tr, y_tr)
+            .score(X_te, y_te)
+        )
+        assert mid_acc > fresh_acc - 0.05

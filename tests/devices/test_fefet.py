@@ -1,0 +1,129 @@
+"""The FeFET device and the multi-level cell spec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import FeFET, MultiLevelCellSpec
+from repro.devices.fefet import V_OFF, V_ON
+
+
+class TestMultiLevelCellSpec:
+    def test_paper_defaults(self):
+        spec = MultiLevelCellSpec()
+        assert spec.n_levels == 4
+        assert spec.i_min == pytest.approx(0.1e-6)
+        assert spec.i_max == pytest.approx(1.0e-6)
+        assert spec.v_read == pytest.approx(0.5)
+
+    def test_bits(self):
+        assert MultiLevelCellSpec(n_levels=4).bits == 2.0
+        assert MultiLevelCellSpec(n_levels=16).bits == 4.0
+
+    def test_level_currents_paper_4level(self):
+        # Fig. 8(b)'s legend: 0.1, 0.4, 0.7, 1.0 uA.
+        np.testing.assert_allclose(
+            MultiLevelCellSpec(n_levels=4).level_currents(),
+            [0.1e-6, 0.4e-6, 0.7e-6, 1.0e-6],
+        )
+
+    def test_level_currents_fig4_10level(self):
+        currents = MultiLevelCellSpec(n_levels=10).level_currents()
+        np.testing.assert_allclose(currents, np.linspace(0.1e-6, 1.0e-6, 10))
+
+    def test_level_separation(self):
+        assert MultiLevelCellSpec(n_levels=4).level_separation() == pytest.approx(0.3e-6)
+
+    def test_single_level(self):
+        spec = MultiLevelCellSpec(n_levels=1)
+        assert spec.level_currents().tolist() == [1.0e-6]
+        assert spec.level_separation() == 0.0
+
+    def test_current_for_level_bounds(self):
+        spec = MultiLevelCellSpec(n_levels=4)
+        with pytest.raises(ValueError):
+            spec.current_for_level(4)
+        with pytest.raises(ValueError):
+            spec.current_for_level(-1)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MultiLevelCellSpec(n_levels=2, i_min=1e-6, i_max=0.1e-6)
+
+    @given(n=st.integers(min_value=2, max_value=256))
+    @settings(max_examples=30, deadline=None)
+    def test_property_currents_evenly_spaced(self, n):
+        currents = MultiLevelCellSpec(n_levels=n).level_currents()
+        diffs = np.diff(currents)
+        np.testing.assert_allclose(diffs, diffs[0], rtol=1e-9)
+
+
+class TestFeFET:
+    def test_erased_state_high_vth(self):
+        device = FeFET()
+        device.erase()
+        assert device.vth == pytest.approx(device.vth_high)
+
+    def test_pulses_lower_vth(self):
+        device = FeFET()
+        device.erase()
+        v0 = device.vth
+        device.apply_write_pulses(60)
+        assert device.vth < v0
+
+    def test_vth_polarization_roundtrip(self):
+        device = FeFET()
+        for pol in (0.0, 0.3, 0.7, 1.0):
+            vth = device.vth_for_polarization(pol)
+            assert device.polarization_for_vth(vth) == pytest.approx(pol, abs=1e-12)
+
+    def test_polarization_out_of_range(self):
+        with pytest.raises(ValueError):
+            FeFET().vth_for_polarization(1.5)
+
+    def test_read_current_increases_with_programming(self):
+        device = FeFET()
+        device.erase()
+        i_erased = device.read_current()
+        device.apply_write_pulses(70)
+        assert device.read_current() > i_erased
+
+    def test_cut_off_when_inhibited(self):
+        device = FeFET()
+        device.erase()
+        device.apply_write_pulses(55)
+        assert device.is_cut_off(V_OFF)
+
+    def test_not_cut_off_when_activated(self):
+        device = FeFET()
+        device.erase()
+        device.apply_write_pulses(69)
+        assert not device.is_cut_off(V_ON)
+
+    def test_offset_shifts_vth(self):
+        a, b = FeFET(vth_offset=0.0), FeFET(vth_offset=0.05)
+        assert b.vth - a.vth == pytest.approx(0.05)
+
+    def test_offset_changes_current(self):
+        a, b = FeFET(vth_offset=0.0), FeFET(vth_offset=0.05)
+        for dev in (a, b):
+            dev.erase()
+            dev.apply_write_pulses(60)
+        assert b.read_current() < a.read_current()
+
+    def test_memory_window(self):
+        device = FeFET(vth_high=0.6, vth_low=-0.1)
+        assert device.memory_window == pytest.approx(0.7)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            FeFET(vth_high=0.1, vth_low=0.5)
+
+    def test_clone_copies_state(self):
+        device = FeFET()
+        device.apply_write_pulses(40)
+        twin = device.clone()
+        assert twin.vth == pytest.approx(device.vth)
+        twin.apply_write_pulses(30)
+        assert twin.vth < device.vth

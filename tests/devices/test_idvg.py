@@ -1,0 +1,124 @@
+"""FeFET I_D-V_G characteristic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import IdVgCharacteristic
+from repro.devices.fefet import V_OFF, V_ON
+
+
+@pytest.fixture(scope="module")
+def idvg():
+    return IdVgCharacteristic()
+
+
+class TestCurrent:
+    def test_monotone_in_vgate(self, idvg):
+        v = np.linspace(-0.5, 1.5, 201)
+        i = idvg.current(v, 0.3)
+        assert np.all(np.diff(i) > 0)
+
+    def test_monotone_decreasing_in_vth(self, idvg):
+        vths = np.linspace(0.0, 0.6, 25)
+        i = idvg.current(V_ON, vths)
+        assert np.all(np.diff(i) < 0)
+
+    def test_subthreshold_exponential(self, idvg):
+        # Two points deep in subthreshold: the log-slope is 1/(n*phi_t)
+        # per the EKV limit (soft^2 ~ exp(2x/2) ... = exp((VG-VTH)/(n phi_t))).
+        vth = 0.6
+        i1 = idvg.current(0.0, vth)
+        i2 = idvg.current(0.1, vth)
+        expected_ratio = np.exp(0.1 / (idvg.ideality * idvg.phi_t))
+        assert i2 / i1 == pytest.approx(expected_ratio, rel=0.05)
+
+    def test_cutoff_at_voff(self, idvg):
+        # Any programmed state (V_TH >= 0.2) is cut off at V_off = -0.5 V.
+        assert idvg.current(V_OFF, 0.2) < 1e-12
+
+    def test_on_off_ratio_large(self, idvg):
+        on = idvg.current(V_ON, 0.3)
+        off = idvg.current(V_OFF, 0.3)
+        assert on / off > 1e6
+
+    def test_broadcasting(self, idvg):
+        v = np.linspace(0, 1, 7)
+        vth = np.array([0.2, 0.4])[:, None]
+        out = idvg.current(v[None, :], vth)
+        assert out.shape == (2, 7)
+
+    def test_positive_everywhere(self, idvg):
+        v = np.linspace(-2, 2, 101)
+        assert np.all(idvg.current(v, 0.3) > 0)
+
+    def test_large_overdrive_stable(self, idvg):
+        # No overflow far above threshold.
+        i = idvg.current(50.0, 0.0)
+        assert np.isfinite(i)
+
+
+class TestTransconductance:
+    def test_matches_numeric_derivative(self, idvg):
+        for vg in (0.2, 0.5, 0.8):
+            h = 1e-6
+            numeric = (idvg.current(vg + h, 0.3) - idvg.current(vg - h, 0.3)) / (2 * h)
+            assert idvg.transconductance(vg, 0.3) == pytest.approx(numeric, rel=1e-4)
+
+    def test_positive(self, idvg):
+        assert idvg.transconductance(V_ON, 0.35) > 0
+
+
+class TestInversion:
+    @pytest.mark.parametrize("target", [0.1e-6, 0.25e-6, 0.55e-6, 1.0e-6])
+    def test_vth_for_current_roundtrip(self, idvg, target):
+        vth = idvg.vth_for_current(target, V_ON)
+        assert idvg.current(V_ON, vth) == pytest.approx(target, rel=1e-9)
+
+    def test_paper_current_window_vth_range(self, idvg):
+        # The 0.1-1.0 uA read window must fit inside the memory window.
+        vth_hi_current = idvg.vth_for_current(1.0e-6, V_ON)
+        vth_lo_current = idvg.vth_for_current(0.1e-6, V_ON)
+        assert -0.1 < vth_hi_current < vth_lo_current < 0.6
+
+    def test_tiny_current_bisection_path(self, idvg):
+        vth = idvg.vth_for_current(1e-18, V_ON)
+        assert idvg.current(V_ON, vth) == pytest.approx(1e-18, rel=1e-3)
+
+    def test_invalid_target(self, idvg):
+        with pytest.raises(ValueError):
+            idvg.vth_for_current(-1e-6, V_ON)
+
+    @given(target=st.floats(min_value=1e-9, max_value=1e-5))
+    @settings(max_examples=40, deadline=None)
+    def test_property_inversion(self, target):
+        idvg = IdVgCharacteristic()
+        vth = idvg.vth_for_current(target, 0.5)
+        assert idvg.current(0.5, vth) == pytest.approx(target, rel=1e-6)
+
+
+class TestSweep:
+    def test_shape(self, idvg):
+        v, i = idvg.sweep(0.3)
+        assert v.shape == i.shape == (161,)
+
+    def test_range(self, idvg):
+        v, _ = idvg.sweep(0.3, v_start=-0.4, v_stop=1.2)
+        assert v[0] == pytest.approx(-0.4) and v[-1] == pytest.approx(1.2)
+
+    def test_min_points(self, idvg):
+        with pytest.raises(ValueError):
+            idvg.sweep(0.3, points=1)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"i_spec": 0.0},
+        {"i_spec": -1e-9},
+        {"ideality": 0.0},
+        {"phi_t": -0.02},
+    ])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            IdVgCharacteristic(**kwargs)

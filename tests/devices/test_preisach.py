@@ -1,0 +1,144 @@
+"""Ferroelectric layer switching model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import FerroelectricLayer
+
+
+@pytest.fixture()
+def layer():
+    return FerroelectricLayer()
+
+
+class TestSwitchedFraction:
+    def test_zero_pulses_zero(self, layer):
+        assert layer.switched_fraction_after(0) == 0.0
+
+    def test_monotone_in_pulses(self, layer):
+        fracs = [layer.switched_fraction_after(n) for n in range(0, 200, 5)]
+        assert all(b >= a for a, b in zip(fracs, fracs[1:]))
+
+    def test_bounded(self, layer):
+        assert 0.0 <= layer.switched_fraction_after(10000) <= 1.0
+
+    def test_saturates_high(self, layer):
+        assert layer.switched_fraction_after(5000) > 0.95
+
+    def test_median_pulse_count_near_half(self, layer):
+        # The calibration places the median switching time around 53
+        # nominal pulses.
+        n_med = layer.median_switching_time(layer.nominal_amplitude) / layer.nominal_width
+        frac = layer.switched_fraction_after(int(round(n_med)))
+        assert frac == pytest.approx(0.5, abs=0.05)
+
+    def test_pure_function_no_mutation(self, layer):
+        layer.switched_fraction_after(100)
+        assert layer.polarization == 0.0
+
+    def test_negative_pulses_rejected(self, layer):
+        with pytest.raises(ValueError):
+            layer.switched_fraction_after(-1)
+
+
+class TestMerzLaw:
+    def test_higher_amplitude_faster(self, layer):
+        assert layer.median_switching_time(4.0) < layer.median_switching_time(3.0)
+
+    def test_merz_form(self, layer):
+        t4 = layer.median_switching_time(4.0)
+        t2 = layer.median_switching_time(2.0)
+        expected = np.exp(layer.merz_alpha / 2.0 - layer.merz_alpha / 4.0)
+        assert t2 / t4 == pytest.approx(expected, rel=1e-9)
+
+    def test_invalid_amplitude(self, layer):
+        with pytest.raises(ValueError):
+            layer.median_switching_time(0.0)
+
+
+class TestStatefulOperations:
+    def test_erase_resets(self, layer):
+        layer.apply_pulses(60)
+        assert layer.polarization > 0
+        layer.erase()
+        assert layer.polarization == 0.0
+
+    def test_pulses_accumulate(self, layer):
+        layer.apply_pulses(20)
+        p1 = layer.polarization
+        layer.apply_pulses(20)
+        assert layer.polarization > p1
+
+    def test_split_train_equals_single_train(self):
+        a = FerroelectricLayer()
+        b = FerroelectricLayer()
+        a.apply_pulses(50)
+        b.apply_pulses(30)
+        b.apply_pulses(20)
+        assert a.polarization == pytest.approx(b.polarization, rel=1e-12)
+
+    def test_stateful_matches_prediction(self, layer):
+        predicted = layer.switched_fraction_after(45)
+        layer.apply_pulses(45)
+        assert layer.polarization == pytest.approx(predicted, rel=1e-12)
+
+    def test_zero_pulses_noop(self, layer):
+        layer.apply_pulses(30)
+        p = layer.polarization
+        layer.apply_pulses(0)
+        assert layer.polarization == p
+
+    def test_half_voltage_disturb_negligible(self, layer):
+        """The half-V_w inhibit scheme's core guarantee (Sec. 3.2)."""
+        layer.apply_pulses(50)  # a programmed mid state
+        before = layer.polarization
+        layer.apply_pulses(1000, amplitude=layer.nominal_amplitude / 2)
+        # 1000 disturb pulses move polarisation by < 0.1 %.
+        assert layer.polarization - before < 1e-3
+
+    def test_full_voltage_pulses_do_disturb(self, layer):
+        layer.apply_pulses(50)
+        before = layer.polarization
+        layer.apply_pulses(50, amplitude=layer.nominal_amplitude)
+        assert layer.polarization - before > 0.05
+
+    def test_clone_independent(self, layer):
+        layer.apply_pulses(40)
+        twin = layer.clone()
+        assert twin.polarization == pytest.approx(layer.polarization)
+        twin.apply_pulses(40)
+        assert twin.polarization > layer.polarization
+
+    @given(n=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_property_polarization_in_unit_interval(self, n):
+        layer = FerroelectricLayer()
+        layer.apply_pulses(n)
+        assert 0.0 <= layer.polarization <= 1.0
+
+    @given(
+        n1=st.integers(min_value=0, max_value=200),
+        n2=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_monotone_accumulation(self, n1, n2):
+        a = FerroelectricLayer()
+        a.apply_pulses(n1)
+        p1 = a.polarization
+        a.apply_pulses(n2)
+        assert a.polarization >= p1
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"t0": 0.0},
+        {"merz_alpha": -1.0},
+        {"sigma": 0.0},
+        {"nominal_pulse": (0.0, 300e-9)},
+        {"nominal_pulse": (4.0, 0.0)},
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            FerroelectricLayer(**kwargs)

@@ -1,0 +1,102 @@
+"""Pulse-train write-configuration search (Fig. 4b)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import FeFET, MultiLevelCellSpec, PulseProgrammer
+
+
+@pytest.fixture(scope="module")
+def prog10():
+    return PulseProgrammer(FeFET(), MultiLevelCellSpec(n_levels=10))
+
+
+@pytest.fixture(scope="module")
+def prog4():
+    return PulseProgrammer(FeFET(), MultiLevelCellSpec(n_levels=4))
+
+
+class TestConfigurationSearch:
+    def test_pulse_counts_in_paper_range(self, prog10):
+        # Fig. 4(b): roughly 40-70 pulses across the 10 states.
+        counts = [c.n_pulses for c in prog10.build_table()]
+        assert min(counts) >= 30 and max(counts) <= 80
+
+    def test_pulse_counts_monotone(self, prog10):
+        counts = [c.n_pulses for c in prog10.build_table()]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+    def test_higher_levels_distinct_pulses(self, prog10):
+        counts = [c.n_pulses for c in prog10.build_table()]
+        assert len(set(counts)) == len(counts)
+
+    def test_error_below_half_level_separation(self, prog10):
+        sep = prog10.spec.level_separation()
+        assert prog10.max_programming_error() < sep / 2
+
+    def test_error_small_for_4_levels(self, prog4):
+        sep = prog4.spec.level_separation()
+        assert prog4.max_programming_error() < sep / 4
+
+    def test_achieved_currents_near_targets(self, prog10):
+        for cfg in prog10.build_table():
+            assert cfg.achieved_current == pytest.approx(
+                cfg.target_current, abs=0.05e-6
+            )
+
+    def test_pulse_count_map_keys(self, prog4):
+        assert sorted(prog4.pulse_count_map()) == [0, 1, 2, 3]
+
+    def test_unreachable_target_raises(self):
+        # A current window beyond the erased/full-switch range.
+        spec = MultiLevelCellSpec(n_levels=2, i_min=1e-6, i_max=1e-3)
+        programmer = PulseProgrammer(FeFET(), spec, max_pulses=200)
+        with pytest.raises(ValueError, match="unreachable"):
+            programmer.build_table()
+
+
+class TestProgramDevice:
+    def test_program_sets_current(self, prog4):
+        device = FeFET()
+        cfg = prog4.program(device, 2)
+        assert device.read_current() == pytest.approx(cfg.achieved_current, rel=1e-9)
+
+    def test_program_erases_first(self, prog4):
+        device = FeFET()
+        device.apply_write_pulses(80)  # near-full switch
+        prog4.program(device, 0)
+        # Level 0 is the lowest current; pre-history must not persist.
+        assert device.read_current() == pytest.approx(
+            prog4.spec.current_for_level(0), abs=0.05e-6
+        )
+
+    def test_offset_device_deviates(self, prog4):
+        ideal, skewed = FeFET(), FeFET(vth_offset=0.03)
+        prog4.program(ideal, 3)
+        prog4.program(skewed, 3)
+        assert skewed.read_current() < ideal.read_current()
+
+    def test_template_never_mutated(self):
+        template = FeFET()
+        template.erase()
+        programmer = PulseProgrammer(template, MultiLevelCellSpec(n_levels=4))
+        programmer.build_table()
+        assert template.layer.polarization == 0.0
+
+
+class TestWriteConfiguration:
+    def test_current_error(self, prog4):
+        cfg = prog4.configuration_for_level(1)
+        assert cfg.current_error == pytest.approx(
+            abs(cfg.achieved_current - cfg.target_current)
+        )
+
+    def test_frozen(self, prog4):
+        cfg = prog4.configuration_for_level(0)
+        with pytest.raises(AttributeError):
+            cfg.n_pulses = 999
+
+    def test_nominal_pulse_parameters(self, prog4):
+        cfg = prog4.configuration_for_level(0)
+        assert cfg.amplitude == pytest.approx(4.0)
+        assert cfg.width == pytest.approx(300e-9)

@@ -1,0 +1,91 @@
+"""FeFET retention model (extension study)."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import FeFETCrossbar
+from repro.devices import RetentionModel
+
+
+class TestStateWeight:
+    def test_extremes_stable(self):
+        model = RetentionModel()
+        assert model.state_weight(0.0) == 0.0
+        assert model.state_weight(1.0) == 0.0
+
+    def test_midpoint_maximal(self):
+        model = RetentionModel()
+        assert model.state_weight(0.5) == 1.0
+
+    def test_symmetric(self):
+        model = RetentionModel()
+        assert model.state_weight(0.3) == pytest.approx(model.state_weight(0.7))
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            RetentionModel().state_weight(1.5)
+
+
+class TestVthShift:
+    def test_zero_time_zero_shift(self):
+        shift = RetentionModel().vth_shift(0.5, 0.0)
+        assert shift == 0.0
+
+    def test_log_time_growth(self):
+        model = RetentionModel(drift_rate=0.01, t0=1.0)
+        s1 = model.vth_shift(0.5, 10.0)
+        s2 = model.vth_shift(0.5, 1000.0)
+        # Two extra decades -> roughly 3x the one-decade shift.
+        assert s2 / s1 == pytest.approx(np.log10(1001) / np.log10(11), rel=1e-6)
+
+    def test_ten_year_mid_state_drift_moderate(self):
+        model = RetentionModel()
+        ten_years = 10 * 365 * 24 * 3600.0
+        shift = model.vth_shift(0.5, ten_years)
+        # Default calibration: tens of mV at 10 years, not volts.
+        assert 0.01 < shift < 0.1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionModel().vth_shift(0.5, -1.0)
+
+    def test_zero_rate_no_drift(self):
+        assert RetentionModel(drift_rate=0.0).vth_shift(0.5, 1e9) == 0.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RetentionModel(drift_rate=-0.01)
+
+
+class TestCrossbarAging:
+    @pytest.fixture()
+    def programmed(self):
+        xbar = FeFETCrossbar(rows=3, cols=8, seed=0)
+        xbar.program_matrix(np.random.default_rng(0).integers(0, 4, (3, 8)))
+        return xbar
+
+    def test_apply_does_not_mutate(self, programmed):
+        before = programmed.vth_matrix().copy()
+        RetentionModel().apply_to_crossbar(programmed, 1e6)
+        np.testing.assert_array_equal(programmed.vth_matrix(), before)
+
+    def test_aged_vth_higher(self, programmed):
+        """Relaxation moves partially switched states back toward the
+        erased (high-V_TH) level."""
+        fresh = programmed.vth_matrix()
+        aged = RetentionModel().apply_to_crossbar(programmed, 1e6)
+        assert np.all(aged >= fresh)
+
+    def test_aged_currents_lower(self, programmed):
+        model = RetentionModel()
+        fresh = programmed.wordline_currents()
+        aged = model.aged_wordline_currents(programmed, None, 1e6)
+        assert np.all(aged <= fresh + 1e-12)
+
+    def test_short_bake_preserves_decisions(self, programmed):
+        """After a 1-hour bake the wordline ordering is unchanged."""
+        model = RetentionModel()
+        mask = np.ones(8, dtype=bool)
+        fresh = programmed.wordline_currents(mask)
+        aged = model.aged_wordline_currents(programmed, mask, 3600.0)
+        assert np.argmax(fresh) == np.argmax(aged)

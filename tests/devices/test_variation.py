@@ -1,0 +1,54 @@
+"""Device variation models."""
+
+import numpy as np
+import pytest
+
+from repro.devices import VariationModel
+
+
+class TestConstruction:
+    def test_default_ideal(self):
+        assert VariationModel().is_ideal
+
+    def test_from_millivolts(self):
+        v = VariationModel.from_millivolts(45.0)
+        assert v.sigma_vth == pytest.approx(0.045)
+
+    def test_from_millivolts_read(self):
+        v = VariationModel.from_millivolts(10.0, sigma_read_mv=5.0)
+        assert v.sigma_read == pytest.approx(0.005)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VariationModel(sigma_vth=-0.01)
+
+    def test_frozen(self):
+        v = VariationModel()
+        with pytest.raises(AttributeError):
+            v.sigma_vth = 0.1
+
+
+class TestSampling:
+    def test_ideal_offsets_zero(self):
+        offsets = VariationModel().sample_offsets((3, 4), seed=0)
+        assert offsets.shape == (3, 4)
+        np.testing.assert_array_equal(offsets, 0.0)
+
+    def test_offsets_scale(self):
+        offsets = VariationModel(sigma_vth=0.045).sample_offsets(20000, seed=1)
+        assert offsets.std() == pytest.approx(0.045, rel=0.03)
+        assert offsets.mean() == pytest.approx(0.0, abs=0.002)
+
+    def test_offsets_reproducible(self):
+        v = VariationModel(sigma_vth=0.03)
+        np.testing.assert_array_equal(
+            v.sample_offsets((5, 5), seed=7), v.sample_offsets((5, 5), seed=7)
+        )
+
+    def test_read_noise_zero_by_default(self):
+        noise = VariationModel(sigma_vth=0.03).sample_read_noise((4,), seed=0)
+        np.testing.assert_array_equal(noise, 0.0)
+
+    def test_read_noise_scale(self):
+        noise = VariationModel(sigma_read=0.01).sample_read_noise(20000, seed=2)
+        assert noise.std() == pytest.approx(0.01, rel=0.05)

@@ -1,0 +1,229 @@
+"""Experiment drivers — fast versions of each figure/table regeneration.
+
+These check the *shape* claims the paper makes; the benchmark harness
+runs the full-size versions and prints the complete series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_fig1,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig8,
+    format_table1_experiment,
+    run_fig1,
+    run_fig4a,
+    run_fig4b,
+    run_fig5_currents,
+    run_fig5_wta,
+    run_fig6,
+    run_fig8a,
+    run_fig8b,
+    run_fig8c,
+    run_table1,
+)
+from repro.experiments.fig7_quantization import format_fig7, run_fig7
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1()
+
+    def test_four_states(self, result):
+        assert result.n_states == 4
+
+    def test_read_currents_cover_window(self, result):
+        assert result.read_currents[0] == pytest.approx(0.1e-6, abs=0.03e-6)
+        assert result.read_currents[-1] == pytest.approx(1.0e-6, abs=0.05e-6)
+
+    def test_states_separated(self, result):
+        assert result.min_state_separation() > 0.2e-6
+
+    def test_on_off_ratio(self, result):
+        assert np.all(result.on_off_ratio() > 1e5)
+
+    def test_curves_monotone(self, result):
+        assert np.all(np.diff(result.currents, axis=1) > 0)
+
+    def test_format(self, result):
+        text = format_fig1(result)
+        assert "Fig. 1(c)" in text and "on/off" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def a(self):
+        return run_fig4a()
+
+    @pytest.fixture(scope="class")
+    def b(self):
+        return run_fig4b()
+
+    def test_p_prime_range_matches_paper(self, a):
+        lo, hi = a.p_prime_range
+        assert hi == pytest.approx(1.0)
+        assert lo == pytest.approx(-1.303, abs=0.005)
+
+    def test_currents_span_paper_window(self, a):
+        assert a.currents.min() == pytest.approx(0.1e-6)
+        assert a.currents.max() == pytest.approx(1.0e-6)
+
+    def test_mapping_monotone(self, a):
+        order = np.argsort(a.p)
+        assert np.all(np.diff(a.levels[order]) >= 0)
+
+    def test_pulse_range_matches_paper(self, b):
+        counts = b.pulse_counts
+        assert counts.min() >= 35 and counts.max() <= 75  # paper ~40-70
+
+    def test_pulse_monotone(self, b):
+        assert np.all(np.diff(b.pulse_counts) > 0)
+
+    def test_programming_error_small(self, b):
+        assert b.max_error() < 0.05e-6
+
+    def test_format(self, a, b):
+        text = format_fig4(a, b)
+        assert "-1.3" in text and "pulse" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def currents(self):
+        return run_fig5_currents(n_levels=4)  # reduced grid for speed
+
+    @pytest.fixture(scope="class")
+    def wta(self):
+        return run_fig5_wta(steps=4)
+
+    def test_theoretical_range(self, currents):
+        assert currents.theoretical.min() == pytest.approx(0.2e-6)
+        assert currents.theoretical.max() == pytest.approx(2.0e-6)
+
+    def test_simulated_matches_theoretical(self, currents):
+        assert currents.max_rel_error() < 0.06
+
+    def test_simulated_symmetric(self, currents):
+        np.testing.assert_allclose(
+            currents.simulated, currents.simulated.T, rtol=1e-3
+        )
+
+    def test_wta_always_correct(self, wta):
+        assert wta.all_correct()
+
+    def test_wta_example_fast(self, wta):
+        assert wta.example.resolution_time < 300e-12
+
+    def test_format(self, currents, wta):
+        text = format_fig5(currents, wta)
+        assert "theoretical" in text and "WTA" in text
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6()
+
+    def test_delay_endpoints(self, result):
+        assert result.col_delays[0] == pytest.approx(200e-12, rel=0.2)
+        assert result.col_delays[-1] == pytest.approx(800e-12, rel=0.2)
+        assert result.row_delays[-1] == pytest.approx(1000e-12, rel=0.2)
+
+    def test_delay_monotone(self, result):
+        assert np.all(np.diff(result.col_delays) > 0)
+        assert np.all(np.diff(result.row_delays) > 0)
+
+    def test_energy_monotone(self, result):
+        assert np.all(np.diff(result.col_energy_total) > 0)
+        assert np.all(np.diff(result.row_energy_total) > 0)
+
+    def test_wide_arrays_array_dominated(self, result):
+        assert result.col_energy_array[-1] > result.col_energy_sensing[-1]
+
+    def test_tall_arrays_sensing_dominated(self, result):
+        assert result.row_energy_sensing[-1] > result.row_energy_array[-1]
+
+    def test_row_sweep_energy_magnitude(self, result):
+        # Fig. 6(d): ~250 fJ scale at 32x32.
+        assert 100e-15 < result.row_energy_total[-1] < 500e-15
+
+    def test_format(self, result):
+        text = format_fig6(result)
+        assert "cols" in text and "rows" in text
+
+
+class TestFig7Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(datasets=("iris",), bits=(1, 2, 8), epochs=4, seed=0)
+
+    def test_structure(self, result):
+        assert "iris" in result.baseline
+        assert result.vs_qf["iris"].shape == (3,)
+
+    def test_accuracies_valid(self, result):
+        assert np.all((result.vs_qf["iris"] >= 0) & (result.vs_qf["iris"] <= 1))
+
+    def test_high_precision_near_baseline(self, result):
+        assert result.baseline["iris"] - result.vs_qf["iris"][-1] < 0.06
+
+    def test_format(self, result):
+        text = format_fig7(result)
+        assert "Q_f" in text and "iris" in text
+
+
+class TestFig8Small:
+    def test_fig8a_grid(self):
+        result = run_fig8a(qf_bits=(2, 4), ql_bits=(1, 2), epochs=3, seed=0)
+        assert result.accuracy.shape == (2, 2)
+        assert result.at(4, 2) > 0.8
+
+    def test_fig8b_is_3x64(self):
+        result = run_fig8b()
+        assert (result.rows, result.cols) == (3, 64)
+        assert not result.include_prior  # uniform prior omitted
+
+    def test_fig8b_levels_are_paper_currents(self):
+        result = run_fig8b()
+        hist = result.current_histogram()
+        assert set(hist) <= {0.1, 0.4, 0.7, 1.0}
+        assert sum(hist.values()) == 3 * 64
+
+    def test_fig8c_degrades(self):
+        sweep = run_fig8c(sigmas_mv=(0.0, 45.0), epochs=4, seed=0)
+        assert sweep[45.0].mean() <= sweep[0.0].mean() + 0.02
+
+    def test_format(self):
+        a = run_fig8a(qf_bits=(4,), ql_bits=(2,), epochs=2, seed=0)
+        b = run_fig8b()
+        c = run_fig8c(sigmas_mv=(0.0,), epochs=2, seed=0)
+        text = format_fig8(a, b, c)
+        assert "Fig. 8(a)" in text and "3 x 64" in text
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(n_eval=20)
+
+    def test_four_rows(self, result):
+        assert len(result.rows) == 4
+
+    def test_measured_density_exact(self, result):
+        assert result.summary.storage_density_mb_mm2 == pytest.approx(26.32, abs=0.01)
+
+    def test_measured_efficiency_near_paper(self, result):
+        assert result.summary.efficiency_tops_w == pytest.approx(581.4, rel=0.10)
+
+    def test_improvements_near_paper(self, result):
+        density_x, efficiency_x = result.improvements
+        assert density_x == pytest.approx(10.7, abs=0.2)
+        assert efficiency_x == pytest.approx(43.4, rel=0.10)
+
+    def test_format(self, result):
+        text = format_table1_experiment(result)
+        assert "Table 1" in text and "10.7" in text

@@ -1,0 +1,62 @@
+"""Full-evaluation report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(epochs=2, seed=0, fast=True)
+
+    def test_contains_every_section(self, report):
+        for marker in (
+            "Fig. 1(c)",
+            "Fig. 4(a)",
+            "Fig. 5(a,b)",
+            "Fig. 6(a,b)",
+            "Fig. 7(a)",
+            "Fig. 8(a)",
+            "Table 1",
+        ):
+            assert marker in report
+
+    def test_contains_headline_numbers(self, report):
+        assert "26.32" in report
+        assert "10.7" in report
+
+    def test_fast_mode_skips_wine_cancer(self, report):
+        # The fast Fig. 7 section covers iris only.
+        fig7 = report.split("Fig. 7(a)")[1].split("Fig. 8")[0]
+        assert "iris" in fig7 and "wine" not in fig7
+
+    def test_invalid_epochs(self):
+        with pytest.raises((ValueError, TypeError)):
+            generate_report(epochs=0)
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        out = tmp_path / "report.txt"
+        path = write_report(out, epochs=2, seed=0, fast=True)
+        assert path == str(out)
+        assert "Table 1" in out.read_text()
+
+
+class TestCliReport:
+    def test_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--epochs", "2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1(c)" in out and "Table 1" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "r.txt"
+        assert main(
+            ["report", "--epochs", "2", "--fast", "--output", str(out_path)]
+        ) == 0
+        assert out_path.exists()

@@ -1,0 +1,107 @@
+"""Cross-module integration: the full Fig. 2 workflow on every dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_dataset, make_gaussian_blobs, train_test_split
+from repro.devices import VariationModel
+
+
+class TestAllDatasets:
+    @pytest.mark.parametrize("name", ["iris", "wine", "cancer"])
+    def test_pipeline_on_dataset(self, name):
+        data = load_dataset(name)
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        sw = pipe.score(X_te, y_te, mode="software")
+        hw = pipe.score(X_te, y_te, mode="hardware")
+        assert sw > 0.85
+        assert sw - hw < 0.08  # quantisation loss stays small (Fig. 7)
+
+    @pytest.mark.parametrize("name,cols", [("iris", 64), ("wine", 208), ("cancer", 480)])
+    def test_array_geometry(self, name, cols):
+        data = load_dataset(name)
+        X_tr, _, y_tr, _ = train_test_split(data.data, data.target, seed=0)
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        rows = data.n_classes
+        # wine/cancer priors are non-uniform -> prior column adds 1.
+        expected_cols = data.n_features * 16 + (
+            0 if name == "iris" else 1
+        )
+        assert pipe.engine_.shape == (rows, expected_cols)
+
+
+class TestPrecisionLadder:
+    def test_accuracy_improves_with_qf(self):
+        data = load_dataset("iris")
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=3)
+        accs = []
+        for q_f in (1, 3, 5):
+            pipe = FeBiMPipeline(q_f=q_f, q_l=8, seed=0).fit(X_tr, y_tr)
+            accs.append(pipe.score(X_te, y_te, mode="quantized"))
+        # Coarse evidence should not beat fine evidence by much.
+        assert accs[2] >= accs[0] - 0.05
+
+    def test_high_precision_matches_discrete_reference(self):
+        """At Q_l = 8 the quantised model equals the float64 discrete
+        reference on nearly every sample (quantisation is lossless to
+        argmax)."""
+        from repro.baselines import SoftwareBayesianReference
+
+        data = load_dataset("iris")
+        X_tr, X_te, y_tr, _ = train_test_split(data.data, data.target, seed=5)
+        pipe = FeBiMPipeline(q_f=4, q_l=8, clip_decades=4.0, seed=0).fit(X_tr, y_tr)
+        ref = SoftwareBayesianReference().fit(X_tr, y_tr)
+        discrete = ref.discrete_model(list(pipe.discretizer_.edges_))
+        levels = pipe.discretizer_.transform(X_te)
+        agreement = np.mean(discrete.predict(levels) == pipe.predict(X_te, mode="quantized"))
+        assert agreement > 0.97
+
+
+class TestRobustnessChain:
+    def test_variation_and_mirror_mismatch_together(self):
+        data = load_dataset("iris")
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=1)
+        pipe = FeBiMPipeline(
+            q_f=4,
+            q_l=2,
+            variation=VariationModel.from_millivolts(38),  # the cited device
+            mirror_gain_sigma=0.01,
+            seed=0,
+        ).fit(X_tr, y_tr)
+        acc = pipe.score(X_te, y_te, mode="hardware")
+        assert acc > 0.75
+
+    def test_read_noise_averaging(self):
+        data = make_gaussian_blobs(n_samples=200, class_sep=8.0, seed=0)
+        X_tr, X_te, y_tr, y_te = train_test_split(data.data, data.target, seed=0)
+        pipe = FeBiMPipeline(
+            q_f=3,
+            q_l=2,
+            variation=VariationModel(sigma_read=0.01),
+            seed=0,
+        ).fit(X_tr, y_tr)
+        acc = pipe.score(X_te, y_te, mode="hardware")
+        assert acc > 0.85
+
+
+class TestMemristorBaselineAgainstFebim:
+    def test_same_model_both_engines(self):
+        """The stochastic machine converges to FeBiM's decisions."""
+        from repro.baselines import MemristorBayesianMachine
+
+        data = load_dataset("iris")
+        X_tr, X_te, y_tr, _ = train_test_split(data.data, data.target, seed=7)
+        pipe = FeBiMPipeline(q_f=3, q_l=2, seed=0).fit(X_tr, y_tr)
+        levels = pipe.discretizer_.transform(X_te[:40])
+        febim_preds = pipe.engine_.predict(levels)
+
+        tables = [
+            pipe.gnb_.bin_likelihoods(f, pipe.discretizer_.edges_[f])
+            for f in range(4)
+        ]
+        machine = MemristorBayesianMachine(tables, pipe.gnb_.class_prior_)
+        machine_preds = machine.predict(levels, n_cycles=255)
+        agreement = np.mean(machine_preds == febim_preds)
+        assert agreement > 0.8

@@ -1,0 +1,139 @@
+"""Failure injection: the engine degrades the way hardware would.
+
+These deliberately break parts of the stack and check that the failure
+is visible in accuracy/behaviour rather than silently masked — and that
+the engine never crashes on a degraded array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_iris, train_test_split
+from repro.devices import VariationModel
+
+
+@pytest.fixture(scope="module")
+def split():
+    data = load_iris()
+    return train_test_split(data.data, data.target, seed=0)
+
+
+class TestExtremeVariation:
+    def test_huge_sigma_destroys_accuracy(self, split):
+        """sigma_VTH = 400 mV swamps the whole memory window: accuracy
+        must collapse toward chance — proving the variation path is
+        actually wired through the read path."""
+        X_tr, X_te, y_tr, y_te = split
+        pipe = FeBiMPipeline(
+            q_f=4, q_l=2, variation=VariationModel(sigma_vth=0.4), seed=0
+        ).fit(X_tr, y_tr)
+        acc = pipe.score(X_te, y_te, mode="hardware")
+        assert acc < 0.85  # far below the ~0.93 ideal
+
+    def test_accuracy_monotone_degradation_trend(self, split):
+        X_tr, X_te, y_tr, y_te = split
+        accs = []
+        for sigma in (0.0, 0.1, 0.4):
+            pipe = FeBiMPipeline(
+                q_f=4, q_l=2, variation=VariationModel(sigma_vth=sigma), seed=1
+            ).fit(X_tr, y_tr)
+            accs.append(pipe.score(X_te, y_te, mode="hardware"))
+        assert accs[0] >= accs[2]
+
+
+class TestStuckCells:
+    def _engine_with_stuck_rows(self, split, fraction, stuck_level):
+        X_tr, X_te, y_tr, y_te = split
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        engine = pipe.engine_
+        rng = np.random.default_rng(7)
+        rows, cols = engine.shape
+        n_stuck = int(fraction * rows * cols)
+        flat = rng.choice(rows * cols, size=n_stuck, replace=False)
+        for idx in flat:
+            r, c = divmod(int(idx), cols)
+            if stuck_level is None:
+                # Stuck-erased: never programmed.
+                engine.crossbar._acc_time[r, c] = 0.0
+            else:
+                engine.crossbar.program_cell(r, c, stuck_level)
+        return pipe, X_te, y_te
+
+    def test_few_stuck_erased_cells_graceful(self, split):
+        pipe, X_te, y_te = self._engine_with_stuck_rows(split, 0.02, None)
+        acc = pipe.score(X_te, y_te, mode="hardware")
+        assert acc > 0.7  # degraded but functional
+
+    def test_many_stuck_on_cells_hurt(self, split):
+        clean_pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(split[0], split[2])
+        clean = clean_pipe.score(split[1], split[3], mode="hardware")
+        pipe, X_te, y_te = self._engine_with_stuck_rows(split, 0.5, 3)
+        broken = pipe.score(X_te, y_te, mode="hardware")
+        assert broken < clean
+
+    def test_engine_never_crashes_on_degraded_array(self, split):
+        pipe, X_te, _ = self._engine_with_stuck_rows(split, 0.9, 0)
+        preds = pipe.predict(X_te[:10], mode="hardware")
+        assert preds.shape == (10,)
+
+
+class TestSensingFaults:
+    def test_heavy_mirror_mismatch_degrades(self, split):
+        X_tr, X_te, y_tr, y_te = split
+        ideal = FeBiMPipeline(q_f=4, q_l=2, seed=3).fit(X_tr, y_tr)
+        noisy = FeBiMPipeline(
+            q_f=4, q_l=2, mirror_gain_sigma=0.5, seed=3
+        ).fit(X_tr, y_tr)
+        assert noisy.score(X_te, y_te, mode="hardware") <= ideal.score(
+            X_te, y_te, mode="hardware"
+        ) + 0.02
+
+    def test_mild_mismatch_tolerated(self, split):
+        X_tr, X_te, y_tr, y_te = split
+        pipe = FeBiMPipeline(
+            q_f=4, q_l=2, mirror_gain_sigma=0.01, seed=3
+        ).fit(X_tr, y_tr)
+        assert pipe.score(X_te, y_te, mode="hardware") > 0.85
+
+
+class TestRetentionFailure:
+    def test_absurd_drift_collapses_sensing_margin(self, split):
+        """Because every partially switched state drifts by a similar
+        amount, heavy retention loss barely reorders wordline currents —
+        the observable failure is the *magnitude* collapsing below the
+        WTA's operating range.  (A subtle and physically real effect:
+        common-mode drift is what retention screens must measure.)"""
+        from repro.devices import RetentionModel
+
+        X_tr, X_te, y_tr, _ = split
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        retention = RetentionModel(drift_rate=0.2)  # absurd: 200 mV/decade
+        xbar = pipe.engine_.crossbar
+        layout = pipe.engine_.layout
+        sample = pipe.discretizer_.transform(X_te[:1])[0]
+        mask = layout.active_columns(sample)
+
+        fresh = xbar.wordline_currents(mask)
+        aged = retention.aged_wordline_currents(xbar, mask, 3.15e8)  # 10 yr
+        # Fresh currents sit in the designed multi-uA range; the aged
+        # array has lost nearly all its read current.
+        assert fresh.max() > 1e-6
+        assert aged.max() < 0.1 * fresh.max()
+
+    def test_realistic_drift_preserves_decisions(self, split):
+        from repro.devices import RetentionModel
+
+        X_tr, X_te, y_tr, y_te = split
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        retention = RetentionModel()  # calibrated 5 mV/decade
+        xbar = pipe.engine_.crossbar
+        layout = pipe.engine_.layout
+        levels = pipe.discretizer_.transform(X_te)
+        correct = sum(
+            int(np.argmax(retention.aged_wordline_currents(
+                xbar, layout.active_columns(s), 3.15e7))) == label
+            for s, label in zip(levels, y_te)
+        )
+        fresh_acc = pipe.score(X_te, y_te, mode="hardware")
+        assert correct / len(y_te) > fresh_acc - 0.05

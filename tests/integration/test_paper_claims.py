@@ -1,0 +1,130 @@
+"""The paper's headline claims, asserted end-to-end.
+
+Each test names the claim and where the paper makes it.  Absolute-value
+claims use the repo's calibrated models; shape claims (who wins, what
+degrades) are calibration-independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    improvement_factors,
+    ops_per_inference,
+    summarize_pipeline,
+    tops_per_watt,
+)
+from repro.core.pipeline import run_epochs
+from repro.datasets import load_iris
+
+
+class TestAbstractClaims:
+    def test_storage_density_26_32(self, fitted_pipeline, iris_split):
+        """Abstract: 'storage density of 26.32 Mb/mm^2'."""
+        _, X_te, _, y_te = iris_split
+        summary = summarize_pipeline(fitted_pipeline, X_te[:25], y_te[:25])
+        assert summary.storage_density_mb_mm2 == pytest.approx(26.32, abs=0.01)
+
+    def test_efficiency_581_40(self, fitted_pipeline, iris_split):
+        """Abstract: 'computing efficiency of 581.40 TOPS/W'."""
+        _, X_te, _, y_te = iris_split
+        summary = summarize_pipeline(fitted_pipeline, X_te[:25], y_te[:25])
+        assert summary.efficiency_tops_w == pytest.approx(581.40, rel=0.10)
+
+    def test_improvement_10_7x_and_43_4x(self):
+        """Abstract: '10.7x/43.4x improvement in compactness/efficiency'."""
+        density_x, efficiency_x = improvement_factors()
+        assert density_x == pytest.approx(10.7, abs=0.1)
+        assert efficiency_x == pytest.approx(43.4, abs=0.5)
+
+    def test_single_cycle_inference(self, fitted_pipeline, iris_split):
+        """Sec. 1: 'in just one clock cycle' — a full inference is one
+        array read + one WTA resolution, well under a ns."""
+        _, X_te, _, _ = iris_split
+        report = fitted_pipeline.inference_report(X_te[0])
+        assert report.delay < 1e-9
+
+
+class TestSection4Claims:
+    def test_iris_operating_point_accuracy(self):
+        """Sec. 4.2: 94.64 % at Q_f=4, Q_l=2 (we accept a ~2 %% band
+        around it for the behavioural reproduction)."""
+        acc = run_epochs(load_iris(), q_f=4, q_l=2, mode="quantized", epochs=30, seed=0)
+        assert acc.mean() == pytest.approx(0.9464, abs=0.025)
+
+    def test_2bit_negligible_drop(self):
+        """Fig. 7: 'even with Q_f or Q_l reduced to as low as 2-bit,
+        GNBCs display a negligible drop'."""
+        data = load_iris()
+        baseline = run_epochs(data, mode="software", epochs=20, seed=1).mean()
+        ql2 = run_epochs(data, q_f=8, q_l=2, mode="quantized", epochs=20, seed=1).mean()
+        qf2 = run_epochs(data, q_f=2, q_l=8, mode="quantized", epochs=20, seed=1).mean()
+        assert baseline - ql2 < 0.03
+        assert baseline - qf2 < 0.05
+
+    def test_variation_drop_about_5pct_at_45mv(self):
+        """Fig. 8(c): 'mean accuracy drop is just ~5 % at 45 mV'."""
+        from repro.devices import VariationModel
+
+        data = load_iris()
+        ideal = run_epochs(data, mode="hardware", epochs=15, seed=2).mean()
+        noisy = run_epochs(
+            data,
+            mode="hardware",
+            epochs=15,
+            variation=VariationModel.from_millivolts(45),
+            seed=2,
+        ).mean()
+        drop = ideal - noisy
+        assert 0.0 < drop < 0.12
+        assert drop == pytest.approx(0.05, abs=0.05)
+
+    def test_cited_38mv_device_stays_robust(self):
+        """Sec. 4.2: at the experimentally observed 38 mV the design
+        remains 'robust and reliable'."""
+        from repro.devices import VariationModel
+
+        data = load_iris()
+        noisy = run_epochs(
+            data,
+            mode="hardware",
+            epochs=15,
+            variation=VariationModel.from_millivolts(38),
+            seed=3,
+        ).mean()
+        assert noisy > 0.85
+
+
+class TestOpAccounting:
+    def test_iris_ops(self):
+        """Table 1 derivation: 10 ops/inference for iris-GNBC."""
+        assert ops_per_inference(3, 4) == 10
+
+    def test_headline_from_components(self):
+        """581.40 TOPS/W = 10 ops / 17.20 fJ — internally consistent."""
+        assert tops_per_watt(10, 17.20e-15) == pytest.approx(581.40, abs=0.01)
+
+
+class TestBaselineOrdering:
+    def test_febim_beats_all_published_rows(self):
+        """Table 1: FeBiM wins every quantitative column."""
+        from repro.analysis import FEBIM_ROW, PUBLISHED_ROWS
+
+        for row in PUBLISHED_ROWS:
+            assert FEBIM_ROW.best_efficiency > row.best_efficiency
+            assert FEBIM_ROW.best_clocks <= row.best_clocks
+            if row.storage_density_mb_mm2 is not None:
+                assert FEBIM_ROW.storage_density_mb_mm2 > row.storage_density_mb_mm2
+
+    def test_computing_density_3x_over_rng(self):
+        """Sec. 4.2: 'computing density improved by more than 3.0x'
+        compared to the RNG-based implementations."""
+        from repro.analysis import FEBIM_ROW, PUBLISHED_ROWS
+
+        best_rng = max(
+            PUBLISHED_ROWS[0].computing_density_mo_mm2,
+            PUBLISHED_ROWS[1].computing_density_mo_mm2,
+        )
+        assert FEBIM_ROW.computing_density_mo_mm2 / best_rng == pytest.approx(
+            3.0, rel=0.01
+        ) or FEBIM_ROW.computing_density_mo_mm2 / best_rng > 3.0

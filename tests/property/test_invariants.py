@@ -1,0 +1,174 @@
+"""Cross-module property-based invariants (hypothesis).
+
+These pin down the mathematical guarantees the architecture rests on,
+over randomly generated models rather than fixtures:
+
+1. Eq. 6 normalisation never changes any posterior argmax.
+2. Finer quantisation converges to the exact discrete model.
+3. Wordline currents superpose over disjoint activation masks.
+4. Ideal wordline currents are strictly monotone in the digital score.
+5. The whole pipeline is deterministic under a fixed seed.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayes import CategoricalNaiveBayes
+from repro.core import FeBiMEngine, quantize_model
+from repro.core.quantization import log_normalize_columns
+from repro.crossbar import FeFETCrossbar
+
+
+def _random_tables(rng, k, f, m):
+    tables = []
+    for _ in range(f):
+        t = rng.random((k, m)) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    return tables
+
+
+class TestNormalizationPreservesArgmax:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=2, max_value=5),
+        m=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_column_argmax_unchanged(self, seed, k, m):
+        rng = np.random.default_rng(seed)
+        table = _random_tables(rng, k, 1, m)[0]
+        normalised = log_normalize_columns(table, clip_decades=20.0)
+        # With truncation far below any entry, normalisation is a pure
+        # per-column shift: argmax per column must be identical.
+        np.testing.assert_array_equal(
+            np.argmax(normalised, axis=0), np.argmax(table, axis=0)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_posterior_argmax_unchanged_end_to_end(self, seed):
+        """Quantised at very fine precision with deep truncation, the
+        model's decisions equal the exact categorical NB decisions."""
+        rng = np.random.default_rng(seed)
+        k, f, m = 3, 3, 4
+        tables = _random_tables(rng, k, f, m)
+        prior = rng.random(k) + 0.2
+        prior /= prior.sum()
+
+        exact = CategoricalNaiveBayes.from_tables(tables, prior)
+        fine = quantize_model(
+            tables, prior, n_levels=4096, clip_decades=8.0,
+            force_prior_column=True,
+        )
+        X = rng.integers(0, m, size=(25, f))
+        # Compare on samples whose exact margin exceeds the accumulated
+        # quantisation error bound; near-ties may legitimately flip.
+        jll = exact.joint_log_likelihood(X)
+        ordered = np.sort(jll, axis=1)
+        margins = ordered[:, -1] - ordered[:, -2]
+        confident = margins > (f + 1) * fine.quantizer.step
+        np.testing.assert_array_equal(
+            fine.predict(X)[confident], exact.predict(X)[confident]
+        )
+
+
+class TestQuantizationConvergence:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        bits=st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dequantization_error_bounded_by_step(self, seed, bits):
+        from repro.core import UniformQuantizer
+
+        rng = np.random.default_rng(seed)
+        q = UniformQuantizer(2**bits)
+        values = rng.uniform(q.lo, q.hi, size=50)
+        recon = q.dequantize(q.quantize(values))
+        assert np.max(np.abs(recon - values)) <= q.step / 2 + 1e-12
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_agreement_with_exact_at_high_precision(self, seed):
+        """Fine quantisation agrees with the exact model on every sample
+        whose log-posterior margin exceeds the worst-case accumulated
+        quantisation error ((n_features + 1) * step)."""
+        rng = np.random.default_rng(seed)
+        k, f, m = 3, 2, 5
+        tables = _random_tables(rng, k, f, m)
+        prior = np.full(k, 1.0 / k)
+        exact = CategoricalNaiveBayes.from_tables(tables, prior)
+        X = rng.integers(0, m, size=(40, f))
+
+        model = quantize_model(tables, prior, n_levels=1024, clip_decades=8.0)
+        fine = model.predict(X)
+        exact_preds = exact.predict(X)
+
+        jll = exact.joint_log_likelihood(X)
+        ordered = np.sort(jll, axis=1)
+        margins = ordered[:, -1] - ordered[:, -2]
+        bound = (f + 1) * model.quantizer.step
+        confident = margins > bound
+        np.testing.assert_array_equal(fine[confident], exact_preds[confident])
+        # And overall agreement is still high.
+        assert np.mean(fine == exact_preds) > 0.8
+
+
+class TestCurrentSuperposition:
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_disjoint_masks_superpose(self, seed):
+        rng = np.random.default_rng(seed)
+        xbar = FeFETCrossbar(rows=2, cols=6, seed=0)
+        xbar.program_matrix(rng.integers(0, 4, size=(2, 6)))
+        cols = rng.permutation(6)
+        mask_a = np.zeros(6, dtype=bool)
+        mask_b = np.zeros(6, dtype=bool)
+        mask_a[cols[:3]] = True
+        mask_b[cols[3:]] = True
+        together = xbar.wordline_currents(mask_a | mask_b)
+        summed = xbar.wordline_currents(mask_a) + xbar.wordline_currents(mask_b)
+        # Off-state leakage of the inhibited columns is the only error.
+        np.testing.assert_allclose(together, summed, rtol=1e-3)
+
+
+class TestIdealCurrentMonotonicity:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_ideal_currents_affine_in_scores(self, seed):
+        rng = np.random.default_rng(seed)
+        k, f, m = 4, 3, 4
+        tables = _random_tables(rng, k, f, m)
+        model = quantize_model(tables, np.full(k, 0.25), n_levels=4)
+        engine = FeBiMEngine(model, seed=0)
+        for _ in range(5):
+            ev = rng.integers(0, m, size=f)
+            scores = model.level_scores(ev[None, :])[0]
+            currents = engine.ideal_wordline_currents(ev)
+            order = np.argsort(scores, kind="stable")
+            # Currents sorted by score are non-decreasing, and strictly
+            # increasing wherever scores strictly increase.
+            sorted_currents = currents[order]
+            sorted_scores = scores[order]
+            assert np.all(np.diff(sorted_currents) >= -1e-18)
+            strict = np.diff(sorted_scores) > 0
+            assert np.all(np.diff(sorted_currents)[strict] > 0)
+
+
+class TestDeterminism:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_pipeline_reproducible(self, seed):
+        from repro.core.pipeline import FeBiMPipeline
+        from repro.datasets import load_iris, train_test_split
+        from repro.devices import VariationModel
+
+        data = load_iris()
+        X_tr, X_te, y_tr, _ = train_test_split(data.data, data.target, seed=seed)
+        kwargs = dict(q_f=3, q_l=2, variation=VariationModel(sigma_vth=0.03))
+        a = FeBiMPipeline(seed=seed, **kwargs).fit(X_tr, y_tr)
+        b = FeBiMPipeline(seed=seed, **kwargs).fit(X_tr, y_tr)
+        np.testing.assert_array_equal(
+            a.predict(X_te, mode="hardware"), b.predict(X_te, mode="hardware")
+        )

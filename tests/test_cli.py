@@ -1,0 +1,62 @@
+"""The febim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "iris" and args.qf == 4 and args.ql == 2
+
+    def test_train_custom(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "wine", "--qf", "3", "--ql", "4"]
+        )
+        assert args.dataset == "wine" and args.qf == 3 and args.ql == 4
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "mnist"])
+
+    def test_eval_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "0.076" in out and "pulse counts" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "26.32" in out and "10.7" in out
+
+    def test_train_and_eval_roundtrip(self, capsys, tmp_path):
+        artifact = tmp_path / "iris.json"
+        assert main(["train", "--save", str(artifact), "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "crossbar: 3 x 64" in out
+        assert artifact.exists()
+
+        assert main(["eval", str(artifact), "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware accuracy" in out
+
+    def test_train_with_variation(self, capsys):
+        assert main(["train", "--sigma-vth-mv", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy [hardware ]" in out

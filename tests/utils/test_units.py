@@ -1,0 +1,68 @@
+"""Unit-prefix conversion helpers."""
+
+import pytest
+
+from repro.utils.units import (
+    FEMTO,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    PICO,
+    TERA,
+    from_si,
+    to_si,
+)
+
+
+class TestConstants:
+    def test_small_prefixes_ordered(self):
+        assert MILLI > MICRO > NANO > PICO > FEMTO > 0
+
+    def test_large_prefixes_ordered(self):
+        assert KILO < MEGA < GIGA < TERA
+
+    def test_reciprocal_pairs(self):
+        assert MILLI * KILO == pytest.approx(1.0)
+        assert MICRO * MEGA == pytest.approx(1.0)
+        assert NANO * GIGA == pytest.approx(1.0)
+        assert PICO * TERA == pytest.approx(1.0)
+
+
+class TestToSi:
+    def test_microamp(self):
+        assert to_si(1.0, "u") == pytest.approx(1e-6)
+
+    def test_micro_sign_alias(self):
+        assert to_si(2.5, "µ") == to_si(2.5, "u")
+
+    def test_femtojoule(self):
+        assert to_si(17.2, "f") == pytest.approx(17.2e-15)
+
+    def test_empty_prefix_identity(self):
+        assert to_si(3.7, "") == pytest.approx(3.7)
+
+    def test_tera(self):
+        assert to_si(581.4, "T") == pytest.approx(581.4e12)
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ValueError, match="unknown SI prefix"):
+            to_si(1.0, "q")
+
+
+class TestFromSi:
+    def test_amp_to_microamp(self):
+        assert from_si(1e-6, "u") == pytest.approx(1.0)
+
+    def test_seconds_to_picoseconds(self):
+        assert from_si(300e-12, "p") == pytest.approx(300.0)
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ValueError, match="unknown SI prefix"):
+            from_si(1.0, "zz")
+
+    def test_roundtrip(self):
+        for prefix in ("m", "u", "n", "p", "f", "k", "M", "G", "T"):
+            assert from_si(to_si(42.0, prefix), prefix) == pytest.approx(42.0)

@@ -1,0 +1,102 @@
+"""Validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_in_range,
+    check_positive,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_returns_float(self):
+        assert isinstance(check_positive(2, "x"), float)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be"):
+            check_positive(bad, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, "n") == 1
+
+    def test_numpy_int_accepted(self):
+        assert check_positive_int(np.int32(4), "n") == 4
+
+    def test_returns_builtin_int(self):
+        assert type(check_positive_int(np.int64(2), "n")) is int
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="n must be >= 1"):
+            check_positive_int(0, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError, match="must be an int"):
+            check_positive_int(2.0, "n")
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints_ok(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_endpoints_fail(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_outside_fails(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            check_in_range(1.5, "x", 0.0, 1.0)
+
+
+class TestArrayChecks:
+    def test_1d_accepts_list(self):
+        out = check_array_1d([1, 2, 3], "a")
+        assert out.dtype == float and out.shape == (3,)
+
+    def test_1d_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            check_array_1d(np.zeros((2, 2)), "a")
+
+    def test_2d_accepts(self):
+        assert check_array_2d(np.zeros((2, 3)), "m").shape == (2, 3)
+
+    def test_2d_shape_enforced(self):
+        with pytest.raises(ValueError, match="must have shape"):
+            check_array_2d(np.zeros((2, 3)), "m", shape=(3, 2))
+
+    def test_2d_rejects_1d(self):
+        with pytest.raises(ValueError, match="must be 2-D"):
+            check_array_2d(np.zeros(4), "m")
+
+
+class TestProbabilityMatrix:
+    def test_valid(self):
+        m = check_probability_matrix([[0.5, 1.0], [0.1, 0.2]], "p")
+        assert m.shape == (2, 2)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            check_probability_matrix([[0.0, 0.5]], "p")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_probability_matrix([[0.5, 1.5]], "p")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_probability_matrix([[0.5, float("nan")]], "p")
