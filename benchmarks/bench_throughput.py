@@ -1,0 +1,53 @@
+"""Read-path throughput: batched inference vs the seed per-sample loop.
+
+Not a paper figure — this benchmark guards the serving-path performance
+contract: the fully batched crossbar read
+(:meth:`~repro.core.engine.FeBiMEngine.predict` /
+:meth:`~repro.core.engine.FeBiMEngine.infer_batch`) must deliver at
+least 10x the samples/sec of the original per-sample loop at batch size
+256 on iris.  Run with ``-s`` to see the sweep table; see THROUGHPUT.md
+for how to read it.
+
+Also runnable directly (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+"""
+
+import numpy as np
+
+from repro.analysis.throughput import format_throughput, run_throughput
+
+BATCH_SIZES = (1, 16, 64, 256)
+REQUIRED_SPEEDUP = 10.0
+
+
+def test_throughput_sweep(once):
+    result = once(
+        run_throughput,
+        dataset="iris",
+        batch_sizes=BATCH_SIZES,
+        repeats=3,
+        seed=0,
+    )
+    print()
+    print(format_throughput(result))
+    headline = result.at(256)
+    assert headline.loop_sps is not None and headline.loop_sps > 0
+    # The acceptance bar: >= 10x over the seed per-sample loop at batch
+    # 256 on iris (in practice the batched path lands far above it).
+    assert headline.speedup >= REQUIRED_SPEEDUP
+    # Throughput must not *degrade* with batch size on the batched path.
+    rates = np.array([p.batch_sps for p in result.points])
+    assert rates[-1] > rates[0]
+
+
+if __name__ == "__main__":
+    result = run_throughput(dataset="iris", batch_sizes=BATCH_SIZES, repeats=3, seed=0)
+    print(format_throughput(result))
+    headline = result.at(256)
+    status = "PASS" if headline.speedup >= REQUIRED_SPEEDUP else "FAIL"
+    print(
+        f"batch-256 speedup over the seed loop: {headline.speedup:.1f}x "
+        f"(required >= {REQUIRED_SPEEDUP:.0f}x) -> {status}"
+    )
+    raise SystemExit(0 if status == "PASS" else 1)

@@ -22,6 +22,13 @@ from repro.analysis.efficiency import (
     tops_per_watt,
 )
 from repro.analysis.montecarlo import variation_sweep
+from repro.analysis.throughput import (
+    ThroughputPoint,
+    ThroughputResult,
+    format_throughput,
+    legacy_predict_loop,
+    run_throughput,
+)
 from repro.analysis.ablation import (
     format_ablation,
     normalization_ablation,
@@ -49,6 +56,11 @@ __all__ = [
     "summarize_pipeline",
     "tops_per_watt",
     "variation_sweep",
+    "ThroughputPoint",
+    "ThroughputResult",
+    "format_throughput",
+    "legacy_predict_loop",
+    "run_throughput",
     "ImplementationRow",
     "PUBLISHED_ROWS",
     "FEBIM_ROW",

@@ -106,9 +106,11 @@ def summarize_pipeline(pipeline, X_test: np.ndarray, y_test: np.ndarray) -> Perf
     pipeline._check_fitted()
     layout = pipeline.engine_.layout
     ops = ops_per_inference(layout.total_rows, layout.activated_per_inference)
-    energy = pipeline.average_energy(X_test)
-    delay = pipeline.average_delay(X_test)
-    accuracy = pipeline.score(X_test, y_test, mode="hardware")
+    # One batched read yields energy, delay and predictions together.
+    report = pipeline.infer_batch(X_test)
+    energy = float(np.mean(report.energy.total))
+    delay = float(np.mean(report.delay))
+    accuracy = float(np.mean(report.predictions == np.asarray(y_test)))
     return PerformanceSummary(
         rows=layout.total_rows,
         cols=layout.total_cols,

@@ -1,0 +1,197 @@
+"""Inference-throughput measurement: the batched read path vs the seed loop.
+
+The macro performs one inference per read cycle; a serving deployment
+cares about how many read cycles per second the *simulator* can push.
+This module measures samples/sec of the fully batched read path
+(:meth:`~repro.core.engine.FeBiMEngine.predict` /
+:meth:`~repro.core.engine.FeBiMEngine.infer_batch`) over a batch-size
+sweep, against a faithful re-implementation of the original per-sample
+loop (one activation mask, one device-physics array read and one WTA
+decision per sample) kept here as the fixed baseline.
+
+``febim bench`` exposes the sweep on the command line and
+``benchmarks/bench_throughput.py`` wires it into the benchmark harness;
+see ``benchmarks/THROUGHPUT.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import FeBiMEngine
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_dataset
+from repro.datasets.splits import train_test_split
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def legacy_predict_loop(engine: FeBiMEngine, evidence_levels: np.ndarray) -> np.ndarray:
+    """The seed repository's per-sample prediction loop, verbatim.
+
+    One Python iteration per sample: derive that sample's activation
+    mask, re-evaluate the array's device physics (polarisation -> V_TH
+    -> current) for the read, and run one WTA decision.  Kept as the
+    reference the batched path is benchmarked against — do not
+    "optimise" it, its cost *is* the baseline.
+    """
+    evidence_levels = np.asarray(evidence_levels, dtype=int)
+    if evidence_levels.ndim == 1:
+        evidence_levels = evidence_levels[None, :]
+    crossbar = engine.crossbar
+    out = np.empty(evidence_levels.shape[0], dtype=engine.model.classes.dtype)
+    for i in range(evidence_levels.shape[0]):
+        mask = engine.layout.active_columns(evidence_levels[i])
+        v_gates = np.where(mask, crossbar.params.v_on, crossbar.params.v_off)
+        vth = crossbar.vth_matrix()
+        currents = crossbar.template.idvg.current(v_gates[None, :], vth).sum(axis=1)
+        out[i] = engine.model.classes[engine.sensing.decide(currents)]
+    return out
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Throughput at one batch size.
+
+    Attributes
+    ----------
+    batch_size:
+        Samples per batched read call.
+    batch_sps:
+        Samples/sec of the batched path (best of ``repeats`` timings).
+    report_sps:
+        Samples/sec of :meth:`FeBiMEngine.infer_batch` including the
+        full per-sample delay/energy report.
+    loop_sps:
+        Samples/sec of the seed per-sample loop (``None`` when the
+        baseline was skipped).
+    """
+
+    batch_size: int
+    batch_sps: float
+    report_sps: float
+    loop_sps: Optional[float]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Batched-vs-loop speedup; ``None`` without a baseline."""
+        if self.loop_sps is None or self.loop_sps == 0.0:
+            return None
+        return self.batch_sps / self.loop_sps
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """A full batch-size sweep on one dataset/operating point."""
+
+    dataset: str
+    rows: int
+    cols: int
+    points: Tuple[ThroughputPoint, ...]
+
+    def at(self, batch_size: int) -> ThroughputPoint:
+        """The sweep point measured at ``batch_size``."""
+        for point in self.points:
+            if point.batch_size == batch_size:
+                return point
+        raise KeyError(f"no sweep point at batch size {batch_size}")
+
+
+def _best_rate(fn, n_samples: int, repeats: int) -> float:
+    """Samples/sec of ``fn`` over ``repeats`` runs (best run wins)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_samples / max(best, 1e-12)
+
+
+def run_throughput(
+    dataset: str = "iris",
+    batch_sizes: Sequence[int] = (1, 16, 64, 256),
+    repeats: int = 3,
+    q_f: int = 4,
+    q_l: int = 2,
+    include_loop: bool = True,
+    seed: RngLike = 0,
+) -> ThroughputResult:
+    """Measure read-path throughput over a batch-size sweep.
+
+    Fits one :class:`FeBiMPipeline` at the requested operating point
+    (the paper's iris point by default), then for each batch size draws
+    that many test samples (with replacement), discretises them once and
+    times
+
+    * the batched prediction path (``engine.predict``),
+    * the batched full-report path (``engine.infer_batch``), and
+    * optionally the seed per-sample loop (:func:`legacy_predict_loop`).
+
+    Predictions of the batched path are checked against the loop on
+    every run — a throughput number from a wrong answer is worthless.
+    """
+    check_positive_int(repeats, "repeats")
+    if not batch_sizes:
+        raise ValueError("batch_sizes must be non-empty")
+    rng = ensure_rng(seed)
+    data = load_dataset(dataset)
+    X_tr, X_te, y_tr, _ = train_test_split(
+        data.data, data.target, test_size=0.7, seed=rng
+    )
+    pipeline = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=rng).fit(X_tr, y_tr)
+    engine = pipeline.engine_
+    # Warm the array's read cache so every timing below is steady-state.
+    engine.predict(pipeline.transform_levels(X_te[:1]))
+
+    points = []
+    for batch_size in batch_sizes:
+        check_positive_int(batch_size, "batch size")
+        idx = rng.integers(0, X_te.shape[0], size=batch_size)
+        levels = pipeline.transform_levels(X_te[idx])
+
+        batch_sps = _best_rate(lambda: engine.predict(levels), batch_size, repeats)
+        report_sps = _best_rate(
+            lambda: engine.infer_batch(levels), batch_size, repeats
+        )
+        loop_sps = None
+        if include_loop:
+            loop_sps = _best_rate(
+                lambda: legacy_predict_loop(engine, levels), batch_size, repeats
+            )
+            np.testing.assert_array_equal(
+                engine.predict(levels), legacy_predict_loop(engine, levels)
+            )
+        points.append(
+            ThroughputPoint(
+                batch_size=int(batch_size),
+                batch_sps=batch_sps,
+                report_sps=report_sps,
+                loop_sps=loop_sps,
+            )
+        )
+    rows, cols = engine.shape
+    return ThroughputResult(
+        dataset=dataset, rows=rows, cols=cols, points=tuple(points)
+    )
+
+
+def format_throughput(result: ThroughputResult) -> str:
+    """Human-readable sweep table (see benchmarks/THROUGHPUT.md)."""
+    lines = [
+        f"read-path throughput on {result.dataset} "
+        f"({result.rows} x {result.cols} crossbar)",
+        f"{'batch':>6s} {'batch sps':>12s} {'report sps':>12s} "
+        f"{'loop sps':>12s} {'speedup':>8s}",
+    ]
+    for p in result.points:
+        loop = f"{p.loop_sps:12.0f}" if p.loop_sps is not None else f"{'-':>12s}"
+        speed = f"{p.speedup:7.1f}x" if p.speedup is not None else f"{'-':>8s}"
+        lines.append(
+            f"{p.batch_size:6d} {p.batch_sps:12.0f} {p.report_sps:12.0f} "
+            f"{loop} {speed}"
+        )
+    return "\n".join(lines)

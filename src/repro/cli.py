@@ -8,6 +8,8 @@ Commands
 ``eval``     Load a saved model artifact and score it on a dataset.
 ``table1``   Regenerate the Table 1 comparison.
 ``sweep``    Print the Fig. 6 delay/energy scalability sweeps.
+``bench``    Measure batched read-path throughput (samples/sec sweep
+             over batch sizes, vs the per-sample baseline loop).
 ``info``     Show calibrated device/circuit parameters.
 """
 
@@ -86,6 +88,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.throughput import format_throughput, run_throughput
+
+    try:
+        batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
+    except ValueError:
+        print("error: --batch-sizes must be comma-separated integers", file=sys.stderr)
+        return 2
+    if not batch_sizes or any(b < 1 for b in batch_sizes):
+        print("error: --batch-sizes needs at least one integer >= 1", file=sys.stderr)
+        return 2
+    result = run_throughput(
+        dataset=args.dataset,
+        batch_sizes=batch_sizes,
+        repeats=args.repeats,
+        q_f=args.qf,
+        q_l=args.ql,
+        include_loop=not args.no_baseline,
+        seed=args.seed,
+    )
+    print(format_throughput(result))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report, write_report
 
@@ -148,6 +174,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = sub.add_parser("sweep", help="print the Fig. 6 scalability sweeps")
     sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="measure batched read-path throughput (samples/sec)"
+    )
+    bench.add_argument("--dataset", default="iris", choices=["iris", "wine", "cancer"])
+    bench.add_argument(
+        "--batch-sizes",
+        default="1,16,64,256",
+        help="comma-separated batch sizes to sweep (default 1,16,64,256)",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--qf", type=int, default=4)
+    bench.add_argument("--ql", type=int, default=2)
+    bench.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the slow per-sample baseline loop",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=_cmd_bench)
 
     report = sub.add_parser(
         "report", help="regenerate the full evaluation (all figures + Table 1)"

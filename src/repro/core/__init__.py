@@ -22,7 +22,7 @@ from repro.core.quantization import (
     quantize_model,
 )
 from repro.core.mapping import ProbabilityMapper, levels_to_currents
-from repro.core.engine import FeBiMEngine, InferenceReport
+from repro.core.engine import BatchInferenceReport, FeBiMEngine, InferenceReport
 from repro.core.pipeline import FeBiMPipeline, run_epochs
 from repro.core.compiler import CompiledNetwork, compile_network
 
@@ -38,6 +38,7 @@ __all__ = [
     "levels_to_currents",
     "FeBiMEngine",
     "InferenceReport",
+    "BatchInferenceReport",
     "FeBiMPipeline",
     "run_epochs",
     "CompiledNetwork",

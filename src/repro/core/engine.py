@@ -8,6 +8,29 @@ accumulated wordline currents — which *are* the quantised log-posteriors
 
 The engine also reports per-inference delay/energy through the calibrated
 circuit models and exposes the programmed state map (Fig. 8b).
+
+Batched inference API
+---------------------
+
+The macro performs one inference per read cycle, and the simulator
+serves whole request streams the same way: densely batched.
+:meth:`FeBiMEngine.infer_batch` takes ``(n_samples, n_features)``
+evidence levels and pushes the entire batch through every layer in one
+vectorised pass — activation masks
+(:meth:`~repro.crossbar.layout.BayesianArrayLayout.active_columns_batch`),
+wordline reads
+(:meth:`~repro.crossbar.array.FeFETCrossbar.wordline_currents_batch`
+over the array's cached per-cell current matrices), WTA decisions
+(:meth:`~repro.crossbar.sensing.SensingModule.decide_batch`), and the
+delay/energy models' ``*_batch`` forms — returning a
+:class:`BatchInferenceReport` with per-sample predictions, currents,
+delays and an energy breakdown.
+
+The batch path is *bit-identical* to per-sample inference under a fixed
+seed (enforced by ``tests/property/test_batch_equivalence.py``):
+:meth:`FeBiMEngine.predict` and :meth:`FeBiMEngine.infer_one` are thin
+wrappers over the same batch core, and per-read noise is drawn once per
+batch in the exact order the per-sample loop would consume it.
 """
 
 from __future__ import annotations
@@ -20,13 +43,13 @@ import numpy as np
 from repro.core.mapping import ProbabilityMapper, levels_to_currents
 from repro.core.quantization import QuantizedBayesianModel
 from repro.crossbar.array import FeFETCrossbar
-from repro.crossbar.energy import EnergyBreakdown, EnergyModel
+from repro.crossbar.energy import BatchEnergyBreakdown, EnergyBreakdown, EnergyModel
 from repro.crossbar.parameters import CircuitParameters
 from repro.crossbar.sensing import SensingModule
 from repro.crossbar.timing import DelayModel
 from repro.devices.fefet import FeFET, MultiLevelCellSpec
 from repro.devices.variation import VariationModel
-from repro.utils.rng import RngLike
+from repro.utils.rng import RngLike, spawn_rngs
 
 
 @dataclass(frozen=True)
@@ -51,6 +74,43 @@ class InferenceReport:
     energy: EnergyBreakdown
 
 
+@dataclass(frozen=True)
+class BatchInferenceReport:
+    """Circuit-level summary of a batch of inferences (one read cycle each).
+
+    Attributes
+    ----------
+    predictions:
+        Winning class label per sample, shape ``(n_samples,)``.
+    winners:
+        Winning wordline index per sample (row into the array).
+    wordline_currents:
+        Accumulated I_WL per sample, shape ``(n_samples, rows)`` (amperes).
+    delay:
+        Worst-case inference latency per sample (seconds).
+    energy:
+        Per-sample energy breakdown (:class:`BatchEnergyBreakdown`).
+    """
+
+    predictions: np.ndarray
+    winners: np.ndarray
+    wordline_currents: np.ndarray
+    delay: np.ndarray
+    energy: BatchEnergyBreakdown
+
+    def __len__(self) -> int:
+        return self.predictions.shape[0]
+
+    def sample(self, i: int) -> InferenceReport:
+        """The ``i``-th sample's result as a scalar :class:`InferenceReport`."""
+        return InferenceReport(
+            prediction=int(self.predictions[i]),
+            wordline_currents=self.wordline_currents[i],
+            delay=float(self.delay[i]),
+            energy=self.energy.sample(i),
+        )
+
+
 class FeBiMEngine:
     """A programmed FeBiM macro ready for in-memory inference.
 
@@ -70,7 +130,11 @@ class FeBiMEngine:
     mirror_gain_sigma:
         Current-mirror mismatch in the sensing module.
     seed:
-        Seed for the variation draws.
+        Seed for the stochastic draws.  It is split into independent
+        child streams (:func:`~repro.utils.rng.spawn_rngs`) for the
+        crossbar's variation/read-noise draws and the sensing module's
+        mirror-mismatch draw, so the two noise sources are never
+        correlated by a shared seed.
     """
 
     def __init__(
@@ -89,6 +153,7 @@ class FeBiMEngine:
         mapper = ProbabilityMapper(self.spec)
         self.level_matrix, self.layout = mapper.level_matrix(model)
 
+        crossbar_rng, sensing_rng = spawn_rngs(seed, 2)
         self.crossbar = FeFETCrossbar(
             rows=self.layout.total_rows,
             cols=self.layout.total_cols,
@@ -96,14 +161,14 @@ class FeBiMEngine:
             template=template,
             variation=variation,
             params=self.params,
-            seed=seed,
+            seed=crossbar_rng,
         )
         self.crossbar.program_matrix(self.level_matrix)
         self.sensing = SensingModule(
             self.layout.total_rows,
             params=self.params,
             mirror_gain_sigma=mirror_gain_sigma,
-            seed=seed,
+            seed=sensing_rng,
         )
         self.delay_model = DelayModel(self.params)
         self.energy_model = EnergyModel(self.params)
@@ -128,47 +193,91 @@ class FeBiMEngine:
         return n_active * self.spec.i_min + scores * self.spec.level_separation()
 
     # ------------------------------------------------------------ inference
-    def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
-        """In-memory MAP predictions for a batch of discretised samples."""
+    def _batch_levels(self, evidence_levels: np.ndarray) -> np.ndarray:
         evidence_levels = np.asarray(evidence_levels, dtype=int)
         if evidence_levels.ndim == 1:
             evidence_levels = evidence_levels[None, :]
-        masks = self.layout.active_columns_batch(evidence_levels)
-        out = np.empty(evidence_levels.shape[0], dtype=self.model.classes.dtype)
-        for i, mask in enumerate(masks):
-            currents = self.crossbar.wordline_currents(mask)
-            out[i] = self.model.classes[self.sensing.decide(currents)]
-        return out
+        return evidence_levels
 
-    def infer_one(self, evidence_levels: np.ndarray) -> InferenceReport:
-        """Single inference with full circuit-level reporting."""
-        evidence_levels = np.asarray(evidence_levels, dtype=int)
-        mask = self.layout.active_columns(evidence_levels)
-        currents = self.crossbar.wordline_currents(mask)
-        winner = self.sensing.decide(currents)
+    def read_batch(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Measured I_WL for a batch of samples, shape ``(n, rows)``.
 
-        ordered = np.sort(currents)
-        gap = float(ordered[-1] - ordered[-2]) if currents.size > 1 else None
-        min_gap = max(gap or self.spec.level_separation(), 1e-9 * self.spec.i_min)
-        delay = self.delay_model.inference_delay(
-            rows=self.crossbar.rows,
-            cols=self.crossbar.cols,
-            i_total=max(float(currents.sum()), 1e-12),
-            delta_i=min_gap,
+        The batch form of :meth:`wordline_currents`: masks for the whole
+        batch are derived in one shot and the array is read once through
+        its cached per-cell current matrices.
+        """
+        masks = self.layout.active_columns_batch(self._batch_levels(evidence_levels))
+        return self.crossbar.wordline_currents_batch(masks)
+
+    def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """In-memory MAP predictions for a batch of discretised samples.
+
+        Fully vectorised: one batched wordline read plus one batched WTA
+        decision, with no per-sample Python iteration.
+        """
+        currents = self.read_batch(evidence_levels)
+        return self.model.classes[self.sensing.decide_batch(currents)]
+
+    def infer_batch(self, evidence_levels: np.ndarray) -> BatchInferenceReport:
+        """Batched inference with full circuit-level reporting.
+
+        Accepts ``(n_samples, n_features)`` evidence levels (a single
+        1-D sample is treated as a batch of one; an empty batch returns
+        empty per-sample arrays) and evaluates predictions, wordline
+        currents, worst-case delays and energy breakdowns for the whole
+        batch in one vectorised pass per layer.  Results are
+        bit-identical to looping :meth:`infer_one` over the samples.
+        """
+        evidence_levels = self._batch_levels(evidence_levels)
+        currents = self.read_batch(evidence_levels)
+        winners = self.sensing.decide_batch(currents)
+
+        rows, cols = self.crossbar.rows, self.crossbar.cols
+        n = currents.shape[0]
+        separation = self.spec.level_separation()
+        if rows > 1:
+            # Top-two currents per sample; `gap or separation` semantics
+            # of the scalar path (an exact tie falls back to one LSB).
+            top_two = np.partition(currents, rows - 2, axis=1)[:, rows - 2:]
+            gaps = top_two[:, 1] - top_two[:, 0]
+            gaps = np.where(gaps == 0.0, separation, gaps)
+        else:
+            gaps = np.full(n, separation)
+        min_gaps = np.maximum(gaps, 1e-9 * self.spec.i_min)
+        delay = self.delay_model.inference_delay_batch(
+            rows=rows,
+            cols=cols,
+            i_total=np.maximum(currents.sum(axis=1), 1e-12),
+            delta_i=min_gaps,
         )
-        energy = self.energy_model.inference_energy(
-            rows=self.crossbar.rows,
-            cols=self.crossbar.cols,
+        energy = self.energy_model.inference_energy_batch(
+            rows=rows,
+            cols=cols,
             n_active_bls=self.layout.activated_per_inference,
             wordline_currents=currents,
             delay=delay,
         )
-        return InferenceReport(
-            prediction=int(self.model.classes[winner]),
+        return BatchInferenceReport(
+            predictions=self.model.classes[winners],
+            winners=winners,
             wordline_currents=currents,
             delay=delay,
             energy=energy,
         )
+
+    def infer_one(self, evidence_levels: np.ndarray) -> InferenceReport:
+        """Single inference with full circuit-level reporting.
+
+        Thin wrapper over :meth:`infer_batch` with a batch of one — the
+        batch path *is* the implementation.
+        """
+        evidence_levels = np.asarray(evidence_levels, dtype=int)
+        if evidence_levels.shape != (self.layout.n_features,):
+            raise ValueError(
+                f"evidence_levels must have shape ({self.layout.n_features},), "
+                f"got {evidence_levels.shape}"
+            )
+        return self.infer_batch(evidence_levels[None, :]).sample(0)
 
     def score(self, evidence_levels: np.ndarray, y: np.ndarray) -> float:
         """In-memory classification accuracy."""

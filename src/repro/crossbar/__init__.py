@@ -21,7 +21,7 @@ from repro.crossbar.layout import BayesianArrayLayout
 from repro.crossbar.wta import WinnerTakeAll, WTATransientResult, wta_transient
 from repro.crossbar.sensing import CurrentMirror, SensingModule
 from repro.crossbar.timing import DelayModel
-from repro.crossbar.energy import EnergyBreakdown, EnergyModel
+from repro.crossbar.energy import BatchEnergyBreakdown, EnergyBreakdown, EnergyModel
 from repro.crossbar.transient import MacroTransientResult, macro_transient
 from repro.crossbar.controller import (
     ProgrammingStats,
@@ -47,4 +47,5 @@ __all__ = [
     "DelayModel",
     "EnergyModel",
     "EnergyBreakdown",
+    "BatchEnergyBreakdown",
 ]

@@ -88,12 +88,19 @@ class FeFETCrossbar:
         self._vth_offsets = self.variation.sample_offsets((rows, cols), self._rng)
         self.levels = np.full((rows, cols), -1, dtype=int)
         self.write_pulse_total = 0
+        # Read-path cache: the per-cell (I_on, I_off) matrices depend only
+        # on the programmed state, so repeated (batched) reads between
+        # writes reuse them.  ``_state_version`` invalidates the cache;
+        # every mutation of ``_acc_time`` must bump it.
+        self._state_version = 0
+        self._read_cache = None
 
     # ------------------------------------------------------------- programming
     def erase_all(self) -> None:
         """Full-array erase (block erase before (re)programming)."""
         self._acc_time.fill(0.0)
         self.levels.fill(-1)
+        self.invalidate_read_cache()
 
     def program_cell(self, row: int, col: int, level: int) -> None:
         """Erase and program one cell to a discrete level.
@@ -116,6 +123,7 @@ class FeFETCrossbar:
         disturb = n_pulses * self._pulse_width * self._disturb_time_scale
         others = np.arange(self.rows) != row
         self._acc_time[others, col] += disturb
+        self.invalidate_read_cache()
 
     def program_matrix(self, level_matrix: np.ndarray) -> None:
         """Program the whole array from a level matrix (-1 leaves erased)."""
@@ -157,6 +165,33 @@ class FeFETCrossbar:
         v_gate = self.params.v_on if v_gate is None else v_gate
         return float(self.template.idvg.current(v_gate, self.vth_matrix()[row, col]))
 
+    def invalidate_read_cache(self) -> None:
+        """Drop the cached (I_on, I_off) read matrices.
+
+        Called by every in-tree mutation of the programmed state; code
+        that pokes ``_acc_time``/``_vth_offsets`` directly must call this
+        itself before the next read.
+        """
+        self._state_version += 1
+        self._read_cache = None
+
+    def read_current_matrices(self) -> tuple:
+        """Per-cell read currents ``(I_on, I_off)`` for the current state.
+
+        ``I_on[r, c]`` is cell (r, c)'s drain current with its gate at
+        ``V_on`` (activated column), ``I_off[r, c]`` with the gate at
+        ``V_off`` (inhibited column leakage).  Since a read never alters
+        the programmed state, the pair is cached until the next write —
+        the reuse that makes repeated batched reads O(rows x cols) cheap
+        arithmetic instead of per-read device-physics evaluation.
+        """
+        if self._read_cache is None or self._read_cache[0] != self._state_version:
+            vth = self.vth_matrix()
+            i_on = self.template.idvg.current(self.params.v_on, vth)
+            i_off = self.template.idvg.current(self.params.v_off, vth)
+            self._read_cache = (self._state_version, i_on, i_off)
+        return self._read_cache[1], self._read_cache[2]
+
     def current_matrix(
         self, active_cols: Optional[np.ndarray] = None, read_noise_seed: RngLike = None
     ) -> np.ndarray:
@@ -172,18 +207,93 @@ class FeFETCrossbar:
             variation model has ``sigma_read > 0``).
         """
         mask = self._column_mask(active_cols)
-        v_gates = np.where(mask, self.params.v_on, self.params.v_off)
-        vth = self.vth_matrix()
         if self.variation.sigma_read > 0.0:
+            v_gates = np.where(mask, self.params.v_on, self.params.v_off)
             rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
-            vth = vth + self.variation.sample_read_noise((self.rows, self.cols), rng)
-        return self.template.idvg.current(v_gates[None, :], vth)
+            vth = self.vth_matrix() + self.variation.sample_read_noise(
+                (self.rows, self.cols), rng
+            )
+            return self.template.idvg.current(v_gates[None, :], vth)
+        i_on, i_off = self.read_current_matrices()
+        return np.where(mask[None, :], i_on, i_off)
 
     def wordline_currents(
         self, active_cols: Optional[np.ndarray] = None, read_noise_seed: RngLike = None
     ) -> np.ndarray:
         """Accumulated I_WL per row — the in-memory posterior (Eq. 5)."""
         return self.current_matrix(active_cols, read_noise_seed).sum(axis=1)
+
+    # ------------------------------------------------------------ batch reads
+    def current_matrix_batch(
+        self, active_cols: np.ndarray, read_noise_seed: RngLike = None
+    ) -> np.ndarray:
+        """Per-cell currents for a batch of activation masks.
+
+        Parameters
+        ----------
+        active_cols:
+            Boolean masks, shape ``(n_samples, cols)`` — one read cycle
+            per row of the mask matrix.
+        read_noise_seed:
+            Seed for the per-read noise.  One ``(n, rows, cols)`` draw
+            covers the whole batch; because numpy Generators fill arrays
+            in C order from a single stream, the batch draw is
+            *bit-identical* to ``n`` successive per-sample draws from
+            the same Generator.  Note the equivalence is with *one
+            stream threaded through the loop*: passing an explicit int
+            seed here draws the whole batch from one fresh stream,
+            whereas re-passing that int to ``n`` separate per-sample
+            calls would re-seed per call and give every sample identical
+            noise.
+
+        Returns
+        -------
+        Currents of shape ``(n_samples, rows, cols)`` (amperes).
+
+        Notes
+        -----
+        The noise-free path selects per cell between the cached
+        ``(I_on, I_off)`` read matrices, so the whole batch costs one
+        masked selection + reduction — no per-sample device-physics
+        evaluation.  The selection is elementwise (not a BLAS matmul) on
+        purpose: it keeps every sample's floating-point result
+        bit-identical to a single-sample read.
+        """
+        masks = self._column_mask_batch(active_cols)
+        if self.variation.sigma_read > 0.0:
+            v_gates = np.where(masks, self.params.v_on, self.params.v_off)
+            rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
+            noise = self.variation.sample_read_noise(
+                (masks.shape[0], self.rows, self.cols), rng
+            )
+            vth = self.vth_matrix()[None, :, :] + noise
+            return self.template.idvg.current(v_gates[:, None, :], vth)
+        i_on, i_off = self.read_current_matrices()
+        return np.where(masks[:, None, :], i_on[None, :, :], i_off[None, :, :])
+
+    def wordline_currents_batch(
+        self, active_cols: np.ndarray, read_noise_seed: RngLike = None
+    ) -> np.ndarray:
+        """Accumulated I_WL for a batch of masks, shape ``(n_samples, rows)``.
+
+        One read cycle per mask row, evaluated as a single vectorised
+        pass over the cell-current matrices; equals stacking
+        :meth:`wordline_currents` over the masks bit-for-bit (for noisy
+        reads, with one RNG stream threaded through the loop — see
+        :meth:`current_matrix_batch` on seed semantics).
+        """
+        return self.current_matrix_batch(active_cols, read_noise_seed).sum(axis=2)
+
+    def _column_mask_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        masks = np.asarray(active_cols)
+        if masks.ndim != 2 or masks.shape[1] != self.cols:
+            raise ValueError(
+                f"active_cols batch must have shape (n, {self.cols}), "
+                f"got {masks.shape}"
+            )
+        if masks.dtype != bool:
+            raise ValueError("active_cols batch must be a boolean mask matrix")
+        return masks
 
     def _column_mask(self, active_cols: Optional[np.ndarray]) -> np.ndarray:
         if active_cols is None:

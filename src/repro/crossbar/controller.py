@@ -102,6 +102,7 @@ class ProgramVerifyController:
         # open-loop path: unselected rows see half-V_w per applied pulse).
         xbar._acc_time[row, col] = 0.0
         xbar.levels[row, col] = level
+        xbar.invalidate_read_cache()
 
         pulses = 0
         reads = 0
@@ -116,6 +117,7 @@ class ProgramVerifyController:
             measured = self._verify_read(row, col)
             reads += 1
         xbar.write_pulse_total += pulses
+        xbar.invalidate_read_cache()
         return {
             "pulses": pulses,
             "reads": reads,

@@ -62,6 +62,20 @@ class CurrentMirror:
             )
         return currents * self.gains
 
+    def copy_batch(self, wordline_currents: np.ndarray) -> np.ndarray:
+        """Mirror a ``(n_samples, n_rows)`` current batch into the WTA.
+
+        The static per-mirror gains broadcast over the batch, so every
+        sample sees exactly the same mirrors as a one-at-a-time read.
+        """
+        currents = np.asarray(wordline_currents, dtype=float)
+        if currents.ndim != 2 or currents.shape[1] != self.n_rows:
+            raise ValueError(
+                f"expected (n, {self.n_rows}) wordline currents, "
+                f"got shape {currents.shape}"
+            )
+        return currents * self.gains
+
 
 class SensingModule:
     """Mirrors + WTA: turns wordline currents into a one-hot decision.
@@ -100,9 +114,17 @@ class SensingModule:
         """Winning wordline index (the predicted event)."""
         return self.wta.winner(self.mirrors.copy(wordline_currents))
 
+    def decide_batch(self, wordline_currents: np.ndarray) -> np.ndarray:
+        """Winning wordline index per sample of a ``(n, n_rows)`` batch."""
+        return self.wta.winner_batch(self.mirrors.copy_batch(wordline_currents))
+
     def one_hot(self, wordline_currents: np.ndarray) -> np.ndarray:
         """One-hot decision vector."""
         return self.wta.one_hot(self.mirrors.copy(wordline_currents))
+
+    def one_hot_batch(self, wordline_currents: np.ndarray) -> np.ndarray:
+        """Per-sample one-hot decisions for a ``(n, n_rows)`` batch."""
+        return self.wta.one_hot_batch(self.mirrors.copy_batch(wordline_currents))
 
     def energy(self, wordline_currents: np.ndarray, delay: float) -> float:
         """Sensing energy for one inference (joules).

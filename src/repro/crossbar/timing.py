@@ -44,6 +44,15 @@ class DelayModel:
         check_positive_int(rows, "rows")
         return self.params.t_per_row * rows
 
+    @staticmethod
+    def default_delta_i(i_cell_max: float = 1.0e-6, levels: int = 4) -> float:
+        """The worst-case adjacent-gap default: one cell LSB (amperes).
+
+        Shared by :meth:`inference_delay` (when ``delta_i`` is omitted)
+        and the energy model's batch path, so the two can never drift.
+        """
+        return i_cell_max * 0.9 / max(levels - 1, 1)
+
     def gap_resolution(self, i_total: float, delta_i: float) -> float:
         """Gap-dependent WTA resolution component (seconds).
 
@@ -77,12 +86,52 @@ class DelayModel:
         if i_total is None:
             i_total = rows * cols * 0.55 * i_cell_max
         if delta_i is None:
-            delta_i = i_cell_max * 0.9 / max(levels - 1, 1)
+            delta_i = self.default_delta_i(i_cell_max, levels)
         return (
             self.params.t_base
             + self.wordline_settling(cols)
             + self.wta_loading(rows)
             + self.gap_resolution(i_total, delta_i)
+        )
+
+    def gap_resolution_batch(self, i_total: np.ndarray, delta_i: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`gap_resolution` over per-sample currents/gaps.
+
+        Both arguments broadcast; every element equals the scalar method
+        applied to the corresponding ``(i_total, delta_i)`` pair
+        bit-for-bit (same ``max`` clamp, same ``log``).
+        """
+        i_total = np.asarray(i_total, dtype=float)
+        delta_i = np.asarray(delta_i, dtype=float)
+        if np.any(i_total <= 0):
+            raise ValueError("i_total must be positive")
+        if np.any(delta_i <= 0):
+            raise ValueError("delta_i must be positive")
+        ratio = np.maximum(i_total / delta_i, 1.0)
+        return self.params.t_gap_coeff * np.log(ratio)
+
+    def inference_delay_batch(
+        self,
+        rows: int,
+        cols: int,
+        i_total: np.ndarray,
+        delta_i: np.ndarray,
+    ) -> np.ndarray:
+        """Per-sample worst-case delays for a batch of inferences.
+
+        ``i_total``/``delta_i`` hold one entry per sample (shapes
+        broadcast); the result stacks :meth:`inference_delay` over the
+        samples without the per-sample Python overhead.  The summation
+        order matches the scalar method exactly, keeping batched delays
+        bit-identical to the legacy loop.
+        """
+        check_positive_int(rows, "rows")
+        check_positive_int(cols, "cols")
+        return (
+            self.params.t_base
+            + self.wordline_settling(cols)
+            + self.wta_loading(rows)
+            + self.gap_resolution_batch(i_total, delta_i)
         )
 
     def column_sweep(self, rows: int, col_counts) -> np.ndarray:

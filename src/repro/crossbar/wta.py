@@ -58,6 +58,34 @@ class WinnerTakeAll:
         out[self.winner(currents)] = 1.0
         return out
 
+    def winner_batch(self, currents: np.ndarray) -> np.ndarray:
+        """Winner index per sample for a ``(n_samples, n_inputs)`` batch.
+
+        Vectorised argmax with the same tie semantics as :meth:`winner`:
+        exact ties resolve to the lowest index (or raise for
+        ``ties="error"``).  An empty batch returns an empty index array.
+        """
+        currents = np.asarray(currents, dtype=float)
+        if currents.ndim != 2 or currents.shape[1] == 0:
+            raise ValueError(
+                "currents must be a (n_samples, n_inputs) array with at "
+                f"least one input, got shape {currents.shape}"
+            )
+        winners = np.argmax(currents, axis=1)
+        if self.ties == "error" and currents.shape[0]:
+            top = currents[np.arange(currents.shape[0]), winners]
+            if np.any(np.sum(currents == top[:, None], axis=1) > 1):
+                raise ValueError("tie between wordline currents")
+        return winners
+
+    def one_hot_batch(self, currents: np.ndarray) -> np.ndarray:
+        """Per-sample one-hot decisions, shape ``(n_samples, n_inputs)``."""
+        currents = np.asarray(currents, dtype=float)
+        winners = self.winner_batch(currents)
+        out = np.zeros_like(currents)
+        out[np.arange(currents.shape[0]), winners] = 1.0
+        return out
+
     def margin(self, currents: np.ndarray) -> float:
         """Winner-to-runner-up current gap (amperes); 0 when < 2 inputs."""
         currents = np.asarray(currents, dtype=float)

@@ -8,7 +8,7 @@ branch on the type themselves.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import List, Union
 
 import numpy as np
 
@@ -29,6 +29,34 @@ def ensure_rng(seed: RngLike = None) -> np.random.Generator:
         return seed
     if seed is None or isinstance(seed, (int, np.integer)):
         return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: RngLike, n: int) -> List[np.random.Generator]:
+    """Split one seed into ``n`` statistically independent Generators.
+
+    Components that each need their own noise source (e.g. a crossbar's
+    variation draw and a sensing module's mirror-mismatch draw) must not
+    be handed the *same* integer seed: both would then replay an
+    identical stream and their draws would be perfectly correlated.
+    This helper derives ``n`` independent child streams instead:
+
+    * an ``int`` or ``None`` seed is expanded through
+      :class:`numpy.random.SeedSequence` spawning;
+    * an existing :class:`~numpy.random.Generator` is split with
+      :meth:`~numpy.random.Generator.spawn`, leaving the parent's own
+      stream position untouched (successive calls yield fresh children,
+      so one Generator can be threaded through a whole experiment).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if isinstance(seed, np.random.Generator):
+        return list(seed.spawn(n))
+    if seed is None or isinstance(seed, (int, np.integer)):
+        children = np.random.SeedSequence(seed).spawn(n)
+        return [np.random.default_rng(child) for child in children]
     raise TypeError(
         f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
     )

@@ -1,0 +1,80 @@
+"""Smoke coverage for the throughput harness (tiny batches).
+
+A miniature invocation of the same code path `benchmarks/
+bench_throughput.py` runs at full size, so an import or API breakage in
+the throughput subsystem fails tier-1 instead of only surfacing in the
+benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.throughput import (
+    ThroughputResult,
+    format_throughput,
+    legacy_predict_loop,
+    run_throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_throughput(
+        dataset="iris", batch_sizes=(1, 8), repeats=1, seed=0
+    )
+
+
+class TestRunThroughput:
+    def test_result_structure(self, tiny_sweep):
+        assert isinstance(tiny_sweep, ThroughputResult)
+        assert tiny_sweep.dataset == "iris"
+        assert (tiny_sweep.rows, tiny_sweep.cols) == (3, 64)
+        assert [p.batch_size for p in tiny_sweep.points] == [1, 8]
+
+    def test_rates_positive(self, tiny_sweep):
+        for point in tiny_sweep.points:
+            assert point.batch_sps > 0
+            assert point.report_sps > 0
+            assert point.loop_sps > 0
+            assert point.speedup > 0
+
+    def test_at_lookup(self, tiny_sweep):
+        assert tiny_sweep.at(8).batch_size == 8
+        with pytest.raises(KeyError):
+            tiny_sweep.at(512)
+
+    def test_format_lines(self, tiny_sweep):
+        text = format_throughput(tiny_sweep)
+        assert "read-path throughput on iris" in text
+        assert len(text.splitlines()) == 2 + len(tiny_sweep.points)
+
+    def test_baseline_can_be_skipped(self):
+        result = run_throughput(
+            dataset="iris", batch_sizes=(4,), repeats=1, include_loop=False, seed=0
+        )
+        point = result.at(4)
+        assert point.loop_sps is None
+        assert point.speedup is None
+        assert "-" in format_throughput(result)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            run_throughput(batch_sizes=(), repeats=1)
+        with pytest.raises(ValueError):
+            run_throughput(batch_sizes=(0,), repeats=1)
+
+
+class TestLegacyLoop:
+    def test_matches_batched_predictions(self, fitted_pipeline, iris_split):
+        _, X_test, _, _ = iris_split
+        engine = fitted_pipeline.engine_
+        levels = fitted_pipeline.transform_levels(X_test[:12])
+        np.testing.assert_array_equal(
+            legacy_predict_loop(engine, levels), engine.predict(levels)
+        )
+
+    def test_single_sample_1d(self, fitted_pipeline, iris_split):
+        _, X_test, _, _ = iris_split
+        engine = fitted_pipeline.engine_
+        levels = fitted_pipeline.transform_levels(X_test[:1])[0]
+        assert legacy_predict_loop(engine, levels).shape == (1,)

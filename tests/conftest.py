@@ -1,8 +1,14 @@
-"""Shared fixtures.
+"""Shared fixtures and the tier-1 / slow suite split.
 
 Session-scoped fixtures cache the expensive objects (datasets, fitted
 pipelines) so the several-hundred-test suite stays fast; tests that
 mutate state build their own instances.
+
+Tests marked ``@pytest.mark.slow`` (long statistical sweeps, deep
+property-based equivalence runs) are skipped by default so the tier-1
+run stays under ~30 s; opt in with::
+
+    pytest --runslow
 """
 
 from __future__ import annotations
@@ -12,6 +18,30 @@ import pytest
 
 from repro.core.pipeline import FeBiMPipeline
 from repro.datasets import load_cancer, load_iris, load_wine, train_test_split
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="also run tests marked slow (long sweeps, deep property runs)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test, skipped unless --runslow is given"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture(scope="session")

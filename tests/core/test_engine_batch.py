@@ -1,0 +1,160 @@
+"""The engine's batched inference API and its RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import BatchInferenceReport, FeBiMEngine
+from repro.core.quantization import quantize_model
+from repro.crossbar.energy import EnergyBreakdown
+from repro.devices import VariationModel
+from repro.utils.rng import spawn_rngs
+
+
+def toy_model(prior=(0.5, 0.5), n_levels=4):
+    tables = [
+        np.array([[0.8, 0.15, 0.05], [0.1, 0.2, 0.7]]),
+        np.array([[0.6, 0.4], [0.2, 0.8]]),
+    ]
+    return quantize_model(tables, np.array(prior), n_levels=n_levels)
+
+
+def single_class_model(n_levels=4):
+    tables = [np.array([[0.7, 0.3]])]
+    return quantize_model(
+        tables, np.array([1.0]), n_levels=n_levels, force_prior_column=True
+    )
+
+
+@pytest.fixture()
+def engine():
+    return FeBiMEngine(toy_model(), seed=0)
+
+
+class TestInferBatch:
+    def test_report_shapes(self, engine):
+        X = np.array([[0, 0], [1, 1], [2, 0]])
+        report = engine.infer_batch(X)
+        assert isinstance(report, BatchInferenceReport)
+        assert len(report) == 3
+        assert report.predictions.shape == (3,)
+        assert report.winners.shape == (3,)
+        assert report.wordline_currents.shape == (3, 2)
+        assert report.delay.shape == (3,)
+        assert report.energy.total.shape == (3,)
+        assert np.all(report.delay > 0)
+        assert np.all(report.energy.total > 0)
+
+    def test_sample_view_is_scalar_report(self, engine):
+        X = np.array([[0, 1], [2, 1]])
+        report = engine.infer_batch(X)
+        one = report.sample(1)
+        assert isinstance(one.prediction, int)
+        assert isinstance(one.delay, float)
+        assert isinstance(one.energy, EnergyBreakdown)
+        assert one.prediction == int(report.predictions[1])
+        assert one.energy.total == float(report.energy.total[1])
+
+    def test_predictions_match_model_when_ideal(self, engine):
+        X = np.array([[e0, e1] for e0 in range(3) for e1 in range(2)])
+        np.testing.assert_array_equal(
+            engine.infer_batch(X).predictions, engine.model.predict(X)
+        )
+
+    def test_read_batch_matches_wordline_currents(self, engine):
+        X = np.array([[0, 0], [2, 1]])
+        batch = engine.read_batch(X)
+        for i, x in enumerate(X):
+            np.testing.assert_array_equal(batch[i], engine.wordline_currents(x))
+
+    def test_infer_one_rejects_batch_input(self, engine):
+        with pytest.raises(ValueError):
+            engine.infer_one(np.array([[0, 0], [1, 1]]))
+
+    def test_infer_batch_rejects_3d_input(self, engine):
+        with pytest.raises(ValueError):
+            engine.infer_batch(np.zeros((2, 2, 2), dtype=int))
+
+
+class TestSingleClassGap:
+    """A one-row array has no runner-up: the gap=None fallback path."""
+
+    def test_infer_one_single_class(self):
+        engine = FeBiMEngine(single_class_model(), seed=0)
+        assert engine.shape[0] == 1
+        report = engine.infer_one(np.array([0]))
+        assert report.prediction == 0
+        assert report.wordline_currents.shape == (1,)
+        # The delay falls back to a one-LSB gap and stays physical.
+        assert 0 < report.delay < 1e-8
+
+    def test_single_class_batch_matches_per_sample(self):
+        engine = FeBiMEngine(single_class_model(), seed=0)
+        X = np.array([[0], [1], [0]])
+        batch = engine.infer_batch(X)
+        singles = [engine.infer_one(x) for x in X]
+        np.testing.assert_array_equal(batch.delay, [s.delay for s in singles])
+        np.testing.assert_array_equal(
+            batch.energy.total, [s.energy.total for s in singles]
+        )
+
+    def test_single_level_spec_gap_floor(self):
+        """n_levels=1 has zero level separation: the delay model must
+        receive the absolute current floor instead of zero."""
+        engine = FeBiMEngine(single_class_model(n_levels=1), seed=0)
+        report = engine.infer_one(np.array([0]))
+        assert np.isfinite(report.delay) and report.delay > 0
+
+
+class TestEngineRngSplit:
+    """The engine must not hand the same stream to both noise sources."""
+
+    def test_variation_and_mirror_draws_independent(self):
+        sigma_vth, gain_sigma = 0.03, 0.01
+        engine = FeBiMEngine(
+            toy_model(),
+            variation=VariationModel(sigma_vth=sigma_vth),
+            mirror_gain_sigma=gain_sigma,
+            seed=1234,
+        )
+        rows = engine.shape[0]
+        # Normalised draws: under the old shared-seed wiring these two
+        # vectors replayed the *same* stream and were equal elementwise.
+        offsets = engine.crossbar._vth_offsets.ravel()[:rows] / sigma_vth
+        gains = (
+            engine.sensing.mirrors.gains / engine.params.mirror_ratio - 1.0
+        ) / gain_sigma
+        assert not np.allclose(offsets, gains)
+
+    def test_same_seed_reproducible(self):
+        kwargs = dict(
+            variation=VariationModel(sigma_vth=0.03),
+            mirror_gain_sigma=0.01,
+            seed=77,
+        )
+        a = FeBiMEngine(toy_model(), **kwargs)
+        b = FeBiMEngine(toy_model(), **kwargs)
+        np.testing.assert_array_equal(a.crossbar._vth_offsets, b.crossbar._vth_offsets)
+        np.testing.assert_array_equal(a.sensing.mirrors.gains, b.sensing.mirrors.gains)
+
+    def test_generator_seed_yields_fresh_children_per_engine(self):
+        """Threading one Generator through several engines must give
+        each engine distinct (but reproducible) variation draws."""
+        rng = np.random.default_rng(5)
+        a = FeBiMEngine(toy_model(), variation=VariationModel(sigma_vth=0.03), seed=rng)
+        b = FeBiMEngine(toy_model(), variation=VariationModel(sigma_vth=0.03), seed=rng)
+        assert not np.array_equal(a.crossbar._vth_offsets, b.crossbar._vth_offsets)
+
+    def test_spawn_rngs_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+        with pytest.raises(TypeError):
+            spawn_rngs("not-a-seed", 2)
+
+    def test_spawn_rngs_independent_streams(self):
+        a, b = spawn_rngs(99, 2)
+        assert not np.allclose(a.normal(size=16), b.normal(size=16))
+        # Same parent seed -> same children.
+        c, d = spawn_rngs(99, 2)
+        np.testing.assert_array_equal(
+            spawn_rngs(99, 2)[0].normal(size=8), c.normal(size=8)
+        )

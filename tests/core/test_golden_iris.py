@@ -1,0 +1,88 @@
+"""Golden regression: iris accuracy at the paper operating point.
+
+``run_epochs`` on iris at q_f=4 / q_l=2 (the paper's Fig. 8 operating
+point) under a fixed seed must keep producing *exactly* these
+accuracies.  The batched read path is bit-identical to the per-sample
+path by construction, so any refactor of the inference stack that
+shifts these means has changed numerics — the test exists to make such
+a shift loud instead of silent.
+
+Pinned values were generated at the introduction of the batched
+inference subsystem (seed 2026, 20 epochs); the means sit within ~1 %
+of the paper's reported 94.64 %, as expected for a 20-epoch slice of
+the 100-epoch protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import run_epochs
+
+SEED = 2026
+EPOCHS = 20
+
+GOLDEN_HARDWARE_MEAN = 0.9338095238095239
+GOLDEN_QUANTIZED_MEAN = 0.9314285714285715
+GOLDEN_SOFTWARE_MEAN = 0.9495238095238095
+GOLDEN_HARDWARE_FIRST5 = np.array(
+    [
+        0.9238095238095239,
+        0.9523809523809523,
+        0.9142857142857143,
+        0.9428571428571428,
+        0.9333333333333333,
+    ]
+)
+
+
+class TestGoldenIris:
+    @pytest.fixture(scope="class")
+    def hardware_accuracies(self, iris):
+        return run_epochs(
+            iris, q_f=4, q_l=2, mode="hardware", epochs=EPOCHS, seed=SEED
+        )
+
+    def test_hardware_mean_pinned(self, hardware_accuracies):
+        assert float(hardware_accuracies.mean()) == pytest.approx(
+            GOLDEN_HARDWARE_MEAN, abs=1e-12
+        )
+
+    def test_hardware_per_epoch_pinned(self, hardware_accuracies):
+        np.testing.assert_allclose(
+            hardware_accuracies[:5], GOLDEN_HARDWARE_FIRST5, atol=1e-12
+        )
+
+    def test_quantized_mean_pinned(self, iris):
+        accuracies = run_epochs(
+            iris, q_f=4, q_l=2, mode="quantized", epochs=EPOCHS, seed=SEED
+        )
+        assert float(accuracies.mean()) == pytest.approx(
+            GOLDEN_QUANTIZED_MEAN, abs=1e-12
+        )
+
+    def test_software_mean_pinned(self, iris):
+        accuracies = run_epochs(
+            iris, q_f=4, q_l=2, mode="software", epochs=EPOCHS, seed=SEED
+        )
+        assert float(accuracies.mean()) == pytest.approx(
+            GOLDEN_SOFTWARE_MEAN, abs=1e-12
+        )
+
+    def test_hardware_tracks_software(self, hardware_accuracies):
+        """The operating point's quantisation+circuit loss stays small
+        (the paper's delta_acc < 1 % region is nearby)."""
+        assert GOLDEN_SOFTWARE_MEAN - float(hardware_accuracies.mean()) < 0.025
+
+
+@pytest.mark.slow
+class TestGoldenIrisFullProtocol:
+    """The paper's full 100-epoch protocol; tier-2 (--runslow)."""
+
+    def test_hardware_accuracy_range(self, iris):
+        accuracies = run_epochs(
+            iris, q_f=4, q_l=2, mode="hardware", epochs=100, seed=SEED
+        )
+        mean = float(accuracies.mean())
+        # The paper reports 94.64 %; the reproduction's protocol lands
+        # in the same band.
+        assert 0.92 < mean < 0.97

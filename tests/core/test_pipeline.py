@@ -140,3 +140,57 @@ class TestRunEpochs:
     def test_invalid_epochs(self):
         with pytest.raises((ValueError, TypeError)):
             run_epochs(load_iris(), epochs=0)
+
+
+class TestBatchedCircuitReports:
+    """The pipeline's batched report path vs its per-sample wrappers."""
+
+    def test_infer_batch_shapes(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        report = fitted_pipeline.infer_batch(X_te[:9])
+        assert len(report) == 9
+        rows, _ = fitted_pipeline.engine_.shape
+        assert report.wordline_currents.shape == (9, rows)
+        assert report.delay.shape == (9,)
+
+    def test_batch_matches_per_sample_reports(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        X = X_te[:6]
+        batch = fitted_pipeline.infer_batch(X)
+        singles = [fitted_pipeline.inference_report(x) for x in X]
+        np.testing.assert_array_equal(batch.delay, [s.delay for s in singles])
+        np.testing.assert_array_equal(
+            batch.energy.total, [s.energy.total for s in singles]
+        )
+        np.testing.assert_array_equal(
+            batch.predictions, [s.prediction for s in singles]
+        )
+
+    def test_averages_equal_per_sample_means(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        X = X_te[:10]
+        singles = [fitted_pipeline.inference_report(x) for x in X]
+        assert fitted_pipeline.average_energy(X) == float(
+            np.mean([s.energy.total for s in singles])
+        )
+        assert fitted_pipeline.average_delay(X) == float(
+            np.mean([s.delay for s in singles])
+        )
+
+    def test_predictions_consistent_with_predict(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        np.testing.assert_array_equal(
+            fitted_pipeline.infer_batch(X_te[:20]).predictions,
+            fitted_pipeline.predict(X_te[:20], mode="hardware"),
+        )
+
+    def test_transform_levels_single_sample(self, fitted_pipeline, iris_split):
+        _, X_te, _, _ = iris_split
+        levels = fitted_pipeline.transform_levels(X_te[0])
+        assert levels.shape == (1, X_te.shape[1])
+
+    def test_infer_batch_unfitted_raises_cleanly(self, iris):
+        from repro.core.pipeline import FeBiMPipeline as _P
+
+        with pytest.raises(RuntimeError, match="not fitted"):
+            _P().infer_batch(iris.data)

@@ -135,3 +135,61 @@ class TestActivation:
             for v in range(n_levels)
         }
         assert len(cols) == n_features * n_levels
+
+
+class TestActivationBatchEdgeCases:
+    """Edge semantics of ``active_columns_batch`` (batched read path)."""
+
+    def test_empty_batch(self, layout):
+        masks = layout.active_columns_batch(np.empty((0, 4), dtype=int))
+        assert masks.shape == (0, layout.total_cols)
+        assert masks.dtype == bool
+
+    def test_empty_batch_prior(self, layout_prior):
+        masks = layout_prior.active_columns_batch(np.empty((0, 2), dtype=int))
+        assert masks.shape == (0, layout_prior.total_cols)
+
+    def test_0d_input_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.active_columns_batch(np.asarray(3))
+
+    def test_1d_input_rejected(self, layout):
+        # A single sample must be passed as a (1, n_features) batch.
+        with pytest.raises(ValueError):
+            layout.active_columns_batch(np.array([0, 5, 10, 15]))
+
+    def test_3d_input_rejected(self, layout):
+        with pytest.raises(ValueError):
+            layout.active_columns_batch(np.zeros((2, 4, 1), dtype=int))
+
+    def test_negative_level_rejected(self, layout):
+        with pytest.raises(ValueError, match="out of range"):
+            layout.active_columns_batch(np.array([[0, 0, -1, 0]]))
+
+    def test_out_of_range_respects_per_feature_widths(self):
+        layout = BayesianArrayLayout(
+            n_features=2, n_levels=(2, 4), n_classes=2, include_prior=False
+        )
+        # Level 3 is valid for feature 1 (width 4)...
+        masks = layout.active_columns_batch(np.array([[1, 3]]))
+        assert masks.sum() == 2
+        # ...but not for feature 0 (width 2).
+        with pytest.raises(ValueError, match="out of range"):
+            layout.active_columns_batch(np.array([[3, 1]]))
+
+    def test_prior_column_always_on(self, layout_prior):
+        batch = np.array([[0, 0], [2, 1], [1, 2]])
+        masks = layout_prior.active_columns_batch(batch)
+        assert masks[:, layout_prior.prior_col].all()
+        assert (masks.sum(axis=1) == layout_prior.activated_per_inference).all()
+
+    def test_no_prior_activates_only_features(self, layout):
+        masks = layout.active_columns_batch(np.array([[0, 0, 0, 0]]))
+        assert masks.sum() == layout.n_features
+
+    def test_masks_are_fresh_arrays(self, layout):
+        batch = np.array([[0, 0, 0, 0]])
+        a = layout.active_columns_batch(batch)
+        b = layout.active_columns_batch(batch)
+        a[0, 0] = not a[0, 0]
+        assert not np.array_equal(a, b)

@@ -86,3 +86,26 @@ class TestSensingModule:
                 flipped = True
                 break
         assert flipped
+
+
+class TestSensingBatch:
+    def test_decide_batch_matches_scalar(self):
+        sensing = SensingModule(4, mirror_gain_sigma=0.02, seed=3)
+        rng = np.random.default_rng(3)
+        currents = rng.random((10, 4)) * 1e-6
+        batch = sensing.decide_batch(currents)
+        assert batch.tolist() == [sensing.decide(c) for c in currents]
+
+    def test_one_hot_batch_matches_scalar(self):
+        sensing = SensingModule(3, seed=0)
+        rng = np.random.default_rng(4)
+        currents = rng.random((5, 3)) * 1e-6
+        np.testing.assert_array_equal(
+            sensing.one_hot_batch(currents),
+            np.stack([sensing.one_hot(c) for c in currents]),
+        )
+
+    def test_copy_batch_shape_checked(self):
+        sensing = SensingModule(3, seed=0)
+        with pytest.raises(ValueError):
+            sensing.decide_batch(np.zeros((2, 4)))

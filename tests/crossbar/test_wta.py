@@ -114,3 +114,36 @@ class TestWTATransient:
         result = wta_transient(np.array([i1, i2]))
         if abs(i1 - i2) > 0.05e-6:  # exclude near-ties
             assert result.winner == int(np.argmax([i1, i2]))
+
+
+class TestWinnerBatch:
+    def test_matches_scalar_winner(self):
+        wta = WinnerTakeAll()
+        rng = np.random.default_rng(0)
+        currents = rng.random((12, 5))
+        winners = wta.winner_batch(currents)
+        assert winners.tolist() == [wta.winner(c) for c in currents]
+
+    def test_one_hot_batch_matches_scalar(self):
+        wta = WinnerTakeAll()
+        rng = np.random.default_rng(1)
+        currents = rng.random((6, 4))
+        np.testing.assert_array_equal(
+            wta.one_hot_batch(currents), np.stack([wta.one_hot(c) for c in currents])
+        )
+
+    def test_ties_resolve_to_lowest_index(self):
+        wta = WinnerTakeAll()
+        assert wta.winner_batch(np.array([[1.0, 1.0, 0.5]])).tolist() == [0]
+
+    def test_ties_error_mode(self):
+        wta = WinnerTakeAll(ties="error")
+        with pytest.raises(ValueError, match="tie"):
+            wta.winner_batch(np.array([[0.2, 0.7], [0.7, 0.7]]))
+
+    def test_empty_batch(self):
+        assert WinnerTakeAll().winner_batch(np.empty((0, 3))).shape == (0,)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            WinnerTakeAll().winner_batch(np.array([1.0, 2.0]))

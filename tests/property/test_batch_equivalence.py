@@ -1,0 +1,206 @@
+"""Property-based equivalence: the batched read path vs per-sample inference.
+
+The batched subsystem's contract is *bit-identity*: for any model,
+cell spec, variation seed and batch size (including 1 and 0),
+``infer_batch`` must return exactly what looping ``infer_one`` /
+``predict`` over the samples returns — predictions, wordline currents,
+delays and every energy component.  These tests pin that over random
+models, and additionally against an inline re-implementation of the
+seed repository's read (mask -> V_TH -> EKV current -> row sum), so a
+vectorisation refactor can never silently shift numerics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import FeBiMEngine
+from repro.core.quantization import quantize_model
+from repro.devices import VariationModel
+
+
+def _random_model(rng, k, f, m, n_levels=4):
+    tables = []
+    for _ in range(f):
+        t = rng.random((k, m)) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    prior = rng.random(k) + 0.1
+    return quantize_model(tables, prior / prior.sum(), n_levels=n_levels)
+
+
+def _seed_wordline_read(crossbar, mask):
+    """The seed repo's per-sample read path, re-implemented inline."""
+    v_gates = np.where(mask, crossbar.params.v_on, crossbar.params.v_off)
+    vth = crossbar.vth_matrix()
+    return crossbar.template.idvg.current(v_gates[None, :], vth).sum(axis=1)
+
+
+def _assert_reports_equal(batch, singles):
+    np.testing.assert_array_equal(
+        batch.predictions, np.array([s.prediction for s in singles])
+    )
+    for i, single in enumerate(singles):
+        np.testing.assert_array_equal(batch.wordline_currents[i], single.wordline_currents)
+    np.testing.assert_array_equal(batch.delay, np.array([s.delay for s in singles]))
+    for field in ("bitline", "wordline", "conduction", "mirrors", "wta"):
+        np.testing.assert_array_equal(
+            getattr(batch.energy, field),
+            np.array([getattr(s.energy, field) for s in singles]),
+        )
+    np.testing.assert_array_equal(
+        batch.energy.total, np.array([s.energy.total for s in singles])
+    )
+
+
+class TestBatchMatchesPerSample:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        k=st.integers(min_value=2, max_value=4),
+        f=st.integers(min_value=1, max_value=3),
+        m=st.integers(min_value=2, max_value=5),
+        n=st.sampled_from([0, 1, 2, 7, 33]),
+        n_levels=st.sampled_from([2, 4, 8]),
+        sigma_vth=st.sampled_from([0.0, 0.03]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_infer_batch_bit_identical(self, seed, k, f, m, n, n_levels, sigma_vth):
+        """infer_batch == [infer_one(x) for x in X] exactly, including
+        variation draws under a shared integer seed."""
+        rng = np.random.default_rng(seed)
+        model = _random_model(rng, k, f, m, n_levels=n_levels)
+        variation = VariationModel(sigma_vth=sigma_vth)
+        kwargs = dict(variation=variation, mirror_gain_sigma=0.01, seed=seed)
+        engine_a = FeBiMEngine(model, **kwargs)
+        engine_b = FeBiMEngine(model, **kwargs)
+        X = rng.integers(0, m, size=(n, f))
+
+        batch = engine_a.infer_batch(X)
+        singles = [engine_b.infer_one(x) for x in X]
+        assert len(batch) == n
+        _assert_reports_equal(batch, singles)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        n=st.sampled_from([1, 5, 24]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_read_noise_stream_equivalence(self, seed, n):
+        """With per-read noise enabled, the batch's single vectorised
+        noise draw consumes the RNG stream exactly as the per-sample
+        loop would: results stay bit-identical."""
+        rng = np.random.default_rng(seed)
+        model = _random_model(rng, 3, 2, 4)
+        variation = VariationModel(sigma_vth=0.02, sigma_read=0.01)
+        engine_a = FeBiMEngine(model, variation=variation, seed=seed)
+        engine_b = FeBiMEngine(model, variation=variation, seed=seed)
+        X = rng.integers(0, 4, size=(n, 2))
+
+        batch = engine_a.infer_batch(X)
+        singles = [engine_b.infer_one(x) for x in X]
+        _assert_reports_equal(batch, singles)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_predict_matches_infer_batch(self, seed):
+        rng = np.random.default_rng(seed)
+        model = _random_model(rng, 3, 3, 4)
+        engine = FeBiMEngine(model, seed=seed)
+        X = rng.integers(0, 4, size=(17, 3))
+        np.testing.assert_array_equal(
+            engine.predict(X), engine.infer_batch(X).predictions
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        sigma_vth=st.sampled_from([0.0, 0.03]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_batch_read_matches_seed_implementation(self, seed, sigma_vth):
+        """The cached-matrix batched read equals the seed repository's
+        per-sample device-physics read bit-for-bit (no read noise)."""
+        rng = np.random.default_rng(seed)
+        model = _random_model(rng, 3, 2, 4)
+        engine = FeBiMEngine(
+            model, variation=VariationModel(sigma_vth=sigma_vth), seed=seed
+        )
+        X = rng.integers(0, 4, size=(9, 2))
+        masks = engine.layout.active_columns_batch(X)
+        batch_currents = engine.crossbar.wordline_currents_batch(masks)
+        for i, mask in enumerate(masks):
+            np.testing.assert_array_equal(
+                batch_currents[i], _seed_wordline_read(engine.crossbar, mask)
+            )
+
+
+class TestBatchEdgeCases:
+    def test_empty_batch(self):
+        rng = np.random.default_rng(0)
+        model = _random_model(rng, 3, 2, 4)
+        engine = FeBiMEngine(model, seed=0)
+        report = engine.infer_batch(np.empty((0, 2), dtype=int))
+        assert len(report) == 0
+        assert report.predictions.shape == (0,)
+        assert report.wordline_currents.shape == (0, 3)
+        assert report.delay.shape == (0,)
+        assert report.energy.total.shape == (0,)
+        assert engine.predict(np.empty((0, 2), dtype=int)).shape == (0,)
+
+    def test_single_sample_1d_input_is_batch_of_one(self):
+        rng = np.random.default_rng(1)
+        model = _random_model(rng, 3, 2, 4)
+        engine = FeBiMEngine(model, seed=0)
+        report = engine.infer_batch(np.array([1, 0]))
+        assert len(report) == 1
+        assert report.sample(0).prediction == engine.infer_one(np.array([1, 0])).prediction
+
+    def test_reports_survive_reprogramming(self):
+        """The read cache must invalidate on writes: reprogram the array
+        and check batched reads track the new state."""
+        rng = np.random.default_rng(2)
+        model = _random_model(rng, 2, 2, 3)
+        engine = FeBiMEngine(model, seed=0)
+        X = rng.integers(0, 3, size=(4, 2))
+        before = engine.infer_batch(X).wordline_currents
+        # Reprogram every cell to the top level: currents must change.
+        engine.crossbar.program_matrix(
+            np.full(engine.shape, engine.spec.n_levels - 1, dtype=int)
+        )
+        after = engine.infer_batch(X).wordline_currents
+        assert not np.array_equal(before, after)
+        # And the re-read is consistent with a fresh per-sample read.
+        masks = engine.layout.active_columns_batch(X)
+        for i, mask in enumerate(masks):
+            np.testing.assert_array_equal(
+                after[i], engine.crossbar.wordline_currents(mask)
+            )
+
+
+@pytest.mark.slow
+class TestBatchEquivalenceDeep:
+    """Wider random sweep of the same properties; tier-2 (--runslow)."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        k=st.integers(min_value=1, max_value=6),
+        f=st.integers(min_value=1, max_value=5),
+        m=st.integers(min_value=2, max_value=8),
+        n=st.integers(min_value=0, max_value=200),
+        n_levels=st.sampled_from([2, 4, 8, 16]),
+        sigma_vth=st.sampled_from([0.0, 0.015, 0.045]),
+        sigma_read=st.sampled_from([0.0, 0.005]),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_infer_batch_bit_identical_deep(
+        self, seed, k, f, m, n, n_levels, sigma_vth, sigma_read
+    ):
+        rng = np.random.default_rng(seed)
+        model = _random_model(rng, k, f, m, n_levels=n_levels)
+        variation = VariationModel(sigma_vth=sigma_vth, sigma_read=sigma_read)
+        kwargs = dict(variation=variation, mirror_gain_sigma=0.005, seed=seed)
+        engine_a = FeBiMEngine(model, **kwargs)
+        engine_b = FeBiMEngine(model, **kwargs)
+        X = rng.integers(0, m, size=(n, f))
+        batch = engine_a.infer_batch(X)
+        singles = [engine_b.infer_one(x) for x in X]
+        _assert_reports_equal(batch, singles)
