@@ -62,6 +62,12 @@ from repro.devices import (
     PulseProgrammer,
     VariationModel,
 )
+from repro.serving import (
+    BatchPolicy,
+    FeBiMServer,
+    MicroBatchScheduler,
+    ModelRegistry,
+)
 
 __version__ = "1.0.0"
 
@@ -107,4 +113,9 @@ __all__ = [
     "MultiLevelCellSpec",
     "PulseProgrammer",
     "VariationModel",
+    # serving
+    "BatchPolicy",
+    "FeBiMServer",
+    "MicroBatchScheduler",
+    "ModelRegistry",
 ]

@@ -179,6 +179,30 @@ def run_throughput(
     )
 
 
+def throughput_to_dict(result: ThroughputResult) -> dict:
+    """Machine-readable sweep (``febim bench --json``).
+
+    Plain scalars/lists only, so the output can be dropped next to the
+    ``BENCH_*.json`` trajectory files and diffed across runs.
+    """
+    return {
+        "bench": "throughput",
+        "dataset": result.dataset,
+        "rows": result.rows,
+        "cols": result.cols,
+        "points": [
+            {
+                "batch_size": p.batch_size,
+                "batch_sps": p.batch_sps,
+                "report_sps": p.report_sps,
+                "loop_sps": p.loop_sps,
+                "speedup": p.speedup,
+            }
+            for p in result.points
+        ],
+    }
+
+
 def format_throughput(result: ThroughputResult) -> str:
     """Human-readable sweep table (see benchmarks/THROUGHPUT.md)."""
     lines = [

@@ -10,6 +10,11 @@ Commands
 ``sweep``    Print the Fig. 6 delay/energy scalability sweeps.
 ``bench``    Measure batched read-path throughput (samples/sec sweep
              over batch sizes, vs the per-sample baseline loop).
+``serve``    Run a mixed-tenant online serving workload through the
+             micro-batching scheduler and report served throughput,
+             occupancy and latency against the offline ceiling.
+``submit``   One-shot request against a registry directory: register
+             (if needed), route, serve, print the result.
 ``info``     Show calibrated device/circuit parameters.
 """
 
@@ -89,7 +94,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.analysis.throughput import format_throughput, run_throughput
+    import json
+
+    from repro.analysis.throughput import (
+        format_throughput,
+        run_throughput,
+        throughput_to_dict,
+    )
 
     try:
         batch_sizes = [int(b) for b in args.batch_sizes.split(",") if b.strip()]
@@ -108,7 +119,95 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_loop=not args.no_baseline,
         seed=args.seed,
     )
-    print(format_throughput(result))
+    if args.json:
+        print(json.dumps(throughput_to_dict(result), indent=2))
+    else:
+        print(format_throughput(result))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.scheduler import BatchPolicy
+    from repro.serving.workload import format_serving, run_serving_workload
+
+    result = run_serving_workload(
+        dataset=args.dataset,
+        n_models=args.models,
+        n_requests=args.requests,
+        submitters=args.submitters,
+        policy=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
+        q_f=args.qf,
+        q_l=args.ql,
+        registry_root=args.registry,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(format_serving(result))
+    if args.report and not args.json:
+        snapshot = result.telemetry
+        print(f"drain clean: {snapshot.in_flight == 0}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.scheduler import BatchPolicy
+    from repro.serving.server import FeBiMServer
+
+    try:
+        levels = [int(v) for v in args.levels.split(",") if v.strip()]
+    except ValueError:
+        print("error: --levels must be comma-separated integers", file=sys.stderr)
+        return 2
+    if not levels:
+        print("error: --levels needs at least one integer", file=sys.stderr)
+        return 2
+    registry = ModelRegistry(args.registry)
+    if args.model not in registry:
+        known = ", ".join(sorted(registry.list_models())) or "<none>"
+        print(
+            f"error: no model {args.model!r} in registry "
+            f"(registered: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    with FeBiMServer(
+        registry,
+        policy=BatchPolicy(max_batch=args.max_batch, max_wait_ms=args.max_wait_ms),
+        seed=args.seed,
+    ) as server:
+        try:
+            result = server.predict(
+                args.model, levels, version=args.version, timeout=60.0
+            )
+        except (ValueError, KeyError) as exc:
+            print(f"error: request rejected: {exc}", file=sys.stderr)
+            return 2
+        payload = {
+            "model": result.model,
+            "prediction": int(result.prediction),
+            "delay_s": result.delay,
+            "energy_j": result.energy_total,
+            "batch_size": result.batch_size,
+            "queue_wait_ms": result.queue_wait_s * 1e3,
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"model       {payload['model']}")
+        print(f"prediction  {payload['prediction']}")
+        print(f"delay       {payload['delay_s'] * 1e9:.2f} ns")
+        print(f"energy      {payload['energy_j'] * 1e15:.2f} fJ")
+        print(
+            f"served in a batch of {payload['batch_size']} after "
+            f"{payload['queue_wait_ms']:.2f} ms queued"
+        )
     return 0
 
 
@@ -193,7 +292,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the slow per-sample baseline loop",
     )
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a mixed-tenant online serving workload (micro-batching)",
+    )
+    serve.add_argument(
+        "--dataset",
+        default="iris",
+        choices=["iris", "wine", "cancer", "synthetic"],
+        help="tenant training data; 'synthetic' draws many-class blobs",
+    )
+    serve.add_argument("--models", type=int, default=2, help="tenant count")
+    serve.add_argument("--requests", type=int, default=2048)
+    serve.add_argument("--submitters", type=int, default=4)
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--qf", type=int, default=4)
+    serve.add_argument("--ql", type=int, default=2)
+    serve.add_argument(
+        "--registry", metavar="DIR", help="persist tenants here (default: temp dir)"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--report",
+        action="store_true",
+        help="append the drain-clean verdict to the report",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the report",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="serve one request from a registry directory"
+    )
+    submit.add_argument("registry", help="registry directory (see 'serve --registry')")
+    submit.add_argument("model", help="registered model name")
+    submit.add_argument(
+        "--levels",
+        required=True,
+        help="comma-separated discretised evidence levels, e.g. 3,0,1,2",
+    )
+    submit.add_argument("--version", type=int, help="pin a version (default latest)")
+    submit.add_argument("--max-batch", type=int, default=64)
+    submit.add_argument("--max-wait-ms", type=float, default=2.0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--json", action="store_true", help="emit JSON")
+    submit.set_defaults(func=_cmd_submit)
 
     report = sub.add_parser(
         "report", help="regenerate the full evaluation (all figures + Table 1)"

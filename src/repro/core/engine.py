@@ -303,6 +303,11 @@ class FeBiMEngine:
         """(rows, cols) of the programmed array."""
         return (self.crossbar.rows, self.crossbar.cols)
 
+    @property
+    def n_features(self) -> int:
+        """Evidence width a request must have (serving-layer contract)."""
+        return self.layout.n_features
+
     def __repr__(self) -> str:
         rows, cols = self.shape
         return (

@@ -193,6 +193,19 @@ class FeBiMPipeline:
         levels = self.discretizer_.transform(x[None, :])[0]
         return self.engine_.infer_one(levels)
 
+    # -------------------------------------------------------------- serving
+    def register_into(self, registry, name: str) -> int:
+        """Publish the fitted quantised model into a serving registry.
+
+        The natural hand-off from training to serving: persists
+        ``quantized_model_`` plus the engine's cell spec under ``name``
+        and returns the new version number.  ``registry`` is a
+        :class:`repro.serving.registry.ModelRegistry` (duck-typed here
+        to keep the core free of a serving import).
+        """
+        self._check_fitted()
+        return registry.register(name, self.quantized_model_, self.engine_.spec)
+
     def average_energy(self, X: np.ndarray) -> float:
         """Mean per-inference energy over a set of samples (joules).
 

@@ -23,7 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.engine import FeBiMEngine
-from repro.core.quantization import QuantizedBayesianModel, UniformQuantizer
+from repro.core.quantization import QuantizedBayesianModel
 from repro.crossbar.parameters import CircuitParameters
 from repro.crossbar.timing import DelayModel
 from repro.devices.fefet import MultiLevelCellSpec
@@ -35,16 +35,19 @@ from repro.utils.validation import check_positive_int
 def _slice_model(
     model: QuantizedBayesianModel, rows: np.ndarray
 ) -> QuantizedBayesianModel:
-    """A sub-model over a subset of classes (tile rows)."""
+    """A sub-model over a subset of classes (tile rows).
+
+    The tile shares the parent's quantiser object: a row slice changes
+    which classes compete, not how their probabilities were quantised,
+    so re-deriving the quantiser from its own range would only invite
+    round-trip drift.
+    """
     return QuantizedBayesianModel(
         likelihood_levels=[t[rows] for t in model.likelihood_levels],
         prior_levels=(
             None if model.prior_levels is None else model.prior_levels[rows]
         ),
-        quantizer=UniformQuantizer(
-            model.quantizer.n_levels,
-            (1.0 - model.quantizer.lo) / np.log(10.0),
-        ),
+        quantizer=model.quantizer,
         classes=model.classes[rows],
     )
 
@@ -58,6 +61,53 @@ class TiledInferenceReport:
     tile_currents: np.ndarray
     delay: float
     energy: float
+
+
+@dataclass(frozen=True)
+class TiledBatchEnergy:
+    """Per-sample total energy of a tiled batch (joules).
+
+    The hierarchical path reports a single scalar per inference (tiles +
+    stage 2), so unlike the flat engine's
+    :class:`~repro.crossbar.energy.BatchEnergyBreakdown` there is no
+    array/sensing split — only ``total``, kept under the same attribute
+    name so serving code can treat both report flavours uniformly.
+    """
+
+    total: np.ndarray
+
+    def __len__(self) -> int:
+        return self.total.shape[0]
+
+
+@dataclass(frozen=True)
+class TiledBatchInferenceReport:
+    """Batch of hierarchical inferences, one stacked report per sample.
+
+    Mirrors :class:`~repro.core.engine.BatchInferenceReport`'s
+    ``predictions`` / ``delay`` / ``energy.total`` surface so the
+    serving scheduler can coalesce requests onto a
+    :class:`TiledFeBiM` exactly as onto a flat engine.
+    """
+
+    predictions: np.ndarray
+    tile_winners: np.ndarray
+    tile_currents: np.ndarray
+    delay: np.ndarray
+    energy: TiledBatchEnergy
+
+    def __len__(self) -> int:
+        return self.predictions.shape[0]
+
+    def sample(self, i: int) -> TiledInferenceReport:
+        """The ``i``-th sample's result as a scalar report."""
+        return TiledInferenceReport(
+            prediction=int(self.predictions[i]),
+            tile_winners=self.tile_winners[i],
+            tile_currents=self.tile_currents[i],
+            delay=float(self.delay[i]),
+            energy=float(self.energy.total[i]),
+        )
 
 
 class TiledFeBiM:
@@ -113,16 +163,51 @@ class TiledFeBiM:
     def total_rows(self) -> int:
         return self.model.n_classes
 
+    @property
+    def n_features(self) -> int:
+        """Evidence width a request must have (serving-layer contract)."""
+        return self.model.n_features
+
     # ------------------------------------------------------------ inference
     def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
         """Hierarchical MAP predictions for a batch."""
+        return self.infer_batch(evidence_levels).predictions
+
+    def infer_batch(self, evidence_levels: np.ndarray) -> TiledBatchInferenceReport:
+        """Batched hierarchical inference with per-sample reporting.
+
+        Accepts ``(n_samples, n_features)`` evidence levels (a 1-D
+        sample is a batch of one).  Stage-2 resolution is inherently
+        per-sample — each sample's tile winners compete in their own
+        second-stage WTA — so this stacks :meth:`infer_one` over the
+        batch rather than pretending the hierarchy vectorises; the
+        point is the uniform batch-report interface, which lets the
+        serving scheduler route requests to flat and tiled engines
+        through one code path.
+        """
         evidence_levels = np.asarray(evidence_levels, dtype=int)
         if evidence_levels.ndim == 1:
             evidence_levels = evidence_levels[None, :]
-        out = np.empty(evidence_levels.shape[0], dtype=self.model.classes.dtype)
+        n = evidence_levels.shape[0]
+        predictions = np.empty(n, dtype=self.model.classes.dtype)
+        tile_winners = np.empty((n, self.n_tiles), dtype=int)
+        tile_currents = np.empty((n, self.n_tiles))
+        delay = np.empty(n)
+        energy = np.empty(n)
         for i, sample in enumerate(evidence_levels):
-            out[i] = self.infer_one(sample).prediction
-        return out
+            report = self.infer_one(sample)
+            predictions[i] = report.prediction
+            tile_winners[i] = report.tile_winners
+            tile_currents[i] = report.tile_currents
+            delay[i] = report.delay
+            energy[i] = report.energy
+        return TiledBatchInferenceReport(
+            predictions=predictions,
+            tile_winners=tile_winners,
+            tile_currents=tile_currents,
+            delay=delay,
+            energy=TiledBatchEnergy(total=energy),
+        )
 
     def infer_one(self, evidence_levels: np.ndarray) -> TiledInferenceReport:
         """One hierarchical inference with delay/energy accounting."""

@@ -7,7 +7,10 @@ exact information a programming controller needs to write an array.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Tuple, Union
 
@@ -55,31 +58,48 @@ def model_to_dict(
 
 
 def model_from_dict(data: dict) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
-    """Rebuild ``(model, spec)`` from :func:`model_to_dict` output."""
+    """Rebuild ``(model, spec)`` from :func:`model_to_dict` output.
+
+    Raises
+    ------
+    ValueError
+        On any malformed artifact — wrong version, missing sections or
+        out-of-range level tables.  A truncated or hand-edited file
+        must fail with a diagnosable message, never a raw ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"model artifact must be a JSON object, got {type(data).__name__}"
+        )
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
             f"unsupported model format version {version!r} "
             f"(this build reads version {FORMAT_VERSION})"
         )
-    qz = data["quantizer"]
-    quantizer = UniformQuantizer(int(qz["n_levels"]), float(qz["clip_decades"]))
-    sp = data["spec"]
-    spec = MultiLevelCellSpec(
-        n_levels=int(sp["n_levels"]),
-        i_min=float(sp["i_min"]),
-        i_max=float(sp["i_max"]),
-        v_read=float(sp["v_read"]),
-    )
-    prior = data["prior_levels"]
-    model = QuantizedBayesianModel(
-        likelihood_levels=[
-            np.asarray(t, dtype=int) for t in data["likelihood_levels"]
-        ],
-        prior_levels=None if prior is None else np.asarray(prior, dtype=int),
-        quantizer=quantizer,
-        classes=np.asarray(data["classes"]),
-    )
+    try:
+        qz = data["quantizer"]
+        quantizer = UniformQuantizer(int(qz["n_levels"]), float(qz["clip_decades"]))
+        sp = data["spec"]
+        spec = MultiLevelCellSpec(
+            n_levels=int(sp["n_levels"]),
+            i_min=float(sp["i_min"]),
+            i_max=float(sp["i_max"]),
+            v_read=float(sp["v_read"]),
+        )
+        prior = data["prior_levels"]
+        model = QuantizedBayesianModel(
+            likelihood_levels=[
+                np.asarray(t, dtype=int) for t in data["likelihood_levels"]
+            ],
+            prior_levels=None if prior is None else np.asarray(prior, dtype=int),
+            quantizer=quantizer,
+            classes=np.asarray(data["classes"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"truncated or corrupt model artifact: {exc!r}"
+        ) from exc
     # Validate level ranges against the quantiser.
     for f, table in enumerate(model.likelihood_levels):
         if np.any(table < 0) or np.any(table >= quantizer.n_levels):
@@ -97,15 +117,45 @@ def save_model(
     model: QuantizedBayesianModel,
     spec: MultiLevelCellSpec = None,
 ) -> Path:
-    """Write the model artifact as JSON; returns the path."""
+    """Write the model artifact as JSON; returns the path.
+
+    The write is atomic (temp file + ``os.replace``) so a concurrent
+    reader — e.g. a serving registry resolving a model that is being
+    hot re-registered — can never observe a half-written artifact.
+    """
     path = Path(path)
-    path.write_text(json.dumps(model_to_dict(model, spec), indent=2))
+    payload = json.dumps(model_to_dict(model, spec), indent=2)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     return path
 
 
 def load_model(path: Union[str, Path]) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
-    """Read a model artifact written by :func:`save_model`."""
-    data = json.loads(Path(path).read_text())
+    """Read a model artifact written by :func:`save_model`.
+
+    Raises
+    ------
+    ValueError
+        If the file is not valid JSON (e.g. truncated mid-write) or
+        fails :func:`model_from_dict` validation.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"model artifact {path} is not valid JSON "
+            f"(truncated or corrupt?): {exc}"
+        ) from exc
     return model_from_dict(data)
 
 

@@ -1,0 +1,41 @@
+"""Online serving: model registry, micro-batching scheduler, server.
+
+The offline core (:meth:`~repro.core.engine.FeBiMEngine.infer_batch`)
+is fast only when fed dense batches; a live deployment receives a
+stream of independent single-sample requests.  This package bridges the
+two:
+
+* :class:`ModelRegistry` — named, versioned model persistence (plain
+  JSON via :mod:`repro.io`) with an LRU cache of programmed engines;
+* :class:`MicroBatchScheduler` — a thread-safe queue that coalesces
+  pending requests per model into batched crossbar reads under a
+  ``max_batch`` / ``max_wait_ms`` policy, resolving per-request futures;
+* :class:`FeBiMServer` — the multi-tenant front end: routing,
+  independent per-model RNG streams, telemetry and graceful drain.
+
+See ``benchmarks/SERVING.md`` for the policy knobs and measured
+served-vs-offline throughput, and ``examples/serving_demo.py`` for a
+two-tenant walkthrough.
+"""
+
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import (
+    BatchPolicy,
+    MicroBatchScheduler,
+    SchedulerClosed,
+    ServedResult,
+)
+from repro.serving.server import FeBiMServer, model_stream_seed
+from repro.serving.telemetry import Telemetry, TelemetrySnapshot
+
+__all__ = [
+    "BatchPolicy",
+    "FeBiMServer",
+    "MicroBatchScheduler",
+    "ModelRegistry",
+    "SchedulerClosed",
+    "ServedResult",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "model_stream_seed",
+]

@@ -1,0 +1,402 @@
+"""Micro-batching request scheduler over the batched inference core.
+
+PR 1 made the *offline* read path fast by amortising every layer over
+dense batches; an online server receives single-sample requests that
+would each pay the full per-call overhead again.  This module closes
+the gap with the classic serving idiom: a thread-safe queue per routing
+key, a worker that coalesces whatever is pending into one
+``infer_batch`` call, and per-request futures that resolve to views
+into the shared batch report.
+
+Coalescing policy (:class:`BatchPolicy`)
+----------------------------------------
+
+A queue is flushed as soon as either bound is hit:
+
+* ``max_batch`` requests are waiting (the batch is full), or
+* the *oldest* waiting request has aged ``max_wait_ms`` (latency bound).
+
+Under heavy traffic the scheduler therefore runs full batches at the
+offline throughput ceiling; under trickle traffic no request waits more
+than ``max_wait_ms`` beyond its own service time.
+
+Determinism
+-----------
+
+With the default (noise-free) variation model the crossbar read is a
+pure function of the programmed state, so a served result is
+bit-identical to calling ``infer_batch`` directly on the same engine —
+regardless of which requests happened to share its micro-batch.  This
+is enforced by ``tests/property/test_serving_equivalence.py``.  With
+``sigma_read > 0`` the noise stream is consumed in batch order, so
+per-request draws depend on traffic interleaving (exactly as a real
+macro's thermal noise would).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.serving.telemetry import Telemetry
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Coalescing knobs for the micro-batch scheduler.
+
+    Attributes
+    ----------
+    max_batch:
+        Largest number of requests fused into one ``infer_batch`` call.
+    max_wait_ms:
+        Longest a request may sit in the queue waiting for company
+        before its batch is launched anyway (milliseconds).
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_batch, "max_batch")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One request's slice of the micro-batch it was served in.
+
+    Holds a reference into the shared batch report instead of eagerly
+    copying per-sample fields — resolving thousands of futures per
+    second must not cost a per-request report materialisation.
+
+    Attributes
+    ----------
+    model:
+        Routing key the request was served under.
+    batch_size:
+        How many requests shared the micro-batch.
+    queue_wait_s:
+        Time spent queued before the batch launched (seconds).
+    """
+
+    model: str
+    batch_size: int
+    queue_wait_s: float
+    _report: object
+    _index: int
+
+    @property
+    def prediction(self) -> int:
+        """The winning class label."""
+        return self._report.predictions[self._index]
+
+    @property
+    def delay(self) -> float:
+        """Worst-case circuit inference latency of this sample (s)."""
+        return float(self._report.delay[self._index])
+
+    @property
+    def energy_total(self) -> float:
+        """Total inference energy attributed to this sample (J)."""
+        return float(self._report.energy.total[self._index])
+
+    def report(self):
+        """The full scalar per-sample report (flat or tiled flavour)."""
+        return self._report.sample(self._index)
+
+
+class SchedulerClosed(RuntimeError):
+    """Raised by :meth:`MicroBatchScheduler.submit` after shutdown."""
+
+
+class _Request:
+    __slots__ = ("levels", "future", "enqueued_at")
+
+    def __init__(self, levels: np.ndarray, enqueued_at: float):
+        self.levels = levels
+        self.future: "Future[ServedResult]" = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatchScheduler:
+    """Coalesces single-sample requests into batched engine reads.
+
+    Parameters
+    ----------
+    resolve_engine:
+        Callable mapping a routing key to an engine-like object exposing
+        ``infer_batch(levels) -> report`` with ``predictions``,
+        ``delay`` and ``energy.total`` per-sample arrays (both
+        :class:`~repro.core.engine.FeBiMEngine` and
+        :class:`~repro.crossbar.tiling.TiledFeBiM` qualify).  Called on
+        the worker thread once per flushed batch; resolution errors
+        fail that batch's futures, not the scheduler.
+    policy:
+        Coalescing bounds; defaults to ``BatchPolicy()``.
+    telemetry:
+        Shared counters; a private instance is created when omitted.
+
+    The scheduler owns one daemon worker thread.  ``submit`` never
+    blocks on inference — it enqueues and returns a future.
+    """
+
+    def __init__(
+        self,
+        resolve_engine: Callable[[Hashable], object],
+        policy: Optional[BatchPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.policy = policy or BatchPolicy()
+        self.resolve_engine = resolve_engine
+        self.telemetry = telemetry or Telemetry(self.policy.max_batch)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queues: Dict[Hashable, deque] = {}
+        self._pending = 0
+        self._inflight = 0
+        self._draining = False
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="febim-microbatch", daemon=True
+        )
+        self._worker.start()
+
+    # ---------------------------------------------------------------- client
+    def submit(self, key: Hashable, evidence_levels: np.ndarray) -> "Future[ServedResult]":
+        """Enqueue one sample for ``key``; returns its result future.
+
+        ``evidence_levels`` must be a single 1-D discretised sample.
+        The future resolves to a :class:`ServedResult` (or raises the
+        engine/resolution error that failed its batch).
+        """
+        levels = np.asarray(evidence_levels, dtype=int)
+        if levels.ndim != 1:
+            raise ValueError(
+                f"submit takes one 1-D sample, got shape {levels.shape}"
+            )
+        request = _Request(levels, time.monotonic())
+        with self._lock:
+            if self._closed:
+                raise SchedulerClosed("scheduler is shut down")
+            queue = self._queues.setdefault(key, deque())
+            queue.append(request)
+            self._pending += 1
+            # Waking the worker on *every* submit is a context-switch
+            # storm under load; it only needs to hear about a queue's
+            # first request (a new age-out deadline) or a queue just
+            # reaching a full batch.  Anything in between is covered by
+            # the deadline it is already sleeping on.
+            if len(queue) == 1 or len(queue) == self.policy.max_batch:
+                self._wake.notify()
+        self.telemetry.record_submitted()
+        return request.future
+
+    def submit_many(
+        self, key: Hashable, evidence_levels: np.ndarray
+    ) -> List["Future[ServedResult]"]:
+        """Enqueue a stack of samples as independent requests.
+
+        A convenience for bulk submitters: one lock acquisition for the
+        whole stack, but each sample still gets its own future and may
+        land in a different micro-batch.
+        """
+        levels = np.asarray(evidence_levels, dtype=int)
+        if levels.ndim != 2:
+            raise ValueError(
+                f"submit_many takes (n, features) samples, got {levels.shape}"
+            )
+        now = time.monotonic()
+        requests = [_Request(row, now) for row in levels]
+        with self._lock:
+            if self._closed:
+                raise SchedulerClosed("scheduler is shut down")
+            queue = self._queues.setdefault(key, deque())
+            queue.extend(requests)
+            self._pending += len(requests)
+            self._wake.notify()
+        self.telemetry.record_submitted(len(requests))
+        return [r.future for r in requests]
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Flush every queue now and wait until all requests resolved.
+
+        Returns ``True`` when the scheduler went idle within
+        ``timeout`` seconds (``None`` = wait forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._draining = True
+            self._wake.notify()
+            try:
+                while self._pending or self._inflight:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._idle.wait(remaining)
+            finally:
+                # Also on timeout: leaving the flag set would force
+                # every future batch to flush immediately, silently
+                # collapsing coalescing to per-request calls.
+                self._draining = False
+        return True
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the worker; idempotent.
+
+        With ``drain=True`` (the default) every queued request is served
+        first — the graceful path.  With ``drain=False`` queued requests
+        are cancelled (their futures report cancellation).
+        """
+        if drain:
+            self.drain(timeout)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            cancelled = []
+            for queue in self._queues.values():
+                cancelled.extend(queue)
+                queue.clear()
+            self._pending -= len(cancelled)
+            self._wake.notify()
+        for request in cancelled:
+            request.future.cancel()
+        if cancelled:
+            self.telemetry.record_cancelled(len(cancelled))
+        self._worker.join()
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet launched in a batch."""
+        with self._lock:
+            return self._pending
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(drain=exc == (None, None, None))
+
+    # ---------------------------------------------------------------- worker
+    def _next_ready_key(self, now: float):
+        """(key, deadline): a key due for flushing, or the earliest deadline.
+
+        Called under the lock.  Returns ``(key, None)`` when ``key``
+        must flush now, ``(None, deadline)`` to sleep until the earliest
+        age-out, or ``(None, None)`` when everything is empty.
+        """
+        max_wait = self.policy.max_wait_ms / 1e3
+        earliest = None
+        for key, queue in self._queues.items():
+            if not queue:
+                continue
+            if self._draining or len(queue) >= self.policy.max_batch:
+                return key, None
+            deadline = queue[0].enqueued_at + max_wait
+            if deadline <= now:
+                return key, None
+            if earliest is None or deadline < earliest:
+                earliest = deadline
+        return None, earliest
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                while True:
+                    if self._closed:
+                        return
+                    key, deadline = self._next_ready_key(time.monotonic())
+                    if key is not None:
+                        break
+                    self._wake.wait(
+                        None if deadline is None
+                        else max(deadline - time.monotonic(), 0.0)
+                    )
+                queue = self._queues[key]
+                popped = [
+                    queue.popleft()
+                    for _ in range(min(len(queue), self.policy.max_batch))
+                ]
+                if not queue:
+                    # Retired routing keys (e.g. superseded model
+                    # versions) must not accumulate empty deques the
+                    # scan above would walk forever.
+                    del self._queues[key]
+                self._pending -= len(popped)
+                self._inflight += len(popped)
+            # Claim each future before executing: a request the client
+            # already cancelled drops out here, and a claimed (RUNNING)
+            # future can no longer be cancelled under us — so the
+            # set_result/set_exception calls below cannot raise
+            # InvalidStateError and kill the worker.
+            batch = [
+                r for r in popped if r.future.set_running_or_notify_cancel()
+            ]
+            if len(batch) < len(popped):
+                self.telemetry.record_cancelled(len(popped) - len(batch))
+            try:
+                if batch:
+                    self._execute(key, batch)
+            finally:
+                with self._lock:
+                    self._inflight -= len(popped)
+                    if not self._pending and not self._inflight:
+                        self._idle.notify_all()
+
+    def _execute(self, key: Hashable, batch: List[_Request]) -> None:
+        started = time.monotonic()
+        try:
+            engine = self.resolve_engine(key)
+        except BaseException as exc:  # noqa: BLE001 — failures go to futures
+            for request in batch:
+                request.future.set_exception(exc)
+            self.telemetry.record_failed(len(batch))
+            return
+        # Requests are stacked per feature width so one malformed
+        # request can only fail its own group, never the well-formed
+        # requests that happened to share the coalescing window.
+        groups: Dict[tuple, List[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.levels.shape, []).append(request)
+        for group in groups.values():
+            self._execute_group(key, engine, group, started)
+
+    def _execute_group(
+        self, key: Hashable, engine, group: List[_Request], started: float
+    ) -> None:
+        try:
+            report = engine.infer_batch(np.stack([r.levels for r in group]))
+        except BaseException as exc:  # noqa: BLE001 — failures go to futures
+            for request in group:
+                request.future.set_exception(exc)
+            self.telemetry.record_failed(len(group))
+            return
+        finished = time.monotonic()
+        size = len(group)
+        for i, request in enumerate(group):
+            request.future.set_result(
+                ServedResult(
+                    model=str(key),
+                    batch_size=size,
+                    queue_wait_s=started - request.enqueued_at,
+                    _report=report,
+                    _index=i,
+                )
+            )
+        self.telemetry.record_batch(
+            str(key),
+            size,
+            latencies_s=np.array([finished - r.enqueued_at for r in group]),
+        )

@@ -1,0 +1,200 @@
+"""Multi-tenant online inference front end over tiled FeBiM engines.
+
+:class:`FeBiMServer` ties the serving layers together: a
+:class:`~repro.serving.registry.ModelRegistry` says *what* can be
+served, a :class:`~repro.serving.scheduler.MicroBatchScheduler`
+decides *when* requests reach the crossbar, and the server handles the
+*who* — routing each request to its model's programmed engine, with
+every tenant drawing from an independent RNG stream so one model's
+noise realisation can never leak into another's.
+
+The per-model streams are derived the same way the engine splits its
+own seed (:func:`~repro.utils.rng.spawn_rngs` /
+``numpy.random.SeedSequence``): the server's base seed is extended with
+a stable digest of the model name and version, so a given
+``(seed, name, version)`` always materialises the identical engine —
+the property the bit-identity acceptance test leans on — while distinct
+tenants get statistically independent streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import Future
+from typing import Dict, Hashable, List, NamedTuple, Optional, Union
+
+import numpy as np
+
+from repro.core.quantization import QuantizedBayesianModel
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import BatchPolicy, MicroBatchScheduler, ServedResult
+from repro.serving.telemetry import Telemetry, TelemetrySnapshot
+
+
+def model_stream_seed(base_seed: Optional[int], name: str, version: int) -> Optional[int]:
+    """Deterministic per-tenant engine seed.
+
+    ``None`` stays ``None`` (fresh entropy per materialisation);
+    otherwise the base seed is extended with a digest of the routing
+    identity through ``SeedSequence``, which is exactly how
+    :func:`~repro.utils.rng.spawn_rngs` derives independent child
+    streams — here keyed by name/version instead of spawn order so the
+    stream survives cache eviction and process restarts.
+    """
+    if base_seed is None:
+        return None
+    entropy = (int(base_seed), zlib.crc32(name.encode("utf-8")), int(version))
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+class RouteKey(NamedTuple):
+    """A resolved routing identity: model name plus pinned version."""
+
+    name: str
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+class FeBiMServer:
+    """Online serving over a model registry with micro-batched execution.
+
+    Parameters
+    ----------
+    registry:
+        The model store; a path-like builds a fresh
+        :class:`ModelRegistry` rooted there.
+    policy:
+        Micro-batch coalescing bounds (:class:`BatchPolicy`).
+    seed:
+        Base seed for the per-model engine streams (``None`` for fresh
+        entropy).  Two servers with the same seed and registry serve
+        bit-identical results under the default noise-free models.
+    max_rows:
+        When given, engines materialise as hierarchical
+        :class:`~repro.crossbar.tiling.TiledFeBiM` with this local-WTA
+        fan-in limit; flat engines otherwise.
+
+    Use as a context manager for guaranteed graceful shutdown::
+
+        with FeBiMServer(registry, seed=0) as server:
+            future = server.submit("iris", levels)
+            result = future.result()
+    """
+
+    def __init__(
+        self,
+        registry: Union[ModelRegistry, str],
+        policy: Optional[BatchPolicy] = None,
+        seed: Optional[int] = None,
+        max_rows: Optional[int] = None,
+    ):
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.policy = policy or BatchPolicy()
+        self.seed = seed
+        self.max_rows = max_rows
+        self.telemetry = Telemetry(self.policy.max_batch)
+        self.scheduler = MicroBatchScheduler(
+            self._resolve, policy=self.policy, telemetry=self.telemetry
+        )
+
+    # ---------------------------------------------------------------- routing
+    def _route(self, name: str, version: Optional[int]) -> RouteKey:
+        return RouteKey(name, self.registry.resolve_version(name, version))
+
+    def _resolve(self, key: Hashable):
+        name, version = key
+        return self.registry.get_engine(
+            name,
+            version,
+            max_rows=self.max_rows,
+            seed=model_stream_seed(self.seed, name, version),
+        )
+
+    def engine_for(self, name: str, version: Optional[int] = None):
+        """The engine instance requests for ``name`` are served by.
+
+        Materialises (and caches) it if needed — useful for comparing
+        served results against direct ``infer_batch`` calls.
+        """
+        return self._resolve(self._route(name, version))
+
+    # ---------------------------------------------------------------- tenants
+    def register(
+        self,
+        name: str,
+        model: QuantizedBayesianModel,
+        spec: Optional[MultiLevelCellSpec] = None,
+    ) -> int:
+        """Register/update a tenant model; returns its new version.
+
+        Delegates to the registry, whose engine-cache invalidation
+        guarantees no request batched after this call is served by the
+        previous version's weights.
+        """
+        return self.registry.register(name, model, spec)
+
+    def models(self) -> Dict[str, List[int]]:
+        """Registered tenants and their versions."""
+        return self.registry.list_models()
+
+    # --------------------------------------------------------------- requests
+    def submit(
+        self,
+        name: str,
+        evidence_levels: np.ndarray,
+        version: Optional[int] = None,
+    ) -> "Future[ServedResult]":
+        """Enqueue one discretised sample for ``name``; returns a future."""
+        return self.scheduler.submit(self._route(name, version), evidence_levels)
+
+    def submit_many(
+        self,
+        name: str,
+        evidence_levels: np.ndarray,
+        version: Optional[int] = None,
+    ) -> List["Future[ServedResult]"]:
+        """Enqueue a stack of samples as independent single requests."""
+        return self.scheduler.submit_many(
+            self._route(name, version), evidence_levels
+        )
+
+    def predict(
+        self,
+        name: str,
+        evidence_levels: np.ndarray,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Blocking single-sample convenience: submit and wait."""
+        return self.submit(name, evidence_levels, version).result(timeout)
+
+    # ------------------------------------------------------------- lifecycle
+    def stats(self) -> TelemetrySnapshot:
+        """Current serving telemetry (requests, batches, latency)."""
+        return self.telemetry.snapshot()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Serve everything queued; returns False on timeout."""
+        return self.scheduler.drain(timeout)
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Graceful (draining) shutdown by default; idempotent."""
+        self.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "FeBiMServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def __repr__(self) -> str:
+        return (
+            f"FeBiMServer({len(self.models())} models, "
+            f"max_batch={self.policy.max_batch}, "
+            f"max_wait_ms={self.policy.max_wait_ms})"
+        )

@@ -1,0 +1,173 @@
+"""Serving telemetry: counters, batch occupancy and latency percentiles.
+
+The online layer (:mod:`repro.serving.scheduler` /
+:mod:`repro.serving.server`) records every request and every executed
+micro-batch here.  Counters are plain integers behind one lock —
+recording must stay cheap because it sits on the per-request hot path —
+and latency percentiles come from a bounded ring buffer of recent
+end-to-end latencies (a full history would grow without bound under the
+sustained traffic the server is built for).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Default number of recent latency samples kept for percentile queries.
+LATENCY_WINDOW = 8192
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A consistent point-in-time view of the serving counters.
+
+    Attributes
+    ----------
+    submitted:
+        Requests accepted by :meth:`MicroBatchScheduler.submit`.
+    completed:
+        Requests whose future resolved with a result.
+    failed:
+        Requests whose future resolved with an exception.
+    cancelled:
+        Requests cancelled by a non-draining shutdown.
+    batches:
+        Micro-batches executed.
+    avg_batch:
+        Mean samples per executed batch (0.0 before the first batch).
+    occupancy:
+        ``avg_batch / max_batch`` — how full the coalescing window ran.
+    p50_latency_s / p95_latency_s:
+        Median / tail end-to-end latency (submit -> result) over the
+        recent window, in seconds (``nan`` before the first completion).
+    per_model:
+        Completed-request count per routing key.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    batches: int
+    max_batch: int
+    avg_batch: float
+    occupancy: float
+    p50_latency_s: float
+    p95_latency_s: float
+    per_model: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests submitted but not yet resolved either way."""
+        return self.submitted - self.completed - self.failed - self.cancelled
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for ``febim serve --json``)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "avg_batch": self.avg_batch,
+            "occupancy": self.occupancy,
+            "p50_latency_ms": self.p50_latency_s * 1e3,
+            "p95_latency_ms": self.p95_latency_s * 1e3,
+            "per_model": dict(self.per_model),
+        }
+
+    def format_lines(self) -> str:
+        """Human-readable report block (for ``febim serve --report``)."""
+        lines = [
+            f"requests   submitted {self.submitted}  completed {self.completed}"
+            f"  failed {self.failed}  cancelled {self.cancelled}",
+            f"batches    {self.batches}  avg fill {self.avg_batch:.1f}/"
+            f"{self.max_batch} ({self.occupancy * 100:.0f}% occupancy)",
+            f"latency    p50 {self.p50_latency_s * 1e3:.2f} ms   "
+            f"p95 {self.p95_latency_s * 1e3:.2f} ms",
+        ]
+        for name in sorted(self.per_model):
+            lines.append(f"  model {name:20s} {self.per_model[name]} served")
+        return "\n".join(lines)
+
+
+class Telemetry:
+    """Thread-safe serving counters shared by scheduler and server.
+
+    Parameters
+    ----------
+    max_batch:
+        The scheduler's coalescing limit, used for occupancy.
+    window:
+        Ring-buffer capacity for latency percentile queries.
+    """
+
+    def __init__(self, max_batch: int, window: int = LATENCY_WINDOW):
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        check_positive_int(window, "window")
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._batches = 0
+        self._batched_samples = 0
+        self._per_model: Dict[str, int] = {}
+        self._latencies = deque(maxlen=window)
+
+    # ------------------------------------------------------------- recording
+    def record_submitted(self, n: int = 1) -> None:
+        with self._lock:
+            self._submitted += n
+
+    def record_batch(
+        self, model: str, size: int, latencies_s: Optional[np.ndarray] = None
+    ) -> None:
+        """One executed micro-batch of ``size`` completed requests."""
+        with self._lock:
+            self._batches += 1
+            self._batched_samples += size
+            self._completed += size
+            self._per_model[model] = self._per_model.get(model, 0) + size
+            if latencies_s is not None:
+                self._latencies.extend(float(v) for v in latencies_s)
+
+    def record_failed(self, n: int) -> None:
+        with self._lock:
+            self._failed += n
+
+    def record_cancelled(self, n: int) -> None:
+        with self._lock:
+            self._cancelled += n
+
+    # --------------------------------------------------------------- reading
+    def snapshot(self) -> TelemetrySnapshot:
+        """Consistent snapshot of every counter."""
+        with self._lock:
+            avg = self._batched_samples / self._batches if self._batches else 0.0
+            if self._latencies:
+                lat = np.fromiter(self._latencies, dtype=float)
+                p50, p95 = np.percentile(lat, [50.0, 95.0])
+            else:
+                p50 = p95 = float("nan")
+            return TelemetrySnapshot(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                cancelled=self._cancelled,
+                batches=self._batches,
+                max_batch=self.max_batch,
+                avg_batch=avg,
+                occupancy=avg / self.max_batch,
+                p50_latency_s=float(p50),
+                p95_latency_s=float(p95),
+                per_model=dict(self._per_model),
+            )

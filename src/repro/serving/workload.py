@@ -1,0 +1,297 @@
+"""Synthetic serving workloads: mixed-tenant traffic against a server.
+
+Shared by ``febim serve``, ``benchmarks/bench_serving.py`` and
+``examples/serving_demo.py``: train a few tenant models, register them,
+fire a stream of single-sample requests from concurrent submitter
+threads, and report sustained served throughput next to the offline
+``infer_batch`` ceiling the scheduler is trying to reach.
+
+The offline ceiling is measured on the *same engines* that serve the
+traffic (one dense ``infer_batch`` at ``offline_batch`` samples), so
+``served_fraction`` isolates exactly the cost of the online layer:
+queueing, coalescing, futures and thread handoff.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_dataset, make_gaussian_blobs
+from repro.datasets.splits import train_test_split
+from repro.serving.registry import ModelRegistry
+from repro.serving.scheduler import BatchPolicy
+from repro.serving.server import FeBiMServer
+from repro.serving.telemetry import TelemetrySnapshot
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import check_positive_int
+
+#: Dense batch size used for the offline throughput ceiling.
+OFFLINE_BATCH = 256
+
+
+@dataclass(frozen=True)
+class ServingRunResult:
+    """Outcome of one mixed-traffic serving run.
+
+    Attributes
+    ----------
+    served_sps:
+        Sustained served samples/sec over the whole run (submit of the
+        first request to completion of the last, drain included).
+    offline_sps:
+        Offline ``infer_batch`` ceiling at :data:`OFFLINE_BATCH`
+        samples, traffic-weighted across tenants.
+    matched:
+        Requests whose served prediction was verified bit-identical to
+        the direct offline prediction for the same sample.
+    """
+
+    dataset: str
+    models: Tuple[str, ...]
+    policy: BatchPolicy
+    n_requests: int
+    submitters: int
+    wall_s: float
+    served_sps: float
+    offline_sps: float
+    matched: int
+    telemetry: TelemetrySnapshot
+
+    @property
+    def served_fraction(self) -> float:
+        """Served throughput as a fraction of the offline ceiling."""
+        if self.offline_sps <= 0:
+            return float("nan")
+        return self.served_sps / self.offline_sps
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``febim serve --json``)."""
+        return {
+            "bench": "serving",
+            "dataset": self.dataset,
+            "models": list(self.models),
+            "policy": {
+                "max_batch": self.policy.max_batch,
+                "max_wait_ms": self.policy.max_wait_ms,
+            },
+            "n_requests": self.n_requests,
+            "submitters": self.submitters,
+            "wall_s": self.wall_s,
+            "served_sps": self.served_sps,
+            "offline_sps": self.offline_sps,
+            "served_fraction": self.served_fraction,
+            "matched": self.matched,
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def _tenant_datasets(
+    dataset: str,
+    n_models: int,
+    seed_pool,
+    synthetic_classes: int,
+    synthetic_features: int,
+) -> List[Tuple[str, object]]:
+    """Tenant (name, dataset) pairs for the workload.
+
+    ``"synthetic"`` draws one independent many-class blob problem per
+    tenant (the serving-bench shape: enough classes/features that the
+    numpy read dominates scheduler overhead); bundled datasets share
+    the data but train tenants on independent splits.
+    """
+    tenants = []
+    for i, rng in enumerate(seed_pool):
+        name = f"{dataset}-{chr(ord('a') + i)}"
+        if dataset == "synthetic":
+            data = make_gaussian_blobs(
+                n_samples=1500,
+                n_features=synthetic_features,
+                n_classes=synthetic_classes,
+                class_sep=2.5,
+                seed=rng,
+            )
+        else:
+            data = load_dataset(dataset)
+        tenants.append((name, data))
+    return tenants
+
+
+def run_serving_workload(
+    dataset: str = "iris",
+    n_models: int = 2,
+    n_requests: int = 2048,
+    submitters: int = 4,
+    policy: Optional[BatchPolicy] = None,
+    q_f: int = 4,
+    q_l: int = 2,
+    registry_root: Optional[str] = None,
+    offline_batch: int = OFFLINE_BATCH,
+    synthetic_classes: int = 20,
+    synthetic_features: int = 24,
+    seed: int = 0,
+) -> ServingRunResult:
+    """Serve a mixed request stream and measure sustained throughput.
+
+    Parameters
+    ----------
+    dataset:
+        A bundled dataset name, or ``"synthetic"`` for independent
+        many-class blob tenants.
+    n_models:
+        Number of tenant models registered and mixed in the traffic.
+    n_requests:
+        Total single-sample requests across all submitters.
+    submitters:
+        Concurrent submitter threads (each owns a disjoint slice of the
+        request stream, round-robin across tenants).
+    registry_root:
+        Registry directory; a temporary one is used when omitted.
+    offline_batch:
+        Dense batch size for the offline ceiling measurement.
+
+    Returns
+    -------
+    :class:`ServingRunResult` — throughput, ceiling, verification and
+    the final telemetry snapshot after a draining shutdown.
+    """
+    check_positive_int(n_models, "n_models")
+    check_positive_int(n_requests, "n_requests")
+    check_positive_int(submitters, "submitters")
+    check_positive_int(offline_batch, "offline_batch")
+    policy = policy or BatchPolicy()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = registry_root or tmp
+        registry = ModelRegistry(root, engine_cache_size=max(8, 2 * n_models))
+
+        # Train and register the tenants; keep each tenant's discretised
+        # request pool and its expected offline predictions.
+        tenant_rngs = spawn_rngs(seed, n_models)
+        names: List[str] = []
+        pools: Dict[str, np.ndarray] = {}
+        tenants = _tenant_datasets(
+            dataset, n_models, tenant_rngs, synthetic_classes, synthetic_features
+        )
+        for name, data in tenants:
+            X_tr, X_te, y_tr, _ = train_test_split(
+                data.data, data.target, test_size=0.5, seed=zlib.crc32(name.encode())
+            )
+            pipe = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=seed).fit(X_tr, y_tr)
+            pipe.register_into(registry, name)
+            pools[name] = pipe.transform_levels(X_te)
+            names.append(name)
+
+        with FeBiMServer(registry, policy=policy, seed=seed) as server:
+            # Warm every tenant's engine so the run measures steady-state
+            # serving, not one-time crossbar programming.
+            engines = {name: server.engine_for(name) for name in names}
+            expected = {
+                name: engines[name].infer_batch(pools[name]).predictions
+                for name in names
+            }
+
+            # Offline ceiling: dense infer_batch on the serving engines,
+            # weighted by each tenant's share of the traffic.
+            per_model_sps = []
+            for name in names:
+                pool = pools[name]
+                idx = np.arange(offline_batch) % pool.shape[0]
+                dense = pool[idx]
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    engines[name].infer_batch(dense)
+                    best = min(best, time.perf_counter() - start)
+                per_model_sps.append(offline_batch / max(best, 1e-12))
+            offline_sps = float(
+                1.0 / np.mean([1.0 / sps for sps in per_model_sps])
+            )
+
+            # The mixed request stream: submitter s owns requests
+            # s, s + submitters, ... — round-robin across tenants by
+            # request index so traffic interleaves models.
+            plan = [
+                (names[i % len(names)], i) for i in range(n_requests)
+            ]
+            futures: List[Optional[object]] = [None] * n_requests
+            barrier = threading.Barrier(submitters + 1)
+
+            def submitter(worker: int) -> None:
+                barrier.wait()
+                for i in range(worker, n_requests, submitters):
+                    name, req = plan[i]
+                    pool = pools[name]
+                    futures[i] = server.submit(name, pool[req % pool.shape[0]])
+
+            threads = [
+                threading.Thread(target=submitter, args=(w,), daemon=True)
+                for w in range(submitters)
+            ]
+            # The default 5 ms GIL switch interval convoys the worker
+            # behind the submitters (each handoff can stall a full
+            # interval); a tighter interval is standard tuning for
+            # thread-based Python servers.  Restored afterwards.
+            prev_switch = sys.getswitchinterval()
+            sys.setswitchinterval(1e-3)
+            try:
+                for t in threads:
+                    t.start()
+                barrier.wait()
+                started = time.perf_counter()
+                for t in threads:
+                    t.join()
+                if not server.drain(timeout=120.0):
+                    raise RuntimeError("serving workload failed to drain in 120 s")
+                wall = time.perf_counter() - started
+            finally:
+                sys.setswitchinterval(prev_switch)
+
+            # Verify: every future resolved exactly once with the
+            # bit-identical offline prediction for its sample.
+            matched = 0
+            for i, future in enumerate(futures):
+                name, req = plan[i]
+                result = future.result(timeout=0)
+                pool = pools[name]
+                if result.prediction == expected[name][req % pool.shape[0]]:
+                    matched += 1
+            telemetry = server.stats()
+
+    return ServingRunResult(
+        dataset=dataset,
+        models=tuple(names),
+        policy=policy,
+        n_requests=n_requests,
+        submitters=submitters,
+        wall_s=wall,
+        served_sps=n_requests / max(wall, 1e-12),
+        offline_sps=offline_sps,
+        matched=matched,
+        telemetry=telemetry,
+    )
+
+
+def format_serving(result: ServingRunResult) -> str:
+    """Human-readable report block (``febim serve --report``)."""
+    lines = [
+        f"serving workload on {result.dataset}: "
+        f"{result.n_requests} requests, {result.submitters} submitters, "
+        f"{len(result.models)} tenants",
+        f"policy     max_batch {result.policy.max_batch}, "
+        f"max_wait {result.policy.max_wait_ms} ms",
+        f"throughput served {result.served_sps:.0f} sps vs offline ceiling "
+        f"{result.offline_sps:.0f} sps ({result.served_fraction * 100:.0f}%)",
+        f"verified   {result.matched}/{result.n_requests} predictions "
+        f"bit-identical to offline",
+        result.telemetry.format_lines(),
+    ]
+    return "\n".join(lines)

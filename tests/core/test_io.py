@@ -74,6 +74,62 @@ class TestDictRoundtrip:
             model_from_dict(data)
 
 
+class TestRoundtripVariants:
+    def test_prior_levels_none_file_round_trip(self, tmp_path):
+        tables = [np.array([[0.9, 0.1], [0.2, 0.8]])]
+        m = quantize_model(tables, np.array([0.5, 0.5]), n_levels=4)
+        assert m.prior_levels is None
+        rebuilt, _ = load_model(save_model(tmp_path / "m.json", m))
+        assert rebuilt.prior_levels is None
+        X = np.array([[0], [1]])
+        np.testing.assert_array_equal(rebuilt.predict(X), m.predict(X))
+
+    def test_non_default_clip_decades_round_trip(self, tmp_path):
+        tables = [
+            np.array([[0.7, 0.2, 0.1], [0.1, 0.3, 0.6]]),
+            np.array([[0.5, 0.5], [0.9, 0.1]]),
+        ]
+        m = quantize_model(tables, np.array([0.8, 0.2]), n_levels=8, clip_decades=2.5)
+        rebuilt, _ = load_model(save_model(tmp_path / "m.json", m))
+        assert rebuilt.quantizer.lo == pytest.approx(m.quantizer.lo, rel=1e-12)
+        assert rebuilt.quantizer.n_levels == 8
+        for a, b in zip(rebuilt.likelihood_levels, m.likelihood_levels):
+            np.testing.assert_array_equal(a, b)
+        X = np.array([[0, 0], [2, 1], [1, 0]])
+        np.testing.assert_array_equal(rebuilt.predict(X), m.predict(X))
+
+
+class TestCorruptArtifacts:
+    def test_truncated_json_raises_value_error(self, model, tmp_path):
+        path = save_model(tmp_path / "m.json", model)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            load_model(path)
+
+    def test_non_json_raises_value_error(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("this is not json {")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_model(path)
+
+    def test_missing_section_raises_value_error_not_keyerror(self, model):
+        data = model_to_dict(model)
+        del data["quantizer"]
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            model_from_dict(data)
+
+    def test_missing_spec_field_raises_value_error(self, model):
+        data = model_to_dict(model)
+        del data["spec"]["i_min"]
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            model_from_dict(data)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            model_from_dict([1, 2, 3])
+
+
 class TestFileRoundtrip:
     def test_save_load(self, model, tmp_path):
         path = save_model(tmp_path / "model.json", model)

@@ -7,14 +7,16 @@ from repro.core import quantize_model
 from repro.crossbar.tiling import TiledFeBiM
 
 
-def make_model(k=20, f=3, m=4, seed=0, sharp=True):
+def make_model(k=20, f=3, m=4, seed=0, sharp=True, clip_decades=1.0):
     """A k-class model; ``sharp=True`` spreads scores to avoid ties."""
     rng = np.random.default_rng(seed)
     tables = []
     for _ in range(f):
         t = rng.random((k, m)) ** (4.0 if sharp else 1.0) + 1e-3
         tables.append(t / t.sum(axis=1, keepdims=True))
-    return quantize_model(tables, np.full(k, 1.0 / k), n_levels=4)
+    return quantize_model(
+        tables, np.full(k, 1.0 / k), n_levels=4, clip_decades=clip_decades
+    )
 
 
 @pytest.fixture()
@@ -41,6 +43,50 @@ class TestPartitioning:
     def test_invalid_max_rows(self):
         with pytest.raises((ValueError, TypeError)):
             TiledFeBiM(make_model(), max_rows=0)
+
+
+class TestTileQuantizer:
+    def test_tiles_share_parent_quantizer(self, tiled):
+        """_slice_model must carry the quantiser, not re-derive it."""
+        for tile in tiled.tiles:
+            assert tile.model.quantizer is tiled.model.quantizer
+
+    def test_non_default_clip_decades_regression(self):
+        """Tiling a model quantised at clip_decades != 1 preserves the
+        quantiser's range exactly (the old re-derivation round-tripped
+        lo -> clip_decades -> lo through floating point)."""
+        model = make_model(k=12, clip_decades=2.5)
+        tiled = TiledFeBiM(model, max_rows=5, seed=0)
+        for tile in tiled.tiles:
+            assert tile.model.quantizer.lo == model.quantizer.lo
+            assert tile.model.quantizer.hi == model.quantizer.hi
+            assert tile.model.quantizer.n_levels == model.quantizer.n_levels
+        # Decisions still track the digital maximiser at the odd range.
+        rng = np.random.default_rng(4)
+        evidence = rng.integers(0, 4, size=(20, 3))
+        scores = model.level_scores(evidence)
+        for i, pred in enumerate(tiled.predict(evidence)):
+            assert scores[i, pred] == scores[i].max()
+
+
+class TestBatchInterface:
+    def test_infer_batch_matches_infer_one(self, tiled):
+        rng = np.random.default_rng(5)
+        evidence = rng.integers(0, 4, size=(12, 3))
+        batch = tiled.infer_batch(evidence)
+        assert len(batch) == 12
+        for i in range(12):
+            one = tiled.infer_one(evidence[i])
+            sample = batch.sample(i)
+            assert sample.prediction == one.prediction
+            assert sample.delay == one.delay
+            assert sample.energy == one.energy
+            np.testing.assert_array_equal(sample.tile_winners, one.tile_winners)
+
+    def test_single_sample_promoted_to_batch(self, tiled):
+        report = tiled.infer_batch(np.array([0, 1, 2]))
+        assert len(report) == 1
+        assert report.energy.total.shape == (1,)
 
 
 class TestHierarchicalInference:

@@ -1,0 +1,299 @@
+"""Micro-batch scheduler: coalescing, futures, drain, shutdown."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchPolicy, MicroBatchScheduler, SchedulerClosed
+
+
+class RecordingEngine:
+    """Engine stub: argmax over levels, records every batch it sees."""
+
+    def __init__(self, block_s=0.0):
+        self.batches = []
+        self.block_s = block_s
+
+    def infer_batch(self, levels):
+        if self.block_s:
+            time.sleep(self.block_s)
+        self.batches.append(np.array(levels))
+        n = levels.shape[0]
+
+        class Report:
+            predictions = levels.sum(axis=1)
+            delay = np.full(n, 1e-9)
+
+            class energy:
+                total = np.full(n, 1e-15)
+
+            @staticmethod
+            def sample(i):
+                return ("sample", i)
+
+        return Report()
+
+
+class FailingEngine:
+    def infer_batch(self, levels):
+        raise RuntimeError("array caught fire")
+
+
+def make_scheduler(engine=None, **policy_kwargs):
+    engine = engine if engine is not None else RecordingEngine()
+    engines = {"m": engine}
+    sched = MicroBatchScheduler(
+        lambda key: engines[key], BatchPolicy(**policy_kwargs)
+    )
+    return sched, engine
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch == 64 and policy.max_wait_ms == 2.0
+
+    def test_invalid_max_batch(self):
+        with pytest.raises((ValueError, TypeError)):
+            BatchPolicy(max_batch=0)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(max_wait_ms=-1.0)
+
+
+class TestCoalescing:
+    def test_single_request_served(self):
+        sched, engine = make_scheduler(max_batch=8, max_wait_ms=1.0)
+        try:
+            result = sched.submit("m", np.array([1, 2, 3])).result(timeout=5)
+            assert result.prediction == 6
+            assert result.batch_size == 1
+            assert result.model == "m"
+        finally:
+            sched.shutdown()
+
+    def test_full_batch_flushes_before_deadline(self):
+        sched, engine = make_scheduler(max_batch=4, max_wait_ms=10_000.0)
+        try:
+            futures = [sched.submit("m", np.array([i])) for i in range(4)]
+            for f in futures:
+                f.result(timeout=5)
+            assert len(engine.batches) == 1
+            assert engine.batches[0].shape == (4, 1)
+        finally:
+            sched.shutdown()
+
+    def test_deadline_flushes_partial_batch(self):
+        sched, engine = make_scheduler(max_batch=1000, max_wait_ms=5.0)
+        try:
+            future = sched.submit("m", np.array([7]))
+            result = future.result(timeout=5)
+            assert result.batch_size == 1
+        finally:
+            sched.shutdown()
+
+    def test_oversized_wave_splits_into_batches(self):
+        sched, engine = make_scheduler(max_batch=4, max_wait_ms=1.0)
+        try:
+            futures = sched.submit_many("m", np.arange(10)[:, None])
+            for f in futures:
+                f.result(timeout=5)
+            sizes = sorted(b.shape[0] for b in engine.batches)
+            assert sum(sizes) == 10
+            assert max(sizes) <= 4
+        finally:
+            sched.shutdown()
+
+    def test_results_keep_request_order_within_batch(self):
+        sched, engine = make_scheduler(max_batch=8, max_wait_ms=5.0)
+        try:
+            futures = sched.submit_many("m", np.arange(8)[:, None])
+            preds = [f.result(timeout=5).prediction for f in futures]
+            assert preds == list(range(8))
+        finally:
+            sched.shutdown()
+
+    def test_queue_wait_and_report_view(self):
+        sched, engine = make_scheduler(max_batch=2, max_wait_ms=50.0)
+        try:
+            f1 = sched.submit("m", np.array([1]))
+            f2 = sched.submit("m", np.array([2]))
+            r1, r2 = f1.result(timeout=5), f2.result(timeout=5)
+            assert r1.queue_wait_s >= 0.0
+            assert r1.delay == pytest.approx(1e-9)
+            assert r1.energy_total == pytest.approx(1e-15)
+            assert r1.report() == ("sample", 0)
+            assert r2.report() == ("sample", 1)
+        finally:
+            sched.shutdown()
+
+    def test_rejects_non_1d_submit(self):
+        sched, _ = make_scheduler()
+        try:
+            with pytest.raises(ValueError, match="1-D"):
+                sched.submit("m", np.zeros((2, 2), dtype=int))
+            with pytest.raises(ValueError, match="samples"):
+                sched.submit_many("m", np.zeros(3, dtype=int))
+        finally:
+            sched.shutdown()
+
+
+class TestFailures:
+    def test_engine_error_fails_batch_futures(self):
+        sched, _ = make_scheduler(FailingEngine(), max_batch=2, max_wait_ms=1.0)
+        try:
+            futures = [sched.submit("m", np.array([i])) for i in range(2)]
+            for f in futures:
+                with pytest.raises(RuntimeError, match="caught fire"):
+                    f.result(timeout=5)
+            assert sched.telemetry.snapshot().failed == 2
+        finally:
+            sched.shutdown()
+
+    def test_malformed_width_fails_alone_not_cobatched(self):
+        """A wrong-width request must not poison its co-batched peers."""
+
+        class WidthCheckingEngine(RecordingEngine):
+            def infer_batch(self, levels):
+                if levels.shape[1] != 2:
+                    raise ValueError("bad width")
+                return super().infer_batch(levels)
+
+        sched, engine = make_scheduler(
+            WidthCheckingEngine(), max_batch=8, max_wait_ms=20.0
+        )
+        try:
+            good = [sched.submit("m", np.array([i, i])) for i in range(3)]
+            bad = sched.submit("m", np.array([1, 2, 3]))
+            for i, f in enumerate(good):
+                assert f.result(timeout=5).prediction == 2 * i
+            with pytest.raises(ValueError, match="bad width"):
+                bad.result(timeout=5)
+            snapshot = sched.telemetry.snapshot()
+            assert snapshot.completed == 3 and snapshot.failed == 1
+        finally:
+            sched.shutdown()
+
+    def test_unknown_key_fails_future_not_scheduler(self):
+        sched, _ = make_scheduler(max_batch=4, max_wait_ms=1.0)
+        try:
+            bad = sched.submit("ghost", np.array([1]))
+            with pytest.raises(KeyError):
+                bad.result(timeout=5)
+            # Scheduler survives and keeps serving the good key.
+            good = sched.submit("m", np.array([1, 1]))
+            assert good.result(timeout=5).prediction == 2
+        finally:
+            sched.shutdown()
+
+
+class TestLifecycle:
+    def test_drain_completes_everything(self):
+        sched, engine = make_scheduler(max_batch=64, max_wait_ms=10_000.0)
+        futures = sched.submit_many("m", np.arange(10)[:, None])
+        assert sched.drain(timeout=10)
+        assert all(f.done() for f in futures)
+        assert sched.pending == 0
+        sched.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        sched, _ = make_scheduler()
+        sched.shutdown()
+        sched.shutdown()
+
+    def test_submit_after_shutdown_raises(self):
+        sched, _ = make_scheduler()
+        sched.shutdown()
+        with pytest.raises(SchedulerClosed):
+            sched.submit("m", np.array([1]))
+
+    def test_non_draining_shutdown_cancels_queued(self):
+        engine = RecordingEngine(block_s=0.2)
+        sched, _ = make_scheduler(engine, max_batch=1, max_wait_ms=0.0)
+        first = sched.submit("m", np.array([1]))
+        time.sleep(0.05)  # the worker is now blocked inside batch 1
+        queued = [sched.submit("m", np.array([i])) for i in range(5)]
+        sched.shutdown(drain=False)
+        first.result(timeout=5)  # in-flight batch still completes
+        cancelled = sum(1 for f in queued if f.cancelled())
+        assert cancelled == 5
+        assert sched.telemetry.snapshot().cancelled == 5
+
+    def test_client_cancel_does_not_kill_worker(self):
+        """A client cancelling its own future must not poison serving."""
+        engine = RecordingEngine(block_s=0.15)
+        sched, _ = make_scheduler(engine, max_batch=1, max_wait_ms=0.0)
+        try:
+            blocker = sched.submit("m", np.array([1]))
+            time.sleep(0.05)  # worker now blocked inside batch 1
+            doomed = sched.submit("m", np.array([2]))
+            assert doomed.cancel()  # still queued -> cancellable
+            blocker.result(timeout=5)
+            # The worker survived the cancelled future and keeps serving.
+            after = sched.submit("m", np.array([3, 4]))
+            assert after.result(timeout=5).prediction == 7
+            assert sched.telemetry.snapshot().cancelled == 1
+        finally:
+            sched.shutdown()
+
+    def test_drain_timeout_restores_coalescing(self):
+        engine = RecordingEngine(block_s=0.2)
+        sched, _ = make_scheduler(engine, max_batch=4, max_wait_ms=50.0)
+        try:
+            sched.submit("m", np.array([1]))
+            assert sched.drain(timeout=0.05) is False
+            # The force-flush flag must not stay latched after a timeout.
+            assert sched._draining is False
+            assert sched.drain(timeout=10) is True
+        finally:
+            sched.shutdown()
+
+    def test_empty_queues_are_retired(self):
+        sched, _ = make_scheduler(max_batch=4, max_wait_ms=0.5)
+        try:
+            for key in ("m@v1", "m@v2", "m@v3"):
+                sched.submit("m", np.array([1]))
+            assert sched.drain(timeout=10)
+            assert sched._queues == {}
+        finally:
+            sched.shutdown()
+
+    def test_context_manager_drains(self):
+        with make_scheduler(max_batch=64, max_wait_ms=10_000.0)[0] as sched:
+            futures = sched.submit_many("m", np.arange(5)[:, None])
+        assert all(f.done() and not f.cancelled() for f in futures)
+
+
+class TestConcurrency:
+    def test_concurrent_submitters_no_drop_no_dup(self):
+        sched, engine = make_scheduler(max_batch=16, max_wait_ms=1.0)
+        try:
+            n, workers = 400, 4
+            futures = [None] * n
+            barrier = threading.Barrier(workers)
+
+            def submitter(w):
+                barrier.wait()
+                for i in range(w, n, workers):
+                    futures[i] = sched.submit("m", np.array([i]))
+
+            threads = [
+                threading.Thread(target=submitter, args=(w,)) for w in range(workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sched.drain(timeout=30)
+            preds = sorted(f.result(timeout=5).prediction for f in futures)
+            assert preds == list(range(n))  # exactly once, nothing lost
+            served = sum(b.shape[0] for b in engine.batches)
+            assert served == n
+            snapshot = sched.telemetry.snapshot()
+            assert snapshot.submitted == snapshot.completed == n
+            assert snapshot.occupancy > 0
+        finally:
+            sched.shutdown()

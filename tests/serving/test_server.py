@@ -1,0 +1,150 @@
+"""The multi-tenant server: routing, RNG streams, telemetry, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core import quantize_model
+from repro.serving import BatchPolicy, FeBiMServer, ModelRegistry
+from repro.serving.server import model_stream_seed
+
+
+def make_model(k=3, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for _ in range(3):
+        t = rng.random((k, m)) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    prior = rng.random(k) + 0.5
+    return quantize_model(tables, prior / prior.sum(), n_levels=4)
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with FeBiMServer(
+        ModelRegistry(tmp_path / "reg"),
+        policy=BatchPolicy(max_batch=8, max_wait_ms=1.0),
+        seed=0,
+    ) as srv:
+        srv.register("alpha", make_model(seed=1))
+        srv.register("beta", make_model(seed=2))
+        yield srv
+
+
+class TestRouting:
+    def test_predict_round_trip(self, server):
+        result = server.predict("alpha", np.array([0, 1, 2]), timeout=5)
+        engine = server.engine_for("alpha")
+        direct = engine.infer_batch(np.array([[0, 1, 2]]))
+        assert result.prediction == direct.predictions[0]
+
+    def test_models_listing(self, server):
+        assert sorted(server.models()) == ["alpha", "beta"]
+
+    def test_tenants_route_to_distinct_engines(self, server):
+        assert server.engine_for("alpha") is not server.engine_for("beta")
+
+    def test_unknown_model_raises(self, server):
+        with pytest.raises(KeyError):
+            server.predict("ghost", np.array([0, 0, 0]), timeout=5)
+
+    def test_version_pinning(self, server):
+        server.register("alpha", make_model(k=5, seed=9))
+        pinned = server.predict("alpha", np.array([0, 1, 2]), version=1, timeout=5)
+        assert pinned.model == "alpha@v1"
+        latest = server.predict("alpha", np.array([0, 1, 2]), timeout=5)
+        assert latest.model == "alpha@v2"
+
+    def test_reregister_serves_new_weights(self, server):
+        before = server.engine_for("alpha")
+        server.register("alpha", make_model(seed=3))
+        after = server.engine_for("alpha")
+        assert after is not before
+
+    def test_submit_many(self, server):
+        futures = server.submit_many("beta", np.zeros((5, 3), dtype=int))
+        preds = {f.result(timeout=5).prediction for f in futures}
+        assert len(preds) == 1  # identical inputs, identical outputs
+
+
+class TestRngStreams:
+    def test_stream_seed_is_stable(self):
+        assert model_stream_seed(0, "alpha", 1) == model_stream_seed(0, "alpha", 1)
+
+    def test_stream_seed_distinct_per_tenant(self):
+        seeds = {
+            model_stream_seed(0, name, version)
+            for name in ("alpha", "beta", "gamma")
+            for version in (1, 2)
+        }
+        assert len(seeds) == 6
+
+    def test_none_base_stays_none(self):
+        assert model_stream_seed(None, "alpha", 1) is None
+
+    def test_same_seed_servers_share_engine_stream(self, tmp_path, server):
+        with FeBiMServer(
+            ModelRegistry(tmp_path / "reg2"),
+            policy=BatchPolicy(max_batch=8, max_wait_ms=1.0),
+            seed=0,
+        ) as other:
+            other.register("alpha", make_model(seed=1))
+            a = server.predict("alpha", np.array([1, 1, 1]), timeout=5)
+            b = other.predict("alpha", np.array([1, 1, 1]), timeout=5)
+            assert a.prediction == b.prediction
+            assert a.delay == b.delay
+
+
+class TestTelemetryAndLifecycle:
+    def test_stats_track_requests(self, server):
+        for _ in range(3):
+            server.predict("alpha", np.array([0, 0, 0]), timeout=5)
+        snapshot = server.stats()
+        assert snapshot.submitted == snapshot.completed == 3
+        assert snapshot.batches >= 1
+        assert snapshot.per_model.get("alpha@v1") == 3
+        assert snapshot.p50_latency_s > 0
+
+    def test_snapshot_to_dict_is_json_ready(self, server):
+        import json
+
+        server.predict("alpha", np.array([0, 0, 0]), timeout=5)
+        text = json.dumps(server.stats().to_dict())
+        assert "occupancy" in text
+
+    def test_drain_then_close_clean(self, tmp_path):
+        server = FeBiMServer(ModelRegistry(tmp_path / "reg3"), seed=0)
+        server.register("m", make_model())
+        futures = server.submit_many("m", np.zeros((4, 3), dtype=int))
+        assert server.drain(timeout=30)
+        server.close()
+        assert all(f.done() and not f.cancelled() for f in futures)
+        snapshot = server.stats()
+        assert snapshot.in_flight == 0
+        assert snapshot.completed == 4
+
+    def test_close_idempotent(self, tmp_path):
+        server = FeBiMServer(ModelRegistry(tmp_path / "reg4"), seed=0)
+        server.close()
+        server.close()
+
+
+class TestTiledRouting:
+    def test_many_class_tenant_served_tiled(self, tmp_path):
+        with FeBiMServer(
+            ModelRegistry(tmp_path / "reg5"),
+            policy=BatchPolicy(max_batch=4, max_wait_ms=1.0),
+            seed=0,
+            max_rows=8,
+        ) as server:
+            model = make_model(k=20, seed=4)
+            server.register("tall", model)
+            engine = server.engine_for("tall")
+            assert engine.n_tiles == 3
+            sample = np.array([0, 1, 2])
+            result = server.predict("tall", sample, timeout=5)
+            direct = engine.infer_batch(sample[None, :])
+            assert result.prediction == direct.predictions[0]
+            assert result.delay == pytest.approx(float(direct.delay[0]))
+            assert result.energy_total == pytest.approx(
+                float(direct.energy.total[0])
+            )

@@ -1,5 +1,7 @@
 """The febim command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -27,6 +29,15 @@ class TestParser:
     def test_eval_requires_model(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["eval"])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.max_batch == 64 and args.max_wait_ms == 2.0
+        assert args.models == 2 and not args.json
+
+    def test_submit_requires_levels(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "reg", "model"])
 
 
 class TestCommands:
@@ -60,3 +71,88 @@ class TestCommands:
         assert main(["train", "--sigma-vth-mv", "30", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "accuracy [hardware ]" in out
+
+    def test_bench_json(self, capsys):
+        assert main(
+            [
+                "bench",
+                "--batch-sizes",
+                "1,8",
+                "--repeats",
+                "1",
+                "--no-baseline",
+                "--json",
+            ]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "throughput"
+        assert [p["batch_size"] for p in data["points"]] == [1, 8]
+        assert all(p["batch_sps"] > 0 for p in data["points"])
+
+
+class TestServingCommands:
+    def test_serve_report_and_json(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        args = [
+            "serve",
+            "--requests",
+            "96",
+            "--submitters",
+            "2",
+            "--max-batch",
+            "16",
+            "--registry",
+            registry,
+            "--seed",
+            "3",
+        ]
+        assert main(args + ["--report"]) == 0
+        out = capsys.readouterr().out
+        assert "serving workload" in out and "drain clean: True" in out
+
+        assert main(args + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "serving"
+        assert data["n_requests"] == 96
+        assert data["matched"] == 96
+        assert data["telemetry"]["completed"] == 96
+
+    def test_submit_round_trip(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        assert main(
+            [
+                "serve",
+                "--requests",
+                "32",
+                "--registry",
+                registry,
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "submit",
+                registry,
+                "iris-a",
+                "--levels",
+                "3,0,1,2",
+                "--json",
+            ]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["model"] == "iris-a@v1"
+        assert data["batch_size"] >= 1
+        assert data["delay_s"] > 0
+
+    def test_submit_unknown_model_fails_cleanly(self, capsys, tmp_path):
+        registry = str(tmp_path / "empty")
+        assert main(["submit", registry, "ghost", "--levels", "1,2"]) == 2
+        assert "no model 'ghost'" in capsys.readouterr().err
+
+    def test_submit_bad_levels_rejected(self, capsys, tmp_path):
+        assert (
+            main(["submit", str(tmp_path), "m", "--levels", "a,b"]) == 2
+        )
+        assert "--levels" in capsys.readouterr().err
