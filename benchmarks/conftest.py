@@ -12,6 +12,37 @@ with pytest-benchmark.  Slow statistical experiments run a single round.
 import pytest
 
 
+def pytest_addoption(parser):
+    # Mirror the tests/ tree's --runslow split so slow-marked full
+    # campaigns (bench_reliability) are opt-in here too.  Guarded: when
+    # benchmarks/ and tests/ are collected in one invocation the option
+    # is already registered by whichever conftest loaded first.
+    try:
+        parser.addoption(
+            "--runslow",
+            action="store_true",
+            default=False,
+            help="also run benchmarks marked slow (full campaigns)",
+        )
+    except ValueError:
+        pass
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark, skipped unless --runslow"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow", default=False):
+        return
+    skip_slow = pytest.mark.skip(reason="slow benchmark: pass --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a function with exactly one timed execution."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Three stages, strictly ordered so the cheapest failure fires first:
+# Five stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
 #      tests have to exist and collect cleanly (run them too with
-#      CI_RUNSLOW=1, the nightly configuration).
+#      CI_RUNSLOW=1, the nightly configuration);
+#   4. reliability smoke — bench_reliability.py --smoke: small fault and
+#      aging campaigns plus the serving self-heal gate;
+#   5. campaign determinism — bench_reliability.py --determinism: the
+#      workers=1 vs workers=4 bit-identity contract.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/3: compile-all =="
+echo "== stage 1/5: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/3: tier-1 (pytest -x -q) =="
+echo "== stage 2/5: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/3: --runslow marker check =="
+echo "== stage 3/5: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -33,5 +37,11 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     echo "== stage 3b: running the slow tier (CI_RUNSLOW=1) =="
     python -m pytest --runslow -m slow -q tests
 fi
+
+echo "== stage 4/5: reliability smoke bench =="
+python benchmarks/bench_reliability.py --smoke
+
+echo "== stage 5/5: campaign --workers determinism =="
+python benchmarks/bench_reliability.py --determinism
 
 echo "CI gate passed."

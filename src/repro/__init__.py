@@ -62,9 +62,17 @@ from repro.devices import (
     PulseProgrammer,
     VariationModel,
 )
+from repro.reliability import (
+    AgeClock,
+    FaultInjector,
+    FaultSpec,
+    WearState,
+    run_campaign,
+)
 from repro.serving import (
     BatchPolicy,
     FeBiMServer,
+    HealthMonitor,
     MicroBatchScheduler,
     ModelRegistry,
 )
@@ -113,9 +121,16 @@ __all__ = [
     "MultiLevelCellSpec",
     "PulseProgrammer",
     "VariationModel",
+    # reliability
+    "AgeClock",
+    "FaultInjector",
+    "FaultSpec",
+    "WearState",
+    "run_campaign",
     # serving
     "BatchPolicy",
     "FeBiMServer",
+    "HealthMonitor",
     "MicroBatchScheduler",
     "ModelRegistry",
 ]

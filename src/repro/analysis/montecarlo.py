@@ -4,19 +4,65 @@ For each variation level the harness runs the paper's epoch protocol
 (independent splits, retrain, program a freshly varied array, score in
 hardware mode) and returns the full accuracy distributions, from which
 Fig. 8(c)'s box statistics are drawn.
+
+The sweep rides the reliability subsystem's campaign runner
+(:mod:`repro.reliability.campaign`) for parallel execution: with
+``workers > 1`` every (sigma, epoch) trial becomes an independent
+payload with its own ``SeedSequence``-spawned stream, mapped over a
+process pool — deterministic for a fixed seed at *any* worker count.
+The serial path (``workers=None``/``1``) is kept verbatim: it threads
+one RNG through the epochs exactly as the original loop did, so
+existing seeded results stay bit-identical.  The two modes draw
+different (equally valid) streams and are not bit-comparable to each
+other — pick one and stay on it for a given study.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core.pipeline import run_epochs
+from repro.core.pipeline import FeBiMPipeline, run_epochs
 from repro.datasets._base import Dataset
+from repro.datasets.splits import train_test_split
 from repro.devices.variation import VariationModel
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
+
+
+#: Dataset shared with pool workers via the initializer — shipped once
+#: per worker instead of embedded in every (sigma, epoch) payload
+#: (a wide sweep would otherwise serialise the same arrays hundreds of
+#: times through the pool's IPC).
+_TRIAL_DATASET = None
+
+
+def _install_trial_dataset(dataset) -> None:
+    global _TRIAL_DATASET
+    _TRIAL_DATASET = dataset
+
+
+def _variation_trial(payload) -> float:
+    """One (sigma, epoch) trial: split, retrain, program, score.
+
+    Module-level so the campaign runner can pickle it into pool
+    workers; the whole trial derives from the payload's integer seed
+    plus the worker-installed dataset.
+    """
+    sigma_mv, q_f, q_l, test_size, seed = payload
+    dataset = _TRIAL_DATASET
+    split_rng, engine_rng = spawn_rngs(int(seed), 2)
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        dataset.data, dataset.target, test_size=test_size, seed=split_rng
+    )
+    pipeline = FeBiMPipeline(
+        q_f=q_f,
+        q_l=q_l,
+        variation=VariationModel.from_millivolts(sigma_mv),
+        seed=engine_rng,
+    ).fit(X_tr, y_tr)
+    return pipeline.score(X_te, y_te, mode="hardware")
 
 
 def variation_sweep(
@@ -27,6 +73,7 @@ def variation_sweep(
     epochs: int = 100,
     test_size: float = 0.7,
     seed: RngLike = None,
+    workers: Optional[int] = None,
 ) -> Dict[float, np.ndarray]:
     """Accuracy distributions per V_TH variation level.
 
@@ -36,29 +83,68 @@ def variation_sweep(
         V_TH sigma values in millivolts (paper: 0, 15, 30, 45 mV).
     epochs:
         Splits per level (paper: 100).
+    workers:
+        ``None``/``1`` runs the original serial loop (bit-identical to
+        the historical results for a given seed).  ``> 1`` fans the
+        (sigma, epoch) trials over a process pool via
+        :func:`repro.reliability.campaign.parallel_map`; requires an
+        ``int`` or ``None`` seed (a Generator carries stream position a
+        worker cannot reproduce) and is deterministic at any worker
+        count.
 
     Returns
     -------
     dict mapping sigma (mV) to the per-epoch hardware accuracies.
     """
     check_positive_int(epochs, "epochs")
-    rng = ensure_rng(seed)
-    results: Dict[float, np.ndarray] = {}
     for sigma_mv in sigmas_mv:
         if sigma_mv < 0:
             raise ValueError(f"sigma must be >= 0 mV, got {sigma_mv}")
-        variation = VariationModel.from_millivolts(sigma_mv)
-        results[float(sigma_mv)] = run_epochs(
-            dataset,
-            q_f=q_f,
-            q_l=q_l,
-            mode="hardware",
-            epochs=epochs,
-            test_size=test_size,
-            variation=variation,
-            seed=rng,
+
+    if workers is None or int(workers) <= 1:
+        # Serial fallback: one RNG threaded through every epoch of every
+        # level, exactly the pre-campaign-runner protocol.
+        rng = ensure_rng(seed)
+        results: Dict[float, np.ndarray] = {}
+        for sigma_mv in sigmas_mv:
+            variation = VariationModel.from_millivolts(sigma_mv)
+            results[float(sigma_mv)] = run_epochs(
+                dataset,
+                q_f=q_f,
+                q_l=q_l,
+                mode="hardware",
+                epochs=epochs,
+                test_size=test_size,
+                variation=variation,
+                seed=rng,
+            )
+        return results
+
+    if not (seed is None or isinstance(seed, (int, np.integer))):
+        raise TypeError(
+            "parallel variation_sweep needs seed=None or an int; a "
+            "Generator's stream position cannot be shipped to pool workers "
+            "— use workers=1 to thread a Generator through serially"
         )
-    return results
+    from repro.reliability.campaign import parallel_map, trial_seeds
+
+    seeds = trial_seeds(None if seed is None else int(seed), len(sigmas_mv) * epochs)
+    payloads = [
+        (float(sigma_mv), q_f, q_l, test_size, seeds[i * epochs + e])
+        for i, sigma_mv in enumerate(sigmas_mv)
+        for e in range(epochs)
+    ]
+    accuracies = parallel_map(
+        _variation_trial,
+        payloads,
+        int(workers),
+        initializer=_install_trial_dataset,
+        initargs=(dataset,),
+    )
+    return {
+        float(sigma_mv): np.array(accuracies[i * epochs : (i + 1) * epochs])
+        for i, sigma_mv in enumerate(sigmas_mv)
+    }
 
 
 def summarize_sweep(results: Dict[float, np.ndarray]) -> str:

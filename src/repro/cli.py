@@ -15,6 +15,9 @@ Commands
              occupancy and latency against the offline ceiling.
 ``submit``   One-shot request against a registry directory: register
              (if needed), route, serve, print the result.
+``reliability``  Run a Monte-Carlo fault or aging campaign (stuck
+             cells, dead lines, retention bake) with a selectable
+             mitigation strategy over a process pool.
 ``info``     Show calibrated device/circuit parameters.
 """
 
@@ -211,6 +214,63 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_float_list(text: str, flag: str) -> List[float]:
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(f"{flag} must be comma-separated numbers") from None
+    if not values:
+        raise ValueError(f"{flag} needs at least one number")
+    return values
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.reliability.campaign import (
+        CampaignConfig,
+        aging_points,
+        fault_rate_points,
+        format_campaign,
+        run_campaign,
+    )
+    from repro.devices.retention import RetentionModel
+
+    # Every usage error follows the CLI contract: message on stderr,
+    # exit code 2 — never a traceback or a bare SystemExit(1).
+    try:
+        if args.ages is not None:
+            ages = _parse_float_list(args.ages, "--ages")
+            if any(a < 0 for a in ages):
+                raise ValueError("--ages must be >= 0")
+            points = aging_points(ages)
+        else:
+            rates = _parse_float_list(args.rates, "--rates")
+            if any(not 0.0 <= r <= 1.0 for r in rates):
+                raise ValueError("--rates must lie in [0, 1]")
+            points = fault_rate_points(rates)
+        config = CampaignConfig(
+            points=points,
+            dataset=args.dataset,
+            trials=args.trials,
+            q_f=args.qf,
+            q_l=args.ql,
+            mitigation=args.mitigation,
+            spare_rows=args.spare_rows,
+            max_rows=args.max_rows,
+            retention=RetentionModel(drift_rate=args.drift_rate_mv * 1e-3),
+        )
+        result = run_campaign(config, seed=args.seed, workers=args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(format_campaign(result))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report, write_report
 
@@ -348,6 +408,66 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--json", action="store_true", help="emit JSON")
     submit.set_defaults(func=_cmd_submit)
+
+    reliability = sub.add_parser(
+        "reliability",
+        help="run a Monte-Carlo fault/aging campaign with mitigation",
+    )
+    reliability.add_argument(
+        "--dataset", default="iris", choices=["iris", "wine", "cancer"]
+    )
+    reliability.add_argument(
+        "--rates",
+        default="0,0.002,0.01,0.05",
+        help="comma-separated stuck-cell fault rates to sweep (split "
+        "evenly between stuck-on and stuck-off; default 0,0.002,0.01,0.05)",
+    )
+    reliability.add_argument(
+        "--ages",
+        metavar="SECONDS",
+        help="sweep retention bake ages (seconds) instead of fault rates",
+    )
+    reliability.add_argument(
+        "--drift-rate-mv",
+        type=float,
+        default=5.0,
+        help="retention drift per decade for a half-switched state "
+        "(mV; default the calibrated 5.0)",
+    )
+    reliability.add_argument("--trials", type=int, default=20)
+    reliability.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="campaign process-pool width (results are bit-identical "
+        "at any worker count)",
+    )
+    reliability.add_argument(
+        "--mitigation",
+        default="none",
+        choices=["none", "refresh", "spare-rows", "retire-tiles"],
+    )
+    reliability.add_argument(
+        "--spare-rows",
+        type=int,
+        default=2,
+        help="spare wordlines manufactured per array (spare-rows mode)",
+    )
+    reliability.add_argument(
+        "--max-rows",
+        type=int,
+        help="tile row limit — builds tiled engines (required for "
+        "retire-tiles)",
+    )
+    reliability.add_argument("--qf", type=int, default=4)
+    reliability.add_argument("--ql", type=int, default=2)
+    reliability.add_argument("--seed", type=int, default=0)
+    reliability.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the table",
+    )
+    reliability.set_defaults(func=_cmd_reliability)
 
     report = sub.add_parser(
         "report", help="regenerate the full evaluation (all figures + Table 1)"

@@ -129,6 +129,10 @@ class FeBiMEngine:
         Template FeFET device (physics).
     mirror_gain_sigma:
         Current-mirror mismatch in the sensing module.
+    spare_rows:
+        Extra physical wordlines manufactured for spare-row repair
+        (:meth:`~repro.crossbar.array.FeFETCrossbar.remap_row`); zero by
+        default, which reproduces the plain engine bit-for-bit.
     seed:
         Seed for the stochastic draws.  It is split into independent
         child streams (:func:`~repro.utils.rng.spawn_rngs`) for the
@@ -145,6 +149,7 @@ class FeBiMEngine:
         params: Optional[CircuitParameters] = None,
         template: Optional[FeFET] = None,
         mirror_gain_sigma: float = 0.0,
+        spare_rows: int = 0,
         seed: RngLike = None,
     ):
         self.model = model
@@ -162,6 +167,7 @@ class FeBiMEngine:
             variation=variation,
             params=self.params,
             seed=crossbar_rng,
+            spare_rows=spare_rows,
         )
         self.crossbar.program_matrix(self.level_matrix)
         self.sensing = SensingModule(

@@ -73,6 +73,9 @@ class FeBiMPipeline:
         Circuit parameters and template device forwarded to the engine.
     force_prior_column:
         Materialise the prior column even when the prior is uniform.
+    spare_rows:
+        Extra physical wordlines manufactured for spare-row repair
+        (forwarded to the engine; see :mod:`repro.reliability`).
     seed:
         Seed for variation draws inside the engine.
     """
@@ -89,6 +92,7 @@ class FeBiMPipeline:
         force_prior_column: bool = False,
         normalization: str = "column",
         verify_programming: bool = False,
+        spare_rows: int = 0,
         seed: RngLike = None,
     ):
         self.q_f = check_positive_int(q_f, "q_f")
@@ -101,6 +105,7 @@ class FeBiMPipeline:
         self.mirror_gain_sigma = float(mirror_gain_sigma)
         self.force_prior_column = bool(force_prior_column)
         self.verify_programming = bool(verify_programming)
+        self.spare_rows = int(spare_rows)
         self.seed = seed
 
     # -------------------------------------------------------------- fitting
@@ -133,6 +138,7 @@ class FeBiMPipeline:
             params=self.params,
             template=self.template,
             mirror_gain_sigma=self.mirror_gain_sigma,
+            spare_rows=self.spare_rows,
             seed=self.seed,
         )
         if self.verify_programming:

@@ -12,11 +12,36 @@ The implementation is vectorised: instead of 2-D lists of
 accumulated switching-time exposure and static V_TH offset as matrices
 and evaluates polarisation -> V_TH -> current with numpy.  A template
 :class:`FeFET` supplies the shared device physics.
+
+Reliability state and the mutation API
+--------------------------------------
+
+Beyond the programmed state, the array carries the lifetime state the
+reliability subsystem (:mod:`repro.reliability`) manipulates:
+
+* an **aging drift matrix** (:meth:`apply_vth_drift`) — retention V_TH
+  drift accumulated on top of the static manufacturing offsets, reset
+  per cell when the cell is reprogrammed (a write re-establishes the
+  polarisation) and wholesale by :meth:`erase_all`;
+* **stuck-at fault masks** (:meth:`inject_stuck_faults`) — hard defects
+  that pin a cell's read current regardless of its gate bias and that
+  survive erase/reprogram (only remapping can route around them);
+* **spare physical rows** (``spare_rows`` + :meth:`remap_row`) — the
+  array allocates ``rows + spare_rows`` physical wordlines and keeps a
+  logical->physical row map, so a faulty row can be remapped onto fresh
+  hardware without the rest of the stack noticing: every public matrix
+  and read stays in logical ``(rows, cols)`` coordinates;
+* a **swappable template** (:meth:`set_template`) — endurance wear
+  narrows the memory window by replacing the shared device physics.
+
+Every one of these mutators — like every in-tree write — routes through
+:meth:`invalidate_read_cache`, so the batched read path can never serve
+stale per-cell current matrices after external state mutation.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -35,8 +60,8 @@ class FeFETCrossbar:
     Parameters
     ----------
     rows, cols:
-        Array dimensions: rows = events/classes (wordlines), cols =
-        prior + likelihood columns (bitlines).
+        Logical array dimensions: rows = events/classes (wordlines),
+        cols = prior + likelihood columns (bitlines).
     spec:
         Multi-level cell specification (levels <-> target currents).
     template:
@@ -49,6 +74,11 @@ class FeFETCrossbar:
         Circuit operating point.
     seed:
         RNG seed for the variation draw.
+    spare_rows:
+        Extra physical wordlines manufactured for repair; erased and
+        unmapped until :meth:`remap_row` routes a faulty logical row
+        onto one.  Zero (the default) reproduces the plain array
+        bit-for-bit.
     """
 
     def __init__(
@@ -60,45 +90,77 @@ class FeFETCrossbar:
         variation: Optional[VariationModel] = None,
         params: Optional[CircuitParameters] = None,
         seed: RngLike = None,
+        spare_rows: int = 0,
     ):
         self.rows = check_positive_int(rows, "rows")
         self.cols = check_positive_int(cols, "cols")
+        if int(spare_rows) < 0:
+            raise ValueError(f"spare_rows must be >= 0, got {spare_rows}")
+        self.spare_rows = int(spare_rows)
         self.spec = spec or MultiLevelCellSpec()
-        self.template = template or FeFET()
         self.variation = variation or VariationModel()
         self.params = params or CircuitParameters()
         self._rng = ensure_rng(seed)
 
-        layer = self.template.layer
-        self._sigma = layer.sigma
-        self._median_time = layer.median_switching_time(layer.nominal_amplitude)
-        self._pulse_width = layer.nominal_width
-        # Merz-law equivalence factor for half-V_w disturb exposure.
-        disturb_median = layer.median_switching_time(self.params.v_disturb)
-        self._disturb_time_scale = self._median_time / disturb_median
-
-        self._programmer = PulseProgrammer(self.template, self.spec)
-        self._level_pulses = np.array(
-            [cfg.n_pulses for cfg in self._programmer.build_table()], dtype=int
-        )
-
-        # Per-cell state: accumulated equivalent switching time (s), the
-        # static V_TH offset, and the programmed level (-1 = erased).
-        self._acc_time = np.zeros((rows, cols))
-        self._vth_offsets = self.variation.sample_offsets((rows, cols), self._rng)
-        self.levels = np.full((rows, cols), -1, dtype=int)
-        self.write_pulse_total = 0
         # Read-path cache: the per-cell (I_on, I_off) matrices depend only
         # on the programmed state, so repeated (batched) reads between
         # writes reuse them.  ``_state_version`` invalidates the cache;
-        # every mutation of ``_acc_time`` must bump it.
+        # every mutation of the array state must bump it.
         self._state_version = 0
         self._read_cache = None
+        self.set_template(template or FeFET())
+
+        # Per-cell state, stored over the *physical* rows (logical rows
+        # plus spares): accumulated equivalent switching time (s), the
+        # static V_TH offset, the aging drift, the programmed level
+        # (-1 = erased) and the stuck-at fault masks.
+        phys = self._phys_rows
+        self._acc_time = np.zeros((phys, self.cols))
+        self._vth_offsets = self.variation.sample_offsets((phys, self.cols), self._rng)
+        self._vth_drift = np.zeros((phys, self.cols))
+        self.levels = np.full((phys, self.cols), -1, dtype=int)
+        self._stuck_on = np.zeros((phys, self.cols), dtype=bool)
+        self._stuck_off = np.zeros((phys, self.cols), dtype=bool)
+        self._has_faults = False
+        self._row_map = np.arange(self.rows)
+        self._next_spare = self.rows
+        self.write_pulse_total = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def _phys_rows(self) -> int:
+        return self.rows + self.spare_rows
+
+    @property
+    def state_version(self) -> int:
+        """Monotone counter bumped by every state mutation.
+
+        The public handle for cache-coherence checks: external code that
+        snapshots derived read state can compare versions instead of
+        guessing whether the array changed underneath it.
+        """
+        return self._state_version
+
+    @property
+    def spare_rows_free(self) -> int:
+        """Spare physical rows not yet consumed by :meth:`remap_row`."""
+        return self._phys_rows - self._next_spare
+
+    def row_map(self) -> np.ndarray:
+        """Logical -> physical wordline map (copy), identity until repairs."""
+        return self._row_map.copy()
 
     # ------------------------------------------------------------- programming
     def erase_all(self) -> None:
-        """Full-array erase (block erase before (re)programming)."""
+        """Full-array erase (block erase before (re)programming).
+
+        Clears the programmed state *and* the accumulated retention
+        drift — an erase/reprogram re-establishes every cell's
+        polarisation.  Stuck-at fault masks are hardware defects and
+        survive.
+        """
         self._acc_time.fill(0.0)
+        self._vth_drift.fill(0.0)
         self.levels.fill(-1)
         self.invalidate_read_cache()
 
@@ -106,22 +168,27 @@ class FeFETCrossbar:
         """Erase and program one cell to a discrete level.
 
         Applies the level's pulse train to the selected cell and the
-        corresponding half-``V_w`` disturb exposure to every *other* row's
-        cell on the same column (the paper's write-inhibit scheme).
+        corresponding half-``V_w`` disturb exposure to every *other*
+        physical row's cell on the same column (the paper's
+        write-inhibit scheme; spare rows share the column, so they see
+        the disturb too).  Reprogramming resets the cell's retention
+        drift.
         """
         self._check_cell(row, col)
         if not 0 <= level < self.spec.n_levels:
             raise ValueError(
                 f"level must lie in 0..{self.spec.n_levels - 1}, got {level}"
             )
+        phys = int(self._row_map[row])
         n_pulses = int(self._level_pulses[level])
-        self._acc_time[row, col] = n_pulses * self._pulse_width
-        self.levels[row, col] = level
+        self._acc_time[phys, col] = n_pulses * self._pulse_width
+        self._vth_drift[phys, col] = 0.0
+        self.levels[phys, col] = level
         self.write_pulse_total += n_pulses
         # Disturb: unselected rows on this column accumulate equivalent
         # exposure at V_w/2, scaled by the Merz-law equivalence.
         disturb = n_pulses * self._pulse_width * self._disturb_time_scale
-        others = np.arange(self.rows) != row
+        others = np.arange(self._phys_rows) != phys
         self._acc_time[others, col] += disturb
         self.invalidate_read_cache()
 
@@ -149,47 +216,239 @@ class FeFETCrossbar:
                 f"cell ({row}, {col}) outside array {self.rows}x{self.cols}"
             )
 
-    def polarization_matrix(self) -> np.ndarray:
-        """Switched domain fraction of every cell, shape (rows, cols)."""
+    def _polarization_physical(self) -> np.ndarray:
         return _lognormal_cdf(self._acc_time, self._median_time, self._sigma)
 
-    def vth_matrix(self) -> np.ndarray:
-        """Threshold voltage of every cell including variation offsets."""
-        pol = self.polarization_matrix()
+    def _vth_physical(self) -> np.ndarray:
+        pol = self._polarization_physical()
         ideal = self.template.vth_high - pol * self.template.memory_window
-        return ideal + self._vth_offsets
+        return ideal + self._vth_offsets + self._vth_drift
+
+    def polarization_matrix(self) -> np.ndarray:
+        """Switched domain fraction of every logical cell, (rows, cols)."""
+        return self._polarization_physical()[self._row_map]
+
+    def vth_matrix(self) -> np.ndarray:
+        """Threshold voltage of every logical cell including variation
+        offsets and accumulated aging drift."""
+        return self._vth_physical()[self._row_map]
+
+    def vth_drift_matrix(self) -> np.ndarray:
+        """Accumulated aging V_TH drift per logical cell (volts, copy)."""
+        return self._vth_drift[self._row_map].copy()
+
+    def programmed_levels(self) -> np.ndarray:
+        """Programmed level of every logical cell (-1 = erased; copy)."""
+        return self.levels[self._row_map].copy()
 
     def cell_current(self, row: int, col: int, v_gate: Optional[float] = None) -> float:
-        """Read current of one cell (amperes)."""
+        """Read current of one cell (amperes), stuck faults included."""
         self._check_cell(row, col)
+        phys = int(self._row_map[row])
+        if self._stuck_off[phys, col]:
+            return 0.0
+        if self._stuck_on[phys, col]:
+            return self._stuck_on_current()
         v_gate = self.params.v_on if v_gate is None else v_gate
-        return float(self.template.idvg.current(v_gate, self.vth_matrix()[row, col]))
+        return float(
+            self.template.idvg.current(v_gate, self._vth_physical()[phys, col])
+        )
 
+    # --------------------------------------------------------- mutation API
     def invalidate_read_cache(self) -> None:
         """Drop the cached (I_on, I_off) read matrices.
 
-        Called by every in-tree mutation of the programmed state; code
-        that pokes ``_acc_time``/``_vth_offsets`` directly must call this
-        itself before the next read.
+        The public invalidation hook: called by every in-tree mutation
+        of the array state; code that pokes ``_acc_time`` /
+        ``_vth_offsets`` directly must call this itself before the next
+        read.
         """
         self._state_version += 1
         self._read_cache = None
 
+    def apply_vth_drift(self, delta: np.ndarray) -> None:
+        """Accumulate an aging V_TH shift (volts) onto the logical cells.
+
+        The entry point for retention models: ``delta`` has logical
+        shape ``(rows, cols)`` and lands on whichever physical rows the
+        logical rows are currently mapped to.  Drift is tracked apart
+        from the static manufacturing offsets so a refresh (reprogram)
+        can clear it without touching the variation draw.
+        """
+        delta = np.asarray(delta, dtype=float)
+        if delta.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"drift delta must have shape {(self.rows, self.cols)}, "
+                f"got {delta.shape}"
+            )
+        self._vth_drift[self._row_map] += delta
+        self.invalidate_read_cache()
+
+    def clear_vth_drift(self) -> None:
+        """Zero the accumulated aging drift (all physical rows)."""
+        self._vth_drift.fill(0.0)
+        self.invalidate_read_cache()
+
+    def inject_stuck_faults(
+        self,
+        stuck_on: Optional[np.ndarray] = None,
+        stuck_off: Optional[np.ndarray] = None,
+    ) -> None:
+        """Mark logical cells as hard stuck-at defects.
+
+        ``stuck_on`` cells conduct at the fully switched on-current
+        regardless of gate bias (shorted cell / BL driver stuck
+        active); ``stuck_off`` cells never conduct (open wordline
+        contact).  Masks are boolean ``(rows, cols)`` and accumulate
+        (OR) with earlier injections; where both apply, stuck-off wins.
+        Faults survive erase and reprogram — only :meth:`remap_row` can
+        route a read around them.
+        """
+        for name, mask in (("stuck_on", stuck_on), ("stuck_off", stuck_off)):
+            if mask is None:
+                continue
+            mask = np.asarray(mask)
+            if mask.shape != (self.rows, self.cols) or mask.dtype != bool:
+                raise ValueError(
+                    f"{name} mask must be boolean with shape "
+                    f"{(self.rows, self.cols)}, got {mask.dtype} {mask.shape}"
+                )
+            target = self._stuck_on if name == "stuck_on" else self._stuck_off
+            target[self._row_map] |= mask
+        self._has_faults = bool(self._stuck_on.any() or self._stuck_off.any())
+        self.invalidate_read_cache()
+
+    def clear_stuck_faults(self) -> None:
+        """Remove every stuck-at fault (simulator reset, not a repair)."""
+        self._stuck_on.fill(False)
+        self._stuck_off.fill(False)
+        self._has_faults = False
+        self.invalidate_read_cache()
+
+    def stuck_fault_masks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Logical ``(stuck_on, stuck_off)`` boolean masks (copies)."""
+        return (
+            self._stuck_on[self._row_map].copy(),
+            self._stuck_off[self._row_map].copy(),
+        )
+
+    def stuck_fault_count(self) -> int:
+        """Number of logical cells pinned by a stuck-at fault."""
+        on, off = self._stuck_on[self._row_map], self._stuck_off[self._row_map]
+        return int(np.count_nonzero(on | off))
+
+    def set_template(self, template: FeFET) -> None:
+        """Swap the shared device physics (e.g. an endurance-aged device).
+
+        Re-derives every template-dependent constant (switching-time
+        scales, disturb equivalence, the level -> pulse-count table) and
+        invalidates the read cache; the accumulated switching-time state
+        is reinterpreted under the new physics, which is exactly the
+        wear semantics (the stored charge stays, the window moves).
+
+        The pulse table is rebuilt *lazily*: a heavily fatigued window
+        may no longer reach the spec's top-level current, which must
+        not stop the array from being read — it only (correctly) makes
+        the next programming attempt fail.
+        """
+        self.template = template
+        layer = template.layer
+        self._sigma = layer.sigma
+        self._median_time = layer.median_switching_time(layer.nominal_amplitude)
+        self._pulse_width = layer.nominal_width
+        # Merz-law equivalence factor for half-V_w disturb exposure.
+        disturb_median = layer.median_switching_time(self.params.v_disturb)
+        self._disturb_time_scale = self._median_time / disturb_median
+        self._programmer = PulseProgrammer(template, self.spec)
+        self._level_pulses_cache = None
+        self.invalidate_read_cache()
+
+    @property
+    def _level_pulses(self) -> np.ndarray:
+        if self._level_pulses_cache is None:
+            self._level_pulses_cache = np.array(
+                [cfg.n_pulses for cfg in self._programmer.build_table()],
+                dtype=int,
+            )
+        return self._level_pulses_cache
+
+    def remap_row(self, row: int) -> int:
+        """Route a faulty logical row onto a fresh spare physical row.
+
+        Replays the retired row's programmed levels onto the next free
+        spare (a real write pass: pulses and column disturb included),
+        erases the old physical row and retargets the row map.  The old
+        row's stuck-at defects stay on its physical cells — harmless,
+        since no logical read addresses them any more.
+
+        Returns the new physical row index; raises ``RuntimeError`` when
+        the spare pool is exhausted.
+        """
+        self._check_cell(row, 0)
+        if self._next_spare >= self._phys_rows:
+            raise RuntimeError(
+                f"no spare rows left ({self.spare_rows} manufactured, "
+                f"all consumed)"
+            )
+        old = int(self._row_map[row])
+        new = self._next_spare
+        self._next_spare += 1
+        row_levels = self.levels[old].copy()
+        self._acc_time[old] = 0.0
+        self._vth_drift[old] = 0.0
+        self.levels[old] = -1
+        self._row_map[row] = new
+        for col in range(self.cols):
+            if row_levels[col] >= 0:
+                self.program_cell(row, col, int(row_levels[col]))
+        self.invalidate_read_cache()
+        return new
+
+    # ----------------------------------------------------------- fault overlay
+    def _stuck_on_current(self) -> float:
+        """Read current of a stuck-on cell: fully switched, gate moot."""
+        return float(
+            self.template.idvg.current(self.params.v_on, self.template.vth_low)
+        )
+
+    def _apply_stuck_physical(self, currents: np.ndarray) -> np.ndarray:
+        """Pin stuck cells' currents on a physically indexed matrix.
+
+        ``currents`` has trailing shape ``(phys_rows, cols)`` (leading
+        batch axes broadcast).  Stuck-off is applied last so it wins
+        where both defects were injected.
+        """
+        if not self._has_faults:
+            return currents
+        currents = np.where(self._stuck_on, self._stuck_on_current(), currents)
+        return np.where(self._stuck_off, 0.0, currents)
+
+    # ----------------------------------------------------------------- reads
     def read_current_matrices(self) -> tuple:
         """Per-cell read currents ``(I_on, I_off)`` for the current state.
 
-        ``I_on[r, c]`` is cell (r, c)'s drain current with its gate at
-        ``V_on`` (activated column), ``I_off[r, c]`` with the gate at
-        ``V_off`` (inhibited column leakage).  Since a read never alters
-        the programmed state, the pair is cached until the next write —
-        the reuse that makes repeated batched reads O(rows x cols) cheap
-        arithmetic instead of per-read device-physics evaluation.
+        ``I_on[r, c]`` is logical cell (r, c)'s drain current with its
+        gate at ``V_on`` (activated column), ``I_off[r, c]`` with the
+        gate at ``V_off`` (inhibited column leakage).  Since a read
+        never alters the programmed state, the pair is cached until the
+        next state mutation — the reuse that makes repeated batched
+        reads O(rows x cols) cheap arithmetic instead of per-read
+        device-physics evaluation.  Stuck-at faults and aging drift are
+        folded in here, so every consumer of the cache sees them.
         """
         if self._read_cache is None or self._read_cache[0] != self._state_version:
-            vth = self.vth_matrix()
-            i_on = self.template.idvg.current(self.params.v_on, vth)
-            i_off = self.template.idvg.current(self.params.v_off, vth)
-            self._read_cache = (self._state_version, i_on, i_off)
+            vth = self._vth_physical()
+            i_on = self._apply_stuck_physical(
+                self.template.idvg.current(self.params.v_on, vth)
+            )
+            i_off = self._apply_stuck_physical(
+                self.template.idvg.current(self.params.v_off, vth)
+            )
+            self._read_cache = (
+                self._state_version,
+                i_on[self._row_map],
+                i_off[self._row_map],
+            )
         return self._read_cache[1], self._read_cache[2]
 
     def current_matrix(
@@ -210,10 +469,13 @@ class FeFETCrossbar:
         if self.variation.sigma_read > 0.0:
             v_gates = np.where(mask, self.params.v_on, self.params.v_off)
             rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
-            vth = self.vth_matrix() + self.variation.sample_read_noise(
-                (self.rows, self.cols), rng
+            vth = self._vth_physical() + self.variation.sample_read_noise(
+                (self._phys_rows, self.cols), rng
             )
-            return self.template.idvg.current(v_gates[None, :], vth)
+            currents = self._apply_stuck_physical(
+                self.template.idvg.current(v_gates[None, :], vth)
+            )
+            return currents[self._row_map]
         i_on, i_off = self.read_current_matrices()
         return np.where(mask[None, :], i_on, i_off)
 
@@ -264,10 +526,13 @@ class FeFETCrossbar:
             v_gates = np.where(masks, self.params.v_on, self.params.v_off)
             rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
             noise = self.variation.sample_read_noise(
-                (masks.shape[0], self.rows, self.cols), rng
+                (masks.shape[0], self._phys_rows, self.cols), rng
             )
-            vth = self.vth_matrix()[None, :, :] + noise
-            return self.template.idvg.current(v_gates[:, None, :], vth)
+            vth = self._vth_physical()[None, :, :] + noise
+            currents = self._apply_stuck_physical(
+                self.template.idvg.current(v_gates[:, None, :], vth)
+            )
+            return currents[:, self._row_map, :]
         i_on, i_off = self.read_current_matrices()
         return np.where(masks[:, None, :], i_on[None, :, :], i_off[None, :, :])
 
@@ -332,14 +597,14 @@ class FeFETCrossbar:
             programmed, self._level_pulses[np.maximum(self.levels, 0)] * self._pulse_width, 0.0
         )
         pol_clean = _lognormal_cdf(clean_time, self._median_time, self._sigma)
-        pol_actual = self.polarization_matrix()
+        pol_actual = self._polarization_physical()
         return float(
             np.max(np.abs(pol_actual - pol_clean)) * self.template.memory_window
         )
 
     @property
     def area(self) -> float:
-        """Cell-array silicon area (m^2)."""
+        """Cell-array silicon area (m^2), logical cells only."""
         return self.rows * self.cols * self.params.cell_area
 
     def storage_bits(self) -> float:
@@ -347,7 +612,8 @@ class FeFETCrossbar:
         return self.rows * self.cols * self.spec.bits
 
     def __repr__(self) -> str:
+        spares = f", {self.spare_rows} spare rows" if self.spare_rows else ""
         return (
             f"FeFETCrossbar({self.rows}x{self.cols}, {self.spec.n_levels} levels, "
-            f"sigma_vth={self.variation.sigma_vth * 1e3:.0f} mV)"
+            f"sigma_vth={self.variation.sigma_vth * 1e3:.0f} mV{spares})"
         )

@@ -97,11 +97,20 @@ class ProgramVerifyController:
             )
         target = xbar.spec.current_for_level(level)
         width = xbar._pulse_width
+        # Address the *physical* wordline the logical row maps to, so
+        # verified writes keep working on arrays with spare-row repairs.
+        phys = int(xbar.row_map()[row])
 
         # Erase this cell (keep the disturb bookkeeping identical to the
         # open-loop path: unselected rows see half-V_w per applied pulse).
-        xbar._acc_time[row, col] = 0.0
-        xbar.levels[row, col] = level
+        # Rewriting re-establishes the polarisation, so the cell's aging
+        # drift resets — same invariant as the open-loop program_cell;
+        # without it the verify loop would absorb stale drift into the
+        # pulse count and a later clear_vth_drift() would shift the
+        # just-verified current off target.
+        xbar._acc_time[phys, col] = 0.0
+        xbar._vth_drift[phys, col] = 0.0
+        xbar.levels[phys, col] = level
         xbar.invalidate_read_cache()
 
         pulses = 0
@@ -109,9 +118,9 @@ class ProgramVerifyController:
         measured = self._verify_read(row, col)
         reads += 1
         while measured < target - self.tolerance and pulses < self.max_pulses_per_cell:
-            xbar._acc_time[row, col] += width
+            xbar._acc_time[phys, col] += width
             disturb = width * xbar._disturb_time_scale
-            others = np.arange(xbar.rows) != row
+            others = np.arange(xbar._phys_rows) != phys
             xbar._acc_time[others, col] += disturb
             pulses += 1
             measured = self._verify_read(row, col)

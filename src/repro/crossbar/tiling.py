@@ -135,6 +135,10 @@ class TiledFeBiM:
         self.max_rows = check_positive_int(max_rows, "max_rows")
         self.model = model
         self.params = params or CircuitParameters()
+        # Kept for tile retirement: a retired tile is rebuilt with the
+        # same spec/variation configuration on fresh hardware.
+        self._spec = spec
+        self._variation = variation
         rng = ensure_rng(seed)
 
         k = model.n_classes
@@ -167,6 +171,33 @@ class TiledFeBiM:
     def n_features(self) -> int:
         """Evidence width a request must have (serving-layer contract)."""
         return self.model.n_features
+
+    # ----------------------------------------------------------- reliability
+    def retire_tile(self, index: int, seed: RngLike = None) -> FeBiMEngine:
+        """Replace a tile with freshly programmed hardware.
+
+        The tile-granular repair action of the reliability subsystem: a
+        tile whose array has accumulated uncorrectable faults is swapped
+        for a new :class:`FeBiMEngine` over the same class slice (same
+        model, spec and variation configuration, new variation draw from
+        ``seed``).  Functionally invisible — the hierarchy's decisions
+        depend only on each tile being a faithful local argmax.
+
+        Returns the replacement engine.
+        """
+        if not 0 <= index < self.n_tiles:
+            raise IndexError(
+                f"tile index {index} outside 0..{self.n_tiles - 1}"
+            )
+        replacement = FeBiMEngine(
+            _slice_model(self.model, self.tile_rows[index]),
+            spec=self._spec,
+            variation=self._variation,
+            params=self.params,
+            seed=seed,
+        )
+        self.tiles[index] = replacement
+        return replacement
 
     # ------------------------------------------------------------ inference
     def predict(self, evidence_levels: np.ndarray) -> np.ndarray:

@@ -1,0 +1,79 @@
+"""Reliability: fault injection, aging, and repair for FeBiM arrays.
+
+The paper validates FeBiM under programming-time V_TH variation
+(Fig. 8c); this package covers the rest of the lifetime — the failure
+modes a production deployment meets after programming:
+
+* :mod:`repro.reliability.faults` — stuck-at cells, dead rows/columns
+  (:class:`FaultInjector`), retention drift under a monotonic
+  :class:`AgeClock`, and write wear (:class:`WearState`), all injected
+  through the crossbar's cache-invalidating mutation API;
+* :mod:`repro.reliability.campaign` — Monte-Carlo fault/aging sweeps
+  over a ``multiprocessing`` pool with per-trial ``SeedSequence``
+  streams (bit-identical at any worker count), reporting
+  accuracy-vs-fault-rate and time-to-refresh curves;
+* :mod:`repro.reliability.mitigation` — behavioural BIST detection plus
+  the repair strategies: refresh-by-reprogram, spare-row remapping and
+  tile retirement.
+
+The serving-side consumer is :class:`repro.serving.HealthMonitor`,
+which runs canary inputs against live engines and triggers the same
+repairs automatically.  See ``benchmarks/RELIABILITY.md`` for measured
+curves and ``examples/reliability_demo.py`` for a walkthrough.
+"""
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    CampaignPoint,
+    CampaignResult,
+    TrialResult,
+    aging_points,
+    fault_rate_points,
+    format_campaign,
+    parallel_map,
+    run_campaign,
+    trial_seeds,
+)
+from repro.reliability.faults import (
+    AgeClock,
+    FaultInjector,
+    FaultReport,
+    FaultSpec,
+    WearState,
+    inject_into_engine,
+)
+from repro.reliability.mitigation import (
+    MITIGATIONS,
+    apply_mitigation,
+    faulty_rows,
+    refresh_engine,
+    retire_faulty_tiles,
+    scan_faulty_cells,
+    spare_row_repair,
+)
+
+__all__ = [
+    "AgeClock",
+    "CampaignConfig",
+    "CampaignPoint",
+    "CampaignResult",
+    "FaultInjector",
+    "FaultReport",
+    "FaultSpec",
+    "MITIGATIONS",
+    "TrialResult",
+    "WearState",
+    "aging_points",
+    "apply_mitigation",
+    "fault_rate_points",
+    "faulty_rows",
+    "inject_into_engine",
+    "format_campaign",
+    "parallel_map",
+    "refresh_engine",
+    "retire_faulty_tiles",
+    "run_campaign",
+    "scan_faulty_cells",
+    "spare_row_repair",
+    "trial_seeds",
+]

@@ -1,0 +1,314 @@
+"""Fault and aging models over a programmed crossbar.
+
+The device layer has carried retention (:class:`RetentionModel`) and
+endurance (:class:`EnduranceModel`) physics since the seed without any
+system-level consumer.  This module turns them — plus hard stuck-at
+defects — into injectable lifetime state, driven entirely through the
+crossbar's mutation API (:meth:`~repro.crossbar.array.FeFETCrossbar.
+inject_stuck_faults` / :meth:`~repro.crossbar.array.FeFETCrossbar.
+apply_vth_drift` / :meth:`~repro.crossbar.array.FeFETCrossbar.
+set_template`), so every read after an injection goes through a
+correctly invalidated read-matrix cache.
+
+Fault taxonomy
+--------------
+
+* **stuck-on / stuck-off cells** — random hard defects: a cell's read
+  current is pinned regardless of gate bias.  Survive erase and
+  reprogram; only spare-row remapping or tile retirement route around
+  them.
+* **dead rows** — an open wordline contact: every cell on the row reads
+  zero (the row can never win the WTA).
+* **dead columns** — a failed bitline driver, in either polarity: stuck
+  *off* (the column never activates; its evidence is lost) or stuck
+  *on* (the column conducts into every read; every row gains a
+  spurious current term — the classic hard-to-miss accuracy killer).
+* **retention drift** — V_TH relaxation of partially switched states
+  under a monotonic :class:`AgeClock`; soft, and fully cleared by a
+  refresh (reprogram).
+* **write wear** — memory-window narrowing with cumulative program
+  cycles (:class:`WearState`), applied by swapping an endurance-aged
+  template device into the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.crossbar.array import FeFETCrossbar
+from repro.devices.endurance import EnduranceModel
+from repro.devices.retention import RetentionModel
+from repro.utils.rng import RngLike, ensure_rng
+
+_DEAD_COL_MODES = ("off", "on")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A sampled hard-fault population for one array.
+
+    Attributes
+    ----------
+    stuck_on_rate / stuck_off_rate:
+        Independent per-cell probabilities of the two stuck polarities.
+    dead_rows / dead_cols:
+        Count of whole wordlines / bitlines to kill (sampled without
+        replacement).
+    dead_col_mode:
+        ``"off"`` — the column never conducts; ``"on"`` — the column
+        conducts into every read (driver stuck active).
+    """
+
+    stuck_on_rate: float = 0.0
+    stuck_off_rate: float = 0.0
+    dead_rows: int = 0
+    dead_cols: int = 0
+    dead_col_mode: str = "off"
+
+    def __post_init__(self) -> None:
+        for name in ("stuck_on_rate", "stuck_off_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate}")
+        for name in ("dead_rows", "dead_cols"):
+            if int(getattr(self, name)) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.dead_col_mode not in _DEAD_COL_MODES:
+            raise ValueError(
+                f"dead_col_mode must be one of {_DEAD_COL_MODES}, "
+                f"got {self.dead_col_mode!r}"
+            )
+
+    @property
+    def is_null(self) -> bool:
+        """True when the spec injects nothing at all."""
+        return (
+            self.stuck_on_rate == 0.0
+            and self.stuck_off_rate == 0.0
+            and self.dead_rows == 0
+            and self.dead_cols == 0
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stuck_on_rate": self.stuck_on_rate,
+            "stuck_off_rate": self.stuck_off_rate,
+            "dead_rows": self.dead_rows,
+            "dead_cols": self.dead_cols,
+            "dead_col_mode": self.dead_col_mode,
+        }
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What one injection pass actually planted.
+
+    Cell counts are the *visible* (logically mapped) stuck cells after
+    the injection — including overlaps with faults planted earlier.
+    """
+
+    stuck_on_cells: int
+    stuck_off_cells: int
+    dead_rows: Tuple[int, ...]
+    dead_cols: Tuple[int, ...]
+
+    @property
+    def total_cells(self) -> int:
+        return self.stuck_on_cells + self.stuck_off_cells
+
+    def to_dict(self) -> dict:
+        return {
+            "stuck_on_cells": self.stuck_on_cells,
+            "stuck_off_cells": self.stuck_off_cells,
+            "dead_rows": list(self.dead_rows),
+            "dead_cols": list(self.dead_cols),
+        }
+
+
+class FaultInjector:
+    """Samples a :class:`FaultSpec` and plants it into one crossbar.
+
+    The draw order is fixed (stuck-on cells, stuck-off cells, dead
+    rows, dead columns), so a given ``(spec, rng state)`` always plants
+    the identical fault population — the property the campaign runner's
+    ``workers=1`` vs ``workers=N`` bit-identity rests on.
+    """
+
+    def __init__(self, crossbar: FeFETCrossbar, seed: RngLike = None):
+        self.crossbar = crossbar
+        self._rng = ensure_rng(seed)
+
+    def inject(self, spec: FaultSpec) -> FaultReport:
+        """Sample and plant one fault population; returns the report.
+
+        A null spec touches nothing — not even the RNG — so zero-fault
+        campaigns stay bit-identical to a pristine engine.
+        """
+        xbar = self.crossbar
+        rows, cols = xbar.rows, xbar.cols
+        if spec.is_null:
+            return FaultReport(0, 0, (), ())
+        on = np.zeros((rows, cols), dtype=bool)
+        off = np.zeros((rows, cols), dtype=bool)
+        if spec.stuck_on_rate > 0.0:
+            on |= self._rng.random((rows, cols)) < spec.stuck_on_rate
+        if spec.stuck_off_rate > 0.0:
+            off |= self._rng.random((rows, cols)) < spec.stuck_off_rate
+        dead_rows: Tuple[int, ...] = ()
+        if spec.dead_rows > 0:
+            chosen = self._rng.choice(
+                rows, size=min(spec.dead_rows, rows), replace=False
+            )
+            dead_rows = tuple(sorted(int(r) for r in chosen))
+            off[list(dead_rows), :] = True
+        dead_cols: Tuple[int, ...] = ()
+        if spec.dead_cols > 0:
+            chosen = self._rng.choice(
+                cols, size=min(spec.dead_cols, cols), replace=False
+            )
+            dead_cols = tuple(sorted(int(c) for c in chosen))
+            target = on if spec.dead_col_mode == "on" else off
+            target[:, list(dead_cols)] = True
+        xbar.inject_stuck_faults(stuck_on=on, stuck_off=off)
+        mask_on, mask_off = xbar.stuck_fault_masks()
+        return FaultReport(
+            stuck_on_cells=int(np.count_nonzero(mask_on)),
+            stuck_off_cells=int(np.count_nonzero(mask_off)),
+            dead_rows=dead_rows,
+            dead_cols=dead_cols,
+        )
+
+    def inject_dead_row(self, row: int) -> None:
+        """Kill one specific wordline (open contact)."""
+        mask = np.zeros((self.crossbar.rows, self.crossbar.cols), dtype=bool)
+        mask[row, :] = True
+        self.crossbar.inject_stuck_faults(stuck_off=mask)
+
+    def inject_dead_column(self, col: int, mode: str = "off") -> None:
+        """Kill one specific bitline in the chosen polarity."""
+        if mode not in _DEAD_COL_MODES:
+            raise ValueError(f"mode must be one of {_DEAD_COL_MODES}, got {mode!r}")
+        mask = np.zeros((self.crossbar.rows, self.crossbar.cols), dtype=bool)
+        mask[:, col] = True
+        if mode == "on":
+            self.crossbar.inject_stuck_faults(stuck_on=mask)
+        else:
+            self.crossbar.inject_stuck_faults(stuck_off=mask)
+
+
+def inject_into_engine(engine, spec: FaultSpec, seed: RngLike = None) -> int:
+    """Plant one fault population across a flat *or* tiled engine.
+
+    Per-cell stuck rates apply i.i.d. to every array (cells are
+    disjoint, so the rate semantics do not change with tiling).  Whole
+    dead *rows* are sampled over the engine's global row space and
+    routed to the owning tile — ``dead_rows=1`` always means one dead
+    wordline in the whole engine, however it is tiled.  Dead *columns*
+    are per physical array (each tile has its own bitline drivers), so
+    one dead column means one failed driver in one sampled tile.
+
+    Returns the number of logical cells left pinned across all arrays.
+    """
+    rng = ensure_rng(seed)
+    tiles = getattr(engine, "tiles", None)
+    if tiles is None:
+        FaultInjector(engine.crossbar, rng).inject(spec)
+        return engine.crossbar.stuck_fault_count()
+    cell_spec = FaultSpec(
+        stuck_on_rate=spec.stuck_on_rate, stuck_off_rate=spec.stuck_off_rate
+    )
+    injectors = [FaultInjector(tile.crossbar, rng) for tile in tiles]
+    if not cell_spec.is_null:
+        for injector in injectors:
+            injector.inject(cell_spec)
+    if spec.dead_rows > 0:
+        total_rows = engine.total_rows
+        chosen = rng.choice(
+            total_rows, size=min(spec.dead_rows, total_rows), replace=False
+        )
+        for global_row in sorted(int(r) for r in chosen):
+            for t, rows in enumerate(engine.tile_rows):
+                local = np.flatnonzero(rows == global_row)
+                if local.size:
+                    injectors[t].inject_dead_row(int(local[0]))
+                    break
+    if spec.dead_cols > 0:
+        n_tiles = len(tiles)
+        cols = tiles[0].crossbar.cols
+        drivers = n_tiles * cols
+        chosen = rng.choice(
+            drivers, size=min(spec.dead_cols, drivers), replace=False
+        )
+        for driver in sorted(int(d) for d in chosen):
+            t, col = divmod(driver, cols)
+            injectors[t].inject_dead_column(col, mode=spec.dead_col_mode)
+    return sum(tile.crossbar.stuck_fault_count() for tile in tiles)
+
+
+class AgeClock:
+    """A monotonic bake-time clock driving retention drift into an array.
+
+    Each :meth:`advance` applies the *incremental* V_TH drift between
+    the old and new age — ``shift(p, t1 + dt) - shift(p, t1)`` at the
+    cells' current polarisation — through
+    :meth:`~repro.crossbar.array.FeFETCrossbar.apply_vth_drift`, so
+    arbitrary advance schedules land on the same total drift as one
+    jump (the retention model is a pure function of total age).  The
+    clock only moves forward; a refresh (reprogram) clears the array's
+    drift, after which :meth:`reset` restarts the bake.
+    """
+
+    def __init__(
+        self, crossbar: FeFETCrossbar, retention: Optional[RetentionModel] = None
+    ):
+        self.crossbar = crossbar
+        self.retention = retention or RetentionModel()
+        self.age_s = 0.0
+
+    def advance(self, dt_s: float) -> float:
+        """Bake for ``dt_s`` more seconds; returns the new total age."""
+        if dt_s < 0:
+            raise ValueError(f"age clock only moves forward, got dt={dt_s}")
+        if dt_s > 0:
+            pol = self.crossbar.polarization_matrix()
+            delta = self.retention.vth_shift(
+                pol, self.age_s + dt_s
+            ) - self.retention.vth_shift(pol, self.age_s)
+            self.crossbar.apply_vth_drift(delta)
+            self.age_s += dt_s
+        return self.age_s
+
+    def reset(self) -> None:
+        """Restart the bake clock (call after a refresh reprogram)."""
+        self.age_s = 0.0
+
+
+class WearState:
+    """Cumulative program/erase cycle wear for one array.
+
+    Remembers the pristine template so repeated :meth:`add_cycles`
+    calls age from the true origin (the endurance model maps *total*
+    cycles to a window factor, not increments).
+    """
+
+    def __init__(
+        self, crossbar: FeFETCrossbar, endurance: Optional[EnduranceModel] = None
+    ):
+        self.crossbar = crossbar
+        self.endurance = endurance or EnduranceModel()
+        self._pristine = crossbar.template
+        self.cycles = 0.0
+
+    def add_cycles(self, n: float) -> float:
+        """Record ``n`` more program/erase cycles; returns the total."""
+        if n < 0:
+            raise ValueError(f"cycles must be >= 0, got {n}")
+        if n > 0:
+            self.cycles += float(n)
+            self.crossbar.set_template(
+                self.endurance.aged_device(self._pristine, self.cycles)
+            )
+        return self.cycles

@@ -1,0 +1,179 @@
+"""Repair strategies: detect degraded cells, then route around or reset.
+
+Detection is *behavioural*, not oracular: :func:`scan_faulty_cells`
+performs the BIST pass a real array controller would — one
+all-columns-activated verify read, compared against each cell's
+programmed target current — so it sees exactly what the hardware can
+see.  Faults whose current error stays inside the scan tolerance are
+indistinguishable from programming residuals and legitimately escape
+(they are also, by the same argument, mostly harmless).
+
+Three repair strategies, matching the fault taxonomy:
+
+* **refresh** (:func:`refresh_engine`) — reprogram the array from its
+  level matrix.  Clears retention drift and accumulated write disturb;
+  powerless against stuck-at defects.
+* **spare rows** (:func:`spare_row_repair`) — remap rows with detected
+  hard faults onto manufactured spares
+  (:meth:`~repro.crossbar.array.FeFETCrossbar.remap_row`).
+* **tile retirement** (:func:`retire_faulty_tiles`) — for hierarchical
+  :class:`~repro.crossbar.tiling.TiledFeBiM` engines, swap any tile
+  with detected faults for freshly programmed hardware.
+
+:func:`apply_mitigation` dispatches by name so campaigns
+(:mod:`repro.reliability.campaign`) and the CLI can select a strategy
+per run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.mapping import levels_to_currents
+from repro.crossbar.array import FeFETCrossbar
+from repro.utils.rng import RngLike, spawn_rngs
+
+#: Strategy names accepted by :func:`apply_mitigation`.
+MITIGATIONS = ("none", "refresh", "spare-rows", "retire-tiles")
+
+
+def scan_faulty_cells(
+    crossbar: FeFETCrossbar, tolerance: Optional[float] = None
+) -> np.ndarray:
+    """Behavioural BIST: flag cells whose read current misses its target.
+
+    One all-columns-activated verify read (the noise-free maintenance
+    read a controller schedules between traffic) against the per-cell
+    expectation: the spec's target current for programmed cells, the
+    erased-state leakage for unprogrammed ones.  Returns a boolean
+    logical ``(rows, cols)`` map of cells outside ``tolerance``
+    (default 40 % of the level separation — wide enough to pass
+    programming residuals and benign drift, tight enough to catch
+    stuck cells and dead lines).
+
+    The measurement comes from the cached noise-free read matrices,
+    *not* a live ``current_matrix()`` read: a maintenance scan must
+    neither flag phantom faults out of per-read noise (at a realistic
+    ``sigma_read`` every row would fail a noisy compare) nor advance
+    the array's RNG stream and silently shift subsequent served reads.
+    """
+    spec = crossbar.spec
+    if tolerance is None:
+        sep = spec.level_separation()
+        tolerance = 0.4 * sep if sep > 0 else 0.1 * spec.i_max
+    # I_on with every column activated == the all-on verify read.
+    measured = crossbar.read_current_matrices()[0]
+    levels = crossbar.programmed_levels()
+    erased_current = float(
+        crossbar.template.idvg.current(
+            crossbar.params.v_on, crossbar.template.vth_high
+        )
+    )
+    expected = np.full(levels.shape, erased_current)
+    programmed = levels >= 0
+    if programmed.any():
+        expected[programmed] = levels_to_currents(levels[programmed], spec)
+    return np.abs(measured - expected) > tolerance
+
+
+def faulty_rows(
+    crossbar: FeFETCrossbar, tolerance: Optional[float] = None
+) -> np.ndarray:
+    """Logical row indices with at least one BIST-flagged cell."""
+    return np.flatnonzero(scan_faulty_cells(crossbar, tolerance).any(axis=1))
+
+
+def refresh_engine(engine, age_clock=None) -> int:
+    """Refresh-by-reprogram: replay the engine's level matrix in place.
+
+    Works on flat :class:`~repro.core.engine.FeBiMEngine` and tiled
+    :class:`~repro.crossbar.tiling.TiledFeBiM` engines (each tile is
+    reprogrammed).  Clears retention drift and write disturb through
+    the block erase; stuck-at defects survive.  Resets ``age_clock``
+    (or each clock of an iterable) when given.  Returns the number of
+    arrays reprogrammed.
+    """
+    refreshed = 0
+    for tile in getattr(engine, "tiles", [engine]):
+        tile.crossbar.program_matrix(tile.level_matrix)
+        refreshed += 1
+    if age_clock is not None:
+        clocks = age_clock if isinstance(age_clock, (list, tuple)) else [age_clock]
+        for clock in clocks:
+            clock.reset()
+    return refreshed
+
+
+def spare_row_repair(
+    engine, rows: Optional[np.ndarray] = None, tolerance: Optional[float] = None
+) -> List[int]:
+    """Remap BIST-flagged rows onto spare hardware; returns repaired rows.
+
+    ``rows`` overrides the scan (e.g. rows an external monitor already
+    localised); otherwise flagged rows are repaired worst-first (most
+    flagged cells), since with a dry spare pool a *partial* repair that
+    leaves one stuck-on row unmatched can be worse than none — the
+    surviving defects no longer cancel across competing wordlines.
+    Repairs stop silently when the pool runs dry; the caller sees which
+    rows made it and can escalate for the rest.
+    """
+    xbar = engine.crossbar
+    if rows is None:
+        flagged = scan_faulty_cells(xbar, tolerance).sum(axis=1)
+        rows = np.flatnonzero(flagged)
+        rows = rows[np.argsort(-flagged[rows], kind="stable")]
+    repaired: List[int] = []
+    for row in rows:
+        if xbar.spare_rows_free == 0:
+            break
+        xbar.remap_row(int(row))
+        repaired.append(int(row))
+    return repaired
+
+
+def retire_faulty_tiles(
+    tiled, tolerance: Optional[float] = None, seed: RngLike = None
+) -> List[int]:
+    """Retire every tile with BIST-flagged cells; returns retired indices.
+
+    Replacement hardware draws from per-tile child streams of ``seed``
+    (``SeedSequence`` spawning), so the repair is deterministic under a
+    fixed seed regardless of which subset of tiles happens to be
+    faulty.
+    """
+    seeds = spawn_rngs(seed, tiled.n_tiles)
+    retired: List[int] = []
+    for index, tile in enumerate(tiled.tiles):
+        if scan_faulty_cells(tile.crossbar, tolerance).any():
+            tiled.retire_tile(index, seed=seeds[index])
+            retired.append(index)
+    return retired
+
+
+def apply_mitigation(
+    name: str,
+    engine,
+    age_clock=None,
+    seed: RngLike = None,
+    tolerance: Optional[float] = None,
+) -> dict:
+    """Dispatch one named strategy against an engine; returns its stats.
+
+    The returned dict always carries ``refreshed`` (arrays
+    reprogrammed), ``repaired_rows`` and ``retired_tiles`` so campaign
+    aggregation never branches on the strategy.
+    """
+    if name not in MITIGATIONS:
+        raise ValueError(f"mitigation must be one of {MITIGATIONS}, got {name!r}")
+    stats = {"refreshed": 0, "repaired_rows": [], "retired_tiles": []}
+    if name == "refresh":
+        stats["refreshed"] = refresh_engine(engine, age_clock)
+    elif name == "spare-rows":
+        stats["repaired_rows"] = spare_row_repair(engine, tolerance=tolerance)
+    elif name == "retire-tiles":
+        stats["retired_tiles"] = retire_faulty_tiles(
+            engine, tolerance=tolerance, seed=seed
+        )
+    return stats

@@ -11,13 +11,18 @@ two:
   pending requests per model into batched crossbar reads under a
   ``max_batch`` / ``max_wait_ms`` policy, resolving per-request futures;
 * :class:`FeBiMServer` — the multi-tenant front end: routing,
-  independent per-model RNG streams, telemetry and graceful drain.
+  independent per-model RNG streams, telemetry and graceful drain;
+* :class:`HealthMonitor` — canary health checks over the served
+  engines with an automatic refresh -> replace repair ladder (the
+  serving face of :mod:`repro.reliability`).
 
 See ``benchmarks/SERVING.md`` for the policy knobs and measured
-served-vs-offline throughput, and ``examples/serving_demo.py`` for a
+served-vs-offline throughput, ``benchmarks/RELIABILITY.md`` for the
+fault/healing acceptance gates, and ``examples/serving_demo.py`` for a
 two-tenant walkthrough.
 """
 
+from repro.serving.health import HealthMonitor, HealthReport
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import (
     BatchPolicy,
@@ -31,6 +36,8 @@ from repro.serving.telemetry import Telemetry, TelemetrySnapshot
 __all__ = [
     "BatchPolicy",
     "FeBiMServer",
+    "HealthMonitor",
+    "HealthReport",
     "MicroBatchScheduler",
     "ModelRegistry",
     "SchedulerClosed",

@@ -1,0 +1,254 @@
+"""Self-healing serving: canary sweeps plus automatic refresh/replace.
+
+A programmed array does not stay correct forever — cells get stuck,
+V_TH drifts over bake time (:mod:`repro.reliability`) — and the serving
+layer is where that has to be *caught*.  :class:`HealthMonitor` runs the
+maintenance loop a production deployment schedules between traffic:
+
+1. **canaries** — at install time a small input set is run through the
+   pristine engine and its predictions (and wordline currents) become
+   the baseline;
+2. **checks** — each sweep re-runs the canaries directly against the
+   engine currently serving the model (bypassing the scheduler queue —
+   a maintenance read must not contend with traffic) and compares
+   predictions bit-for-bit plus the mean relative current shift, which
+   catches the common-mode retention drift that erodes sensing margin
+   without yet flipping a decision;
+3. **healing** — on a failed check the monitor escalates through the
+   repair ladder: *refresh* (reprogram in place, clears drift) and, if
+   canaries still fail, *replace* (drop the registry's cached engine
+   and re-materialise — the simulator's stand-in for swapping in a
+   spare macro; same seed, so the replacement is the pristine array
+   bit-for-bit).
+
+Every sweep and repair lands in the server's
+:class:`~repro.serving.telemetry.Telemetry`, so ``febim serve`` /
+``--json`` surfaces fault and repair counters next to throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.reliability.mitigation import refresh_engine
+from repro.serving.server import FeBiMServer
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Outcome of one canary sweep (and any healing it triggered).
+
+    ``accuracy`` / ``current_shift`` describe the state *found*;
+    ``action`` is the deepest repair taken (``"ok"``, ``"refresh"``,
+    ``"replace"``, or ``"degraded"`` when healing was off or failed)
+    and ``healed`` whether the post-repair sweep passed.
+    """
+
+    model: str
+    version: int
+    canaries: int
+    failed: int
+    accuracy: float
+    current_shift: float
+    action: str
+    healed: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when the engine passed without needing repair."""
+        return self.action == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "version": self.version,
+            "canaries": self.canaries,
+            "failed": self.failed,
+            "accuracy": self.accuracy,
+            "current_shift": self.current_shift,
+            "action": self.action,
+            "healed": self.healed,
+        }
+
+
+@dataclass
+class _CanaryState:
+    levels: np.ndarray
+    predictions: np.ndarray
+    currents: np.ndarray
+
+
+def _report_currents(report) -> np.ndarray:
+    """Per-sample current signature from either batch-report flavour."""
+    currents = getattr(report, "wordline_currents", None)
+    if currents is None:
+        currents = report.tile_currents
+    return np.asarray(currents, dtype=float)
+
+
+class HealthMonitor:
+    """Canary health checks with an automatic repair ladder.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serving.server.FeBiMServer` whose engines to
+        watch.
+    min_accuracy:
+        Canary agreement (vs the pristine baseline) below which a check
+        fails.  The default 1.0 demands bit-identical predictions —
+        right for the noise-free default models; relax it for
+        configurations with per-read noise.
+    max_current_shift:
+        Mean relative wordline-current shift above which a check fails
+        even with every prediction intact.  This channel does the heavy
+        lifting: FeBiM decisions are *robust* — on iris at the paper's
+        operating point even several dead bitlines flip no prediction —
+        so faults and drift show up in the analog read signature long
+        before they show up in accuracy.  Canary reads are noise-free
+        and bit-stable, so the default 10 % is already far outside any
+        benign residual.
+    auto_heal:
+        Escalate failed checks through refresh -> replace; when False,
+        checks only observe and report.
+    quiesce_timeout_s:
+        How long a repair may wait for the scheduler's in-flight batch
+        to clear before giving up (``TimeoutError``).  Repairs run
+        under :meth:`~repro.serving.scheduler.MicroBatchScheduler.
+        quiesce`, so live traffic can never read a half-reprogrammed
+        array.
+    """
+
+    def __init__(
+        self,
+        server: FeBiMServer,
+        min_accuracy: float = 1.0,
+        max_current_shift: float = 0.1,
+        auto_heal: bool = True,
+        quiesce_timeout_s: float = 30.0,
+    ):
+        if not 0.0 <= min_accuracy <= 1.0:
+            raise ValueError("min_accuracy must lie in [0, 1]")
+        if max_current_shift < 0:
+            raise ValueError("max_current_shift must be >= 0")
+        self.server = server
+        self.min_accuracy = float(min_accuracy)
+        self.max_current_shift = float(max_current_shift)
+        self.auto_heal = bool(auto_heal)
+        self.quiesce_timeout_s = float(quiesce_timeout_s)
+        self._canaries: Dict[Tuple[str, int], _CanaryState] = {}
+
+    # ------------------------------------------------------------ canaries
+    def _resolve(self, name: str, version: Optional[int]) -> int:
+        return self.server.registry.resolve_version(name, version)
+
+    def install(
+        self, name: str, levels: np.ndarray, version: Optional[int] = None
+    ) -> int:
+        """Capture the pristine baseline for ``name`` from ``levels``.
+
+        Runs the canary set once through the currently served engine —
+        install right after registration, while the array is known
+        good — and pins the resolved version.  Returns it.
+        """
+        version = self._resolve(name, version)
+        levels = np.asarray(levels, dtype=int)
+        if levels.ndim != 2 or levels.shape[0] == 0:
+            raise ValueError(
+                f"canary levels must be a non-empty (n, features) matrix, "
+                f"got shape {levels.shape}"
+            )
+        engine = self.server.engine_for(name, version)
+        report = engine.infer_batch(levels)
+        self._canaries[(name, version)] = _CanaryState(
+            levels=levels.copy(),
+            predictions=np.asarray(report.predictions).copy(),
+            currents=_report_currents(report).copy(),
+        )
+        return version
+
+    def installed(self) -> List[Tuple[str, int]]:
+        """The (name, version) pairs with canary baselines."""
+        return sorted(self._canaries)
+
+    # -------------------------------------------------------------- checking
+    def _measure(self, state: _CanaryState, engine) -> Tuple[int, float, float]:
+        report = engine.infer_batch(state.levels)
+        predictions = np.asarray(report.predictions)
+        failed = int(np.count_nonzero(predictions != state.predictions))
+        accuracy = 1.0 - failed / state.predictions.shape[0]
+        currents = _report_currents(report)
+        baseline = np.abs(state.currents)
+        shift = float(
+            np.mean(
+                np.abs(currents - state.currents)
+                / np.maximum(baseline, 1e-30)
+            )
+        )
+        return failed, accuracy, shift
+
+    def _healthy(self, accuracy: float, shift: float) -> bool:
+        return accuracy >= self.min_accuracy and shift <= self.max_current_shift
+
+    def check(self, name: str, version: Optional[int] = None) -> HealthReport:
+        """One canary sweep against the serving engine; heals on failure.
+
+        Raises ``KeyError`` when no canaries were installed for the
+        resolved version.
+        """
+        version = self._resolve(name, version)
+        try:
+            state = self._canaries[(name, version)]
+        except KeyError:
+            raise KeyError(
+                f"no canaries installed for {name!r} v{version}; "
+                f"call install() first"
+            ) from None
+        engine = self.server.engine_for(name, version)
+        failed, accuracy, shift = self._measure(state, engine)
+        self.server.telemetry.record_health_check(failed)
+        if self._healthy(accuracy, shift):
+            return HealthReport(
+                name, version, state.predictions.shape[0], failed,
+                accuracy, shift, action="ok", healed=True,
+            )
+        if not self.auto_heal:
+            return HealthReport(
+                name, version, state.predictions.shape[0], failed,
+                accuracy, shift, action="degraded", healed=False,
+            )
+        # Repairs mutate the live engine (erase + rewrite) and swap the
+        # registry cache, so the scheduler is quiesced for the ladder:
+        # the in-flight batch finishes on the consistent old state,
+        # queued traffic waits, and no request can ever read a
+        # half-reprogrammed array.
+        with self.server.scheduler.quiesce(timeout=self.quiesce_timeout_s):
+            # Rung 1: refresh-by-reprogram — clears retention drift and
+            # accumulated disturb, cannot fix stuck hardware.
+            refresh_engine(engine)
+            self.server.telemetry.record_refresh()
+            r_failed, r_accuracy, r_shift = self._measure(state, engine)
+            if self._healthy(r_accuracy, r_shift):
+                return HealthReport(
+                    name, version, state.predictions.shape[0], failed,
+                    accuracy, shift, action="refresh", healed=True,
+                )
+            # Rung 2: replace — drop the cached engine and re-materialise
+            # from the registry artifact (fresh pristine hardware, same
+            # per-tenant stream, so served results stay bit-stable).
+            self.server.registry.invalidate(name)
+            engine = self.server.engine_for(name, version)
+            self.server.telemetry.record_replacement()
+            _, f_accuracy, f_shift = self._measure(state, engine)
+            return HealthReport(
+                name, version, state.predictions.shape[0], failed,
+                accuracy, shift, action="replace",
+                healed=self._healthy(f_accuracy, f_shift),
+            )
+
+    def check_all(self) -> List[HealthReport]:
+        """Sweep every installed canary set (stable name/version order)."""
+        return [self.check(name, version) for name, version in self.installed()]

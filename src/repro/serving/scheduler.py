@@ -39,8 +39,9 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, Iterator, List, Optional
 
 import numpy as np
 
@@ -164,6 +165,8 @@ class MicroBatchScheduler:
         self._queues: Dict[Hashable, deque] = {}
         self._pending = 0
         self._inflight = 0
+        self._paused = 0
+        self._quiet = threading.Condition(self._lock)
         self._draining = False
         self._closed = False
         self._worker = threading.Thread(
@@ -252,6 +255,55 @@ class MicroBatchScheduler:
                 self._draining = False
         return True
 
+    def pause(self, timeout: Optional[float] = None) -> bool:
+        """Stop launching batches and wait out the in-flight one.
+
+        The quiesce primitive for engine maintenance (reprogramming a
+        live array, swapping a cached engine): after ``pause`` returns
+        ``True`` the worker is guaranteed not to be touching any engine
+        until :meth:`resume`.  Requests keep queueing meanwhile — the
+        pause is invisible to clients beyond added latency.  Nests:
+        each ``pause`` needs a matching ``resume``.  Returns ``False``
+        (and does not pause) if the in-flight batch fails to finish
+        within ``timeout`` seconds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._paused += 1
+            while self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._paused -= 1
+                        self._wake.notify()
+                        return False
+                self._quiet.wait(remaining)
+        return True
+
+    def resume(self) -> None:
+        """Undo one :meth:`pause`; the worker picks queues back up."""
+        with self._lock:
+            if self._paused == 0:
+                raise RuntimeError("resume() without a matching pause()")
+            self._paused -= 1
+            if self._paused == 0:
+                self._wake.notify()
+
+    @contextmanager
+    def quiesce(self, timeout: Optional[float] = None) -> Iterator[None]:
+        """``with scheduler.quiesce(): ...`` — paused for the body.
+
+        Raises ``TimeoutError`` if the in-flight batch does not clear
+        within ``timeout``.
+        """
+        if not self.pause(timeout):
+            raise TimeoutError("scheduler did not quiesce in time")
+        try:
+            yield
+        finally:
+            self.resume()
+
     def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the worker; idempotent.
 
@@ -317,6 +369,9 @@ class MicroBatchScheduler:
                 while True:
                     if self._closed:
                         return
+                    if self._paused:
+                        self._wake.wait()
+                        continue
                     key, deadline = self._next_ready_key(time.monotonic())
                     if key is not None:
                         break
@@ -352,6 +407,8 @@ class MicroBatchScheduler:
             finally:
                 with self._lock:
                     self._inflight -= len(popped)
+                    if not self._inflight:
+                        self._quiet.notify_all()
                     if not self._pending and not self._inflight:
                         self._idle.notify_all()
 

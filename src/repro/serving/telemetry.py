@@ -49,6 +49,13 @@ class TelemetrySnapshot:
         recent window, in seconds (``nan`` before the first completion).
     per_model:
         Completed-request count per routing key.
+    health_checks / canary_failures:
+        Canary sweeps run by the :class:`~repro.serving.health.
+        HealthMonitor` and the canary predictions that disagreed with
+        their pristine baseline across them.
+    refreshes / replacements:
+        Automatic repairs the monitor triggered: in-place reprograms
+        and full engine re-materialisations.
     """
 
     submitted: int
@@ -62,6 +69,10 @@ class TelemetrySnapshot:
     p50_latency_s: float
     p95_latency_s: float
     per_model: Dict[str, int] = field(default_factory=dict)
+    health_checks: int = 0
+    canary_failures: int = 0
+    refreshes: int = 0
+    replacements: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -82,6 +93,10 @@ class TelemetrySnapshot:
             "p50_latency_ms": self.p50_latency_s * 1e3,
             "p95_latency_ms": self.p95_latency_s * 1e3,
             "per_model": dict(self.per_model),
+            "health_checks": self.health_checks,
+            "canary_failures": self.canary_failures,
+            "refreshes": self.refreshes,
+            "replacements": self.replacements,
         }
 
     def format_lines(self) -> str:
@@ -94,6 +109,13 @@ class TelemetrySnapshot:
             f"latency    p50 {self.p50_latency_s * 1e3:.2f} ms   "
             f"p95 {self.p95_latency_s * 1e3:.2f} ms",
         ]
+        if self.health_checks:
+            lines.append(
+                f"health     {self.health_checks} checks  "
+                f"{self.canary_failures} canary failures  "
+                f"{self.refreshes} refreshes  "
+                f"{self.replacements} replacements"
+            )
         for name in sorted(self.per_model):
             lines.append(f"  model {name:20s} {self.per_model[name]} served")
         return "\n".join(lines)
@@ -122,6 +144,10 @@ class Telemetry:
         self._batched_samples = 0
         self._per_model: Dict[str, int] = {}
         self._latencies = deque(maxlen=window)
+        self._health_checks = 0
+        self._canary_failures = 0
+        self._refreshes = 0
+        self._replacements = 0
 
     # ------------------------------------------------------------- recording
     def record_submitted(self, n: int = 1) -> None:
@@ -148,6 +174,22 @@ class Telemetry:
         with self._lock:
             self._cancelled += n
 
+    def record_health_check(self, failed_canaries: int = 0) -> None:
+        """One canary sweep with ``failed_canaries`` baseline mismatches."""
+        with self._lock:
+            self._health_checks += 1
+            self._canary_failures += failed_canaries
+
+    def record_refresh(self) -> None:
+        """One automatic in-place reprogram triggered by the monitor."""
+        with self._lock:
+            self._refreshes += 1
+
+    def record_replacement(self) -> None:
+        """One automatic engine re-materialisation (fresh hardware)."""
+        with self._lock:
+            self._replacements += 1
+
     # --------------------------------------------------------------- reading
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent snapshot of every counter."""
@@ -170,4 +212,8 @@ class Telemetry:
                 p50_latency_s=float(p50),
                 p95_latency_s=float(p95),
                 per_model=dict(self._per_model),
+                health_checks=self._health_checks,
+                canary_failures=self._canary_failures,
+                refreshes=self._refreshes,
+                replacements=self._replacements,
             )

@@ -44,6 +44,65 @@ class TestVariationSweep:
         np.testing.assert_array_equal(a[15.0], b[15.0])
 
 
+class TestParallelSweep:
+    """The campaign-runner-backed parallel mode (workers > 1)."""
+
+    def test_serial_fallback_matches_legacy_loop(self, iris):
+        """workers=None/1 must replay the original threaded-RNG loop
+        bit-for-bit: the same Generator driven through run_epochs."""
+        import numpy as np
+
+        from repro.core.pipeline import run_epochs
+        from repro.devices.variation import VariationModel
+
+        swept = variation_sweep(
+            iris, sigmas_mv=(0.0, 15.0), epochs=3, seed=17, workers=1
+        )
+        rng = np.random.default_rng(17)
+        for sigma in (0.0, 15.0):
+            expected = run_epochs(
+                iris,
+                q_f=4,
+                q_l=2,
+                mode="hardware",
+                epochs=3,
+                test_size=0.7,
+                variation=VariationModel.from_millivolts(sigma),
+                seed=rng,
+            )
+            np.testing.assert_array_equal(swept[sigma], expected)
+
+    def test_worker_count_invariant(self, iris):
+        a = variation_sweep(
+            iris, sigmas_mv=(0.0, 30.0), epochs=4, seed=5, workers=2
+        )
+        b = variation_sweep(
+            iris, sigmas_mv=(0.0, 30.0), epochs=4, seed=5, workers=4
+        )
+        for sigma in a:
+            np.testing.assert_array_equal(a[sigma], b[sigma])
+
+    def test_parallel_still_degrades_with_sigma(self, iris):
+        swept = variation_sweep(
+            iris, sigmas_mv=(0.0, 45.0), epochs=6, seed=1, workers=2
+        )
+        assert swept[45.0].mean() <= swept[0.0].mean() + 0.01
+
+    def test_parallel_rejects_generator_seed(self, iris):
+        with pytest.raises(TypeError):
+            variation_sweep(
+                iris,
+                sigmas_mv=(0.0,),
+                epochs=2,
+                seed=np.random.default_rng(0),
+                workers=2,
+            )
+
+    def test_parallel_validates_sigma_before_spawning(self, iris):
+        with pytest.raises(ValueError):
+            variation_sweep(iris, sigmas_mv=(-1.0,), epochs=1, workers=2)
+
+
 class TestSummarizeSweep:
     def test_format(self):
         results = {0.0: np.array([0.9, 0.95]), 45.0: np.array([0.85, 0.9])}

@@ -1,0 +1,207 @@
+"""The Monte-Carlo campaign runner's determinism contract.
+
+The two load-bearing properties:
+
+* **worker invariance** — a campaign's trial results are bit-identical
+  at ``workers=1`` and ``workers=N`` (per-trial ``SeedSequence``
+  streams, order fixed by payload position);
+* **null transparency** — a zero-fault / zero-age / zero-wear campaign
+  must match a pristine engine bit-for-bit: the injection plumbing may
+  not perturb so much as an RNG draw when there is nothing to inject.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_dataset
+from repro.datasets.splits import train_test_split
+from repro.reliability import (
+    CampaignConfig,
+    CampaignPoint,
+    FaultSpec,
+    aging_points,
+    fault_rate_points,
+    format_campaign,
+    run_campaign,
+    trial_seeds,
+)
+from repro.reliability.campaign import _prediction_crc, parallel_map
+from repro.devices import RetentionModel
+from repro.utils.rng import spawn_rngs
+
+
+def _small_config(**overrides):
+    base = dict(
+        points=fault_rate_points([0.0, 0.05]),
+        dataset="iris",
+        trials=2,
+        mitigation="none",
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestTrialSeeds:
+    def test_deterministic_and_independent(self):
+        a = trial_seeds(7, 5)
+        b = trial_seeds(7, 5)
+        assert a == b
+        assert len(set(a)) == 5
+        assert trial_seeds(8, 5) != a
+
+    def test_length_validated(self):
+        with pytest.raises(ValueError):
+            trial_seeds(0, -1)
+
+
+class TestParallelMap:
+    def test_order_preserved_any_width(self):
+        payloads = list(range(7))
+        serial = parallel_map(_square, payloads, workers=1)
+        pooled = parallel_map(_square, payloads, workers=3)
+        assert serial == pooled == [p * p for p in payloads]
+
+
+def _square(x):
+    return x * x
+
+
+class TestConfigValidation:
+    def test_needs_points(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(points=())
+
+    def test_mitigation_name_checked(self):
+        with pytest.raises(ValueError):
+            _small_config(mitigation="duct-tape")
+
+    def test_retire_tiles_needs_max_rows(self):
+        with pytest.raises(ValueError):
+            _small_config(mitigation="retire-tiles")
+
+    def test_spare_rows_rejects_tiled_engines(self):
+        with pytest.raises(ValueError, match="spare-rows"):
+            _small_config(mitigation="spare-rows", max_rows=2)
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPoint(label="x", age_s=-1.0)
+
+
+class TestWorkerInvariance:
+    def test_bit_identical_workers_1_vs_4(self):
+        config = _small_config(mitigation="spare-rows")
+        serial = run_campaign(config, seed=11, workers=1)
+        pooled = run_campaign(config, seed=11, workers=4)
+        assert serial.results == pooled.results
+        # The CRCs make this a genuine prediction-level identity, not
+        # merely equal accuracies.
+        assert all(
+            a.degraded_crc == b.degraded_crc
+            and a.mitigated_crc == b.mitigated_crc
+            for a, b in zip(serial.results, pooled.results)
+        )
+
+
+class TestNullTransparency:
+    def test_zero_fault_campaign_matches_pristine_engine_bit_for_bit(self):
+        config = _small_config(points=(CampaignPoint(label="null"),), trials=3)
+        result = run_campaign(config, seed=21, workers=1)
+        seeds = trial_seeds(21, 3)
+        data = load_dataset("iris")
+        for trial, res in enumerate(result.results):
+            assert res.degraded_acc == res.pristine_acc
+            assert res.degraded_crc == res.mitigated_crc
+            # Rebuild the trial's engine from the same derived streams:
+            # the campaign's degraded predictions must be the pristine
+            # engine's predictions, bit for bit.
+            split_rng, engine_rng, _, _ = spawn_rngs(seeds[trial], 4)
+            X_tr, X_te, y_tr, _ = train_test_split(
+                data.data, data.target, test_size=0.7, seed=split_rng
+            )
+            pipe = FeBiMPipeline(q_f=4, q_l=2, seed=engine_rng).fit(X_tr, y_tr)
+            pristine = pipe.engine_.predict(pipe.transform_levels(X_te))
+            assert _prediction_crc(pristine) == res.degraded_crc
+
+
+class TestCampaignOutputs:
+    @pytest.fixture(scope="class")
+    def aging_result(self):
+        config = CampaignConfig(
+            points=aging_points([0.0, 1e4, 1e8]),
+            trials=2,
+            mitigation="refresh",
+            retention=RetentionModel(drift_rate=0.05),
+        )
+        return run_campaign(config, seed=2, workers=1)
+
+    def test_curve_shape(self, aging_result):
+        curve = aging_result.accuracy_curve()
+        assert [row["label"] for row in curve] == [
+            "age=0s",
+            "age=10000s",
+            "age=1e+08s",
+        ]
+        for row in curve:
+            assert 0.0 <= row["degraded_mean"] <= 1.0
+            assert row["signal_ratio"] > 0.0
+
+    def test_signal_collapse_sets_refresh_deadline(self, aging_result):
+        # At 50 mV/decade the read margin collapses long before
+        # accuracy: the deadline must come from the signal criterion.
+        assert aging_result.time_to_refresh() == 1e4
+
+    def test_refresh_recovers_signal(self, aging_result):
+        aged = aging_result.accuracy_curve()[-1]
+        assert aged["signal_ratio"] < 0.5
+        assert aged["mitigated_signal_ratio"] == pytest.approx(1.0, abs=1e-9)
+
+    def test_to_dict_and_format(self, aging_result):
+        payload = aging_result.to_dict()
+        assert payload["bench"] == "reliability"
+        assert payload["time_to_refresh_s"] == 1e4
+        text = format_campaign(aging_result)
+        assert "time-to-refresh" in text
+        assert "age=1e+08s" in text
+
+    def test_faults_degrade_monotonically_in_rate(self):
+        config = CampaignConfig(
+            points=fault_rate_points([0.0, 0.1]), trials=3, mitigation="none"
+        )
+        result = run_campaign(config, seed=5, workers=1)
+        curve = result.accuracy_curve()
+        assert curve[1]["degraded_mean"] < curve[0]["degraded_mean"]
+        assert curve[1]["mean_faulty_cells"] > 0
+
+
+@pytest.mark.slow
+class TestFullCampaigns:
+    """The full-size sweeps: tier-2 (--runslow) material."""
+
+    def test_spare_row_mitigation_recovers_accuracy(self):
+        config = CampaignConfig(
+            points=fault_rate_points([0.0, 0.01, 0.05]),
+            trials=10,
+            mitigation="spare-rows",
+            spare_rows=3,
+        )
+        result = run_campaign(config, seed=0, workers=2)
+        curve = result.accuracy_curve()
+        worst = curve[-1]
+        assert worst["degraded_mean"] < worst["pristine_mean"] - 0.05
+        assert worst["mitigated_mean"] > worst["degraded_mean"] + 0.05
+
+    def test_tile_retirement_restores_tiled_engine(self):
+        config = CampaignConfig(
+            points=(
+                CampaignPoint(label="dead-row", fault=FaultSpec(dead_rows=1)),
+            ),
+            trials=6,
+            mitigation="retire-tiles",
+            max_rows=1,
+        )
+        result = run_campaign(config, seed=4, workers=2)
+        row = result.accuracy_curve()[0]
+        assert row["mitigated_mean"] == pytest.approx(row["pristine_mean"], abs=1e-9)
+        assert all(r.retired_tiles >= 1 for r in result.results)

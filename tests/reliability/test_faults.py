@@ -1,0 +1,191 @@
+"""Fault sampling, the age clock and write wear."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.array import FeFETCrossbar
+from repro.devices import EnduranceModel, RetentionModel
+from repro.reliability import AgeClock, FaultInjector, FaultSpec, WearState
+
+
+@pytest.fixture()
+def xbar():
+    a = FeFETCrossbar(rows=4, cols=8, seed=0)
+    a.program_matrix(np.arange(32).reshape(4, 8) % 4)
+    return a
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(stuck_on_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(stuck_off_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(dead_rows=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(dead_col_mode="sideways")
+
+    def test_is_null(self):
+        assert FaultSpec().is_null
+        assert not FaultSpec(stuck_on_rate=0.01).is_null
+        assert not FaultSpec(dead_cols=1).is_null
+
+
+class TestFaultInjector:
+    def test_null_spec_touches_nothing(self, xbar):
+        version = xbar.state_version
+        report = FaultInjector(xbar, seed=0).inject(FaultSpec())
+        assert report.total_cells == 0
+        assert xbar.state_version == version
+
+    def test_stuck_rates_plant_cells(self, xbar):
+        report = FaultInjector(xbar, seed=1).inject(
+            FaultSpec(stuck_on_rate=0.25, stuck_off_rate=0.25)
+        )
+        assert report.stuck_on_cells > 0
+        assert report.stuck_off_cells > 0
+        on, off = xbar.stuck_fault_masks()
+        assert report.stuck_on_cells == int(on.sum())
+        assert report.stuck_off_cells == int(off.sum())
+
+    def test_deterministic_for_seed(self, xbar):
+        spec = FaultSpec(stuck_on_rate=0.2, dead_rows=1, dead_cols=2)
+        a = FaultInjector(xbar, seed=3).inject(spec)
+        other = FeFETCrossbar(rows=4, cols=8, seed=0)
+        other.program_matrix(np.arange(32).reshape(4, 8) % 4)
+        b = FaultInjector(other, seed=3).inject(spec)
+        assert a == b
+        np.testing.assert_array_equal(
+            xbar.stuck_fault_masks()[0], other.stuck_fault_masks()[0]
+        )
+
+    def test_dead_row_reads_zero(self, xbar):
+        FaultInjector(xbar, seed=0).inject_dead_row(2)
+        assert xbar.wordline_currents()[2] == 0.0
+
+    def test_dead_column_off_loses_evidence(self, xbar):
+        before = xbar.wordline_currents(np.arange(8) < 4)
+        FaultInjector(xbar, seed=0).inject_dead_column(1, mode="off")
+        after = xbar.wordline_currents(np.arange(8) < 4)
+        assert np.all(after < before)
+
+    def test_dead_column_on_adds_current_to_every_row(self, xbar):
+        mask = np.zeros(8, dtype=bool)  # nothing activated
+        before = xbar.wordline_currents(mask)
+        FaultInjector(xbar, seed=0).inject_dead_column(5, mode="on")
+        after = xbar.wordline_currents(mask)
+        assert np.all(after > before)
+
+    def test_dead_column_mode_validated(self, xbar):
+        with pytest.raises(ValueError):
+            FaultInjector(xbar).inject_dead_column(0, mode="diagonal")
+
+
+class TestInjectIntoEngine:
+    @pytest.fixture(scope="class")
+    def tiled(self):
+        from repro.core.pipeline import FeBiMPipeline
+        from repro.crossbar.tiling import TiledFeBiM
+        from repro.datasets import load_iris, train_test_split
+
+        data = load_iris()
+        X_tr, _, y_tr, _ = train_test_split(
+            data.data, data.target, test_size=0.7, seed=0
+        )
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+        return TiledFeBiM(pipe.quantized_model_, max_rows=1, seed=0)
+
+    def test_global_dead_row_kills_exactly_one_tile(self, tiled):
+        from repro.reliability import inject_into_engine
+
+        count = inject_into_engine(tiled, FaultSpec(dead_rows=1), seed=2)
+        dead_tiles = [
+            t
+            for t, tile in enumerate(tiled.tiles)
+            if np.all(tile.crossbar.wordline_currents() == 0.0)
+        ]
+        assert len(dead_tiles) == 1
+        assert count == tiled.tiles[dead_tiles[0]].crossbar.cols
+        for tile in tiled.tiles:
+            tile.crossbar.clear_stuck_faults()
+
+    def test_cell_rates_spread_over_all_tiles(self, tiled):
+        from repro.reliability import inject_into_engine
+
+        count = inject_into_engine(
+            tiled, FaultSpec(stuck_off_rate=0.5), seed=3
+        )
+        per_tile = [t.crossbar.stuck_fault_count() for t in tiled.tiles]
+        assert count == sum(per_tile)
+        assert all(c > 0 for c in per_tile)
+        for tile in tiled.tiles:
+            tile.crossbar.clear_stuck_faults()
+
+
+class TestAgeClock:
+    def test_monotonic(self, xbar):
+        clock = AgeClock(xbar)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        clock.advance(10.0)
+        assert clock.age_s == 10.0
+        clock.reset()
+        assert clock.age_s == 0.0
+
+    def test_zero_advance_touches_nothing(self, xbar):
+        version = xbar.state_version
+        AgeClock(xbar).advance(0.0)
+        assert xbar.state_version == version
+
+    def test_incremental_equals_one_jump(self):
+        retention = RetentionModel(drift_rate=0.02)
+        a = FeFETCrossbar(rows=3, cols=4, seed=0)
+        b = FeFETCrossbar(rows=3, cols=4, seed=0)
+        levels = np.arange(12).reshape(3, 4) % 4
+        a.program_matrix(levels)
+        b.program_matrix(levels)
+        clock_a = AgeClock(a, retention)
+        for _ in range(10):
+            clock_a.advance(1e5)
+        AgeClock(b, retention).advance(1e6)
+        np.testing.assert_allclose(
+            a.vth_drift_matrix(), b.vth_drift_matrix(), rtol=1e-10
+        )
+
+    def test_drift_reduces_read_current(self, xbar):
+        before = xbar.wordline_currents().copy()
+        AgeClock(xbar, RetentionModel(drift_rate=0.05)).advance(1e8)
+        assert np.all(xbar.wordline_currents() < before)
+
+
+class TestWearState:
+    def test_cycles_validated(self, xbar):
+        with pytest.raises(ValueError):
+            WearState(xbar).add_cycles(-1)
+
+    def test_cumulative_wear_ages_from_pristine(self):
+        endurance = EnduranceModel()
+        a = FeFETCrossbar(rows=2, cols=3, seed=0)
+        b = FeFETCrossbar(rows=2, cols=3, seed=0)
+        wear_a = WearState(a, endurance)
+        wear_a.add_cycles(5e8)
+        wear_a.add_cycles(5e8)
+        wear_b = WearState(b, endurance)
+        wear_b.add_cycles(1e9)
+        assert a.template.vth_high == b.template.vth_high
+        assert a.template.vth_low == b.template.vth_low
+        assert wear_a.cycles == wear_b.cycles == 1e9
+
+    def test_heavy_wear_narrows_window_and_currents(self, xbar):
+        before = xbar.wordline_currents().copy()
+        WearState(xbar).add_cycles(1e10)
+        pristine = FeFETCrossbar(rows=1, cols=1).template
+        window = xbar.template.vth_high - xbar.template.vth_low
+        assert window < 0.6 * (pristine.vth_high - pristine.vth_low)
+        # The worn array still *reads* (that is what the wear study
+        # measures)...
+        assert not np.array_equal(xbar.wordline_currents(), before)
+        # ...but can no longer be programmed to the spec's top state.
+        with pytest.raises(ValueError, match="unreachable"):
+            xbar.program_cell(0, 0, xbar.spec.n_levels - 1)

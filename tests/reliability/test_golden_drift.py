@@ -1,0 +1,112 @@
+"""Golden regression: retention drift and wear through the read path.
+
+The end-to-end contract for the dormant device models now that they
+feed the reliability subsystem: a seeded iris engine baked under
+``RetentionModel(drift_rate=0.02)`` (and worn under the default
+endurance curve) must keep producing *exactly* these accuracies,
+prediction digests and signal ratios.  Any refactor of the drift
+plumbing (``apply_vth_drift`` -> ``vth_matrix`` -> cached read
+matrices -> WTA) that shifts them has changed numerics — this makes
+such a shift loud.
+
+The numbers also pin the physics story: drift is mostly common-mode,
+so the signal ratio collapses (0.38 at 1e4 s, 0.07 at a decade of
+years) while accuracy gives up only one sample — which is exactly why
+the health monitor and ``time_to_refresh`` watch the read margin, not
+just accuracy.
+
+Pinned at the introduction of the reliability subsystem (seed 2026).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import train_test_split
+from repro.devices import EnduranceModel, RetentionModel
+from repro.reliability import AgeClock, WearState, refresh_engine
+from repro.reliability.campaign import _prediction_crc
+
+SEED = 2026
+DRIFT_RATE = 0.02
+
+GOLDEN_PRISTINE_ACC = 0.9238095238095239
+GOLDEN_PRISTINE_CRC = 191598133
+#: age_s -> (accuracy, signal ratio vs pristine, prediction crc)
+GOLDEN_DRIFT = {
+    1e4: (0.9238095238095239, 0.376519495216734, 191598133),
+    1e6: (0.9142857142857143, 0.19514507569227194, 2291727699),
+    3.15e7: (0.9142857142857143, 0.10822516281508286, 2291727699),
+    3.15e8: (0.9142857142857143, 0.06936364516159309, 2291727699),
+}
+GOLDEN_WEAR_1E9_ACC = 0.9238095238095239
+GOLDEN_WEAR_1E9_CRC = 191598133
+GOLDEN_WEAR_1E9_SIGNAL = 0.6488978703637095
+
+
+@pytest.fixture(scope="module")
+def seeded(iris):
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        iris.data, iris.target, test_size=0.7, seed=SEED
+    )
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=SEED).fit(X_tr, y_tr)
+    return pipe, pipe.transform_levels(X_te), np.asarray(y_te)
+
+
+def _measure(engine, levels, y):
+    report = engine.infer_batch(levels)
+    acc = float(np.mean(report.predictions == y))
+    signal = float(np.mean(report.wordline_currents.max(axis=1)))
+    return acc, signal, _prediction_crc(report.predictions)
+
+
+class TestGoldenDrift:
+    def test_drift_trajectory_pinned(self, seeded):
+        pipe, levels, y = seeded
+        engine = pipe.engine_
+        acc, pristine_signal, crc = _measure(engine, levels, y)
+        assert acc == pytest.approx(GOLDEN_PRISTINE_ACC, abs=1e-12)
+        assert crc == GOLDEN_PRISTINE_CRC
+        clock = AgeClock(engine.crossbar, RetentionModel(drift_rate=DRIFT_RATE))
+        try:
+            for age in sorted(GOLDEN_DRIFT):
+                clock.advance(age - clock.age_s)
+                acc, signal, crc = _measure(engine, levels, y)
+                g_acc, g_ratio, g_crc = GOLDEN_DRIFT[age]
+                assert acc == pytest.approx(g_acc, abs=1e-12), f"age {age:g}"
+                assert signal / pristine_signal == pytest.approx(
+                    g_ratio, abs=1e-12
+                ), f"age {age:g}"
+                assert crc == g_crc, f"age {age:g}"
+        finally:
+            # The module-scoped engine is shared: un-age it.
+            refresh_engine(engine, clock)
+
+    def test_refresh_returns_to_pristine_goldens(self, seeded):
+        pipe, levels, y = seeded
+        engine = pipe.engine_
+        AgeClock(engine.crossbar, RetentionModel(drift_rate=DRIFT_RATE)).advance(
+            3.15e8
+        )
+        refresh_engine(engine)
+        acc, _, crc = _measure(engine, levels, y)
+        assert acc == pytest.approx(GOLDEN_PRISTINE_ACC, abs=1e-12)
+        assert crc == GOLDEN_PRISTINE_CRC
+
+
+class TestGoldenWear:
+    def test_wear_trajectory_pinned(self, iris):
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            iris.data, iris.target, test_size=0.7, seed=SEED
+        )
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=SEED).fit(X_tr, y_tr)
+        levels = pipe.transform_levels(X_te)
+        y = np.asarray(y_te)
+        _, pristine_signal, _ = _measure(pipe.engine_, levels, y)
+        WearState(pipe.engine_.crossbar, EnduranceModel()).add_cycles(1e9)
+        acc, signal, crc = _measure(pipe.engine_, levels, y)
+        assert acc == pytest.approx(GOLDEN_WEAR_1E9_ACC, abs=1e-12)
+        assert crc == GOLDEN_WEAR_1E9_CRC
+        assert signal / pristine_signal == pytest.approx(
+            GOLDEN_WEAR_1E9_SIGNAL, abs=1e-12
+        )

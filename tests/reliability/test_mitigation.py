@@ -1,0 +1,166 @@
+"""BIST detection and the three repair strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import FeBiMEngine
+from repro.core.pipeline import FeBiMPipeline
+from repro.crossbar.tiling import TiledFeBiM
+from repro.datasets import load_iris, train_test_split
+from repro.devices import RetentionModel
+from repro.reliability import (
+    AgeClock,
+    FaultInjector,
+    FaultSpec,
+    apply_mitigation,
+    faulty_rows,
+    refresh_engine,
+    retire_faulty_tiles,
+    scan_faulty_cells,
+    spare_row_repair,
+)
+
+
+@pytest.fixture(scope="module")
+def split():
+    data = load_iris()
+    return train_test_split(data.data, data.target, test_size=0.7, seed=0)
+
+
+@pytest.fixture()
+def fitted(split):
+    X_tr, X_te, y_tr, y_te = split
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0, spare_rows=3).fit(X_tr, y_tr)
+    return pipe, pipe.transform_levels(X_te), np.asarray(y_te)
+
+
+class TestScan:
+    def test_clean_array_scans_clean(self, fitted):
+        pipe, _, _ = fitted
+        assert not scan_faulty_cells(pipe.engine_.crossbar).any()
+
+    def test_scan_is_noise_free_and_rng_neutral(self, split):
+        """A maintenance scan on a noisy-read configuration must not
+        flag phantom faults or advance the array's noise stream."""
+        from repro.devices import VariationModel
+
+        X_tr, X_te, y_tr, _ = split
+        pipe = FeBiMPipeline(
+            q_f=4,
+            q_l=2,
+            variation=VariationModel(sigma_read=0.03),
+            seed=0,
+        ).fit(X_tr, y_tr)
+        xbar = pipe.engine_.crossbar
+        levels = pipe.transform_levels(X_te[:4])
+        # Reference: the noisy predictions the *next* served read would
+        # produce if no scan intervened.
+        twin = FeBiMPipeline(
+            q_f=4,
+            q_l=2,
+            variation=VariationModel(sigma_read=0.03),
+            seed=0,
+        ).fit(X_tr, y_tr)
+        expected = twin.engine_.predict(levels)
+        for _ in range(3):
+            assert not scan_faulty_cells(xbar).any()
+        np.testing.assert_array_equal(pipe.engine_.predict(levels), expected)
+
+    def test_scan_flags_stuck_cells(self, fitted):
+        pipe, _, _ = fitted
+        xbar = pipe.engine_.crossbar
+        mask = np.zeros((xbar.rows, xbar.cols), dtype=bool)
+        mask[1, 4] = True
+        xbar.inject_stuck_faults(stuck_on=mask)
+        flags = scan_faulty_cells(xbar)
+        assert flags[1, 4]
+        assert flags.sum() == 1
+        np.testing.assert_array_equal(faulty_rows(xbar), [1])
+
+
+class TestRefresh:
+    def test_refresh_restores_drifted_engine_bit_for_bit(self, fitted):
+        pipe, levels, _ = fitted
+        engine = pipe.engine_
+        pristine = engine.predict(levels).copy()
+        pristine_currents = engine.read_batch(levels).copy()
+        clock = AgeClock(engine.crossbar, RetentionModel(drift_rate=0.05))
+        clock.advance(3e8)
+        assert not np.array_equal(engine.read_batch(levels), pristine_currents)
+        refreshed = refresh_engine(engine, clock)
+        assert refreshed == 1 and clock.age_s == 0.0
+        np.testing.assert_array_equal(engine.predict(levels), pristine)
+        np.testing.assert_array_equal(
+            engine.read_batch(levels), pristine_currents
+        )
+
+    def test_refresh_cannot_fix_stuck_hardware(self, fitted):
+        pipe, _, _ = fitted
+        engine = pipe.engine_
+        FaultInjector(engine.crossbar, seed=0).inject_dead_row(0)
+        refresh_engine(engine)
+        assert engine.crossbar.wordline_currents()[0] == 0.0
+
+
+class TestSpareRowRepair:
+    def test_repair_restores_dead_row_accuracy(self, fitted):
+        pipe, levels, y = fitted
+        engine = pipe.engine_
+        pristine_acc = engine.score(levels, y)
+        FaultInjector(engine.crossbar, seed=0).inject_dead_row(1)
+        degraded_acc = engine.score(levels, y)
+        assert degraded_acc < pristine_acc
+        repaired = spare_row_repair(engine)
+        assert repaired == [1]
+        assert engine.score(levels, y) == pytest.approx(pristine_acc, abs=0.02)
+
+    def test_worst_rows_first_when_pool_short(self, split):
+        X_tr, _, y_tr, _ = split
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0, spare_rows=1).fit(X_tr, y_tr)
+        xbar = pipe.engine_.crossbar
+        light = np.zeros((xbar.rows, xbar.cols), dtype=bool)
+        light[0, 0] = True
+        heavy = np.zeros_like(light)
+        heavy[2, :] = True
+        xbar.inject_stuck_faults(stuck_off=light | heavy)
+        repaired = spare_row_repair(pipe.engine_)
+        assert repaired == [2]  # the dead row outranks the single cell
+        assert xbar.spare_rows_free == 0
+
+
+class TestTileRetirement:
+    def test_retire_faulty_tiles_restores_predictions(self, fitted):
+        pipe, levels, _ = fitted
+        tiled = TiledFeBiM(pipe.quantized_model_, max_rows=1, seed=5)
+        pristine = tiled.predict(levels).copy()
+        survivor = tiled.tiles[2]
+        FaultInjector(tiled.tiles[0].crossbar, seed=0).inject_dead_row(0)
+        retired = retire_faulty_tiles(tiled, seed=9)
+        assert retired == [0]
+        assert tiled.tiles[2] is survivor  # untouched tiles keep their arrays
+        np.testing.assert_array_equal(tiled.predict(levels), pristine)
+
+    def test_retire_tile_index_validated(self, fitted):
+        pipe, _, _ = fitted
+        tiled = TiledFeBiM(pipe.quantized_model_, max_rows=2, seed=0)
+        with pytest.raises(IndexError):
+            tiled.retire_tile(tiled.n_tiles)
+
+
+class TestDispatch:
+    def test_unknown_strategy_rejected(self, fitted):
+        pipe, _, _ = fitted
+        with pytest.raises(ValueError):
+            apply_mitigation("prayer", pipe.engine_)
+
+    def test_none_is_a_no_op(self, fitted):
+        pipe, levels, _ = fitted
+        before = pipe.engine_.predict(levels).copy()
+        stats = apply_mitigation("none", pipe.engine_)
+        assert stats == {"refreshed": 0, "repaired_rows": [], "retired_tiles": []}
+        np.testing.assert_array_equal(pipe.engine_.predict(levels), before)
+
+    def test_refresh_dispatch_reports_arrays(self, fitted):
+        pipe, _, _ = fitted
+        stats = apply_mitigation("refresh", pipe.engine_)
+        assert stats["refreshed"] == 1

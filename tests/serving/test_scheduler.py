@@ -297,3 +297,83 @@ class TestConcurrency:
             assert snapshot.occupancy > 0
         finally:
             sched.shutdown()
+
+
+class TestQuiesce:
+    """pause/resume/quiesce: the engine-maintenance primitive."""
+
+    def test_pause_holds_batches_resume_releases(self):
+        sched, engine = make_scheduler(max_batch=4, max_wait_ms=0.1)
+        try:
+            assert sched.pause(timeout=5)
+            futures = [sched.submit("m", np.array([i])) for i in range(3)]
+            time.sleep(0.05)  # far beyond max_wait: would have flushed
+            assert engine.batches == []
+            assert sched.pending == 3
+            sched.resume()
+            assert sched.drain(timeout=5)
+            assert [f.result(timeout=1).prediction for f in futures] == [0, 1, 2]
+        finally:
+            sched.shutdown()
+
+    def test_pause_waits_out_inflight_batch(self):
+        engine = RecordingEngine(block_s=0.2)
+        sched, _ = make_scheduler(engine, max_batch=1, max_wait_ms=0.0)
+        try:
+            future = sched.submit("m", np.array([7]))
+            time.sleep(0.05)  # let the worker pick the batch up
+            start = time.monotonic()
+            assert sched.pause(timeout=5)
+            # pause() returned only after the blocking batch finished.
+            assert future.done()
+            assert time.monotonic() - start > 0.05
+            sched.resume()
+        finally:
+            sched.shutdown()
+
+    def test_pause_timeout_leaves_scheduler_running(self):
+        engine = RecordingEngine(block_s=0.5)
+        sched, _ = make_scheduler(engine, max_batch=1, max_wait_ms=0.0)
+        try:
+            sched.submit("m", np.array([1]))
+            time.sleep(0.05)
+            assert not sched.pause(timeout=0.01)  # batch still in flight
+            later = sched.submit("m", np.array([2]))
+            assert later.result(timeout=5).prediction == 2  # not paused
+        finally:
+            sched.shutdown()
+
+    def test_quiesce_context_manager(self):
+        sched, engine = make_scheduler(max_batch=2, max_wait_ms=0.1)
+        try:
+            with sched.quiesce(timeout=5):
+                sched.submit("m", np.array([1]))
+                time.sleep(0.05)
+                assert engine.batches == []
+            assert sched.drain(timeout=5)
+            assert len(engine.batches) == 1
+        finally:
+            sched.shutdown()
+
+    def test_resume_without_pause_rejected(self):
+        sched, _ = make_scheduler()
+        try:
+            with pytest.raises(RuntimeError):
+                sched.resume()
+        finally:
+            sched.shutdown()
+
+    def test_nested_pause(self):
+        sched, engine = make_scheduler(max_batch=1, max_wait_ms=0.0)
+        try:
+            sched.pause(timeout=5)
+            sched.pause(timeout=5)
+            sched.submit("m", np.array([3]))
+            sched.resume()
+            time.sleep(0.05)
+            assert engine.batches == []  # still paused once
+            sched.resume()
+            assert sched.drain(timeout=5)
+            assert len(engine.batches) == 1
+        finally:
+            sched.shutdown()

@@ -156,3 +156,75 @@ class TestServingCommands:
             main(["submit", str(tmp_path), "m", "--levels", "a,b"]) == 2
         )
         assert "--levels" in capsys.readouterr().err
+
+    def test_reliability_fault_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "reliability",
+                    "--rates",
+                    "0,0.05",
+                    "--trials",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--mitigation",
+                    "spare-rows",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reliability campaign on iris" in out
+        assert "rate=0.05" in out
+
+    def test_reliability_aging_json(self, capsys):
+        assert (
+            main(
+                [
+                    "reliability",
+                    "--ages",
+                    "0,1e4,1e8",
+                    "--drift-rate-mv",
+                    "50",
+                    "--trials",
+                    "2",
+                    "--mitigation",
+                    "refresh",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bench"] == "reliability"
+        assert payload["mitigation"] == "refresh"
+        assert payload["time_to_refresh_s"] == 1e4
+        assert len(payload["curve"]) == 3
+
+    def test_reliability_bad_rates_rejected(self, capsys):
+        assert main(["reliability", "--rates", "0,2.0", "--trials", "1"]) == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_reliability_unparseable_rates_rejected(self, capsys):
+        assert main(["reliability", "--rates", "a,b", "--trials", "1"]) == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_reliability_bad_workers_rejected(self, capsys):
+        assert main(["reliability", "--workers", "0", "--trials", "1"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_reliability_retire_tiles_needs_max_rows(self, capsys):
+        assert (
+            main(
+                [
+                    "reliability",
+                    "--trials",
+                    "1",
+                    "--mitigation",
+                    "retire-tiles",
+                ]
+            )
+            == 2
+        )
+        assert "max_rows" in capsys.readouterr().err
