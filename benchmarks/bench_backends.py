@@ -1,0 +1,224 @@
+"""Cross-technology backend comparison and the CI parity gate.
+
+Two entry points (see BACKENDS.md for measured numbers):
+
+1. **comparison** (default / ``--smoke``) — for every registered
+   backend on at least two datasets: hardware accuracy, batched read
+   throughput (samples/sec at a dense batch), and the technology's own
+   per-inference delay/energy.  Asserts the structural claims the
+   abstraction makes: the ideal backend out-serves the FeFET reference
+   (its read is two exact integer matmuls vs a per-cell current-matrix
+   selection), and the exact backends match the quantised digital
+   argmax bit-for-bit.
+2. **parity** (``--parity``, CI stage 6) — every registered backend
+   trains + infers on iris and round-trips through a
+   :class:`ModelRegistry` pinned to it: registered, re-materialised,
+   and served predictions must equal the direct engine's exactly.
+
+Runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py --smoke
+    PYTHONPATH=src python benchmarks/bench_backends.py --parity
+
+or under pytest-benchmark::
+
+    pytest benchmarks/bench_backends.py --benchmark-only
+"""
+
+import argparse
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import backend_names
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_dataset, train_test_split
+from repro.serving import ModelRegistry
+
+DATASETS = ("iris", "wine")
+BATCH = 256
+REPEATS = 3
+SEED = 0
+
+
+# ------------------------------------------------------------------ comparison
+def measure_backend(name, dataset, batch=BATCH, repeats=REPEATS, seed=SEED):
+    """One (backend, dataset) cell of the comparison table."""
+    data = load_dataset(dataset)
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        data.data, data.target, test_size=0.7, seed=seed
+    )
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=seed, backend=name).fit(X_tr, y_tr)
+    engine = pipe.engine_
+    levels = pipe.transform_levels(X_te)
+    accuracy = engine.score(levels, np.asarray(y_te))
+
+    idx = np.arange(batch) % levels.shape[0]
+    dense = levels[idx]
+    engine.predict(dense[:1])  # warm any read cache
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.predict(dense)
+        best = min(best, time.perf_counter() - start)
+    report = engine.infer_batch(dense)
+    digital_match = bool(
+        np.array_equal(engine.predict(levels), pipe.quantized_model_.predict(levels))
+    )
+    return {
+        "backend": name,
+        "dataset": dataset,
+        "cols": engine.shape[1],
+        "accuracy": float(accuracy),
+        "sps": batch / max(best, 1e-12),
+        "delay_s": float(np.mean(report.delay)),
+        "energy_j": float(np.mean(report.energy.total)),
+        "digital_match": digital_match,
+    }
+
+
+def run_comparison(datasets=DATASETS, batch=BATCH, repeats=REPEATS, seed=SEED):
+    return [
+        measure_backend(name, dataset, batch=batch, repeats=repeats, seed=seed)
+        for dataset in datasets
+        for name in backend_names()
+    ]
+
+
+def format_comparison(rows) -> str:
+    lines = [
+        f"cross-backend comparison (batch {BATCH}, hardware mode)",
+        f"{'dataset':<8s} {'backend':<10s} {'accuracy':>9s} {'sps':>10s} "
+        f"{'delay':>10s} {'energy':>10s}  exact",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<8s} {row['backend']:<10s} "
+            f"{row['accuracy'] * 100:8.2f}% {row['sps']:10.0f} "
+            f"{row['delay_s'] * 1e9:8.1f}ns {row['energy_j'] * 1e15:8.1f}fJ  "
+            f"{'yes' if row['digital_match'] else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+def check_comparison(rows) -> None:
+    by_key = {(r["dataset"], r["backend"]): r for r in rows}
+    datasets = {r["dataset"] for r in rows}
+    # The acceptance claim — the pure-numpy ideal array out-serves the
+    # device-physics reference on the batched read path — is a
+    # wall-clock measurement, so it is asserted on the largest array
+    # swept (wine's 27x209, a ~1.6-1.9x margin): tiny arrays like
+    # iris's 3x64 are per-call-overhead-bound, where the ordering
+    # still holds on average but sits within scheduler noise.
+    gate = max(datasets, key=lambda d: by_key[(d, "fefet")]["cols"])
+    ideal, fefet = by_key[(gate, "ideal")], by_key[(gate, "fefet")]
+    assert ideal["sps"] > fefet["sps"], (
+        f"ideal ({ideal['sps']:.0f} sps) must beat fefet "
+        f"({fefet['sps']:.0f} sps) on {gate}"
+    )
+    for dataset in datasets:
+        # Exact backends reproduce the digital argmax; every backend
+        # stays a usable classifier.
+        assert by_key[(dataset, "ideal")]["digital_match"]
+        assert by_key[(dataset, "cmos")]["digital_match"]
+        for row in rows:
+            if row["dataset"] == dataset:
+                assert row["accuracy"] > 0.70, row
+        # The cost models keep the paper's ordering: in-memory FeFET
+        # beats the CPU reference on both delay and energy.
+        cmos = by_key[(dataset, "cmos")]
+        fefet_row = by_key[(dataset, "fefet")]
+        assert fefet_row["delay_s"] < cmos["delay_s"]
+        assert fefet_row["energy_j"] < cmos["energy_j"]
+
+
+# --------------------------------------------------------------------- parity
+def run_parity(dataset="iris", seed=SEED):
+    """Every backend: train + infer + registry round-trip (CI stage).
+
+    Returns ``{backend: accuracy}``; raises on any parity break.
+    """
+    data = load_dataset(dataset)
+    X_tr, X_te, y_tr, y_te = train_test_split(
+        data.data, data.target, test_size=0.7, seed=seed
+    )
+    out = {}
+    for name in backend_names():
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=seed, backend=name).fit(X_tr, y_tr)
+        levels = pipe.transform_levels(X_te)
+        direct = pipe.engine_.predict(levels)
+        with tempfile.TemporaryDirectory() as tmp:
+            registry = ModelRegistry(tmp, backend=name)
+            version = pipe.register_into(registry, dataset)
+            engine = registry.get_engine(dataset, version, seed=seed)
+            assert engine.backend_name == name
+            served = engine.predict(levels)
+        # A freshly materialised engine on the same backend and seed
+        # must decide like the training-side engine bit-for-bit — the
+        # registry round-trip preserves the technology's entire
+        # stochastic identity (the memristor backend's LFSR streams,
+        # the FeFET variation draw), not just the weights.
+        np.testing.assert_array_equal(served, direct)
+        accuracy = float(np.mean(direct == np.asarray(y_te)))
+        assert accuracy > 0.75, f"{name} accuracy {accuracy}"
+        out[name] = accuracy
+    return out
+
+
+# ------------------------------------------------------------ pytest entries
+def test_backend_parity(once):
+    result = once(run_parity)
+    assert set(result) == set(backend_names())
+
+
+def test_backend_comparison_smoke(once):
+    # Wine, with full repeats: the throughput-ordering gate needs the
+    # larger read-dominated array and stable best-of-N timings.
+    rows = once(run_comparison, datasets=("wine",))
+    check_comparison(rows)
+
+
+@pytest.mark.slow
+def test_backend_comparison_full(once):
+    rows = once(run_comparison)
+    print()
+    print(format_comparison(rows))
+    check_comparison(rows)
+
+
+# ------------------------------------------------------------------- __main__
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--parity",
+        action="store_true",
+        help="run only the train/infer/registry round-trip gate (CI)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single-dataset (wine) comparison with full repeats — the "
+        "throughput-ordering gate needs the larger array and stable "
+        "timings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.parity:
+        result = run_parity()
+        for name, accuracy in sorted(result.items()):
+            print(f"parity [{name:<10s}] train+infer+registry ok, "
+                  f"accuracy {accuracy * 100:.2f}%")
+        print(f"backend parity: {len(result)} backends -> PASS")
+        return 0
+
+    rows = run_comparison(datasets=("wine",)) if args.smoke else run_comparison()
+    print(format_comparison(rows))
+    check_comparison(rows)
+    print("backend comparison gates -> PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

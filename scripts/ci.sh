@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Five stages, strictly ordered so the cheapest failure fires first:
+# Six stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -10,18 +10,21 @@
 #   4. reliability smoke — bench_reliability.py --smoke: small fault and
 #      aging campaigns plus the serving self-heal gate;
 #   5. campaign determinism — bench_reliability.py --determinism: the
-#      workers=1 vs workers=4 bit-identity contract.
+#      workers=1 vs workers=4 bit-identity contract;
+#   6. backend parity — bench_backends.py --parity: every registered
+#      array backend trains + infers on iris and round-trips bit-for-bit
+#      through a registry pinned to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/5: compile-all =="
+echo "== stage 1/6: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/5: tier-1 (pytest -x -q) =="
+echo "== stage 2/6: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/5: --runslow marker check =="
+echo "== stage 3/6: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -38,10 +41,13 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/5: reliability smoke bench =="
+echo "== stage 4/6: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/5: campaign --workers determinism =="
+echo "== stage 5/6: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
+
+echo "== stage 6/6: backend parity smoke =="
+python benchmarks/bench_backends.py --parity
 
 echo "CI gate passed."

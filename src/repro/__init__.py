@@ -17,6 +17,14 @@ Quickstart
 >>> acc = pipe.score(X_te, y_te, mode="hardware")
 """
 
+from repro.backends import (
+    ArrayBackend,
+    Capability,
+    CapabilityError,
+    backend_names,
+    create as create_backend,
+    register_backend,
+)
 from repro.bayes import (
     BayesianNetwork,
     CategoricalNaiveBayes,
@@ -81,6 +89,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # backends
+    "ArrayBackend",
+    "Capability",
+    "CapabilityError",
+    "backend_names",
+    "create_backend",
+    "register_backend",
     # bayes
     "BayesianNetwork",
     "CategoricalNaiveBayes",

@@ -92,6 +92,7 @@ class ThroughputResult:
     rows: int
     cols: int
     points: Tuple[ThroughputPoint, ...]
+    backend: str = "fefet"
 
     def at(self, batch_size: int) -> ThroughputPoint:
         """The sweep point measured at ``batch_size``."""
@@ -119,6 +120,7 @@ def run_throughput(
     q_l: int = 2,
     include_loop: bool = True,
     seed: RngLike = 0,
+    backend: str = "fefet",
 ) -> ThroughputResult:
     """Measure read-path throughput over a batch-size sweep.
 
@@ -133,16 +135,27 @@ def run_throughput(
 
     Predictions of the batched path are checked against the loop on
     every run — a throughput number from a wrong answer is worthless.
+
+    ``backend`` selects the array technology.  The legacy loop
+    baseline re-evaluates FeFET device physics per sample, so its
+    *timing* only exists on the default ``"fefet"`` backend — but the
+    correctness guard stays everywhere: off-fefet, the batched
+    predictions are cross-checked against the engine's own per-sample
+    path (``infer_one``) instead of the loop.
     """
     check_positive_int(repeats, "repeats")
     if not batch_sizes:
         raise ValueError("batch_sizes must be non-empty")
+    fefet_loop = backend == "fefet" and include_loop
+    verify = include_loop
     rng = ensure_rng(seed)
     data = load_dataset(dataset)
     X_tr, X_te, y_tr, _ = train_test_split(
         data.data, data.target, test_size=0.7, seed=rng
     )
-    pipeline = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=rng).fit(X_tr, y_tr)
+    pipeline = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=rng, backend=backend).fit(
+        X_tr, y_tr
+    )
     engine = pipeline.engine_
     # Warm the array's read cache so every timing below is steady-state.
     engine.predict(pipeline.transform_levels(X_te[:1]))
@@ -158,13 +171,24 @@ def run_throughput(
             lambda: engine.infer_batch(levels), batch_size, repeats
         )
         loop_sps = None
-        if include_loop:
+        if fefet_loop:
             loop_sps = _best_rate(
                 lambda: legacy_predict_loop(engine, levels), batch_size, repeats
             )
             np.testing.assert_array_equal(
                 engine.predict(levels), legacy_predict_loop(engine, levels)
             )
+        elif verify:
+            # No loop baseline off-fefet, but the correctness guard
+            # must not silently disappear with it: a throughput number
+            # from a wrong answer is worthless on any backend.  Check
+            # the batched path against the per-sample path (capped —
+            # it is a per-sample Python loop).
+            probe = levels[: min(batch_size, 64)]
+            serial = np.array(
+                [engine.infer_one(sample).prediction for sample in probe]
+            )
+            np.testing.assert_array_equal(engine.predict(probe), serial)
         points.append(
             ThroughputPoint(
                 batch_size=int(batch_size),
@@ -175,7 +199,11 @@ def run_throughput(
         )
     rows, cols = engine.shape
     return ThroughputResult(
-        dataset=dataset, rows=rows, cols=cols, points=tuple(points)
+        dataset=dataset,
+        rows=rows,
+        cols=cols,
+        points=tuple(points),
+        backend=backend,
     )
 
 
@@ -188,6 +216,7 @@ def throughput_to_dict(result: ThroughputResult) -> dict:
     return {
         "bench": "throughput",
         "dataset": result.dataset,
+        "backend": result.backend,
         "rows": result.rows,
         "cols": result.cols,
         "points": [
@@ -207,7 +236,7 @@ def format_throughput(result: ThroughputResult) -> str:
     """Human-readable sweep table (see benchmarks/THROUGHPUT.md)."""
     lines = [
         f"read-path throughput on {result.dataset} "
-        f"({result.rows} x {result.cols} crossbar)",
+        f"({result.rows} x {result.cols} {result.backend} array)",
         f"{'batch':>6s} {'batch sps':>12s} {'report sps':>12s} "
         f"{'loop sps':>12s} {'speedup':>8s}",
     ]

@@ -1,0 +1,66 @@
+"""Hardware backend abstraction: one engine, many array technologies.
+
+The orchestration stack — :class:`~repro.core.engine.FeBiMEngine`,
+:class:`~repro.crossbar.tiling.TiledFeBiM`, the serving registry and
+the reliability machinery — programs and reads arrays exclusively
+through the :class:`ArrayBackend` protocol and constructs them through
+the name registry (:func:`create`).  Four technologies ship in-tree:
+
+========== ===================================================== =====================
+name       what                                                  capabilities
+========== ===================================================== =====================
+fefet      the paper's multi-level FeFET crossbar (reference;    all: faults, drift,
+           full device physics, bit-identical to pre-backend     wear, spare rows,
+           engines)                                              read noise
+ideal      pure-numpy noise-free array (fast serving + campaign  stuck faults
+           control arm)
+cmos       von Neumann software reference with the DRAM-traffic  none
+           cost model
+memristor  stochastic-computing Bayesian machine [16]            stuck faults
+           (bitstream cycles, AND trees, counters)
+========== ===================================================== =====================
+
+Backends a technology does not support a capability declare it via
+:attr:`ArrayBackend.capabilities`; the matching mutation hooks raise
+:class:`CapabilityError` so reliability flows degrade explicitly.  See
+``ARCHITECTURE.md`` for the layer diagram and the "writing a new
+backend" guide.
+"""
+
+from repro.backends.base import (
+    ArrayBackend,
+    Capability,
+    CapabilityError,
+    SimpleBatchEnergy,
+    SimpleEnergy,
+)
+from repro.backends.exact import ExactLevelSumBackend
+from repro.backends.registry import (
+    backend_capabilities,
+    backend_names,
+    create,
+    get_backend_class,
+    register_backend,
+)
+from repro.backends.fefet import FeFETBackend
+from repro.backends.ideal import IdealBackend
+from repro.backends.cmos import CmosBackend
+from repro.backends.memristor import MemristorBackend
+
+__all__ = [
+    "ArrayBackend",
+    "Capability",
+    "CapabilityError",
+    "CmosBackend",
+    "ExactLevelSumBackend",
+    "FeFETBackend",
+    "IdealBackend",
+    "MemristorBackend",
+    "SimpleBatchEnergy",
+    "SimpleEnergy",
+    "backend_capabilities",
+    "backend_names",
+    "create",
+    "get_backend_class",
+    "register_backend",
+]

@@ -1,0 +1,351 @@
+"""The hardware backend protocol: one engine, many arrays.
+
+:class:`ArrayBackend` is the narrow interface the technology-agnostic
+stack (:class:`~repro.core.engine.FeBiMEngine`,
+:class:`~repro.crossbar.tiling.TiledFeBiM`, :mod:`repro.reliability`,
+:mod:`repro.serving`) programs and reads.  It is deliberately the
+*minimal* surface those layers actually consume:
+
+* **programming** — :meth:`ArrayBackend.program` writes a level matrix;
+* **reads** — :meth:`ArrayBackend.wordline_currents` /
+  :meth:`ArrayBackend.wordline_currents_batch` return accumulated
+  per-row currents for column-activation masks (the analog posterior);
+* **cost queries** — :meth:`ArrayBackend.inference_cost_batch` turns a
+  batch of read currents into per-sample delay/energy under the
+  technology's own circuit model;
+* **mutation hooks** — stuck-at faults, retention drift, wear
+  (template swap) and spare-row remapping, each gated by an explicit
+  capability;
+* **coherence** — :attr:`ArrayBackend.state_version` is a monotone
+  counter bumped by every state mutation, so derived read state can be
+  cache-checked instead of guessed at.
+
+Capability honesty
+------------------
+
+Not every technology supports every lifetime mutation: a memristor
+array has no spare FeFET wordlines, a software reference has no analog
+drift.  Instead of crashing deep inside numpy, a backend declares what
+it supports via :attr:`ArrayBackend.capabilities` and every unsupported
+hook raises :class:`CapabilityError` with the backend and capability
+named — the reliability stack checks the set up front and degrades
+explicitly.  The conformance suite
+(``tests/backends/test_conformance.py``) enforces both directions:
+declared capabilities must work, undeclared ones must raise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class Capability:
+    """Names of the optional backend capabilities.
+
+    Plain string constants (not an enum) so external code can register
+    backends with novel capabilities without touching this module.
+    """
+
+    #: Hard stuck-at defects: ``inject_stuck_faults`` and friends.
+    STUCK_FAULTS = "stuck-faults"
+    #: Analog retention drift: ``apply_vth_drift`` / ``clear_vth_drift``
+    #: plus ``polarization_matrix`` (what the drift acts on).
+    VTH_DRIFT = "vth-drift"
+    #: Endurance wear: ``template`` / ``set_template`` device swaps.
+    WEAR = "wear"
+    #: Manufactured spare wordlines: ``remap_row`` / ``spare_rows_free``.
+    SPARE_ROWS = "spare-rows"
+    #: Stochastic per-read noise (the variation model's ``sigma_read``).
+    READ_NOISE = "read-noise"
+
+
+class CapabilityError(RuntimeError):
+    """A mutation hook was called on a backend that does not support it."""
+
+    def __init__(self, backend: str, capability: str, hint: str = ""):
+        self.backend = backend
+        self.capability = capability
+        message = (
+            f"backend {backend!r} does not support capability "
+            f"{capability!r}"
+        )
+        if hint:
+            message += f" ({hint})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class SimpleEnergy:
+    """Scalar total-only energy report for backends without a
+    Fig.-6-style array/sensing split (duck-compatible with
+    :class:`~repro.crossbar.energy.EnergyBreakdown` where only
+    ``total`` is consumed)."""
+
+    total: float
+
+
+@dataclass(frozen=True)
+class SimpleBatchEnergy:
+    """Per-sample total-only energy, mirroring the ``energy.total`` /
+    ``energy.sample(i)`` surface of
+    :class:`~repro.crossbar.energy.BatchEnergyBreakdown`."""
+
+    total: np.ndarray
+
+    def __len__(self) -> int:
+        return self.total.shape[0]
+
+    def sample(self, i: int) -> SimpleEnergy:
+        return SimpleEnergy(total=float(self.total[i]))
+
+
+class ArrayBackend(ABC):
+    """Abstract base of every hardware backend.
+
+    Subclasses set the class attributes ``name`` (the registry key) and
+    ``capabilities`` (a frozenset of :class:`Capability` strings) and
+    implement the abstract read/program/cost surface.  The mutation
+    hooks default to raising :class:`CapabilityError`; a backend that
+    declares a capability must override the matching hooks (the
+    conformance suite checks).
+
+    Constructor convention — every backend accepts the engine's uniform
+    keyword set ``(rows, cols, spec, params, template, variation, seed,
+    spare_rows)`` and documents which arguments it ignores; backends
+    may add technology-specific keywords on top.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: Supported optional capabilities; subclasses override.
+    capabilities: frozenset = frozenset()
+
+    # ------------------------------------------------------------- geometry
+    @property
+    @abstractmethod
+    def rows(self) -> int:
+        """Logical wordline count (classes)."""
+
+    @property
+    @abstractmethod
+    def cols(self) -> int:
+        """Logical bitline count (prior + likelihood columns)."""
+
+    @property
+    @abstractmethod
+    def state_version(self) -> int:
+        """Monotone counter bumped by every state mutation."""
+
+    # ---------------------------------------------------------- programming
+    @abstractmethod
+    def program(self, level_matrix: np.ndarray) -> None:
+        """(Re)program the whole array from a level matrix.
+
+        ``level_matrix`` is integer ``(rows, cols)``; ``-1`` leaves a
+        cell erased.  Reprogramming clears soft state (drift) where the
+        technology has any; hard defects survive.
+        """
+
+    @abstractmethod
+    def programmed_levels(self) -> np.ndarray:
+        """Programmed level per logical cell (-1 = erased; a copy)."""
+
+    # ----------------------------------------------------------------- reads
+    @abstractmethod
+    def wordline_currents(self, active_cols: np.ndarray) -> np.ndarray:
+        """Accumulated per-row read currents for one activation mask.
+
+        ``active_cols`` is a boolean ``(cols,)`` mask; the result has
+        shape ``(rows,)`` (amperes, or the technology's current-unit
+        equivalent — all that matters upstream is that argmax picks the
+        MAP class)."""
+
+    @abstractmethod
+    def wordline_currents_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        """Batch form: ``(n, cols)`` masks to ``(n, rows)`` currents.
+
+        Must be bit-identical to stacking :meth:`wordline_currents`
+        over the mask rows (the conformance suite enforces it)."""
+
+    @abstractmethod
+    def current_matrix(self) -> np.ndarray:
+        """Per-cell read currents with every column activated,
+        shape ``(rows, cols)`` — the state-map / verify read."""
+
+    # ------------------------------------------------------------ cost model
+    @abstractmethod
+    def inference_cost_batch(
+        self, wordline_currents: np.ndarray, n_active_bls: int
+    ) -> Tuple[np.ndarray, object]:
+        """Per-sample ``(delay, energy)`` for a batch of read currents.
+
+        ``wordline_currents`` is the ``(n, rows)`` result of a batched
+        read; ``n_active_bls`` the bitlines activated per inference.
+        Returns a ``(n,)`` delay array (seconds) and an energy object
+        exposing per-sample ``total`` and ``sample(i)`` (either a
+        :class:`~repro.crossbar.energy.BatchEnergyBreakdown` or a
+        :class:`SimpleBatchEnergy`)."""
+
+    # --------------------------------------------------------------- health
+    @abstractmethod
+    def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
+        """Behavioural verify scan: boolean ``(rows, cols)`` map of
+        cells whose read misses their programmed target.  Every backend
+        implements it (a clean technology returns all-False)."""
+
+    # -------------------------------------------------------- capability API
+    def supports(self, capability: str) -> bool:
+        """Whether this backend declares ``capability``."""
+        return capability in self.capabilities
+
+    def _require(self, capability: str, hint: str = "") -> None:
+        if capability not in self.capabilities:
+            raise CapabilityError(self.name, capability, hint)
+
+    # ------------------------------------------------- mutation hooks (gated)
+    def inject_stuck_faults(
+        self,
+        stuck_on: Optional[np.ndarray] = None,
+        stuck_off: Optional[np.ndarray] = None,
+    ) -> None:
+        """Pin cells at hard stuck-at defects (``STUCK_FAULTS``)."""
+        raise CapabilityError(self.name, Capability.STUCK_FAULTS)
+
+    def clear_stuck_faults(self) -> None:
+        raise CapabilityError(self.name, Capability.STUCK_FAULTS)
+
+    def stuck_fault_masks(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Logical ``(stuck_on, stuck_off)`` masks (``STUCK_FAULTS``)."""
+        raise CapabilityError(self.name, Capability.STUCK_FAULTS)
+
+    def stuck_fault_count(self) -> int:
+        raise CapabilityError(self.name, Capability.STUCK_FAULTS)
+
+    def apply_vth_drift(self, delta: np.ndarray) -> None:
+        """Accumulate an aging V_TH shift (``VTH_DRIFT``)."""
+        raise CapabilityError(self.name, Capability.VTH_DRIFT)
+
+    def clear_vth_drift(self) -> None:
+        raise CapabilityError(self.name, Capability.VTH_DRIFT)
+
+    def polarization_matrix(self) -> np.ndarray:
+        """Per-cell switched-domain fraction (``VTH_DRIFT`` — what the
+        retention model's drift is a function of)."""
+        raise CapabilityError(self.name, Capability.VTH_DRIFT)
+
+    @property
+    def template(self):
+        """The shared device physics template (``WEAR``)."""
+        raise CapabilityError(self.name, Capability.WEAR)
+
+    def set_template(self, template) -> None:
+        """Swap the device physics, e.g. an endurance-aged device
+        (``WEAR``)."""
+        raise CapabilityError(self.name, Capability.WEAR)
+
+    @property
+    def spare_rows_free(self) -> int:
+        """Unconsumed manufactured spare rows (``SPARE_ROWS``)."""
+        raise CapabilityError(self.name, Capability.SPARE_ROWS)
+
+    def remap_row(self, row: int) -> int:
+        """Route a faulty logical row onto spare hardware
+        (``SPARE_ROWS``)."""
+        raise CapabilityError(self.name, Capability.SPARE_ROWS)
+
+    # -------------------------------------------------------------- utilities
+    def _check_level_matrix(self, level_matrix: np.ndarray, n_levels: int) -> np.ndarray:
+        """Validate and normalise a level matrix against this geometry."""
+        level_matrix = np.asarray(level_matrix, dtype=int)
+        if level_matrix.shape != (self.rows, self.cols):
+            raise ValueError(
+                f"level matrix must have shape {(self.rows, self.cols)}, "
+                f"got {level_matrix.shape}"
+            )
+        if np.any(level_matrix >= n_levels):
+            raise ValueError("level matrix contains out-of-range levels")
+        return level_matrix
+
+    def _check_mask(self, active_cols: np.ndarray) -> np.ndarray:
+        mask = np.asarray(active_cols)
+        if mask.shape != (self.cols,) or mask.dtype != bool:
+            raise ValueError(
+                f"active_cols must be a boolean ({self.cols},) mask, "
+                f"got {mask.dtype} {mask.shape}"
+            )
+        return mask
+
+    def _check_mask_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        masks = np.asarray(active_cols)
+        if masks.ndim != 2 or masks.shape[1] != self.cols or masks.dtype != bool:
+            raise ValueError(
+                f"active_cols batch must be boolean (n, {self.cols}), "
+                f"got {masks.dtype} {masks.shape}"
+            )
+        return masks
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.rows}x{self.cols}, "
+            f"capabilities={sorted(self.capabilities)})"
+        )
+
+
+class StuckFaultStore:
+    """Mixin implementing the ``stuck-faults`` capability with plain
+    boolean masks.
+
+    For backends whose stuck cells are pure bookkeeping over a
+    ``(rows, cols)`` state (ideal, memristor): owns the two masks,
+    the OR-accumulate/validate semantics and the whole hook quartet.
+    The host class calls :meth:`_init_stuck_masks` in its constructor,
+    consults ``_stuck_on``/``_stuck_off`` when building its read
+    tables (stuck-off wins where both apply), and must provide
+    ``rows``/``cols``/``_bump``.
+    """
+
+    def _init_stuck_masks(self) -> None:
+        self._stuck_on = np.zeros((self.rows, self.cols), dtype=bool)
+        self._stuck_off = np.zeros((self.rows, self.cols), dtype=bool)
+
+    def inject_stuck_faults(
+        self,
+        stuck_on: Optional[np.ndarray] = None,
+        stuck_off: Optional[np.ndarray] = None,
+    ) -> None:
+        # Validate BOTH masks before applying either: a bad second
+        # mask must not leave the first half-planted behind an
+        # un-bumped state version (reads would keep serving the
+        # pristine cache while the fault bookkeeping says otherwise).
+        validated = []
+        for name, mask, target in (
+            ("stuck_on", stuck_on, self._stuck_on),
+            ("stuck_off", stuck_off, self._stuck_off),
+        ):
+            if mask is None:
+                continue
+            mask = np.asarray(mask)
+            if mask.shape != (self.rows, self.cols) or mask.dtype != bool:
+                raise ValueError(
+                    f"{name} mask must be boolean with shape "
+                    f"{(self.rows, self.cols)}, got {mask.dtype} {mask.shape}"
+                )
+            validated.append((mask, target))
+        for mask, target in validated:
+            target |= mask
+        self._bump()
+
+    def clear_stuck_faults(self) -> None:
+        self._stuck_on.fill(False)
+        self._stuck_off.fill(False)
+        self._bump()
+
+    def stuck_fault_masks(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._stuck_on.copy(), self._stuck_off.copy()
+
+    def stuck_fault_count(self) -> int:
+        return int(np.count_nonzero(self._stuck_on | self._stuck_off))

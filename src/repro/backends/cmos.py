@@ -1,0 +1,103 @@
+"""The von Neumann software backend: digital sums, DRAM-traffic costs.
+
+:class:`CmosBackend` reworks the old standalone CPU baseline
+(:mod:`repro.baselines.cmos_reference`) into a conforming
+:class:`~repro.backends.base.ArrayBackend`: the quantised model's
+level matrix lives in ordinary memory, a "read" is the exact integer
+parameter sum per class of
+:class:`~repro.backends.exact.ExactLevelSumBackend`, reported in the
+engine's current-equivalent units so the WTA interface upstream never
+branches on the technology.  Decisions therefore match the quantised
+digital argmax exactly — the point of this backend is its *cost
+model*, not its numerics: delay and energy come from
+:class:`~repro.baselines.cmos_reference.VonNeumannCostModel`, where
+every parameter is a separate memory fetch — the Sec. 1 data-movement
+bottleneck FeBiM exists to remove.
+
+Capabilities: none.  Software memory is assumed ECC-protected — no
+stuck cells, no analog drift, no wear, no spare rows.  Reliability
+campaigns against this backend fail up front with a
+:class:`~repro.backends.base.CapabilityError` instead of silently
+simulating faults a CPU would never see.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import Capability, CapabilityError, SimpleBatchEnergy
+from repro.backends.exact import ExactLevelSumBackend
+from repro.backends.registry import register_backend
+from repro.baselines.cmos_reference import VonNeumannCostModel
+from repro.crossbar.parameters import CircuitParameters
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.utils.rng import RngLike
+
+
+@register_backend
+class CmosBackend(ExactLevelSumBackend):
+    """Digital integer/float64 software reference as a backend.
+
+    ``params``/``template``/``variation``/``seed`` are accepted for
+    constructor uniformity and ignored; ``spare_rows`` must stay 0 (a
+    CPU has no spare wordlines to manufacture).
+
+    Parameters
+    ----------
+    cost_model:
+        Energy/latency accounting per inference; the standard 45 nm
+        figures by default.
+    """
+
+    name = "cmos"
+    capabilities = frozenset()
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[MultiLevelCellSpec] = None,
+        params: Optional[CircuitParameters] = None,
+        template=None,
+        variation=None,
+        seed: RngLike = None,
+        spare_rows: int = 0,
+        cost_model: Optional[VonNeumannCostModel] = None,
+    ):
+        if spare_rows:
+            raise CapabilityError(
+                self.name, Capability.SPARE_ROWS,
+                "construct with spare_rows=0",
+            )
+        super().__init__(rows, cols, spec=spec)
+        self.cost_model = cost_model or VonNeumannCostModel()
+
+    # ------------------------------------------------------------ cost model
+    def inference_cost_batch(
+        self, wordline_currents: np.ndarray, n_active_bls: int
+    ) -> Tuple[np.ndarray, object]:
+        """Per-inference fetch/ALU accounting of the CPU model.
+
+        One DRAM fetch per activated parameter per class: the cost
+        model's ``n_features + 1`` fetch count already includes its
+        prior term, and ``n_active_bls`` already counts the prior
+        column when the layout materialises one — so it is passed as
+        ``n_active_bls - 1`` features to charge exactly
+        ``rows * n_active_bls`` fetches, constant across the batch.
+        Which is exactly the point: data movement, not data, dominates.
+        """
+        n = np.asarray(wordline_currents).shape[0]
+        cost = self.cost_model.inference_cost(
+            self._rows, max(n_active_bls - 1, 1)
+        )
+        return (
+            np.full(n, cost["latency"]),
+            SimpleBatchEnergy(total=np.full(n, cost["energy"])),
+        )
+
+    # --------------------------------------------------------------- health
+    def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
+        """Software memory verifies clean by construction."""
+        return np.zeros((self._rows, self._cols), dtype=bool)

@@ -1,0 +1,111 @@
+"""Shared exact integer level-sum read core.
+
+Both the ideal analog array and the CPU software reference compute the
+*exact* quantised posterior: a read is ``I = sep * (mask . units) +
+i_min * (mask . participation)`` with both dot products accumulated in
+``int64``.  Integer accumulation is order-independent, which buys the
+two contracts the conformance suite enforces for free — the batch path
+is bit-identical to the serial path, and ties in the digital score stay
+exact ties through the affine map (so hardware argmax equals the
+quantised digital argmax, tie-breaks included).
+
+:class:`ExactLevelSumBackend` owns that read path once; subclasses
+supply the per-cell ``(units, participation)`` tables (the ideal array
+overlays stuck faults there), the technology's cost model and its BIST
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import ArrayBackend
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.utils.validation import check_positive_int
+
+
+class LevelStoreBackend(ArrayBackend):
+    """Base owning the plain level-matrix storage.
+
+    For backends whose entire programmed state is the integer level
+    matrix itself (no pulse history, no analog residue): geometry,
+    validated programming, erased-as-``-1`` bookkeeping and the
+    ``state_version`` counter in one place.  Subclasses add the read
+    path and cost model; those with derived read caches override
+    :meth:`_bump` to invalidate them.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[MultiLevelCellSpec] = None,
+    ):
+        self._rows = check_positive_int(rows, "rows")
+        self._cols = check_positive_int(cols, "cols")
+        self.spec = spec or MultiLevelCellSpec()
+        self._levels = np.full((rows, cols), -1, dtype=int)
+        self._version = 0
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def state_version(self) -> int:
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    # ---------------------------------------------------------- programming
+    def program(self, level_matrix: np.ndarray) -> None:
+        self._levels = self._check_level_matrix(
+            level_matrix, self.spec.n_levels
+        ).copy()
+        self._bump()
+
+    def programmed_levels(self) -> np.ndarray:
+        return self._levels.copy()
+
+
+class ExactLevelSumBackend(LevelStoreBackend):
+    """Base for backends whose read is an exact integer level sum."""
+
+    # ----------------------------------------------------------------- reads
+    def _unit_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(units, participation)`` int64 matrices the read sums.
+
+        The base form: a programmed cell at level ``l`` contributes
+        ``i_min + l*sep``, an erased cell nothing.  Subclasses overlay
+        technology state (e.g. stuck faults) here.
+        """
+        units = np.maximum(self._levels, 0).astype(np.int64)
+        part = (self._levels >= 0).astype(np.int64)
+        return units, part
+
+    def _to_current_units(
+        self, unit_dots: np.ndarray, part_dots: np.ndarray
+    ) -> np.ndarray:
+        sep = self.spec.level_separation()
+        return sep * unit_dots.astype(float) + self.spec.i_min * part_dots.astype(float)
+
+    def wordline_currents(self, active_cols: np.ndarray) -> np.ndarray:
+        mask = self._check_mask(active_cols)
+        return self.wordline_currents_batch(mask[None, :])[0]
+
+    def wordline_currents_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        masks = self._check_mask_batch(active_cols).astype(np.int64)
+        units, part = self._unit_tables()
+        return self._to_current_units(masks @ units.T, masks @ part.T)
+
+    def current_matrix(self) -> np.ndarray:
+        units, part = self._unit_tables()
+        return self._to_current_units(units, part)

@@ -1,0 +1,122 @@
+"""The ideal analog backend: noise-free, physics-free, fast.
+
+:class:`IdealBackend` stores the programmed level matrix and serves
+reads straight from the spec's affine level -> current map — no device
+physics, no variation, no leakage.  Two jobs:
+
+* **high-throughput serving** — the batched read collapses to the
+  exact integer matrix products of
+  :class:`~repro.backends.exact.ExactLevelSumBackend`, which beats the
+  FeFET backend's per-cell current-matrix selection;
+* **campaign control arm** — a fault campaign run on ``ideal`` shows
+  the impact of the fault population alone, with every analog
+  non-ideality of the reference backend removed.
+
+Capabilities: stuck-at faults only (a stuck-on cell pins at the top
+level current, stuck-off at zero).  No drift, no wear, no spare rows —
+an aging campaign on this backend fails up front with a
+:class:`~repro.backends.base.CapabilityError` naming the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import (
+    Capability,
+    CapabilityError,
+    SimpleBatchEnergy,
+    StuckFaultStore,
+)
+from repro.backends.exact import ExactLevelSumBackend
+from repro.backends.registry import register_backend
+from repro.crossbar.parameters import CircuitParameters
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.utils.rng import RngLike
+
+
+@register_backend
+class IdealBackend(StuckFaultStore, ExactLevelSumBackend):
+    """Pure-numpy ideal crossbar.
+
+    ``template``/``variation``/``seed`` are accepted for constructor
+    uniformity and ignored (there is nothing stochastic to seed);
+    ``spare_rows`` must stay 0 — the ideal array manufactures no
+    spares.
+    """
+
+    name = "ideal"
+    capabilities = frozenset({Capability.STUCK_FAULTS})
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[MultiLevelCellSpec] = None,
+        params: Optional[CircuitParameters] = None,
+        template=None,
+        variation=None,
+        seed: RngLike = None,
+        spare_rows: int = 0,
+    ):
+        if spare_rows:
+            raise CapabilityError(
+                self.name, Capability.SPARE_ROWS,
+                "construct with spare_rows=0",
+            )
+        super().__init__(rows, cols, spec=spec)
+        self.params = params or CircuitParameters()
+        self._init_stuck_masks()
+        self._cache = None
+
+    def _bump(self) -> None:
+        super()._bump()
+        self._cache = None
+
+    # ----------------------------------------------------------------- reads
+    def _unit_tables(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The base tables with stuck faults pinned (off wins); cached
+        per state version."""
+        if self._cache is None or self._cache[0] != self.state_version:
+            units, part = super()._unit_tables()
+            units[self._stuck_on] = self.spec.n_levels - 1
+            part[self._stuck_on] = 1
+            units[self._stuck_off] = 0
+            part[self._stuck_off] = 0
+            self._cache = (self.state_version, units, part)
+        return self._cache[1], self._cache[2]
+
+    # ------------------------------------------------------------ cost model
+    def inference_cost_batch(
+        self, wordline_currents: np.ndarray, n_active_bls: int
+    ) -> Tuple[np.ndarray, object]:
+        """Geometry-only cost: settle + load, no gap-resolution term.
+
+        An ideal WTA resolves any gap instantly, so delay is the fixed
+        front end plus wire loading; energy is conduction over that
+        window plus the per-row mirror/WTA charge.
+        """
+        currents = np.asarray(wordline_currents, dtype=float)
+        n = currents.shape[0]
+        params = self.params
+        delay = (
+            params.t_base
+            + params.t_per_col * self._cols
+            + params.t_per_row * self._rows
+        )
+        fixed = self._rows * (params.e_mirror_per_row + params.e_wta_per_row)
+        total = fixed + currents.sum(axis=1) * self.spec.v_read * delay
+        return np.full(n, delay), SimpleBatchEnergy(total=total)
+
+    # --------------------------------------------------------------- health
+    def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
+        """Verify read vs programmed target: flags exactly the stuck
+        cells whose pinned current left the tolerance band."""
+        if tolerance is None:
+            tolerance = self.spec.verify_tolerance()
+        expected = self._to_current_units(
+            *ExactLevelSumBackend._unit_tables(self)
+        )
+        return np.abs(self.current_matrix() - expected) > tolerance

@@ -1,0 +1,225 @@
+"""The stochastic-computing memristor backend (Harabi et al. [16]).
+
+:class:`MemristorBackend` reworks the standalone baseline simulator
+(:mod:`repro.baselines.memristor_machine`) into a conforming
+:class:`~repro.backends.base.ArrayBackend`.  The technology computes
+posteriors by *stochastic computing*: stored likelihood bytes are
+compared against per-column LFSR random bytes each clock cycle, AND
+gates multiply the per-column Bernoulli bits, and a counter per class
+accumulates the surviving 1s over ``n_cycles`` cycles — so where FeBiM
+resolves an inference in one read, this backend needs a whole
+bitstream, which its cost model charges for.
+
+Mapping quantised levels to bytes
+---------------------------------
+
+The engine programs *log-domain* levels; the memristor machine stores
+*probabilities*.  The bridge is the exponential of the shared
+quantisation range: level ``l`` of ``L`` maps to the byte
+``round(255 * 10^(-(L-1-l)/(L-1)))`` — one probability decade across
+the level range, matching the quantiser's default truncation depth —
+so AND-products of the stored Bernoullis estimate the same posterior
+ordering the log-sum backends compute exactly.
+
+Determinism contract
+--------------------
+
+The per-column LFSR byte streams are drawn once at construction from
+the backend's seed, and a read is a pure function of (stored bytes,
+mask, streams): the batch path is an exact integer matrix product over
+the precomputed comparison tensor and is bit-identical to the serial
+path; repeated reads of the same sample are bit-stable (what serving
+bit-identity leans on).
+
+Capabilities: stuck-at faults only (a stuck-on cell stores byte 255,
+stuck-off byte 0 — a zero byte on an activated column kills its class,
+the classic hard fault of AND-tree stochastic machines).  No analog
+drift, no template wear, and — the ISSUE's canonical example — no
+spare FeFET wordlines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import (
+    Capability,
+    CapabilityError,
+    SimpleBatchEnergy,
+    StuckFaultStore,
+)
+from repro.backends.exact import LevelStoreBackend
+from repro.backends.registry import register_backend
+from repro.baselines.memristor_machine import LinearFeedbackShiftRegister
+from repro.crossbar.parameters import CircuitParameters
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Near-memory CMOS logic clock (the machine's cycle time).
+T_CLK = 1e-9
+#: Energy of one comparator + AND evaluation (joules).
+E_AND = 0.5e-15
+#: Energy of one counter increment-or-hold per cycle (joules).
+E_COUNTER = 1.0e-15
+
+
+@register_backend
+class MemristorBackend(StuckFaultStore, LevelStoreBackend):
+    """2T2R stochastic-computing Bayesian machine as a backend.
+
+    ``template``/``variation`` are accepted for constructor uniformity
+    and ignored (device physics lives behind the byte abstraction);
+    ``spare_rows`` must stay 0.
+
+    Parameters
+    ----------
+    n_cycles:
+        Bitstream length per inference (1-255 in the published machine;
+        longer = more accurate and slower — the trade-off FeBiM's
+        single-cycle read removes).
+    seed:
+        Seeds the per-column LFSR random sources.
+    """
+
+    name = "memristor"
+    capabilities = frozenset({Capability.STUCK_FAULTS})
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[MultiLevelCellSpec] = None,
+        params: Optional[CircuitParameters] = None,
+        template=None,
+        variation=None,
+        seed: RngLike = None,
+        spare_rows: int = 0,
+        n_cycles: int = 127,
+    ):
+        if spare_rows:
+            raise CapabilityError(
+                self.name, Capability.SPARE_ROWS,
+                "the memristor machine manufactures no spare wordlines; "
+                "construct with spare_rows=0",
+            )
+        super().__init__(rows, cols, spec=spec)
+        self.params = params or CircuitParameters()
+        self.n_cycles = check_positive_int(n_cycles, "n_cycles")
+        if self.n_cycles > 255:
+            raise ValueError("n_cycles must be <= 255 (byte-wide counters)")
+
+        # Per-column LFSR byte streams, drawn once: R[t, c].
+        rng = ensure_rng(seed)
+        lfsr_seeds = rng.integers(1, 2**16, size=cols)
+        self._random_bytes = np.stack(
+            [
+                LinearFeedbackShiftRegister(int(s)).byte_stream(self.n_cycles)
+                for s in lfsr_seeds
+            ],
+            axis=1,
+        ).astype(np.int64)
+
+        # Byte value per quantised level: one decade of probability
+        # across the level range (see module docstring).
+        levels = np.arange(self.spec.n_levels)
+        span = max(self.spec.n_levels - 1, 1)
+        self._level_bytes = np.rint(
+            255.0 * 10.0 ** (-(span - levels) / span)
+        ).astype(np.int64)
+
+        self._init_stuck_masks()
+        self._cache = None
+
+    def _bump(self) -> None:
+        super()._bump()
+        self._cache = None
+
+    # ----------------------------------------------------------------- bytes
+    def _stored_bytes(self) -> np.ndarray:
+        """Effective byte per cell, stuck faults pinned (off wins)."""
+        stored = np.where(
+            self._levels >= 0,
+            self._level_bytes[np.maximum(self._levels, 0)],
+            0,
+        )
+        stored = np.where(self._stuck_on, 255, stored)
+        return np.where(self._stuck_off, 0, stored).astype(np.int64)
+
+    def _fail_rows(self) -> np.ndarray:
+        """``(n_cycles * rows, cols)`` int 0/1: cell bit is 0 at cycle t.
+
+        A class passes cycle ``t`` iff *no* activated column carries a
+        zero bit, so counting failures with one exact integer matmul
+        against the activation masks gives the AND-tree outcome without
+        materialising a per-sample comparison tensor.  Cached per state
+        version.
+        """
+        if self._cache is None or self._cache[0] != self._version:
+            stored = self._stored_bytes()
+            fails = (
+                stored[None, :, :] <= self._random_bytes[:, None, :]
+            ).astype(np.int64)
+            self._cache = (
+                self._version,
+                fails.reshape(self.n_cycles * self._rows, self._cols),
+            )
+        return self._cache[1]
+
+    # ----------------------------------------------------------------- reads
+    def wordline_currents(self, active_cols: np.ndarray) -> np.ndarray:
+        mask = self._check_mask(active_cols)
+        return self.wordline_currents_batch(mask[None, :])[0]
+
+    def wordline_currents_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        masks = self._check_mask_batch(active_cols).astype(np.int64)
+        fails = self._fail_rows() @ masks.T  # (T * rows, n) exact ints
+        passes = (fails == 0).reshape(self.n_cycles, self._rows, -1)
+        counts = passes.sum(axis=0, dtype=np.int64)  # (rows, n)
+        # Counter ratio scaled into the engine's current units.
+        return counts.T.astype(float) / self.n_cycles * self.spec.i_max
+
+    def current_matrix(self) -> np.ndarray:
+        """Stored byte per cell scaled into current units (state map)."""
+        return self._stored_bytes().astype(float) / 255.0 * self.spec.i_max
+
+    # ------------------------------------------------------------ cost model
+    def inference_cost_batch(
+        self, wordline_currents: np.ndarray, n_active_bls: int
+    ) -> Tuple[np.ndarray, object]:
+        """Bitstream accounting: ``n_cycles`` clocks of compare/AND/count.
+
+        Each cycle evaluates one comparator + AND input per activated
+        column per class and one counter update per class — the CMOS
+        calculation circuitry FeBiM's one-cycle analog read does not
+        need.
+        """
+        n = np.asarray(wordline_currents).shape[0]
+        delay = self.n_cycles * T_CLK
+        energy = self.n_cycles * self._rows * (
+            max(n_active_bls, 1) * E_AND + E_COUNTER
+        )
+        return np.full(n, delay), SimpleBatchEnergy(total=np.full(n, energy))
+
+    # --------------------------------------------------------------- health
+    def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
+        """Byte verify against the programmed targets.
+
+        ``tolerance`` follows the protocol's current units and is
+        converted into bytes through the same ``i_max``/255 scale the
+        reads use; the default (``None``) flags any byte deviation —
+        exactly the cells a stuck fault pinned away from their stored
+        value.
+        """
+        expected = np.where(
+            self._levels >= 0,
+            self._level_bytes[np.maximum(self._levels, 0)],
+            0,
+        )
+        byte_tolerance = (
+            0.0 if tolerance is None else tolerance / self.spec.i_max * 255.0
+        )
+        diff = np.abs(self._stored_bytes() - expected)
+        return diff > byte_tolerance

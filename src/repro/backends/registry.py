@@ -1,0 +1,64 @@
+"""Backend registry/factory: ``repro.backends.create("fefet", ...)``.
+
+The registry decouples the orchestration stack from concrete array
+technologies: engines, the model registry, campaigns and the CLI all
+address backends by name, so adding a technology is one
+``@register_backend`` class away (see ``ARCHITECTURE.md`` for the
+"writing a new backend" guide).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.backends.base import ArrayBackend
+
+_BACKENDS: Dict[str, Type[ArrayBackend]] = {}
+
+
+def register_backend(cls: Type[ArrayBackend]) -> Type[ArrayBackend]:
+    """Class decorator registering an :class:`ArrayBackend` by its
+    ``name`` attribute.
+
+    Re-registering a name replaces the previous class (latest wins), so
+    tests and notebooks can shadow a built-in with an instrumented
+    variant.
+    """
+    if not issubclass(cls, ArrayBackend):
+        raise TypeError(f"{cls!r} is not an ArrayBackend subclass")
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty 'name'")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend_class(name: str) -> Type[ArrayBackend]:
+    """The class registered under ``name``; raises with the known names."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(backend_names()) or "<none>"
+        raise ValueError(
+            f"unknown backend {name!r} (registered: {known})"
+        ) from None
+
+
+def backend_capabilities(name: str) -> frozenset:
+    """The capability set a backend declares, without instantiating it."""
+    return frozenset(get_backend_class(name).capabilities)
+
+
+def create(name: str, rows: int, cols: int, **kwargs) -> ArrayBackend:
+    """Instantiate a registered backend.
+
+    ``kwargs`` follow the uniform constructor convention of
+    :class:`~repro.backends.base.ArrayBackend` (``spec``, ``params``,
+    ``template``, ``variation``, ``seed``, ``spare_rows``) plus any
+    technology-specific extras the backend documents.
+    """
+    return get_backend_class(name)(rows=rows, cols=cols, **kwargs)

@@ -10,6 +10,8 @@ Commands
 ``sweep``    Print the Fig. 6 delay/energy scalability sweeps.
 ``bench``    Measure batched read-path throughput (samples/sec sweep
              over batch sizes, vs the per-sample baseline loop).
+             ``--backend`` runs the sweep on any registered array
+             technology (fefet/ideal/cmos/memristor).
 ``serve``    Run a mixed-tenant online serving workload through the
              micro-batching scheduler and report served throughput,
              occupancy and latency against the offline ceiling.
@@ -121,6 +123,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         q_l=args.ql,
         include_loop=not args.no_baseline,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(throughput_to_dict(result), indent=2))
@@ -145,6 +148,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         q_l=args.ql,
         registry_root=args.registry,
         seed=args.seed,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -171,7 +175,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if not levels:
         print("error: --levels needs at least one integer", file=sys.stderr)
         return 2
-    registry = ModelRegistry(args.registry)
+    registry = ModelRegistry(args.registry, backend=args.backend)
     if args.model not in registry:
         known = ", ".join(sorted(registry.list_models())) or "<none>"
         print(
@@ -259,6 +263,8 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
             spare_rows=args.spare_rows,
             max_rows=args.max_rows,
             retention=RetentionModel(drift_rate=args.drift_rate_mv * 1e-3),
+            backend=args.backend,
+            shared_model=args.shared_model,
         )
         result = run_campaign(config, seed=args.seed, workers=args.workers)
     except ValueError as exc:
@@ -303,12 +309,22 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.backends import backend_names
+
     parser = argparse.ArgumentParser(
         prog="febim",
         description="FeBiM: FeFET in-memory Bayesian inference engine "
         "(DAC 2024 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_backend_flag(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--backend",
+            default="fefet",
+            choices=backend_names(),
+            help="array technology to run on (default fefet)",
+        )
 
     train = sub.add_parser("train", help="train, program and score a GNBC")
     train.add_argument("--dataset", default="iris", choices=["iris", "wine", "cancer"])
@@ -352,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the slow per-sample baseline loop",
     )
     bench.add_argument("--seed", type=int, default=0)
+    add_backend_flag(bench)
     bench.add_argument(
         "--json",
         action="store_true",
@@ -380,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--registry", metavar="DIR", help="persist tenants here (default: temp dir)"
     )
     serve.add_argument("--seed", type=int, default=0)
+    add_backend_flag(serve)
     serve.add_argument(
         "--report",
         action="store_true",
@@ -406,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-batch", type=int, default=64)
     submit.add_argument("--max-wait-ms", type=float, default=2.0)
     submit.add_argument("--seed", type=int, default=0)
+    add_backend_flag(submit)
     submit.add_argument("--json", action="store_true", help="emit JSON")
     submit.set_defaults(func=_cmd_submit)
 
@@ -462,6 +481,14 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--qf", type=int, default=4)
     reliability.add_argument("--ql", type=int, default=2)
     reliability.add_argument("--seed", type=int, default=0)
+    add_backend_flag(reliability)
+    reliability.add_argument(
+        "--shared-model",
+        action="store_true",
+        help="train/quantise once per campaign, fresh hardware per "
+        "trial (isolates hardware variance, ~2x faster; default "
+        "retrains per trial for golden compatibility)",
+    )
     reliability.add_argument(
         "--json",
         action="store_true",

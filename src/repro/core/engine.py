@@ -31,6 +31,23 @@ seed (enforced by ``tests/property/test_batch_equivalence.py``):
 :meth:`FeBiMEngine.predict` and :meth:`FeBiMEngine.infer_one` are thin
 wrappers over the same batch core, and per-read noise is drawn once per
 batch in the exact order the per-sample loop would consume it.
+
+Hardware backends
+-----------------
+
+The engine is technology-agnostic: it owns the layout, the sensing
+module and the quantised model, and addresses the array itself only
+through the :class:`~repro.backends.base.ArrayBackend` protocol —
+programming, (batched) wordline reads and the per-technology
+delay/energy cost model all live behind ``self.backend``, constructed
+by name through :func:`repro.backends.create`.  The default
+``"fefet"`` backend wraps the paper's
+:class:`~repro.crossbar.array.FeFETCrossbar` bit-identically (the iris
+goldens pin this); ``"ideal"``, ``"cmos"`` and ``"memristor"`` swap in
+alternative technologies under the same engine, serving and
+reliability stack.  For the FeFET backend, :attr:`FeBiMEngine.crossbar`
+still exposes the underlying array; other backends raise a clear error
+there — address ``engine.backend`` instead.
 """
 
 from __future__ import annotations
@@ -40,13 +57,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.registry import create as create_backend
 from repro.core.mapping import ProbabilityMapper, levels_to_currents
 from repro.core.quantization import QuantizedBayesianModel
-from repro.crossbar.array import FeFETCrossbar
-from repro.crossbar.energy import BatchEnergyBreakdown, EnergyBreakdown, EnergyModel
 from repro.crossbar.parameters import CircuitParameters
 from repro.crossbar.sensing import SensingModule
-from repro.crossbar.timing import DelayModel
 from repro.devices.fefet import FeFET, MultiLevelCellSpec
 from repro.devices.variation import VariationModel
 from repro.utils.rng import RngLike, spawn_rngs
@@ -71,7 +86,7 @@ class InferenceReport:
     prediction: int
     wordline_currents: np.ndarray
     delay: float
-    energy: EnergyBreakdown
+    energy: object  # EnergyBreakdown (fefet) or SimpleEnergy (other backends)
 
 
 @dataclass(frozen=True)
@@ -89,14 +104,18 @@ class BatchInferenceReport:
     delay:
         Worst-case inference latency per sample (seconds).
     energy:
-        Per-sample energy breakdown (:class:`BatchEnergyBreakdown`).
+        Per-sample energy report: a
+        :class:`~repro.crossbar.energy.BatchEnergyBreakdown` from the
+        FeFET backend, a total-only
+        :class:`~repro.backends.base.SimpleBatchEnergy` from the
+        others — both expose ``total`` and ``sample(i)``.
     """
 
     predictions: np.ndarray
     winners: np.ndarray
     wordline_currents: np.ndarray
     delay: np.ndarray
-    energy: BatchEnergyBreakdown
+    energy: object
 
     def __len__(self) -> int:
         return self.predictions.shape[0]
@@ -132,13 +151,22 @@ class FeBiMEngine:
     spare_rows:
         Extra physical wordlines manufactured for spare-row repair
         (:meth:`~repro.crossbar.array.FeFETCrossbar.remap_row`); zero by
-        default, which reproduces the plain engine bit-for-bit.
+        default, which reproduces the plain engine bit-for-bit.  Only
+        valid on backends declaring the ``spare-rows`` capability.
     seed:
         Seed for the stochastic draws.  It is split into independent
         child streams (:func:`~repro.utils.rng.spawn_rngs`) for the
-        crossbar's variation/read-noise draws and the sensing module's
+        backend's variation/read-noise draws and the sensing module's
         mirror-mismatch draw, so the two noise sources are never
         correlated by a shared seed.
+    backend:
+        Array technology, by registry name (``"fefet"`` — the
+        default, bit-identical reference — ``"ideal"``, ``"cmos"``,
+        ``"memristor"``, or any :func:`repro.backends.register_backend`
+        registration).
+    backend_options:
+        Extra keyword arguments forwarded to the backend constructor
+        (e.g. ``{"n_cycles": 255}`` for ``"memristor"``).
     """
 
     def __init__(
@@ -151,39 +179,63 @@ class FeBiMEngine:
         mirror_gain_sigma: float = 0.0,
         spare_rows: int = 0,
         seed: RngLike = None,
+        backend: str = "fefet",
+        backend_options: Optional[dict] = None,
     ):
         self.model = model
         self.spec = spec or MultiLevelCellSpec(n_levels=model.quantizer.n_levels)
         self.params = params or CircuitParameters()
+        self.backend_name = str(backend)
         mapper = ProbabilityMapper(self.spec)
         self.level_matrix, self.layout = mapper.level_matrix(model)
 
-        crossbar_rng, sensing_rng = spawn_rngs(seed, 2)
-        self.crossbar = FeFETCrossbar(
+        # The spawn order predates the backend abstraction: stream 0
+        # feeds the array (the FeFET backend's variation draw happens
+        # inside its constructor, exactly where the crossbar's used
+        # to), stream 1 the sensing module — bit-identical to the
+        # pre-backend engine.
+        backend_rng, sensing_rng = spawn_rngs(seed, 2)
+        self.backend = create_backend(
+            self.backend_name,
             rows=self.layout.total_rows,
             cols=self.layout.total_cols,
             spec=self.spec,
+            params=self.params,
             template=template,
             variation=variation,
-            params=self.params,
-            seed=crossbar_rng,
+            seed=backend_rng,
             spare_rows=spare_rows,
+            **(backend_options or {}),
         )
-        self.crossbar.program_matrix(self.level_matrix)
+        self.backend.program(self.level_matrix)
         self.sensing = SensingModule(
             self.layout.total_rows,
             params=self.params,
             mirror_gain_sigma=mirror_gain_sigma,
             seed=sensing_rng,
         )
-        self.delay_model = DelayModel(self.params)
-        self.energy_model = EnergyModel(self.params)
+
+    @property
+    def crossbar(self):
+        """The underlying :class:`~repro.crossbar.array.FeFETCrossbar`.
+
+        Only the FeFET reference backend has one; technology-agnostic
+        code should address :attr:`backend` instead.
+        """
+        xbar = getattr(self.backend, "crossbar", None)
+        if xbar is None:
+            raise AttributeError(
+                f"backend {self.backend_name!r} has no FeFET crossbar; "
+                f"address engine.backend through the ArrayBackend "
+                f"protocol instead"
+            )
+        return xbar
 
     # ---------------------------------------------------------------- reads
     def wordline_currents(self, evidence_levels: np.ndarray) -> np.ndarray:
         """Measured I_WL for one discretised sample (amperes)."""
         mask = self.layout.active_columns(evidence_levels)
-        return self.crossbar.wordline_currents(mask)
+        return self.backend.wordline_currents(mask)
 
     def ideal_wordline_currents(self, evidence_levels: np.ndarray) -> np.ndarray:
         """Theoretical I_WL from the spec's target currents (Fig. 5a).
@@ -213,7 +265,7 @@ class FeBiMEngine:
         its cached per-cell current matrices.
         """
         masks = self.layout.active_columns_batch(self._batch_levels(evidence_levels))
-        return self.crossbar.wordline_currents_batch(masks)
+        return self.backend.wordline_currents_batch(masks)
 
     def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
         """In-memory MAP predictions for a batch of discretised samples.
@@ -237,31 +289,12 @@ class FeBiMEngine:
         evidence_levels = self._batch_levels(evidence_levels)
         currents = self.read_batch(evidence_levels)
         winners = self.sensing.decide_batch(currents)
-
-        rows, cols = self.crossbar.rows, self.crossbar.cols
-        n = currents.shape[0]
-        separation = self.spec.level_separation()
-        if rows > 1:
-            # Top-two currents per sample; `gap or separation` semantics
-            # of the scalar path (an exact tie falls back to one LSB).
-            top_two = np.partition(currents, rows - 2, axis=1)[:, rows - 2:]
-            gaps = top_two[:, 1] - top_two[:, 0]
-            gaps = np.where(gaps == 0.0, separation, gaps)
-        else:
-            gaps = np.full(n, separation)
-        min_gaps = np.maximum(gaps, 1e-9 * self.spec.i_min)
-        delay = self.delay_model.inference_delay_batch(
-            rows=rows,
-            cols=cols,
-            i_total=np.maximum(currents.sum(axis=1), 1e-12),
-            delta_i=min_gaps,
-        )
-        energy = self.energy_model.inference_energy_batch(
-            rows=rows,
-            cols=cols,
-            n_active_bls=self.layout.activated_per_inference,
-            wordline_currents=currents,
-            delay=delay,
+        # Delay/energy are the technology's own circuit model: the
+        # FeFET backend reproduces the calibrated Fig. 6 models
+        # bit-for-bit, the others charge their own physics (bitstream
+        # cycles, DRAM fetches, ...).
+        delay, energy = self.backend.inference_cost_batch(
+            currents, self.layout.activated_per_inference
         )
         return BatchInferenceReport(
             predictions=self.model.classes[winners],
@@ -302,12 +335,12 @@ class FeBiMEngine:
 
     def measured_state_map(self) -> np.ndarray:
         """Measured I_DS per cell with all columns activated (amperes)."""
-        return self.crossbar.current_matrix()
+        return self.backend.current_matrix()
 
     @property
     def shape(self) -> tuple:
         """(rows, cols) of the programmed array."""
-        return (self.crossbar.rows, self.crossbar.cols)
+        return (self.backend.rows, self.backend.cols)
 
     @property
     def n_features(self) -> int:
@@ -317,6 +350,7 @@ class FeBiMEngine:
     def __repr__(self) -> str:
         rows, cols = self.shape
         return (
-            f"FeBiMEngine({rows}x{cols} crossbar, {self.spec.n_levels} levels, "
+            f"FeBiMEngine({rows}x{cols} {self.backend_name} array, "
+            f"{self.spec.n_levels} levels, "
             f"prior_column={self.layout.include_prior})"
         )

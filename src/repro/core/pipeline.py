@@ -78,6 +78,12 @@ class FeBiMPipeline:
         (forwarded to the engine; see :mod:`repro.reliability`).
     seed:
         Seed for variation draws inside the engine.
+    backend:
+        Array technology the programmed engine runs on (registry name;
+        ``"fefet"`` by default — see :mod:`repro.backends`).
+    backend_options:
+        Extra keyword arguments for the backend constructor (e.g.
+        ``{"n_cycles": 255}`` for ``"memristor"``).
     """
 
     def __init__(
@@ -94,6 +100,8 @@ class FeBiMPipeline:
         verify_programming: bool = False,
         spare_rows: int = 0,
         seed: RngLike = None,
+        backend: str = "fefet",
+        backend_options: Optional[dict] = None,
     ):
         self.q_f = check_positive_int(q_f, "q_f")
         self.q_l = check_positive_int(q_l, "q_l")
@@ -107,6 +115,14 @@ class FeBiMPipeline:
         self.verify_programming = bool(verify_programming)
         self.spare_rows = int(spare_rows)
         self.seed = seed
+        self.backend = str(backend)
+        self.backend_options = dict(backend_options or {})
+        if self.verify_programming and self.backend != "fefet":
+            raise ValueError(
+                "verify_programming runs the FeFET ISPP controller and "
+                f"is only available on the 'fefet' backend, not "
+                f"{self.backend!r}"
+            )
 
     # -------------------------------------------------------------- fitting
     def fit(self, X: np.ndarray, y: np.ndarray) -> "FeBiMPipeline":
@@ -140,6 +156,8 @@ class FeBiMPipeline:
             mirror_gain_sigma=self.mirror_gain_sigma,
             spare_rows=self.spare_rows,
             seed=self.seed,
+            backend=self.backend,
+            backend_options=self.backend_options,
         )
         if self.verify_programming:
             # Replace the open-loop writes with closed-loop ISPP, which
@@ -208,8 +226,21 @@ class FeBiMPipeline:
         and returns the new version number.  ``registry`` is a
         :class:`repro.serving.registry.ModelRegistry` (duck-typed here
         to keep the core free of a serving import).
+
+        Refuses a registry pinned to a *different* backend than this
+        pipeline trained on — the artifact would be stamped with the
+        registry's technology and served on hardware the model was
+        never validated against (the registration-side twin of the
+        registry's load-side mismatch check).
         """
         self._check_fitted()
+        registry_backend = getattr(registry, "backend", None)
+        if registry_backend is not None and registry_backend != self.backend:
+            raise ValueError(
+                f"pipeline was trained on backend {self.backend!r} but the "
+                f"registry serves {registry_backend!r}; open the registry "
+                f"with backend={self.backend!r} or retrain the pipeline"
+            )
         return registry.register(name, self.quantized_model_, self.engine_.spec)
 
     def average_energy(self, X: np.ndarray) -> float:

@@ -579,6 +579,40 @@ class FeFETCrossbar:
             )
         return mask
 
+    # --------------------------------------------------------------- health
+    def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
+        """Behavioural BIST: flag cells whose read misses their target.
+
+        One all-columns-activated verify read from the cached
+        noise-free matrices (a maintenance scan must neither flag
+        phantom faults out of per-read noise nor advance the array's
+        RNG stream), compared against the per-cell expectation: the
+        spec's target current for programmed cells, the erased-state
+        leakage for unprogrammed ones.  Returns a boolean logical
+        ``(rows, cols)`` map of cells outside ``tolerance`` (default
+        40 % of the level separation — wide enough to pass programming
+        residuals and benign drift, tight enough to catch stuck cells
+        and dead lines).
+
+        The single source of truth for the FeFET scan: both
+        :meth:`repro.backends.fefet.FeFETBackend.bist_scan` and
+        :func:`repro.reliability.mitigation.scan_faulty_cells`
+        delegate here.
+        """
+        spec = self.spec
+        if tolerance is None:
+            tolerance = spec.verify_tolerance()
+        measured = self.read_current_matrices()[0]
+        levels = self.programmed_levels()
+        erased_current = float(
+            self.template.idvg.current(self.params.v_on, self.template.vth_high)
+        )
+        expected = np.full(levels.shape, erased_current)
+        programmed = levels >= 0
+        if programmed.any():
+            expected[programmed] = spec.level_currents()[levels[programmed]]
+        return np.abs(measured - expected) > tolerance
+
     # -------------------------------------------------------------- metrics
     def ideal_current_for_level(self, level: int) -> float:
         """The spec's target current for a level (amperes)."""

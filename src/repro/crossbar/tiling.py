@@ -121,6 +121,21 @@ class TiledFeBiM:
         Maximum wordlines per tile (local WTA fan-in limit).
     spec, variation, params, seed:
         Forwarded to every tile's engine.
+    backend:
+        Array technology (registry name) every tile's engine is built
+        on; ``"fefet"`` by default.  Tiles of one hierarchy always
+        share a technology — heterogeneous-tile layouts are the next
+        step this abstraction enables, not yet taken.
+
+    Notes
+    -----
+    Per-tile reads and costs come from the backend, but the *stage-2*
+    resolution is modelled as the paper's analog current-mode WTA
+    (mirrored winner currents, gap-dependent settling): decisions are
+    correct on every backend (argmax is argmax), while the hierarchical
+    delay/energy report is calibrated for the FeFET technology and only
+    approximate elsewhere — a per-backend stage-2 cost model is a
+    ROADMAP follow-up.
     """
 
     def __init__(
@@ -131,12 +146,16 @@ class TiledFeBiM:
         variation: Optional[VariationModel] = None,
         params: Optional[CircuitParameters] = None,
         seed: RngLike = None,
+        backend: str = "fefet",
+        backend_options: Optional[dict] = None,
     ):
         self.max_rows = check_positive_int(max_rows, "max_rows")
         self.model = model
         self.params = params or CircuitParameters()
+        self.backend_name = str(backend)
+        self.backend_options = dict(backend_options or {})
         # Kept for tile retirement: a retired tile is rebuilt with the
-        # same spec/variation configuration on fresh hardware.
+        # same spec/variation/backend configuration on fresh hardware.
         self._spec = spec
         self._variation = variation
         rng = ensure_rng(seed)
@@ -154,6 +173,8 @@ class TiledFeBiM:
                 variation=variation,
                 params=self.params,
                 seed=rng,
+                backend=self.backend_name,
+                backend_options=self.backend_options,
             )
             for rows in self.tile_rows
         ]
@@ -195,6 +216,8 @@ class TiledFeBiM:
             variation=self._variation,
             params=self.params,
             seed=seed,
+            backend=self.backend_name,
+            backend_options=self.backend_options,
         )
         self.tiles[index] = replacement
         return replacement
@@ -263,13 +286,19 @@ class TiledFeBiM:
         # resolve in parallel; stage 2 starts when the slowest finishes.
         if self.n_tiles > 1:
             ordered = np.sort(tile_winner_currents)
-            gap = max(float(ordered[-1] - ordered[-2]), 1e-9 * ordered[-1])
+            # Floors keep the resolution model defined when every
+            # winner current is exactly zero — unreachable on the
+            # FeFET backend (leakage floor; the clamps are no-ops
+            # there, preserving the goldens) but a legitimate degraded
+            # state on exact backends with stuck-off faults, where the
+            # trial must report accuracy, not crash.
+            top = max(float(ordered[-1]), 1e-12)
+            gap = max(float(ordered[-1] - ordered[-2]), 1e-9 * top)
+            total = max(float(tile_winner_currents.sum()), 1e-12)
             stage2_delay = (
                 self.params.t_base / 2.0
                 + self._delay_model.wta_loading(self.n_tiles)
-                + self._delay_model.gap_resolution(
-                    float(tile_winner_currents.sum()), gap
-                )
+                + self._delay_model.gap_resolution(total, gap)
             )
             stage2_energy = self.n_tiles * (
                 self.params.e_mirror_per_row + self.params.e_wta_per_row
@@ -292,4 +321,10 @@ class TiledFeBiM:
 
     def flat_reference(self, seed: RngLike = None) -> FeBiMEngine:
         """A single flat engine over the same model (for comparisons)."""
-        return FeBiMEngine(self.model, params=self.params, seed=seed)
+        return FeBiMEngine(
+            self.model,
+            params=self.params,
+            seed=seed,
+            backend=self.backend_name,
+            backend_options=self.backend_options,
+        )

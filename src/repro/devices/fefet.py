@@ -88,6 +88,17 @@ class MultiLevelCellSpec:
             return 0.0
         return (self.i_max - self.i_min) / (self.n_levels - 1)
 
+    def verify_tolerance(self) -> float:
+        """Default BIST/verify-read tolerance band (amperes).
+
+        40 % of the level separation — wide enough to pass programming
+        residuals and benign drift, tight enough to catch stuck cells
+        and dead lines.  The single source of this policy: every
+        backend's default ``bist_scan`` tolerance derives from here.
+        """
+        sep = self.level_separation()
+        return 0.4 * sep if sep > 0 else 0.1 * self.i_max
+
 
 class FeFET:
     """A single multi-level FeFET storage cell.

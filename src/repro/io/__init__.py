@@ -7,7 +7,10 @@ machine can be programmed onto an engine elsewhere.
 """
 
 from repro.io.serialize import (
+    DEFAULT_BACKEND,
+    artifact_backend,
     engine_manifest,
+    load_artifact,
     load_model,
     model_from_dict,
     model_to_dict,
@@ -15,9 +18,12 @@ from repro.io.serialize import (
 )
 
 __all__ = [
+    "DEFAULT_BACKEND",
+    "artifact_backend",
     "model_to_dict",
     "model_from_dict",
     "save_model",
+    "load_artifact",
     "load_model",
     "engine_manifest",
 ]

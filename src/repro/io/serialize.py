@@ -27,18 +27,34 @@ from repro.devices.fefet import MultiLevelCellSpec
 FORMAT_VERSION = 1
 
 
+#: Backend identifier assumed for artifacts written before the backend
+#: field existed (every pre-backend artifact programmed a FeFET array).
+DEFAULT_BACKEND = "fefet"
+
+
 def model_to_dict(
-    model: QuantizedBayesianModel, spec: MultiLevelCellSpec = None
+    model: QuantizedBayesianModel,
+    spec: MultiLevelCellSpec = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict:
-    """Serialise a quantised model (and optional cell spec) to a dict."""
+    """Serialise a quantised model (and optional cell spec) to a dict.
+
+    ``backend`` records the array technology the artifact was
+    registered for, so a serving registry can refuse to program the
+    wrong array type (see
+    :meth:`repro.serving.registry.ModelRegistry.load`).
+    """
     spec = spec or MultiLevelCellSpec(n_levels=model.quantizer.n_levels)
     if spec.n_levels != model.quantizer.n_levels:
         raise ValueError(
             f"spec has {spec.n_levels} levels but model is quantised to "
             f"{model.quantizer.n_levels}"
         )
+    if not isinstance(backend, str) or not backend:
+        raise ValueError(f"backend must be a non-empty string, got {backend!r}")
     return {
         "format_version": FORMAT_VERSION,
+        "backend": backend,
         "quantizer": {
             "n_levels": model.quantizer.n_levels,
             "clip_decades": (1.0 - model.quantizer.lo) / LOG_DECADE,
@@ -55,6 +71,20 @@ def model_to_dict(
         ),
         "likelihood_levels": [t.tolist() for t in model.likelihood_levels],
     }
+
+
+def artifact_backend(data: dict) -> str:
+    """The backend identifier an artifact dict was registered for.
+
+    Artifacts written before the backend field existed default to
+    :data:`DEFAULT_BACKEND` — they all programmed FeFET arrays.
+    """
+    backend = data.get("backend", DEFAULT_BACKEND)
+    if not isinstance(backend, str) or not backend:
+        raise ValueError(
+            f"model artifact has a malformed backend field: {backend!r}"
+        )
+    return backend
 
 
 def model_from_dict(data: dict) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
@@ -116,6 +146,7 @@ def save_model(
     path: Union[str, Path],
     model: QuantizedBayesianModel,
     spec: MultiLevelCellSpec = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> Path:
     """Write the model artifact as JSON; returns the path.
 
@@ -124,7 +155,7 @@ def save_model(
     hot re-registered — can never observe a half-written artifact.
     """
     path = Path(path)
-    payload = json.dumps(model_to_dict(model, spec), indent=2)
+    payload = json.dumps(model_to_dict(model, spec, backend=backend), indent=2)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -148,6 +179,18 @@ def load_model(path: Union[str, Path]) -> Tuple[QuantizedBayesianModel, MultiLev
         If the file is not valid JSON (e.g. truncated mid-write) or
         fails :func:`model_from_dict` validation.
     """
+    model, spec, _ = load_artifact(path)
+    return model, spec
+
+
+def load_artifact(
+    path: Union[str, Path],
+) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec, str]:
+    """:func:`load_model` plus the artifact's backend identifier.
+
+    Returns ``(model, spec, backend)``; artifacts without the field
+    report :data:`DEFAULT_BACKEND`.
+    """
     path = Path(path)
     try:
         data = json.loads(path.read_text())
@@ -156,15 +199,24 @@ def load_model(path: Union[str, Path]) -> Tuple[QuantizedBayesianModel, MultiLev
             f"model artifact {path} is not valid JSON "
             f"(truncated or corrupt?): {exc}"
         ) from exc
-    return model_from_dict(data)
+    model, spec = model_from_dict(data)
+    return model, spec, artifact_backend(data)
 
 
 def engine_manifest(engine: FeBiMEngine) -> dict:
     """Programming manifest for an engine: geometry, write configs, map.
 
     What a hardware programming controller would consume: per-level
-    pulse counts plus the full level matrix.
+    pulse counts plus the full level matrix.  Pulse-train write
+    configurations are FeFET physics, so the manifest exists only for
+    engines on the ``fefet`` backend.
     """
+    if getattr(engine.backend, "crossbar", None) is None:
+        raise ValueError(
+            f"engine_manifest describes FeFET pulse-train programming and "
+            f"requires the 'fefet' backend, not "
+            f"{engine.backend_name!r}"
+        )
     programmer = engine.crossbar._programmer
     return {
         "rows": engine.crossbar.rows,

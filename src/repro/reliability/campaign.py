@@ -27,12 +27,15 @@ parallel mode.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import Capability, backend_capabilities
+from repro.core.engine import FeBiMEngine
 from repro.core.pipeline import FeBiMPipeline
 from repro.crossbar.tiling import TiledFeBiM
 from repro.datasets import load_dataset
@@ -59,6 +62,17 @@ def trial_seeds(seed: Optional[int], n: int) -> List[int]:
     return [int(child.generate_state(1, np.uint64)[0]) for child in root.spawn(n)]
 
 
+def runs_in_process(workers: int, n_payloads: int) -> bool:
+    """Whether :func:`parallel_map` will dispatch serially in-process.
+
+    The single source of truth for that decision: callers that install
+    process-global state through the initializer (the shared-model
+    campaign path) consult it to know whether the install lands in
+    *their* process and needs in-process locking/cleanup.
+    """
+    return workers <= 1 or n_payloads <= 1
+
+
 def parallel_map(
     fn: Callable,
     payloads: Sequence,
@@ -79,7 +93,7 @@ def parallel_map(
     so ``fn`` sees the same world either way.
     """
     payloads = list(payloads)
-    if workers <= 1 or len(payloads) <= 1:
+    if runs_in_process(workers, len(payloads)):
         if initializer is not None:
             initializer(*initargs)
         return [fn(p) for p in payloads]
@@ -117,7 +131,24 @@ class CampaignPoint:
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """A full campaign: the sweep points plus the shared trial recipe."""
+    """A full campaign: the sweep points plus the shared trial recipe.
+
+    ``backend`` selects the array technology every trial engine is
+    built on.  The configuration is validated against the backend's
+    declared capability set up front: sweeping ages on a backend
+    without analog drift, wear on one without a swappable template, or
+    requesting spare-row repair where no spares exist all fail here
+    with the missing capability named — explicit degradation instead
+    of a crash ten layers down a trial.
+
+    ``shared_model`` switches the trial recipe: instead of an
+    independent split + retrain per trial (the default, which the
+    golden campaign regressions pin), the model is trained and
+    quantised **once per campaign** and every trial programs *fresh
+    hardware* from it — isolating hardware variance (fault draws,
+    variation, repair) from train-split variance, and roughly halving
+    the campaign cost.
+    """
 
     points: Tuple[CampaignPoint, ...]
     dataset: str = "iris"
@@ -130,6 +161,8 @@ class CampaignConfig:
     max_rows: Optional[int] = None
     retention: RetentionModel = field(default_factory=RetentionModel)
     endurance: EnduranceModel = field(default_factory=EnduranceModel)
+    backend: str = "fefet"
+    shared_model: bool = False
 
     def __post_init__(self) -> None:
         if not self.points:
@@ -144,9 +177,31 @@ class CampaignConfig:
             raise ValueError("retire-tiles needs max_rows (a tiled engine)")
         if self.mitigation == "spare-rows" and self.max_rows is not None:
             raise ValueError(
-                "spare-rows repairs a flat engine's crossbar; with "
+                "spare-rows repairs a flat engine's array; with "
                 "max_rows (tiled engines) use retire-tiles instead"
             )
+        self._check_backend_capabilities()
+
+    def _check_backend_capabilities(self) -> None:
+        """Fail fast when the sweep needs what the backend lacks."""
+        caps = backend_capabilities(self.backend)  # validates the name too
+
+        def need(capability: str, why: str) -> None:
+            if capability not in caps:
+                raise ValueError(
+                    f"backend {self.backend!r} does not support capability "
+                    f"{capability!r}, needed for {why}; run this sweep on a "
+                    f"backend that declares it (e.g. 'fefet')"
+                )
+
+        if any(not p.fault.is_null for p in self.points):
+            need(Capability.STUCK_FAULTS, "the fault-injection points")
+        if any(p.age_s > 0 for p in self.points):
+            need(Capability.VTH_DRIFT, "the retention-aging points")
+        if any(p.wear_cycles > 0 for p in self.points):
+            need(Capability.WEAR, "the write-wear points")
+        if self.mitigation == "spare-rows":
+            need(Capability.SPARE_ROWS, "spare-row repair")
 
 
 def fault_rate_points(
@@ -208,37 +263,110 @@ class TrialResult:
     mitigated_crc: int
 
 
-def _run_trial(payload) -> TrialResult:
-    """One campaign trial (module-level: pickled into pool workers).
+#: Shared-model campaign state, installed once per worker process by
+#: :func:`_install_shared_model` (and once in-process on the serial
+#: path) — the trained/quantised model every trial programs fresh
+#: hardware from, plus the fixed evaluation split.  On the serial path
+#: the slot lives in *this* process: :data:`_SHARED_SERIAL_LOCK`
+#: serialises concurrent in-process shared-model campaigns against
+#: each other, and :func:`run_campaign` clears the slot afterwards so
+#: the model/dataset are not retained for the life of the process.
+_SHARED_MODEL = None
+_SHARED_SERIAL_LOCK = threading.Lock()
 
-    The trial recipe is the paper's epoch protocol extended with a
-    lifetime: independent split -> retrain -> program -> measure
-    pristine -> inject faults/wear/age -> measure degraded -> apply the
-    campaign's mitigation -> measure repaired.
+
+def _build_shared_model(config: "CampaignConfig", shared_seed: int):
+    """Train/quantise once per campaign (shared-model mode).
+
+    ``shared_seed`` is a concrete integer resolved once by
+    :func:`run_campaign` in the parent process (the ``SeedSequence``
+    child *after* the trial children, so the per-trial payload seeds
+    are identical to the per-trial-retrain mode's).  Resolving in the
+    parent matters for ``seed=None`` campaigns: every pool worker must
+    install the *same* fresh-entropy model, not one of its own.
     """
-    config, point_idx, trial_idx, seed = payload
-    point = config.points[point_idx]
-    split_rng, engine_rng, fault_rng, repair_rng = spawn_rngs(int(seed), 4)
-
+    split_rng, model_rng = spawn_rngs(int(shared_seed), 2)
     data = load_dataset(config.dataset)
     X_tr, X_te, y_tr, y_te = train_test_split(
         data.data, data.target, test_size=config.test_size, seed=split_rng
     )
-    spare_rows = config.spare_rows if config.mitigation == "spare-rows" else 0
     pipe = FeBiMPipeline(
-        q_f=config.q_f, q_l=config.q_l, spare_rows=spare_rows, seed=engine_rng
+        q_f=config.q_f,
+        q_l=config.q_l,
+        seed=model_rng,
+        backend=config.backend,
     ).fit(X_tr, y_tr)
-    if config.max_rows is not None:
-        engine = TiledFeBiM(
-            pipe.quantized_model_,
-            max_rows=config.max_rows,
-            spec=pipe.engine_.spec,
-            seed=engine_rng,
-        )
+    return (
+        pipe.quantized_model_,
+        pipe.engine_.spec,
+        pipe.transform_levels(X_te),
+        np.asarray(y_te),
+    )
+
+
+def _install_shared_model(config: "CampaignConfig", shared_seed: int) -> None:
+    global _SHARED_MODEL
+    _SHARED_MODEL = _build_shared_model(config, shared_seed)
+
+
+def _run_trial(payload) -> TrialResult:
+    """One campaign trial (module-level: pickled into pool workers).
+
+    The default recipe is the paper's epoch protocol extended with a
+    lifetime: independent split -> retrain -> program -> measure
+    pristine -> inject faults/wear/age -> measure degraded -> apply the
+    campaign's mitigation -> measure repaired.  In ``shared_model``
+    mode the first two steps are hoisted out of the trial: the
+    worker-installed model is programmed onto fresh per-trial hardware
+    and scored on the campaign's fixed test split.
+    """
+    config, point_idx, trial_idx, seed = payload
+    point = config.points[point_idx]
+    spare_rows = config.spare_rows if config.mitigation == "spare-rows" else 0
+
+    # Both recipe modes spawn the same four children — the split
+    # stream goes unused in shared-model mode — so the fault/repair
+    # draws at a given (seed, trial) are identical in both: shared-
+    # model campaigns isolate hardware variance against the *same*
+    # fault populations the per-trial-retrain mode samples.
+    split_rng, engine_rng, fault_rng, repair_rng = spawn_rngs(int(seed), 4)
+    engine = None
+    if config.shared_model:
+        model, spec, levels_te, y_te = _SHARED_MODEL
     else:
-        engine = pipe.engine_
-    levels_te = pipe.transform_levels(X_te)
-    y_te = np.asarray(y_te)
+        data = load_dataset(config.dataset)
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            data.data, data.target, test_size=config.test_size, seed=split_rng
+        )
+        pipe = FeBiMPipeline(
+            q_f=config.q_f,
+            q_l=config.q_l,
+            spare_rows=spare_rows,
+            seed=engine_rng,
+            backend=config.backend,
+        ).fit(X_tr, y_tr)
+        model, spec = pipe.quantized_model_, pipe.engine_.spec
+        levels_te = pipe.transform_levels(X_te)
+        y_te = np.asarray(y_te)
+        if config.max_rows is None:
+            engine = pipe.engine_  # already programmed from engine_rng
+    if engine is None:
+        if config.max_rows is not None:
+            engine = TiledFeBiM(
+                model,
+                max_rows=config.max_rows,
+                spec=spec,
+                seed=engine_rng,
+                backend=config.backend,
+            )
+        else:
+            engine = FeBiMEngine(
+                model,
+                spec=spec,
+                spare_rows=spare_rows,
+                seed=engine_rng,
+                backend=config.backend,
+            )
 
     def accuracy(predictions):
         return float(np.mean(predictions == y_te))
@@ -254,17 +382,17 @@ def _run_trial(payload) -> TrialResult:
     pristine_pred, pristine_signal = measure()
     pristine = accuracy(pristine_pred)
 
-    crossbars = [tile.crossbar for tile in getattr(engine, "tiles", [engine])]
+    arrays = [tile.backend for tile in getattr(engine, "tiles", [engine])]
     faulty_cells = 0
     if not point.fault.is_null:
         faulty_cells = inject_into_engine(engine, point.fault, fault_rng)
     if point.wear_cycles > 0:
-        for xbar in crossbars:
-            WearState(xbar, config.endurance).add_cycles(point.wear_cycles)
+        for array in arrays:
+            WearState(array, config.endurance).add_cycles(point.wear_cycles)
     clocks = []
     if point.age_s > 0:
-        for xbar in crossbars:
-            clock = AgeClock(xbar, config.retention)
+        for array in arrays:
+            clock = AgeClock(array, config.retention)
             clock.advance(point.age_s)
             clocks.append(clock)
 
@@ -390,6 +518,8 @@ class CampaignResult:
         return {
             "bench": "reliability",
             "dataset": self.config.dataset,
+            "backend": self.config.backend,
+            "shared_model": self.config.shared_model,
             "trials": self.config.trials,
             "mitigation": self.config.mitigation,
             "seed": self.seed,
@@ -408,16 +538,54 @@ def run_campaign(
     ``workers=1`` runs serially in-process; ``workers>1`` fans the same
     payloads over a ``multiprocessing`` pool.  Both orderings and all
     trial streams are fixed up-front, so the two are bit-identical.
+
+    In ``shared_model`` mode the once-per-campaign training runs in the
+    pool initializer (once per worker, from a dedicated stream), so the
+    bit-identity contract holds there too — every worker derives the
+    identical model.
     """
     check_positive_int(workers, "workers")
     n_points = len(config.points)
-    seeds = trial_seeds(seed, n_points * config.trials)
+    n_trials = n_points * config.trials
+    # One SeedSequence root for everything: children 0..n-1 seed the
+    # trials (identical in both recipe modes — spawn children are
+    # index-stable), child n seeds the shared-model training.  The
+    # shared seed is resolved HERE, in the parent: with seed=None each
+    # worker would otherwise draw its own entropy and install a
+    # different model, silently breaking the bit-identity contract.
+    seeds = trial_seeds(seed, n_trials + 1 if config.shared_model else n_trials)
     payloads = [
         (config, p, t, seeds[p * config.trials + t])
         for p in range(n_points)
         for t in range(config.trials)
     ]
-    results = parallel_map(_run_trial, payloads, workers)
+
+    def _map():
+        initializer = initargs = None
+        if config.shared_model:
+            initializer, initargs = _install_shared_model, (config, seeds[n_trials])
+        return parallel_map(
+            _run_trial,
+            payloads,
+            workers,
+            initializer=initializer,
+            initargs=initargs or (),
+        )
+
+    if config.shared_model and runs_in_process(workers, len(payloads)):
+        # parallel_map runs these in-process, installing the shared
+        # model into *this* process's slot: hold the lock so
+        # concurrent in-process campaigns cannot clobber each other
+        # mid-run, and clear the slot afterwards so the model/dataset
+        # are not pinned in memory for the life of the process.
+        global _SHARED_MODEL
+        with _SHARED_SERIAL_LOCK:
+            try:
+                results = _map()
+            finally:
+                _SHARED_MODEL = None
+    else:
+        results = _map()
     return CampaignResult(
         config=config, seed=seed, workers=workers, results=tuple(results)
     )
@@ -426,9 +594,11 @@ def run_campaign(
 def format_campaign(result: CampaignResult) -> str:
     """Human-readable campaign table (``febim reliability``)."""
     lines = [
-        f"reliability campaign on {result.config.dataset}: "
+        f"reliability campaign on {result.config.dataset} "
+        f"[{result.config.backend}]: "
         f"{len(result.config.points)} points x {result.config.trials} trials, "
-        f"mitigation={result.config.mitigation}, workers={result.workers}",
+        f"mitigation={result.config.mitigation}, workers={result.workers}"
+        + (", shared model" if result.config.shared_model else ""),
         "condition        faults  pristine  degraded   (min)   mitigated  "
         "recovered  signal",
     ]

@@ -1,14 +1,20 @@
-"""Fault and aging models over a programmed crossbar.
+"""Fault and aging models over a programmed array backend.
 
 The device layer has carried retention (:class:`RetentionModel`) and
 endurance (:class:`EnduranceModel`) physics since the seed without any
 system-level consumer.  This module turns them — plus hard stuck-at
 defects — into injectable lifetime state, driven entirely through the
-crossbar's mutation API (:meth:`~repro.crossbar.array.FeFETCrossbar.
-inject_stuck_faults` / :meth:`~repro.crossbar.array.FeFETCrossbar.
-apply_vth_drift` / :meth:`~repro.crossbar.array.FeFETCrossbar.
+backend mutation API (:meth:`~repro.backends.base.ArrayBackend.
+inject_stuck_faults` / :meth:`~repro.backends.base.ArrayBackend.
+apply_vth_drift` / :meth:`~repro.backends.base.ArrayBackend.
 set_template`), so every read after an injection goes through a
-correctly invalidated read-matrix cache.
+correctly invalidated read cache.  The injectors are duck-typed over
+that surface: they accept an :class:`~repro.backends.base.ArrayBackend`
+or a raw :class:`~repro.crossbar.array.FeFETCrossbar` (which predates
+the protocol and exposes the same methods).  A backend that does not
+support a mutation raises
+:class:`~repro.backends.base.CapabilityError` naming the gap —
+reliability degrades explicitly, never silently.
 
 Fault taxonomy
 --------------
@@ -38,7 +44,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.crossbar.array import FeFETCrossbar
 from repro.devices.endurance import EnduranceModel
 from repro.devices.retention import RetentionModel
 from repro.utils.rng import RngLike, ensure_rng
@@ -129,7 +134,11 @@ class FaultReport:
 
 
 class FaultInjector:
-    """Samples a :class:`FaultSpec` and plants it into one crossbar.
+    """Samples a :class:`FaultSpec` and plants it into one array.
+
+    ``crossbar`` is any object with the stuck-fault mutation surface —
+    an :class:`~repro.backends.base.ArrayBackend` or a raw
+    :class:`~repro.crossbar.array.FeFETCrossbar`.
 
     The draw order is fixed (stuck-on cells, stuck-off cells, dead
     rows, dead columns), so a given ``(spec, rng state)`` always plants
@@ -137,7 +146,7 @@ class FaultInjector:
     ``workers=1`` vs ``workers=N`` bit-identity rests on.
     """
 
-    def __init__(self, crossbar: FeFETCrossbar, seed: RngLike = None):
+    def __init__(self, crossbar, seed: RngLike = None):
         self.crossbar = crossbar
         self._rng = ensure_rng(seed)
 
@@ -215,12 +224,12 @@ def inject_into_engine(engine, spec: FaultSpec, seed: RngLike = None) -> int:
     rng = ensure_rng(seed)
     tiles = getattr(engine, "tiles", None)
     if tiles is None:
-        FaultInjector(engine.crossbar, rng).inject(spec)
-        return engine.crossbar.stuck_fault_count()
+        FaultInjector(engine.backend, rng).inject(spec)
+        return engine.backend.stuck_fault_count()
     cell_spec = FaultSpec(
         stuck_on_rate=spec.stuck_on_rate, stuck_off_rate=spec.stuck_off_rate
     )
-    injectors = [FaultInjector(tile.crossbar, rng) for tile in tiles]
+    injectors = [FaultInjector(tile.backend, rng) for tile in tiles]
     if not cell_spec.is_null:
         for injector in injectors:
             injector.inject(cell_spec)
@@ -237,7 +246,7 @@ def inject_into_engine(engine, spec: FaultSpec, seed: RngLike = None) -> int:
                     break
     if spec.dead_cols > 0:
         n_tiles = len(tiles)
-        cols = tiles[0].crossbar.cols
+        cols = tiles[0].backend.cols
         drivers = n_tiles * cols
         chosen = rng.choice(
             drivers, size=min(spec.dead_cols, drivers), replace=False
@@ -245,7 +254,7 @@ def inject_into_engine(engine, spec: FaultSpec, seed: RngLike = None) -> int:
         for driver in sorted(int(d) for d in chosen):
             t, col = divmod(driver, cols)
             injectors[t].inject_dead_column(col, mode=spec.dead_col_mode)
-    return sum(tile.crossbar.stuck_fault_count() for tile in tiles)
+    return sum(tile.backend.stuck_fault_count() for tile in tiles)
 
 
 class AgeClock:
@@ -259,10 +268,16 @@ class AgeClock:
     jump (the retention model is a pure function of total age).  The
     clock only moves forward; a refresh (reprogram) clears the array's
     drift, after which :meth:`reset` restarts the bake.
+
+    ``crossbar`` is any object with the drift surface
+    (``polarization_matrix`` / ``apply_vth_drift``) — a backend
+    declaring the ``vth-drift`` capability or a raw FeFET crossbar;
+    others raise :class:`~repro.backends.base.CapabilityError` on the
+    first :meth:`advance`.
     """
 
     def __init__(
-        self, crossbar: FeFETCrossbar, retention: Optional[RetentionModel] = None
+        self, crossbar, retention: Optional[RetentionModel] = None
     ):
         self.crossbar = crossbar
         self.retention = retention or RetentionModel()
@@ -292,10 +307,16 @@ class WearState:
     Remembers the pristine template so repeated :meth:`add_cycles`
     calls age from the true origin (the endurance model maps *total*
     cycles to a window factor, not increments).
+
+    ``crossbar`` is any object with the wear surface (``template`` /
+    ``set_template``) — a backend declaring the ``wear`` capability or
+    a raw FeFET crossbar; others raise
+    :class:`~repro.backends.base.CapabilityError` at construction
+    (reading the pristine template).
     """
 
     def __init__(
-        self, crossbar: FeFETCrossbar, endurance: Optional[EnduranceModel] = None
+        self, crossbar, endurance: Optional[EnduranceModel] = None
     ):
         self.crossbar = crossbar
         self.endurance = endurance or EnduranceModel()

@@ -31,8 +31,6 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.mapping import levels_to_currents
-from repro.crossbar.array import FeFETCrossbar
 from repro.utils.rng import RngLike, spawn_rngs
 
 #: Strategy names accepted by :func:`apply_mitigation`.
@@ -40,46 +38,23 @@ MITIGATIONS = ("none", "refresh", "spare-rows", "retire-tiles")
 
 
 def scan_faulty_cells(
-    crossbar: FeFETCrossbar, tolerance: Optional[float] = None
+    crossbar, tolerance: Optional[float] = None
 ) -> np.ndarray:
     """Behavioural BIST: flag cells whose read current misses its target.
 
-    One all-columns-activated verify read (the noise-free maintenance
-    read a controller schedules between traffic) against the per-cell
-    expectation: the spec's target current for programmed cells, the
-    erased-state leakage for unprogrammed ones.  Returns a boolean
-    logical ``(rows, cols)`` map of cells outside ``tolerance``
-    (default 40 % of the level separation — wide enough to pass
-    programming residuals and benign drift, tight enough to catch
-    stuck cells and dead lines).
-
-    The measurement comes from the cached noise-free read matrices,
-    *not* a live ``current_matrix()`` read: a maintenance scan must
-    neither flag phantom faults out of per-read noise (at a realistic
-    ``sigma_read`` every row would fail a noisy compare) nor advance
-    the array's RNG stream and silently shift subsequent served reads.
+    Thin dispatcher: ``crossbar`` is anything with a ``bist_scan`` —
+    an :class:`~repro.backends.base.ArrayBackend` (each technology
+    knows its own expected read) or a raw
+    :class:`~repro.crossbar.array.FeFETCrossbar` (whose
+    :meth:`~repro.crossbar.array.FeFETCrossbar.bist_scan` holds the
+    FeFET verify-read logic).  Returns a boolean logical ``(rows,
+    cols)`` map of cells outside the scan tolerance.
     """
-    spec = crossbar.spec
-    if tolerance is None:
-        sep = spec.level_separation()
-        tolerance = 0.4 * sep if sep > 0 else 0.1 * spec.i_max
-    # I_on with every column activated == the all-on verify read.
-    measured = crossbar.read_current_matrices()[0]
-    levels = crossbar.programmed_levels()
-    erased_current = float(
-        crossbar.template.idvg.current(
-            crossbar.params.v_on, crossbar.template.vth_high
-        )
-    )
-    expected = np.full(levels.shape, erased_current)
-    programmed = levels >= 0
-    if programmed.any():
-        expected[programmed] = levels_to_currents(levels[programmed], spec)
-    return np.abs(measured - expected) > tolerance
+    return crossbar.bist_scan(tolerance)
 
 
 def faulty_rows(
-    crossbar: FeFETCrossbar, tolerance: Optional[float] = None
+    crossbar, tolerance: Optional[float] = None
 ) -> np.ndarray:
     """Logical row indices with at least one BIST-flagged cell."""
     return np.flatnonzero(scan_faulty_cells(crossbar, tolerance).any(axis=1))
@@ -90,14 +65,16 @@ def refresh_engine(engine, age_clock=None) -> int:
 
     Works on flat :class:`~repro.core.engine.FeBiMEngine` and tiled
     :class:`~repro.crossbar.tiling.TiledFeBiM` engines (each tile is
-    reprogrammed).  Clears retention drift and write disturb through
-    the block erase; stuck-at defects survive.  Resets ``age_clock``
-    (or each clock of an iterable) when given.  Returns the number of
-    arrays reprogrammed.
+    reprogrammed).  Works on every backend — a reprogram is the one
+    mutation the :class:`~repro.backends.base.ArrayBackend` protocol
+    makes mandatory.  Clears retention drift and write disturb through
+    the block erase (where the technology has any); stuck-at defects
+    survive.  Resets ``age_clock`` (or each clock of an iterable) when
+    given.  Returns the number of arrays reprogrammed.
     """
     refreshed = 0
     for tile in getattr(engine, "tiles", [engine]):
-        tile.crossbar.program_matrix(tile.level_matrix)
+        tile.backend.program(tile.level_matrix)
         refreshed += 1
     if age_clock is not None:
         clocks = age_clock if isinstance(age_clock, (list, tuple)) else [age_clock]
@@ -117,9 +94,12 @@ def spare_row_repair(
     leaves one stuck-on row unmatched can be worse than none — the
     surviving defects no longer cancel across competing wordlines.
     Repairs stop silently when the pool runs dry; the caller sees which
-    rows made it and can escalate for the rest.
+    rows made it and can escalate for the rest.  Requires a backend
+    with the ``spare-rows`` capability (the FeFET reference); others
+    raise :class:`~repro.backends.base.CapabilityError` — use refresh
+    or tile retirement there instead.
     """
-    xbar = engine.crossbar
+    xbar = engine.backend
     if rows is None:
         flagged = scan_faulty_cells(xbar, tolerance).sum(axis=1)
         rows = np.flatnonzero(flagged)
@@ -146,7 +126,7 @@ def retire_faulty_tiles(
     seeds = spawn_rngs(seed, tiled.n_tiles)
     retired: List[int] = []
     for index, tile in enumerate(tiled.tiles):
-        if scan_faulty_cells(tile.crossbar, tolerance).any():
+        if scan_faulty_cells(tile.backend, tolerance).any():
             tiled.retire_tile(index, seed=seeds[index])
             retired.append(index)
     return retired

@@ -11,10 +11,18 @@ two:
   pending requests per model into batched crossbar reads under a
   ``max_batch`` / ``max_wait_ms`` policy, resolving per-request futures;
 * :class:`FeBiMServer` — the multi-tenant front end: routing,
-  independent per-model RNG streams, telemetry and graceful drain;
+  independent per-model RNG streams, telemetry, graceful drain, and
+  scheduled background health sweeps
+  (:meth:`~repro.serving.server.FeBiMServer.enable_maintenance` /
+  :class:`MaintenanceThread`);
 * :class:`HealthMonitor` — canary health checks over the served
   engines with an automatic refresh -> replace repair ladder (the
   serving face of :mod:`repro.reliability`).
+
+The registry is pinned to an array technology
+(:mod:`repro.backends`): artifacts embed the backend identifier and a
+load refuses a mismatch, so a model quantised for one array type can
+never be silently programmed onto another.
 
 See ``benchmarks/SERVING.md`` for the policy knobs and measured
 served-vs-offline throughput, ``benchmarks/RELIABILITY.md`` for the
@@ -30,7 +38,7 @@ from repro.serving.scheduler import (
     SchedulerClosed,
     ServedResult,
 )
-from repro.serving.server import FeBiMServer, model_stream_seed
+from repro.serving.server import FeBiMServer, MaintenanceThread, model_stream_seed
 from repro.serving.telemetry import Telemetry, TelemetrySnapshot
 
 __all__ = [
@@ -38,6 +46,7 @@ __all__ = [
     "FeBiMServer",
     "HealthMonitor",
     "HealthReport",
+    "MaintenanceThread",
     "MicroBatchScheduler",
     "ModelRegistry",
     "SchedulerClosed",

@@ -22,13 +22,14 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.backends.registry import get_backend_class
 from repro.core.engine import FeBiMEngine
 from repro.core.quantization import QuantizedBayesianModel
 from repro.crossbar.parameters import CircuitParameters
 from repro.crossbar.tiling import TiledFeBiM
 from repro.devices.fefet import MultiLevelCellSpec
 from repro.devices.variation import VariationModel
-from repro.io.serialize import load_model, save_model
+from repro.io.serialize import DEFAULT_BACKEND, load_artifact, save_model
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive_int
 
@@ -58,6 +59,21 @@ class ModelRegistry:
         Maximum number of programmed engines kept alive at once.  The
         cache evicts least-recently-used; an evicted engine is simply
         re-programmed on the next request for it.
+    backend:
+        The array technology this registry serves (a
+        :mod:`repro.backends` registry name; ``"fefet"`` by default).
+        Every registration stamps the artifact with it, and
+        :meth:`load` *rejects* an artifact registered for a different
+        backend instead of silently programming the wrong array type.
+        Artifacts written before the field existed count as
+        ``"fefet"``.
+    backend_options:
+        Extra backend constructor arguments applied to every engine
+        this registry materialises (e.g. ``{"n_cycles": 255}`` for a
+        memristor registry).  Part of the registry's serving
+        configuration, like ``backend`` itself: models validated on a
+        non-default configuration must be served by a registry opened
+        with the same options.
 
     Notes
     -----
@@ -70,13 +86,20 @@ class ModelRegistry:
     """
 
     def __init__(
-        self, root: Union[str, Path], engine_cache_size: int = 8
+        self,
+        root: Union[str, Path],
+        engine_cache_size: int = 8,
+        backend: str = DEFAULT_BACKEND,
+        backend_options: Optional[dict] = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.engine_cache_size = check_positive_int(
             engine_cache_size, "engine_cache_size"
         )
+        get_backend_class(backend)  # fail fast on unknown names
+        self.backend = str(backend)
+        self.backend_options = dict(backend_options or {})
         self._lock = threading.RLock()
         self._engines: "OrderedDict[tuple, object]" = OrderedDict()
         # latest-version cache: version=None resolution sits on the
@@ -108,7 +131,12 @@ class ModelRegistry:
             directory = self._model_dir(name)
             directory.mkdir(parents=True, exist_ok=True)
             version = (self.versions(name)[-1] + 1) if self.versions(name) else 1
-            save_model(directory / f"v{version:04d}.json", model, spec)
+            save_model(
+                directory / f"v{version:04d}.json",
+                model,
+                spec,
+                backend=self.backend,
+            )
             self._invalidate_locked(name)
             self._latest[name] = version
         return version
@@ -154,12 +182,29 @@ class ModelRegistry:
     def load(
         self, name: str, version: Optional[int] = None
     ) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
-        """Load ``(model, spec)`` for a version (latest by default)."""
+        """Load ``(model, spec)`` for a version (latest by default).
+
+        Raises
+        ------
+        ValueError
+            If the artifact was registered for a different backend than
+            this registry serves — programming a model quantised for
+            one array technology onto another must be an explicit
+            decision, never an accident of sharing a directory.
+        """
         version = self.resolve_version(name, version)
         path = self._model_dir(name) / f"v{version:04d}.json"
         if not path.is_file():
             raise KeyError(f"model {name!r} has no version {version}")
-        return load_model(path)
+        model, spec, backend = load_artifact(path)
+        if backend != self.backend:
+            raise ValueError(
+                f"model {name!r} v{version} was registered for backend "
+                f"{backend!r} but this registry serves {self.backend!r}; "
+                f"open the registry with backend={backend!r} or "
+                f"re-register the model"
+            )
+        return model, spec
 
     def unregister(self, name: str) -> None:
         """Delete every version of ``name`` and its cached engines."""
@@ -224,6 +269,8 @@ class ModelRegistry:
                 params=params,
                 mirror_gain_sigma=mirror_gain_sigma,
                 seed=seed,
+                backend=self.backend,
+                backend_options=self.backend_options,
             )
         else:
             engine = TiledFeBiM(
@@ -233,6 +280,8 @@ class ModelRegistry:
                 variation=variation,
                 params=params,
                 seed=seed,
+                backend=self.backend,
+                backend_options=self.backend_options,
             )
         if cacheable:
             with self._lock:
@@ -269,7 +318,7 @@ class ModelRegistry:
 
     def __repr__(self) -> str:
         return (
-            f"ModelRegistry({str(self.root)!r}, "
+            f"ModelRegistry({str(self.root)!r}, backend={self.backend!r}, "
             f"{len(self.list_models())} models, "
             f"{len(self._engines)}/{self.engine_cache_size} engines cached)"
         )

@@ -19,6 +19,7 @@ tenants get statistically independent streams.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from concurrent.futures import Future
 from typing import Dict, Hashable, List, NamedTuple, Optional, Union
@@ -46,6 +47,75 @@ def model_stream_seed(base_seed: Optional[int], name: str, version: int) -> Opti
         return None
     entropy = (int(base_seed), zlib.crc32(name.encode("utf-8")), int(version))
     return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+class MaintenanceThread:
+    """Scheduled background health sweeps over a server's engines.
+
+    The primary health path: instead of callers remembering to invoke
+    :meth:`~repro.serving.health.HealthMonitor.check`, the server runs
+    ``monitor.check_all()`` every ``period_s`` seconds on a daemon
+    thread.  Each sweep quiesces the scheduler only if it heals (the
+    monitor's own ladder), so healthy sweeps never stall traffic.
+
+    Shutdown is drain-safe: :meth:`stop` wakes the sleeper, waits out
+    any in-progress sweep and joins the thread *before* the server
+    drains its scheduler, so a sweep can never race a closing queue.
+    Tenants are checked individually: a check that raises (e.g. its
+    model was unregistered mid-sweep) is counted in ``sweep_errors``
+    and the sweep moves on — one bad tenant must not starve health
+    checks for the rest.
+    """
+
+    def __init__(self, monitor, period_s: float, telemetry=None):
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        self.monitor = monitor
+        self.period_s = float(period_s)
+        self.telemetry = telemetry
+        self.sweep_errors = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="febim-maintenance", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def running(self) -> bool:
+        return self._thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.period_s):
+            try:
+                # Per-tenant isolation (not monitor.check_all(), which
+                # aborts on the first raising tenant): a canary set
+                # whose model vanished must not shadow the tenants
+                # after it.  installed() snapshots the canary dict, but
+                # it (and telemetry) runs outside the per-tenant guard,
+                # so the loop wraps the whole sweep too — e.g. an
+                # install() racing the snapshot must degrade to one
+                # missed sweep, never kill the thread.
+                for name, version in self.monitor.installed():
+                    if self._stop.is_set():
+                        break
+                    try:
+                        self.monitor.check(name, version)
+                    except Exception:  # noqa: BLE001 — survive bad tenants
+                        self.sweep_errors += 1
+                if self.telemetry is not None:
+                    self.telemetry.record_maintenance_sweep()
+            except Exception:  # noqa: BLE001 — maintenance must survive
+                self.sweep_errors += 1
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Stop sweeping and join the thread; idempotent.
+
+        Returns ``True`` once the thread has exited; ``False`` when
+        ``timeout`` expired with a sweep still in progress (the stop
+        flag stays set, so the thread exits after that sweep)."""
+        self._stop.set()
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
 
 
 class RouteKey(NamedTuple):
@@ -76,6 +146,13 @@ class FeBiMServer:
         When given, engines materialise as hierarchical
         :class:`~repro.crossbar.tiling.TiledFeBiM` with this local-WTA
         fan-in limit; flat engines otherwise.
+    maintenance_period_s:
+        When given, start a background :class:`MaintenanceThread`
+        immediately: a default auto-healing
+        :class:`~repro.serving.health.HealthMonitor` sweeps every
+        installed canary set on this period.  Install canaries through
+        :attr:`monitor`; :meth:`enable_maintenance` configures a custom
+        monitor instead.
 
     Use as a context manager for guaranteed graceful shutdown::
 
@@ -90,6 +167,7 @@ class FeBiMServer:
         policy: Optional[BatchPolicy] = None,
         seed: Optional[int] = None,
         max_rows: Optional[int] = None,
+        maintenance_period_s: Optional[float] = None,
     ):
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
@@ -101,6 +179,10 @@ class FeBiMServer:
         self.scheduler = MicroBatchScheduler(
             self._resolve, policy=self.policy, telemetry=self.telemetry
         )
+        self.monitor = None
+        self.maintenance: Optional[MaintenanceThread] = None
+        if maintenance_period_s is not None:
+            self.enable_maintenance(maintenance_period_s)
 
     # ---------------------------------------------------------------- routing
     def _route(self, name: str, version: Optional[int]) -> RouteKey:
@@ -173,6 +255,60 @@ class FeBiMServer:
         """Blocking single-sample convenience: submit and wait."""
         return self.submit(name, evidence_levels, version).result(timeout)
 
+    # ------------------------------------------------------------ maintenance
+    def enable_maintenance(
+        self,
+        period_s: float,
+        monitor=None,
+        **monitor_kwargs,
+    ):
+        """Start (or replace) the background health-sweep thread.
+
+        ``monitor`` is an existing
+        :class:`~repro.serving.health.HealthMonitor`; when omitted a
+        default auto-healing one is created over this server with
+        ``monitor_kwargs`` forwarded (e.g. ``max_current_shift=0.05``).
+        Returns the monitor, whose
+        :meth:`~repro.serving.health.HealthMonitor.install` arms
+        canaries per model — until then sweeps are no-ops.
+        """
+        from repro.serving.health import HealthMonitor
+
+        # Validate everything BEFORE stopping the running thread or
+        # touching self.monitor: a bad argument must leave live
+        # maintenance (and its installed canary baselines) untouched.
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if monitor is not None and monitor_kwargs:
+            raise ValueError(
+                "pass monitor_kwargs only when the monitor is created here"
+            )
+        if monitor is None:
+            monitor = HealthMonitor(self, **monitor_kwargs)
+        self.stop_maintenance()
+        self.monitor = monitor
+        self.maintenance = MaintenanceThread(
+            monitor, period_s, telemetry=self.telemetry
+        )
+        return monitor
+
+    def stop_maintenance(self, timeout: Optional[float] = None) -> bool:
+        """Stop the background sweeps (the monitor stays usable
+        directly); idempotent.
+
+        Returns ``True`` when no sweep thread is left running.  On a
+        ``timeout`` expiring mid-sweep the handle is *kept* (and
+        ``False`` returned) so a later ``stop_maintenance()`` /
+        ``close()`` still waits the thread out — dropping it would
+        allow a healing sweep to race the scheduler drain.
+        """
+        if self.maintenance is None:
+            return True
+        if not self.maintenance.stop(timeout):
+            return False
+        self.maintenance = None
+        return True
+
     # ------------------------------------------------------------- lifecycle
     def stats(self) -> TelemetrySnapshot:
         """Current serving telemetry (requests, batches, latency)."""
@@ -183,7 +319,16 @@ class FeBiMServer:
         return self.scheduler.drain(timeout)
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Graceful (draining) shutdown by default; idempotent."""
+        """Graceful (draining) shutdown by default; idempotent.
+
+        The maintenance thread stops (and any in-flight sweep
+        finishes) *before* the scheduler drains, so a healing repair
+        can never race the shutdown.  ``timeout`` bounds each phase:
+        when set, a sweep mid-heal may be left finishing on its daemon
+        thread (the stop flag is set, so it exits right after) instead
+        of blocking the close indefinitely.
+        """
+        self.stop_maintenance(timeout)
         self.scheduler.shutdown(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "FeBiMServer":

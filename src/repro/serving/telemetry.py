@@ -56,6 +56,9 @@ class TelemetrySnapshot:
     refreshes / replacements:
         Automatic repairs the monitor triggered: in-place reprograms
         and full engine re-materialisations.
+    maintenance_sweeps:
+        Background sweeps completed by the server's maintenance
+        thread (each sweep runs every installed canary check).
     """
 
     submitted: int
@@ -73,6 +76,7 @@ class TelemetrySnapshot:
     canary_failures: int = 0
     refreshes: int = 0
     replacements: int = 0
+    maintenance_sweeps: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -97,6 +101,7 @@ class TelemetrySnapshot:
             "canary_failures": self.canary_failures,
             "refreshes": self.refreshes,
             "replacements": self.replacements,
+            "maintenance_sweeps": self.maintenance_sweeps,
         }
 
     def format_lines(self) -> str:
@@ -114,7 +119,8 @@ class TelemetrySnapshot:
                 f"health     {self.health_checks} checks  "
                 f"{self.canary_failures} canary failures  "
                 f"{self.refreshes} refreshes  "
-                f"{self.replacements} replacements"
+                f"{self.replacements} replacements  "
+                f"{self.maintenance_sweeps} sweeps"
             )
         for name in sorted(self.per_model):
             lines.append(f"  model {name:20s} {self.per_model[name]} served")
@@ -148,6 +154,7 @@ class Telemetry:
         self._canary_failures = 0
         self._refreshes = 0
         self._replacements = 0
+        self._maintenance_sweeps = 0
 
     # ------------------------------------------------------------- recording
     def record_submitted(self, n: int = 1) -> None:
@@ -190,6 +197,11 @@ class Telemetry:
         with self._lock:
             self._replacements += 1
 
+    def record_maintenance_sweep(self) -> None:
+        """One completed background maintenance sweep."""
+        with self._lock:
+            self._maintenance_sweeps += 1
+
     # --------------------------------------------------------------- reading
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent snapshot of every counter."""
@@ -216,4 +228,5 @@ class Telemetry:
                 canary_failures=self._canary_failures,
                 refreshes=self._refreshes,
                 replacements=self._replacements,
+                maintenance_sweeps=self._maintenance_sweeps,
             )

@@ -65,6 +65,7 @@ class ServingRunResult:
     offline_sps: float
     matched: int
     telemetry: TelemetrySnapshot
+    backend: str = "fefet"
 
     @property
     def served_fraction(self) -> float:
@@ -78,6 +79,7 @@ class ServingRunResult:
         return {
             "bench": "serving",
             "dataset": self.dataset,
+            "backend": self.backend,
             "models": list(self.models),
             "policy": {
                 "max_batch": self.policy.max_batch,
@@ -138,6 +140,7 @@ def run_serving_workload(
     synthetic_classes: int = 20,
     synthetic_features: int = 24,
     seed: int = 0,
+    backend: str = "fefet",
 ) -> ServingRunResult:
     """Serve a mixed request stream and measure sustained throughput.
 
@@ -157,6 +160,9 @@ def run_serving_workload(
         Registry directory; a temporary one is used when omitted.
     offline_batch:
         Dense batch size for the offline ceiling measurement.
+    backend:
+        Array technology the registry serves (every tenant engine is
+        built on it).
 
     Returns
     -------
@@ -171,7 +177,9 @@ def run_serving_workload(
 
     with tempfile.TemporaryDirectory() as tmp:
         root = registry_root or tmp
-        registry = ModelRegistry(root, engine_cache_size=max(8, 2 * n_models))
+        registry = ModelRegistry(
+            root, engine_cache_size=max(8, 2 * n_models), backend=backend
+        )
 
         # Train and register the tenants; keep each tenant's discretised
         # request pool and its expected offline predictions.
@@ -185,7 +193,9 @@ def run_serving_workload(
             X_tr, X_te, y_tr, _ = train_test_split(
                 data.data, data.target, test_size=0.5, seed=zlib.crc32(name.encode())
             )
-            pipe = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=seed).fit(X_tr, y_tr)
+            pipe = FeBiMPipeline(
+                q_f=q_f, q_l=q_l, seed=seed, backend=backend
+            ).fit(X_tr, y_tr)
             pipe.register_into(registry, name)
             pools[name] = pipe.transform_levels(X_te)
             names.append(name)
@@ -277,13 +287,14 @@ def run_serving_workload(
         offline_sps=offline_sps,
         matched=matched,
         telemetry=telemetry,
+        backend=backend,
     )
 
 
 def format_serving(result: ServingRunResult) -> str:
     """Human-readable report block (``febim serve --report``)."""
     lines = [
-        f"serving workload on {result.dataset}: "
+        f"serving workload on {result.dataset} [{result.backend}]: "
         f"{result.n_requests} requests, {result.submitters} submitters, "
         f"{len(result.models)} tenants",
         f"policy     max_batch {result.policy.max_batch}, "

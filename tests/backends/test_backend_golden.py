@@ -1,0 +1,118 @@
+"""Golden guard: the FeFET backend is a bit-transparent wrapper.
+
+The backend refactor moved engine construction onto
+``repro.backends.create``; this file pins that the move changed
+*nothing* numerically — an engine built through :class:`FeFETBackend`
+is the pre-refactor engine bit-for-bit.  The broader seeded iris
+goldens (``tests/core/test_golden_iris.py``,
+``tests/reliability/test_golden_drift.py``) stand guard at the
+accuracy level; here the comparison is at the raw current level
+against a directly constructed :class:`FeFETCrossbar` with the exact
+seed stream the engine spawns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import FeFETBackend
+from repro.core.engine import FeBiMEngine
+from repro.core.pipeline import FeBiMPipeline
+from repro.crossbar.array import FeFETCrossbar
+from repro.datasets import load_iris, train_test_split
+from repro.devices.variation import VariationModel
+from repro.utils.rng import spawn_rngs
+
+SEED = 2026
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = load_iris()
+    X_tr, X_te, y_tr, _ = train_test_split(
+        data.data, data.target, test_size=0.7, seed=SEED
+    )
+    pipe = FeBiMPipeline(
+        q_f=4,
+        q_l=2,
+        variation=VariationModel.from_millivolts(30.0),
+        seed=SEED,
+    ).fit(X_tr, y_tr)
+    return pipe, pipe.transform_levels(X_te)
+
+
+class TestFeFETBackendTransparency:
+    def test_engine_backend_is_fefet(self, fitted):
+        pipe, _ = fitted
+        assert isinstance(pipe.engine_.backend, FeFETBackend)
+        assert pipe.engine_.backend_name == "fefet"
+
+    def test_crossbar_property_exposes_the_array(self, fitted):
+        pipe, _ = fitted
+        assert pipe.engine_.crossbar is pipe.engine_.backend.crossbar
+        assert isinstance(pipe.engine_.crossbar, FeFETCrossbar)
+
+    def test_wrapper_reads_match_direct_crossbar_bit_for_bit(self, fitted):
+        """Rebuild the crossbar outside the backend with the same
+        spawned stream: every read must agree to the last bit."""
+        pipe, levels = fitted
+        engine = pipe.engine_
+        backend_rng, _ = spawn_rngs(SEED, 2)
+        direct = FeFETCrossbar(
+            rows=engine.layout.total_rows,
+            cols=engine.layout.total_cols,
+            spec=engine.spec,
+            variation=VariationModel.from_millivolts(30.0),
+            params=engine.params,
+            seed=backend_rng,
+        )
+        direct.program_matrix(engine.level_matrix)
+        masks = engine.layout.active_columns_batch(levels)
+        np.testing.assert_array_equal(
+            engine.backend.wordline_currents_batch(masks),
+            direct.wordline_currents_batch(masks),
+        )
+        np.testing.assert_array_equal(
+            engine.backend.current_matrix(), direct.current_matrix()
+        )
+
+    def test_infer_batch_report_matches_direct_models(self, fitted):
+        """The cost model moved into the backend verbatim: delays and
+        energy breakdowns equal the pre-refactor inline computation."""
+        pipe, levels = fitted
+        engine = pipe.engine_
+        report = engine.infer_batch(levels)
+        currents = engine.read_batch(levels)
+        rows = engine.backend.rows
+        top_two = np.partition(currents, rows - 2, axis=1)[:, rows - 2:]
+        gaps = top_two[:, 1] - top_two[:, 0]
+        gaps = np.where(gaps == 0.0, engine.spec.level_separation(), gaps)
+        min_gaps = np.maximum(gaps, 1e-9 * engine.spec.i_min)
+        from repro.crossbar.timing import DelayModel
+
+        expected_delay = DelayModel(engine.params).inference_delay_batch(
+            rows=rows,
+            cols=engine.backend.cols,
+            i_total=np.maximum(currents.sum(axis=1), 1e-12),
+            delta_i=min_gaps,
+        )
+        np.testing.assert_array_equal(report.delay, expected_delay)
+        # The FeFET report keeps the full array/sensing split.
+        np.testing.assert_allclose(
+            report.energy.total, report.energy.array + report.energy.sensing
+        )
+
+    def test_bist_scan_matches_legacy_scan(self, fitted):
+        from repro.reliability.mitigation import scan_faulty_cells
+
+        pipe, _ = fitted
+        engine = pipe.engine_
+        mask = np.zeros(engine.shape, dtype=bool)
+        mask[0, 3] = True
+        engine.backend.inject_stuck_faults(stuck_off=mask)
+        try:
+            np.testing.assert_array_equal(
+                engine.backend.bist_scan(),
+                scan_faulty_cells(engine.crossbar),
+            )
+        finally:
+            engine.backend.clear_stuck_faults()

@@ -1,0 +1,277 @@
+"""Backend-conformance suite, run parametrically over every registered
+backend.
+
+What it pins, per backend:
+
+* the protocol surface (geometry, program/read/cost/bist methods);
+* batch reads bit-identical to stacked serial reads;
+* ``state_version`` monotonicity on every mutation;
+* capability-set honesty: declared capabilities must work, undeclared
+  mutation hooks must raise :class:`CapabilityError` (never crash deep
+  inside numpy, never silently no-op).
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    ArrayBackend,
+    Capability,
+    CapabilityError,
+    backend_capabilities,
+    backend_names,
+    create,
+)
+from repro.devices.fefet import MultiLevelCellSpec
+
+ROWS, COLS, LEVELS = 4, 10, 4
+
+
+@pytest.fixture(params=backend_names())
+def backend(request):
+    b = create(
+        request.param,
+        rows=ROWS,
+        cols=COLS,
+        spec=MultiLevelCellSpec(n_levels=LEVELS),
+        seed=0,
+    )
+    rng = np.random.default_rng(7)
+    b.program(rng.integers(0, LEVELS, size=(ROWS, COLS)))
+    return b
+
+
+def _masks(n, seed=3):
+    rng = np.random.default_rng(seed)
+    masks = rng.random((n, COLS)) < 0.4
+    masks[0] = True  # include the all-on verify mask
+    masks[1] = False  # and the degenerate all-off mask
+    return masks
+
+
+class TestFactory:
+    def test_names_cover_the_four_technologies(self):
+        assert {"fefet", "ideal", "cmos", "memristor"} <= set(backend_names())
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown backend.*fefet"):
+            create("nvram", rows=2, cols=2)
+
+    def test_capabilities_query_matches_instance(self, backend):
+        assert backend_capabilities(backend.name) == backend.capabilities
+
+
+class TestProtocolSurface:
+    def test_is_array_backend(self, backend):
+        assert isinstance(backend, ArrayBackend)
+        assert backend.name in backend_names()
+
+    def test_geometry(self, backend):
+        assert (backend.rows, backend.cols) == (ROWS, COLS)
+
+    def test_programmed_levels_roundtrip(self, backend):
+        levels = backend.programmed_levels()
+        assert levels.shape == (ROWS, COLS)
+        copy = levels.copy()
+        levels[0, 0] = -1  # mutating the copy must not touch the array
+        assert np.array_equal(backend.programmed_levels(), copy)
+
+    def test_program_validates_shape_and_range(self, backend):
+        with pytest.raises(ValueError):
+            backend.program(np.zeros((ROWS + 1, COLS), dtype=int))
+        with pytest.raises(ValueError):
+            backend.program(np.full((ROWS, COLS), LEVELS))
+
+    def test_current_matrix_shape(self, backend):
+        matrix = backend.current_matrix()
+        assert matrix.shape == (ROWS, COLS)
+        assert np.all(matrix >= 0)
+
+    def test_read_rejects_malformed_masks(self, backend):
+        with pytest.raises(ValueError):
+            backend.wordline_currents(np.ones(COLS + 1, dtype=bool))
+        with pytest.raises(ValueError):
+            backend.wordline_currents_batch(np.ones((2, COLS), dtype=float))
+
+    def test_cost_batch_shapes(self, backend):
+        currents = backend.wordline_currents_batch(_masks(6))
+        delay, energy = backend.inference_cost_batch(currents, 5)
+        assert delay.shape == (6,)
+        assert np.all(delay > 0)
+        assert energy.total.shape == (6,)
+        assert np.all(energy.total > 0)
+        sample = energy.sample(2)
+        assert sample.total == pytest.approx(float(energy.total[2]))
+
+    def test_bist_scan_clean_after_program(self, backend):
+        assert not backend.bist_scan().any()
+
+
+class TestReadConsistency:
+    def test_batch_equals_stacked_serial(self, backend):
+        masks = _masks(16)
+        batch = backend.wordline_currents_batch(masks)
+        serial = np.stack([backend.wordline_currents(m) for m in masks])
+        np.testing.assert_array_equal(batch, serial)
+
+    def test_reads_are_repeatable(self, backend):
+        masks = _masks(4)
+        np.testing.assert_array_equal(
+            backend.wordline_currents_batch(masks),
+            backend.wordline_currents_batch(masks),
+        )
+
+    def test_reads_do_not_mutate_state(self, backend):
+        version = backend.state_version
+        backend.wordline_currents_batch(_masks(4))
+        backend.current_matrix()
+        backend.bist_scan()
+        assert backend.state_version == version
+
+
+class TestStateVersion:
+    def test_program_bumps(self, backend):
+        version = backend.state_version
+        backend.program(backend.programmed_levels())
+        assert backend.state_version > version
+
+    def test_mutations_bump_and_change_reads(self, backend):
+        if not backend.supports(Capability.STUCK_FAULTS):
+            pytest.skip("backend has no mutation to exercise")
+        masks = _masks(4)
+        before = backend.wordline_currents_batch(masks)
+        version = backend.state_version
+        off = np.zeros((ROWS, COLS), dtype=bool)
+        off[0, :] = True
+        backend.inject_stuck_faults(stuck_off=off)
+        assert backend.state_version > version
+        after = backend.wordline_currents_batch(masks)
+        assert not np.array_equal(before, after)
+        # Row 0 is dead: any read that activates at least one column
+        # sees zero current on it (the degenerate all-off mask is
+        # technology-dependent — a stochastic AND over nothing is
+        # vacuously true — and never occurs in an inference, which
+        # always activates one column per feature).
+        active = masks.any(axis=1)
+        assert np.all(after[active, 0] == 0.0)
+
+
+MUTATION_HOOKS = {
+    Capability.STUCK_FAULTS: [
+        lambda b: b.inject_stuck_faults(
+            stuck_off=np.ones((ROWS, COLS), dtype=bool)
+        ),
+        lambda b: b.clear_stuck_faults(),
+        lambda b: b.stuck_fault_masks(),
+        lambda b: b.stuck_fault_count(),
+    ],
+    Capability.VTH_DRIFT: [
+        lambda b: b.apply_vth_drift(np.full((ROWS, COLS), 1e-3)),
+        lambda b: b.clear_vth_drift(),
+        lambda b: b.polarization_matrix(),
+    ],
+    Capability.WEAR: [
+        lambda b: b.template,
+        lambda b: b.set_template(None),
+    ],
+    Capability.SPARE_ROWS: [
+        lambda b: b.spare_rows_free,
+        lambda b: b.remap_row(0),
+    ],
+}
+
+
+class TestCapabilityHonesty:
+    @pytest.mark.parametrize("capability", sorted(MUTATION_HOOKS))
+    def test_undeclared_hooks_raise_capability_error(self, backend, capability):
+        if backend.supports(capability):
+            pytest.skip("declared — covered by the positive tests")
+        for hook in MUTATION_HOOKS[capability]:
+            with pytest.raises(CapabilityError, match=backend.name):
+                hook(backend)
+
+    def test_declared_stuck_faults_work(self, backend):
+        if not backend.supports(Capability.STUCK_FAULTS):
+            pytest.skip("undeclared")
+        on = np.zeros((ROWS, COLS), dtype=bool)
+        on[1, 2] = True
+        off = np.zeros((ROWS, COLS), dtype=bool)
+        off[2, 3] = True
+        backend.inject_stuck_faults(stuck_on=on, stuck_off=off)
+        got_on, got_off = backend.stuck_fault_masks()
+        assert got_on[1, 2] and got_off[2, 3]
+        assert backend.stuck_fault_count() == 2
+        # The BIST scan sees the planted defects behaviourally.
+        assert backend.bist_scan()[2, 3]
+        backend.clear_stuck_faults()
+        assert backend.stuck_fault_count() == 0
+
+    def test_declared_drift_shifts_reads(self, backend):
+        if not backend.supports(Capability.VTH_DRIFT):
+            pytest.skip("undeclared")
+        masks = _masks(3)
+        before = backend.wordline_currents_batch(masks)
+        backend.apply_vth_drift(np.full((ROWS, COLS), 5e-2))
+        shifted = backend.wordline_currents_batch(masks)
+        assert not np.array_equal(before, shifted)
+        backend.clear_vth_drift()
+        np.testing.assert_array_equal(
+            backend.wordline_currents_batch(masks), before
+        )
+
+    def test_declared_spare_rows_remap(self):
+        backend = create(
+            "fefet",
+            rows=ROWS,
+            cols=COLS,
+            spec=MultiLevelCellSpec(n_levels=LEVELS),
+            seed=0,
+            spare_rows=1,
+        )
+        backend.program(
+            np.random.default_rng(0).integers(0, LEVELS, size=(ROWS, COLS))
+        )
+        assert backend.spare_rows_free == 1
+        backend.remap_row(0)
+        assert backend.spare_rows_free == 0
+
+    def test_spareless_backends_reject_spare_construction(self):
+        for name in backend_names():
+            if Capability.SPARE_ROWS in backend_capabilities(name):
+                continue
+            with pytest.raises((CapabilityError, TypeError)):
+                create(name, rows=ROWS, cols=COLS, spare_rows=2)
+
+
+class TestFaultSemantics:
+    """Shared stuck-at semantics across fault-capable backends."""
+
+    @pytest.fixture(params=[
+        name
+        for name in backend_names()
+        if Capability.STUCK_FAULTS in backend_capabilities(name)
+    ])
+    def faulty(self, request):
+        b = create(
+            request.param,
+            rows=ROWS,
+            cols=COLS,
+            spec=MultiLevelCellSpec(n_levels=LEVELS),
+            seed=0,
+        )
+        b.program(np.random.default_rng(7).integers(0, LEVELS, (ROWS, COLS)))
+        return b
+
+    def test_stuck_off_wins_over_stuck_on(self, faulty):
+        both = np.zeros((ROWS, COLS), dtype=bool)
+        both[0, 0] = True
+        faulty.inject_stuck_faults(stuck_on=both, stuck_off=both)
+        assert faulty.current_matrix()[0, 0] == 0.0
+
+    def test_faults_survive_reprogram(self, faulty):
+        off = np.zeros((ROWS, COLS), dtype=bool)
+        off[1, :] = True
+        faulty.inject_stuck_faults(stuck_off=off)
+        faulty.program(faulty.programmed_levels())
+        mask = np.ones(COLS, dtype=bool)
+        assert faulty.wordline_currents(mask)[1] == 0.0

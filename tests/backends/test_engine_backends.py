@@ -1,0 +1,138 @@
+"""The technology-agnostic stack over every backend.
+
+Engine/pipeline/tiled-engine construction, end-to-end accuracy, the
+exact digital-argmax equivalence of the exact backends, and the
+explicit errors non-FeFET backends give where FeFET-only machinery is
+requested.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import backend_names
+from repro.core.engine import FeBiMEngine
+from repro.core.pipeline import FeBiMPipeline
+from repro.crossbar.tiling import TiledFeBiM
+from repro.datasets import load_iris, make_gaussian_blobs, train_test_split
+
+ALL_BACKENDS = backend_names()
+
+
+@pytest.fixture(scope="module")
+def iris_split():
+    data = load_iris()
+    return train_test_split(data.data, data.target, test_size=0.7, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted_by_backend(iris_split):
+    X_tr, X_te, y_tr, y_te = iris_split
+    out = {}
+    for name in ALL_BACKENDS:
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0, backend=name).fit(X_tr, y_tr)
+        out[name] = (pipe, pipe.transform_levels(X_te), np.asarray(y_te))
+    return out
+
+
+class TestPipelineOverBackends:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_trains_and_classifies(self, fitted_by_backend, name):
+        pipe, levels, y_te = fitted_by_backend[name]
+        accuracy = pipe.engine_.score(levels, y_te)
+        # Every technology must be a usable classifier at the paper's
+        # iris operating point; the stochastic memristor machine is the
+        # loosest of the four.
+        assert accuracy > 0.80, f"{name} accuracy {accuracy}"
+
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_infer_batch_report_surface(self, fitted_by_backend, name):
+        pipe, levels, _ = fitted_by_backend[name]
+        report = pipe.engine_.infer_batch(levels[:6])
+        assert len(report) == 6
+        assert report.delay.shape == (6,)
+        assert report.energy.total.shape == (6,)
+        scalar = report.sample(3)
+        assert scalar.prediction == report.predictions[3]
+        assert scalar.energy.total == pytest.approx(float(report.energy.total[3]))
+
+    @pytest.mark.parametrize("name", ["ideal", "cmos"])
+    def test_exact_backends_match_digital_argmax(self, fitted_by_backend, name):
+        """The exact-arithmetic backends reproduce the quantised
+        digital decision bit-for-bit — including tie-breaks."""
+        pipe, levels, _ = fitted_by_backend[name]
+        np.testing.assert_array_equal(
+            pipe.engine_.predict(levels),
+            pipe.quantized_model_.predict(levels),
+        )
+
+    def test_verify_programming_rejected_off_fefet(self):
+        with pytest.raises(ValueError, match="fefet"):
+            FeBiMPipeline(backend="ideal", verify_programming=True)
+
+    def test_unknown_backend_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="unknown backend"):
+            FeBiMPipeline(q_f=2, q_l=2, backend="tpu").fit(
+                rng.normal(size=(8, 2)), np.array([0, 1] * 4)
+            )
+
+
+class TestTiledOverBackends:
+    @pytest.mark.parametrize("name", ALL_BACKENDS)
+    def test_tiled_engine_matches_backend(self, name):
+        data = make_gaussian_blobs(
+            n_samples=400, n_features=6, n_classes=7, class_sep=3.0, seed=0
+        )
+        X_tr, X_te, y_tr, y_te = train_test_split(
+            data.data, data.target, test_size=0.5, seed=1
+        )
+        pipe = FeBiMPipeline(q_f=3, q_l=2, seed=0, backend=name).fit(X_tr, y_tr)
+        tiled = TiledFeBiM(
+            pipe.quantized_model_,
+            max_rows=3,
+            spec=pipe.engine_.spec,
+            seed=0,
+            backend=name,
+        )
+        assert tiled.n_tiles == 3
+        assert all(tile.backend_name == name for tile in tiled.tiles)
+        levels = pipe.transform_levels(X_te)
+        accuracy = tiled.score(levels, y_te)
+        assert accuracy > 0.75, f"tiled {name} accuracy {accuracy}"
+        # Retirement rebuilds on the same technology.
+        replacement = tiled.retire_tile(1, seed=5)
+        assert replacement.backend_name == name
+
+    def test_tiled_exact_backend_matches_flat(self):
+        data = make_gaussian_blobs(
+            n_samples=300, n_features=5, n_classes=6, class_sep=3.0, seed=2
+        )
+        X_tr, X_te, y_tr, _ = train_test_split(
+            data.data, data.target, test_size=0.5, seed=3
+        )
+        pipe = FeBiMPipeline(q_f=3, q_l=2, seed=0, backend="ideal").fit(X_tr, y_tr)
+        levels = pipe.transform_levels(X_te)
+        tiled = TiledFeBiM(
+            pipe.quantized_model_,
+            max_rows=2,
+            spec=pipe.engine_.spec,
+            seed=0,
+            backend="ideal",
+        )
+        # Hierarchical argmax over exact currents equals the flat one.
+        np.testing.assert_array_equal(
+            tiled.predict(levels), pipe.engine_.predict(levels)
+        )
+
+
+class TestEngineCrossbarAccess:
+    @pytest.mark.parametrize("name", [n for n in ALL_BACKENDS if n != "fefet"])
+    def test_crossbar_property_raises_clearly(self, fitted_by_backend, name):
+        pipe, _, _ = fitted_by_backend[name]
+        with pytest.raises(AttributeError, match="no FeFET crossbar"):
+            pipe.engine_.crossbar
+
+    @pytest.mark.parametrize("name", [n for n in ALL_BACKENDS if n != "fefet"])
+    def test_hasattr_reports_absence(self, fitted_by_backend, name):
+        pipe, _, _ = fitted_by_backend[name]
+        assert not hasattr(pipe.engine_, "crossbar")

@@ -1,0 +1,123 @@
+"""Shared-model campaign mode and cross-backend campaigns.
+
+The shared-model recipe trains/quantises once per campaign and gives
+every trial fresh hardware: pristine accuracy is constant across
+trials (the split/retrain variance is gone), the per-trial payload
+seeds equal the default mode's (switching modes never perturbs
+fault/repair draws), and the workers=1 vs workers=N bit-identity
+contract carries over because the once-per-campaign training runs in
+the pool initializer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reliability.campaign import (
+    CampaignConfig,
+    CampaignPoint,
+    aging_points,
+    fault_rate_points,
+    run_campaign,
+    trial_seeds,
+)
+
+
+def _config(**overrides):
+    base = dict(
+        points=fault_rate_points((0.0, 0.02)),
+        trials=3,
+        mitigation="spare-rows",
+        shared_model=True,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestSharedModelMode:
+    def test_pristine_constant_across_trials(self):
+        result = run_campaign(_config(), seed=7, workers=1)
+        for per_point in result.pristine_accuracy():
+            assert np.all(per_point == per_point[0])
+
+    def test_default_mode_still_varies_pristine(self):
+        result = run_campaign(_config(shared_model=False), seed=7, workers=1)
+        merged = np.concatenate(result.pristine_accuracy())
+        assert np.unique(merged).size > 1
+
+    def test_workers_bit_identity(self):
+        config = _config()
+        serial = run_campaign(config, seed=11, workers=1)
+        pooled = run_campaign(config, seed=11, workers=2)
+        assert serial.results == pooled.results
+
+    def test_trial_seed_prefix_shared_with_default_mode(self):
+        """The shared-model stream is spawned *after* the trial
+        children, so per-trial seeds match the default recipe's."""
+        n = 6
+        assert trial_seeds(3, n) == trial_seeds(3, n + 1)[:n]
+
+    def test_faults_still_degrade_and_repair(self):
+        result = run_campaign(_config(), seed=0, workers=1)
+        heavy = result.accuracy_curve()[-1]
+        assert heavy["mean_faulty_cells"] > 0
+        assert heavy["mitigated_mean"] >= heavy["degraded_mean"]
+
+    def test_shared_model_tiled(self):
+        config = _config(
+            mitigation="retire-tiles",
+            max_rows=2,
+            points=fault_rate_points((0.05,)),
+            trials=2,
+        )
+        result = run_campaign(config, seed=1, workers=1)
+        assert result.results[0].pristine_acc > 0.5
+
+    def test_reported_in_dict(self):
+        result = run_campaign(_config(trials=2), seed=0, workers=1)
+        payload = result.to_dict()
+        assert payload["shared_model"] is True
+        assert payload["backend"] == "fefet"
+
+
+class TestCampaignBackends:
+    def test_ideal_control_arm_runs(self):
+        config = _config(backend="ideal", mitigation="refresh")
+        result = run_campaign(config, seed=2, workers=1)
+        clean = result.accuracy_curve()[0]
+        assert clean["degraded_mean"] == clean["pristine_mean"]
+
+    def test_aging_needs_drift_capability(self):
+        with pytest.raises(ValueError, match="vth-drift"):
+            CampaignConfig(
+                points=aging_points((1e6,)), trials=2, backend="ideal"
+            )
+
+    def test_faults_need_stuck_capability(self):
+        with pytest.raises(ValueError, match="stuck-faults"):
+            CampaignConfig(
+                points=fault_rate_points((0.01,)), trials=2, backend="cmos"
+            )
+
+    def test_spare_rows_need_capability(self):
+        with pytest.raises(ValueError, match="spare-rows"):
+            CampaignConfig(
+                points=fault_rate_points((0.01,)),
+                trials=2,
+                mitigation="spare-rows",
+                backend="memristor",
+            )
+
+    def test_wear_needs_capability(self):
+        with pytest.raises(ValueError, match="'wear'"):
+            CampaignConfig(
+                points=(CampaignPoint(label="worn", wear_cycles=1e6),),
+                trials=2,
+                backend="ideal",
+            )
+
+    def test_memristor_fault_campaign_runs(self):
+        config = _config(
+            backend="memristor", mitigation="refresh", trials=2
+        )
+        result = run_campaign(config, seed=3, workers=1)
+        assert len(result.results) == 4

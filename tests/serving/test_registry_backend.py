@@ -1,0 +1,117 @@
+"""Backend identity in registry artifacts.
+
+Registrations stamp the artifact with the registry's backend; loads
+reject a mismatch with a clear error instead of silently programming
+the wrong array type; artifacts written before the field existed
+default to ``fefet``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_iris, train_test_split
+from repro.io import artifact_backend, load_artifact, model_to_dict, save_model
+from repro.serving.registry import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    data = load_iris()
+    X_tr, X_te, y_tr, _ = train_test_split(
+        data.data, data.target, test_size=0.7, seed=0
+    )
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0).fit(X_tr, y_tr)
+    return pipe, pipe.transform_levels(X_te)
+
+
+class TestArtifactBackendField:
+    def test_roundtrip_records_backend(self, fitted, tmp_path):
+        pipe, _ = fitted
+        path = save_model(
+            tmp_path / "m.json",
+            pipe.quantized_model_,
+            pipe.engine_.spec,
+            backend="memristor",
+        )
+        _, _, backend = load_artifact(path)
+        assert backend == "memristor"
+        assert json.loads(path.read_text())["backend"] == "memristor"
+
+    def test_legacy_artifact_defaults_to_fefet(self, fitted, tmp_path):
+        pipe, _ = fitted
+        data = model_to_dict(pipe.quantized_model_, pipe.engine_.spec)
+        del data["backend"]  # simulate a pre-backend artifact
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(data))
+        _, _, backend = load_artifact(path)
+        assert backend == "fefet"
+        assert artifact_backend(data) == "fefet"
+
+    def test_malformed_backend_field_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            artifact_backend({"backend": 7})
+
+
+class TestRegistryBackendPinning:
+    def test_register_then_load_same_backend(self, tmp_path):
+        data = load_iris()
+        X_tr, X_te, y_tr, _ = train_test_split(
+            data.data, data.target, test_size=0.7, seed=0
+        )
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=0, backend="ideal").fit(X_tr, y_tr)
+        levels = pipe.transform_levels(X_te)
+        registry = ModelRegistry(tmp_path, backend="ideal")
+        pipe.register_into(registry, "iris")
+        engine = registry.get_engine("iris")
+        assert engine.backend_name == "ideal"
+        np.testing.assert_array_equal(
+            engine.predict(levels), pipe.quantized_model_.predict(levels)
+        )
+
+    def test_register_into_rejects_backend_mismatch(self, fitted, tmp_path):
+        pipe, _ = fitted  # trained on the default fefet backend
+        registry = ModelRegistry(tmp_path, backend="ideal")
+        with pytest.raises(ValueError, match="'fefet'.*'ideal'"):
+            pipe.register_into(registry, "iris")
+
+    def test_mismatch_rejected_with_both_names(self, fitted, tmp_path):
+        pipe, _ = fitted
+        ModelRegistry(tmp_path, backend="fefet").register(
+            "iris", pipe.quantized_model_, pipe.engine_.spec
+        )
+        wrong = ModelRegistry(tmp_path, backend="memristor")
+        with pytest.raises(ValueError, match="'fefet'.*'memristor'"):
+            wrong.load("iris")
+        with pytest.raises(ValueError, match="registered for backend"):
+            wrong.get_engine("iris")
+
+    def test_legacy_artifact_serves_on_fefet_registry(self, fitted, tmp_path):
+        pipe, _ = fitted
+        registry = ModelRegistry(tmp_path)
+        pipe.register_into(registry, "iris")
+        # Strip the field in place: the artifact predates backends now.
+        path = tmp_path / "iris" / "v0001.json"
+        data = json.loads(path.read_text())
+        del data["backend"]
+        path.write_text(json.dumps(data))
+        registry.invalidate("iris")
+        model, spec = registry.load("iris")
+        assert model.n_classes == 3
+
+    def test_unknown_backend_rejected_at_construction(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ModelRegistry(tmp_path, backend="quantum")
+
+    def test_tiled_engines_inherit_registry_backend(self, fitted, tmp_path):
+        pipe, _ = fitted
+        registry = ModelRegistry(tmp_path, backend="ideal")
+        # Low-level register: the quantised level tables themselves are
+        # backend-neutral, so re-homing a model onto another technology
+        # is allowed as an explicit registry-level decision (the
+        # pipeline-level register_into is the guarded path).
+        registry.register("iris", pipe.quantized_model_, pipe.engine_.spec)
+        tiled = registry.get_engine("iris", max_rows=2)
+        assert all(t.backend_name == "ideal" for t in tiled.tiles)
