@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Six stages, strictly ordered so the cheapest failure fires first:
+# Seven stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -13,18 +13,21 @@
 #      workers=1 vs workers=4 bit-identity contract;
 #   6. backend parity — bench_backends.py --parity: every registered
 #      array backend trains + infers on iris and round-trips bit-for-bit
-#      through a registry pinned to it.
+#      through a registry pinned to it;
+#   7. router smoke — bench_router.py: a two-replica deployment on
+#      different backends loses a replica mid-burst with zero failed
+#      requests, a recorded failover and a ladder eviction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/6: compile-all =="
+echo "== stage 1/7: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/6: tier-1 (pytest -x -q) =="
+echo "== stage 2/7: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/6: --runslow marker check =="
+echo "== stage 3/7: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -41,13 +44,16 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/6: reliability smoke bench =="
+echo "== stage 4/7: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/6: campaign --workers determinism =="
+echo "== stage 5/7: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/6: backend parity smoke =="
+echo "== stage 6/7: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
+
+echo "== stage 7/7: router smoke gate =="
+python benchmarks/bench_router.py
 
 echo "CI gate passed."

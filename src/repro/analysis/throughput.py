@@ -37,7 +37,10 @@ def legacy_predict_loop(engine: FeBiMEngine, evidence_levels: np.ndarray) -> np.
     mask, re-evaluate the array's device physics (polarisation -> V_TH
     -> current) for the read, and run one WTA decision.  Kept as the
     reference the batched path is benchmarked against — do not
-    "optimise" it, its cost *is* the baseline.
+    "optimise" it, its cost *is* the baseline.  FeFET-only (it reaches
+    through to the crossbar's device physics); for the other
+    technologies :func:`serial_predict_loop` is the per-sample
+    baseline.
     """
     evidence_levels = np.asarray(evidence_levels, dtype=int)
     if evidence_levels.ndim == 1:
@@ -49,6 +52,26 @@ def legacy_predict_loop(engine: FeBiMEngine, evidence_levels: np.ndarray) -> np.
         v_gates = np.where(mask, crossbar.params.v_on, crossbar.params.v_off)
         vth = crossbar.vth_matrix()
         currents = crossbar.template.idvg.current(v_gates[None, :], vth).sum(axis=1)
+        out[i] = engine.model.classes[engine.sensing.decide(currents)]
+    return out
+
+
+def serial_predict_loop(engine: FeBiMEngine, evidence_levels: np.ndarray) -> np.ndarray:
+    """Backend-agnostic per-sample prediction loop.
+
+    The serial baseline for non-FeFET technologies: one activation
+    mask, one single-sample backend read and one WTA decision per
+    Python iteration — the work pattern a naive request loop would pay
+    on *any* array, so the speedup column of ``febim bench --backend``
+    measures batching, not technology.
+    """
+    evidence_levels = np.asarray(evidence_levels, dtype=int)
+    if evidence_levels.ndim == 1:
+        evidence_levels = evidence_levels[None, :]
+    out = np.empty(evidence_levels.shape[0], dtype=engine.model.classes.dtype)
+    for i in range(evidence_levels.shape[0]):
+        mask = engine.layout.active_columns(evidence_levels[i])
+        currents = engine.backend.wordline_currents(mask)
         out[i] = engine.model.classes[engine.sensing.decide(currents)]
     return out
 
@@ -136,18 +159,19 @@ def run_throughput(
     Predictions of the batched path are checked against the loop on
     every run — a throughput number from a wrong answer is worthless.
 
-    ``backend`` selects the array technology.  The legacy loop
-    baseline re-evaluates FeFET device physics per sample, so its
-    *timing* only exists on the default ``"fefet"`` backend — but the
-    correctness guard stays everywhere: off-fefet, the batched
-    predictions are cross-checked against the engine's own per-sample
-    path (``infer_one``) instead of the loop.
+    ``backend`` selects the array technology.  The serial baseline is
+    per-backend: on the default ``"fefet"`` it is the seed
+    repository's device-physics loop (:func:`legacy_predict_loop`,
+    unchanged so the historical speedup trajectory stays comparable);
+    on every other technology it is the backend-agnostic per-sample
+    read loop (:func:`serial_predict_loop`), so the speedup column is
+    meaningful everywhere.  Either way the batched predictions are
+    verified against the serial loop on every run.
     """
     check_positive_int(repeats, "repeats")
     if not batch_sizes:
         raise ValueError("batch_sizes must be non-empty")
     fefet_loop = backend == "fefet" and include_loop
-    verify = include_loop
     rng = ensure_rng(seed)
     data = load_dataset(dataset)
     X_tr, X_te, y_tr, _ = train_test_split(
@@ -178,17 +202,13 @@ def run_throughput(
             np.testing.assert_array_equal(
                 engine.predict(levels), legacy_predict_loop(engine, levels)
             )
-        elif verify:
-            # No loop baseline off-fefet, but the correctness guard
-            # must not silently disappear with it: a throughput number
-            # from a wrong answer is worthless on any backend.  Check
-            # the batched path against the per-sample path (capped —
-            # it is a per-sample Python loop).
-            probe = levels[: min(batch_size, 64)]
-            serial = np.array(
-                [engine.infer_one(sample).prediction for sample in probe]
+        elif include_loop:
+            loop_sps = _best_rate(
+                lambda: serial_predict_loop(engine, levels), batch_size, repeats
             )
-            np.testing.assert_array_equal(engine.predict(probe), serial)
+            np.testing.assert_array_equal(
+                engine.predict(levels), serial_predict_loop(engine, levels)
+            )
         points.append(
             ThroughputPoint(
                 batch_size=int(batch_size),

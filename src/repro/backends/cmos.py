@@ -97,6 +97,17 @@ class CmosBackend(ExactLevelSumBackend):
             SimpleBatchEnergy(total=np.full(n, cost["energy"])),
         )
 
+    def stage2_cost(self, tile_winner_currents: np.ndarray) -> Tuple[float, float]:
+        """Digital argmax over the tile winners: ``n_tiles - 1``
+        pairwise compares in the ALU, no memory traffic (the winner
+        scores are already in registers)."""
+        n_tiles = np.asarray(tile_winner_currents).shape[0]
+        compares = max(n_tiles - 1, 1)
+        model = self.cost_model
+        delay = compares * model.cycles_per_op * model.t_cycle
+        energy = compares * model.e_alu_op
+        return float(delay), float(energy)
+
     # --------------------------------------------------------------- health
     def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
         """Software memory verifies clean by construction."""

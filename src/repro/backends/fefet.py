@@ -150,6 +150,10 @@ class FeFETBackend(ArrayBackend):
         )
         return delay, energy
 
+    # ``stage2_cost`` is inherited: the ArrayBackend default *is* the
+    # paper's analog current-mode second-stage WTA, this backend's own
+    # physics — kept in one place so the calibration cannot diverge.
+
     # --------------------------------------------------------------- health
     def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
         """Behavioural BIST against each cell's programmed target

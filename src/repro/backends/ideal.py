@@ -110,6 +110,17 @@ class IdealBackend(StuckFaultStore, ExactLevelSumBackend):
         total = fixed + currents.sum(axis=1) * self.spec.v_read * delay
         return np.full(n, delay), SimpleBatchEnergy(total=total)
 
+    def stage2_cost(self, tile_winner_currents: np.ndarray) -> Tuple[float, float]:
+        """Geometry-only second stage: an ideal WTA resolves any gap
+        instantly, so the cost is half the front end plus common-node
+        loading over the competitors — no gap-resolution term, matching
+        this backend's stage-1 cost model."""
+        n_tiles = np.asarray(tile_winner_currents).shape[0]
+        params = self.params
+        delay = params.t_base / 2.0 + params.t_per_row * n_tiles
+        energy = n_tiles * (params.e_mirror_per_row + params.e_wta_per_row)
+        return float(delay), float(energy)
+
     # --------------------------------------------------------------- health
     def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:
         """Verify read vs programmed target: flags exactly the stuck

@@ -29,7 +29,12 @@ the backend's seed, and a read is a pure function of (stored bytes,
 mask, streams): the batch path is an exact integer matrix product over
 the precomputed comparison tensor and is bit-identical to the serial
 path; repeated reads of the same sample are bit-stable (what serving
-bit-identity leans on).
+bit-identity leans on).  ``advance_streams=True`` (the
+``stream-advance`` capability, opt-in through ``backend_options``)
+trades that stability for realism: every inference consumes the next
+``n_cycles`` bytes of each column's live LFSR, so repeated reads draw
+fresh Bernoulli estimates — the mode deployment mirror-voting is
+exercised under.
 
 Capabilities: stuck-at faults only (a stuck-on cell stores byte 255,
 stuck-off byte 0 — a zero byte on an activated column kills its class,
@@ -85,7 +90,9 @@ class MemristorBackend(StuckFaultStore, LevelStoreBackend):
     """
 
     name = "memristor"
-    capabilities = frozenset({Capability.STUCK_FAULTS})
+    capabilities = frozenset(
+        {Capability.STUCK_FAULTS, Capability.STREAM_ADVANCE}
+    )
 
     def __init__(
         self,
@@ -98,6 +105,7 @@ class MemristorBackend(StuckFaultStore, LevelStoreBackend):
         seed: RngLike = None,
         spare_rows: int = 0,
         n_cycles: int = 127,
+        advance_streams: bool = False,
     ):
         if spare_rows:
             raise CapabilityError(
@@ -110,10 +118,21 @@ class MemristorBackend(StuckFaultStore, LevelStoreBackend):
         self.n_cycles = check_positive_int(n_cycles, "n_cycles")
         if self.n_cycles > 255:
             raise ValueError("n_cycles must be <= 255 (byte-wide counters)")
+        # Opt-in true stochastic reads (the ``stream-advance``
+        # capability): each inference consumes the next n_cycles bytes
+        # of every column's LFSR, so repeated reads of the same sample
+        # draw fresh Bernoulli estimates instead of replaying the
+        # frozen construction-time streams.  The default (False) keeps
+        # the bit-stable read contract serving bit-identity leans on.
+        self.advance_streams = bool(advance_streams)
 
-        # Per-column LFSR byte streams, drawn once: R[t, c].
+        # Per-column LFSR random sources.  Seed consumption is
+        # identical in both modes, and the live registers start at the
+        # same state the frozen streams were drawn from — the first
+        # advancing read equals the frozen read bit-for-bit.
         rng = ensure_rng(seed)
         lfsr_seeds = rng.integers(1, 2**16, size=cols)
+        self._lfsrs = [LinearFeedbackShiftRegister(int(s)) for s in lfsr_seeds]
         self._random_bytes = np.stack(
             [
                 LinearFeedbackShiftRegister(int(s)).byte_stream(self.n_cycles)
@@ -175,11 +194,35 @@ class MemristorBackend(StuckFaultStore, LevelStoreBackend):
 
     def wordline_currents_batch(self, active_cols: np.ndarray) -> np.ndarray:
         masks = self._check_mask_batch(active_cols).astype(np.int64)
+        if self.advance_streams:
+            return self._advancing_reads(masks)
         fails = self._fail_rows() @ masks.T  # (T * rows, n) exact ints
         passes = (fails == 0).reshape(self.n_cycles, self._rows, -1)
         counts = passes.sum(axis=0, dtype=np.int64)  # (rows, n)
         # Counter ratio scaled into the engine's current units.
         return counts.T.astype(float) / self.n_cycles * self.spec.i_max
+
+    def _advancing_reads(self, masks: np.ndarray) -> np.ndarray:
+        """Stream-advancing batch read: one fresh bitstream per sample.
+
+        Each sample consumes the next ``n_cycles`` bytes of every
+        column's live LFSR, in submission order — a batch of ``n``
+        equals ``n`` serial reads issued back to back, but two reads of
+        the same sample are *different* Bernoulli draws (the point of
+        the mode).  Reads mutate LFSR state, so concurrent readers must
+        be serialised by the caller — the serving layer's per-replica
+        scheduler already is.
+        """
+        stored = self._stored_bytes()  # (rows, cols)
+        counts = np.empty((masks.shape[0], self._rows), dtype=np.int64)
+        for i, mask in enumerate(masks.astype(bool)):
+            drawn = np.stack(
+                [lfsr.byte_stream(self.n_cycles) for lfsr in self._lfsrs],
+                axis=1,
+            ).astype(np.int64)  # (T, cols)
+            fails = (stored[None, :, :] <= drawn[:, None, :]) & mask
+            counts[i] = (~fails.any(axis=2)).sum(axis=0)
+        return counts.astype(float) / self.n_cycles * self.spec.i_max
 
     def current_matrix(self) -> np.ndarray:
         """Stored byte per cell scaled into current units (state map)."""
@@ -202,6 +245,16 @@ class MemristorBackend(StuckFaultStore, LevelStoreBackend):
             max(n_active_bls, 1) * E_AND + E_COUNTER
         )
         return np.full(n, delay), SimpleBatchEnergy(total=np.full(n, energy))
+
+    def stage2_cost(self, tile_winner_currents: np.ndarray) -> Tuple[float, float]:
+        """Digital winner resolution over the per-tile counters:
+        ``n_tiles - 1`` pairwise byte compares in the near-memory CMOS
+        logic, one clock and one comparator + register update each."""
+        n_tiles = np.asarray(tile_winner_currents).shape[0]
+        compares = max(n_tiles - 1, 1)
+        delay = compares * T_CLK
+        energy = compares * (E_AND + E_COUNTER)
+        return float(delay), float(energy)
 
     # --------------------------------------------------------------- health
     def bist_scan(self, tolerance: Optional[float] = None) -> np.ndarray:

@@ -15,6 +15,12 @@ Commands
 ``serve``    Run a mixed-tenant online serving workload through the
              micro-batching scheduler and report served throughput,
              occupancy and latency against the offline ceiling.
+             ``--deployment spec.json`` drives the traffic through a
+             declarative replica deployment instead (cost/round-robin/
+             sticky/mirror routing, per-replica telemetry).
+``deploy``   Validate a deployment spec JSON against a registry,
+             materialise and probe every replica, print the replica
+             table (a dry-run apply).
 ``submit``   One-shot request against a registry directory: register
              (if needed), route, serve, print the result.
 ``reliability``  Run a Monte-Carlo fault or aging campaign (stuck
@@ -138,6 +144,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.scheduler import BatchPolicy
     from repro.serving.workload import format_serving, run_serving_workload
 
+    if args.deployment:
+        from repro.io import load_deployment
+        from repro.serving.registry import ModelRegistry
+        from repro.serving.workload import (
+            format_deployment_run,
+            run_deployment_workload,
+        )
+
+        if not args.registry:
+            print(
+                "error: --deployment needs --registry (the directory the "
+                "deployed model is registered in)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            deployment = load_deployment(args.deployment)
+            result = run_deployment_workload(
+                ModelRegistry(args.registry, backend=args.backend),
+                deployment,
+                n_requests=args.requests,
+                submitters=args.submitters,
+                policy=BatchPolicy(
+                    max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+                ),
+                seed=args.seed,
+            )
+        except (ValueError, KeyError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(format_deployment_run(result))
+        return 0 if result.errors == 0 else 1
+
     result = run_serving_workload(
         dataset=args.dataset,
         n_models=args.models,
@@ -157,6 +199,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.report and not args.json:
         snapshot = result.telemetry
         print(f"drain clean: {snapshot.in_flight == 0}")
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.io import load_deployment
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.server import FeBiMServer
+
+    try:
+        deployment = load_deployment(args.spec)
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid deployment spec: {exc}", file=sys.stderr)
+        return 2
+    registry = ModelRegistry(args.registry, backend=args.backend)
+    if deployment.model not in registry:
+        known = ", ".join(sorted(registry.list_models())) or "<none>"
+        print(
+            f"error: deployment model {deployment.model!r} is not in the "
+            f"registry (registered: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.validate_only:
+        print(f"spec OK: {deployment.describe()}")
+        return 0
+    # Dry-run apply: materialise and probe every replica exactly as a
+    # live server would, then report the replica table.
+    with FeBiMServer(registry, seed=args.seed) as server:
+        try:
+            applied = server.deploy(deployment)
+        except (ValueError, KeyError) as exc:
+            print(f"error: deployment failed to apply: {exc}", file=sys.stderr)
+            return 2
+        statuses = [s.to_dict() for s in server.router.status(deployment.model)]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "deployment": deployment.to_dict(),
+                    "version": applied.version,
+                    "replicas": statuses,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"applied: {deployment.model}@v{applied.version} "
+              f"policy={deployment.policy.kind}")
+        for status in statuses:
+            print(
+                f"  {status['replica']:26s} {status['state']:8s} "
+                f"unit delay {status['unit_delay_s'] * 1e9:8.1f} ns  "
+                f"weight {status['weight']:g}"
+            )
     return 0
 
 
@@ -396,6 +494,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--registry", metavar="DIR", help="persist tenants here (default: temp dir)"
     )
+    serve.add_argument(
+        "--deployment",
+        metavar="SPEC.json",
+        help="drive the traffic through this deployment spec instead of "
+        "auto-trained tenants (needs --registry with the model registered; "
+        "see 'febim deploy')",
+    )
     serve.add_argument("--seed", type=int, default=0)
     add_backend_flag(serve)
     serve.add_argument(
@@ -409,6 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the report",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="validate a deployment spec and dry-run apply it (replica table)",
+    )
+    deploy.add_argument("registry", help="registry directory holding the model")
+    deploy.add_argument("spec", help="deployment spec JSON (see repro.io.save_deployment)")
+    deploy.add_argument(
+        "--validate-only",
+        action="store_true",
+        help="check the spec without materialising any replica",
+    )
+    deploy.add_argument("--seed", type=int, default=0)
+    add_backend_flag(deploy)
+    deploy.add_argument("--json", action="store_true", help="emit JSON")
+    deploy.set_defaults(func=_cmd_deploy)
 
     submit = sub.add_parser(
         "submit", help="serve one request from a registry directory"

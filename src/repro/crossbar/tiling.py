@@ -25,7 +25,6 @@ import numpy as np
 from repro.core.engine import FeBiMEngine
 from repro.core.quantization import QuantizedBayesianModel
 from repro.crossbar.parameters import CircuitParameters
-from repro.crossbar.timing import DelayModel
 from repro.devices.fefet import MultiLevelCellSpec
 from repro.devices.variation import VariationModel
 from repro.utils.rng import RngLike, ensure_rng
@@ -129,13 +128,14 @@ class TiledFeBiM:
 
     Notes
     -----
-    Per-tile reads and costs come from the backend, but the *stage-2*
-    resolution is modelled as the paper's analog current-mode WTA
-    (mirrored winner currents, gap-dependent settling): decisions are
-    correct on every backend (argmax is argmax), while the hierarchical
-    delay/energy report is calibrated for the FeFET technology and only
-    approximate elsewhere — a per-backend stage-2 cost model is a
-    ROADMAP follow-up.
+    Per-tile reads and costs come from the backend, and so does the
+    *stage-2* resolution cost: the
+    :meth:`~repro.backends.base.ArrayBackend.stage2_cost` hook charges
+    each technology's own second-stage circuit (the paper's analog
+    mirrored-current WTA on ``fefet`` — bit-identical to the
+    pre-hook hard-coded model — digital compare trees on the exact
+    backends).  Decisions are technology-agnostic either way: argmax
+    is argmax.
     """
 
     def __init__(
@@ -178,7 +178,6 @@ class TiledFeBiM:
             )
             for rows in self.tile_rows
         ]
-        self._delay_model = DelayModel(self.params)
 
     @property
     def n_tiles(self) -> int:
@@ -282,26 +281,14 @@ class TiledFeBiM:
         winner_tile = int(np.argmax(tile_winner_currents))
         prediction = self.model.classes[tile_winner_rows[winner_tile]]
 
-        # Stage 2: a WTA over the tile winners' mirrored currents.  Tiles
-        # resolve in parallel; stage 2 starts when the slowest finishes.
+        # Stage 2: winner resolution over the tile winners, charged by
+        # the technology's own circuit (backend ``stage2_cost`` hook —
+        # analog mirrored-current WTA on fefet, digital compare trees
+        # on the exact backends).  Tiles resolve in parallel; stage 2
+        # starts when the slowest finishes.
         if self.n_tiles > 1:
-            ordered = np.sort(tile_winner_currents)
-            # Floors keep the resolution model defined when every
-            # winner current is exactly zero — unreachable on the
-            # FeFET backend (leakage floor; the clamps are no-ops
-            # there, preserving the goldens) but a legitimate degraded
-            # state on exact backends with stuck-off faults, where the
-            # trial must report accuracy, not crash.
-            top = max(float(ordered[-1]), 1e-12)
-            gap = max(float(ordered[-1] - ordered[-2]), 1e-9 * top)
-            total = max(float(tile_winner_currents.sum()), 1e-12)
-            stage2_delay = (
-                self.params.t_base / 2.0
-                + self._delay_model.wta_loading(self.n_tiles)
-                + self._delay_model.gap_resolution(total, gap)
-            )
-            stage2_energy = self.n_tiles * (
-                self.params.e_mirror_per_row + self.params.e_wta_per_row
+            stage2_delay, stage2_energy = self.tiles[0].backend.stage2_cost(
+                tile_winner_currents
             )
         else:
             stage2_delay = 0.0

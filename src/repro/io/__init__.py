@@ -11,9 +11,11 @@ from repro.io.serialize import (
     artifact_backend,
     engine_manifest,
     load_artifact,
+    load_deployment,
     load_model,
     model_from_dict,
     model_to_dict,
+    save_deployment,
     save_model,
 )
 
@@ -25,5 +27,7 @@ __all__ = [
     "save_model",
     "load_artifact",
     "load_model",
+    "save_deployment",
+    "load_deployment",
     "engine_manifest",
 ]

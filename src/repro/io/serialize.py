@@ -142,20 +142,9 @@ def model_from_dict(data: dict) -> Tuple[QuantizedBayesianModel, MultiLevelCellS
     return model, spec
 
 
-def save_model(
-    path: Union[str, Path],
-    model: QuantizedBayesianModel,
-    spec: MultiLevelCellSpec = None,
-    backend: str = DEFAULT_BACKEND,
-) -> Path:
-    """Write the model artifact as JSON; returns the path.
-
-    The write is atomic (temp file + ``os.replace``) so a concurrent
-    reader — e.g. a serving registry resolving a model that is being
-    hot re-registered — can never observe a half-written artifact.
-    """
-    path = Path(path)
-    payload = json.dumps(model_to_dict(model, spec, backend=backend), indent=2)
+def _atomic_write_text(path: Path, payload: str) -> Path:
+    """Write ``payload`` atomically (temp file + ``os.replace``) so a
+    concurrent reader can never observe a half-written artifact."""
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -168,6 +157,34 @@ def save_model(
             os.unlink(tmp_name)
         raise
     return path
+
+
+def _read_json(path: Path, what: str) -> dict:
+    """Parse a JSON artifact, wrapping decode errors diagnosably."""
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"{what} {path} is not valid JSON (truncated or corrupt?): {exc}"
+        ) from exc
+
+
+def save_model(
+    path: Union[str, Path],
+    model: QuantizedBayesianModel,
+    spec: MultiLevelCellSpec = None,
+    backend: str = DEFAULT_BACKEND,
+) -> Path:
+    """Write the model artifact as JSON; returns the path.
+
+    The write is atomic so a concurrent reader — e.g. a serving
+    registry resolving a model that is being hot re-registered — can
+    never observe a half-written artifact.
+    """
+    return _atomic_write_text(
+        Path(path),
+        json.dumps(model_to_dict(model, spec, backend=backend), indent=2),
+    )
 
 
 def load_model(path: Union[str, Path]) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
@@ -192,15 +209,39 @@ def load_artifact(
     report :data:`DEFAULT_BACKEND`.
     """
     path = Path(path)
-    try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ValueError(
-            f"model artifact {path} is not valid JSON "
-            f"(truncated or corrupt?): {exc}"
-        ) from exc
+    data = _read_json(path, "model artifact")
     model, spec = model_from_dict(data)
     return model, spec, artifact_backend(data)
+
+
+def save_deployment(path: Union[str, Path], deployment) -> Path:
+    """Write a validated deployment spec as JSON; returns the path.
+
+    Same atomic-write contract as :func:`save_model`: a ``febim serve
+    --deployment`` process re-reading the spec can never observe a
+    half-written file.
+    """
+    deployment.validate()
+    return _atomic_write_text(
+        Path(path), json.dumps(deployment.to_dict(), indent=2)
+    )
+
+
+def load_deployment(path: Union[str, Path]):
+    """Read and validate a deployment spec written by
+    :func:`save_deployment` (or by hand).
+
+    Raises
+    ------
+    ValueError
+        If the file is not valid JSON, is structurally malformed, or
+        names backends/options/policies the installed backend registry
+        cannot honour (:class:`repro.serving.deployment.
+        DeploymentError` is a ``ValueError``).
+    """
+    from repro.serving.deployment import Deployment
+
+    return Deployment.from_dict(_read_json(Path(path), "deployment spec"))
 
 
 def engine_manifest(engine: FeBiMEngine) -> dict:

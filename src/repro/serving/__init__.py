@@ -15,6 +15,16 @@ two:
   scheduled background health sweeps
   (:meth:`~repro.serving.server.FeBiMServer.enable_maintenance` /
   :class:`MaintenanceThread`);
+* :class:`Deployment` / :class:`ReplicaSpec` / :class:`RoutingPolicy` —
+  the declarative tenancy model: one model served by N replica arrays
+  (each on its own backend technology) behind a routing policy;
+  JSON-serialisable through :mod:`repro.io`, capability-validated
+  before any array is programmed;
+* :class:`Router` — per-request arbitration across a deployment's
+  replicas (``cost`` / ``round_robin`` / ``sticky`` / ``mirror``
+  majority voting), one micro-batch queue per replica, transparent
+  failover, and the replica heal ladder
+  (refresh -> replace -> evict);
 * :class:`HealthMonitor` — canary health checks over the served
   engines with an automatic refresh -> replace repair ladder (the
   serving face of :mod:`repro.reliability`).
@@ -30,8 +40,22 @@ fault/healing acceptance gates, and ``examples/serving_demo.py`` for a
 two-tenant walkthrough.
 """
 
-from repro.serving.health import HealthMonitor, HealthReport
+from repro.serving.deployment import (
+    Deployment,
+    DeploymentError,
+    ReplicaSpec,
+    RoutingPolicy,
+    single_replica_deployment,
+)
+from repro.serving.health import HealthMonitor, HealthReport, measure_agreement
 from repro.serving.registry import ModelRegistry
+from repro.serving.router import (
+    MirroredResult,
+    ReplicaHealthReport,
+    ReplicaStatus,
+    Router,
+    replica_stream_seed,
+)
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatchScheduler,
@@ -43,15 +67,26 @@ from repro.serving.telemetry import Telemetry, TelemetrySnapshot
 
 __all__ = [
     "BatchPolicy",
+    "Deployment",
+    "DeploymentError",
     "FeBiMServer",
     "HealthMonitor",
     "HealthReport",
     "MaintenanceThread",
     "MicroBatchScheduler",
+    "MirroredResult",
     "ModelRegistry",
+    "ReplicaHealthReport",
+    "ReplicaSpec",
+    "ReplicaStatus",
+    "Router",
+    "RoutingPolicy",
     "SchedulerClosed",
     "ServedResult",
     "Telemetry",
     "TelemetrySnapshot",
+    "measure_agreement",
     "model_stream_seed",
+    "replica_stream_seed",
+    "single_replica_deployment",
 ]

@@ -28,13 +28,16 @@ Every sweep and repair lands in the server's
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.reliability.mitigation import refresh_engine
-from repro.serving.server import FeBiMServer
+
+if TYPE_CHECKING:  # import cycle: server -> router -> health
+    from repro.serving.server import FeBiMServer
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,29 @@ def _report_currents(report) -> np.ndarray:
     if currents is None:
         currents = report.tile_currents
     return np.asarray(currents, dtype=float)
+
+
+def agreement_from_predictions(
+    predictions: np.ndarray, baseline_predictions: np.ndarray
+) -> Tuple[int, float]:
+    """``(failed, accuracy)`` of canary predictions vs their pristine
+    baseline — the one implementation of agreement scoring, shared by
+    the single-engine :class:`HealthMonitor` and the deployment
+    :class:`~repro.serving.router.Router`'s per-replica heal ladder."""
+    predictions = np.asarray(predictions)
+    baseline = np.asarray(baseline_predictions)
+    failed = int(np.count_nonzero(predictions != baseline))
+    return failed, 1.0 - failed / baseline.shape[0]
+
+
+def measure_agreement(
+    engine, levels: np.ndarray, baseline_predictions: np.ndarray
+) -> Tuple[int, float]:
+    """Run ``levels`` through ``engine`` and score prediction agreement
+    (:func:`agreement_from_predictions` over a fresh canary read)."""
+    return agreement_from_predictions(
+        engine.infer_batch(levels).predictions, baseline_predictions
+    )
 
 
 class HealthMonitor:
@@ -177,9 +203,9 @@ class HealthMonitor:
     # -------------------------------------------------------------- checking
     def _measure(self, state: _CanaryState, engine) -> Tuple[int, float, float]:
         report = engine.infer_batch(state.levels)
-        predictions = np.asarray(report.predictions)
-        failed = int(np.count_nonzero(predictions != state.predictions))
-        accuracy = 1.0 - failed / state.predictions.shape[0]
+        failed, accuracy = agreement_from_predictions(
+            report.predictions, state.predictions
+        )
         currents = _report_currents(report)
         baseline = np.abs(state.currents)
         shift = float(
@@ -224,8 +250,18 @@ class HealthMonitor:
         # registry cache, so the scheduler is quiesced for the ladder:
         # the in-flight batch finishes on the consistent old state,
         # queued traffic waits, and no request can ever read a
-        # half-reprogrammed array.
-        with self.server.scheduler.quiesce(timeout=self.quiesce_timeout_s):
+        # half-reprogrammed array.  A deployment's replica 0 can share
+        # this very engine object (same registry cache entry), so its
+        # replica queues quiesce too.
+        router = getattr(self.server, "router", None)
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(
+                self.server.scheduler.quiesce(timeout=self.quiesce_timeout_s)
+            )
+            if router is not None:
+                stack.enter_context(
+                    router.quiesce_model(name, timeout=self.quiesce_timeout_s)
+                )
             # Rung 1: refresh-by-reprogram — clears retention drift and
             # accumulated disturb, cannot fix stuck hardware.
             refresh_engine(engine)

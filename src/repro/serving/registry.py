@@ -180,29 +180,44 @@ class ModelRegistry:
         return out
 
     def load(
-        self, name: str, version: Optional[int] = None
+        self,
+        name: str,
+        version: Optional[int] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> Tuple[QuantizedBayesianModel, MultiLevelCellSpec]:
         """Load ``(model, spec)`` for a version (latest by default).
+
+        ``backend`` names the technology the caller will program the
+        model onto.  Left ``None`` (the legacy form) it defaults to the
+        registry's own backend and the artifact's registered backend
+        must match it; passing it explicitly is the deployment path —
+        a replica spec naming a different technology than the artifact
+        was registered for is an *explicit* cross-technology decision
+        (written into the deployment by an operator), so the pin check
+        is waived.
 
         Raises
         ------
         ValueError
             If the artifact was registered for a different backend than
-            this registry serves — programming a model quantised for
-            one array technology onto another must be an explicit
-            decision, never an accident of sharing a directory.
+            this registry serves (and no explicit override was given) —
+            programming a model quantised for one array technology onto
+            another must be an explicit decision, never an accident of
+            sharing a directory.
         """
         version = self.resolve_version(name, version)
         path = self._model_dir(name) / f"v{version:04d}.json"
         if not path.is_file():
             raise KeyError(f"model {name!r} has no version {version}")
-        model, spec, backend = load_artifact(path)
-        if backend != self.backend:
+        model, spec, artifact = load_artifact(path)
+        if backend is None and artifact != self.backend:
             raise ValueError(
                 f"model {name!r} v{version} was registered for backend "
-                f"{backend!r} but this registry serves {self.backend!r}; "
-                f"open the registry with backend={backend!r} or "
-                f"re-register the model"
+                f"{artifact!r} but this registry serves {self.backend!r}; "
+                f"open the registry with backend={artifact!r}, re-register "
+                f"the model, or name the backend explicitly in a "
+                f"deployment replica spec"
             )
         return model, spec
 
@@ -232,12 +247,30 @@ class ModelRegistry:
         variation: Optional[VariationModel] = None,
         params: Optional[CircuitParameters] = None,
         mirror_gain_sigma: float = 0.0,
+        backend: Optional[str] = None,
+        backend_options: Optional[dict] = None,
+        fresh: bool = False,
     ):
         """A programmed engine for ``name``/``version`` (latest by default).
+
+        ``fresh=True`` skips the cache *read* and materialises anew —
+        the replacement rung of the repair ladders.  The replacement
+        takes over the cache slot, so later lookups of the same
+        configuration serve the new hardware; other cached engines of
+        the model are untouched (unlike :meth:`invalidate`).
 
         Returns a flat :class:`FeBiMEngine`, or a
         :class:`~repro.crossbar.tiling.TiledFeBiM` when ``max_rows`` is
         given (hierarchical WTA for many-class models).
+
+        ``backend``/``backend_options`` override the registry's serving
+        configuration for this engine only — the deployment path, where
+        each replica names its own technology (see
+        :meth:`load` for the pin-check semantics).  Left ``None`` they
+        resolve to the registry defaults, so a single-replica
+        deployment on the registry backend shares the *same cache
+        entry* (and therefore the same programmed engine object) as a
+        legacy lookup.
 
         Engines are cached (LRU) when the configuration is hashable and
         reproducible: ``seed`` of ``None``/``int`` and default
@@ -247,20 +280,30 @@ class ModelRegistry:
         than a fresh materialisation.
         """
         version = self.resolve_version(name, version)
+        backend_name = self.backend if backend is None else str(backend)
+        options = dict(
+            self.backend_options if backend_options is None else backend_options
+        )
+        try:
+            options_key = tuple(sorted(options.items()))
+            hash(options_key)
+        except TypeError:
+            options_key = None  # unhashable option values: uncacheable
         cacheable = (
             (seed is None or isinstance(seed, int))
             and variation is None
             and params is None
             and mirror_gain_sigma == 0.0
+            and options_key is not None
         )
-        key = (name, version, max_rows, seed)
-        if cacheable:
+        key = (name, version, max_rows, seed, backend_name, options_key)
+        if cacheable and not fresh:
             with self._lock:
                 if key in self._engines:
                     self._engines.move_to_end(key)
                     return self._engines[key]
 
-        model, spec = self.load(name, version)
+        model, spec = self.load(name, version, backend=backend)
         if max_rows is None:
             engine = FeBiMEngine(
                 model,
@@ -269,8 +312,8 @@ class ModelRegistry:
                 params=params,
                 mirror_gain_sigma=mirror_gain_sigma,
                 seed=seed,
-                backend=self.backend,
-                backend_options=self.backend_options,
+                backend=backend_name,
+                backend_options=options,
             )
         else:
             engine = TiledFeBiM(
@@ -280,8 +323,8 @@ class ModelRegistry:
                 variation=variation,
                 params=params,
                 seed=seed,
-                backend=self.backend,
-                backend_options=self.backend_options,
+                backend=backend_name,
+                backend_options=options,
             )
         if cacheable:
             with self._lock:

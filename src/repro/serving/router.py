@@ -1,0 +1,883 @@
+"""Cost- and health-aware request routing across deployment replicas.
+
+:class:`Router` is the serving layer's arbitration engine: it owns the
+applied :class:`~repro.serving.deployment.Deployment` specs, one
+programmed engine *and one micro-batch scheduler per replica* — a slow
+``memristor`` replica coalesces on its own worker and can never
+head-of-line-block an ``ideal`` one — and decides, per request, which
+replica answers:
+
+* ``cost`` — cheapest healthy replica: the backend's own
+  ``inference_cost_batch`` unit delay (probed once at apply time),
+  scaled by live queue occupancy and divided by the replica weight;
+* ``round_robin`` — healthy replicas in turn;
+* ``sticky`` — per-tenant affinity: the request's ``client`` identity
+  hashes to a stable replica while that replica stays healthy;
+* ``mirror`` — fan out to N healthy replicas and majority-vote the
+  predictions (:class:`MirroredResult`), the reliability mode.
+
+Failures route around automatically on two timescales.  Per request,
+a replica attempt that errors is transparently resubmitted to another
+replica (the client future never sees the internal failure; telemetry
+records a *failover*), and a replica that failed a request another
+replica then served is marked down — its queue drains through the same
+failover path while new traffic skips it.  Per sweep,
+:meth:`Router.check_replica` runs the canary heal ladder one rung
+deeper than the single-engine
+:class:`~repro.serving.health.HealthMonitor`: **refresh** (reprogram in
+place), **replace** (fresh hardware, same stream seed), and finally
+**evict** — the replica is removed from the routing set for good and
+the deployment keeps serving on the survivors.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.reliability.mitigation import refresh_engine
+from repro.serving.deployment import Deployment, DeploymentError, ReplicaSpec
+from repro.serving.health import measure_agreement
+from repro.serving.scheduler import MicroBatchScheduler, ServedResult
+
+#: Replica lifecycle states.
+HEALTHY = "healthy"
+DOWN = "down"
+EVICTED = "evicted"
+
+#: Canary-set size probed per replica at apply time.
+N_CANARIES = 8
+
+
+class ReplicaKey(NamedTuple):
+    """Scheduler routing key for one replica's queue."""
+
+    name: str
+    version: int
+    replica: int
+
+    def __str__(self) -> str:
+        return f"{self.name}@v{self.version}#r{self.replica}"
+
+
+@dataclass(frozen=True)
+class ReplicaStatus:
+    """Public point-in-time view of one replica (``Router.status``)."""
+
+    replica: str
+    backend: str
+    state: str
+    weight: float
+    unit_delay_s: float
+    pending: int
+
+    def to_dict(self) -> dict:
+        return {
+            "replica": self.replica,
+            "backend": self.backend,
+            "state": self.state,
+            "weight": self.weight,
+            "unit_delay_s": self.unit_delay_s,
+            "pending": self.pending,
+        }
+
+
+@dataclass(frozen=True)
+class ReplicaHealthReport:
+    """Outcome of one replica heal-ladder pass (``check_replica``)."""
+
+    replica: str
+    state: str
+    agreement: float
+    action: str  # "ok" | "refresh" | "replace" | "evict"
+    healed: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "replica": self.replica,
+            "state": self.state,
+            "agreement": self.agreement,
+            "action": self.action,
+            "healed": self.healed,
+        }
+
+
+@dataclass(frozen=True)
+class MirroredResult:
+    """A mirrored request's majority vote across replicas.
+
+    Quacks like :class:`~repro.serving.scheduler.ServedResult` where it
+    matters (``prediction`` / ``delay`` / ``energy_total`` /
+    ``queue_wait_s`` / ``batch_size``), with the vote detail on top:
+    ``votes`` maps each participating replica label to its prediction
+    (``None`` for a replica whose attempt failed — it abstains, is
+    marked down, and counts *against* ``agreement``, which is the
+    winner's share of all participants, not of the respondents).
+
+    Delay is the slowest participant (mirrors run in parallel), energy
+    the sum over participants — the price of the redundancy.
+    """
+
+    model: str
+    prediction: int
+    votes: Tuple[Tuple[str, Optional[int]], ...]
+    agreement: float
+    delay: float
+    energy_total: float
+    queue_wait_s: float
+    batch_size: int
+
+    @property
+    def unanimous(self) -> bool:
+        return self.agreement == 1.0
+
+
+class KilledReplicaError(RuntimeError):
+    """Raised when a batch resolves an engine on a killed replica."""
+
+
+class _Replica:
+    """One applied replica: spec, engine, scheduler, live state."""
+
+    def __init__(self, index: int, spec: ReplicaSpec, key: ReplicaKey):
+        self.index = index
+        self.spec = spec
+        self.key = key
+        self.scheduler: Optional[MicroBatchScheduler] = None
+        self.state = HEALTHY
+        self.killed = False
+        self.recoverable = True
+        self.engine = None
+        self.unit_delay = float("inf")
+        self.baseline: Optional[np.ndarray] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.key}[{self.spec.backend}]"
+
+    def resolve(self):
+        """The engine serving this replica; raises when killed."""
+        if self.killed or self.engine is None:
+            raise KilledReplicaError(f"replica {self.label} is dead")
+        return self.engine
+
+
+class _AppliedDeployment:
+    """A validated deployment bound to programmed replicas."""
+
+    def __init__(
+        self,
+        spec: Deployment,
+        version: int,
+        replicas: List[_Replica],
+        canaries: np.ndarray,
+    ):
+        self.spec = spec
+        self.name = spec.model
+        self.version = version
+        self.replicas = replicas
+        self.canaries = canaries
+        self.rr_counter = itertools.count()
+
+    @property
+    def route(self) -> str:
+        return f"{self.name}@v{self.version}"
+
+
+def replica_stream_seed(
+    base_seed: Optional[int], name: str, version: int, replica: int
+) -> Optional[int]:
+    """Deterministic per-replica engine seed.
+
+    Replica 0 uses the unmodified per-tenant stream
+    (:func:`~repro.serving.server.model_stream_seed`) so a
+    single-replica deployment materialises the bit-identical engine the
+    legacy path serves; higher replicas extend the entropy tuple with
+    their index for statistically independent streams.
+    """
+    from repro.serving.server import model_stream_seed
+
+    if replica == 0:
+        return model_stream_seed(base_seed, name, version)
+    if base_seed is None:
+        return None
+    entropy = (
+        int(base_seed),
+        zlib.crc32(name.encode("utf-8")),
+        int(version),
+        int(replica),
+    )
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+class Router:
+    """Deployment owner and per-request replica arbiter.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serving.server.FeBiMServer` whose registry,
+        batch policy, telemetry and seed the router shares.  Engines
+        materialise through the registry (per-replica backend
+        overrides), so a single-replica deployment on the registry's
+        own backend shares the legacy path's cache entry — and its
+        programmed engine object — bit for bit.
+
+    Thread safety: deployment application/removal and replica state
+    transitions take the router lock; the submit hot path reads the
+    replica list without copying (replica lists are never mutated in
+    place — eviction flips a state flag).
+    """
+
+    def __init__(self, server):
+        self.server = server
+        self._lock = threading.Lock()
+        self._deployments: Dict[str, _AppliedDeployment] = {}
+
+    # ------------------------------------------------------------ deployment
+    def deployments(self) -> Dict[str, Deployment]:
+        """Applied specs by model name."""
+        with self._lock:
+            return {name: dep.spec for name, dep in self._deployments.items()}
+
+    def deployment_for(
+        self, name: str, version: Optional[int] = None
+    ) -> Optional[_AppliedDeployment]:
+        """The applied deployment serving ``name`` at ``version``.
+
+        ``None`` when the model is undeployed *or* the caller pinned a
+        version other than the one the deployment resolved at apply
+        time — pinned lookups of historical versions keep working
+        through the legacy path.
+        """
+        with self._lock:
+            dep = self._deployments.get(name)
+        if dep is None:
+            return None
+        if version is not None and int(version) != dep.version:
+            return None
+        return dep
+
+    def apply(self, deployment: Deployment) -> _AppliedDeployment:
+        """Validate, program and install a deployment (replacing any
+        previous deployment of the same model).
+
+        Every replica is materialised, probed for its unit cost and
+        canary baseline *before* the deployment goes live — a spec that
+        cannot serve fails here, not mid-traffic.  The resolved model
+        version is pinned: re-apply to roll a deployment forward after
+        registering a new version.
+        """
+        deployment.validate()
+        registry = self.server.registry
+        version = registry.resolve_version(deployment.model, deployment.version)
+        canaries = self._canary_levels(deployment, version)
+
+        replicas: List[_Replica] = []
+        for i, spec in enumerate(deployment.replicas):
+            key = ReplicaKey(deployment.model, version, i)
+            replica = _Replica(i, spec, key)
+            # The scheduler resolves its replica directly (not through
+            # the live deployment table): requests queued on a
+            # deployment that is later replaced drain on the engines
+            # they were routed to, never on the replacement's replicas.
+            scheduler = MicroBatchScheduler(
+                lambda _key, r=replica: r.resolve(),
+                policy=self.server.policy,
+                telemetry=self.server.telemetry,
+            )
+            replica.scheduler = scheduler
+            try:
+                replica.engine = self._materialise(deployment.model, version, replica)
+                report = replica.engine.infer_batch(canaries)
+            except Exception as exc:
+                scheduler.shutdown(drain=False)
+                for built in replicas:
+                    built.scheduler.shutdown(drain=False)
+                raise DeploymentError(
+                    f"replica {i} ({spec.backend}) failed to materialise "
+                    f"for {deployment.model!r} v{version}: {exc}"
+                ) from exc
+            replica.baseline = np.asarray(report.predictions).copy()
+            replica.unit_delay = float(np.mean(report.delay))
+            replicas.append(replica)
+
+        applied = _AppliedDeployment(deployment, version, replicas, canaries)
+        with self._lock:
+            previous = self._deployments.get(deployment.model)
+            self._deployments[deployment.model] = applied
+        if previous is not None:
+            self._shutdown_deployment(previous)
+        return applied
+
+    def remove(self, name: str, timeout: Optional[float] = None) -> bool:
+        """Undeploy ``name`` (drain its replica queues); False if absent."""
+        with self._lock:
+            dep = self._deployments.pop(name, None)
+        if dep is None:
+            return False
+        self._shutdown_deployment(dep, timeout=timeout)
+        return True
+
+    def _shutdown_deployment(
+        self, dep: _AppliedDeployment, timeout: Optional[float] = None
+    ) -> None:
+        for replica in dep.replicas:
+            replica.scheduler.shutdown(drain=True, timeout=timeout)
+
+    def _canary_levels(self, deployment: Deployment, version: int) -> np.ndarray:
+        """A small deterministic probe set over the model's level widths."""
+        model, _ = self.server.registry.load(
+            deployment.model, version, backend=deployment.replicas[0].backend
+        )
+        widths = [t.shape[1] for t in model.likelihood_levels]
+        levels = np.empty((N_CANARIES, len(widths)), dtype=int)
+        for f, width in enumerate(widths):
+            levels[:, f] = (np.arange(N_CANARIES) * (f + 1)) % width
+        return levels
+
+    def _materialise(
+        self, name: str, version: int, replica: _Replica, fresh: bool = False
+    ):
+        """Program (or fetch from cache) one replica's engine.
+
+        ``fresh=True`` forces a new materialisation that takes over the
+        cache slot (the replace rung) without touching the model's
+        other cached engines.
+        """
+        registry = self.server.registry
+        spec = replica.spec
+        # A replica on the registry's own technology with no options of
+        # its own inherits the registry's serving configuration — and
+        # therefore the legacy path's cache key (single-replica
+        # bit-identity, enforced by tests/serving/test_router.py).
+        backend = None if spec.backend == registry.backend else spec.backend
+        options = spec.backend_options or (None if backend is None else {})
+        seed = replica_stream_seed(self.server.seed, name, version, replica.index)
+        if seed is None and replica.index > 0:
+            # A seedless server draws fresh entropy per engine, but the
+            # registry caches seed=None configurations under one key —
+            # which would collapse same-backend replicas into a single
+            # shared engine (no real redundancy, and a data race on
+            # stateful readers).  A Generator seed keeps the fresh
+            # entropy while bypassing the cache; replica 0 stays on the
+            # cached entry the legacy path shares.
+            seed = np.random.default_rng()
+        return registry.get_engine(
+            name,
+            version,
+            max_rows=self.server.max_rows,
+            seed=seed,
+            backend=backend,
+            backend_options=options,
+            fresh=fresh,
+        )
+
+    @contextmanager
+    def quiesce_model(
+        self, name: str, timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        """Pause every replica queue of ``name``'s deployment (no-op
+        when undeployed) for the body.
+
+        Engine repairs outside the router — the single-engine
+        :class:`~repro.serving.health.HealthMonitor` ladder — must hold
+        this alongside the legacy scheduler's quiesce: replica 0 of a
+        deployment on the registry backend *shares* the legacy path's
+        cached engine object, so a reprogram under only one scheduler's
+        quiesce would race the other's live batches.
+        """
+        dep = self.deployment_for(name)
+        with contextlib.ExitStack() as stack:
+            if dep is not None:
+                for replica in dep.replicas:
+                    stack.enter_context(replica.scheduler.quiesce(timeout))
+            yield
+
+    # ------------------------------------------------------------- arbitration
+    def _candidates(self, dep: _AppliedDeployment) -> List[_Replica]:
+        healthy = [r for r in dep.replicas if r.state == HEALTHY]
+        if healthy:
+            return healthy
+        down = [r for r in dep.replicas if r.state == DOWN]
+        if down:
+            # Nothing healthy: trying a down replica beats rejecting the
+            # request outright (it may have recovered; if not, the
+            # failover chain surfaces the error).
+            return down
+        raise RuntimeError(
+            f"deployment {dep.name!r} v{dep.version} has no serviceable "
+            f"replicas (all evicted)"
+        )
+
+    def _score(self, replica: _Replica) -> float:
+        """Cost-policy score: lower is better.
+
+        The replica's probed unit delay (its technology's own cost
+        model), scaled by live queue depth — a busy replica's next
+        request waits behind its backlog — and divided by the spec
+        weight.
+        """
+        occupancy = 1 + replica.scheduler.pending
+        return replica.unit_delay * occupancy / replica.spec.weight
+
+    def _pick(
+        self, dep: _AppliedDeployment, client: Optional[object]
+    ) -> _Replica:
+        candidates = self._candidates(dep)
+        kind = dep.spec.policy.kind
+        if kind == "round_robin":
+            return candidates[next(dep.rr_counter) % len(candidates)]
+        if kind == "sticky":
+            anchor = 0 if client is None else zlib.crc32(str(client).encode())
+            # Hash over the *full* replica list so affinity is stable
+            # across unrelated replicas' state flips; walk forward past
+            # non-candidates.
+            start = anchor % len(dep.replicas)
+            for offset in range(len(dep.replicas)):
+                replica = dep.replicas[(start + offset) % len(dep.replicas)]
+                if replica in candidates:
+                    return replica
+            raise AssertionError("sticky walk missed every candidate")
+        # "cost" (and the mirror primary ordering)
+        return min(candidates, key=self._score)
+
+    # ---------------------------------------------------------------- submit
+    def submit(
+        self,
+        dep: _AppliedDeployment,
+        evidence_levels: np.ndarray,
+        client: Optional[object] = None,
+    ) -> "Future":
+        """Route one sample through the deployment's policy.
+
+        Returns a future resolving to a
+        :class:`~repro.serving.scheduler.ServedResult` (or a
+        :class:`MirroredResult` under the mirror policy).  Internal
+        replica failures fail over transparently; the client future
+        errors only when every serviceable replica failed the request.
+        """
+        if dep.spec.policy.kind == "mirror":
+            return self._submit_mirror(dep, evidence_levels)
+        replica = self._pick(dep, client)
+        client_future: "Future" = Future()
+        self._attempt(dep, replica, evidence_levels, client_future, {replica})
+        return client_future
+
+    def _next_fallback(
+        self, dep: _AppliedDeployment, attempted: set
+    ) -> Tuple[_AppliedDeployment, Optional[_Replica]]:
+        """The next serviceable replica no attempt has visited.
+
+        Resolved against the *live* deployment for the model: if the
+        one the request was routed under has been replaced mid-flight,
+        failover hops onto the replacement's (fresh, untried) replicas
+        instead of dying with the old schedulers.
+        """
+        current = self.deployment_for(dep.name) or dep
+        try:
+            candidates = self._candidates(current)
+        except RuntimeError:
+            return current, None
+        return current, next((r for r in candidates if r not in attempted), None)
+
+    def _failover(
+        self,
+        dep: _AppliedDeployment,
+        levels: np.ndarray,
+        client_future: "Future",
+        attempted: set,
+        failed_chain: Tuple[_Replica, ...],
+        exc: BaseException,
+    ) -> None:
+        """Resubmit after a failed attempt, or surface the error.
+
+        When no untried replica is left the request failed everywhere —
+        a request problem, not a replica problem, so nobody is marked
+        down and the last error reaches the client.
+        """
+        current, fallback = self._next_fallback(dep, attempted)
+        if fallback is None:
+            if client_future.set_running_or_notify_cancel():
+                client_future.set_exception(exc)
+            return
+        attempted.add(fallback)
+        self._attempt(current, fallback, levels, client_future, attempted, failed_chain)
+
+    def _attempt(
+        self,
+        dep: _AppliedDeployment,
+        replica: _Replica,
+        levels: np.ndarray,
+        client_future: "Future",
+        attempted: set,
+        failed_chain: Tuple[_Replica, ...] = (),
+    ) -> None:
+        try:
+            inner = replica.scheduler.submit(replica.key, levels)
+        except BaseException as exc:  # noqa: BLE001 — e.g. SchedulerClosed
+            # A redeploy/undeploy racing the submit closed this
+            # replica's queue; the failover contract still holds.
+            self._failover(
+                dep, levels, client_future, attempted, failed_chain, exc
+            )
+            return
+
+        def done(f: "Future") -> None:
+            if f.cancelled():
+                client_future.cancel()
+                return
+            exc = f.exception()
+            if exc is None:
+                if not client_future.set_running_or_notify_cancel():
+                    return  # client cancelled while we served it
+                self.server.telemetry.record_replica_served(replica.label)
+                # Failovers count only here, where the resubmission
+                # actually saved the client (one per earlier attempt):
+                # a request that fails on *every* replica is an error,
+                # not N-1 transparent rescues.
+                self.server.telemetry.record_failover(len(attempted) - 1)
+                # A replica that failed a request this replica then
+                # served is confirmed bad (the request was fine): mark
+                # it down so new traffic routes around while its queue
+                # drains through the same failover path.
+                for bad in failed_chain:
+                    self._mark_down(bad)
+                client_future.set_result(f.result())
+                return
+            try:
+                self._failover(
+                    dep,
+                    levels,
+                    client_future,
+                    attempted,
+                    failed_chain + (replica,),
+                    exc,
+                )
+            except BaseException as resubmit_exc:  # noqa: BLE001
+                # The client future must always resolve, never hang.
+                if client_future.set_running_or_notify_cancel():
+                    client_future.set_exception(resubmit_exc)
+
+        inner.add_done_callback(done)
+
+    def _mark_down(self, replica: _Replica) -> None:
+        with self._lock:
+            if replica.state == HEALTHY:
+                replica.state = DOWN
+
+    def _shares_legacy_engine(self, replica: _Replica) -> bool:
+        """Whether this replica's engine is the legacy path's cache
+        entry (replica 0 on the registry's backend with inherited
+        options — the configurations collapse to one cache key)."""
+        return (
+            replica.index == 0
+            and replica.spec.backend == self.server.registry.backend
+            and not replica.spec.backend_options
+        )
+
+    # ---------------------------------------------------------------- mirror
+    def _submit_mirror(
+        self, dep: _AppliedDeployment, levels: np.ndarray
+    ) -> "Future[MirroredResult]":
+        policy = dep.spec.policy
+        candidates = sorted(self._candidates(dep), key=self._score)
+        if policy.mirror_fanout > 0:
+            candidates = candidates[: policy.mirror_fanout]
+        client_future: "Future[MirroredResult]" = Future()
+        votes: Dict[int, Optional[ServedResult]] = {}
+        remaining = [len(candidates)]
+        vote_lock = threading.Lock()
+
+        def record_vote(index: int, result: Optional[ServedResult]) -> None:
+            with vote_lock:
+                votes[index] = result
+                remaining[0] -= 1
+                if remaining[0]:
+                    return
+            self._resolve_vote(dep, candidates, votes, client_future)
+
+        def voted(index: int, f: "Future") -> None:
+            result = None
+            if not f.cancelled() and f.exception() is None:
+                result = f.result()
+            record_vote(index, result)
+
+        for replica in candidates:
+            try:
+                inner = replica.scheduler.submit(replica.key, levels)
+            except BaseException:  # noqa: BLE001 — abstain, don't hang the vote
+                record_vote(replica.index, None)
+                continue
+            inner.add_done_callback(
+                lambda f, i=replica.index: voted(i, f)
+            )
+        return client_future
+
+    def _resolve_vote(
+        self,
+        dep: _AppliedDeployment,
+        candidates: List[_Replica],
+        votes: Dict[int, Optional[ServedResult]],
+        client_future: "Future[MirroredResult]",
+    ) -> None:
+        if not client_future.set_running_or_notify_cancel():
+            return
+        succeeded = [
+            (replica, votes[replica.index])
+            for replica in candidates
+            if votes.get(replica.index) is not None
+        ]
+        if not succeeded:
+            client_future.set_exception(
+                RuntimeError(
+                    f"mirror vote failed: no replica of {dep.name!r} "
+                    f"answered"
+                )
+            )
+            return
+        # A participant that failed a request its peers served is
+        # confirmed bad, exactly as on the failover path: mark it down
+        # so the next mirrored request stops wasting fan-out on it.
+        for replica in candidates:
+            if votes.get(replica.index) is None:
+                self._mark_down(replica)
+        counts: Dict[int, int] = {}
+        for _, result in succeeded:
+            prediction = int(result.prediction)
+            counts[prediction] = counts.get(prediction, 0) + 1
+        # Majority; deterministic tie-break on the lower class label.
+        winner = min(counts, key=lambda p: (-counts[p], p))
+        # Agreement is over the *participants*, not the respondents: a
+        # dead replica is a lost vote, and a 2-way mirror with one
+        # corpse must read 0.5, never a unanimous vote of one.
+        agreement = counts[winner] / len(candidates)
+        for replica, _ in succeeded:
+            self.server.telemetry.record_replica_served(replica.label)
+        self.server.telemetry.record_mirror_vote(unanimous=agreement == 1.0)
+        client_future.set_result(
+            MirroredResult(
+                model=dep.route,
+                prediction=winner,
+                votes=tuple(
+                    (
+                        replica.label,
+                        None
+                        if votes.get(replica.index) is None
+                        else int(votes[replica.index].prediction),
+                    )
+                    for replica in candidates
+                ),
+                agreement=agreement,
+                delay=max(r.delay for _, r in succeeded),
+                energy_total=sum(r.energy_total for _, r in succeeded),
+                queue_wait_s=max(r.queue_wait_s for _, r in succeeded),
+                batch_size=max(r.batch_size for _, r in succeeded),
+            )
+        )
+
+    # ----------------------------------------------------------------- health
+    def status(self, name: str) -> List[ReplicaStatus]:
+        """Live per-replica view of one deployment."""
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        return [
+            ReplicaStatus(
+                replica=replica.label,
+                backend=replica.spec.backend,
+                state=replica.state,
+                weight=replica.spec.weight,
+                unit_delay_s=replica.unit_delay,
+                pending=replica.scheduler.pending,
+            )
+            for replica in dep.replicas
+        ]
+
+    def kill_replica(self, name: str, index: int, recoverable: bool = False) -> None:
+        """Chaos hook: hard-fail a replica without any health signal.
+
+        The replica's engine resolution is poisoned — queued and future
+        batches on it raise — but its routing state is left untouched,
+        exactly like a crashed array that has not been probed yet: the
+        per-request failover path discovers the loss, reroutes every
+        affected request and marks the replica down.  ``check_replica``
+        then escalates through the ladder: a ``recoverable`` kill (a
+        transient crash) is healed by the *replace* rung on fresh
+        hardware; the default unrecoverable kill (the array slot is
+        gone) ends in eviction.
+        """
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        replica = dep.replicas[index]
+        replica.killed = True
+        replica.recoverable = bool(recoverable)
+        replica.engine = None
+
+    def check_replica(self, name: str, index: int) -> ReplicaHealthReport:
+        """One canary sweep over a replica, healing up the full ladder.
+
+        Rungs: **refresh** (reprogram in place — clears drift, cannot
+        fix stuck hardware), **replace** (drop the cached engine and
+        re-materialise on fresh hardware, same stream seed), **evict**
+        (remove the replica from routing permanently; the deployment
+        keeps serving on the survivors).  Repairs run under the
+        replica's own scheduler quiesce so live traffic never reads a
+        half-reprogrammed array.
+        """
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        replica = dep.replicas[index]
+        if replica.state == EVICTED:
+            return ReplicaHealthReport(
+                replica.label, EVICTED, 0.0, action="evict", healed=False
+            )
+        min_agreement = dep.spec.policy.min_agreement
+        telemetry = self.server.telemetry
+
+        def measure() -> float:
+            failed, agreement = measure_agreement(
+                replica.resolve(), dep.canaries, replica.baseline
+            )
+            telemetry.record_health_check(failed)
+            return agreement
+
+        # The whole check runs quiesced, the initial probe included: a
+        # canary read must never interleave with live batches on
+        # stateful readers (an ``advance_streams`` replica's LFSR
+        # draws), and a failing probe escalates straight into repairs.
+        # When the replica shares its engine object with the legacy
+        # path (same registry cache entry), the legacy scheduler pauses
+        # too — mirroring the dual quiesce HealthMonitor holds — but
+        # unrelated tenants are not stalled for replicas that cannot
+        # share.
+        with contextlib.ExitStack() as quiesced:
+            if self._shares_legacy_engine(replica):
+                quiesced.enter_context(
+                    self.server.scheduler.quiesce(timeout=30.0)
+                )
+            quiesced.enter_context(replica.scheduler.quiesce(timeout=30.0))
+            try:
+                agreement = measure()
+            except Exception:
+                agreement = 0.0
+            if agreement >= min_agreement:
+                with self._lock:
+                    if replica.state == DOWN:
+                        replica.state = HEALTHY
+                return ReplicaHealthReport(
+                    replica.label, replica.state, agreement,
+                    action="ok", healed=True,
+                )
+            # Rung 1: refresh — reprogram in place.
+            try:
+                refresh_engine(replica.resolve())
+                telemetry.record_refresh()
+                agreement = measure()
+            except Exception:
+                agreement = 0.0
+            if agreement >= min_agreement:
+                action = "refresh"
+            else:
+                # Rung 2: replace — fresh hardware, same stream seed.
+                # An unrecoverably killed replica has no slot to put
+                # fresh hardware into; fall through to eviction.
+                action = "replace"
+                try:
+                    if replica.killed and not replica.recoverable:
+                        raise KilledReplicaError(
+                            f"replica {replica.label} is unrecoverable"
+                        )
+                    replica.killed = False
+                    replica.engine = self._materialise(
+                        dep.name, dep.version, replica, fresh=True
+                    )
+                    telemetry.record_replacement()
+                    agreement = measure()
+                except Exception:
+                    agreement = 0.0
+            if agreement < min_agreement:
+                # Rung 3: evict — out of the routing set for good.
+                with self._lock:
+                    replica.state = EVICTED
+                replica.killed = True
+                replica.engine = None
+                telemetry.record_replica_eviction()
+                return ReplicaHealthReport(
+                    replica.label, EVICTED, agreement,
+                    action="evict", healed=False,
+                )
+        with self._lock:
+            replica.state = HEALTHY
+        return ReplicaHealthReport(
+            replica.label, HEALTHY, agreement, action=action, healed=True
+        )
+
+    def check_all(self) -> List[ReplicaHealthReport]:
+        """Heal-ladder sweep over every replica of every deployment."""
+        reports = []
+        with self._lock:
+            deployed = list(self._deployments.values())
+        for dep in deployed:
+            for replica in dep.replicas:
+                reports.append(self.check_replica(dep.name, replica.index))
+        return reports
+
+    # -------------------------------------------------------------- lifecycle
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Drain every replica queue; False when any timed out.
+
+        ``timeout`` bounds the whole sweep (one shared deadline), not
+        each queue.  The sweep runs twice: a failover can resubmit onto
+        a queue the first pass already found empty, and the second pass
+        (a fast no-op when nothing moved) catches exactly those
+        stragglers.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            deployed = list(self._deployments.values())
+        schedulers = [r.scheduler for d in deployed for r in d.replicas]
+        ok = True
+        for _ in range(2):
+            for scheduler in schedulers:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(deadline - time.monotonic(), 0.0)
+                )
+                ok = scheduler.drain(remaining) and ok
+        return ok
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut every replica scheduler down; idempotent.
+
+        A graceful close drains every queue *before* any scheduler
+        shuts, so a failover from a late-draining replica cannot land
+        on an already-closed sibling.
+        """
+        if drain:
+            self.drain(timeout)
+        with self._lock:
+            deployed = list(self._deployments.values())
+        for dep in deployed:
+            for replica in dep.replicas:
+                replica.scheduler.shutdown(drain=drain, timeout=timeout)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            total = sum(len(d.replicas) for d in self._deployments.values())
+            return (
+                f"Router({len(self._deployments)} deployments, "
+                f"{total} replicas)"
+            )

@@ -20,6 +20,7 @@ tenants get statistically independent streams.
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from concurrent.futures import Future
 from typing import Dict, Hashable, List, NamedTuple, Optional, Union
@@ -28,7 +29,9 @@ import numpy as np
 
 from repro.core.quantization import QuantizedBayesianModel
 from repro.devices.fefet import MultiLevelCellSpec
+from repro.serving.deployment import Deployment
 from repro.serving.registry import ModelRegistry
+from repro.serving.router import Router
 from repro.serving.scheduler import BatchPolicy, MicroBatchScheduler, ServedResult
 from repro.serving.telemetry import Telemetry, TelemetrySnapshot
 
@@ -67,12 +70,13 @@ class MaintenanceThread:
     checks for the rest.
     """
 
-    def __init__(self, monitor, period_s: float, telemetry=None):
+    def __init__(self, monitor, period_s: float, telemetry=None, router=None):
         if period_s <= 0:
             raise ValueError(f"period_s must be positive, got {period_s}")
         self.monitor = monitor
         self.period_s = float(period_s)
         self.telemetry = telemetry
+        self.router = router
         self.sweep_errors = 0
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -101,6 +105,15 @@ class MaintenanceThread:
                     try:
                         self.monitor.check(name, version)
                     except Exception:  # noqa: BLE001 — survive bad tenants
+                        self.sweep_errors += 1
+                if self.router is not None and not self._stop.is_set():
+                    # Deployment replicas sweep through their own heal
+                    # ladder (refresh -> replace -> evict); same
+                    # isolation contract — a failing deployment must
+                    # not starve the canary checks above.
+                    try:
+                        self.router.check_all()
+                    except Exception:  # noqa: BLE001
                         self.sweep_errors += 1
                 if self.telemetry is not None:
                     self.telemetry.record_maintenance_sweep()
@@ -179,6 +192,7 @@ class FeBiMServer:
         self.scheduler = MicroBatchScheduler(
             self._resolve, policy=self.policy, telemetry=self.telemetry
         )
+        self.router = Router(self)
         self.monitor = None
         self.maintenance: Optional[MaintenanceThread] = None
         if maintenance_period_s is not None:
@@ -224,14 +238,61 @@ class FeBiMServer:
         """Registered tenants and their versions."""
         return self.registry.list_models()
 
+    # ------------------------------------------------------------ deployments
+    def deploy(self, deployment: Deployment):
+        """Apply a declarative multi-replica deployment for a model.
+
+        Validates the spec (backends, capabilities, policy), programs
+        and probes every replica, and installs it in the
+        :attr:`router` — subsequent :meth:`submit`/:meth:`predict`
+        calls for the model are arbitrated across the replicas by the
+        deployment's routing policy, each replica coalescing on its own
+        micro-batch queue.  Undeployed models keep being served through
+        the legacy single-engine path, which is exactly a one-replica
+        deployment on the registry's backend.
+
+        The resolved model version is pinned at apply time; re-apply
+        after registering a new version to roll the deployment forward.
+        Returns the applied deployment handle (status/introspection).
+        """
+        return self.router.apply(deployment)
+
+    def undeploy(self, name: str, timeout: Optional[float] = None) -> bool:
+        """Remove a model's deployment (drains its replica queues).
+
+        The model falls back to the legacy single-engine path; returns
+        ``False`` when no deployment was applied.
+        """
+        return self.router.remove(name, timeout=timeout)
+
+    def deployments(self) -> Dict[str, Deployment]:
+        """Applied deployment specs by model name."""
+        return self.router.deployments()
+
     # --------------------------------------------------------------- requests
     def submit(
         self,
         name: str,
         evidence_levels: np.ndarray,
         version: Optional[int] = None,
+        client: Optional[object] = None,
     ) -> "Future[ServedResult]":
-        """Enqueue one discretised sample for ``name``; returns a future."""
+        """Enqueue one discretised sample for ``name``; returns a future.
+
+        Deployed models route through the :attr:`router`'s policy
+        (``client`` is the affinity identity the ``sticky`` policy
+        hashes; the other policies ignore it).  Undeployed models — and
+        version pins older than the applied deployment — take the
+        legacy single-engine path unchanged.
+        """
+        deployment = self.router.deployment_for(name, version)
+        if deployment is not None:
+            levels = np.asarray(evidence_levels, dtype=int)
+            if levels.ndim != 1:
+                raise ValueError(
+                    f"submit takes one 1-D sample, got shape {levels.shape}"
+                )
+            return self.router.submit(deployment, levels, client=client)
         return self.scheduler.submit(self._route(name, version), evidence_levels)
 
     def submit_many(
@@ -239,8 +300,21 @@ class FeBiMServer:
         name: str,
         evidence_levels: np.ndarray,
         version: Optional[int] = None,
+        client: Optional[object] = None,
     ) -> List["Future[ServedResult]"]:
         """Enqueue a stack of samples as independent single requests."""
+        deployment = self.router.deployment_for(name, version)
+        if deployment is not None:
+            levels = np.asarray(evidence_levels, dtype=int)
+            if levels.ndim != 2:
+                raise ValueError(
+                    f"submit_many takes (n, features) samples, got "
+                    f"{levels.shape}"
+                )
+            return [
+                self.router.submit(deployment, row, client=client)
+                for row in levels
+            ]
         return self.scheduler.submit_many(
             self._route(name, version), evidence_levels
         )
@@ -251,9 +325,12 @@ class FeBiMServer:
         evidence_levels: np.ndarray,
         version: Optional[int] = None,
         timeout: Optional[float] = None,
+        client: Optional[object] = None,
     ):
         """Blocking single-sample convenience: submit and wait."""
-        return self.submit(name, evidence_levels, version).result(timeout)
+        return self.submit(name, evidence_levels, version, client=client).result(
+            timeout
+        )
 
     # ------------------------------------------------------------ maintenance
     def enable_maintenance(
@@ -288,7 +365,7 @@ class FeBiMServer:
         self.stop_maintenance()
         self.monitor = monitor
         self.maintenance = MaintenanceThread(
-            monitor, period_s, telemetry=self.telemetry
+            monitor, period_s, telemetry=self.telemetry, router=self.router
         )
         return monitor
 
@@ -315,20 +392,31 @@ class FeBiMServer:
         return self.telemetry.snapshot()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
-        """Serve everything queued; returns False on timeout."""
-        return self.scheduler.drain(timeout)
+        """Serve everything queued (legacy queue *and* every deployment
+        replica queue); returns False on timeout.
+
+        ``timeout`` bounds the whole drain with one shared deadline.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = self.scheduler.drain(timeout)
+        remaining = (
+            None if deadline is None else max(deadline - time.monotonic(), 0.0)
+        )
+        return self.router.drain(remaining) and drained
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Graceful (draining) shutdown by default; idempotent.
 
         The maintenance thread stops (and any in-flight sweep
-        finishes) *before* the scheduler drains, so a healing repair
-        can never race the shutdown.  ``timeout`` bounds each phase:
-        when set, a sweep mid-heal may be left finishing on its daemon
-        thread (the stop flag is set, so it exits right after) instead
-        of blocking the close indefinitely.
+        finishes) *before* the schedulers drain, so a healing repair
+        can never race the shutdown; deployment replica queues shut
+        down alongside the legacy queue.  ``timeout`` bounds each
+        phase: when set, a sweep mid-heal may be left finishing on its
+        daemon thread (the stop flag is set, so it exits right after)
+        instead of blocking the close indefinitely.
         """
         self.stop_maintenance(timeout)
+        self.router.close(drain=drain, timeout=timeout)
         self.scheduler.shutdown(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "FeBiMServer":

@@ -59,6 +59,19 @@ class TelemetrySnapshot:
     maintenance_sweeps:
         Background sweeps completed by the server's maintenance
         thread (each sweep runs every installed canary check).
+    per_replica:
+        Completed-request count per deployment replica (keys like
+        ``"iris@v1#r0[ideal]"``) — the counter the routing-policy
+        acceptance gates assert against.
+    failovers:
+        Requests transparently resubmitted to another replica after
+        their first replica failed (the client saw no error).
+    replica_evictions:
+        Replicas the router's heal ladder gave up on and removed from
+        the routing set (refresh and replace both failed).
+    mirror_votes / mirror_disagreements:
+        Mirrored requests resolved by majority vote, and how many of
+        those had at least one replica disagreeing with the majority.
     """
 
     submitted: int
@@ -77,6 +90,11 @@ class TelemetrySnapshot:
     refreshes: int = 0
     replacements: int = 0
     maintenance_sweeps: int = 0
+    per_replica: Dict[str, int] = field(default_factory=dict)
+    failovers: int = 0
+    replica_evictions: int = 0
+    mirror_votes: int = 0
+    mirror_disagreements: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -102,6 +120,11 @@ class TelemetrySnapshot:
             "refreshes": self.refreshes,
             "replacements": self.replacements,
             "maintenance_sweeps": self.maintenance_sweeps,
+            "per_replica": dict(self.per_replica),
+            "failovers": self.failovers,
+            "replica_evictions": self.replica_evictions,
+            "mirror_votes": self.mirror_votes,
+            "mirror_disagreements": self.mirror_disagreements,
         }
 
     def format_lines(self) -> str:
@@ -122,8 +145,19 @@ class TelemetrySnapshot:
                 f"{self.replacements} replacements  "
                 f"{self.maintenance_sweeps} sweeps"
             )
+        if self.failovers or self.replica_evictions or self.mirror_votes:
+            lines.append(
+                f"routing    {self.failovers} failovers  "
+                f"{self.replica_evictions} evictions  "
+                f"{self.mirror_votes} mirror votes "
+                f"({self.mirror_disagreements} split)"
+            )
         for name in sorted(self.per_model):
             lines.append(f"  model {name:20s} {self.per_model[name]} served")
+        for replica in sorted(self.per_replica):
+            lines.append(
+                f"  replica {replica:20s} {self.per_replica[replica]} served"
+            )
         return "\n".join(lines)
 
 
@@ -155,6 +189,11 @@ class Telemetry:
         self._refreshes = 0
         self._replacements = 0
         self._maintenance_sweeps = 0
+        self._per_replica: Dict[str, int] = {}
+        self._failovers = 0
+        self._replica_evictions = 0
+        self._mirror_votes = 0
+        self._mirror_disagreements = 0
 
     # ------------------------------------------------------------- recording
     def record_submitted(self, n: int = 1) -> None:
@@ -202,6 +241,32 @@ class Telemetry:
         with self._lock:
             self._maintenance_sweeps += 1
 
+    def record_replica_served(self, replica: str, n: int = 1) -> None:
+        """``n`` requests answered by deployment replica ``replica``."""
+        with self._lock:
+            self._per_replica[replica] = self._per_replica.get(replica, 0) + n
+
+    def record_failover(self, n: int = 1) -> None:
+        """``n`` replica attempts whose transparent resubmission served
+        the client (requests that failed everywhere are errors, not
+        failovers)."""
+        if n <= 0:
+            return
+        with self._lock:
+            self._failovers += n
+
+    def record_replica_eviction(self) -> None:
+        """One replica removed from routing by the heal ladder."""
+        with self._lock:
+            self._replica_evictions += 1
+
+    def record_mirror_vote(self, unanimous: bool) -> None:
+        """One mirrored request resolved by majority vote."""
+        with self._lock:
+            self._mirror_votes += 1
+            if not unanimous:
+                self._mirror_disagreements += 1
+
     # --------------------------------------------------------------- reading
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent snapshot of every counter."""
@@ -229,4 +294,9 @@ class Telemetry:
                 refreshes=self._refreshes,
                 replacements=self._replacements,
                 maintenance_sweeps=self._maintenance_sweeps,
+                per_replica=dict(self._per_replica),
+                failovers=self._failovers,
+                replica_evictions=self._replica_evictions,
+                mirror_votes=self._mirror_votes,
+                mirror_disagreements=self._mirror_disagreements,
             )

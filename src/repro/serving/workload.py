@@ -127,6 +127,63 @@ def _tenant_datasets(
     return tenants
 
 
+def _drive_submitters(
+    submit_request,
+    n_requests: int,
+    submitters: int,
+    drain,
+    timeout_s: float = 120.0,
+):
+    """Fire ``n_requests`` from concurrent submitter threads.
+
+    ``submit_request(i)`` submits request ``i`` and returns its future;
+    ``drain(timeout)`` flushes the server.  Returns ``(futures,
+    wall_s)`` measured from the submitters' start barrier to
+    drain-clean.  A submitter whose submit raises stops; its remaining
+    slots stay ``None`` for the caller to account as errors.  The
+    shared harness of both workload runners — GIL switch-interval
+    tuning included (the default 5 ms interval convoys the scheduler
+    worker behind the submitters).
+    """
+    futures: List[Optional[object]] = [None] * n_requests
+    barrier = threading.Barrier(submitters + 1)
+
+    def submitter(worker: int) -> None:
+        barrier.wait()
+        try:
+            for i in range(worker, n_requests, submitters):
+                futures[i] = submit_request(i)
+        except Exception as exc:  # noqa: BLE001 — Nones counted by callers
+            # Keep the cause visible: an error-count assertion downstream
+            # is undebuggable without it.
+            print(
+                f"workload submitter {worker} stopped: {exc!r}",
+                file=sys.stderr,
+            )
+
+    threads = [
+        threading.Thread(target=submitter, args=(w,), daemon=True)
+        for w in range(submitters)
+    ]
+    prev_switch = sys.getswitchinterval()
+    sys.setswitchinterval(1e-3)
+    try:
+        for t in threads:
+            t.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for t in threads:
+            t.join()
+        if not drain(timeout_s):
+            raise RuntimeError(
+                f"serving workload failed to drain in {timeout_s:.0f} s"
+            )
+        wall = time.perf_counter() - started
+    finally:
+        sys.setswitchinterval(prev_switch)
+    return futures, wall
+
+
 def run_serving_workload(
     dataset: str = "iris",
     n_models: int = 2,
@@ -232,44 +289,23 @@ def run_serving_workload(
             plan = [
                 (names[i % len(names)], i) for i in range(n_requests)
             ]
-            futures: List[Optional[object]] = [None] * n_requests
-            barrier = threading.Barrier(submitters + 1)
 
-            def submitter(worker: int) -> None:
-                barrier.wait()
-                for i in range(worker, n_requests, submitters):
-                    name, req = plan[i]
-                    pool = pools[name]
-                    futures[i] = server.submit(name, pool[req % pool.shape[0]])
+            def submit_request(i: int):
+                name, req = plan[i]
+                pool = pools[name]
+                return server.submit(name, pool[req % pool.shape[0]])
 
-            threads = [
-                threading.Thread(target=submitter, args=(w,), daemon=True)
-                for w in range(submitters)
-            ]
-            # The default 5 ms GIL switch interval convoys the worker
-            # behind the submitters (each handoff can stall a full
-            # interval); a tighter interval is standard tuning for
-            # thread-based Python servers.  Restored afterwards.
-            prev_switch = sys.getswitchinterval()
-            sys.setswitchinterval(1e-3)
-            try:
-                for t in threads:
-                    t.start()
-                barrier.wait()
-                started = time.perf_counter()
-                for t in threads:
-                    t.join()
-                if not server.drain(timeout=120.0):
-                    raise RuntimeError("serving workload failed to drain in 120 s")
-                wall = time.perf_counter() - started
-            finally:
-                sys.setswitchinterval(prev_switch)
+            futures, wall = _drive_submitters(
+                submit_request, n_requests, submitters, server.drain
+            )
 
             # Verify: every future resolved exactly once with the
             # bit-identical offline prediction for its sample.
             matched = 0
             for i, future in enumerate(futures):
                 name, req = plan[i]
+                if future is None:
+                    continue
                 result = future.result(timeout=0)
                 pool = pools[name]
                 if result.prediction == expected[name][req % pool.shape[0]]:
@@ -289,6 +325,157 @@ def run_serving_workload(
         telemetry=telemetry,
         backend=backend,
     )
+
+
+@dataclass(frozen=True)
+class DeploymentRunResult:
+    """Outcome of one mixed-traffic run against a deployment.
+
+    ``errors`` counts client-visible failures (a request that failed on
+    every serviceable replica); internal replica failures that failed
+    over transparently appear in ``telemetry.failovers`` instead.
+    """
+
+    deployment: dict
+    version: int
+    n_requests: int
+    submitters: int
+    wall_s: float
+    served_sps: float
+    errors: int
+    replicas: Tuple[dict, ...]
+    telemetry: TelemetrySnapshot
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``febim serve --deployment --json``)."""
+        return {
+            "bench": "deployment",
+            "deployment": dict(self.deployment),
+            "version": self.version,
+            "n_requests": self.n_requests,
+            "submitters": self.submitters,
+            "wall_s": self.wall_s,
+            "served_sps": self.served_sps,
+            "errors": self.errors,
+            "replicas": [dict(r) for r in self.replicas],
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def request_pool(
+    registry: ModelRegistry,
+    name: str,
+    version: Optional[int] = None,
+    n_samples: int = 256,
+    seed: int = 0,
+) -> np.ndarray:
+    """A deterministic pool of valid evidence-level requests for a model.
+
+    Levels are drawn uniformly within each feature's discretisation
+    width, read off the registered artifact — no dataset required, so
+    deployment workloads can drive any registry directory.
+    """
+    model, _ = registry.load(name, version, backend=registry.backend)
+    widths = [t.shape[1] for t in model.likelihood_levels]
+    rng = np.random.default_rng(seed)
+    pool = np.empty((n_samples, len(widths)), dtype=int)
+    for f, width in enumerate(widths):
+        pool[:, f] = rng.integers(0, width, size=n_samples)
+    return pool
+
+
+def run_deployment_workload(
+    registry: "ModelRegistry | str",
+    deployment,
+    n_requests: int = 1024,
+    submitters: int = 4,
+    policy: Optional[BatchPolicy] = None,
+    n_clients: int = 8,
+    seed: int = 0,
+) -> DeploymentRunResult:
+    """Drive a mixed request stream through a deployment's router.
+
+    The deployment's model must already be registered in ``registry``
+    (a path builds a :class:`ModelRegistry` with default options).
+    ``n_clients`` distinct client identities are cycled through the
+    traffic so the ``sticky`` policy has affinity keys to hash.
+
+    Returns sustained served throughput, client-visible error count and
+    the final telemetry snapshot — per-replica counters included, which
+    is what the routing-policy benchmarks tabulate.
+    """
+    check_positive_int(n_requests, "n_requests")
+    check_positive_int(submitters, "submitters")
+    check_positive_int(n_clients, "n_clients")
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry)
+    deployment.validate()
+    if deployment.model not in registry:
+        raise KeyError(
+            f"deployment model {deployment.model!r} is not registered in "
+            f"{registry.root}"
+        )
+    policy = policy or BatchPolicy()
+    pool = request_pool(registry, deployment.model, deployment.version, seed=seed)
+
+    with FeBiMServer(registry, policy=policy, seed=seed) as server:
+        applied = server.deploy(deployment)
+
+        def submit_request(i: int):
+            return server.submit(
+                deployment.model,
+                pool[i % pool.shape[0]],
+                client=f"client-{i % n_clients}",
+            )
+
+        futures, wall = _drive_submitters(
+            submit_request, n_requests, submitters, server.drain
+        )
+
+        errors = 0
+        for future in futures:
+            if (
+                future is None
+                or future.cancelled()
+                or future.exception(timeout=30.0) is not None
+            ):
+                errors += 1
+        statuses = tuple(
+            s.to_dict() for s in server.router.status(deployment.model)
+        )
+        telemetry = server.stats()
+
+    return DeploymentRunResult(
+        deployment=deployment.to_dict(),
+        version=applied.version,
+        n_requests=n_requests,
+        submitters=submitters,
+        wall_s=wall,
+        served_sps=n_requests / max(wall, 1e-12),
+        errors=errors,
+        replicas=statuses,
+        telemetry=telemetry,
+    )
+
+
+def format_deployment_run(result: DeploymentRunResult) -> str:
+    """Human-readable report (``febim serve --deployment``)."""
+    spec = result.deployment
+    lines = [
+        f"deployment workload: {spec['model']}@v{result.version} "
+        f"[{spec['policy']['kind']}] — {result.n_requests} requests, "
+        f"{result.submitters} submitters",
+        f"throughput served {result.served_sps:.0f} sps, "
+        f"{result.errors} client-visible errors",
+    ]
+    for replica in result.replicas:
+        lines.append(
+            f"  {replica['replica']:26s} {replica['state']:8s} "
+            f"unit delay {replica['unit_delay_s'] * 1e9:8.1f} ns  "
+            f"weight {replica['weight']:g}"
+        )
+    lines.append(result.telemetry.format_lines())
+    return "\n".join(lines)
 
 
 def format_serving(result: ServingRunResult) -> str:

@@ -1,0 +1,127 @@
+"""Memristor ``advance_streams``: opt-in true stochastic reads."""
+
+import numpy as np
+import pytest
+
+from repro.backends import Capability, backend_capabilities, create
+from repro.devices.fefet import MultiLevelCellSpec
+
+
+def build(advance, seed=7, rows=4, cols=12):
+    backend = create(
+        "memristor",
+        rows=rows,
+        cols=cols,
+        spec=MultiLevelCellSpec(n_levels=4),
+        seed=seed,
+        n_cycles=63,
+        advance_streams=advance,
+    )
+    # High levels keep the AND-tree pass probability well away from 0
+    # (realistic likelihood bytes), so counts are mid-range and the
+    # Bernoulli variance is visible.
+    rng = np.random.default_rng(3)
+    backend.program(rng.integers(2, 4, size=(rows, cols)))
+    return backend
+
+
+def masks(n, cols=12, seed=5):
+    rng = np.random.default_rng(seed)
+    out = rng.random((n, cols)) < 0.2
+    out[:, 0] = True  # never an all-off read
+    return out
+
+
+class TestCapability:
+    def test_declared_on_memristor_only(self):
+        assert Capability.STREAM_ADVANCE in backend_capabilities("memristor")
+        for name in ("fefet", "ideal", "cmos"):
+            assert Capability.STREAM_ADVANCE not in backend_capabilities(name)
+
+    def test_default_stays_frozen(self):
+        backend = build(advance=False)
+        reads = [backend.wordline_currents(masks(1)[0]) for _ in range(3)]
+        np.testing.assert_array_equal(reads[0], reads[1])
+        np.testing.assert_array_equal(reads[0], reads[2])
+
+
+class TestAdvancingSemantics:
+    def test_first_read_matches_frozen_backend(self):
+        """The live registers start where the frozen streams were
+        drawn: read #1 is bit-identical across modes."""
+        frozen, advancing = build(False), build(True)
+        mask = masks(1)[0]
+        np.testing.assert_array_equal(
+            frozen.wordline_currents(mask), advancing.wordline_currents(mask)
+        )
+
+    def test_repeated_reads_differ(self):
+        backend = build(advance=True)
+        mask = masks(1)[0]
+        reads = np.stack([backend.wordline_currents(mask) for _ in range(5)])
+        assert not all(
+            np.array_equal(reads[0], reads[i]) for i in range(1, 5)
+        )
+
+    def test_batch_equals_serial_in_order(self):
+        """A batch of n consumes the streams exactly as n back-to-back
+        serial reads would."""
+        batch = build(True).wordline_currents_batch(masks(4))
+        serial_backend = build(True)
+        serial = np.stack(
+            [serial_backend.wordline_currents(m) for m in masks(4)]
+        )
+        np.testing.assert_array_equal(batch, serial)
+
+    def test_mean_read_tracks_expected_posterior(self):
+        """Fresh draws estimate the stored posterior: averaged over
+        many advancing reads, each class count lands near its analytic
+        expectation ``n_cycles * prod(stored_byte / 256)``."""
+        advancing = build(True)
+        mask = masks(1)[0]
+        stored = advancing._stored_bytes().astype(float) / 256.0
+        pass_p = np.prod(np.where(mask, stored, 1.0), axis=1)
+        expected = pass_p * advancing.spec.i_max
+        mean = np.mean(
+            [advancing.wordline_currents(mask) for _ in range(40)], axis=0
+        )
+        # Binomial std of the 40-read mean is < 0.6 counts; 4 counts of
+        # slack also covers the LFSR's mild non-uniformity.
+        tolerance = 4 * advancing.spec.i_max / advancing.n_cycles
+        np.testing.assert_allclose(mean, expected, atol=tolerance)
+
+    def test_stuck_faults_still_pin_reads(self):
+        backend = build(True)
+        stuck_off = np.zeros((backend.rows, backend.cols), dtype=bool)
+        stuck_off[1, :] = True
+        backend.inject_stuck_faults(stuck_off=stuck_off)
+        mask = masks(1)[0]
+        for _ in range(3):
+            assert backend.wordline_currents(mask)[1] == 0.0
+
+
+class TestEngineIntegration:
+    def test_engine_predictions_vary_per_read(self):
+        from repro.core import quantize_model
+        from repro.core.engine import FeBiMEngine
+
+        rng = np.random.default_rng(2)
+        tables = []
+        for _ in range(4):
+            t = rng.random((4, 4)) + 1e-3
+            tables.append(t / t.sum(axis=1, keepdims=True))
+        prior = rng.random(4) + 0.5
+        model = quantize_model(tables, prior / prior.sum(), n_levels=4)
+        engine = FeBiMEngine(
+            model,
+            seed=0,
+            backend="memristor",
+            backend_options={"n_cycles": 15, "advance_streams": True},
+        )
+        levels = rng.integers(0, 4, size=(30, 4))
+        a = engine.predict(levels)
+        b = engine.predict(levels)
+        # Short bitstreams + fresh draws: at least one decision flips
+        # across the two passes (the stochastic serving regime the
+        # mirror policy is exercised under).
+        assert not np.array_equal(a, b)

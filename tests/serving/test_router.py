@@ -1,0 +1,402 @@
+"""Router behaviour: policies, failover, heal ladder, bit-identity."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import quantize_model
+from repro.serving import (
+    BatchPolicy,
+    Deployment,
+    FeBiMServer,
+    MirroredResult,
+    ModelRegistry,
+    ReplicaSpec,
+    RoutingPolicy,
+)
+
+
+def make_model(k=3, m=4, seed=0):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for _ in range(3):
+        t = rng.random((k, m)) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    prior = rng.random(k) + 0.5
+    return quantize_model(tables, prior / prior.sum(), n_levels=4)
+
+
+POLICY = BatchPolicy(max_batch=8, max_wait_ms=1.0)
+SAMPLE = np.array([0, 1, 2])
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with FeBiMServer(ModelRegistry(tmp_path / "reg"), policy=POLICY, seed=0) as srv:
+        srv.register("iris", make_model(seed=1))
+        yield srv
+
+
+def deploy(server, *specs, policy=None):
+    return server.deploy(
+        Deployment("iris", list(specs), policy or RoutingPolicy("cost"))
+    )
+
+
+class TestSingleReplicaBitIdentity:
+    def test_matches_legacy_path(self, tmp_path, server):
+        """A single-replica deployment on the registry backend serves
+        the bit-identical result of the legacy register/predict path —
+        same derived stream seed, same registry cache entry."""
+        legacy = server.predict("iris", SAMPLE, timeout=5)
+        legacy_engine = server.engine_for("iris")
+
+        with FeBiMServer(
+            ModelRegistry(tmp_path / "reg2"), policy=POLICY, seed=0
+        ) as other:
+            other.register("iris", make_model(seed=1))
+            other.deploy(
+                Deployment("iris", [ReplicaSpec("fefet")], RoutingPolicy("cost"))
+            )
+            deployed = other.predict("iris", SAMPLE, timeout=5)
+            assert deployed.prediction == legacy.prediction
+            assert deployed.delay == legacy.delay  # bit-identical
+            assert deployed.energy_total == legacy.energy_total
+            np.testing.assert_array_equal(
+                deployed.report().wordline_currents,
+                legacy.report().wordline_currents,
+            )
+
+    def test_shares_legacy_engine_cache_entry(self, server):
+        deploy(server, ReplicaSpec("fefet"))
+        dep = server.router.deployment_for("iris")
+        assert dep.replicas[0].engine is server.engine_for("iris")
+
+
+class TestRoutingPolicies:
+    def test_cost_picks_cheaper_healthy_replica(self, server):
+        """Sequential traffic (empty queues) must all land on the
+        replica whose own cost model is cheapest — asserted through the
+        per-replica telemetry counters."""
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("memristor"))
+        for _ in range(10):
+            server.predict("iris", SAMPLE, timeout=5)
+        per_replica = server.stats().per_replica
+        assert per_replica.get("iris@v1#r0[ideal]") == 10
+        assert "iris@v1#r1[memristor]" not in per_replica
+
+    def test_cost_respects_weight(self, server):
+        """An overwhelming weight on the expensive replica flips the
+        cost decision — weight scales capacity."""
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("memristor", weight=1e9),
+        )
+        server.predict("iris", SAMPLE, timeout=5)
+        assert server.stats().per_replica == {"iris@v1#r1[memristor]": 1}
+
+    def test_round_robin_alternates(self, server):
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            policy=RoutingPolicy("round_robin"),
+        )
+        for _ in range(6):
+            server.predict("iris", SAMPLE, timeout=5)
+        per_replica = server.stats().per_replica
+        assert per_replica["iris@v1#r0[ideal]"] == 3
+        assert per_replica["iris@v1#r1[cmos]"] == 3
+
+    def test_sticky_pins_client_to_one_replica(self, server):
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            policy=RoutingPolicy("sticky"),
+        )
+        for _ in range(5):
+            server.predict("iris", SAMPLE, timeout=5, client="alice")
+        per_replica = server.stats().per_replica
+        assert len(per_replica) == 1
+        assert next(iter(per_replica.values())) == 5
+
+    def test_sticky_spreads_distinct_clients(self, server):
+        deploy(
+            server,
+            *[ReplicaSpec("ideal") for _ in range(4)],
+            policy=RoutingPolicy("sticky"),
+        )
+        for client in range(32):
+            server.predict("iris", SAMPLE, timeout=5, client=f"c{client}")
+        assert len(server.stats().per_replica) >= 2
+
+    def test_mirror_majority_vote(self, server):
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            ReplicaSpec("fefet"),
+            policy=RoutingPolicy("mirror"),
+        )
+        direct = server.router.deployment_for("iris").replicas[0].engine
+        expected = direct.infer_batch(SAMPLE[None, :]).predictions[0]
+        result = server.predict("iris", SAMPLE, timeout=5)
+        assert isinstance(result, MirroredResult)
+        assert result.prediction == expected
+        assert len(result.votes) == 3
+        assert result.agreement == 1.0  # exact backends agree
+        snapshot = server.stats()
+        assert snapshot.mirror_votes == 1
+        assert snapshot.mirror_disagreements == 0
+        assert len(snapshot.per_replica) == 3
+
+    def test_seedless_server_replicas_get_distinct_engines(self, tmp_path):
+        """With seed=None the registry caches under one key — replicas
+        must still be independent physical arrays, never one shared
+        engine voting against itself."""
+        with FeBiMServer(ModelRegistry(tmp_path / "reg"), policy=POLICY) as srv:
+            srv.register("iris", make_model(seed=1))
+            dep = deploy(srv, ReplicaSpec("ideal"), ReplicaSpec("ideal"))
+            assert dep.replicas[0].engine is not dep.replicas[1].engine
+
+    def test_mirror_dead_participant_counts_against_agreement(self, server):
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            policy=RoutingPolicy("mirror"),
+        )
+        server.router.kill_replica("iris", 0)
+        result = server.predict("iris", SAMPLE, timeout=5)
+        assert result.agreement == 0.5
+        assert not result.unanimous
+        assert dict(result.votes)["iris@v1#r0[ideal]"] is None
+        snapshot = server.stats()
+        assert snapshot.mirror_disagreements == 1
+        # The corpse is marked down and dropped from the next fan-out.
+        states = {s.replica: s.state for s in server.router.status("iris")}
+        assert states["iris@v1#r0[ideal]"] == "down"
+        follow_up = server.predict("iris", SAMPLE, timeout=5)
+        assert len(follow_up.votes) == 1
+
+    def test_mirror_fanout_limits_participants(self, server):
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            ReplicaSpec("fefet"),
+            policy=RoutingPolicy("mirror", mirror_fanout=2),
+        )
+        result = server.predict("iris", SAMPLE, timeout=5)
+        assert len(result.votes) == 2
+
+
+class TestFailover:
+    def test_killed_replica_fails_over_transparently(self, server):
+        """A dead replica's requests reroute with zero client-visible
+        errors, a recorded failover, and the replica marked down."""
+        deploy(
+            server,
+            ReplicaSpec("ideal"),
+            ReplicaSpec("cmos"),
+            policy=RoutingPolicy("round_robin"),
+        )
+        server.router.kill_replica("iris", 0)
+        futures = server.submit_many("iris", np.tile(SAMPLE, (8, 1)))
+        results = [f.result(timeout=10) for f in futures]
+        assert len({r.prediction for r in results}) == 1
+        snapshot = server.stats()
+        assert snapshot.failovers >= 1
+        states = {s.replica: s.state for s in server.router.status("iris")}
+        assert states["iris@v1#r0[ideal]"] == "down"
+        assert states["iris@v1#r1[cmos]"] == "healthy"
+        # New traffic routes around the dead replica without failover.
+        before = server.stats().failovers
+        server.predict("iris", SAMPLE, timeout=5)
+        assert server.stats().failovers == before
+
+    def test_request_failing_everywhere_surfaces_error(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        bad = np.array([0, 1])  # wrong evidence width: fails on any replica
+        future = server.submit("iris", bad)
+        with pytest.raises(Exception):
+            future.result(timeout=10)
+        # A request problem must not poison replica health.
+        assert all(s.state == "healthy" for s in server.router.status("iris"))
+
+    def test_all_replicas_evicted_rejects_submit(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        server.router.kill_replica("iris", 0)
+        server.router.kill_replica("iris", 1)
+        server.router.check_replica("iris", 0)
+        server.router.check_replica("iris", 1)
+        with pytest.raises(RuntimeError, match="all evicted"):
+            server.submit("iris", SAMPLE)
+
+
+class TestHealLadder:
+    def test_stuck_fault_replica_heals_by_replace(self, server):
+        """An injected dead-row fault fails the canary sweep, survives
+        the refresh rung (hard faults do) and is healed by replacement
+        on fresh hardware — while traffic keeps flowing error-free."""
+        dep = deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        replica = dep.replicas[0]
+        assert len(set(replica.baseline)) >= 2  # canaries discriminate
+        rows, cols = replica.engine.shape
+        dead_row = np.zeros((rows, cols), dtype=bool)
+        dead_row[int(replica.baseline[0])] = True
+        replica.engine.backend.inject_stuck_faults(stuck_off=dead_row)
+
+        futures = server.submit_many("iris", np.tile(SAMPLE, (6, 1)))
+        report = server.router.check_replica("iris", 0)
+        assert report.action == "replace"
+        assert report.healed
+        assert [f.result(timeout=10) for f in futures]  # zero errors
+        snapshot = server.stats()
+        assert snapshot.replacements == 1
+        assert snapshot.refreshes == 1  # rung 1 ran (and failed to fix)
+        assert snapshot.failed == 0
+        # The replacement serves the pristine predictions again.
+        assert server.router.check_replica("iris", 0).action == "ok"
+
+    def test_drift_heals_by_refresh_on_fefet(self, server):
+        dep = deploy(server, ReplicaSpec("fefet"), ReplicaSpec("ideal"))
+        replica = dep.replicas[0]
+        backend = replica.engine.backend
+        rng = np.random.default_rng(0)
+        backend.apply_vth_drift(
+            rng.normal(0.25, 0.05, size=replica.engine.shape)
+        )
+        report = server.router.check_replica("iris", 0)
+        assert report.action in ("refresh", "replace")
+        assert report.healed
+
+    def test_unrecoverable_kill_ends_in_eviction(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        server.router.kill_replica("iris", 0)
+        report = server.router.check_replica("iris", 0)
+        assert report.action == "evict"
+        assert not report.healed
+        assert server.stats().replica_evictions == 1
+        # The deployment keeps serving on the survivor.
+        assert server.predict("iris", SAMPLE, timeout=5).prediction is not None
+        # An evicted replica stays evicted across sweeps.
+        assert server.router.check_replica("iris", 0).action == "evict"
+        assert server.stats().replica_evictions == 1
+
+    def test_health_monitor_ladder_quiesces_replica_queues(self, server):
+        """The single-engine HealthMonitor heals an engine shared with
+        a deployment's replica 0 (same registry cache entry) — its
+        ladder holds the replica queues quiesced too, and both health
+        views converge afterwards."""
+        from repro.serving import HealthMonitor
+
+        dep = deploy(server, ReplicaSpec("fefet"), ReplicaSpec("ideal"))
+        replica = dep.replicas[0]
+        assert replica.engine is server.engine_for("iris")
+        monitor = HealthMonitor(server)
+        monitor.install("iris", dep.canaries)
+        rng = np.random.default_rng(0)
+        replica.engine.backend.apply_vth_drift(
+            rng.normal(0.25, 0.05, size=replica.engine.shape)
+        )
+        report = monitor.check("iris")
+        assert report.action in ("refresh", "replace")
+        assert report.healed
+        assert server.router.check_replica("iris", 0).action == "ok"
+
+    def test_recoverable_kill_heals_by_replace(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        server.router.kill_replica("iris", 0, recoverable=True)
+        report = server.router.check_replica("iris", 0)
+        assert report.action == "replace"
+        assert report.healed
+
+    def test_maintenance_sweep_heals_automatically(self, server):
+        dep = deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        replica = dep.replicas[0]
+        rows, cols = replica.engine.shape
+        dead_row = np.zeros((rows, cols), dtype=bool)
+        dead_row[int(replica.baseline[0])] = True
+        replica.engine.backend.inject_stuck_faults(stuck_off=dead_row)
+        server.enable_maintenance(period_s=0.05)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if server.stats().replacements >= 1:
+                break
+            time.sleep(0.02)
+        server.stop_maintenance()
+        assert server.stats().replacements >= 1
+        assert server.router.check_replica("iris", 0).action == "ok"
+
+
+class TestLifecycle:
+    def test_undeploy_falls_back_to_legacy(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        assert server.undeploy("iris")
+        assert not server.undeploy("iris")
+        result = server.predict("iris", SAMPLE, timeout=5)
+        assert result.model == "iris@v1"  # legacy routing key
+
+    def test_deployment_pins_version(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        server.register("iris", make_model(seed=9))
+        # version=None and the pinned v1 route through the deployment;
+        # the new v2 pin takes the legacy path.
+        assert server.predict("iris", SAMPLE, timeout=5).model.startswith(
+            "iris@v1#"
+        )
+        assert server.predict("iris", SAMPLE, version=1, timeout=5).model.startswith(
+            "iris@v1#"
+        )
+        assert server.predict("iris", SAMPLE, version=2, timeout=5).model == (
+            "iris@v2"
+        )
+
+    def test_redeploy_replaces_previous(self, server):
+        deploy(server, ReplicaSpec("ideal"), ReplicaSpec("cmos"))
+        deploy(server, ReplicaSpec("cmos"))
+        statuses = server.router.status("iris")
+        assert len(statuses) == 1
+        assert statuses[0].backend == "cmos"
+
+    def test_close_shuts_replica_schedulers(self, tmp_path):
+        server = FeBiMServer(ModelRegistry(tmp_path / "reg"), policy=POLICY, seed=0)
+        server.register("iris", make_model(seed=1))
+        server.deploy(
+            Deployment(
+                "iris",
+                [ReplicaSpec("ideal"), ReplicaSpec("cmos")],
+                RoutingPolicy("round_robin"),
+            )
+        )
+        futures = server.submit_many("iris", np.tile(SAMPLE, (4, 1)))
+        server.close()
+        assert all(f.done() for f in futures)
+
+    def test_status_requires_deployment(self, server):
+        with pytest.raises(KeyError):
+            server.router.status("iris")
+
+
+class TestDeploymentWorkload:
+    def test_runner_round_trips(self, tmp_path, server):
+        from repro.serving.workload import run_deployment_workload
+
+        result = run_deployment_workload(
+            server.registry,
+            Deployment(
+                "iris",
+                [ReplicaSpec("ideal"), ReplicaSpec("cmos")],
+                RoutingPolicy("round_robin"),
+            ),
+            n_requests=64,
+            submitters=2,
+            seed=0,
+        )
+        assert result.errors == 0
+        assert result.telemetry.completed == 64
+        assert sum(result.telemetry.per_replica.values()) == 64

@@ -39,6 +39,97 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["submit", "reg", "model"])
 
+    def test_deploy_requires_registry_and_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy", "reg"])
+
+
+def _register_iris(registry_root, name="iris"):
+    from repro.core.pipeline import FeBiMPipeline
+    from repro.datasets import load_dataset, train_test_split
+    from repro.serving.registry import ModelRegistry
+
+    data = load_dataset("iris")
+    X_tr, _, y_tr, _ = train_test_split(
+        data.data, data.target, test_size=0.7, seed=0
+    )
+    registry = ModelRegistry(registry_root)
+    FeBiMPipeline(seed=0).fit(X_tr, y_tr).register_into(registry, name)
+
+
+def _write_spec(path, replicas=("ideal", "cmos"), kind="round_robin"):
+    from repro.io import save_deployment
+    from repro.serving import Deployment, ReplicaSpec, RoutingPolicy
+
+    return str(
+        save_deployment(
+            path,
+            Deployment(
+                "iris",
+                [ReplicaSpec(b) for b in replicas],
+                RoutingPolicy(kind),
+            ),
+        )
+    )
+
+
+class TestDeployCommands:
+    def test_deploy_dry_run_and_validate(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        _register_iris(registry)
+        spec = _write_spec(tmp_path / "spec.json")
+        assert main(["deploy", registry, spec, "--validate-only"]) == 0
+        assert "spec OK" in capsys.readouterr().out
+        assert main(["deploy", registry, spec, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["version"] == 1
+        assert [r["backend"] for r in data["replicas"]] == ["ideal", "cmos"]
+        assert all(r["state"] == "healthy" for r in data["replicas"])
+
+    def test_deploy_unknown_model_fails_cleanly(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        spec = _write_spec(tmp_path / "spec.json")
+        assert main(["deploy", registry, spec]) == 2
+        assert "not in the registry" in capsys.readouterr().err
+
+    def test_deploy_invalid_spec_fails_cleanly(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        _register_iris(registry)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"model": "iris"}')
+        assert main(["deploy", registry, str(bad)]) == 2
+        assert "invalid deployment spec" in capsys.readouterr().err
+
+    def test_serve_deployment_workload(self, capsys, tmp_path):
+        registry = str(tmp_path / "reg")
+        _register_iris(registry)
+        spec = _write_spec(tmp_path / "spec.json")
+        args = [
+            "serve",
+            "--deployment",
+            spec,
+            "--registry",
+            registry,
+            "--requests",
+            "64",
+            "--submitters",
+            "2",
+            "--max-batch",
+            "16",
+        ]
+        assert main(args + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["bench"] == "deployment"
+        assert data["errors"] == 0
+        assert data["telemetry"]["completed"] == 64
+        per_replica = data["telemetry"]["per_replica"]
+        assert sum(per_replica.values()) == 64 and len(per_replica) == 2
+
+    def test_serve_deployment_needs_registry(self, capsys, tmp_path):
+        spec = _write_spec(tmp_path / "spec.json")
+        assert main(["serve", "--deployment", spec]) == 2
+        assert "--registry" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_info(self, capsys):
