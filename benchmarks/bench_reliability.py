@@ -100,7 +100,13 @@ def check_aging_campaign(result) -> None:
 
 # ---------------------------------------------------------------- determinism
 def run_determinism_check(trials: int = SMOKE_TRIALS):
-    """workers=1 vs workers=4 must be bit-identical, trial for trial."""
+    """workers=1 vs workers=4 must be bit-identical, trial for trial.
+
+    Covers both campaign runners on the shared seeding protocol: the
+    reliability fault campaign and the Fig. 8c ``variation_sweep``
+    (whose legacy serial stream was retired — this stage is now the
+    single source of truth for the worker-count contract).
+    """
     config = CampaignConfig(
         points=fault_rate_points((0.0, 0.02)),
         trials=trials,
@@ -112,7 +118,22 @@ def run_determinism_check(trials: int = SMOKE_TRIALS):
         "campaign results diverged between workers=1 and "
         f"workers={WORKERS}"
     )
-    return len(serial.results)
+
+    from repro.analysis import variation_sweep
+
+    data = load_iris()
+    swept_serial = variation_sweep(
+        data, sigmas_mv=(0.0, 15.0), epochs=trials, seed=11, workers=1
+    )
+    swept_pooled = variation_sweep(
+        data, sigmas_mv=(0.0, 15.0), epochs=trials, seed=11, workers=WORKERS
+    )
+    for sigma, acc in swept_serial.items():
+        assert np.array_equal(acc, swept_pooled[sigma]), (
+            f"variation_sweep diverged at sigma={sigma} between workers=1 "
+            f"and workers={WORKERS}"
+        )
+    return len(serial.results) + sum(len(a) for a in swept_serial.values())
 
 
 # -------------------------------------------------------------------- healing

@@ -16,8 +16,11 @@ served by a two-replica deployment on *different* backends must
 Also runnable directly::
 
     PYTHONPATH=src python benchmarks/bench_router.py
+    PYTHONPATH=src python benchmarks/bench_router.py --json --out BENCH_router.json
 """
 
+import argparse
+import json
 import tempfile
 
 import numpy as np
@@ -158,9 +161,29 @@ def test_router_smoke(once):
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the table",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON snapshot here (e.g. BENCH_router.json)",
+    )
+    args = parser.parse_args()
     checks = run_bench()
-    for key, value in checks.items():
-        print(f"{key:24s} {value}")
+    snapshot = {"bench": "router", **checks}
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+    else:
+        for key, value in checks.items():
+            print(f"{key:24s} {value}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
     try:
         check(checks)
     except AssertionError as exc:

@@ -13,7 +13,11 @@ per-request overhead, dominates — the regime an online deployment
 actually batches for.  Also runnable directly::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --json --out BENCH_serving.json
 """
+
+import argparse
+import json
 
 from repro.serving.scheduler import BatchPolicy
 from repro.serving.workload import format_serving, run_serving_workload
@@ -63,8 +67,28 @@ def test_serving_throughput(once):
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the report",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON snapshot here (e.g. BENCH_serving.json)",
+    )
+    args = parser.parse_args()
     result = run_bench()
-    print(format_serving(result))
+    snapshot = {"bench": "serving", **result.to_dict()}
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(format_serving(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
     ok = (
         result.served_fraction >= REQUIRED_FRACTION
         and result.matched == N_REQUESTS

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Seven stages, strictly ordered so the cheapest failure fires first:
+# Eight stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -10,24 +10,29 @@
 #   4. reliability smoke — bench_reliability.py --smoke: small fault and
 #      aging campaigns plus the serving self-heal gate;
 #   5. campaign determinism — bench_reliability.py --determinism: the
-#      workers=1 vs workers=4 bit-identity contract;
+#      workers=1 vs workers=4 bit-identity contract, covering both the
+#      reliability campaigns and the Fig. 8c variation_sweep (the one
+#      place the worker-count stream contract is enforced);
 #   6. backend parity — bench_backends.py --parity: every registered
 #      array backend trains + infers on iris and round-trips bit-for-bit
 #      through a registry pinned to it;
 #   7. router smoke — bench_router.py: a two-replica deployment on
 #      different backends loses a replica mid-burst with zero failed
-#      requests, a recorded failover and a ladder eviction.
+#      requests, a recorded failover and a ladder eviction;
+#   8. autoscale smoke — bench_autoscale.py --smoke: a 12x traffic
+#      spike against an SLO deployment is survived with zero failed
+#      requests (only typed load-shed) and at least one scale-up.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/7: compile-all =="
+echo "== stage 1/8: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/7: tier-1 (pytest -x -q) =="
+echo "== stage 2/8: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/7: --runslow marker check =="
+echo "== stage 3/8: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -44,16 +49,19 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/7: reliability smoke bench =="
+echo "== stage 4/8: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/7: campaign --workers determinism =="
+echo "== stage 5/8: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/7: backend parity smoke =="
+echo "== stage 6/8: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
 
-echo "== stage 7/7: router smoke gate =="
+echo "== stage 7/8: router smoke gate =="
 python benchmarks/bench_router.py
+
+echo "== stage 8/8: autoscale smoke gate =="
+python benchmarks/bench_autoscale.py --smoke
 
 echo "CI gate passed."

@@ -6,15 +6,14 @@ hardware mode) and returns the full accuracy distributions, from which
 Fig. 8(c)'s box statistics are drawn.
 
 The sweep rides the reliability subsystem's campaign runner
-(:mod:`repro.reliability.campaign`) for parallel execution: with
-``workers > 1`` every (sigma, epoch) trial becomes an independent
-payload with its own ``SeedSequence``-spawned stream, mapped over a
-process pool — deterministic for a fixed seed at *any* worker count.
-The serial path (``workers=None``/``1``) is kept verbatim: it threads
-one RNG through the epochs exactly as the original loop did, so
-existing seeded results stay bit-identical.  The two modes draw
-different (equally valid) streams and are not bit-comparable to each
-other — pick one and stay on it for a given study.
+(:mod:`repro.reliability.campaign`): every (sigma, epoch) trial is an
+independent payload with its own ``SeedSequence``-spawned stream, and
+:func:`~repro.reliability.campaign.parallel_map` dispatches them —
+in-process at ``workers=None``/``1``, over a process pool above that.
+One seeding protocol, so a fixed seed is **bit-identical at any worker
+count**; there is no separate serial stream any more (the historical
+thread-one-RNG-through-``run_epochs`` path drew different numbers and
+was retired — rerun archived studies to refresh their goldens).
 """
 
 from __future__ import annotations
@@ -23,7 +22,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core.pipeline import FeBiMPipeline, run_epochs
+from repro.core.pipeline import FeBiMPipeline
 from repro.datasets._base import Dataset
 from repro.datasets.splits import train_test_split
 from repro.devices.variation import VariationModel
@@ -84,13 +83,15 @@ def variation_sweep(
     epochs:
         Splits per level (paper: 100).
     workers:
-        ``None``/``1`` runs the original serial loop (bit-identical to
-        the historical results for a given seed).  ``> 1`` fans the
-        (sigma, epoch) trials over a process pool via
-        :func:`repro.reliability.campaign.parallel_map`; requires an
-        ``int`` or ``None`` seed (a Generator carries stream position a
-        worker cannot reproduce) and is deterministic at any worker
-        count.
+        Trial fan-out through
+        :func:`repro.reliability.campaign.parallel_map`:
+        ``None``/``1`` dispatches in-process, ``> 1`` over a process
+        pool.  The per-trial seeds are spawned identically either way,
+        so the result is bit-identical at any worker count.  A
+        Generator ``seed`` is accepted only at ``workers<=1`` (one root
+        draw is consumed from it); a pool worker cannot reproduce a
+        Generator's stream position, so ``workers>1`` demands an
+        ``int`` or ``None``.
 
     Returns
     -------
@@ -101,34 +102,24 @@ def variation_sweep(
         if sigma_mv < 0:
             raise ValueError(f"sigma must be >= 0 mV, got {sigma_mv}")
 
-    if workers is None or int(workers) <= 1:
-        # Serial fallback: one RNG threaded through every epoch of every
-        # level, exactly the pre-campaign-runner protocol.
-        rng = ensure_rng(seed)
-        results: Dict[float, np.ndarray] = {}
-        for sigma_mv in sigmas_mv:
-            variation = VariationModel.from_millivolts(sigma_mv)
-            results[float(sigma_mv)] = run_epochs(
-                dataset,
-                q_f=q_f,
-                q_l=q_l,
-                mode="hardware",
-                epochs=epochs,
-                test_size=test_size,
-                variation=variation,
-                seed=rng,
-            )
-        return results
-
-    if not (seed is None or isinstance(seed, (int, np.integer))):
+    workers_int = 1 if workers is None else int(workers)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        root = None if seed is None else int(seed)
+    elif workers_int <= 1:
+        # In-process we *can* honour a live Generator: consume one draw
+        # as the root seed, so repeated sweeps off the same Generator
+        # differ (stream semantics) while each individual sweep still
+        # uses the unified per-trial protocol.
+        root = int(ensure_rng(seed).integers(2**63))
+    else:
         raise TypeError(
             "parallel variation_sweep needs seed=None or an int; a "
             "Generator's stream position cannot be shipped to pool workers "
-            "— use workers=1 to thread a Generator through serially"
+            "— use workers=1 to draw from a Generator"
         )
     from repro.reliability.campaign import parallel_map, trial_seeds
 
-    seeds = trial_seeds(None if seed is None else int(seed), len(sigmas_mv) * epochs)
+    seeds = trial_seeds(root, len(sigmas_mv) * epochs)
     payloads = [
         (float(sigma_mv), q_f, q_l, test_size, seeds[i * epochs + e])
         for i, sigma_mv in enumerate(sigmas_mv)
@@ -137,7 +128,7 @@ def variation_sweep(
     accuracies = parallel_map(
         _variation_trial,
         payloads,
-        int(workers),
+        workers_int,
         initializer=_install_trial_dataset,
         initargs=(dataset,),
     )

@@ -144,6 +144,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.scheduler import BatchPolicy
     from repro.serving.workload import format_serving, run_serving_workload
 
+    if args.slo:
+        from repro.serving.workload import (
+            format_autoscale_run,
+            run_autoscale_workload,
+        )
+
+        result = run_autoscale_workload(seed=args.seed)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(format_autoscale_run(result))
+        return 0 if result.failed == 0 else 1
+
     if args.deployment:
         from repro.io import load_deployment
         from repro.serving.registry import ModelRegistry
@@ -500,6 +513,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the traffic through this deployment spec instead of "
         "auto-trained tenants (needs --registry with the model registered; "
         "see 'febim deploy')",
+    )
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="run the SLO-driven autoscale demo instead: a bursty "
+        "open-loop trace against a bounded-queue deployment whose "
+        "controller grows/shrinks the replica set (exit 0 iff no "
+        "request *failed*; load-shed is expected under the spike)",
     )
     serve.add_argument("--seed", type=int, default=0)
     add_backend_flag(serve)

@@ -273,11 +273,14 @@ class AgeClock:
     (``polarization_matrix`` / ``apply_vth_drift``) — a backend
     declaring the ``vth-drift`` capability or a raw FeFET crossbar;
     others raise :class:`~repro.backends.base.CapabilityError` on the
-    first :meth:`advance`.
+    first :meth:`advance`.  With ``crossbar=None`` the clock is a pure
+    *ledger*: :meth:`advance` only accumulates ``age_s`` and no device
+    is touched — the bookkeeping mode the serving autoscaler uses to
+    track a hardware slot's bake time without perturbing live arrays.
     """
 
     def __init__(
-        self, crossbar, retention: Optional[RetentionModel] = None
+        self, crossbar=None, retention: Optional[RetentionModel] = None
     ):
         self.crossbar = crossbar
         self.retention = retention or RetentionModel()
@@ -288,17 +291,24 @@ class AgeClock:
         if dt_s < 0:
             raise ValueError(f"age clock only moves forward, got dt={dt_s}")
         if dt_s > 0:
-            pol = self.crossbar.polarization_matrix()
-            delta = self.retention.vth_shift(
-                pol, self.age_s + dt_s
-            ) - self.retention.vth_shift(pol, self.age_s)
-            self.crossbar.apply_vth_drift(delta)
+            if self.crossbar is not None:
+                pol = self.crossbar.polarization_matrix()
+                delta = self.retention.vth_shift(
+                    pol, self.age_s + dt_s
+                ) - self.retention.vth_shift(pol, self.age_s)
+                self.crossbar.apply_vth_drift(delta)
             self.age_s += dt_s
         return self.age_s
 
     def reset(self) -> None:
         """Restart the bake clock (call after a refresh reprogram)."""
         self.age_s = 0.0
+
+
+#: Window fraction treated as end of usable life for the
+#: :attr:`WearState.fraction_used` gauge: at half the pristine memory
+#: window, sensing margin is gone for practical purposes.
+END_OF_LIFE_WINDOW = 0.5
 
 
 class WearState:
@@ -312,16 +322,25 @@ class WearState:
     ``set_template``) — a backend declaring the ``wear`` capability or
     a raw FeFET crossbar; others raise
     :class:`~repro.backends.base.CapabilityError` at construction
-    (reading the pristine template).
+    (reading the pristine template).  With ``crossbar=None`` the state
+    is a pure *ledger*: cycles are counted (seeding via ``cycles``)
+    but no template is ever rewritten — serving keeps bit-identical
+    engines while the autoscaler still ranks hardware by
+    :attr:`fraction_used`.
     """
 
     def __init__(
-        self, crossbar, endurance: Optional[EnduranceModel] = None
+        self,
+        crossbar=None,
+        endurance: Optional[EnduranceModel] = None,
+        cycles: float = 0.0,
     ):
+        if cycles < 0:
+            raise ValueError(f"cycles must be >= 0, got {cycles}")
         self.crossbar = crossbar
         self.endurance = endurance or EnduranceModel()
-        self._pristine = crossbar.template
-        self.cycles = 0.0
+        self._pristine = None if crossbar is None else crossbar.template
+        self.cycles = float(cycles)
 
     def add_cycles(self, n: float) -> float:
         """Record ``n`` more program/erase cycles; returns the total."""
@@ -329,7 +348,16 @@ class WearState:
             raise ValueError(f"cycles must be >= 0, got {n}")
         if n > 0:
             self.cycles += float(n)
-            self.crossbar.set_template(
-                self.endurance.aged_device(self._pristine, self.cycles)
-            )
+            if self.crossbar is not None:
+                self.crossbar.set_template(
+                    self.endurance.aged_device(self._pristine, self.cycles)
+                )
         return self.cycles
+
+    @property
+    def fraction_used(self) -> float:
+        """Fraction of usable life consumed (0 = pristine, 1 = the
+        window has fatigued to :data:`END_OF_LIFE_WINDOW`); may exceed
+        1 for hardware cycled past end of life."""
+        life = self.endurance.cycles_to_window_fraction(END_OF_LIFE_WINDOW)
+        return self.cycles / life

@@ -27,7 +27,14 @@ two:
   (refresh -> replace -> evict);
 * :class:`HealthMonitor` — canary health checks over the served
   engines with an automatic refresh -> replace repair ladder (the
-  serving face of :mod:`repro.reliability`).
+  serving face of :mod:`repro.reliability`);
+* :class:`SLOPolicy` / :class:`AutoscaleController` /
+  :class:`HardwarePool` — the closed loop: bounded per-replica queues
+  with typed :class:`Overloaded` load-shed, priority lanes and
+  optional backpressure, and a controller on the maintenance cadence
+  that grows/shrinks the replica set against the SLO, placing new
+  replicas on the least-worn spare hardware
+  (:mod:`repro.serving.autoscale`).
 
 The registry is pinned to an array technology
 (:mod:`repro.backends`): artifacts embed the backend identifier and a
@@ -40,14 +47,28 @@ fault/healing acceptance gates, and ``examples/serving_demo.py`` for a
 two-tenant walkthrough.
 """
 
+from repro.serving.autoscale import (
+    AutoscaleController,
+    AutoscaleEvent,
+    HardwarePool,
+    HardwareSlot,
+    ScaleDecision,
+)
 from repro.serving.deployment import (
     Deployment,
     DeploymentError,
     ReplicaSpec,
     RoutingPolicy,
+    SLOPolicy,
     single_replica_deployment,
 )
-from repro.serving.health import HealthMonitor, HealthReport, measure_agreement
+from repro.serving.health import (
+    DeploymentPressure,
+    HealthMonitor,
+    HealthReport,
+    measure_agreement,
+    measure_pressure,
+)
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import (
     MirroredResult,
@@ -59,6 +80,7 @@ from repro.serving.router import (
 from repro.serving.scheduler import (
     BatchPolicy,
     MicroBatchScheduler,
+    Overloaded,
     SchedulerClosed,
     ServedResult,
 )
@@ -66,26 +88,35 @@ from repro.serving.server import FeBiMServer, MaintenanceThread, model_stream_se
 from repro.serving.telemetry import Telemetry, TelemetrySnapshot
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscaleEvent",
     "BatchPolicy",
     "Deployment",
     "DeploymentError",
+    "DeploymentPressure",
     "FeBiMServer",
+    "HardwarePool",
+    "HardwareSlot",
     "HealthMonitor",
     "HealthReport",
     "MaintenanceThread",
     "MicroBatchScheduler",
     "MirroredResult",
     "ModelRegistry",
+    "Overloaded",
     "ReplicaHealthReport",
     "ReplicaSpec",
     "ReplicaStatus",
     "Router",
     "RoutingPolicy",
+    "SLOPolicy",
+    "ScaleDecision",
     "SchedulerClosed",
     "ServedResult",
     "Telemetry",
     "TelemetrySnapshot",
     "measure_agreement",
+    "measure_pressure",
     "model_stream_seed",
     "replica_stream_seed",
     "single_replica_deployment",

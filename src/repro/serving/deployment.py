@@ -27,7 +27,7 @@ the deployment spec, not because two directories got mixed up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.backends.base import Capability
 from repro.backends.registry import backend_capabilities, get_backend_class
@@ -170,6 +170,178 @@ class RoutingPolicy:
         )
 
 
+def validate_replica_spec(
+    replica: ReplicaSpec, index: int, min_agreement: float = 1.0
+) -> ReplicaSpec:
+    """Static validation of one replica spec against the backend registry.
+
+    Shared by :meth:`Deployment.validate` and the router's runtime
+    ``add_replica`` path (an autoscaler-placed replica obeys exactly
+    the same rules as one written in the spec).  Raises
+    :class:`DeploymentError` naming replica ``index``; returns the
+    spec for chaining.
+    """
+    try:
+        get_backend_class(replica.backend)
+    except ValueError as exc:
+        raise DeploymentError(f"replica {index}: {exc}") from None
+    if not replica.weight > 0:
+        raise DeploymentError(
+            f"replica {index}: weight must be > 0, got {replica.weight}"
+        )
+    declared = backend_capabilities(replica.backend)
+    for option, capability in OPTION_CAPABILITIES.items():
+        wants = replica.backend_options.get(option)
+        if wants and capability not in declared:
+            raise DeploymentError(
+                f"replica {index}: option {option!r} needs capability "
+                f"{capability!r}, which backend "
+                f"{replica.backend!r} does not declare"
+            )
+    if (
+        replica.backend_options.get("advance_streams")
+        and min_agreement >= 1.0
+    ):
+        # Fresh Bernoulli draws cannot match a pinned baseline
+        # bit-for-bit: an exact-agreement health policy would
+        # "heal" the stochastic replica on every sweep (each
+        # replacement also resets its stream state).  Demand an
+        # explicit tolerance instead of churning silently.
+        raise DeploymentError(
+            f"replica {index}: advance_streams draws fresh bitstreams "
+            f"per read, so health checks cannot demand exact "
+            f"agreement — set RoutingPolicy(min_agreement < 1.0)"
+        )
+    return replica
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Service-level objectives the autoscale controller closes the loop on.
+
+    Attaching one to a :class:`Deployment` does two things at apply
+    time: every replica's scheduler queue becomes *bounded*
+    (``max_queue_depth``, enabling load-shed / backpressure / priority
+    lanes — see :mod:`repro.serving.scheduler`), and the server's
+    maintenance thread may run an
+    :class:`~repro.serving.autoscale.AutoscaleController` that grows
+    the deployment toward ``max_replicas`` under pressure and shrinks
+    it back to ``min_replicas`` when calm.
+
+    Attributes
+    ----------
+    target_p95_ms:
+        p95 end-to-end latency objective in milliseconds (``None`` =
+        scale on queue pressure only).
+    max_queue_depth:
+        Bound on each replica's per-model queue (``None`` = unbounded:
+        admission control off, autoscaling on queue depth disabled).
+    min_replicas / max_replicas:
+        The controller never shrinks below / grows above these.
+    backpressure:
+        When true, ``Router.submit`` blocks the *first* attempt while
+        the chosen replica's queue is full instead of shedding
+        (failover attempts never block — see the router docstring).
+    priorities:
+        Per-tenant priority lanes: client identity -> lane (higher
+        sheds last).  Clients not listed get ``default_priority``.
+    default_priority:
+        Lane for unlisted (and anonymous) clients.
+    """
+
+    target_p95_ms: Optional[float] = None
+    max_queue_depth: Optional[int] = None
+    min_replicas: int = 1
+    max_replicas: int = 1
+    backpressure: bool = False
+    priorities: Dict[str, int] = field(default_factory=dict)
+    default_priority: int = 0
+
+    def priority_for(self, client: Optional[str]) -> int:
+        """The priority lane for ``client`` (``None`` = anonymous)."""
+        if client is None:
+            return self.default_priority
+        return self.priorities.get(client, self.default_priority)
+
+    def validate(self) -> "SLOPolicy":
+        if int(self.min_replicas) < 1:
+            raise DeploymentError(
+                f"slo: min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if int(self.max_replicas) < int(self.min_replicas):
+            raise DeploymentError(
+                f"slo: max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.max_queue_depth is not None and int(self.max_queue_depth) < 1:
+            raise DeploymentError(
+                f"slo: max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.target_p95_ms is not None and not self.target_p95_ms > 0:
+            raise DeploymentError(
+                f"slo: target_p95_ms must be > 0, got {self.target_p95_ms}"
+            )
+        for client, lane in self.priorities.items():
+            if not isinstance(client, str) or not client:
+                raise DeploymentError(
+                    f"slo: priority keys must be non-empty client "
+                    f"strings, got {client!r}"
+                )
+            if not isinstance(lane, int):
+                raise DeploymentError(
+                    f"slo: priority for {client!r} must be an int lane, "
+                    f"got {lane!r}"
+                )
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "target_p95_ms": self.target_p95_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "backpressure": self.backpressure,
+            "priorities": dict(self.priorities),
+            "default_priority": self.default_priority,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SLOPolicy":
+        if not isinstance(data, dict):
+            raise DeploymentError(
+                f"slo policy must be a JSON object, got {type(data).__name__}"
+            )
+        _reject_unknown_keys(
+            data,
+            {
+                "target_p95_ms",
+                "max_queue_depth",
+                "min_replicas",
+                "max_replicas",
+                "backpressure",
+                "priorities",
+                "default_priority",
+            },
+            "slo policy",
+        )
+        target = data.get("target_p95_ms")
+        depth = data.get("max_queue_depth")
+        priorities = data.get("priorities", {})
+        if not isinstance(priorities, dict):
+            raise DeploymentError(
+                f"slo priorities must be an object, got {priorities!r}"
+            )
+        return SLOPolicy(
+            target_p95_ms=None if target is None else float(target),
+            max_queue_depth=None if depth is None else int(depth),
+            min_replicas=int(data.get("min_replicas", 1)),
+            max_replicas=int(data.get("max_replicas", 1)),
+            backpressure=bool(data.get("backpressure", False)),
+            priorities={str(k): int(v) for k, v in priorities.items()},
+            default_priority=int(data.get("default_priority", 0)),
+        )
+
+
 @dataclass(frozen=True)
 class Deployment:
     """A validated-on-apply serving plan for one model.
@@ -185,12 +357,16 @@ class Deployment:
     version:
         Pinned model version (``None`` resolves to latest at apply
         time, like every other serving call).
+    slo:
+        Optional :class:`SLOPolicy`; enables admission control and
+        autoscaling for this deployment.
     """
 
     model: str
     replicas: Tuple[ReplicaSpec, ...]
     policy: RoutingPolicy = RoutingPolicy()
     version: Optional[int] = None
+    slo: Optional[SLOPolicy] = None
 
     def __post_init__(self) -> None:
         # Normalise a list into the frozen tuple form so callers can
@@ -218,36 +394,13 @@ class Deployment:
         if not self.replicas:
             raise DeploymentError("deployment needs at least one replica")
         for i, replica in enumerate(self.replicas):
-            try:
-                get_backend_class(replica.backend)
-            except ValueError as exc:
-                raise DeploymentError(f"replica {i}: {exc}") from None
-            if not replica.weight > 0:
+            validate_replica_spec(replica, i, self.policy.min_agreement)
+        if self.slo is not None:
+            self.slo.validate()
+            if len(self.replicas) > int(self.slo.max_replicas):
                 raise DeploymentError(
-                    f"replica {i}: weight must be > 0, got {replica.weight}"
-                )
-            declared = backend_capabilities(replica.backend)
-            for option, capability in OPTION_CAPABILITIES.items():
-                wants = replica.backend_options.get(option)
-                if wants and capability not in declared:
-                    raise DeploymentError(
-                        f"replica {i}: option {option!r} needs capability "
-                        f"{capability!r}, which backend "
-                        f"{replica.backend!r} does not declare"
-                    )
-            if (
-                replica.backend_options.get("advance_streams")
-                and self.policy.min_agreement >= 1.0
-            ):
-                # Fresh Bernoulli draws cannot match a pinned baseline
-                # bit-for-bit: an exact-agreement health policy would
-                # "heal" the stochastic replica on every sweep (each
-                # replacement also resets its stream state).  Demand an
-                # explicit tolerance instead of churning silently.
-                raise DeploymentError(
-                    f"replica {i}: advance_streams draws fresh bitstreams "
-                    f"per read, so health checks cannot demand exact "
-                    f"agreement — set RoutingPolicy(min_agreement < 1.0)"
+                    f"deployment starts with {len(self.replicas)} replicas "
+                    f"but slo.max_replicas is {self.slo.max_replicas}"
                 )
         if self.policy.kind not in POLICY_KINDS:
             raise DeploymentError(
@@ -277,13 +430,16 @@ class Deployment:
     # --------------------------------------------------------------- JSON IO
     def to_dict(self) -> dict:
         """Plain-JSON form (see :func:`repro.io.save_deployment`)."""
-        return {
+        data = {
             "format_version": DEPLOYMENT_FORMAT_VERSION,
             "model": self.model,
             "version": self.version,
             "replicas": [r.to_dict() for r in self.replicas],
             "policy": self.policy.to_dict(),
         }
+        if self.slo is not None:
+            data["slo"] = self.slo.to_dict()
+        return data
 
     @staticmethod
     def from_dict(data: dict) -> "Deployment":
@@ -306,7 +462,7 @@ class Deployment:
             )
         _reject_unknown_keys(
             data,
-            {"format_version", "model", "version", "replicas", "policy"},
+            {"format_version", "model", "version", "replicas", "policy", "slo"},
             "deployment spec",
         )
         replicas = data.get("replicas")
@@ -315,12 +471,14 @@ class Deployment:
                 "deployment spec needs a non-empty 'replicas' list"
             )
         version = data.get("version")
+        slo = data.get("slo")
         try:
             deployment = Deployment(
                 model=data.get("model", ""),
                 replicas=tuple(ReplicaSpec.from_dict(r) for r in replicas),
                 policy=RoutingPolicy.from_dict(data.get("policy", {})),
                 version=None if version is None else int(version),
+                slo=None if slo is None else SLOPolicy.from_dict(slo),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, DeploymentError):
@@ -338,8 +496,20 @@ class Deployment:
             for i, r in enumerate(self.replicas)
         )
         pin = "latest" if self.version is None else f"v{self.version}"
+        slo = ""
+        if self.slo is not None:
+            slo = (
+                f" slo[{self.slo.min_replicas}-{self.slo.max_replicas}"
+                + (
+                    f", p95<{self.slo.target_p95_ms:g}ms"
+                    if self.slo.target_p95_ms is not None
+                    else ""
+                )
+                + "]"
+            )
         return (
             f"{self.model}@{pin} -> [{replicas}] policy={self.policy.kind}"
+            f"{slo}"
         )
 
 

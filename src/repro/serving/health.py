@@ -115,6 +115,53 @@ def measure_agreement(
     )
 
 
+@dataclass(frozen=True)
+class DeploymentPressure:
+    """Aggregate load view of one deployment's replica set.
+
+    The autoscale controller's decision input, derived purely from
+    :class:`~repro.serving.router.ReplicaStatus` rows so synthetic
+    statuses drive it in tests without a live router.
+
+    Attributes
+    ----------
+    replicas:
+        Replicas in the routing set (any state).
+    serviceable:
+        Replicas accepting traffic (healthy or down-but-retriable).
+    queued:
+        Total requests pending across serviceable replicas.
+    deepest:
+        The single deepest serviceable queue — the admission bound is
+        per replica, so one saturated queue sheds even while the
+        deployment-wide mean looks calm.
+    """
+
+    replicas: int
+    serviceable: int
+    queued: int
+    deepest: int
+
+
+def measure_pressure(statuses) -> DeploymentPressure:
+    """Fold replica statuses into a :class:`DeploymentPressure`.
+
+    Accepts any iterable of objects with ``state`` / ``pending``
+    attributes (the router's ``status()`` rows or test doubles).
+    State strings are compared literally — this module cannot import
+    the router's constants (the router imports us).
+    """
+    statuses = list(statuses)
+    serviceable = [s for s in statuses if s.state in ("healthy", "down")]
+    pending = [int(s.pending) for s in serviceable]
+    return DeploymentPressure(
+        replicas=len(statuses),
+        serviceable=len(serviceable),
+        queued=sum(pending),
+        deepest=max(pending, default=0),
+    )
+
+
 class HealthMonitor:
     """Canary health checks with an automatic repair ladder.
 

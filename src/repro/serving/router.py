@@ -12,7 +12,9 @@ replica answers:
   scaled by live queue occupancy and divided by the replica weight;
 * ``round_robin`` — healthy replicas in turn;
 * ``sticky`` — per-tenant affinity: the request's ``client`` identity
-  hashes to a stable replica while that replica stays healthy;
+  maps to a stable replica by rendezvous (highest-random-weight)
+  hashing, so losing one replica remaps only *its* clients (~1/N of
+  traffic), never reshuffles the survivors' tenants;
 * ``mirror`` — fan out to N healthy replicas and majority-vote the
   predictions (:class:`MirroredResult`), the reliability mode.
 
@@ -28,6 +30,18 @@ deeper than the single-engine
 place), **replace** (fresh hardware, same stream seed), and finally
 **evict** — the replica is removed from the routing set for good and
 the deployment keeps serving on the survivors.
+
+Deployments carrying an :class:`~repro.serving.deployment.SLOPolicy`
+get two more behaviours.  Admission control: each replica's scheduler
+queue is bounded, a busy replica's :class:`Overloaded` rejection fails
+over to its siblings *without* marking anyone down (busy is not
+broken), and the client sees ``Overloaded`` only when every
+serviceable replica is full.  Elasticity: :meth:`add_replica` /
+:meth:`retire_replica` let the autoscale controller grow and shrink
+the replica set at runtime through the same validate → materialise →
+probe pipeline ``apply`` uses, with per-replica wear ledgers
+(:class:`~repro.reliability.faults.WearState` in crossbar-less ledger
+mode) so placement can prefer the least-worn hardware.
 """
 
 from __future__ import annotations
@@ -44,15 +58,26 @@ from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.reliability.faults import AgeClock, WearState
 from repro.reliability.mitigation import refresh_engine
-from repro.serving.deployment import Deployment, DeploymentError, ReplicaSpec
+from repro.serving.deployment import (
+    Deployment,
+    DeploymentError,
+    ReplicaSpec,
+    validate_replica_spec,
+)
 from repro.serving.health import measure_agreement
-from repro.serving.scheduler import MicroBatchScheduler, ServedResult
+from repro.serving.scheduler import (
+    MicroBatchScheduler,
+    Overloaded,
+    ServedResult,
+)
 
 #: Replica lifecycle states.
 HEALTHY = "healthy"
 DOWN = "down"
 EVICTED = "evicted"
+RETIRED = "retired"
 
 #: Canary-set size probed per replica at apply time.
 N_CANARIES = 8
@@ -79,6 +104,8 @@ class ReplicaStatus:
     weight: float
     unit_delay_s: float
     pending: int
+    index: int = -1
+    wear_fraction: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -88,6 +115,8 @@ class ReplicaStatus:
             "weight": self.weight,
             "unit_delay_s": self.unit_delay_s,
             "pending": self.pending,
+            "index": self.index,
+            "wear_fraction": self.wear_fraction,
         }
 
 
@@ -148,7 +177,13 @@ class KilledReplicaError(RuntimeError):
 class _Replica:
     """One applied replica: spec, engine, scheduler, live state."""
 
-    def __init__(self, index: int, spec: ReplicaSpec, key: ReplicaKey):
+    def __init__(
+        self,
+        index: int,
+        spec: ReplicaSpec,
+        key: ReplicaKey,
+        wear: Optional[WearState] = None,
+    ):
         self.index = index
         self.spec = spec
         self.key = key
@@ -159,6 +194,11 @@ class _Replica:
         self.engine = None
         self.unit_delay = float("inf")
         self.baseline: Optional[np.ndarray] = None
+        # Pure bookkeeping ledgers (crossbar=None): programming cycles
+        # and in-service age are counted without ever rewriting the
+        # live template — serving stays bit-identical.
+        self.wear = wear if wear is not None else WearState()
+        self.age = AgeClock()
 
     @property
     def label(self) -> str:
@@ -184,9 +224,15 @@ class _AppliedDeployment:
         self.spec = spec
         self.name = spec.model
         self.version = version
+        # Never mutated in place: add/retire swap in a fresh list so
+        # lock-free readers of the reference stay consistent.
         self.replicas = replicas
         self.canaries = canaries
         self.rr_counter = itertools.count()
+        # Monotonic index source for replicas added at runtime —
+        # retiring r1 must never let a later scale-up mint a second
+        # "r1" with a different engine.
+        self.next_index = len(replicas)
 
     @property
     def route(self) -> str:
@@ -242,6 +288,10 @@ class Router:
         self.server = server
         self._lock = threading.Lock()
         self._deployments: Dict[str, _AppliedDeployment] = {}
+        # Test/benchmark hook: wraps every materialised replica engine
+        # (e.g. a pacing proxy that models slower hardware).  Leave
+        # ``None`` in production.
+        self.engine_wrapper = None
 
     # ------------------------------------------------------------ deployment
     def deployments(self) -> Dict[str, Deployment]:
@@ -286,29 +336,17 @@ class Router:
         for i, spec in enumerate(deployment.replicas):
             key = ReplicaKey(deployment.model, version, i)
             replica = _Replica(i, spec, key)
-            # The scheduler resolves its replica directly (not through
-            # the live deployment table): requests queued on a
-            # deployment that is later replaced drain on the engines
-            # they were routed to, never on the replacement's replicas.
-            scheduler = MicroBatchScheduler(
-                lambda _key, r=replica: r.resolve(),
-                policy=self.server.policy,
-                telemetry=self.server.telemetry,
-            )
-            replica.scheduler = scheduler
+            replica.scheduler = self._make_scheduler(replica, deployment)
             try:
-                replica.engine = self._materialise(deployment.model, version, replica)
-                report = replica.engine.infer_batch(canaries)
+                self._probe(deployment.model, version, replica, canaries)
             except Exception as exc:
-                scheduler.shutdown(drain=False)
+                replica.scheduler.shutdown(drain=False)
                 for built in replicas:
                     built.scheduler.shutdown(drain=False)
                 raise DeploymentError(
                     f"replica {i} ({spec.backend}) failed to materialise "
                     f"for {deployment.model!r} v{version}: {exc}"
                 ) from exc
-            replica.baseline = np.asarray(report.predictions).copy()
-            replica.unit_delay = float(np.mean(report.delay))
             replicas.append(replica)
 
         applied = _AppliedDeployment(deployment, version, replicas, canaries)
@@ -372,7 +410,7 @@ class Router:
             # entropy while bypassing the cache; replica 0 stays on the
             # cached entry the legacy path shares.
             seed = np.random.default_rng()
-        return registry.get_engine(
+        engine = registry.get_engine(
             name,
             version,
             max_rows=self.server.max_rows,
@@ -381,6 +419,45 @@ class Router:
             backend_options=options,
             fresh=fresh,
         )
+        if self.engine_wrapper is not None:
+            engine = self.engine_wrapper(engine, replica)
+        return engine
+
+    def _make_scheduler(
+        self, replica: _Replica, deployment: Deployment
+    ) -> MicroBatchScheduler:
+        """One scheduler per replica, bounded when the spec carries an SLO.
+
+        The scheduler resolves its replica directly (not through the
+        live deployment table): requests queued on a deployment that is
+        later replaced drain on the engines they were routed to, never
+        on the replacement's replicas.
+        """
+        slo = deployment.slo
+        return MicroBatchScheduler(
+            lambda _key, r=replica: r.resolve(),
+            policy=self.server.policy,
+            telemetry=self.server.telemetry,
+            max_queue_depth=None if slo is None else slo.max_queue_depth,
+        )
+
+    def _probe(
+        self,
+        name: str,
+        version: int,
+        replica: _Replica,
+        canaries: np.ndarray,
+    ) -> None:
+        """Materialise + canary-probe one replica (unit cost, baseline).
+
+        Shared by :meth:`apply` and :meth:`add_replica`; raises the
+        materialisation/probe error for the caller to wrap.
+        """
+        replica.engine = self._materialise(name, version, replica)
+        replica.wear.add_cycles(1)  # one programming pass
+        report = replica.engine.infer_batch(canaries)
+        replica.baseline = np.asarray(report.predictions).copy()
+        replica.unit_delay = float(np.mean(report.delay))
 
     @contextmanager
     def quiesce_model(
@@ -438,16 +515,20 @@ class Router:
         if kind == "round_robin":
             return candidates[next(dep.rr_counter) % len(candidates)]
         if kind == "sticky":
-            anchor = 0 if client is None else zlib.crc32(str(client).encode())
-            # Hash over the *full* replica list so affinity is stable
-            # across unrelated replicas' state flips; walk forward past
-            # non-candidates.
-            start = anchor % len(dep.replicas)
-            for offset in range(len(dep.replicas)):
-                replica = dep.replicas[(start + offset) % len(dep.replicas)]
-                if replica in candidates:
-                    return replica
-            raise AssertionError("sticky walk missed every candidate")
+            # Rendezvous (HRW) hashing: score every candidate against
+            # the client identity and take the max.  Per-(client,
+            # replica) scores never change, so losing a replica remaps
+            # only the clients whose top score it held (~1/N of them) —
+            # the modulo-anchor scheme this replaced reshuffled about
+            # half of all tenants on any membership change.
+            token = b"" if client is None else str(client).encode()
+            return max(
+                candidates,
+                key=lambda r: (
+                    zlib.crc32(token + b"|%d" % r.index),
+                    r.index,
+                ),
+            )
         # "cost" (and the mirror primary ordering)
         return min(candidates, key=self._score)
 
@@ -470,7 +551,19 @@ class Router:
             return self._submit_mirror(dep, evidence_levels)
         replica = self._pick(dep, client)
         client_future: "Future" = Future()
-        self._attempt(dep, replica, evidence_levels, client_future, {replica})
+        slo = dep.spec.slo
+        priority = 0 if slo is None else slo.priority_for(
+            None if client is None else str(client)
+        )
+        # Backpressure may only block the *first* attempt, which runs on
+        # the client's own thread.  Failover attempts run on scheduler
+        # worker threads — two workers blocking into each other's full
+        # queues would deadlock the data plane.
+        block = bool(slo.backpressure) if slo is not None else False
+        self._attempt(
+            dep, replica, evidence_levels, client_future, {replica},
+            priority=priority, block=block,
+        )
         return client_future
 
     def _next_fallback(
@@ -498,12 +591,14 @@ class Router:
         attempted: set,
         failed_chain: Tuple[_Replica, ...],
         exc: BaseException,
+        priority: int = 0,
     ) -> None:
         """Resubmit after a failed attempt, or surface the error.
 
         When no untried replica is left the request failed everywhere —
-        a request problem, not a replica problem, so nobody is marked
-        down and the last error reaches the client.
+        a request problem (or, for :class:`Overloaded`, a saturated
+        deployment), not a replica problem, so nobody is marked down
+        and the last error reaches the client.
         """
         current, fallback = self._next_fallback(dep, attempted)
         if fallback is None:
@@ -511,7 +606,10 @@ class Router:
                 client_future.set_exception(exc)
             return
         attempted.add(fallback)
-        self._attempt(current, fallback, levels, client_future, attempted, failed_chain)
+        self._attempt(
+            current, fallback, levels, client_future, attempted,
+            failed_chain, priority=priority,
+        )
 
     def _attempt(
         self,
@@ -521,14 +619,20 @@ class Router:
         client_future: "Future",
         attempted: set,
         failed_chain: Tuple[_Replica, ...] = (),
+        priority: int = 0,
+        block: bool = False,
     ) -> None:
         try:
-            inner = replica.scheduler.submit(replica.key, levels)
+            inner = replica.scheduler.submit(
+                replica.key, levels, priority=priority, block=block
+            )
         except BaseException as exc:  # noqa: BLE001 — e.g. SchedulerClosed
-            # A redeploy/undeploy racing the submit closed this
-            # replica's queue; the failover contract still holds.
+            # A full queue (Overloaded) or a redeploy/undeploy racing
+            # the submit (SchedulerClosed); the failover contract still
+            # holds — spill to a sibling.
             self._failover(
-                dep, levels, client_future, attempted, failed_chain, exc
+                dep, levels, client_future, attempted, failed_chain, exc,
+                priority=priority,
             )
             return
 
@@ -554,14 +658,23 @@ class Router:
                     self._mark_down(bad)
                 client_future.set_result(f.result())
                 return
+            # Overloaded means *busy*, not broken: the request was
+            # shed unattempted, so spill it to a sibling without ever
+            # putting this replica on the mark-down chain.
+            chain = (
+                failed_chain
+                if isinstance(exc, Overloaded)
+                else failed_chain + (replica,)
+            )
             try:
                 self._failover(
                     dep,
                     levels,
                     client_future,
                     attempted,
-                    failed_chain + (replica,),
+                    chain,
                     exc,
+                    priority=priority,
                 )
             except BaseException as resubmit_exc:  # noqa: BLE001
                 # The client future must always resolve, never hang.
@@ -595,6 +708,7 @@ class Router:
             candidates = candidates[: policy.mirror_fanout]
         client_future: "Future[MirroredResult]" = Future()
         votes: Dict[int, Optional[ServedResult]] = {}
+        overloaded: set = set()
         remaining = [len(candidates)]
         vote_lock = threading.Lock()
 
@@ -604,18 +718,22 @@ class Router:
                 remaining[0] -= 1
                 if remaining[0]:
                     return
-            self._resolve_vote(dep, candidates, votes, client_future)
+            self._resolve_vote(dep, candidates, votes, client_future, overloaded)
 
         def voted(index: int, f: "Future") -> None:
             result = None
             if not f.cancelled() and f.exception() is None:
                 result = f.result()
+            elif not f.cancelled() and isinstance(f.exception(), Overloaded):
+                overloaded.add(index)
             record_vote(index, result)
 
         for replica in candidates:
             try:
                 inner = replica.scheduler.submit(replica.key, levels)
-            except BaseException:  # noqa: BLE001 — abstain, don't hang the vote
+            except BaseException as exc:  # noqa: BLE001 — abstain, don't hang the vote
+                if isinstance(exc, Overloaded):
+                    overloaded.add(replica.index)
                 record_vote(replica.index, None)
                 continue
             inner.add_done_callback(
@@ -629,6 +747,7 @@ class Router:
         candidates: List[_Replica],
         votes: Dict[int, Optional[ServedResult]],
         client_future: "Future[MirroredResult]",
+        overloaded: Optional[set] = None,
     ) -> None:
         if not client_future.set_running_or_notify_cancel():
             return
@@ -648,8 +767,11 @@ class Router:
         # A participant that failed a request its peers served is
         # confirmed bad, exactly as on the failover path: mark it down
         # so the next mirrored request stops wasting fan-out on it.
+        # An *overloaded* abstention is busy, not broken — skipped.
         for replica in candidates:
-            if votes.get(replica.index) is None:
+            if votes.get(replica.index) is None and (
+                overloaded is None or replica.index not in overloaded
+            ):
                 self._mark_down(replica)
         counts: Dict[int, int] = {}
         for _, result in succeeded:
@@ -685,23 +807,106 @@ class Router:
             )
         )
 
+    # ------------------------------------------------------------- elasticity
+    @staticmethod
+    def _replica_by_index(dep: _AppliedDeployment, index: int) -> _Replica:
+        """Index-matched lookup: replica indices are identities, not
+        list positions (retirement leaves holes)."""
+        for replica in dep.replicas:
+            if replica.index == index:
+                return replica
+        raise KeyError(
+            f"deployment {dep.name!r} has no replica with index {index}"
+        )
+
+    def add_replica(
+        self,
+        name: str,
+        spec: ReplicaSpec,
+        wear: Optional[WearState] = None,
+    ) -> ReplicaStatus:
+        """Grow ``name``'s deployment by one replica at runtime.
+
+        The autoscaler's scale-up primitive: the spec passes the same
+        static validation as one written in the deployment, the engine
+        is materialised and canary-probed *before* the replica joins
+        the routing set, and an optional ``wear`` ledger (e.g. a
+        :class:`~repro.serving.autoscale.HardwareSlot`'s) seeds the
+        replica's lifetime accounting.  Returns the new replica's
+        status.
+        """
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        with self._lock:
+            index = dep.next_index
+            dep.next_index += 1
+        validate_replica_spec(spec, index, dep.spec.policy.min_agreement)
+        key = ReplicaKey(dep.name, dep.version, index)
+        replica = _Replica(index, spec, key, wear=wear)
+        replica.scheduler = self._make_scheduler(replica, dep.spec)
+        try:
+            self._probe(dep.name, dep.version, replica, dep.canaries)
+        except Exception as exc:
+            replica.scheduler.shutdown(drain=False)
+            raise DeploymentError(
+                f"replica {index} ({spec.backend}) failed to materialise "
+                f"for {dep.name!r} v{dep.version}: {exc}"
+            ) from exc
+        with self._lock:
+            dep.replicas = dep.replicas + [replica]
+        return self._status_of(replica)
+
+    def retire_replica(
+        self, name: str, index: int, timeout: Optional[float] = None
+    ) -> ReplicaStatus:
+        """Shrink ``name``'s deployment: drain and remove one replica.
+
+        The autoscaler's scale-down primitive — the graceful opposite
+        of eviction: the replica leaves the routing set first (no new
+        traffic), its queue then drains on its own engine, and only
+        then does its scheduler shut down.  Refuses to retire the last
+        serviceable replica.
+        """
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        with self._lock:
+            replica = self._replica_by_index(dep, index)
+            survivors = [
+                r
+                for r in dep.replicas
+                if r.index != index and r.state in (HEALTHY, DOWN)
+            ]
+            if not survivors:
+                raise DeploymentError(
+                    f"cannot retire replica {index}: it is the last "
+                    f"serviceable replica of {dep.name!r}"
+                )
+            replica.state = RETIRED
+            dep.replicas = [r for r in dep.replicas if r.index != index]
+        replica.scheduler.shutdown(drain=True, timeout=timeout)
+        return self._status_of(replica)
+
     # ----------------------------------------------------------------- health
+    def _status_of(self, replica: _Replica) -> ReplicaStatus:
+        return ReplicaStatus(
+            replica=replica.label,
+            backend=replica.spec.backend,
+            state=replica.state,
+            weight=replica.spec.weight,
+            unit_delay_s=replica.unit_delay,
+            pending=replica.scheduler.pending,
+            index=replica.index,
+            wear_fraction=replica.wear.fraction_used,
+        )
+
     def status(self, name: str) -> List[ReplicaStatus]:
         """Live per-replica view of one deployment."""
         dep = self.deployment_for(name)
         if dep is None:
             raise KeyError(f"no deployment for model {name!r}")
-        return [
-            ReplicaStatus(
-                replica=replica.label,
-                backend=replica.spec.backend,
-                state=replica.state,
-                weight=replica.spec.weight,
-                unit_delay_s=replica.unit_delay,
-                pending=replica.scheduler.pending,
-            )
-            for replica in dep.replicas
-        ]
+        return [self._status_of(replica) for replica in dep.replicas]
 
     def kill_replica(self, name: str, index: int, recoverable: bool = False) -> None:
         """Chaos hook: hard-fail a replica without any health signal.
@@ -719,7 +924,7 @@ class Router:
         dep = self.deployment_for(name)
         if dep is None:
             raise KeyError(f"no deployment for model {name!r}")
-        replica = dep.replicas[index]
+        replica = self._replica_by_index(dep, index)
         replica.killed = True
         replica.recoverable = bool(recoverable)
         replica.engine = None
@@ -738,7 +943,7 @@ class Router:
         dep = self.deployment_for(name)
         if dep is None:
             raise KeyError(f"no deployment for model {name!r}")
-        replica = dep.replicas[index]
+        replica = self._replica_by_index(dep, index)
         if replica.state == EVICTED:
             return ReplicaHealthReport(
                 replica.label, EVICTED, 0.0, action="evict", healed=False
@@ -783,6 +988,7 @@ class Router:
             # Rung 1: refresh — reprogram in place.
             try:
                 refresh_engine(replica.resolve())
+                replica.wear.add_cycles(1)
                 telemetry.record_refresh()
                 agreement = measure()
             except Exception:
@@ -803,6 +1009,7 @@ class Router:
                     replica.engine = self._materialise(
                         dep.name, dep.version, replica, fresh=True
                     )
+                    replica.wear.add_cycles(1)
                     telemetry.record_replacement()
                     agreement = measure()
                 except Exception:
@@ -830,8 +1037,14 @@ class Router:
         with self._lock:
             deployed = list(self._deployments.values())
         for dep in deployed:
-            for replica in dep.replicas:
-                reports.append(self.check_replica(dep.name, replica.index))
+            for replica in list(dep.replicas):
+                try:
+                    reports.append(self.check_replica(dep.name, replica.index))
+                except KeyError:
+                    # Retired between the snapshot and the check — an
+                    # autoscaler scale-down racing the sweep, not an
+                    # error.
+                    continue
         return reports
 
     # -------------------------------------------------------------- lifecycle

@@ -20,6 +20,27 @@ Under heavy traffic the scheduler therefore runs full batches at the
 offline throughput ceiling; under trickle traffic no request waits more
 than ``max_wait_ms`` beyond its own service time.
 
+Admission control
+-----------------
+
+By default a queue is unbounded (the legacy behaviour).  With
+``max_queue_depth`` set, the scheduler refuses to let a backlog grow
+past the bound; an arrival at a full queue is resolved by priority:
+
+* a *lower-priority* queued request is shed to make room (its future
+  fails with :class:`Overloaded` — a typed, fast rejection the caller
+  can distinguish from a real failure), or
+* the arrival itself is rejected with :class:`Overloaded` when nothing
+  cheaper is queued, or
+* with ``block=True`` the submitter waits for space instead
+  (backpressure; ``timeout`` bounds the wait).
+
+Within a queue, requests live in *priority lanes*: batches fill from
+the highest lane first (FIFO within a lane), and sheds always take the
+newest request of the lowest lane — a low-priority tenant degrades
+before a high-priority one ever notices.  All-default traffic lands in
+lane 0 and behaves exactly as the unbounded FIFO did.
+
 Determinism
 -----------
 
@@ -119,13 +140,103 @@ class SchedulerClosed(RuntimeError):
     """Raised by :meth:`MicroBatchScheduler.submit` after shutdown."""
 
 
-class _Request:
-    __slots__ = ("levels", "future", "enqueued_at")
+class Overloaded(RuntimeError):
+    """Typed admission rejection: the bounded queue is full.
 
-    def __init__(self, levels: np.ndarray, enqueued_at: float):
+    Raised synchronously by :meth:`MicroBatchScheduler.submit` when the
+    arrival itself is refused (nothing lower-priority to shed, or a
+    blocking submit timed out), and set on the future of a queued
+    request that was shed to admit a higher-priority arrival.  A shed
+    is *not* a failure — the request was never attempted — so the
+    router's failover path retries it elsewhere without marking the
+    overloaded replica down.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        key: Optional[Hashable] = None,
+        depth: int = 0,
+        lane: int = 0,
+    ):
+        super().__init__(message)
+        self.key = key
+        self.depth = depth
+        self.lane = lane
+
+
+class _Request:
+    __slots__ = ("levels", "future", "enqueued_at", "lane")
+
+    def __init__(self, levels: np.ndarray, enqueued_at: float, lane: int = 0):
         self.levels = levels
         self.future: "Future[ServedResult]" = Future()
         self.enqueued_at = enqueued_at
+        self.lane = lane
+
+
+class _LaneQueue:
+    """One routing key's pending requests, split into priority lanes.
+
+    Flush order is highest lane first, FIFO within a lane; sheds take
+    the *newest* request of the *lowest* lane (it has waited least and
+    matters least).  The common all-lane-0 case degenerates to the
+    plain FIFO deque this class replaced.
+    """
+
+    __slots__ = ("lanes", "size")
+
+    def __init__(self):
+        self.lanes: Dict[int, deque] = {}
+        self.size = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def append(self, request: _Request) -> None:
+        self.lanes.setdefault(request.lane, deque()).append(request)
+        self.size += 1
+
+    def oldest_enqueued_at(self) -> float:
+        """Earliest enqueue time across lanes (age-out deadline)."""
+        return min(q[0].enqueued_at for q in self.lanes.values() if q)
+
+    def pop_batch(self, n: int) -> List[_Request]:
+        """Up to ``n`` requests, highest lane first, FIFO within."""
+        popped: List[_Request] = []
+        for lane in sorted(self.lanes, reverse=True):
+            queue = self.lanes[lane]
+            while queue and len(popped) < n:
+                popped.append(queue.popleft())
+            if not queue:
+                del self.lanes[lane]
+            if len(popped) == n:
+                break
+        self.size -= len(popped)
+        return popped
+
+    def shed_lowest(self, below_lane: int) -> Optional[_Request]:
+        """Evict the newest request of the lowest lane strictly below
+        ``below_lane``; ``None`` when nothing cheaper is queued."""
+        for lane in sorted(self.lanes):
+            if lane >= below_lane:
+                return None
+            queue = self.lanes[lane]
+            if not queue:
+                continue
+            victim = queue.pop()
+            if not queue:
+                del self.lanes[lane]
+            self.size -= 1
+            return victim
+        return None
+
+    def drain_all(self) -> List[_Request]:
+        """Remove and return everything (shutdown cancellation)."""
+        drained = [r for q in self.lanes.values() for r in q]
+        self.lanes.clear()
+        self.size = 0
+        return drained
 
 
 class MicroBatchScheduler:
@@ -145,9 +256,15 @@ class MicroBatchScheduler:
         Coalescing bounds; defaults to ``BatchPolicy()``.
     telemetry:
         Shared counters; a private instance is created when omitted.
+    max_queue_depth:
+        Bound on each routing key's backlog (``None`` = unbounded, the
+        legacy behaviour).  Arrivals at a full queue shed the cheapest
+        queued request or are rejected with :class:`Overloaded` — see
+        the module docstring's admission-control contract.
 
     The scheduler owns one daemon worker thread.  ``submit`` never
-    blocks on inference — it enqueues and returns a future.
+    blocks on inference — it enqueues and returns a future (unless the
+    caller opts into backpressure with ``block=True``).
     """
 
     def __init__(
@@ -155,14 +272,19 @@ class MicroBatchScheduler:
         resolve_engine: Callable[[Hashable], object],
         policy: Optional[BatchPolicy] = None,
         telemetry: Optional[Telemetry] = None,
+        max_queue_depth: Optional[int] = None,
     ):
         self.policy = policy or BatchPolicy()
         self.resolve_engine = resolve_engine
         self.telemetry = telemetry or Telemetry(self.policy.max_batch)
+        if max_queue_depth is not None:
+            check_positive_int(max_queue_depth, "max_queue_depth")
+        self.max_queue_depth = max_queue_depth
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._idle = threading.Condition(self._lock)
-        self._queues: Dict[Hashable, deque] = {}
+        self._space = threading.Condition(self._lock)
+        self._queues: Dict[Hashable, _LaneQueue] = {}
         self._pending = 0
         self._inflight = 0
         self._paused = 0
@@ -175,59 +297,145 @@ class MicroBatchScheduler:
         self._worker.start()
 
     # ---------------------------------------------------------------- client
-    def submit(self, key: Hashable, evidence_levels: np.ndarray) -> "Future[ServedResult]":
+    def submit(
+        self,
+        key: Hashable,
+        evidence_levels: np.ndarray,
+        priority: int = 0,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> "Future[ServedResult]":
         """Enqueue one sample for ``key``; returns its result future.
 
         ``evidence_levels`` must be a single 1-D discretised sample.
         The future resolves to a :class:`ServedResult` (or raises the
         engine/resolution error that failed its batch).
+
+        ``priority`` is the request's lane (higher serves — and
+        survives sheds — first; only meaningful on a bounded queue).
+        With ``block=True`` a full queue exerts backpressure: the call
+        waits up to ``timeout`` seconds for space instead of shedding,
+        then raises :class:`Overloaded`.
         """
         levels = np.asarray(evidence_levels, dtype=int)
         if levels.ndim != 1:
             raise ValueError(
                 f"submit takes one 1-D sample, got shape {levels.shape}"
             )
-        request = _Request(levels, time.monotonic())
+        lane = int(priority)
+        request = _Request(levels, time.monotonic(), lane=lane)
+        victim: Optional[_Request] = None
+        rejection: Optional[Overloaded] = None
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            if self._closed:
-                raise SchedulerClosed("scheduler is shut down")
-            queue = self._queues.setdefault(key, deque())
-            queue.append(request)
-            self._pending += 1
-            # Waking the worker on *every* submit is a context-switch
-            # storm under load; it only needs to hear about a queue's
-            # first request (a new age-out deadline) or a queue just
-            # reaching a full batch.  Anything in between is covered by
-            # the deadline it is already sleeping on.
-            if len(queue) == 1 or len(queue) == self.policy.max_batch:
-                self._wake.notify()
-        self.telemetry.record_submitted()
+            while True:
+                if self._closed:
+                    raise SchedulerClosed("scheduler is shut down")
+                queue = self._queues.setdefault(key, _LaneQueue())
+                if (
+                    self.max_queue_depth is None
+                    or len(queue) < self.max_queue_depth
+                ):
+                    break
+                if block:
+                    # Backpressure: wait for the worker to make room.
+                    # The queue object may be deleted while we sleep
+                    # (worker drains it empty), so it is re-fetched at
+                    # the top of the loop.
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            rejection = Overloaded(
+                                f"queue for {key!r} still full after "
+                                f"{timeout:.3g} s of backpressure",
+                                key=key, depth=len(queue), lane=lane,
+                            )
+                            break
+                    self._space.wait(remaining)
+                    continue
+                victim = queue.shed_lowest(lane)
+                if victim is None:
+                    rejection = Overloaded(
+                        f"queue for {key!r} is full "
+                        f"({len(queue)}/{self.max_queue_depth}) and nothing "
+                        f"below priority {lane} is queued",
+                        key=key, depth=len(queue), lane=lane,
+                    )
+                break
+            if rejection is None:
+                queue.append(request)
+                self._pending += 1
+                if victim is not None:
+                    self._pending -= 1
+                # Waking the worker on *every* submit is a context-switch
+                # storm under load; it only needs to hear about a queue's
+                # first request (a new age-out deadline) or a queue just
+                # reaching a full batch.  Anything in between is covered
+                # by the deadline it is already sleeping on.
+                if len(queue) == 1 or len(queue) == self.policy.max_batch:
+                    self._wake.notify()
+        # Futures resolve outside the lock: a shed victim's done
+        # callback (e.g. the router's failover resubmit) may take other
+        # schedulers' locks.
+        if rejection is not None:
+            # The arrival was counted in, then straight back out: both
+            # sides of the ledger move so in_flight stays balanced.
+            self.telemetry.record_submitted()
+            self.telemetry.record_shed(lane=lane)
+            raise rejection
+        if victim is not None:
+            self.telemetry.record_shed(lane=victim.lane, dequeued=True)
+            if victim.future.set_running_or_notify_cancel():
+                victim.future.set_exception(
+                    Overloaded(
+                        f"shed from the queue for {key!r} by a "
+                        f"priority-{lane} arrival",
+                        key=key, depth=self.max_queue_depth, lane=victim.lane,
+                    )
+                )
+        self.telemetry.record_submitted(lane=lane)
         return request.future
 
     def submit_many(
-        self, key: Hashable, evidence_levels: np.ndarray
+        self, key: Hashable, evidence_levels: np.ndarray, priority: int = 0
     ) -> List["Future[ServedResult]"]:
         """Enqueue a stack of samples as independent requests.
 
         A convenience for bulk submitters: one lock acquisition for the
         whole stack, but each sample still gets its own future and may
-        land in a different micro-batch.
+        land in a different micro-batch.  On a bounded queue each sample
+        goes through :meth:`submit`'s full admission path individually
+        (some may shed or be rejected — a rejected sample's future
+        carries the :class:`Overloaded` instead of raising).
         """
         levels = np.asarray(evidence_levels, dtype=int)
         if levels.ndim != 2:
             raise ValueError(
                 f"submit_many takes (n, features) samples, got {levels.shape}"
             )
+        if self.max_queue_depth is not None:
+            futures: List["Future[ServedResult]"] = []
+            for row in levels:
+                try:
+                    futures.append(self.submit(key, row, priority=priority))
+                except Overloaded as exc:
+                    rejected: "Future[ServedResult]" = Future()
+                    rejected.set_running_or_notify_cancel()
+                    rejected.set_exception(exc)
+                    futures.append(rejected)
+            return futures
         now = time.monotonic()
-        requests = [_Request(row, now) for row in levels]
+        requests = [_Request(row, now, lane=int(priority)) for row in levels]
         with self._lock:
             if self._closed:
                 raise SchedulerClosed("scheduler is shut down")
-            queue = self._queues.setdefault(key, deque())
-            queue.extend(requests)
+            queue = self._queues.setdefault(key, _LaneQueue())
+            for request in requests:
+                queue.append(request)
             self._pending += len(requests)
             self._wake.notify()
-        self.telemetry.record_submitted(len(requests))
+        self.telemetry.record_submitted(len(requests), lane=int(priority))
         return [r.future for r in requests]
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -319,14 +527,21 @@ class MicroBatchScheduler:
             self._closed = True
             cancelled = []
             for queue in self._queues.values():
-                cancelled.extend(queue)
-                queue.clear()
+                cancelled.extend(queue.drain_all())
             self._pending -= len(cancelled)
             self._wake.notify()
+            # Blocked (backpressure) submitters must observe _closed
+            # and raise SchedulerClosed instead of sleeping forever.
+            self._space.notify_all()
         for request in cancelled:
             request.future.cancel()
         if cancelled:
             self.telemetry.record_cancelled(len(cancelled))
+            by_lane: Dict[int, int] = {}
+            for request in cancelled:
+                by_lane[request.lane] = by_lane.get(request.lane, 0) + 1
+            for lane, count in by_lane.items():
+                self.telemetry.record_lane_drained(lane, count)
         self._worker.join()
 
     @property
@@ -356,7 +571,7 @@ class MicroBatchScheduler:
                 continue
             if self._draining or len(queue) >= self.policy.max_batch:
                 return key, None
-            deadline = queue[0].enqueued_at + max_wait
+            deadline = queue.oldest_enqueued_at() + max_wait
             if deadline <= now:
                 return key, None
             if earliest is None or deadline < earliest:
@@ -380,17 +595,27 @@ class MicroBatchScheduler:
                         else max(deadline - time.monotonic(), 0.0)
                     )
                 queue = self._queues[key]
-                popped = [
-                    queue.popleft()
-                    for _ in range(min(len(queue), self.policy.max_batch))
-                ]
+                popped = queue.pop_batch(
+                    min(len(queue), self.policy.max_batch)
+                )
                 if not queue:
                     # Retired routing keys (e.g. superseded model
-                    # versions) must not accumulate empty deques the
+                    # versions) must not accumulate empty queues the
                     # scan above would walk forever.
                     del self._queues[key]
                 self._pending -= len(popped)
                 self._inflight += len(popped)
+                if self.max_queue_depth is not None:
+                    # Room just opened up for backpressured submitters.
+                    self._space.notify_all()
+            if popped:
+                drained_lanes: Dict[int, int] = {}
+                for request in popped:
+                    drained_lanes[request.lane] = (
+                        drained_lanes.get(request.lane, 0) + 1
+                    )
+                for lane, count in drained_lanes.items():
+                    self.telemetry.record_lane_drained(lane, count)
             # Claim each future before executing: a request the client
             # already cancelled drops out here, and a claimed (RUNNING)
             # future can no longer be cancelled under us — so the
@@ -456,4 +681,5 @@ class MicroBatchScheduler:
             str(key),
             size,
             latencies_s=np.array([finished - r.enqueued_at for r in group]),
+            max_batch=self.policy.max_batch,
         )

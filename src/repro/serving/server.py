@@ -70,13 +70,24 @@ class MaintenanceThread:
     checks for the rest.
     """
 
-    def __init__(self, monitor, period_s: float, telemetry=None, router=None):
+    def __init__(
+        self,
+        monitor,
+        period_s: float,
+        telemetry=None,
+        router=None,
+        controllers=None,
+    ):
         if period_s <= 0:
             raise ValueError(f"period_s must be positive, got {period_s}")
         self.monitor = monitor
         self.period_s = float(period_s)
         self.telemetry = telemetry
         self.router = router
+        # Zero-arg callable returning the autoscale controllers to step
+        # each sweep (resolved live so deploy/undeploy between sweeps
+        # takes effect without restarting the thread).
+        self.controllers = controllers
         self.sweep_errors = 0
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -115,6 +126,18 @@ class MaintenanceThread:
                         self.router.check_all()
                     except Exception:  # noqa: BLE001
                         self.sweep_errors += 1
+                if self.controllers is not None and not self._stop.is_set():
+                    # Autoscale controllers step on the same cadence,
+                    # after health: a replica the heal ladder just
+                    # evicted should be seen missing *this* sweep, not
+                    # next.  Same isolation contract as above.
+                    for controller in self.controllers():
+                        if self._stop.is_set():
+                            break
+                        try:
+                            controller.step()
+                        except Exception:  # noqa: BLE001
+                            self.sweep_errors += 1
                 if self.telemetry is not None:
                     self.telemetry.record_maintenance_sweep()
             except Exception:  # noqa: BLE001 — maintenance must survive
@@ -195,6 +218,9 @@ class FeBiMServer:
         self.router = Router(self)
         self.monitor = None
         self.maintenance: Optional[MaintenanceThread] = None
+        # Autoscale controllers by model name; stepped on the
+        # maintenance cadence (see enable_maintenance).
+        self._autoscalers: Dict[str, object] = {}
         if maintenance_period_s is not None:
             self.enable_maintenance(maintenance_period_s)
 
@@ -253,9 +279,17 @@ class FeBiMServer:
 
         The resolved model version is pinned at apply time; re-apply
         after registering a new version to roll the deployment forward.
+        A deployment carrying an ``slo`` block automatically gets a
+        default :class:`~repro.serving.autoscale.AutoscaleController`
+        (customise with :meth:`enable_autoscale`), stepped on the
+        maintenance cadence once maintenance runs.
         Returns the applied deployment handle (status/introspection).
         """
-        return self.router.apply(deployment)
+        applied = self.router.apply(deployment)
+        self._autoscalers.pop(deployment.model, None)
+        if deployment.slo is not None:
+            self.enable_autoscale(deployment.model)
+        return applied
 
     def undeploy(self, name: str, timeout: Optional[float] = None) -> bool:
         """Remove a model's deployment (drains its replica queues).
@@ -263,11 +297,36 @@ class FeBiMServer:
         The model falls back to the legacy single-engine path; returns
         ``False`` when no deployment was applied.
         """
+        self._autoscalers.pop(name, None)
         return self.router.remove(name, timeout=timeout)
 
     def deployments(self) -> Dict[str, Deployment]:
         """Applied deployment specs by model name."""
         return self.router.deployments()
+
+    def enable_autoscale(self, name: str, pool=None, **controller_kwargs):
+        """Attach (or replace) the autoscale controller for ``name``.
+
+        ``pool`` is an optional
+        :class:`~repro.serving.autoscale.HardwarePool` of spare slots;
+        ``controller_kwargs`` forward to
+        :class:`~repro.serving.autoscale.AutoscaleController` (e.g.
+        ``scale_down_patience=5``).  The deployment must carry an
+        ``slo`` block.  Controllers step on the maintenance cadence —
+        start :meth:`enable_maintenance` for closed-loop operation, or
+        call ``controller.step()`` directly.  Returns the controller.
+        """
+        from repro.serving.autoscale import AutoscaleController
+
+        controller = AutoscaleController(
+            self, name, pool=pool, **controller_kwargs
+        )
+        self._autoscalers[name] = controller
+        return controller
+
+    def autoscaler(self, name: str):
+        """The autoscale controller serving ``name`` (or ``None``)."""
+        return self._autoscalers.get(name)
 
     # --------------------------------------------------------------- requests
     def submit(
@@ -365,7 +424,11 @@ class FeBiMServer:
         self.stop_maintenance()
         self.monitor = monitor
         self.maintenance = MaintenanceThread(
-            monitor, period_s, telemetry=self.telemetry, router=self.router
+            monitor,
+            period_s,
+            telemetry=self.telemetry,
+            router=self.router,
+            controllers=lambda: list(self._autoscalers.values()),
         )
         return monitor
 

@@ -7,6 +7,20 @@ recording must stay cheap because it sits on the per-request hot path —
 and latency percentiles come from a bounded ring buffer of recent
 end-to-end latencies (a full history would grow without bound under the
 sustained traffic the server is built for).
+
+Two accounting subtleties worth naming:
+
+* **Occupancy is aggregated per batch, not globally.**  Each replica
+  runs its own scheduler, and deployments may mix ``max_batch`` values;
+  dividing a global average fill by one global ``max_batch`` would
+  report >100% or diluted occupancy.  ``record_batch`` therefore folds
+  each batch's *own* ``size / max_batch`` into a running sum, and the
+  snapshot reports the mean of those per-batch fractions.
+* **Shed requests balance the in-flight ledger.**  An admission-control
+  shed (:class:`~repro.serving.scheduler.Overloaded`) counts as
+  ``shed`` — neither completed nor failed — and ``in_flight`` subtracts
+  it, so a load-shedding server still reports zero in-flight once
+  drained.
 """
 
 from __future__ import annotations
@@ -72,6 +86,15 @@ class TelemetrySnapshot:
     mirror_votes / mirror_disagreements:
         Mirrored requests resolved by majority vote, and how many of
         those had at least one replica disagreeing with the majority.
+    shed_requests:
+        Requests rejected or evicted by admission control (typed
+        :class:`~repro.serving.scheduler.Overloaded`) — deliberate
+        load-shed, not failures.
+    scale_ups / scale_downs:
+        Replicas added / retired by the autoscale controller.
+    lane_depth:
+        Currently queued requests per priority lane, across schedulers
+        (lanes that drained back to zero are pruned).
     """
 
     submitted: int
@@ -95,11 +118,21 @@ class TelemetrySnapshot:
     replica_evictions: int = 0
     mirror_votes: int = 0
     mirror_disagreements: int = 0
+    shed_requests: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    lane_depth: Dict[int, int] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
         """Requests submitted but not yet resolved either way."""
-        return self.submitted - self.completed - self.failed - self.cancelled
+        return (
+            self.submitted
+            - self.completed
+            - self.failed
+            - self.cancelled
+            - self.shed_requests
+        )
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (for ``febim serve --json``)."""
@@ -125,6 +158,10 @@ class TelemetrySnapshot:
             "replica_evictions": self.replica_evictions,
             "mirror_votes": self.mirror_votes,
             "mirror_disagreements": self.mirror_disagreements,
+            "shed_requests": self.shed_requests,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "lane_depth": {str(k): v for k, v in sorted(self.lane_depth.items())},
         }
 
     def format_lines(self) -> str:
@@ -151,6 +188,16 @@ class TelemetrySnapshot:
                 f"{self.replica_evictions} evictions  "
                 f"{self.mirror_votes} mirror votes "
                 f"({self.mirror_disagreements} split)"
+            )
+        if self.shed_requests or self.scale_ups or self.scale_downs:
+            lines.append(
+                f"slo        {self.shed_requests} shed  "
+                f"{self.scale_ups} scale-ups  "
+                f"{self.scale_downs} scale-downs"
+            )
+        for lane in sorted(self.lane_depth):
+            lines.append(
+                f"  lane {lane:2d} depth {self.lane_depth[lane]}"
             )
         for name in sorted(self.per_model):
             lines.append(f"  model {name:20s} {self.per_model[name]} served")
@@ -182,6 +229,7 @@ class Telemetry:
         self._cancelled = 0
         self._batches = 0
         self._batched_samples = 0
+        self._occupancy_sum = 0.0
         self._per_model: Dict[str, int] = {}
         self._latencies = deque(maxlen=window)
         self._health_checks = 0
@@ -194,19 +242,76 @@ class Telemetry:
         self._replica_evictions = 0
         self._mirror_votes = 0
         self._mirror_disagreements = 0
+        self._shed = 0
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._lane_depth: Dict[int, int] = {}
 
     # ------------------------------------------------------------- recording
-    def record_submitted(self, n: int = 1) -> None:
+    def record_submitted(self, n: int = 1, lane: Optional[int] = None) -> None:
+        """``n`` requests admitted; with ``lane`` set, the per-lane
+        depth gauge rises until :meth:`record_lane_drained` (or a
+        dequeued shed) takes them back out."""
         with self._lock:
             self._submitted += n
+            if lane is not None:
+                self._lane_depth[lane] = self._lane_depth.get(lane, 0) + n
+
+    def record_shed(
+        self, n: int = 1, lane: int = 0, dequeued: bool = False
+    ) -> None:
+        """``n`` requests rejected by admission control.
+
+        ``dequeued=True`` means the victims were already queued (their
+        admission bumped the lane gauge, which must come back down);
+        door rejections never entered a lane.
+        """
+        with self._lock:
+            self._shed += n
+            if dequeued:
+                depth = self._lane_depth.get(lane, 0) - n
+                if depth > 0:
+                    self._lane_depth[lane] = depth
+                else:
+                    self._lane_depth.pop(lane, None)
+
+    def record_lane_drained(self, lane: int, n: int = 1) -> None:
+        """``n`` queued requests left ``lane`` (batched or cancelled)."""
+        with self._lock:
+            depth = self._lane_depth.get(lane, 0) - n
+            if depth > 0:
+                self._lane_depth[lane] = depth
+            else:
+                self._lane_depth.pop(lane, None)
+
+    def record_scale_up(self) -> None:
+        """One replica added by the autoscale controller."""
+        with self._lock:
+            self._scale_ups += 1
+
+    def record_scale_down(self) -> None:
+        """One replica retired by the autoscale controller."""
+        with self._lock:
+            self._scale_downs += 1
 
     def record_batch(
-        self, model: str, size: int, latencies_s: Optional[np.ndarray] = None
+        self,
+        model: str,
+        size: int,
+        latencies_s: Optional[np.ndarray] = None,
+        max_batch: Optional[int] = None,
     ) -> None:
-        """One executed micro-batch of ``size`` completed requests."""
+        """One executed micro-batch of ``size`` completed requests.
+
+        ``max_batch`` is the *executing scheduler's* coalescing limit;
+        occupancy is accumulated against it (falling back to this
+        telemetry's own ``max_batch``) so mixed-``max_batch``
+        deployments aggregate correctly.
+        """
         with self._lock:
             self._batches += 1
             self._batched_samples += size
+            self._occupancy_sum += size / (max_batch or self.max_batch)
             self._completed += size
             self._per_model[model] = self._per_model.get(model, 0) + size
             if latencies_s is not None:
@@ -285,7 +390,9 @@ class Telemetry:
                 batches=self._batches,
                 max_batch=self.max_batch,
                 avg_batch=avg,
-                occupancy=avg / self.max_batch,
+                occupancy=(
+                    self._occupancy_sum / self._batches if self._batches else 0.0
+                ),
                 p50_latency_s=float(p50),
                 p95_latency_s=float(p95),
                 per_model=dict(self._per_model),
@@ -299,4 +406,8 @@ class Telemetry:
                 replica_evictions=self._replica_evictions,
                 mirror_votes=self._mirror_votes,
                 mirror_disagreements=self._mirror_disagreements,
+                shed_requests=self._shed,
+                scale_ups=self._scale_ups,
+                scale_downs=self._scale_downs,
+                lane_depth=dict(self._lane_depth),
             )

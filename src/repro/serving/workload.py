@@ -27,12 +27,13 @@ import numpy as np
 from repro.core.pipeline import FeBiMPipeline
 from repro.datasets import load_dataset, make_gaussian_blobs
 from repro.datasets.splits import train_test_split
+from repro.devices.endurance import EnduranceModel
 from repro.serving.registry import ModelRegistry
-from repro.serving.scheduler import BatchPolicy
+from repro.serving.scheduler import BatchPolicy, Overloaded
 from repro.serving.server import FeBiMServer
 from repro.serving.telemetry import TelemetrySnapshot
 from repro.utils.rng import spawn_rngs
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_positive, check_positive_int
 
 #: Dense batch size used for the offline throughput ceiling.
 OFFLINE_BATCH = 256
@@ -473,6 +474,382 @@ def format_deployment_run(result: DeploymentRunResult) -> str:
             f"  {replica['replica']:26s} {replica['state']:8s} "
             f"unit delay {replica['unit_delay_s'] * 1e9:8.1f} ns  "
             f"weight {replica['weight']:g}"
+        )
+    lines.append(result.telemetry.format_lines())
+    return "\n".join(lines)
+
+
+class PacedEngine:
+    """An engine proxy that restores real-time service cost.
+
+    The simulated engines answer a 16-sample batch in tens of
+    microseconds — far too fast for any Python-side submitter to
+    saturate, which makes overload scenarios untestable.  This wrapper
+    sleeps ``batch_size * per_sample_s`` around each ``infer_batch``,
+    modelling a replica with a real service rate of
+    ``1 / per_sample_s`` samples/sec while keeping the numerics (and
+    bit-identity) of the wrapped engine.  Install through
+    ``Router.engine_wrapper``.
+    """
+
+    def __init__(self, engine, per_sample_s: float):
+        check_positive(per_sample_s, "per_sample_s")
+        self._engine = engine
+        self._per_sample_s = float(per_sample_s)
+
+    def infer_batch(self, levels):
+        report = self._engine.infer_batch(levels)
+        time.sleep(np.asarray(levels).shape[0] * self._per_sample_s)
+        return report
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+
+def bursty_trace(
+    duration_s: float,
+    base_rps: float,
+    spike_factor: float = 10.0,
+    spike_window: Tuple[float, float] = (0.35, 0.6),
+    diurnal_amplitude: float = 0.3,
+    bin_s: float = 0.01,
+    seed: int = 0,
+) -> np.ndarray:
+    """Open-loop Poisson arrival times with a diurnal swell and a spike.
+
+    The rate profile is ``base_rps * (1 + diurnal_amplitude *
+    sin(2*pi*t/duration))``, multiplied by ``spike_factor`` while
+    ``t/duration`` lies inside ``spike_window`` (fractions of the
+    trace).  Arrivals are drawn per ``bin_s`` bin from a Poisson count
+    and jittered uniformly within the bin; the trace is *open-loop* —
+    arrival times never depend on how the server is coping, which is
+    exactly what makes a spike dangerous.
+
+    Returns sorted arrival offsets in seconds from the trace start.
+    """
+    check_positive(duration_s, "duration_s")
+    check_positive(base_rps, "base_rps")
+    check_positive(bin_s, "bin_s")
+    if spike_factor < 1.0:
+        raise ValueError(f"spike_factor must be >= 1, got {spike_factor}")
+    lo, hi = float(spike_window[0]), float(spike_window[1])
+    if not 0.0 <= lo <= hi <= 1.0:
+        raise ValueError(
+            f"spike_window must satisfy 0 <= lo <= hi <= 1, got {spike_window}"
+        )
+    if not 0.0 <= diurnal_amplitude < 1.0:
+        raise ValueError(
+            f"diurnal_amplitude must lie in [0, 1), got {diurnal_amplitude}"
+        )
+    rng = np.random.default_rng(seed)
+    chunks: List[np.ndarray] = []
+    for t0 in np.arange(0.0, duration_s, bin_s):
+        frac = t0 / duration_s
+        rate = base_rps * (
+            1.0 + diurnal_amplitude * np.sin(2.0 * np.pi * frac)
+        )
+        if lo <= frac < hi:
+            rate *= spike_factor
+        n = int(rng.poisson(rate * bin_s))
+        if n:
+            chunks.append(t0 + rng.random(n) * bin_s)
+    if not chunks:
+        return np.empty(0, dtype=float)
+    return np.sort(np.concatenate(chunks))
+
+
+@dataclass(frozen=True)
+class AutoscaleRunResult:
+    """Outcome of one bursty open-loop run against an SLO deployment.
+
+    The acceptance contract of ``benchmarks/bench_autoscale.py``: the
+    spike must be survived with zero *failed* requests (``shed`` are
+    typed :class:`~repro.serving.scheduler.Overloaded` rejections, a
+    deliberate admission decision), both a scale-up and a scale-down
+    observed, and every scale-up placed on the least-worn pool slot.
+    """
+
+    n_requests: int
+    ok: int
+    shed: int
+    failed: int
+    shed_by_class: Dict[str, int]
+    wall_s: float
+    p95_ms: float
+    target_p95_ms: Optional[float]
+    held_slo: bool
+    scale_ups: int
+    scale_downs: int
+    final_replicas: int
+    events: Tuple[dict, ...]
+    placements: Tuple[dict, ...]
+    autoscale: bool
+    base_rps: float
+    spike_factor: float
+    telemetry: TelemetrySnapshot
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``BENCH_autoscale.json``)."""
+        return {
+            "bench": "autoscale",
+            "autoscale": self.autoscale,
+            "base_rps": self.base_rps,
+            "spike_factor": self.spike_factor,
+            "n_requests": self.n_requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "failed": self.failed,
+            "shed_by_class": dict(self.shed_by_class),
+            "wall_s": self.wall_s,
+            "p95_ms": self.p95_ms,
+            "target_p95_ms": self.target_p95_ms,
+            "held_slo": self.held_slo,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "final_replicas": self.final_replicas,
+            "events": [dict(e) for e in self.events],
+            "placements": [dict(p) for p in self.placements],
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def run_autoscale_workload(
+    duration_s: float = 2.5,
+    base_rps: float = 100.0,
+    spike_factor: float = 12.0,
+    spike_window: Tuple[float, float] = (0.3, 0.55),
+    service_time_ms: float = 2.0,
+    target_p95_ms: float = 150.0,
+    max_queue_depth: int = 16,
+    min_replicas: int = 1,
+    max_replicas: int = 3,
+    pool_wear: Tuple[float, ...] = (0.6, 0.2, 0.9),
+    maintenance_period_s: float = 0.12,
+    scale_down_patience: int = 3,
+    max_batch: int = 16,
+    interactive_share: int = 4,
+    seed: int = 0,
+    autoscale: bool = True,
+) -> AutoscaleRunResult:
+    """Drive a diurnal + spike trace into an SLO-scaled deployment.
+
+    One paced replica (``PacedEngine`` at ``service_time_ms`` per
+    sample — a capacity of ``1000 / service_time_ms`` samples/sec)
+    serves an iris deployment whose
+    :class:`~repro.serving.deployment.SLOPolicy` bounds every queue at
+    ``max_queue_depth`` and allows growth to ``max_replicas``.  An
+    :class:`~repro.serving.autoscale.AutoscaleController` on the
+    maintenance cadence absorbs the ``spike_factor`` burst by drawing
+    replicas from a :class:`~repro.serving.autoscale.HardwarePool`
+    whose slots are pre-worn per ``pool_wear`` (fractions of usable
+    life), so placement order is observable.  Every
+    ``interactive_share``-th request carries the high-priority
+    ``"interactive"`` client identity; the rest are low-priority batch
+    tenants — the shed ordering the result's ``shed_by_class``
+    reports.
+
+    After the trace drains, the controller is stepped synchronously
+    (no wall-clock polling) until its calm-streak logic has had every
+    chance to retire the spike capacity — the scale-*down* half of the
+    loop, made deterministic.
+
+    ``autoscale=False`` runs the no-SLO baseline: one unbounded
+    replica, no controller — every request is served eventually and
+    the p95 shows what the spike does without the loop closed.
+    """
+    check_positive(duration_s, "duration_s")
+    check_positive(service_time_ms, "service_time_ms")
+    check_positive_int(max_batch, "max_batch")
+    check_positive_int(interactive_share, "interactive_share")
+    from repro.datasets import load_dataset as _load
+    from repro.serving.autoscale import HardwarePool
+    from repro.serving.deployment import (
+        Deployment,
+        ReplicaSpec,
+        RoutingPolicy,
+        SLOPolicy,
+    )
+
+    model = "iris"
+    arrivals = bursty_trace(
+        duration_s,
+        base_rps,
+        spike_factor=spike_factor,
+        spike_window=spike_window,
+        seed=seed,
+    )
+    n_requests = int(arrivals.shape[0])
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp, backend="ideal")
+        data = _load(model)
+        X_tr, X_te, y_tr, _ = train_test_split(
+            data.data, data.target, test_size=0.5, seed=seed
+        )
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=seed, backend="ideal").fit(
+            X_tr, y_tr
+        )
+        pipe.register_into(registry, model)
+        pool = pipe.transform_levels(X_te)
+
+        policy = BatchPolicy(max_batch=max_batch, max_wait_ms=2.0)
+        slo = SLOPolicy(
+            target_p95_ms=target_p95_ms,
+            max_queue_depth=max_queue_depth,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            priorities={"interactive": 10},
+        )
+        deployment = Deployment(
+            model=model,
+            replicas=tuple(ReplicaSpec("ideal") for _ in range(min_replicas)),
+            policy=RoutingPolicy(kind="cost"),
+            slo=slo if autoscale else None,
+        )
+
+        with FeBiMServer(registry, policy=policy, seed=seed) as server:
+            server.router.engine_wrapper = lambda engine, replica: PacedEngine(
+                engine, service_time_ms / 1e3
+            )
+            server.deploy(deployment)
+            controller = None
+            if autoscale:
+                life = EnduranceModel().cycles_to_window_fraction(0.5)
+                hw_pool = HardwarePool(
+                    (ReplicaSpec("ideal"), frac * life) for frac in pool_wear
+                )
+                controller = server.enable_autoscale(
+                    model,
+                    pool=hw_pool,
+                    scale_down_patience=scale_down_patience,
+                    cooldown_steps=1,
+                )
+                server.enable_maintenance(maintenance_period_s)
+
+            clients = [
+                "interactive" if i % interactive_share == 0 else f"batch-{i % 5}"
+                for i in range(n_requests)
+            ]
+            futures: List[Optional[object]] = [None] * n_requests
+            prev_switch = sys.getswitchinterval()
+            sys.setswitchinterval(1e-3)
+            started = time.perf_counter()
+            try:
+                for i in range(n_requests):
+                    lead = arrivals[i] - (time.perf_counter() - started)
+                    if lead > 0:
+                        time.sleep(lead)
+                    futures[i] = server.submit(
+                        model,
+                        pool[i % pool.shape[0]],
+                        client=clients[i],
+                    )
+                if not server.drain(60.0):
+                    raise RuntimeError(
+                        "autoscale workload failed to drain in 60 s"
+                    )
+                wall = time.perf_counter() - started
+            finally:
+                sys.setswitchinterval(prev_switch)
+
+            # Let the controller observe the calm and give capacity
+            # back — stepped synchronously so the scale-down half needs
+            # no wall-clock polling (and no sleeps in tests).
+            if autoscale:
+                server.stop_maintenance()
+                for _ in range(
+                    (scale_down_patience + 2) * (max_replicas + 1)
+                ):
+                    controller.step()
+
+            ok = shed = failed = 0
+            shed_by_class: Dict[str, int] = {}
+            for i, future in enumerate(futures):
+                exc = None if future is None else future.exception(timeout=30.0)
+                if future is not None and exc is None:
+                    ok += 1
+                elif isinstance(exc, Overloaded):
+                    shed += 1
+                    cls = (
+                        "interactive"
+                        if clients[i] == "interactive"
+                        else "batch"
+                    )
+                    shed_by_class[cls] = shed_by_class.get(cls, 0) + 1
+                else:
+                    failed += 1
+            telemetry = server.stats()
+            final_replicas = len(
+                [
+                    s
+                    for s in server.router.status(model)
+                    if s.state in ("healthy", "down")
+                ]
+            )
+            events = tuple(
+                e.to_dict() for e in (controller.history if controller else ())
+            )
+
+    placements = tuple(
+        {
+            "slot": e["slot"],
+            "replica": e["replica"],
+            "wear_fraction": e["wear_fraction"],
+        }
+        for e in events
+        if e["action"] == "up"
+    )
+    p95_ms = float(telemetry.p95_latency_s * 1e3)
+    target = target_p95_ms if autoscale else None
+    return AutoscaleRunResult(
+        n_requests=n_requests,
+        ok=ok,
+        shed=shed,
+        failed=failed,
+        shed_by_class=shed_by_class,
+        wall_s=wall,
+        p95_ms=p95_ms,
+        target_p95_ms=target,
+        held_slo=(target is None or p95_ms <= target),
+        scale_ups=telemetry.scale_ups,
+        scale_downs=telemetry.scale_downs,
+        final_replicas=final_replicas,
+        events=events,
+        placements=placements,
+        autoscale=autoscale,
+        base_rps=base_rps,
+        spike_factor=spike_factor,
+        telemetry=telemetry,
+    )
+
+
+def format_autoscale_run(result: AutoscaleRunResult) -> str:
+    """Human-readable report (``febim serve --slo``)."""
+    mode = "slo autoscale" if result.autoscale else "baseline (no slo)"
+    lines = [
+        f"autoscale workload [{mode}]: {result.n_requests} requests, "
+        f"base {result.base_rps:g} rps, spike x{result.spike_factor:g}",
+        f"outcome    {result.ok} served  {result.shed} shed  "
+        f"{result.failed} failed  in {result.wall_s:.2f} s",
+        f"latency    p95 {result.p95_ms:.1f} ms"
+        + (
+            f" vs target {result.target_p95_ms:g} ms "
+            f"({'HELD' if result.held_slo else 'MISSED'})"
+            if result.target_p95_ms is not None
+            else ""
+        ),
+        f"scaling    {result.scale_ups} ups  {result.scale_downs} downs  "
+        f"{result.final_replicas} replicas at end",
+    ]
+    for cls in sorted(result.shed_by_class):
+        lines.append(f"  shed {cls:12s} {result.shed_by_class[cls]}")
+    for event in result.events:
+        if event["action"] == "hold":
+            continue
+        slot = f" slot={event['slot']}" if event["slot"] else ""
+        lines.append(
+            f"  step {event['step']:3d} {event['action']:4s} "
+            f"{event['replica'] or '':26s}{slot}  ({event['reason']})"
         )
     lines.append(result.telemetry.format_lines())
     return "\n".join(lines)

@@ -133,6 +133,49 @@ class TestRoutingPolicies:
             server.predict("iris", SAMPLE, timeout=5, client=f"c{client}")
         assert len(server.stats().per_replica) >= 2
 
+    def test_rendezvous_membership_change_moves_one_share(self, server):
+        """HRW sticky: retiring a replica remaps ONLY the clients it
+        anchored (~1/N of them); everyone else keeps their replica.
+        The walk-forward scheme this replaced reshuffled ~half."""
+        deploy(
+            server,
+            *[ReplicaSpec("ideal") for _ in range(4)],
+            policy=RoutingPolicy("sticky"),
+        )
+        router = server.router
+        dep = router.deployment_for("iris")
+        clients = [f"tenant-{i}" for i in range(200)]
+        before = {c: router._pick(dep, c).index for c in clients}
+        # Every replica should anchor a non-trivial share.
+        shares = {i: sum(1 for v in before.values() if v == i) for i in range(4)}
+        assert all(share >= 10 for share in shares.values()), shares
+
+        router.retire_replica("iris", 2)
+        after = {c: router._pick(dep, c).index for c in clients}
+        moved = [c for c in clients if before[c] != after[c]]
+        # Minimal disruption: exactly the orphaned clients move, no one
+        # else — and they are ~1/N of the population.
+        assert all(before[c] == 2 for c in moved), "non-orphan client moved"
+        assert len(moved) == shares[2]
+        assert 0.10 <= len(moved) / len(clients) <= 0.45
+
+    def test_rendezvous_growth_steals_one_share(self, server):
+        deploy(
+            server,
+            *[ReplicaSpec("ideal") for _ in range(4)],
+            policy=RoutingPolicy("sticky"),
+        )
+        router = server.router
+        dep = router.deployment_for("iris")
+        clients = [f"tenant-{i}" for i in range(200)]
+        before = {c: router._pick(dep, c).index for c in clients}
+        router.add_replica("iris", ReplicaSpec("ideal"))
+        after = {c: router._pick(dep, c).index for c in clients}
+        moved = [c for c in clients if before[c] != after[c]]
+        # Growth only pulls clients toward the new replica.
+        assert all(after[c] == 4 for c in moved), "client moved sideways"
+        assert 0.05 <= len(moved) / len(clients) <= 0.40
+
     def test_mirror_majority_vote(self, server):
         deploy(
             server,
