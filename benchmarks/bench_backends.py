@@ -190,6 +190,8 @@ def test_backend_comparison_full(once):
 
 # ------------------------------------------------------------------- __main__
 def main(argv=None) -> int:
+    import json
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--parity",
@@ -203,6 +205,16 @@ def main(argv=None) -> int:
         "throughput-ordering gate needs the larger array and stable "
         "timings",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the table",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON snapshot here (e.g. BENCH_backends.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.parity:
@@ -214,7 +226,21 @@ def main(argv=None) -> int:
         return 0
 
     rows = run_comparison(datasets=("wine",)) if args.smoke else run_comparison()
-    print(format_comparison(rows))
+    snapshot = {
+        "bench": "backends",
+        "batch": BATCH,
+        "repeats": REPEATS,
+        "datasets": sorted({r["dataset"] for r in rows}),
+        "rows": rows,
+    }
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(format_comparison(rows))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
     check_comparison(rows)
     print("backend comparison gates -> PASS")
     return 0

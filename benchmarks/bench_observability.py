@@ -1,0 +1,363 @@
+"""Observability acceptance gate: traces account, events replay, free when off.
+
+The debugging plane (CI stage 9, see SERVING.md) must satisfy four
+contracts before anyone is allowed to trust it during an incident:
+
+1. **span accounting** — a traced bursty autoscale run samples real
+   traces, every opened span is closed after the drain (shed and error
+   paths included), and for served requests the sum of span durations
+   explains the end-to-end latency to within ``SPAN_SUM_REL_TOL``
+   (spans are laid end to end, never nested — whatever the spans do
+   not cover, the tracer is hiding);
+2. **flight replay** — the recorder's JSONL replays the spike's
+   1 -> 3 -> 1 replica transition in causal order: strictly increasing
+   sequence numbers, every ``scale_up``/``scale_down`` agreeing with
+   the telemetry counters, every ``scale_decision`` carrying the
+   telemetry snapshot that triggered it, and all ups before all downs
+   (one spike, one recovery);
+3. **export round-trip** — the Prometheus text rendering of the final
+   snapshot parses under the strict reader (no NaN samples, no
+   malformed lines) and reproduces the headline counters exactly;
+4. **off means off** — with tracing disabled the serving hot path pays
+   one attribute read and one integer comparison.  Asserted at two
+   levels: a tight loop over the real ``scheduler.submit`` path (no
+   tracer vs a rate-0 tracer, best-of-N — the resolution where a
+   per-request allocation or lock would actually show), and a loose
+   end-to-end A/B on the serving workload as a gross-regression
+   backstop (workload throughput swings ~30 % run-to-run from
+   batching dynamics, so only the submit-path bound is tight).
+
+Also runnable directly::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py --smoke
+    PYTHONPATH=src python benchmarks/bench_observability.py --json
+"""
+
+import argparse
+import json
+import time
+
+from repro.serving.observability import (
+    EVENT_KINDS,
+    Tracer,
+    parse_prometheus,
+    to_prometheus,
+)
+from repro.serving.workload import run_autoscale_workload, run_serving_workload
+
+TRACE_RATE = 0.1
+SMOKE_DURATION_S = 1.5
+FULL_DURATION_S = 2.5
+#: Served-trace span sum must land within 5 % of the trace's wall clock
+#: (absolute floor for sub-millisecond traces where 5 % is below timer
+#: and thread-handoff granularity).
+SPAN_SUM_REL_TOL = 0.05
+SPAN_SUM_ABS_TOL_MS = 0.5
+#: Disabled-tracing submit hot path vs no tracer at all, best-of-N
+#: tight-loop submit rates (the precise form of "off the hot path").
+SUBMIT_PATH_MARGIN = 0.80
+SUBMIT_PATH_CALLS = 8000
+#: Armed-at-rate-0 vs unarmed *end-to-end* serving throughput — a
+#: gross-regression backstop only; workload throughput swings ~30 %
+#: run-to-run from batching dynamics, so the tight assertion lives on
+#: the submit path above.
+OVERHEAD_MARGIN = 0.60
+OVERHEAD_REQUESTS = 2048
+
+
+def run_spike(duration_s: float = FULL_DURATION_S, seed: int = 0):
+    """The bench_autoscale spike, traced — the gate's evidence run."""
+    return run_autoscale_workload(
+        duration_s=duration_s, trace_rate=TRACE_RATE, seed=seed
+    )
+
+
+# ------------------------------------------------------------------ contracts
+def check_traces(result) -> None:
+    assert result.traces, "traced spike run sampled no traces"
+    served = 0
+    for trace in result.traces:
+        assert trace["finished"], f"trace {trace['trace_id']} never finished"
+        for span in trace["spans"]:
+            assert span["closed"], (
+                f"trace {trace['trace_id']} leaked an open "
+                f"{span['name']!r} span (outcome {trace['outcome']})"
+            )
+        if trace["outcome"] != "served":
+            continue
+        served += 1
+        names = [s["name"] for s in trace["spans"]]
+        assert names[0] == "admit" and "execute" in names, names
+        gap_ms = abs(trace["duration_ms"] - trace["span_total_ms"])
+        limit_ms = max(
+            SPAN_SUM_ABS_TOL_MS, SPAN_SUM_REL_TOL * trace["duration_ms"]
+        )
+        assert gap_ms <= limit_ms, (
+            f"trace {trace['trace_id']}: spans account for "
+            f"{trace['span_total_ms']:.3f} ms of a "
+            f"{trace['duration_ms']:.3f} ms request "
+            f"(gap {gap_ms:.3f} ms > {limit_ms:.3f} ms)"
+        )
+    assert served > 0, "no served trace among the samples"
+
+
+def check_flight(result) -> None:
+    flight = list(result.flight)
+    assert flight, "flight recorder captured nothing"
+    seqs = [e["seq"] for e in flight]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs), (
+        "event sequence numbers are not strictly increasing"
+    )
+    kinds = {e["kind"] for e in flight}
+    assert kinds <= EVENT_KINDS, f"unknown kinds leaked: {kinds - EVENT_KINDS}"
+    assert "shed" in kinds, "the spike shed nothing — no storm to debug"
+
+    ups = [e["seq"] for e in flight if e["kind"] == "scale_up"]
+    downs = [e["seq"] for e in flight if e["kind"] == "scale_down"]
+    assert len(ups) == result.scale_ups and len(downs) == result.scale_downs, (
+        f"recorder saw {len(ups)} ups / {len(downs)} downs but telemetry "
+        f"counted {result.scale_ups} / {result.scale_downs}"
+    )
+    # One spike, one recovery: capacity grows, then comes back.
+    if ups and downs:
+        assert max(ups) < min(downs), (
+            "scale-downs interleaved with scale-ups — causal order broken"
+        )
+    assert 1 + len(ups) - len(downs) == result.final_replicas, (
+        "replaying the scale events does not reproduce the final replica "
+        "count"
+    )
+    # Every action was announced by a decision carrying its evidence.
+    decisions = [e for e in flight if e["kind"] == "scale_decision"]
+    for decision in decisions:
+        assert isinstance(decision.get("snapshot"), dict), (
+            "scale_decision without its triggering telemetry snapshot"
+        )
+    decided_ups = [e["seq"] for e in decisions if e["action"] == "up"]
+    for seq in ups:
+        assert any(d < seq for d in decided_ups), (
+            f"scale_up #{seq} has no preceding up decision"
+        )
+
+
+def check_prometheus(result) -> None:
+    text = to_prometheus(result.telemetry, replicas=result.final_replicas)
+    series = parse_prometheus(text)  # raises on NaN / malformed lines
+    assert series["febim_submitted_total"] == result.telemetry.submitted
+    assert series["febim_shed_total"] == result.telemetry.shed_requests
+    assert series["febim_scale_ups_total"] == result.telemetry.scale_ups
+    assert series["febim_replicas"] == result.final_replicas
+    assert "febim_latency_p95_seconds" in series
+
+
+def check_metrics_series(result) -> None:
+    points = list(result.metrics)
+    assert len(points) >= 2, "metrics ring has no time-series to read"
+    # The series must surface the spike: a p95 excursion somewhere in
+    # the middle, and the cumulative shed delta matching telemetry.
+    assert sum(p["shed"] for p in points) == result.telemetry.shed_requests
+    assert any(p["p95_ms"] is not None for p in points)
+    assert points[-1]["in_flight"] == 0, "series did not close after drain"
+
+
+def measure_submit_path(
+    n_calls: int = SUBMIT_PATH_CALLS, repeats: int = 5, seed: int = 0
+):
+    """Tight-loop ``scheduler.submit`` rate: no tracer vs rate-0 tracer.
+
+    This is the assertion the "free when off" claim reduces to: with
+    ``sample_rate=0`` the per-submit tracing cost is one attribute read
+    and one integer comparison, which a tight loop over the real submit
+    path can actually resolve (unlike end-to-end workload throughput,
+    which is dominated by batching dynamics).  Returns best-of-N
+    submits/sec ``(untraced, rate0)``.
+    """
+    from repro.core.pipeline import FeBiMPipeline
+    from repro.datasets import load_dataset, train_test_split
+    from repro.serving.scheduler import BatchPolicy, MicroBatchScheduler
+
+    data = load_dataset("iris")
+    X_tr, X_te, y_tr, _ = train_test_split(
+        data.data, data.target, test_size=0.5, seed=seed
+    )
+    pipe = FeBiMPipeline(q_f=4, q_l=2, seed=seed, backend="ideal").fit(
+        X_tr, y_tr
+    )
+    sample = pipe.transform_levels(X_te)[0]
+
+    chunk = 500
+
+    def run(tracer) -> float:
+        # max_batch above n_calls and a long max_wait keep the worker
+        # asleep while the loop runs — the timing sees the submit path
+        # alone, not GIL contention with batch execution.  The rate is
+        # the *fastest chunk* of submits: a min over short chunks
+        # filters the multi-millisecond preemption spikes a shared box
+        # injects, which would otherwise dwarf the effect under test.
+        scheduler = MicroBatchScheduler(
+            lambda key: pipe.engine_,
+            policy=BatchPolicy(max_batch=2 * n_calls, max_wait_ms=500.0),
+            tracer=tracer,
+        )
+        best = float("inf")
+        try:
+            for _ in range(n_calls // chunk):
+                start = time.perf_counter()
+                for _ in range(chunk):
+                    scheduler.submit("iris", sample)
+                best = min(best, time.perf_counter() - start)
+            scheduler.drain(30.0)
+        finally:
+            scheduler.shutdown()
+        return chunk / max(best, 1e-12)
+
+    run(None), run(Tracer(0.0))  # warm-up, discarded
+    untraced, rate0 = 0.0, 0.0
+    for _ in range(repeats):  # alternate arms so drift hits both equally
+        untraced = max(untraced, run(None))
+        rate0 = max(rate0, run(Tracer(0.0)))
+    return untraced, rate0
+
+
+def check_submit_path(untraced_sps: float, rate0_sps: float) -> None:
+    assert rate0_sps >= SUBMIT_PATH_MARGIN * untraced_sps, (
+        f"submit path with a rate-0 tracer runs at {rate0_sps:.0f}/s vs "
+        f"{untraced_sps:.0f}/s untraced "
+        f"({rate0_sps / untraced_sps:.2f}x < {SUBMIT_PATH_MARGIN}x) — "
+        f"disabled tracing is not free"
+    )
+
+
+def measure_overhead(seed: int = 0, repeats: int = 3):
+    """A/B serving throughput: unarmed vs armed with tracing at rate 0.
+
+    A single pair of runs is useless — the first workload in a process
+    is a cold start (training, caches) and can sit 2-3x below steady
+    state — so both arms are warmed once and then measured best-of-N,
+    the standard dodge for scheduling noise on a shared box.
+    """
+
+    def run(armed: bool) -> float:
+        # metrics_period_s (longer than the run) arms the observability
+        # plane while the tracer stays at rate 0 — the disabled-tracing
+        # hot path under test, with zero sampling work during the run.
+        result = run_serving_workload(
+            n_requests=OVERHEAD_REQUESTS,
+            submitters=4,
+            seed=seed,
+            metrics_period_s=60.0 if armed else None,
+        )
+        return result.served_sps
+
+    run(False), run(True)  # cold-start warm-up, discarded
+    base = max(run(False) for _ in range(repeats))
+    armed = max(run(True) for _ in range(repeats))
+    return base, armed
+
+
+def check_overhead(base_sps: float, armed_sps: float) -> None:
+    assert armed_sps >= OVERHEAD_MARGIN * base_sps, (
+        f"tracing-off serving throughput dropped to {armed_sps:.0f} sps "
+        f"vs {base_sps:.0f} sps unarmed "
+        f"({armed_sps / base_sps:.2f}x < {OVERHEAD_MARGIN}x) — "
+        f"observability is doing work while disabled"
+    )
+
+
+# ------------------------------------------------------------ pytest entries
+def test_observability_gate(once):
+    result = once(lambda: run_spike(duration_s=SMOKE_DURATION_S))
+    check_traces(result)
+    check_flight(result)
+    check_prometheus(result)
+    check_metrics_series(result)
+
+
+def test_observability_submit_path(once):
+    untraced_sps, rate0_sps = once(measure_submit_path)
+    check_submit_path(untraced_sps, rate0_sps)
+
+
+def test_observability_overhead(once):
+    base_sps, armed_sps = once(measure_overhead)
+    check_overhead(base_sps, armed_sps)
+
+
+# ------------------------------------------------------------------- __main__
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short spike + skip the A/B overhead run (CI stage 9)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the report",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    duration = SMOKE_DURATION_S if args.smoke else FULL_DURATION_S
+    result = run_spike(duration_s=duration, seed=args.seed)
+    try:
+        check_traces(result)
+        check_flight(result)
+        check_prometheus(result)
+        check_metrics_series(result)
+        untraced_sps, rate0_sps = measure_submit_path(seed=args.seed)
+        check_submit_path(untraced_sps, rate0_sps)
+        if not args.smoke:
+            base_sps, armed_sps = measure_overhead(seed=args.seed)
+            check_overhead(base_sps, armed_sps)
+    except AssertionError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+
+    served = [t for t in result.traces if t["outcome"] == "served"]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "bench": "observability",
+                    "traces": len(result.traces),
+                    "served_traces": len(served),
+                    "flight_events": len(result.flight),
+                    "metrics_points": len(result.metrics),
+                    "scale_ups": result.scale_ups,
+                    "scale_downs": result.scale_downs,
+                },
+                indent=2,
+            )
+        )
+    else:
+        worst = max(
+            (
+                abs(t["duration_ms"] - t["span_total_ms"])
+                / max(t["duration_ms"], 1e-9)
+                for t in served
+            ),
+            default=0.0,
+        )
+        print(
+            f"observability gate: {len(result.traces)} traces "
+            f"({len(served)} served, worst span gap {worst * 100:.2f}%), "
+            f"{len(result.flight)} flight events, "
+            f"{len(result.metrics)} metrics points"
+        )
+        print(
+            f"submit path: untraced {untraced_sps:.0f}/s vs rate-0 tracer "
+            f"{rate0_sps:.0f}/s ({rate0_sps / untraced_sps:.2f}x)"
+        )
+        if not args.smoke:
+            print(
+                f"overhead A/B: unarmed {base_sps:.0f} sps vs armed-at-0 "
+                f"{armed_sps:.0f} sps ({armed_sps / base_sps:.2f}x)"
+            )
+    print("observability gate -> PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,11 +11,19 @@ for how to read it.
 Also runnable directly (no pytest-benchmark needed)::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --json --out BENCH_throughput.json
 """
+
+import argparse
+import json
 
 import numpy as np
 
-from repro.analysis.throughput import format_throughput, run_throughput
+from repro.analysis.throughput import (
+    format_throughput,
+    run_throughput,
+    throughput_to_dict,
+)
 
 BATCH_SIZES = (1, 16, 64, 256)
 REQUIRED_SPEEDUP = 10.0
@@ -42,9 +50,34 @@ def test_throughput_sweep(once):
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the table",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON snapshot here (e.g. BENCH_throughput.json)",
+    )
+    args = parser.parse_args()
     result = run_throughput(dataset="iris", batch_sizes=BATCH_SIZES, repeats=3, seed=0)
-    print(format_throughput(result))
     headline = result.at(256)
+    snapshot = {
+        "bench": "throughput",
+        "required_speedup": REQUIRED_SPEEDUP,
+        "headline_speedup": headline.speedup,
+        **throughput_to_dict(result),
+    }
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(format_throughput(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
     status = "PASS" if headline.speedup >= REQUIRED_SPEEDUP else "FAIL"
     print(
         f"batch-256 speedup over the seed loop: {headline.speedup:.1f}x "

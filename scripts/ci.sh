@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Eight stages, strictly ordered so the cheapest failure fires first:
+# Nine stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -21,18 +21,24 @@
 #      requests, a recorded failover and a ladder eviction;
 #   8. autoscale smoke — bench_autoscale.py --smoke: a 12x traffic
 #      spike against an SLO deployment is survived with zero failed
-#      requests (only typed load-shed) and at least one scale-up.
+#      requests (only typed load-shed) and at least one scale-up;
+#   9. observability smoke — bench_observability.py --smoke: a traced
+#      spike yields spans that partition every sampled request, a
+#      flight ring that replays the scale story in causal order with
+#      snapshots attached, a metrics series whose shed deltas match
+#      the counters, a Prometheus export that round-trips the strict
+#      parser, and a submit path that tracing-disabled does not slow.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/8: compile-all =="
+echo "== stage 1/9: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/8: tier-1 (pytest -x -q) =="
+echo "== stage 2/9: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/8: --runslow marker check =="
+echo "== stage 3/9: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -49,19 +55,22 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/8: reliability smoke bench =="
+echo "== stage 4/9: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/8: campaign --workers determinism =="
+echo "== stage 5/9: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/8: backend parity smoke =="
+echo "== stage 6/9: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
 
-echo "== stage 7/8: router smoke gate =="
+echo "== stage 7/9: router smoke gate =="
 python benchmarks/bench_router.py
 
-echo "== stage 8/8: autoscale smoke gate =="
+echo "== stage 8/9: autoscale smoke gate =="
 python benchmarks/bench_autoscale.py --smoke
+
+echo "== stage 9/9: observability smoke gate =="
+python benchmarks/bench_observability.py --smoke
 
 echo "CI gate passed."

@@ -18,6 +18,12 @@ Commands
              ``--deployment spec.json`` drives the traffic through a
              declarative replica deployment instead (cost/round-robin/
              sticky/mirror routing, per-replica telemetry).
+``trace``    Run a traced workload and print sampled request traces —
+             the admit/queue/execute (and failover) span decomposition
+             with modeled device delay and energy on the execute span.
+``events``   Replay the observability flight recorder from a bursty
+             autoscale run: sheds, displacements, failovers and scale
+             decisions in causal order, filterable and JSONL-dumpable.
 ``deploy``   Validate a deployment spec JSON against a registry,
              materialise and probe every replica, print the replica
              table (a dry-run apply).
@@ -138,6 +144,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(path: str, metrics) -> None:
+    """Write a metrics time-series (``MetricsPoint.to_dict`` rows) as
+    JSONL — the ``--metrics-out`` sink."""
+    import json
+
+    with open(path, "w") as fh:
+        for point in metrics:
+            fh.write(json.dumps(point, allow_nan=False) + "\n")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -150,7 +166,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             run_autoscale_workload,
         )
 
-        result = run_autoscale_workload(seed=args.seed)
+        # --metrics-out needs the observability plane armed; the
+        # maintenance thread then samples the ring on its cadence.
+        trace_rate = args.trace_rate
+        if args.metrics_out and trace_rate <= 0:
+            trace_rate = 0.05
+        result = run_autoscale_workload(seed=args.seed, trace_rate=trace_rate)
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, result.metrics)
+            print(f"metrics time-series written to {args.metrics_out}")
         if args.json:
             print(json.dumps(result.to_dict(), indent=2))
         else:
@@ -158,6 +182,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0 if result.failed == 0 else 1
 
     if args.deployment:
+        if args.metrics_out or args.trace_rate > 0:
+            print(
+                "error: --metrics-out / --trace-rate are not supported with "
+                "--deployment (use the plain or --slo workload)",
+                file=sys.stderr,
+            )
+            return 2
         from repro.io import load_deployment
         from repro.serving.registry import ModelRegistry
         from repro.serving.workload import (
@@ -204,7 +235,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry_root=args.registry,
         seed=args.seed,
         backend=args.backend,
+        trace_rate=args.trace_rate,
+        metrics_period_s=0.1 if args.metrics_out else None,
     )
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, result.metrics)
+        print(f"metrics time-series written to {args.metrics_out}")
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -212,6 +248,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.report and not args.json:
         snapshot = result.telemetry
         print(f"drain clean: {snapshot.in_flight == 0}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.observability import format_trace_dicts
+
+    if not 0.0 < args.rate <= 1.0:
+        print("error: --rate must lie in (0, 1]", file=sys.stderr)
+        return 2
+    if args.slo:
+        from repro.serving.workload import run_autoscale_workload
+
+        result = run_autoscale_workload(seed=args.seed, trace_rate=args.rate)
+    else:
+        from repro.serving.workload import run_serving_workload
+
+        result = run_serving_workload(
+            n_models=args.models,
+            n_requests=args.requests,
+            submitters=args.submitters,
+            seed=args.seed,
+            trace_rate=args.rate,
+        )
+    traces = list(result.traces)
+    if args.out:
+        with open(args.out, "w") as fh:
+            for trace in traces:
+                fh.write(json.dumps(trace) + "\n")
+        print(f"{len(traces)} traces written to {args.out}")
+        return 0
+    if args.limit is not None:
+        traces = traces[: args.limit]
+    if args.json:
+        for trace in traces:
+            print(json.dumps(trace))
+    else:
+        print(format_trace_dicts(traces))
+    return 0
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.observability import EVENT_KINDS, format_events
+    from repro.serving.workload import run_autoscale_workload
+
+    kinds = None
+    if args.kinds:
+        kinds = {k.strip() for k in args.kinds.split(",") if k.strip()}
+        unknown = kinds - EVENT_KINDS
+        if unknown:
+            print(
+                f"error: unknown event kinds: {', '.join(sorted(unknown))} "
+                f"(taxonomy: {', '.join(sorted(EVENT_KINDS))})",
+                file=sys.stderr,
+            )
+            return 2
+    result = run_autoscale_workload(
+        seed=args.seed,
+        trace_rate=args.rate,
+        spike_factor=args.spike_factor,
+    )
+    events = [
+        e for e in result.flight if kinds is None or e["kind"] in kinds
+    ]
+    if args.out:
+        with open(args.out, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event, allow_nan=False) + "\n")
+        print(f"{len(events)} events written to {args.out}")
+        return 0
+    if args.json:
+        for event in events:
+            print(json.dumps(event, allow_nan=False))
+    else:
+        print(format_events(events))
     return 0
 
 
@@ -534,7 +648,88 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of the report",
     )
+    serve.add_argument(
+        "--trace-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="sample this fraction of requests into traces "
+        "(arms observability; traces land in the --json output)",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's telemetry time-series as JSONL "
+        "(arms observability; sampled every 100 ms, or on the "
+        "maintenance cadence with --slo)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced serving workload and print sampled request "
+        "traces (admit/queue/execute span decomposition)",
+    )
+    trace.add_argument(
+        "--rate",
+        type=float,
+        default=0.1,
+        help="fraction of requests to trace (default 0.1)",
+    )
+    trace.add_argument(
+        "--slo",
+        action="store_true",
+        help="trace the bursty autoscale workload instead of the plain "
+        "mixed-tenant stream",
+    )
+    trace.add_argument("--models", type=int, default=2, help="tenant count")
+    trace.add_argument("--requests", type=int, default=256)
+    trace.add_argument("--submitters", type=int, default=4)
+    trace.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="print only the first N traces",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--json", action="store_true", help="emit one JSON object per trace"
+    )
+    trace.add_argument(
+        "--out", metavar="PATH", help="write the traces as JSONL instead"
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    events = sub.add_parser(
+        "events",
+        help="replay the flight recorder from a bursty autoscale run "
+        "(sheds, failovers, scale decisions in causal order)",
+    )
+    events.add_argument(
+        "--kinds",
+        metavar="K1,K2",
+        help="comma-separated event kinds to keep (default: all)",
+    )
+    events.add_argument(
+        "--rate",
+        type=float,
+        default=0.05,
+        help="trace sample rate while the recorder runs (default 0.05)",
+    )
+    events.add_argument(
+        "--spike-factor",
+        type=float,
+        default=12.0,
+        help="arrival-rate multiplier during the spike (default 12)",
+    )
+    events.add_argument("--seed", type=int, default=0)
+    events.add_argument(
+        "--json", action="store_true", help="emit one JSON object per event"
+    )
+    events.add_argument(
+        "--out", metavar="PATH", help="write the events as JSONL instead"
+    )
+    events.set_defaults(func=_cmd_events)
 
     deploy = sub.add_parser(
         "deploy",

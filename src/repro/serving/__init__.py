@@ -34,7 +34,15 @@ two:
   optional backpressure, and a controller on the maintenance cadence
   that grows/shrinks the replica set against the SLO, placing new
   replicas on the least-worn spare hardware
-  (:mod:`repro.serving.autoscale`).
+  (:mod:`repro.serving.autoscale`);
+* :class:`Observability` — the debugging plane
+  (:mod:`repro.serving.observability`): sampled per-request
+  :class:`Trace`/:class:`Span` decomposition of the admit -> queue ->
+  execute -> failover path, a bounded :class:`FlightRecorder` of typed
+  serving events for post-incident forensics, and a
+  :class:`MetricsRing` time-series with Prometheus/JSONL export —
+  armed with :meth:`~repro.serving.server.FeBiMServer.
+  enable_observability`, free when off.
 
 The registry is pinned to an array technology
 (:mod:`repro.backends`): artifacts embed the backend identifier and a
@@ -69,6 +77,22 @@ from repro.serving.health import (
     measure_agreement,
     measure_pressure,
 )
+from repro.serving.observability import (
+    EVENT_KINDS,
+    FlightEvent,
+    FlightRecorder,
+    MetricsPoint,
+    MetricsRing,
+    MetricsSampler,
+    Observability,
+    Span,
+    Trace,
+    Tracer,
+    format_events,
+    format_trace_dicts,
+    parse_prometheus,
+    to_prometheus,
+)
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import (
     MirroredResult,
@@ -94,15 +118,22 @@ __all__ = [
     "Deployment",
     "DeploymentError",
     "DeploymentPressure",
+    "EVENT_KINDS",
     "FeBiMServer",
+    "FlightEvent",
+    "FlightRecorder",
     "HardwarePool",
     "HardwareSlot",
     "HealthMonitor",
     "HealthReport",
     "MaintenanceThread",
+    "MetricsPoint",
+    "MetricsRing",
+    "MetricsSampler",
     "MicroBatchScheduler",
     "MirroredResult",
     "ModelRegistry",
+    "Observability",
     "Overloaded",
     "ReplicaHealthReport",
     "ReplicaSpec",
@@ -113,11 +144,18 @@ __all__ = [
     "ScaleDecision",
     "SchedulerClosed",
     "ServedResult",
+    "Span",
     "Telemetry",
     "TelemetrySnapshot",
+    "Trace",
+    "Tracer",
+    "format_events",
+    "format_trace_dicts",
     "measure_agreement",
     "measure_pressure",
     "model_stream_seed",
+    "parse_prometheus",
     "replica_stream_seed",
     "single_replica_deployment",
+    "to_prometheus",
 ]

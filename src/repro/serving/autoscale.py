@@ -314,6 +314,18 @@ class AutoscaleController:
         statuses = router.status(self.model)
         snapshot = self.server.telemetry.snapshot()
         decision = self.evaluate(snapshot, statuses)
+        if decision.action != "hold":
+            # The triggering snapshot rides along: a post-incident dump
+            # must show *why* the controller moved, not just that it
+            # did.  Holds are not recorded — every maintenance sweep
+            # evaluates, and a ring of holds would drown the signal.
+            self.server.telemetry.emit(
+                "scale_decision",
+                model=self.model,
+                action=decision.action,
+                reason=decision.reason,
+                snapshot=snapshot.to_dict(),
+            )
         event = AutoscaleEvent(self._step, decision.action, decision.reason)
         if decision.action == "up":
             event = self._scale_up(decision)
@@ -341,6 +353,14 @@ class AutoscaleController:
             status = router.add_replica(self.model, dep.spec.replicas[0])
             slot_label = None
         self.server.telemetry.record_scale_up()
+        self.server.telemetry.emit(
+            "scale_up",
+            model=self.model,
+            replica=status.replica,
+            slot=slot_label,
+            wear_fraction=status.wear_fraction,
+            reason=decision.reason,
+        )
         self._cooldown = self.cooldown_steps
         return AutoscaleEvent(
             self._step,
@@ -368,6 +388,13 @@ class AutoscaleController:
             if released is not None:
                 slot_label = released.label
         self.server.telemetry.record_scale_down()
+        self.server.telemetry.emit(
+            "scale_down",
+            model=self.model,
+            replica=status.replica,
+            slot=slot_label,
+            reason=decision.reason,
+        )
         self._cooldown = self.cooldown_steps
         self._calm_steps = 0
         return AutoscaleEvent(

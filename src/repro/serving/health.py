@@ -288,6 +288,11 @@ class HealthMonitor:
                 name, version, state.predictions.shape[0], failed,
                 accuracy, shift, action="ok", healed=True,
             )
+        self.server.telemetry.emit(
+            "canary_failure",
+            model=name, version=version, failed=failed,
+            accuracy=accuracy, shift=shift,
+        )
         if not self.auto_heal:
             return HealthReport(
                 name, version, state.predictions.shape[0], failed,
@@ -313,6 +318,7 @@ class HealthMonitor:
             # accumulated disturb, cannot fix stuck hardware.
             refresh_engine(engine)
             self.server.telemetry.record_refresh()
+            self.server.telemetry.emit("refresh", model=name, version=version)
             r_failed, r_accuracy, r_shift = self._measure(state, engine)
             if self._healthy(r_accuracy, r_shift):
                 return HealthReport(
@@ -325,6 +331,7 @@ class HealthMonitor:
             self.server.registry.invalidate(name)
             engine = self.server.engine_for(name, version)
             self.server.telemetry.record_replacement()
+            self.server.telemetry.emit("replace", model=name, version=version)
             _, f_accuracy, f_shift = self._measure(state, engine)
             return HealthReport(
                 name, version, state.predictions.shape[0], failed,

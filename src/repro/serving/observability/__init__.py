@@ -1,0 +1,93 @@
+"""Observability for the serving plane: traces, flight events, metrics.
+
+Three complementary windows into a running :class:`~repro.serving.server.FeBiMServer`:
+
+* **Request tracing** (:mod:`~repro.serving.observability.trace`) —
+  sampled per-request :class:`Trace`/:class:`Span` decomposition of the
+  admit → queue → execute → failover path, with modeled device delay
+  and energy attached to the execute span.
+* **Flight recorder** (:mod:`~repro.serving.observability.events`) —
+  a bounded ring of typed transitions (shed, failover, heal-ladder
+  rung, scale decision with its triggering snapshot) for post-incident
+  forensics, dumpable as JSONL.
+* **Metrics export** (:mod:`~repro.serving.observability.metrics`) —
+  periodic delta time-series over telemetry snapshots, exportable as
+  Prometheus text or JSONL.
+
+All three are off by default and cost nearly nothing until armed; wire
+them in with :meth:`FeBiMServer.enable_observability`, or construct an
+:class:`Observability` bundle directly for workload harnesses.
+"""
+
+from repro.serving.observability.events import (
+    EVENT_KINDS,
+    RECORDER_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    format_events,
+)
+from repro.serving.observability.metrics import (
+    METRICS_CAPACITY,
+    MetricsPoint,
+    MetricsRing,
+    MetricsSampler,
+    count_replicas,
+    parse_prometheus,
+    to_prometheus,
+)
+from repro.serving.observability.trace import (
+    TRACE_CAPACITY,
+    Span,
+    Trace,
+    Tracer,
+    format_trace_dicts,
+)
+
+
+class Observability:
+    """One tracer + one flight recorder + one metrics ring, as a unit.
+
+    Convenience bundle so workloads and the CLI arm all three surfaces
+    with one object: ``server.enable_observability(obs)`` threads the
+    tracer into every scheduler, hangs the recorder off telemetry, and
+    lets the maintenance/metrics cadence fill the ring.
+    """
+
+    def __init__(
+        self,
+        trace_rate: float = 0.0,
+        trace_capacity: int = TRACE_CAPACITY,
+        recorder_capacity: int = RECORDER_CAPACITY,
+        metrics_capacity: int = METRICS_CAPACITY,
+    ):
+        self.tracer = Tracer(trace_rate, capacity=trace_capacity)
+        self.recorder = FlightRecorder(capacity=recorder_capacity)
+        self.metrics = MetricsRing(capacity=metrics_capacity)
+
+    def __repr__(self) -> str:
+        return (
+            f"Observability(tracer={self.tracer!r}, "
+            f"recorder={self.recorder!r}, metrics={self.metrics!r})"
+        )
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "METRICS_CAPACITY",
+    "RECORDER_CAPACITY",
+    "TRACE_CAPACITY",
+    "FlightEvent",
+    "FlightRecorder",
+    "MetricsPoint",
+    "MetricsRing",
+    "MetricsSampler",
+    "Observability",
+    "Span",
+    "Trace",
+    "Tracer",
+    "count_replicas",
+    "format_events",
+    "format_trace_dicts",
+    "parse_prometheus",
+    "to_prometheus",
+]

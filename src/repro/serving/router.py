@@ -292,6 +292,13 @@ class Router:
         # (e.g. a pacing proxy that models slower hardware).  Leave
         # ``None`` in production.
         self.engine_wrapper = None
+        # Optional request tracer (set by ``server.enable_observability``).
+        # The router owns any trace it samples: one trace follows a
+        # request across every failover hop, and only the router knows
+        # when routing has finally resolved.  Mirror fan-out is not
+        # traced — parallel replica reads would overlap in time and
+        # break the span-sum-equals-duration invariant.
+        self.tracer = None
 
     # ------------------------------------------------------------ deployment
     def deployments(self) -> Dict[str, Deployment]:
@@ -560,9 +567,14 @@ class Router:
         # worker threads — two workers blocking into each other's full
         # queues would deadlock the data plane.
         block = bool(slo.backpressure) if slo is not None else False
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.sample(
+                dep.route, client=None if client is None else str(client)
+            )
         self._attempt(
             dep, replica, evidence_levels, client_future, {replica},
-            priority=priority, block=block,
+            priority=priority, block=block, trace=trace,
         )
         return client_future
 
@@ -592,6 +604,7 @@ class Router:
         failed_chain: Tuple[_Replica, ...],
         exc: BaseException,
         priority: int = 0,
+        trace=None,
     ) -> None:
         """Resubmit after a failed attempt, or surface the error.
 
@@ -602,13 +615,31 @@ class Router:
         """
         current, fallback = self._next_fallback(dep, attempted)
         if fallback is None:
+            if trace is not None:
+                trace.finish("shed" if isinstance(exc, Overloaded) else "failed")
             if client_future.set_running_or_notify_cancel():
                 client_future.set_exception(exc)
             return
         attempted.add(fallback)
+        if trace is not None:
+            # Zero-width marker: the hop itself takes no request time
+            # (the next admit span starts immediately), but the trace
+            # shows where routing bounced and why.
+            now = time.monotonic()
+            trace.add_span(
+                "failover", now, now,
+                to_replica=fallback.label, reason=type(exc).__name__,
+            )
+        self.server.telemetry.emit(
+            "failover",
+            model=current.name,
+            to_replica=fallback.label,
+            reason=type(exc).__name__,
+            attempts=len(attempted),
+        )
         self._attempt(
             current, fallback, levels, client_future, attempted,
-            failed_chain, priority=priority,
+            failed_chain, priority=priority, trace=trace,
         )
 
     def _attempt(
@@ -621,10 +652,12 @@ class Router:
         failed_chain: Tuple[_Replica, ...] = (),
         priority: int = 0,
         block: bool = False,
+        trace=None,
     ) -> None:
         try:
             inner = replica.scheduler.submit(
-                replica.key, levels, priority=priority, block=block
+                replica.key, levels, priority=priority, block=block,
+                trace=trace,
             )
         except BaseException as exc:  # noqa: BLE001 — e.g. SchedulerClosed
             # A full queue (Overloaded) or a redeploy/undeploy racing
@@ -632,16 +665,20 @@ class Router:
             # holds — spill to a sibling.
             self._failover(
                 dep, levels, client_future, attempted, failed_chain, exc,
-                priority=priority,
+                priority=priority, trace=trace,
             )
             return
 
         def done(f: "Future") -> None:
             if f.cancelled():
+                if trace is not None:
+                    trace.finish("cancelled")
                 client_future.cancel()
                 return
             exc = f.exception()
             if exc is None:
+                if trace is not None:
+                    trace.finish("served")
                 if not client_future.set_running_or_notify_cancel():
                     return  # client cancelled while we served it
                 self.server.telemetry.record_replica_served(replica.label)
@@ -675,9 +712,12 @@ class Router:
                     chain,
                     exc,
                     priority=priority,
+                    trace=trace,
                 )
             except BaseException as resubmit_exc:  # noqa: BLE001
                 # The client future must always resolve, never hang.
+                if trace is not None:
+                    trace.finish("failed")
                 if client_future.set_running_or_notify_cancel():
                     client_future.set_exception(resubmit_exc)
 
@@ -685,8 +725,11 @@ class Router:
 
     def _mark_down(self, replica: _Replica) -> None:
         with self._lock:
-            if replica.state == HEALTHY:
+            flipped = replica.state == HEALTHY
+            if flipped:
                 replica.state = DOWN
+        if flipped:
+            self.server.telemetry.emit("replica_down", replica=replica.label)
 
     def _shares_legacy_engine(self, replica: _Replica) -> bool:
         """Whether this replica's engine is the legacy path's cache
@@ -885,6 +928,9 @@ class Router:
                 )
             replica.state = RETIRED
             dep.replicas = [r for r in dep.replicas if r.index != index]
+        self.server.telemetry.emit(
+            "retire", model=name, replica=replica.label
+        )
         replica.scheduler.shutdown(drain=True, timeout=timeout)
         return self._status_of(replica)
 
@@ -985,11 +1031,18 @@ class Router:
                     replica.label, replica.state, agreement,
                     action="ok", healed=True,
                 )
+            telemetry.emit(
+                "canary_failure",
+                model=dep.name, replica=replica.label, agreement=agreement,
+            )
             # Rung 1: refresh — reprogram in place.
             try:
                 refresh_engine(replica.resolve())
                 replica.wear.add_cycles(1)
                 telemetry.record_refresh()
+                telemetry.emit(
+                    "refresh", model=dep.name, replica=replica.label
+                )
                 agreement = measure()
             except Exception:
                 agreement = 0.0
@@ -1011,6 +1064,9 @@ class Router:
                     )
                     replica.wear.add_cycles(1)
                     telemetry.record_replacement()
+                    telemetry.emit(
+                        "replace", model=dep.name, replica=replica.label
+                    )
                     agreement = measure()
                 except Exception:
                     agreement = 0.0
@@ -1021,6 +1077,11 @@ class Router:
                 replica.killed = True
                 replica.engine = None
                 telemetry.record_replica_eviction()
+                telemetry.emit(
+                    "evict",
+                    model=dep.name, replica=replica.label,
+                    agreement=agreement,
+                )
                 return ReplicaHealthReport(
                     replica.label, EVICTED, agreement,
                     action="evict", healed=False,

@@ -66,6 +66,7 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional
 
 import numpy as np
 
+from repro.serving.observability.trace import Span, Trace, Tracer
 from repro.serving.telemetry import Telemetry
 from repro.utils.validation import check_positive_int
 
@@ -166,13 +167,24 @@ class Overloaded(RuntimeError):
 
 
 class _Request:
-    __slots__ = ("levels", "future", "enqueued_at", "lane")
+    __slots__ = (
+        "levels", "future", "enqueued_at", "lane",
+        "trace", "trace_owned", "queue_span",
+    )
 
     def __init__(self, levels: np.ndarray, enqueued_at: float, lane: int = 0):
         self.levels = levels
         self.future: "Future[ServedResult]" = Future()
         self.enqueued_at = enqueued_at
         self.lane = lane
+        # Tracing state: ``trace`` is the sampled Trace riding this
+        # request (almost always None), ``trace_owned`` says whether
+        # this scheduler must finish it (False when the router passed
+        # it in and finishes it after routing resolves), and
+        # ``queue_span`` is the currently-open lane-wait span.
+        self.trace: Optional[Trace] = None
+        self.trace_owned = False
+        self.queue_span: Optional[Span] = None
 
 
 class _LaneQueue:
@@ -261,6 +273,13 @@ class MicroBatchScheduler:
         legacy behaviour).  Arrivals at a full queue shed the cheapest
         queued request or are rejected with :class:`Overloaded` — see
         the module docstring's admission-control contract.
+    tracer:
+        Optional request :class:`~repro.serving.observability.Tracer`.
+        When set, :meth:`submit` samples traces for requests not
+        already carrying one (the router passes its own via the
+        ``trace`` argument).  May also be attached after construction
+        (``scheduler.tracer = tracer``) — the attribute is read per
+        submit.
 
     The scheduler owns one daemon worker thread.  ``submit`` never
     blocks on inference — it enqueues and returns a future (unless the
@@ -273,10 +292,12 @@ class MicroBatchScheduler:
         policy: Optional[BatchPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         max_queue_depth: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.policy = policy or BatchPolicy()
         self.resolve_engine = resolve_engine
         self.telemetry = telemetry or Telemetry(self.policy.max_batch)
+        self.tracer = tracer
         if max_queue_depth is not None:
             check_positive_int(max_queue_depth, "max_queue_depth")
         self.max_queue_depth = max_queue_depth
@@ -304,6 +325,7 @@ class MicroBatchScheduler:
         priority: int = 0,
         block: bool = False,
         timeout: Optional[float] = None,
+        trace: Optional[Trace] = None,
     ) -> "Future[ServedResult]":
         """Enqueue one sample for ``key``; returns its result future.
 
@@ -316,6 +338,12 @@ class MicroBatchScheduler:
         With ``block=True`` a full queue exerts backpressure: the call
         waits up to ``timeout`` seconds for space instead of shedding,
         then raises :class:`Overloaded`.
+
+        ``trace`` attaches a caller-owned trace to this request (the
+        router's failover path resubmits one trace across replicas);
+        the scheduler appends admit/queue/execute spans but leaves
+        finishing to the caller.  Without it, an attached ``tracer``
+        may sample a scheduler-owned trace instead.
         """
         levels = np.asarray(evidence_levels, dtype=int)
         if levels.ndim != 1:
@@ -324,12 +352,22 @@ class MicroBatchScheduler:
             )
         lane = int(priority)
         request = _Request(levels, time.monotonic(), lane=lane)
+        if trace is not None:
+            request.trace = trace
+        else:
+            tracer = self.tracer
+            if tracer is not None:
+                request.trace = tracer.sample(str(key))
+                request.trace_owned = request.trace is not None
         victim: Optional[_Request] = None
         rejection: Optional[Overloaded] = None
+        blocked_at: Optional[float] = None
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             while True:
                 if self._closed:
+                    if request.trace is not None and request.trace_owned:
+                        request.trace.finish("error")
                     raise SchedulerClosed("scheduler is shut down")
                 queue = self._queues.setdefault(key, _LaneQueue())
                 if (
@@ -342,6 +380,8 @@ class MicroBatchScheduler:
                     # The queue object may be deleted while we sleep
                     # (worker drains it empty), so it is re-fetched at
                     # the top of the loop.
+                    if blocked_at is None:
+                        blocked_at = time.monotonic()
                     remaining = None
                     if deadline is not None:
                         remaining = deadline - time.monotonic()
@@ -364,6 +404,18 @@ class MicroBatchScheduler:
                     )
                 break
             if rejection is None:
+                if request.trace is not None:
+                    # Spans attach before the request becomes visible
+                    # to the worker — it may pop (and must close) the
+                    # queue span the instant the lock drops.
+                    t_admitted = time.monotonic()
+                    request.trace.add_span(
+                        "admit", request.enqueued_at, t_admitted,
+                        key=str(key), lane=lane,
+                    )
+                    request.queue_span = request.trace.span(
+                        "queue", start_s=t_admitted, lane=lane
+                    )
                 queue.append(request)
                 self._pending += 1
                 if victim is not None:
@@ -383,9 +435,30 @@ class MicroBatchScheduler:
             # sides of the ledger move so in_flight stays balanced.
             self.telemetry.record_submitted()
             self.telemetry.record_shed(lane=lane)
+            if request.trace is not None:
+                request.trace.add_span(
+                    "admit", request.enqueued_at, time.monotonic(),
+                    key=str(key), lane=lane, outcome="shed",
+                    depth=rejection.depth,
+                )
+                if request.trace_owned:
+                    request.trace.finish("shed")
+            self.telemetry.emit(
+                "shed", key=str(key), lane=lane, depth=rejection.depth,
+                reason="backpressure_timeout" if block else "door",
+            )
             raise rejection
         if victim is not None:
             self.telemetry.record_shed(lane=victim.lane, dequeued=True)
+            if victim.trace is not None:
+                if victim.queue_span is not None:
+                    victim.queue_span.end(outcome="shed")
+                if victim.trace_owned:
+                    victim.trace.finish("shed")
+            self.telemetry.emit(
+                "displacement", key=str(key), lane=lane,
+                victim_lane=victim.lane, depth=self.max_queue_depth,
+            )
             if victim.future.set_running_or_notify_cancel():
                 victim.future.set_exception(
                     Overloaded(
@@ -394,6 +467,11 @@ class MicroBatchScheduler:
                         key=key, depth=self.max_queue_depth, lane=victim.lane,
                     )
                 )
+        if blocked_at is not None:
+            self.telemetry.emit(
+                "backpressure_block", key=str(key), lane=lane,
+                waited_ms=(time.monotonic() - blocked_at) * 1e3,
+            )
         self.telemetry.record_submitted(lane=lane)
         return request.future
 
@@ -427,11 +505,30 @@ class MicroBatchScheduler:
             return futures
         now = time.monotonic()
         requests = [_Request(row, now, lane=int(priority)) for row in levels]
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            for request in requests:
+                sampled = tracer.sample(str(key))
+                if sampled is not None:
+                    request.trace = sampled
+                    request.trace_owned = True
         with self._lock:
             if self._closed:
+                for request in requests:
+                    if request.trace is not None and request.trace_owned:
+                        request.trace.finish("error")
                 raise SchedulerClosed("scheduler is shut down")
             queue = self._queues.setdefault(key, _LaneQueue())
             for request in requests:
+                if request.trace is not None:
+                    t_admitted = time.monotonic()
+                    request.trace.add_span(
+                        "admit", request.enqueued_at, t_admitted,
+                        key=str(key), lane=request.lane,
+                    )
+                    request.queue_span = request.trace.span(
+                        "queue", start_s=t_admitted, lane=request.lane
+                    )
                 queue.append(request)
             self._pending += len(requests)
             self._wake.notify()
@@ -535,6 +632,11 @@ class MicroBatchScheduler:
             self._space.notify_all()
         for request in cancelled:
             request.future.cancel()
+            if request.trace is not None:
+                if request.queue_span is not None:
+                    request.queue_span.end(outcome="cancelled")
+                if request.trace_owned:
+                    request.trace.finish("cancelled")
         if cancelled:
             self.telemetry.record_cancelled(len(cancelled))
             by_lane: Dict[int, int] = {}
@@ -621,9 +723,15 @@ class MicroBatchScheduler:
             # future can no longer be cancelled under us — so the
             # set_result/set_exception calls below cannot raise
             # InvalidStateError and kill the worker.
-            batch = [
-                r for r in popped if r.future.set_running_or_notify_cancel()
-            ]
+            batch = []
+            for r in popped:
+                if r.future.set_running_or_notify_cancel():
+                    batch.append(r)
+                elif r.trace is not None:
+                    if r.queue_span is not None:
+                        r.queue_span.end(outcome="cancelled")
+                    if r.trace_owned:
+                        r.trace.finish("cancelled")
             if len(batch) < len(popped):
                 self.telemetry.record_cancelled(len(popped) - len(batch))
             try:
@@ -642,6 +750,7 @@ class MicroBatchScheduler:
         try:
             engine = self.resolve_engine(key)
         except BaseException as exc:  # noqa: BLE001 — failures go to futures
+            self._trace_failure(batch, started, exc)
             for request in batch:
                 request.future.set_exception(exc)
             self.telemetry.record_failed(len(batch))
@@ -655,18 +764,62 @@ class MicroBatchScheduler:
         for group in groups.values():
             self._execute_group(key, engine, group, started)
 
+    def _trace_failure(
+        self, requests: List[_Request], started: float, exc: BaseException
+    ) -> None:
+        """Close spans on a batch whose engine resolve/read failed.
+
+        Spans close *before* the futures resolve: a done callback (the
+        router's failover resubmit) may immediately append new spans to
+        the same trace, and those must come after these.
+        """
+        now = time.monotonic()
+        for request in requests:
+            if request.trace is None:
+                continue
+            if request.queue_span is not None:
+                request.queue_span.end(started)
+            request.trace.add_span(
+                "execute", started, now, error=type(exc).__name__
+            )
+            if request.trace_owned:
+                request.trace.finish("failed")
+
     def _execute_group(
         self, key: Hashable, engine, group: List[_Request], started: float
     ) -> None:
         try:
             report = engine.infer_batch(np.stack([r.levels for r in group]))
         except BaseException as exc:  # noqa: BLE001 — failures go to futures
+            self._trace_failure(group, started, exc)
             for request in group:
                 request.future.set_exception(exc)
             self.telemetry.record_failed(len(group))
             return
         finished = time.monotonic()
         size = len(group)
+        # Close every trace before resolving any future: a batch can be
+        # dozens of requests, each set_result runs its done callbacks
+        # synchronously, and a trace finished only after its siblings'
+        # callbacks would blame that time on nothing (the span-accounting
+        # gate bounds the unexplained gap).  Success is terminal for
+        # owned and router-owned traces alike — the router's own
+        # finish("served") in its callback is an idempotent no-op.
+        for i, request in enumerate(group):
+            if request.trace is None:
+                continue
+            if request.queue_span is not None:
+                request.queue_span.end(started)
+            attrs = {"batch": size}
+            try:
+                # Modeled device cost for this sample, when the
+                # report carries it (all real engines do).
+                attrs["delay_s"] = float(report.delay[i])
+                attrs["energy_j"] = float(report.energy.total[i])
+            except Exception:  # noqa: BLE001 — tracing never fails a batch
+                pass
+            request.trace.add_span("execute", started, finished, **attrs)
+            request.trace.finish("served")
         for i, request in enumerate(group):
             request.future.set_result(
                 ServedResult(

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.quantization import QuantizedBayesianModel
 from repro.devices.fefet import MultiLevelCellSpec
 from repro.serving.deployment import Deployment
+from repro.serving.observability import Observability, count_replicas
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import Router
 from repro.serving.scheduler import BatchPolicy, MicroBatchScheduler, ServedResult
@@ -77,6 +78,7 @@ class MaintenanceThread:
         telemetry=None,
         router=None,
         controllers=None,
+        metrics_hook=None,
     ):
         if period_s <= 0:
             raise ValueError(f"period_s must be positive, got {period_s}")
@@ -88,6 +90,10 @@ class MaintenanceThread:
         # each sweep (resolved live so deploy/undeploy between sweeps
         # takes effect without restarting the thread).
         self.controllers = controllers
+        # Zero-arg callable run at the end of every sweep — the
+        # observability layer's periodic metrics sample rides the
+        # maintenance cadence instead of paying for its own thread.
+        self.metrics_hook = metrics_hook
         self.sweep_errors = 0
         self._stop = threading.Event()
         self._thread = threading.Thread(
@@ -138,6 +144,11 @@ class MaintenanceThread:
                             controller.step()
                         except Exception:  # noqa: BLE001
                             self.sweep_errors += 1
+                if self.metrics_hook is not None:
+                    try:
+                        self.metrics_hook()
+                    except Exception:  # noqa: BLE001
+                        self.sweep_errors += 1
                 if self.telemetry is not None:
                     self.telemetry.record_maintenance_sweep()
             except Exception:  # noqa: BLE001 — maintenance must survive
@@ -217,6 +228,7 @@ class FeBiMServer:
         )
         self.router = Router(self)
         self.monitor = None
+        self.observability: Optional[Observability] = None
         self.maintenance: Optional[MaintenanceThread] = None
         # Autoscale controllers by model name; stepped on the
         # maintenance cadence (see enable_maintenance).
@@ -391,6 +403,52 @@ class FeBiMServer:
             timeout
         )
 
+    # ---------------------------------------------------------- observability
+    def enable_observability(
+        self, observability: Optional[Observability] = None, **kwargs
+    ) -> Observability:
+        """Arm tracing, the flight recorder, and the metrics ring.
+
+        Pass an existing :class:`~repro.serving.observability.
+        Observability` bundle, or ``kwargs`` to build one here (e.g.
+        ``trace_rate=0.05``).  Wiring: the tracer attaches to the
+        legacy scheduler and the router (deployment requests are traced
+        across failover hops by the router itself), the flight recorder
+        hangs off :attr:`telemetry` so every layer's ``emit`` lands in
+        it, and the metrics ring is sampled on the maintenance cadence
+        once maintenance runs (or by a
+        :class:`~repro.serving.observability.MetricsSampler`).
+        Returns the armed bundle; idempotent per bundle.
+        """
+        if observability is not None and kwargs:
+            raise ValueError(
+                "pass kwargs only when the bundle is created here"
+            )
+        if observability is None:
+            observability = Observability(**kwargs)
+        self.observability = observability
+        self.telemetry.recorder = observability.recorder
+        self.scheduler.tracer = observability.tracer
+        self.router.tracer = observability.tracer
+        return observability
+
+    def disable_observability(self) -> None:
+        """Detach all observability surfaces (hot path back to zero)."""
+        self.observability = None
+        self.telemetry.recorder = None
+        self.scheduler.tracer = None
+        self.router.tracer = None
+
+    def sample_metrics(self):
+        """Fold one telemetry snapshot into the metrics ring (no-op
+        without observability); returns the new point or ``None``."""
+        observability = self.observability
+        if observability is None:
+            return None
+        return observability.metrics.sample(
+            self.telemetry.snapshot(), replicas=count_replicas(self)
+        )
+
     # ------------------------------------------------------------ maintenance
     def enable_maintenance(
         self,
@@ -429,6 +487,7 @@ class FeBiMServer:
             telemetry=self.telemetry,
             router=self.router,
             controllers=lambda: list(self._autoscalers.values()),
+            metrics_hook=self.sample_metrics,
         )
         return monitor
 

@@ -135,7 +135,16 @@ class TelemetrySnapshot:
         )
 
     def to_dict(self) -> dict:
-        """JSON-serialisable form (for ``febim serve --json``)."""
+        """JSON-serialisable form (for ``febim serve --json``).
+
+        Latency percentiles are NaN before the first completion;
+        ``json.dumps`` would happily emit the non-standard ``NaN``
+        token, which strict parsers reject — serialise as ``null``.
+        """
+
+        def _ms(seconds: float) -> Optional[float]:
+            return None if seconds != seconds else seconds * 1e3
+
         return {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -145,8 +154,8 @@ class TelemetrySnapshot:
             "max_batch": self.max_batch,
             "avg_batch": self.avg_batch,
             "occupancy": self.occupancy,
-            "p50_latency_ms": self.p50_latency_s * 1e3,
-            "p95_latency_ms": self.p95_latency_s * 1e3,
+            "p50_latency_ms": _ms(self.p50_latency_s),
+            "p95_latency_ms": _ms(self.p95_latency_s),
             "per_model": dict(self.per_model),
             "health_checks": self.health_checks,
             "canary_failures": self.canary_failures,
@@ -222,6 +231,10 @@ class Telemetry:
     def __init__(self, max_batch: int, window: int = LATENCY_WINDOW):
         self.max_batch = check_positive_int(max_batch, "max_batch")
         check_positive_int(window, "window")
+        #: Optional :class:`~repro.serving.observability.FlightRecorder`.
+        #: Left ``None`` until observability is armed, so :meth:`emit`
+        #: is a single attribute check on the hot path.
+        self.recorder = None
         self._lock = threading.Lock()
         self._submitted = 0
         self._completed = 0
@@ -248,6 +261,20 @@ class Telemetry:
         self._lane_depth: Dict[int, int] = {}
 
     # ------------------------------------------------------------- recording
+    def emit(self, kind: str, **detail) -> None:
+        """Forward one typed event to the attached flight recorder.
+
+        Telemetry is the object every layer (scheduler, router, health
+        monitor, autoscale controller) already holds, so it doubles as
+        the event bus: call sites ``emit`` next to their ``record_*``
+        call and pass the detail only they know (victim lane, replica
+        label, triggering snapshot).  With no recorder attached this is
+        one ``None`` check — the disabled path stays allocation-free.
+        """
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record(kind, **detail)
+
     def record_submitted(self, n: int = 1, lane: Optional[int] = None) -> None:
         """``n`` requests admitted; with ``lane`` set, the per-lane
         depth gauge rises until :meth:`record_lane_drained` (or a

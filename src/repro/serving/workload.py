@@ -28,6 +28,7 @@ from repro.core.pipeline import FeBiMPipeline
 from repro.datasets import load_dataset, make_gaussian_blobs
 from repro.datasets.splits import train_test_split
 from repro.devices.endurance import EnduranceModel
+from repro.serving.observability import MetricsSampler, Observability
 from repro.serving.registry import ModelRegistry
 from repro.serving.scheduler import BatchPolicy, Overloaded
 from repro.serving.server import FeBiMServer
@@ -54,6 +55,9 @@ class ServingRunResult:
     matched:
         Requests whose served prediction was verified bit-identical to
         the direct offline prediction for the same sample.
+    traces / metrics:
+        Sampled request traces and the periodic metrics time-series
+        (as plain dicts), empty unless the run armed observability.
     """
 
     dataset: str
@@ -67,6 +71,8 @@ class ServingRunResult:
     matched: int
     telemetry: TelemetrySnapshot
     backend: str = "fefet"
+    traces: Tuple[dict, ...] = ()
+    metrics: Tuple[dict, ...] = ()
 
     @property
     def served_fraction(self) -> float:
@@ -94,6 +100,8 @@ class ServingRunResult:
             "served_fraction": self.served_fraction,
             "matched": self.matched,
             "telemetry": self.telemetry.to_dict(),
+            "traces": [dict(t) for t in self.traces],
+            "metrics": [dict(p) for p in self.metrics],
         }
 
 
@@ -199,6 +207,8 @@ def run_serving_workload(
     synthetic_features: int = 24,
     seed: int = 0,
     backend: str = "fefet",
+    trace_rate: float = 0.0,
+    metrics_period_s: Optional[float] = None,
 ) -> ServingRunResult:
     """Serve a mixed request stream and measure sustained throughput.
 
@@ -221,6 +231,13 @@ def run_serving_workload(
     backend:
         Array technology the registry serves (every tenant engine is
         built on it).
+    trace_rate:
+        When positive, arm observability and sample this fraction of
+        requests into traces (``result.traces``).
+    metrics_period_s:
+        When set, a :class:`~repro.serving.observability.MetricsSampler`
+        records the telemetry time-series on this period
+        (``result.metrics``); implies arming observability.
 
     Returns
     -------
@@ -259,6 +276,16 @@ def run_serving_workload(
             names.append(name)
 
         with FeBiMServer(registry, policy=policy, seed=seed) as server:
+            observability = None
+            sampler = None
+            if trace_rate > 0 or metrics_period_s is not None:
+                observability = server.enable_observability(
+                    trace_rate=trace_rate
+                )
+                if metrics_period_s is not None:
+                    sampler = MetricsSampler(
+                        observability.metrics, server, metrics_period_s
+                    )
             # Warm every tenant's engine so the run measures steady-state
             # serving, not one-time crossbar programming.
             engines = {name: server.engine_for(name) for name in names}
@@ -311,7 +338,18 @@ def run_serving_workload(
                 pool = pools[name]
                 if result.prediction == expected[name][req % pool.shape[0]]:
                     matched += 1
+            if sampler is not None:
+                sampler.stop(timeout=5.0)
             telemetry = server.stats()
+            traces: Tuple[dict, ...] = ()
+            metrics: Tuple[dict, ...] = ()
+            if observability is not None:
+                traces = tuple(
+                    t.to_dict() for t in observability.tracer.traces()
+                )
+                metrics = tuple(
+                    p.to_dict() for p in observability.metrics.points()
+                )
 
     return ServingRunResult(
         dataset=dataset,
@@ -325,6 +363,8 @@ def run_serving_workload(
         matched=matched,
         telemetry=telemetry,
         backend=backend,
+        traces=traces,
+        metrics=metrics,
     )
 
 
@@ -587,6 +627,9 @@ class AutoscaleRunResult:
     base_rps: float
     spike_factor: float
     telemetry: TelemetrySnapshot
+    traces: Tuple[dict, ...] = ()
+    flight: Tuple[dict, ...] = ()
+    metrics: Tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (``BENCH_autoscale.json``)."""
@@ -610,6 +653,9 @@ class AutoscaleRunResult:
             "events": [dict(e) for e in self.events],
             "placements": [dict(p) for p in self.placements],
             "telemetry": self.telemetry.to_dict(),
+            "traces": [dict(t) for t in self.traces],
+            "flight": [dict(e) for e in self.flight],
+            "metrics": [dict(p) for p in self.metrics],
         }
 
 
@@ -630,6 +676,7 @@ def run_autoscale_workload(
     interactive_share: int = 4,
     seed: int = 0,
     autoscale: bool = True,
+    trace_rate: float = 0.0,
 ) -> AutoscaleRunResult:
     """Drive a diurnal + spike trace into an SLO-scaled deployment.
 
@@ -656,6 +703,13 @@ def run_autoscale_workload(
     ``autoscale=False`` runs the no-SLO baseline: one unbounded
     replica, no controller — every request is served eventually and
     the p95 shows what the spike does without the loop closed.
+
+    ``trace_rate > 0`` arms the observability plane for the run: the
+    result then carries sampled request traces (``traces``), the
+    flight-recorder event log (``flight`` — scale decisions with their
+    triggering snapshots, sheds, failovers in causal order) and the
+    metrics time-series (``metrics``, sampled on the maintenance
+    cadence plus a final post-scale-down point).
     """
     check_positive(duration_s, "duration_s")
     check_positive(service_time_ms, "service_time_ms")
@@ -708,10 +762,19 @@ def run_autoscale_workload(
         )
 
         with FeBiMServer(registry, policy=policy, seed=seed) as server:
+            observability = None
+            if trace_rate > 0:
+                observability = server.enable_observability(
+                    trace_rate=trace_rate
+                )
             server.router.engine_wrapper = lambda engine, replica: PacedEngine(
                 engine, service_time_ms / 1e3
             )
             server.deploy(deployment)
+            if observability is not None:
+                # Anchor the time-series before traffic; the maintenance
+                # thread's metrics hook samples during the run.
+                server.sample_metrics()
             controller = None
             if autoscale:
                 life = EnduranceModel().cycles_to_window_fraction(0.5)
@@ -789,6 +852,21 @@ def run_autoscale_workload(
             events = tuple(
                 e.to_dict() for e in (controller.history if controller else ())
             )
+            traces: Tuple[dict, ...] = ()
+            flight: Tuple[dict, ...] = ()
+            metrics: Tuple[dict, ...] = ()
+            if observability is not None:
+                # Close the series on the post-scale-down steady state.
+                server.sample_metrics()
+                traces = tuple(
+                    t.to_dict() for t in observability.tracer.traces()
+                )
+                flight = tuple(
+                    e.to_dict() for e in observability.recorder.events()
+                )
+                metrics = tuple(
+                    p.to_dict() for p in observability.metrics.points()
+                )
 
     placements = tuple(
         {
@@ -820,6 +898,9 @@ def run_autoscale_workload(
         base_rps=base_rps,
         spike_factor=spike_factor,
         telemetry=telemetry,
+        traces=traces,
+        flight=flight,
+        metrics=metrics,
     )
 
 
