@@ -296,11 +296,31 @@ def main() -> int:
         action="store_true",
         help="emit the machine-readable snapshot instead of the report",
     )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the snapshot as JSON (checks still run afterwards)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
 
     duration = SMOKE_DURATION_S if args.smoke else FULL_DURATION_S
     result = run_spike(duration_s=duration, seed=args.seed)
+    served = [t for t in result.traces if t["outcome"] == "served"]
+    snapshot = {
+        "bench": "observability",
+        "traces": len(result.traces),
+        "served_traces": len(served),
+        "flight_events": len(result.flight),
+        "metrics_points": len(result.metrics),
+        "scale_ups": result.scale_ups,
+        "scale_downs": result.scale_downs,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+        print(f"snapshot written to {args.out}")
     try:
         check_traces(result)
         check_flight(result)
@@ -315,22 +335,8 @@ def main() -> int:
         print(f"FAIL: {exc}")
         return 1
 
-    served = [t for t in result.traces if t["outcome"] == "served"]
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "bench": "observability",
-                    "traces": len(result.traces),
-                    "served_traces": len(served),
-                    "flight_events": len(result.flight),
-                    "metrics_points": len(result.metrics),
-                    "scale_ups": result.scale_ups,
-                    "scale_downs": result.scale_downs,
-                },
-                indent=2,
-            )
-        )
+        print(json.dumps(snapshot, indent=2))
     else:
         worst = max(
             (

@@ -26,6 +26,7 @@ or under pytest-benchmark (full size)::
 """
 
 import argparse
+import json
 import tempfile
 
 import numpy as np
@@ -226,6 +227,16 @@ def main(argv=None) -> int:
         action="store_true",
         help="run only the workers=1 vs workers=N bit-identity check",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable snapshot instead of the report",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the snapshot as JSON (checks still run afterwards)",
+    )
     args = parser.parse_args(argv)
     trials = SMOKE_TRIALS if args.smoke else FULL_TRIALS
 
@@ -238,20 +249,45 @@ def main(argv=None) -> int:
         return 0
 
     fault = run_fault_campaign(trials=trials)
-    print(format_campaign(fault))
-    check_fault_campaign(fault)
     aging = run_aging_campaign(trials=trials)
-    print(format_campaign(aging))
-    check_aging_campaign(aging)
     detect, final, bit_identical, snapshot = run_healing_demo()
-    print(
-        f"healing: detected shift {detect.current_shift:.2f} -> "
-        f"action={detect.action}, healed={detect.healed}; post-heal "
-        f"canary accuracy {final.accuracy * 100:.1f}%, served "
-        f"bit-identical={bit_identical} "
-        f"({snapshot.refreshes} refreshes, {snapshot.replacements} "
-        f"replacements)"
-    )
+    report = {
+        "bench": "reliability",
+        "trials": trials,
+        "drift_rate": DRIFT_RATE,
+        "fault_curve": fault.accuracy_curve(),
+        "aging_curve": aging.accuracy_curve(),
+        "time_to_refresh_s": aging.time_to_refresh(),
+        "healing": {
+            "detect_action": detect.action,
+            "detect_shift": detect.current_shift,
+            "healed": detect.healed,
+            "post_heal_accuracy": final.accuracy,
+            "served_bit_identical": bit_identical,
+            "refreshes": snapshot.refreshes,
+            "replacements": snapshot.replacements,
+        },
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"snapshot written to {args.out}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_campaign(fault))
+        print(format_campaign(aging))
+        print(
+            f"healing: detected shift {detect.current_shift:.2f} -> "
+            f"action={detect.action}, healed={detect.healed}; post-heal "
+            f"canary accuracy {final.accuracy * 100:.1f}%, served "
+            f"bit-identical={bit_identical} "
+            f"({snapshot.refreshes} refreshes, {snapshot.replacements} "
+            f"replacements)"
+        )
+    check_fault_campaign(fault)
+    check_aging_campaign(aging)
     check_healing(detect, final, bit_identical, snapshot)
     print("reliability gates -> PASS")
     return 0

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Nine stages, strictly ordered so the cheapest failure fires first:
+# Ten stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -27,18 +27,24 @@
 #      flight ring that replays the scale story in causal order with
 #      snapshots attached, a metrics series whose shed deltas match
 #      the counters, a Prometheus export that round-trips the strict
-#      parser, and a submit path that tracing-disabled does not slow.
+#      parser, and a submit path that tracing-disabled does not slow;
+#  10. health smoke — bench_health.py --smoke: a seeded aging run where
+#      the margin gauge crosses the warning threshold strictly before
+#      the first accuracy-affecting flip, the armed margin floor heals
+#      from the early warning with zero flips and a bit-identical
+#      margin restore, the hardware gauges round-trip Prometheus, and
+#      the probes-disabled read path pays nothing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/9: compile-all =="
+echo "== stage 1/10: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/9: tier-1 (pytest -x -q) =="
+echo "== stage 2/10: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/9: --runslow marker check =="
+echo "== stage 3/10: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -55,22 +61,25 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/9: reliability smoke bench =="
+echo "== stage 4/10: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/9: campaign --workers determinism =="
+echo "== stage 5/10: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/9: backend parity smoke =="
+echo "== stage 6/10: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
 
-echo "== stage 7/9: router smoke gate =="
+echo "== stage 7/10: router smoke gate =="
 python benchmarks/bench_router.py
 
-echo "== stage 8/9: autoscale smoke gate =="
+echo "== stage 8/10: autoscale smoke gate =="
 python benchmarks/bench_autoscale.py --smoke
 
-echo "== stage 9/9: observability smoke gate =="
+echo "== stage 9/10: observability smoke gate =="
 python benchmarks/bench_observability.py --smoke
+
+echo "== stage 10/10: health smoke gate =="
+python benchmarks/bench_health.py --smoke
 
 echo "CI gate passed."

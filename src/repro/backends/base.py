@@ -65,6 +65,11 @@ class Capability:
     #: whose bitstreams can move forward every inference instead of
     #: being frozen at construction; opt-in via ``advance_streams``).
     STREAM_ADVANCE = "stream-advance"
+    #: Analytic read margins: ``read_margin_batch`` returns exact
+    #: (winner, runner-up) current pairs — deterministic backends whose
+    #: reads are reproducible, so a margin observation certifies the
+    #: array state rather than one noise draw.
+    MARGIN_PROBE = "margin-probe"
 
 
 class CapabilityError(RuntimeError):
@@ -254,6 +259,33 @@ class ArrayBackend(ABC):
         """Behavioural verify scan: boolean ``(rows, cols)`` map of
         cells whose read misses their programmed target.  Every backend
         implements it (a clean technology returns all-False)."""
+
+    def read_margin_batch(self, active_cols: np.ndarray) -> np.ndarray:
+        """Analytic per-sample (winner, runner-up) read currents
+        (``MARGIN_PROBE``).
+
+        ``active_cols`` is a boolean ``(n, cols)`` mask batch; the
+        result has shape ``(n, 2)`` with ``[:, 0]`` the winning and
+        ``[:, 1]`` the runner-up wordline current of each read — the
+        two currents whose gap the WTA sense stage must resolve.  Only
+        backends whose reads are deterministic declare the capability
+        (a stochastic backend's "margin" would be one noise draw, not a
+        property of the array); the shared implementation reduces a
+        plain batched read, so a declaring backend inherits it.
+        """
+        self._require(
+            Capability.MARGIN_PROBE,
+            "reads are stochastic; derive margins statistically instead",
+        )
+        currents = self.wordline_currents_batch(active_cols)
+        if currents.shape[1] < 2:
+            # One wordline has no runner-up: the gap is the full signal.
+            win = currents[:, 0] if currents.shape[1] else np.zeros(
+                currents.shape[0]
+            )
+            return np.stack([win, np.zeros_like(win)], axis=1)
+        top2 = np.partition(currents, currents.shape[1] - 2, axis=1)[:, -2:]
+        return top2[:, ::-1].copy()
 
     # -------------------------------------------------------- capability API
     def supports(self, capability: str) -> bool:

@@ -52,7 +52,7 @@ class CmosBackend(ExactLevelSumBackend):
     """
 
     name = "cmos"
-    capabilities = frozenset()
+    capabilities = frozenset({Capability.MARGIN_PROBE})
 
     def __init__(
         self,

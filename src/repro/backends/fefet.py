@@ -49,6 +49,10 @@ class FeFETBackend(ArrayBackend):
             Capability.WEAR,
             Capability.SPARE_ROWS,
             Capability.READ_NOISE,
+            # Default reads are noise-free (sigma_read=0), so margins
+            # are analytic; with read noise configured the probe
+            # reports that configuration's expected-read margin.
+            Capability.MARGIN_PROBE,
         }
     )
 

@@ -48,7 +48,9 @@ class IdealBackend(StuckFaultStore, ExactLevelSumBackend):
     """
 
     name = "ideal"
-    capabilities = frozenset({Capability.STUCK_FAULTS})
+    capabilities = frozenset(
+        {Capability.STUCK_FAULTS, Capability.MARGIN_PROBE}
+    )
 
     def __init__(
         self,

@@ -329,6 +329,35 @@ def _cmd_events(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving.workload import format_health_run, run_health_workload
+
+    if not 0.0 < args.warn_ratio <= 1.0:
+        print("error: --warn-ratio must lie in (0, 1]", file=sys.stderr)
+        return 2
+    if args.drift_rate <= 0.0:
+        print("error: --drift-rate must be > 0", file=sys.stderr)
+        return 2
+    result = run_health_workload(
+        warn_ratio=args.warn_ratio,
+        drift_rate=args.drift_rate,
+        seed=args.seed,
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        print(f"health run written to {args.out}")
+        return 0
+    if args.json:
+        print(json.dumps(result.to_dict(), allow_nan=False))
+    else:
+        print(format_health_run(result))
+    return 0
+
+
 def _cmd_deploy(args: argparse.Namespace) -> int:
     import json
 
@@ -730,6 +759,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="PATH", help="write the events as JSONL instead"
     )
     events.set_defaults(func=_cmd_events)
+
+    health = sub.add_parser(
+        "health",
+        help="age a live deployment at a drift corner and print the "
+        "per-replica device-health timeline (margin collapse -> "
+        "early warning -> heal -> recovery)",
+    )
+    health.add_argument(
+        "--warn-ratio",
+        type=float,
+        default=0.7,
+        help="signal-ratio floor that arms the heal ladder in the "
+        "early-warning phase (default 0.7)",
+    )
+    health.add_argument(
+        "--drift-rate",
+        type=float,
+        default=0.2,
+        help="retention drift per decade, volts (default 0.2: a leaky "
+        "stack corner)",
+    )
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument(
+        "--json", action="store_true", help="emit the full run as one JSON object"
+    )
+    health.add_argument(
+        "--out", metavar="PATH", help="write the run as JSON instead"
+    )
+    health.set_defaults(func=_cmd_health)
 
     deploy = sub.add_parser(
         "deploy",

@@ -195,6 +195,11 @@ class FeBiMEngine:
         # to), stream 1 the sensing module — bit-identical to the
         # pre-backend engine.
         backend_rng, sensing_rng = spawn_rngs(seed, 2)
+        # backend_options may carry its own spare_rows (a deployment's
+        # ReplicaSpec provisioning spares on one replica) — it wins
+        # over the constructor default rather than colliding with it.
+        options = dict(backend_options or {})
+        options.setdefault("spare_rows", spare_rows)
         self.backend = create_backend(
             self.backend_name,
             rows=self.layout.total_rows,
@@ -204,8 +209,7 @@ class FeBiMEngine:
             template=template,
             variation=variation,
             seed=backend_rng,
-            spare_rows=spare_rows,
-            **(backend_options or {}),
+            **options,
         )
         self.backend.program(self.level_matrix)
         self.sensing = SensingModule(

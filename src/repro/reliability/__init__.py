@@ -14,7 +14,12 @@ modes a production deployment meets after programming:
   accuracy-vs-fault-rate and time-to-refresh curves;
 * :mod:`repro.reliability.mitigation` — behavioural BIST detection plus
   the repair strategies: refresh-by-reprogram, spare-row remapping and
-  tile retirement.
+  tile retirement;
+* :mod:`repro.reliability.observability` — hardware-plane telemetry:
+  read-margin probes derived from batch reports
+  (:class:`MarginProbe`), a bounded per-replica device-health ledger
+  (:class:`DeviceHealthLedger`) and the aggregated
+  :class:`HardwareGauges` the serving metrics exporter publishes.
 
 The serving-side consumer is :class:`repro.serving.HealthMonitor`,
 which runs canary inputs against live engines and triggers the same
@@ -51,18 +56,38 @@ from repro.reliability.mitigation import (
     scan_faulty_cells,
     spare_row_repair,
 )
+from repro.reliability.observability import (
+    LEDGER_CAPACITY,
+    DeviceHealthLedger,
+    DeviceHealthSample,
+    HardwareGauges,
+    MarginProbe,
+    MarginReading,
+    format_health_timeline,
+    margin_signal,
+    sample_margin,
+)
 
 __all__ = [
     "AgeClock",
     "CampaignConfig",
     "CampaignPoint",
     "CampaignResult",
+    "DeviceHealthLedger",
+    "DeviceHealthSample",
     "FaultInjector",
     "FaultReport",
     "FaultSpec",
+    "HardwareGauges",
+    "LEDGER_CAPACITY",
     "MITIGATIONS",
+    "MarginProbe",
+    "MarginReading",
     "TrialResult",
     "WearState",
+    "format_health_timeline",
+    "margin_signal",
+    "sample_margin",
     "aging_points",
     "apply_mitigation",
     "fault_rate_points",

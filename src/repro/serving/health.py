@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.reliability.mitigation import refresh_engine
+from repro.reliability.observability import MarginProbe, MarginReading
 
 if TYPE_CHECKING:  # import cycle: server -> router -> health
     from repro.serving.server import FeBiMServer
@@ -44,7 +45,9 @@ if TYPE_CHECKING:  # import cycle: server -> router -> health
 class HealthReport:
     """Outcome of one canary sweep (and any healing it triggered).
 
-    ``accuracy`` / ``current_shift`` describe the state *found*;
+    ``accuracy`` / ``current_shift`` / ``signal_ratio`` / ``margin``
+    describe the state *found* (the margin pair comes from the same
+    canary read, so the probe costs no extra hardware access);
     ``action`` is the deepest repair taken (``"ok"``, ``"refresh"``,
     ``"replace"``, or ``"degraded"`` when healing was off or failed)
     and ``healed`` whether the post-repair sweep passed.
@@ -58,6 +61,8 @@ class HealthReport:
     current_shift: float
     action: str
     healed: bool
+    signal_ratio: float = float("nan")
+    margin: float = float("nan")
 
     @property
     def ok(self) -> bool:
@@ -74,6 +79,12 @@ class HealthReport:
             "current_shift": self.current_shift,
             "action": self.action,
             "healed": self.healed,
+            # NaN is not JSON; absent margins serialise as null.
+            "signal_ratio": (
+                None if self.signal_ratio != self.signal_ratio
+                else self.signal_ratio
+            ),
+            "margin": None if self.margin != self.margin else self.margin,
         }
 
 
@@ -82,6 +93,7 @@ class _CanaryState:
     levels: np.ndarray
     predictions: np.ndarray
     currents: np.ndarray
+    probe: MarginProbe
 
 
 def _report_currents(report) -> np.ndarray:
@@ -184,6 +196,17 @@ class HealthMonitor:
         before they show up in accuracy.  Canary reads are noise-free
         and bit-stable, so the default 10 % is already far outside any
         benign residual.
+    min_signal_ratio:
+        Read-margin floor: mean canary signal relative to the pristine
+        install-time baseline below which a check fails even with every
+        prediction intact and the shift channel calm.  Retention drift
+        is common-mode, so the signal ratio collapses smoothly while
+        decisions hold — this is the early-warning channel that arms
+        the heal ladder *before* predictions flip.  The default 0.5
+        never changes which checks fail under the default shift
+        threshold (a 50 % signal collapse implies a ~50 % mean shift,
+        far past ``max_current_shift``); raise it to make the margin
+        channel lead.
     auto_heal:
         Escalate failed checks through refresh -> replace; when False,
         checks only observe and report.
@@ -200,6 +223,7 @@ class HealthMonitor:
         server: FeBiMServer,
         min_accuracy: float = 1.0,
         max_current_shift: float = 0.1,
+        min_signal_ratio: float = 0.5,
         auto_heal: bool = True,
         quiesce_timeout_s: float = 30.0,
     ):
@@ -207,9 +231,12 @@ class HealthMonitor:
             raise ValueError("min_accuracy must lie in [0, 1]")
         if max_current_shift < 0:
             raise ValueError("max_current_shift must be >= 0")
+        if min_signal_ratio < 0:
+            raise ValueError("min_signal_ratio must be >= 0")
         self.server = server
         self.min_accuracy = float(min_accuracy)
         self.max_current_shift = float(max_current_shift)
+        self.min_signal_ratio = float(min_signal_ratio)
         self.auto_heal = bool(auto_heal)
         self.quiesce_timeout_s = float(quiesce_timeout_s)
         self._canaries: Dict[Tuple[str, int], _CanaryState] = {}
@@ -236,10 +263,12 @@ class HealthMonitor:
             )
         engine = self.server.engine_for(name, version)
         report = engine.infer_batch(levels)
+        currents = _report_currents(report).copy()
         self._canaries[(name, version)] = _CanaryState(
             levels=levels.copy(),
             predictions=np.asarray(report.predictions).copy(),
-            currents=_report_currents(report).copy(),
+            currents=currents,
+            probe=MarginProbe(currents),
         )
         return version
 
@@ -248,7 +277,9 @@ class HealthMonitor:
         return sorted(self._canaries)
 
     # -------------------------------------------------------------- checking
-    def _measure(self, state: _CanaryState, engine) -> Tuple[int, float, float]:
+    def _measure(
+        self, state: _CanaryState, engine
+    ) -> Tuple[int, float, float, MarginReading]:
         report = engine.infer_batch(state.levels)
         failed, accuracy = agreement_from_predictions(
             report.predictions, state.predictions
@@ -261,10 +292,16 @@ class HealthMonitor:
                 / np.maximum(baseline, 1e-30)
             )
         )
-        return failed, accuracy, shift
+        return failed, accuracy, shift, state.probe.observe(currents)
 
-    def _healthy(self, accuracy: float, shift: float) -> bool:
-        return accuracy >= self.min_accuracy and shift <= self.max_current_shift
+    def _healthy(self, accuracy: float, shift: float, ratio: float) -> bool:
+        # ``not (ratio < floor)`` so a NaN ratio (degenerate canary
+        # geometry, no runner-up class) never fails the margin channel.
+        return (
+            accuracy >= self.min_accuracy
+            and shift <= self.max_current_shift
+            and not (ratio < self.min_signal_ratio)
+        )
 
     def check(self, name: str, version: Optional[int] = None) -> HealthReport:
         """One canary sweep against the serving engine; heals on failure.
@@ -281,22 +318,46 @@ class HealthMonitor:
                 f"call install() first"
             ) from None
         engine = self.server.engine_for(name, version)
-        failed, accuracy, shift = self._measure(state, engine)
+        failed, accuracy, shift, reading = self._measure(state, engine)
+        ratio = reading.signal_ratio
+        margin = reading.margin_p50
         self.server.telemetry.record_health_check(failed)
-        if self._healthy(accuracy, shift):
+        # Early-warning channels: fire while predictions are still
+        # intact, so operators (and the heal ladder, when the floors
+        # are configured to lead) see the collapse *before* it flips
+        # a decision.
+        if accuracy >= self.min_accuracy:
+            if ratio < self.min_signal_ratio:
+                self.server.telemetry.emit(
+                    "margin_warning",
+                    model=name, version=version,
+                    signal_ratio=ratio, margin_p50=margin,
+                )
+            if shift > self.max_current_shift:
+                self.server.telemetry.emit(
+                    "drift_alarm",
+                    model=name, version=version,
+                    shift=shift,
+                    signal_ratio=ratio if ratio == ratio else None,
+                )
+        if self._healthy(accuracy, shift, ratio):
             return HealthReport(
                 name, version, state.predictions.shape[0], failed,
                 accuracy, shift, action="ok", healed=True,
+                signal_ratio=ratio, margin=margin,
             )
         self.server.telemetry.emit(
             "canary_failure",
             model=name, version=version, failed=failed,
             accuracy=accuracy, shift=shift,
+            signal_ratio=ratio if ratio == ratio else None,
+            margin_p50=margin if margin == margin else None,
         )
         if not self.auto_heal:
             return HealthReport(
                 name, version, state.predictions.shape[0], failed,
                 accuracy, shift, action="degraded", healed=False,
+                signal_ratio=ratio, margin=margin,
             )
         # Repairs mutate the live engine (erase + rewrite) and swap the
         # registry cache, so the scheduler is quiesced for the ladder:
@@ -319,11 +380,14 @@ class HealthMonitor:
             refresh_engine(engine)
             self.server.telemetry.record_refresh()
             self.server.telemetry.emit("refresh", model=name, version=version)
-            r_failed, r_accuracy, r_shift = self._measure(state, engine)
-            if self._healthy(r_accuracy, r_shift):
+            r_failed, r_accuracy, r_shift, r_reading = self._measure(
+                state, engine
+            )
+            if self._healthy(r_accuracy, r_shift, r_reading.signal_ratio):
                 return HealthReport(
                     name, version, state.predictions.shape[0], failed,
                     accuracy, shift, action="refresh", healed=True,
+                    signal_ratio=ratio, margin=margin,
                 )
             # Rung 2: replace — drop the cached engine and re-materialise
             # from the registry artifact (fresh pristine hardware, same
@@ -332,11 +396,14 @@ class HealthMonitor:
             engine = self.server.engine_for(name, version)
             self.server.telemetry.record_replacement()
             self.server.telemetry.emit("replace", model=name, version=version)
-            _, f_accuracy, f_shift = self._measure(state, engine)
+            _, f_accuracy, f_shift, f_reading = self._measure(state, engine)
             return HealthReport(
                 name, version, state.predictions.shape[0], failed,
                 accuracy, shift, action="replace",
-                healed=self._healthy(f_accuracy, f_shift),
+                healed=self._healthy(
+                    f_accuracy, f_shift, f_reading.signal_ratio
+                ),
+                signal_ratio=ratio, margin=margin,
             )
 
     def check_all(self) -> List[HealthReport]:

@@ -13,8 +13,13 @@ Three complementary windows into a running :class:`~repro.serving.server.FeBiMSe
 * **Metrics export** (:mod:`~repro.serving.observability.metrics`) —
   periodic delta time-series over telemetry snapshots, exportable as
   Prometheus text or JSONL.
+* **Device-health ledger**
+  (:class:`~repro.reliability.observability.DeviceHealthLedger`) — the
+  hardware plane's timeline: per-replica wear, in-service age, spare
+  inventory, BIST fault counts and read-margin statistics, sampled on
+  the maintenance cadence.
 
-All three are off by default and cost nearly nothing until armed; wire
+All four are off by default and cost nearly nothing until armed; wire
 them in with :meth:`FeBiMServer.enable_observability`, or construct an
 :class:`Observability` bundle directly for workload harnesses.
 """
@@ -42,15 +47,24 @@ from repro.serving.observability.trace import (
     Tracer,
     format_trace_dicts,
 )
+from repro.reliability.observability import (
+    LEDGER_CAPACITY,
+    DeviceHealthLedger,
+    DeviceHealthSample,
+    HardwareGauges,
+    format_health_timeline,
+)
 
 
 class Observability:
-    """One tracer + one flight recorder + one metrics ring, as a unit.
+    """One tracer + flight recorder + metrics ring + device-health
+    ledger, as a unit.
 
-    Convenience bundle so workloads and the CLI arm all three surfaces
-    with one object: ``server.enable_observability(obs)`` threads the
-    tracer into every scheduler, hangs the recorder off telemetry, and
-    lets the maintenance/metrics cadence fill the ring.
+    Convenience bundle so workloads and the CLI arm every surface with
+    one object: ``server.enable_observability(obs)`` threads the tracer
+    into every scheduler, hangs the recorder off telemetry, attaches
+    the ledger to the router's hardware sampler, and lets the
+    maintenance/metrics cadence fill the rings.
     """
 
     def __init__(
@@ -59,25 +73,32 @@ class Observability:
         trace_capacity: int = TRACE_CAPACITY,
         recorder_capacity: int = RECORDER_CAPACITY,
         metrics_capacity: int = METRICS_CAPACITY,
+        ledger_capacity: int = LEDGER_CAPACITY,
     ):
         self.tracer = Tracer(trace_rate, capacity=trace_capacity)
         self.recorder = FlightRecorder(capacity=recorder_capacity)
         self.metrics = MetricsRing(capacity=metrics_capacity)
+        self.ledger = DeviceHealthLedger(capacity=ledger_capacity)
 
     def __repr__(self) -> str:
         return (
             f"Observability(tracer={self.tracer!r}, "
-            f"recorder={self.recorder!r}, metrics={self.metrics!r})"
+            f"recorder={self.recorder!r}, metrics={self.metrics!r}, "
+            f"ledger={self.ledger!r})"
         )
 
 
 __all__ = [
     "EVENT_KINDS",
+    "LEDGER_CAPACITY",
     "METRICS_CAPACITY",
     "RECORDER_CAPACITY",
     "TRACE_CAPACITY",
+    "DeviceHealthLedger",
+    "DeviceHealthSample",
     "FlightEvent",
     "FlightRecorder",
+    "HardwareGauges",
     "MetricsPoint",
     "MetricsRing",
     "MetricsSampler",
@@ -87,6 +108,7 @@ __all__ = [
     "Tracer",
     "count_replicas",
     "format_events",
+    "format_health_timeline",
     "format_trace_dicts",
     "parse_prometheus",
     "to_prometheus",

@@ -54,6 +54,11 @@ EVENT_KINDS = frozenset(
         "scale_up",  # replica added (slot + wear recorded)
         "scale_down",  # replica retired
         "retire",  # router drained and removed a replica
+        # hardware plane (margin probes / device-health ledger)
+        "margin_warning",  # read margin collapsed, predictions still intact
+        "drift_alarm",  # current-shift channel tripped with accuracy intact
+        "bist_scan",  # maintenance verify scan found faulty cells
+        "spare_repair",  # faulty rows remapped onto manufactured spares
     }
 )
 

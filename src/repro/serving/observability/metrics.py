@@ -65,6 +65,17 @@ class MetricsPoint:
     queue_depth: int  # total across lanes, at sample time
     lane_depth: Dict[int, int] = field(default_factory=dict)
     replicas: Optional[int] = None
+    # Heal-ladder deltas: a heal storm (a canary failing every sweep,
+    # refreshes escalating to replacements) must show on a scraper's
+    # rate() graphs, not only in the since-boot counters.
+    canary_failures: int = 0  # delta
+    refreshes: int = 0  # delta
+    replacements: int = 0  # delta
+    replica_evictions: int = 0  # delta
+    maintenance_sweeps: int = 0  # delta
+    # Hardware-plane gauges (``HardwareGauges.to_dict`` shape) sampled
+    # from the device-health ledger; ``None`` when no replica reported.
+    hardware: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -83,6 +94,12 @@ class MetricsPoint:
             "queue_depth": self.queue_depth,
             "lane_depth": {str(k): v for k, v in sorted(self.lane_depth.items())},
             "replicas": self.replicas,
+            "canary_failures": self.canary_failures,
+            "refreshes": self.refreshes,
+            "replacements": self.replacements,
+            "replica_evictions": self.replica_evictions,
+            "maintenance_sweeps": self.maintenance_sweeps,
+            "hardware": self.hardware,
         }
 
 
@@ -106,14 +123,19 @@ class MetricsRing:
         snapshot: TelemetrySnapshot,
         replicas: Optional[int] = None,
         t_s: Optional[float] = None,
+        hardware: Optional[dict] = None,
     ) -> MetricsPoint:
         """Fold one snapshot into the ring; returns the new point.
 
         The first sample's deltas are measured against zero (a fresh
         server) with ``interval_s = 0`` — rate gauges read 0 there
         rather than inventing a rate from an unknown window.
+        ``hardware`` attaches the device-health gauges sampled
+        alongside this snapshot (a ``HardwareGauges.to_dict`` dict).
         """
         now = time.monotonic() if t_s is None else float(t_s)
+        if hardware is not None and hasattr(hardware, "to_dict"):
+            hardware = hardware.to_dict()
         with self._lock:
             prev, prev_t = self._last, self._last_t
             interval = 0.0 if prev_t is None else max(now - prev_t, 0.0)
@@ -137,6 +159,16 @@ class MetricsRing:
                 queue_depth=sum(snapshot.lane_depth.values()),
                 lane_depth=dict(snapshot.lane_depth),
                 replicas=replicas,
+                canary_failures=snapshot.canary_failures
+                - (prev.canary_failures if prev else 0),
+                refreshes=snapshot.refreshes - (prev.refreshes if prev else 0),
+                replacements=snapshot.replacements
+                - (prev.replacements if prev else 0),
+                replica_evictions=snapshot.replica_evictions
+                - (prev.replica_evictions if prev else 0),
+                maintenance_sweeps=snapshot.maintenance_sweeps
+                - (prev.maintenance_sweeps if prev else 0),
+                hardware=hardware,
             )
             self._points.append(point)
             self._last, self._last_t = snapshot, now
@@ -239,14 +271,20 @@ def _escape_label(value: str) -> str:
 
 
 def to_prometheus(
-    snapshot: TelemetrySnapshot, replicas: Optional[int] = None
+    snapshot: TelemetrySnapshot,
+    replicas: Optional[int] = None,
+    hardware: Optional[dict] = None,
 ) -> str:
     """Render one snapshot in the Prometheus text exposition format.
 
     Counters get ``_total`` names; gauges that are undefined before the
     first completion (the latency percentiles) are *omitted* rather
     than exported as NaN — an absent series is how Prometheus models
-    "no data yet".
+    "no data yet".  ``hardware`` (a
+    :meth:`~repro.reliability.observability.HardwareGauges.to_dict`
+    dict, or the gauges object itself) appends the device-health
+    gauges: worst-replica read margin and signal ratio, wear, spare
+    inventory and BIST fault count, plus per-replica labelled series.
     """
     lines: List[str] = []
 
@@ -255,6 +293,8 @@ def to_prometheus(
         lines.append(f"{name} {int(value)}")
 
     def gauge(name: str, value, labels: str = "") -> None:
+        if value is None or float(value) != float(value):  # absent / NaN
+            return
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name}{labels} {float(value):g}")
 
@@ -272,6 +312,7 @@ def to_prometheus(
     counter("febim_canary_failures_total", snapshot.canary_failures)
     counter("febim_refreshes_total", snapshot.refreshes)
     counter("febim_replacements_total", snapshot.replacements)
+    counter("febim_maintenance_sweeps_total", snapshot.maintenance_sweeps)
     gauge("febim_occupancy", snapshot.occupancy)
     gauge("febim_in_flight", snapshot.in_flight)
     if snapshot.p50_latency_s == snapshot.p50_latency_s:  # not NaN
@@ -290,6 +331,31 @@ def to_prometheus(
                 f'febim_replica_served_total'
                 f'{{replica="{_escape_label(replica)}"}} {served}'
             )
+    if hardware is not None:
+        if hasattr(hardware, "to_dict"):
+            hardware = hardware.to_dict()
+        gauge("febim_margin_p5", hardware.get("margin_p5"))
+        gauge("febim_margin_p50", hardware.get("margin_p50"))
+        gauge("febim_signal_ratio", hardware.get("signal_ratio"))
+        gauge("febim_wear_fraction", hardware.get("wear_fraction"))
+        gauge("febim_spares_free", hardware.get("spares_free"))
+        gauge("febim_faulty_cells", hardware.get("faulty_cells"))
+        per_replica = hardware.get("per_replica") or {}
+        for family in ("signal_ratio", "wear_fraction", "margin_p50"):
+            rows = [
+                (label, row[family])
+                for label, row in sorted(per_replica.items())
+                if row.get(family) is not None
+                and float(row[family]) == float(row[family])
+            ]
+            if rows:
+                lines.append(f"# TYPE febim_replica_{family} gauge")
+                for label, value in rows:
+                    lines.append(
+                        f'febim_replica_{family}'
+                        f'{{replica="{_escape_label(label)}"}} '
+                        f"{float(value):g}"
+                    )
     return "\n".join(lines) + "\n"
 
 

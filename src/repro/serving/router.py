@@ -58,15 +58,24 @@ from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.backends.base import Capability
 from repro.reliability.faults import AgeClock, WearState
-from repro.reliability.mitigation import refresh_engine
+from repro.reliability.mitigation import refresh_engine, spare_row_repair
+from repro.reliability.observability import (
+    DeviceHealthSample,
+    MarginProbe,
+    MarginReading,
+)
 from repro.serving.deployment import (
     Deployment,
     DeploymentError,
     ReplicaSpec,
     validate_replica_spec,
 )
-from repro.serving.health import measure_agreement
+from repro.serving.health import (
+    _report_currents,
+    agreement_from_predictions,
+)
 from repro.serving.scheduler import (
     MicroBatchScheduler,
     Overloaded,
@@ -122,13 +131,20 @@ class ReplicaStatus:
 
 @dataclass(frozen=True)
 class ReplicaHealthReport:
-    """Outcome of one replica heal-ladder pass (``check_replica``)."""
+    """Outcome of one replica heal-ladder pass (``check_replica``).
+
+    ``signal_ratio`` / ``margin`` are the replica's read-margin stats
+    from the *last* canary read of the pass (post-repair when the
+    ladder ran) — NaN when the replica could not be read at all.
+    """
 
     replica: str
     state: str
     agreement: float
-    action: str  # "ok" | "refresh" | "replace" | "evict"
+    action: str  # "ok" | "refresh" | "spare_repair" | "replace" | "evict"
     healed: bool
+    signal_ratio: float = float("nan")
+    margin: float = float("nan")
 
     def to_dict(self) -> dict:
         return {
@@ -137,6 +153,11 @@ class ReplicaHealthReport:
             "agreement": self.agreement,
             "action": self.action,
             "healed": self.healed,
+            "signal_ratio": (
+                None if self.signal_ratio != self.signal_ratio
+                else self.signal_ratio
+            ),
+            "margin": None if self.margin != self.margin else self.margin,
         }
 
 
@@ -199,6 +220,12 @@ class _Replica:
         # live template — serving stays bit-identical.
         self.wear = wear if wear is not None else WearState()
         self.age = AgeClock()
+        # Margin probe against the apply-time pristine read; the latest
+        # reading is refreshed by every canary sweep and hardware
+        # sample — no extra array reads, ever.
+        self.probe: Optional[MarginProbe] = None
+        self.margin_reading: Optional[MarginReading] = None
+        self._hw_t: Optional[float] = None  # last hardware-sample clock
 
     @property
     def label(self) -> str:
@@ -299,6 +326,16 @@ class Router:
         # traced — parallel replica reads would overlap in time and
         # break the span-sum-equals-duration invariant.
         self.tracer = None
+        # Optional device-health ledger (set by
+        # ``server.enable_observability``): every ``hardware_status``
+        # sample is recorded into it.  ``None`` costs nothing.
+        self.ledger = None
+        # Margin floor for the heal ladder: a replica whose canary
+        # signal ratio (vs its apply-time pristine baseline) falls
+        # below this enters the ladder *before* any prediction flips.
+        # 0.0 = observe-only (margins are still measured and exported,
+        # but never trigger repairs).
+        self.min_signal_ratio = 0.0
 
     # ------------------------------------------------------------ deployment
     def deployments(self) -> Dict[str, Deployment]:
@@ -465,6 +502,12 @@ class Router:
         report = replica.engine.infer_batch(canaries)
         replica.baseline = np.asarray(report.predictions).copy()
         replica.unit_delay = float(np.mean(report.delay))
+        # The same probe read seeds the margin baseline: deploy-time
+        # pristine currents against which every later sweep's signal
+        # ratio is scored.
+        currents = _report_currents(report)
+        replica.probe = MarginProbe(currents)
+        replica.margin_reading = replica.probe.observe(currents)
 
     @contextmanager
     def quiesce_model(
@@ -979,11 +1022,18 @@ class Router:
         """One canary sweep over a replica, healing up the full ladder.
 
         Rungs: **refresh** (reprogram in place — clears drift, cannot
-        fix stuck hardware), **replace** (drop the cached engine and
-        re-materialise on fresh hardware, same stream seed), **evict**
-        (remove the replica from routing permanently; the deployment
-        keeps serving on the survivors).  Repairs run under the
-        replica's own scheduler quiesce so live traffic never reads a
+        fix stuck hardware), **spare repair** (remap BIST-flagged rows
+        onto manufactured spares, when the backend has any — fixes
+        stuck hardware without burning a fresh array), **replace**
+        (drop the cached engine and re-materialise on fresh hardware,
+        same stream seed), **evict** (remove the replica from routing
+        permanently; the deployment keeps serving on the survivors).
+        The ladder is entered on canary disagreement *or* — when
+        :attr:`min_signal_ratio` is raised above its observe-only
+        default of 0 — on read-margin collapse while every prediction
+        is still correct (a ``margin_warning`` flight event marks that
+        early-warning entry).  Repairs run under the replica's own
+        scheduler quiesce so live traffic never reads a
         half-reprogrammed array.
         """
         dep = self.deployment_for(name)
@@ -998,11 +1048,31 @@ class Router:
         telemetry = self.server.telemetry
 
         def measure() -> float:
-            failed, agreement = measure_agreement(
-                replica.resolve(), dep.canaries, replica.baseline
+            report = replica.resolve().infer_batch(dep.canaries)
+            failed, agreement = agreement_from_predictions(
+                report.predictions, replica.baseline
             )
             telemetry.record_health_check(failed)
+            if replica.probe is not None:
+                replica.margin_reading = replica.probe.observe(
+                    _report_currents(report)
+                )
             return agreement
+
+        def ratio_now() -> float:
+            reading = replica.margin_reading
+            return float("nan") if reading is None else reading.signal_ratio
+
+        def margin_now() -> float:
+            reading = replica.margin_reading
+            return float("nan") if reading is None else reading.margin_p50
+
+        def healthy(agreement: float) -> bool:
+            # NaN ratio (dead replica, degenerate geometry) never fails
+            # the margin channel — agreement already covers dead.
+            return agreement >= min_agreement and not (
+                ratio_now() < self.min_signal_ratio
+            )
 
         # The whole check runs quiesced, the initial probe included: a
         # canary read must never interleave with live batches on
@@ -1023,18 +1093,29 @@ class Router:
                 agreement = measure()
             except Exception:
                 agreement = 0.0
-            if agreement >= min_agreement:
+            if healthy(agreement):
                 with self._lock:
                     if replica.state == DOWN:
                         replica.state = HEALTHY
                 return ReplicaHealthReport(
                     replica.label, replica.state, agreement,
                     action="ok", healed=True,
+                    signal_ratio=ratio_now(), margin=margin_now(),
                 )
-            telemetry.emit(
-                "canary_failure",
-                model=dep.name, replica=replica.label, agreement=agreement,
-            )
+            if agreement >= min_agreement:
+                # Predictions intact, margin collapsed: the early
+                # warning armed the ladder before accuracy could flip.
+                telemetry.emit(
+                    "margin_warning",
+                    model=dep.name, replica=replica.label,
+                    signal_ratio=ratio_now(), margin_p50=margin_now(),
+                )
+            else:
+                telemetry.emit(
+                    "canary_failure",
+                    model=dep.name, replica=replica.label,
+                    agreement=agreement,
+                )
             # Rung 1: refresh — reprogram in place.
             try:
                 refresh_engine(replica.resolve())
@@ -1046,10 +1127,23 @@ class Router:
                 agreement = measure()
             except Exception:
                 agreement = 0.0
-            if agreement >= min_agreement:
+            if healthy(agreement):
                 action = "refresh"
             else:
-                # Rung 2: replace — fresh hardware, same stream seed.
+                # Rung 2: spare repair — remap BIST-flagged rows onto
+                # manufactured spares.  Fixes stuck hardware a refresh
+                # cannot, without discarding the array; skipped
+                # silently when the backend has no (free) spares.
+                action = ""
+                if self._try_spare_repair(dep, replica):
+                    try:
+                        agreement = measure()
+                    except Exception:
+                        agreement = 0.0
+                    if healthy(agreement):
+                        action = "spare_repair"
+            if not action:
+                # Rung 3: replace — fresh hardware, same stream seed.
                 # An unrecoverably killed replica has no slot to put
                 # fresh hardware into; fall through to eviction.
                 action = "replace"
@@ -1070,8 +1164,8 @@ class Router:
                     agreement = measure()
                 except Exception:
                     agreement = 0.0
-            if agreement < min_agreement:
-                # Rung 3: evict — out of the routing set for good.
+            if not healthy(agreement):
+                # Rung 4: evict — out of the routing set for good.
                 with self._lock:
                     replica.state = EVICTED
                 replica.killed = True
@@ -1089,8 +1183,43 @@ class Router:
         with self._lock:
             replica.state = HEALTHY
         return ReplicaHealthReport(
-            replica.label, HEALTHY, agreement, action=action, healed=True
+            replica.label, HEALTHY, agreement, action=action, healed=True,
+            signal_ratio=ratio_now(), margin=margin_now(),
         )
+
+    def _try_spare_repair(self, dep, replica: _Replica) -> int:
+        """The spare-repair rung: remap flagged rows onto spares.
+
+        Returns rows repaired; 0 means the rung was skipped (dead
+        replica, no spare-capable array, dry pool, or a clean scan) and
+        the ladder escalates straight to replace.  Emits one
+        ``spare_repair`` flight event per repaired array.
+        """
+        try:
+            engine = replica.resolve()
+        except KilledReplicaError:
+            return 0
+        repaired = 0
+        for tile in getattr(engine, "tiles", None) or [engine]:
+            backend = getattr(tile, "backend", None)
+            if backend is None or not backend.supports(Capability.SPARE_ROWS):
+                continue
+            if backend.spare_rows_free <= 0:
+                continue
+            try:
+                rows = spare_row_repair(tile)
+            except Exception:
+                continue
+            if not rows:
+                continue
+            repaired += len(rows)
+            self.server.telemetry.emit(
+                "spare_repair",
+                model=dep.name, replica=replica.label,
+                rows=[int(r) for r in rows],
+                spares_free=int(backend.spare_rows_free),
+            )
+        return repaired
 
     def check_all(self) -> List[ReplicaHealthReport]:
         """Heal-ladder sweep over every replica of every deployment."""
@@ -1107,6 +1236,84 @@ class Router:
                     # error.
                     continue
         return reports
+
+    # ----------------------------------------------------- hardware telemetry
+    def _hardware_sample(
+        self, dep: _AppliedDeployment, replica: _Replica
+    ) -> DeviceHealthSample:
+        """One device-health ledger row for ``replica``, recorded into
+        :attr:`ledger` when one is attached.
+
+        Read-only against the hardware: wear/age come from the
+        replica's bookkeeping ledgers, margins from the *last* canary
+        read (no fresh array access), and the spare-row / BIST
+        inventory from capability-gated verify reads that never mutate
+        state — so the sampler runs safely against live traffic,
+        without a quiesce.  A ``bist_scan`` flight event fires when the
+        scan finds faulty cells.
+        """
+        now = time.monotonic()
+        if replica._hw_t is not None:
+            # Wall time since the last sample accrues as in-service age
+            # (ledger mode: bookkeeping only, the live array is never
+            # rewritten here).
+            replica.age.advance(max(now - replica._hw_t, 0.0))
+        replica._hw_t = now
+        spares: Optional[int] = None
+        faults: Optional[int] = None
+        try:
+            engine = replica.resolve()
+        except KilledReplicaError:
+            engine = None
+        if engine is not None:
+            for tile in getattr(engine, "tiles", None) or [engine]:
+                backend = getattr(tile, "backend", None)
+                if backend is None:
+                    continue
+                if backend.supports(Capability.SPARE_ROWS):
+                    free = int(backend.spare_rows_free)
+                    spares = free if spares is None else spares + free
+                try:
+                    flagged = int(np.count_nonzero(backend.bist_scan()))
+                except Exception:
+                    continue
+                faults = flagged if faults is None else faults + flagged
+            if faults:
+                self.server.telemetry.emit(
+                    "bist_scan",
+                    model=dep.name, replica=replica.label,
+                    faulty_cells=faults,
+                )
+        reading = replica.margin_reading
+        nan = float("nan")
+        sample = DeviceHealthSample(
+            t_s=now,  # monotonic, same base as flight-event timestamps
+            replica=replica.label,
+            state=replica.state,
+            wear_fraction=replica.wear.fraction_used,
+            age_s=replica.age.age_s,
+            spares_free=spares,
+            faulty_cells=faults,
+            margin_p5=nan if reading is None else reading.margin_p5,
+            margin_p50=nan if reading is None else reading.margin_p50,
+            signal_ratio=nan if reading is None else reading.signal_ratio,
+        )
+        if self.ledger is not None:
+            self.ledger.record(sample)
+        return sample
+
+    def hardware_status(self, name: str) -> List[DeviceHealthSample]:
+        """Device-health snapshot of every replica of ``name``'s
+        deployment: wear, in-service age, spare inventory, BIST fault
+        count and the latest margin reading — one
+        :class:`~repro.reliability.observability.DeviceHealthSample`
+        per replica, recorded into the attached ledger."""
+        dep = self.deployment_for(name)
+        if dep is None:
+            raise KeyError(f"no deployment for model {name!r}")
+        return [
+            self._hardware_sample(dep, replica) for replica in dep.replicas
+        ]
 
     # -------------------------------------------------------------- lifecycle
     def drain(self, timeout: Optional[float] = None) -> bool:

@@ -66,8 +66,19 @@ from typing import Callable, Dict, Hashable, Iterator, List, Optional
 
 import numpy as np
 
+from repro.reliability.observability import sample_margin
 from repro.serving.observability.trace import Span, Trace, Tracer
 from repro.serving.telemetry import Telemetry
+
+
+def _span_currents(report) -> np.ndarray:
+    """Per-sample current signature from either batch-report flavour
+    (mirrors the health module's ``_report_currents``; duplicated to
+    keep the scheduler free of a health-layer import)."""
+    currents = getattr(report, "wordline_currents", None)
+    if currents is None:
+        currents = report.tile_currents
+    return np.asarray(currents, dtype=float)
 from repro.utils.validation import check_positive_int
 
 
@@ -816,6 +827,16 @@ class MicroBatchScheduler:
                 # report carries it (all real engines do).
                 attrs["delay_s"] = float(report.delay[i])
                 attrs["energy_j"] = float(report.energy.total[i])
+            except Exception:  # noqa: BLE001 — tracing never fails a batch
+                pass
+            try:
+                # Read-margin stats for this sample, derived from the
+                # currents the read already produced — sampled traces
+                # only, so the untraced hot path never touches them.
+                margin, signal = sample_margin(_span_currents(report)[i])
+                if margin == margin:  # NaN never leaks into dumps
+                    attrs["margin"] = margin
+                    attrs["signal"] = signal
             except Exception:  # noqa: BLE001 — tracing never fails a batch
                 pass
             request.trace.add_span("execute", started, finished, **attrs)

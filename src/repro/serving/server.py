@@ -30,7 +30,11 @@ import numpy as np
 from repro.core.quantization import QuantizedBayesianModel
 from repro.devices.fefet import MultiLevelCellSpec
 from repro.serving.deployment import Deployment
-from repro.serving.observability import Observability, count_replicas
+from repro.serving.observability import (
+    HardwareGauges,
+    Observability,
+    count_replicas,
+)
 from repro.serving.registry import ModelRegistry
 from repro.serving.router import Router
 from repro.serving.scheduler import BatchPolicy, MicroBatchScheduler, ServedResult
@@ -430,6 +434,7 @@ class FeBiMServer:
         self.telemetry.recorder = observability.recorder
         self.scheduler.tracer = observability.tracer
         self.router.tracer = observability.tracer
+        self.router.ledger = getattr(observability, "ledger", None)
         return observability
 
     def disable_observability(self) -> None:
@@ -438,15 +443,45 @@ class FeBiMServer:
         self.telemetry.recorder = None
         self.scheduler.tracer = None
         self.router.tracer = None
+        self.router.ledger = None
+
+    def sample_hardware(self):
+        """One device-health sweep over every deployment's replicas.
+
+        Returns the flat list of
+        :class:`~repro.reliability.observability.DeviceHealthSample`
+        rows (recorded into the armed ledger), or ``None`` when
+        observability is off.  Per-deployment failures are isolated —
+        a deployment racing an undeploy is skipped, not fatal.
+        """
+        if self.observability is None:
+            return None
+        samples = []
+        for name in list(self.router.deployments()):
+            try:
+                samples.extend(self.router.hardware_status(name))
+            except KeyError:
+                continue  # undeployed between the snapshot and the sweep
+        return samples
 
     def sample_metrics(self):
         """Fold one telemetry snapshot into the metrics ring (no-op
-        without observability); returns the new point or ``None``."""
+        without observability); returns the new point or ``None``.
+
+        Hardware gauges ride along: the device-health sweep runs first,
+        and its worst-case fold (weakest margin, deepest wear) lands on
+        the same metrics point the Prometheus exporter publishes."""
         observability = self.observability
         if observability is None:
             return None
+        hardware = None
+        samples = self.sample_hardware()
+        if samples:
+            hardware = HardwareGauges.from_samples(samples)
         return observability.metrics.sample(
-            self.telemetry.snapshot(), replicas=count_replicas(self)
+            self.telemetry.snapshot(),
+            replicas=count_replicas(self),
+            hardware=hardware,
         )
 
     # ------------------------------------------------------------ maintenance

@@ -630,6 +630,7 @@ class AutoscaleRunResult:
     traces: Tuple[dict, ...] = ()
     flight: Tuple[dict, ...] = ()
     metrics: Tuple[dict, ...] = ()
+    hardware: Tuple[dict, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serialisable form (``BENCH_autoscale.json``)."""
@@ -656,6 +657,7 @@ class AutoscaleRunResult:
             "traces": [dict(t) for t in self.traces],
             "flight": [dict(e) for e in self.flight],
             "metrics": [dict(p) for p in self.metrics],
+            "hardware": [dict(s) for s in self.hardware],
         }
 
 
@@ -855,6 +857,7 @@ def run_autoscale_workload(
             traces: Tuple[dict, ...] = ()
             flight: Tuple[dict, ...] = ()
             metrics: Tuple[dict, ...] = ()
+            hardware: Tuple[dict, ...] = ()
             if observability is not None:
                 # Close the series on the post-scale-down steady state.
                 server.sample_metrics()
@@ -866,6 +869,9 @@ def run_autoscale_workload(
                 )
                 metrics = tuple(
                     p.to_dict() for p in observability.metrics.points()
+                )
+                hardware = tuple(
+                    s.to_dict() for s in observability.ledger.samples()
                 )
 
     placements = tuple(
@@ -901,6 +907,7 @@ def run_autoscale_workload(
         traces=traces,
         flight=flight,
         metrics=metrics,
+        hardware=hardware,
     )
 
 
@@ -950,4 +957,272 @@ def format_serving(result: ServingRunResult) -> str:
         f"bit-identical to offline",
         result.telemetry.format_lines(),
     ]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- health
+@dataclass(frozen=True)
+class HealthRunResult:
+    """Outcome of one seeded aging run against a live deployment.
+
+    The acceptance contract of ``benchmarks/bench_health.py``: in the
+    *reactive* phase (margin floor off) the canary signal ratio must
+    cross ``warn_ratio`` strictly before the first prediction flip; in
+    the *early-warning* phase (router margin floor at ``warn_ratio``,
+    same age schedule) the heal ladder must fire from the
+    ``margin_warning`` — at the step where the reactive phase merely
+    degraded — restore the margin bit-identically
+    (``post_heal_signal_ratio == 1.0`` exactly, noise-free reads), and
+    no prediction may ever flip.
+    """
+
+    warn_ratio: float
+    drift_rate: float
+    ages_s: Tuple[float, ...]
+    reactive: Tuple[dict, ...]
+    first_warning_step: Optional[int]
+    first_flip_step: Optional[int]
+    early: Tuple[dict, ...]
+    heal_step: Optional[int]
+    post_heal_signal_ratio: float
+    early_flips: int
+    reactive_events: Tuple[dict, ...]
+    events: Tuple[dict, ...]
+    ledger: Tuple[dict, ...]
+    metrics: Tuple[dict, ...]
+    telemetry: TelemetrySnapshot
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``BENCH_health.json``)."""
+        return {
+            "bench": "health",
+            "warn_ratio": self.warn_ratio,
+            "drift_rate": self.drift_rate,
+            "ages_s": list(self.ages_s),
+            "reactive": [dict(s) for s in self.reactive],
+            "first_warning_step": self.first_warning_step,
+            "first_flip_step": self.first_flip_step,
+            "early": [dict(s) for s in self.early],
+            "heal_step": self.heal_step,
+            "post_heal_signal_ratio": self.post_heal_signal_ratio,
+            "early_flips": self.early_flips,
+            "reactive_events": [dict(e) for e in self.reactive_events],
+            "events": [dict(e) for e in self.events],
+            "ledger": [dict(s) for s in self.ledger],
+            "metrics": [dict(p) for p in self.metrics],
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+#: Age schedule for the aging phases: log-spaced bake times, one sweep
+#: per point.  Chosen with :data:`HEALTH_DRIFT_RATE` so the signal
+#: ratio crosses the warning threshold a few sweeps before the first
+#: prediction flip (the campaign-corner failure sequence, compressed).
+HEALTH_AGES_S = tuple(float(a) for a in np.geomspace(1e-1, 1e8, 12))
+#: Leaky-stack drift corner driving the aging phases — hot enough that
+#: differential drift eventually flips a canary inside the horizon.
+HEALTH_DRIFT_RATE = 0.2
+#: Signal-ratio warning threshold (fraction of the pristine baseline).
+HEALTH_WARN_RATIO = 0.7
+
+
+def _run_aging_phase(
+    min_signal_ratio: float,
+    ages_s: Tuple[float, ...],
+    drift_rate: float,
+    seed: int,
+    cyclic: bool,
+):
+    """One deployment aged along ``ages_s`` with per-step heal sweeps.
+
+    ``min_signal_ratio`` is the :class:`HealthMonitor`'s margin floor
+    (0 = reactive: the ladder only fires on a prediction flip, since
+    the shift channel is disarmed too).  ``cyclic`` restarts the age
+    schedule from the top after any heal (the bake clock restarts with
+    the reprogrammed array — the early-warning phase's steady state);
+    the reactive phase runs the schedule straight through so the flip
+    is reached.  Returns ``(steps, post_heal_ratio, events, ledger,
+    metrics, telemetry)``.
+    """
+    from repro.devices.retention import RetentionModel
+    from repro.reliability.faults import AgeClock
+    from repro.serving.deployment import Deployment, ReplicaSpec, RoutingPolicy
+    from repro.serving.health import HealthMonitor
+
+    model = "iris"
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)  # fefet — the drift-capable reference
+        data = load_dataset(model)
+        X_tr, X_te, y_tr, _ = train_test_split(
+            data.data, data.target, test_size=0.5, seed=seed
+        )
+        pipe = FeBiMPipeline(q_f=4, q_l=2, seed=seed).fit(X_tr, y_tr)
+        pipe.register_into(registry, model)
+        with FeBiMServer(registry, seed=seed) as server:
+            observability = server.enable_observability()
+            server.deploy(
+                Deployment(
+                    model=model,
+                    replicas=(ReplicaSpec("fefet"),),
+                    policy=RoutingPolicy(kind="cost"),
+                )
+            )
+            # The monitor carries the margin floor; the shift channel
+            # is disarmed so the reactive phase fails on prediction
+            # flips alone.
+            monitor = HealthMonitor(
+                server,
+                max_current_shift=float("inf"),
+                min_signal_ratio=float(min_signal_ratio),
+            )
+            monitor.install(model, pipe.transform_levels(X_te[:32]))
+            # Replica 0 on the registry backend shares the legacy
+            # cached engine object, so baking this engine ages the
+            # serving replica the router samples.
+            engine = server.engine_for(model)
+            clock = AgeClock(
+                engine.backend, retention=RetentionModel(drift_rate=drift_rate)
+            )
+            steps: List[dict] = []
+            post_heal_ratio = float("nan")
+            pos = 0
+            for step in range(len(ages_s)):
+                target = float(ages_s[pos])
+                clock.advance(max(target - clock.age_s, 0.0))
+                pos += 1
+                # Router sweep first: refreshes the per-replica margin
+                # reading the hardware ledger samples (its synthetic
+                # canaries are flip-proof at this corner, so it only
+                # observes), then the monitor's real-canary ladder.
+                server.router.check_all()
+                report = monitor.check(model)
+                server.sample_metrics()
+                steps.append({"step": step, "age_s": target, **report.to_dict()})
+                if report.action in ("refresh", "replace"):
+                    # The heal reprogrammed the array: the bake restarts
+                    # from pristine, so the clock restarts too.
+                    clock.reset()
+                    if post_heal_ratio != post_heal_ratio:
+                        # Unaged post-heal read: exactly 1.0 when the
+                        # reprogram restored the pristine currents
+                        # bit-identically.
+                        post_heal_ratio = monitor.check(model).signal_ratio
+                    if cyclic:
+                        pos = 0
+                if pos >= len(ages_s):
+                    break
+            telemetry = server.stats()
+            events = tuple(
+                e.to_dict() for e in observability.recorder.events()
+            )
+            ledger = tuple(
+                s.to_dict() for s in observability.ledger.samples()
+            )
+            metrics = tuple(
+                p.to_dict() for p in observability.metrics.points()
+            )
+    return steps, post_heal_ratio, events, ledger, metrics, telemetry
+
+
+def run_health_workload(
+    warn_ratio: float = HEALTH_WARN_RATIO,
+    drift_rate: float = HEALTH_DRIFT_RATE,
+    ages_s: Tuple[float, ...] = HEALTH_AGES_S,
+    seed: int = 0,
+) -> HealthRunResult:
+    """Watch an array age, twice — reactively, then with margin probes.
+
+    **Reactive phase** (margin floor off): the deployment bakes along
+    ``ages_s``; each sweep's heal ladder fires only when a canary
+    prediction flips.  The per-step records show the failure sequence
+    the campaigns predicted: signal ratio collapsing for sweeps on end
+    while every prediction stays correct, then the flip.
+
+    **Early-warning phase** (router margin floor at ``warn_ratio``,
+    fresh identically-seeded deployment, same schedule): the ladder
+    fires from the ``margin_warning`` at the step where the reactive
+    phase merely degraded, the refresh restores the pristine read
+    bit-identically, the bake restarts, and no prediction ever flips.
+    """
+    check_positive(warn_ratio, "warn_ratio")
+    reactive, _, reactive_events, _, _, _ = _run_aging_phase(
+        0.0, ages_s, drift_rate, seed, cyclic=False
+    )
+    first_warning = next(
+        (
+            s["step"]
+            for s in reactive
+            if s["action"] == "ok"
+            and s["signal_ratio"] is not None
+            and s["signal_ratio"] < warn_ratio
+        ),
+        None,
+    )
+    first_flip = next(
+        (s["step"] for s in reactive if s["accuracy"] < 1.0), None
+    )
+    early, post_heal, events, ledger, metrics, telemetry = _run_aging_phase(
+        warn_ratio, ages_s, drift_rate, seed, cyclic=True
+    )
+    heal_step = next(
+        (s["step"] for s in early if s["action"] != "ok"), None
+    )
+    early_flips = sum(1 for s in early if s["accuracy"] < 1.0)
+    return HealthRunResult(
+        warn_ratio=float(warn_ratio),
+        drift_rate=float(drift_rate),
+        ages_s=tuple(float(a) for a in ages_s),
+        reactive=tuple(reactive),
+        first_warning_step=first_warning,
+        first_flip_step=first_flip,
+        early=tuple(early),
+        heal_step=heal_step,
+        post_heal_signal_ratio=post_heal,
+        early_flips=early_flips,
+        reactive_events=reactive_events,
+        events=events,
+        ledger=ledger,
+        metrics=metrics,
+        telemetry=telemetry,
+    )
+
+
+def format_health_run(result: HealthRunResult) -> str:
+    """Human-readable report (``febim health``)."""
+    from repro.reliability.observability import format_health_timeline
+
+    def _r(value) -> str:
+        return "-" if value is None else f"{value:.3f}"
+
+    lines = [
+        f"health workload: drift {result.drift_rate:g}, "
+        f"{len(result.ages_s)} ages to {result.ages_s[-1]:.3g} s, "
+        f"warn below {result.warn_ratio:g}x pristine signal",
+        "reactive phase (margin floor off):",
+    ]
+    for s in result.reactive:
+        mark = ""
+        if s["step"] == result.first_warning_step:
+            mark = "  <- would warn"
+        if s["step"] == result.first_flip_step:
+            mark = "  <- PREDICTION FLIP"
+        lines.append(
+            f"  step {s['step']:2d}  age {s['age_s']:.3g}s  "
+            f"signal {_r(s['signal_ratio'])}  "
+            f"accuracy {s['accuracy']:.3f}  {s['action']}{mark}"
+        )
+    lines.append(
+        f"early-warning phase (floor {result.warn_ratio:g}): "
+        f"heal at step {result.heal_step}, "
+        f"post-heal signal {_r(result.post_heal_signal_ratio)}, "
+        f"{result.early_flips} flips"
+    )
+    for s in result.early:
+        lines.append(
+            f"  step {s['step']:2d}  age {s['age_s']:.3g}s  "
+            f"signal {_r(s['signal_ratio'])}  "
+            f"accuracy {s['accuracy']:.3f}  {s['action']}"
+        )
+    lines.append("")
+    lines.append(format_health_timeline(result.ledger, result.events))
     return "\n".join(lines)

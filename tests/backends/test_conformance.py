@@ -178,6 +178,9 @@ MUTATION_HOOKS = {
         lambda b: b.spare_rows_free,
         lambda b: b.remap_row(0),
     ],
+    Capability.MARGIN_PROBE: [
+        lambda b: b.read_margin_batch(_masks(2)),
+    ],
 }
 
 
@@ -218,6 +221,16 @@ class TestCapabilityHonesty:
         np.testing.assert_array_equal(
             backend.wordline_currents_batch(masks), before
         )
+
+    def test_declared_margin_probe_reduces_plain_reads(self, backend):
+        if not backend.supports(Capability.MARGIN_PROBE):
+            pytest.skip("undeclared")
+        masks = _masks(4)
+        pair = backend.read_margin_batch(masks)
+        currents = backend.wordline_currents_batch(masks)
+        assert pair.shape == (4, 2)
+        np.testing.assert_allclose(pair[:, 0], currents.max(axis=1))
+        assert np.all(pair[:, 0] >= pair[:, 1])
 
     def test_declared_spare_rows_remap(self):
         backend = create(

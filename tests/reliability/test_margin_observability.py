@@ -1,0 +1,199 @@
+"""Margin probes, the device-health ledger and the timeline renderer."""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.reliability.observability import (
+    LEDGER_CAPACITY,
+    DeviceHealthLedger,
+    DeviceHealthSample,
+    HardwareGauges,
+    MarginProbe,
+    format_health_timeline,
+    margin_signal,
+    sample_margin,
+)
+
+
+class TestMarginSignal:
+    def test_margin_is_relative_winner_runner_gap(self):
+        currents = np.array([[3.0, 1.0, 2.0], [10.0, 9.0, 1.0]])
+        margins, signals = margin_signal(currents)
+        np.testing.assert_allclose(margins, [(3 - 2) / 3, (10 - 9) / 10])
+        np.testing.assert_allclose(signals, [3.0, 10.0])
+
+    def test_single_class_margin_is_nan(self):
+        margins, signals = margin_signal(np.array([[5.0]]))
+        assert math.isnan(margins[0])
+        assert signals[0] == 5.0
+
+    def test_scalar_helper_matches_batch(self):
+        row = np.array([4.0, 1.0, 3.0])
+        margin, signal = sample_margin(row)
+        margins, signals = margin_signal(row[None, :])
+        assert margin == margins[0] and signal == signals[0]
+
+    def test_zero_currents_do_not_divide_by_zero(self):
+        margins, _ = margin_signal(np.zeros((2, 3)))
+        assert np.all(np.isfinite(margins) | np.isnan(margins))
+
+
+class TestMarginProbe:
+    def test_pristine_reading_is_unity_ratio(self):
+        currents = np.array([[3.0, 1.0], [4.0, 2.0]])
+        probe = MarginProbe(currents)
+        reading = probe.observe(currents)
+        assert reading.n == 2
+        assert reading.signal_ratio == pytest.approx(1.0)
+        assert reading.margin_p5 <= reading.margin_p50
+
+    def test_common_mode_collapse_hits_ratio_not_margin(self):
+        currents = np.array([[3.0, 1.0], [4.0, 2.0]])
+        probe = MarginProbe(currents)
+        dimmed = probe.observe(0.01 * currents)
+        pristine = probe.observe(currents)
+        assert dimmed.signal_ratio == pytest.approx(0.01)
+        assert dimmed.margin_p50 == pytest.approx(pristine.margin_p50)
+
+    def test_to_dict_is_strict_json(self):
+        probe = MarginProbe(np.array([[1.0]]))
+        reading = probe.observe(np.array([[1.0]]))
+        payload = json.dumps(reading.to_dict(), allow_nan=False)
+        assert json.loads(payload)["margin_p50"] is None
+
+
+class TestDeviceHealthLedger:
+    def test_sample_and_filter_by_replica(self):
+        ledger = DeviceHealthLedger()
+        ledger.sample("a", "healthy", wear_fraction=0.1, age_s=1.0)
+        ledger.sample("b", "healthy", wear_fraction=0.2, age_s=2.0)
+        ledger.sample("a", "degraded", wear_fraction=0.3, age_s=3.0)
+        assert len(ledger) == 3
+        assert [s.state for s in ledger.samples("a")] == [
+            "healthy",
+            "degraded",
+        ]
+        assert ledger.latest()["a"].wear_fraction == 0.3
+
+    def test_capacity_bounds_retention(self):
+        ledger = DeviceHealthLedger(capacity=2)
+        for i in range(5):
+            ledger.sample("r", "healthy", wear_fraction=0.0, age_s=float(i))
+        assert [s.age_s for s in ledger.samples()] == [3.0, 4.0]
+        assert LEDGER_CAPACITY > 2  # the default is roomier
+
+    def test_jsonl_is_strict(self):
+        ledger = DeviceHealthLedger()
+        ledger.sample("r", "healthy", wear_fraction=0.5, age_s=1.0)
+        line = json.loads(ledger.to_jsonl())
+        assert line["replica"] == "r" and line["margin_p50"] is None
+
+    def test_concurrent_records_all_land(self):
+        ledger = DeviceHealthLedger()
+
+        def record():
+            for i in range(200):
+                ledger.sample(
+                    "r", "healthy", wear_fraction=0.0, age_s=float(i)
+                )
+
+        threads = [threading.Thread(target=record) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(ledger) == 800
+
+
+class TestHardwareGauges:
+    def test_worst_case_aggregation(self):
+        samples = [
+            DeviceHealthSample(
+                t_s=0.0,
+                replica="a",
+                state="healthy",
+                wear_fraction=0.1,
+                age_s=1.0,
+                spares_free=3,
+                faulty_cells=0,
+                margin_p5=0.2,
+                margin_p50=0.5,
+                signal_ratio=0.9,
+            ),
+            DeviceHealthSample(
+                t_s=1.0,
+                replica="b",
+                state="degraded",
+                wear_fraction=0.4,
+                age_s=2.0,
+                spares_free=1,
+                faulty_cells=2,
+                margin_p5=0.1,
+                margin_p50=0.3,
+                signal_ratio=0.6,
+            ),
+        ]
+        gauges = HardwareGauges.from_samples(samples)
+        d = gauges.to_dict()
+        assert d["wear_fraction"] == 0.4  # worst wear
+        assert d["signal_ratio"] == 0.6  # dimmest replica
+        assert d["spares_free"] == 1  # tightest pool
+        assert d["faulty_cells"] == 2  # total defects
+        assert set(d["per_replica"]) == {"a", "b"}
+
+    def test_empty_and_nan_samples_serialise_as_null(self):
+        empty = HardwareGauges.from_samples([]).to_dict()
+        assert empty["signal_ratio"] is None and empty["per_replica"] == {}
+        sample = DeviceHealthSample(
+            t_s=0.0, replica="a", state="healthy",
+            wear_fraction=0.0, age_s=0.0,
+        )
+        d = HardwareGauges.from_samples([sample]).to_dict()
+        payload = json.loads(json.dumps(d, allow_nan=False))
+        assert payload["signal_ratio"] is None
+        assert payload["spares_free"] is None
+
+
+class TestTimeline:
+    def test_interleaves_samples_and_hardware_events(self):
+        samples = [
+            DeviceHealthSample(
+                t_s=1.0, replica="r0", state="healthy",
+                wear_fraction=0.0, age_s=0.5, signal_ratio=0.9,
+            ),
+            DeviceHealthSample(
+                t_s=3.0, replica="r0", state="healthy",
+                wear_fraction=0.0, age_s=2.5, signal_ratio=1.0,
+            ),
+        ]
+        events = [
+            {"seq": 1, "t_s": 2.0, "kind": "margin_warning", "model": "m"},
+            {"seq": 2, "t_s": 2.5, "kind": "refresh", "model": "m"},
+            {"seq": 3, "t_s": 2.7, "kind": "shed", "model": "m"},
+        ]
+        text = format_health_timeline(samples, events)
+        lines = text.splitlines()
+        warn = next(i for i, l in enumerate(lines) if "margin_warning" in l)
+        heal = next(i for i, l in enumerate(lines) if "refresh" in l)
+        last = next(
+            i for i, l in enumerate(lines) if "signal=1.000" in l
+        )
+        assert warn < heal < last
+        assert "shed" not in text  # serving-plane kinds stay out
+
+    def test_accepts_dict_rows_and_renders_nan_as_dash(self):
+        rows = [
+            DeviceHealthSample(
+                t_s=0.0, replica="r0", state="healthy",
+                wear_fraction=0.0, age_s=0.0,
+            ).to_dict()
+        ]
+        text = format_health_timeline(rows)
+        assert "r0" in text and "margin=-" in text
+
+    def test_empty_ledger_renders_header_only(self):
+        assert format_health_timeline([]) == "device health: no samples"

@@ -354,4 +354,8 @@ def test_event_taxonomy_is_frozen_and_documented():
         "scale_up",
         "scale_down",
         "retire",
+        "bist_scan",
+        "spare_repair",
+        "drift_alarm",
+        "margin_warning",
     }
