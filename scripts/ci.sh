@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Ten stages, strictly ordered so the cheapest failure fires first:
+# Eleven stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -33,18 +33,23 @@
 #      the first accuracy-affecting flip, the armed margin floor heals
 #      from the early warning with zero flips and a bit-identical
 #      margin restore, the hardware gauges round-trip Prometheus, and
-#      the probes-disabled read path pays nothing.
+#      the probes-disabled read path pays nothing;
+#  11. kernel smoke — bench_kernels.py --smoke: the fast read kernels
+#      (affine GEMM, fused read+decide) beat the reference elementwise
+#      path >= 3x on the synthetic shape at 100 % argmax parity, and
+#      backends without tables (memristor, noisy FeFET) refuse explicit
+#      fast kernels while "auto" degrades to the reference kernel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/10: compile-all =="
+echo "== stage 1/11: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/10: tier-1 (pytest -x -q) =="
+echo "== stage 2/11: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/10: --runslow marker check =="
+echo "== stage 3/11: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -61,25 +66,28 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/10: reliability smoke bench =="
+echo "== stage 4/11: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/10: campaign --workers determinism =="
+echo "== stage 5/11: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/10: backend parity smoke =="
+echo "== stage 6/11: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
 
-echo "== stage 7/10: router smoke gate =="
+echo "== stage 7/11: router smoke gate =="
 python benchmarks/bench_router.py
 
-echo "== stage 8/10: autoscale smoke gate =="
+echo "== stage 8/11: autoscale smoke gate =="
 python benchmarks/bench_autoscale.py --smoke
 
-echo "== stage 9/10: observability smoke gate =="
+echo "== stage 9/11: observability smoke gate =="
 python benchmarks/bench_observability.py --smoke
 
-echo "== stage 10/10: health smoke gate =="
+echo "== stage 10/11: health smoke gate =="
 python benchmarks/bench_health.py --smoke
+
+echo "== stage 11/11: kernel smoke gate =="
+python benchmarks/bench_kernels.py --smoke
 
 echo "CI gate passed."

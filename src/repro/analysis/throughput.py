@@ -116,6 +116,10 @@ class ThroughputResult:
     cols: int
     points: Tuple[ThroughputPoint, ...]
     backend: str = "fefet"
+    #: Requested read-kernel selection (engine ``kernel`` knob).
+    kernel: str = "reference"
+    #: The autotuner's per-shape decisions (``kernel="auto"`` only).
+    kernel_choices: Tuple[dict, ...] = ()
 
     def at(self, batch_size: int) -> ThroughputPoint:
         """The sweep point measured at ``batch_size``."""
@@ -144,6 +148,7 @@ def run_throughput(
     include_loop: bool = True,
     seed: RngLike = 0,
     backend: str = "fefet",
+    kernel: str = "reference",
 ) -> ThroughputResult:
     """Measure read-path throughput over a batch-size sweep.
 
@@ -167,6 +172,13 @@ def run_throughput(
     read loop (:func:`serial_predict_loop`), so the speedup column is
     meaningful everywhere.  Either way the batched predictions are
     verified against the serial loop on every run.
+
+    ``kernel`` selects the engine's read kernel
+    (:mod:`repro.kernels`): ``reference`` (default), ``gemm``,
+    ``fused`` or ``auto``.  The serial baselines always run the
+    reference physics, so with a fast kernel the per-run prediction
+    check doubles as an argmax-parity gate, and ``kernel="auto"``
+    records the autotuner's per-shape choices in the result.
     """
     check_positive_int(repeats, "repeats")
     if not batch_sizes:
@@ -177,9 +189,13 @@ def run_throughput(
     X_tr, X_te, y_tr, _ = train_test_split(
         data.data, data.target, test_size=0.7, seed=rng
     )
-    pipeline = FeBiMPipeline(q_f=q_f, q_l=q_l, seed=rng, backend=backend).fit(
-        X_tr, y_tr
-    )
+    pipeline = FeBiMPipeline(
+        q_f=q_f,
+        q_l=q_l,
+        seed=rng,
+        backend=backend,
+        backend_options={"kernel": kernel},
+    ).fit(X_tr, y_tr)
     engine = pipeline.engine_
     # Warm the array's read cache so every timing below is steady-state.
     engine.predict(pipeline.transform_levels(X_te[:1]))
@@ -218,12 +234,15 @@ def run_throughput(
             )
         )
     rows, cols = engine.shape
+    report = engine.kernel_report()
     return ThroughputResult(
         dataset=dataset,
         rows=rows,
         cols=cols,
         points=tuple(points),
         backend=backend,
+        kernel=report["kernel"],
+        kernel_choices=tuple(report["choices"]),
     )
 
 
@@ -237,6 +256,8 @@ def throughput_to_dict(result: ThroughputResult) -> dict:
         "bench": "throughput",
         "dataset": result.dataset,
         "backend": result.backend,
+        "kernel": result.kernel,
+        "kernel_choices": list(result.kernel_choices),
         "rows": result.rows,
         "cols": result.cols,
         "points": [
@@ -254,9 +275,10 @@ def throughput_to_dict(result: ThroughputResult) -> dict:
 
 def format_throughput(result: ThroughputResult) -> str:
     """Human-readable sweep table (see benchmarks/THROUGHPUT.md)."""
+    kernel = "" if result.kernel == "reference" else f", kernel={result.kernel}"
     lines = [
         f"read-path throughput on {result.dataset} "
-        f"({result.rows} x {result.cols} {result.backend} array)",
+        f"({result.rows} x {result.cols} {result.backend} array{kernel})",
         f"{'batch':>6s} {'batch sps':>12s} {'report sps':>12s} "
         f"{'loop sps':>12s} {'speedup':>8s}",
     ]
@@ -266,5 +288,10 @@ def format_throughput(result: ThroughputResult) -> str:
         lines.append(
             f"{p.batch_size:6d} {p.batch_sps:12.0f} {p.report_sps:12.0f} "
             f"{loop} {speed}"
+        )
+    for choice in result.kernel_choices:
+        lines.append(
+            f"autotuned: batch<={choice['batch_bucket']} on "
+            f"{choice['rows']}x{choice['cols']} -> {choice['kernel']}"
         )
     return "\n".join(lines)

@@ -9,15 +9,16 @@ the name registry (:func:`create`).  Four technologies ship in-tree:
 ========== ===================================================== =====================
 name       what                                                  capabilities
 ========== ===================================================== =====================
-fefet      the paper's multi-level FeFET crossbar (reference;    all: faults, drift,
-           full device physics, bit-identical to pre-backend     wear, spare rows,
-           engines)                                              read noise
-ideal      pure-numpy noise-free array (fast serving + campaign  stuck faults
-           control arm)
-cmos       von Neumann software reference with the DRAM-traffic  none
-           cost model
-memristor  stochastic-computing Bayesian machine [16]            stuck faults
-           (bitstream cycles, AND trees, counters)
+fefet      the paper's multi-level FeFET crossbar (reference;    faults, drift, wear,
+           full device physics, bit-identical to pre-backend     spare rows, read
+           engines)                                              noise, margin probe,
+                                                                 fused read
+ideal      pure-numpy noise-free array (fast serving + campaign  stuck faults, margin
+           control arm)                                          probe, fused read
+cmos       von Neumann software reference with the DRAM-traffic  margin probe, fused
+           cost model                                            read
+memristor  stochastic-computing Bayesian machine [16]            stuck faults, stream
+           (bitstream cycles, AND trees, counters)               advance
 ========== ===================================================== =====================
 
 Backends a technology does not support a capability declare it via

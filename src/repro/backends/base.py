@@ -70,6 +70,14 @@ class Capability:
     #: reads are reproducible, so a margin observation certifies the
     #: array state rather than one noise draw.
     MARGIN_PROBE = "margin-probe"
+    #: Affine read tables for the fast kernel layer: ``read_tables``
+    #: exposes the ``I = base + masks @ weight`` form of a noise-free
+    #: read that the GEMM/fused kernels (:mod:`repro.kernels`) consume.
+    #: Only backends whose batched read is a deterministic function of
+    #: the array state declare it (a stochastic read has no affine
+    #: form), and declaring it promises 100 % argmax parity between the
+    #: tables and the native read — not bit-identical currents.
+    FUSED_READ = "fused-read"
 
 
 class CapabilityError(RuntimeError):
@@ -286,6 +294,21 @@ class ArrayBackend(ABC):
             return np.stack([win, np.zeros_like(win)], axis=1)
         top2 = np.partition(currents, currents.shape[1] - 2, axis=1)[:, -2:]
         return top2[:, ::-1].copy()
+
+    def read_tables(self):
+        """Affine read tables for the kernel layer (``FUSED_READ``).
+
+        Returns an :class:`~repro.kernels.tables.AffineReadTables`
+        describing this backend's noise-free batched read as
+        ``I = base + masks @ weight``, cached per
+        :attr:`state_version`.  The fast kernels
+        (:mod:`repro.kernels.read`) GEMM over it instead of running the
+        elementwise reference path; the engine's ``kernel`` knob opts
+        in.  Backends whose reads are stochastic (or carry configured
+        per-read noise) must raise — serving noise-free tables there
+        would silently drop the noise.
+        """
+        raise CapabilityError(self.name, Capability.FUSED_READ)
 
     # -------------------------------------------------------- capability API
     def supports(self, capability: str) -> bool:

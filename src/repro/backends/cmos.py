@@ -52,7 +52,7 @@ class CmosBackend(ExactLevelSumBackend):
     """
 
     name = "cmos"
-    capabilities = frozenset({Capability.MARGIN_PROBE})
+    capabilities = frozenset({Capability.MARGIN_PROBE, Capability.FUSED_READ})
 
     def __init__(
         self,

@@ -21,8 +21,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backends.base import ArrayBackend
+from repro.backends.base import ArrayBackend, Capability
 from repro.devices.fefet import MultiLevelCellSpec
+from repro.kernels.tables import ExactReadTables
 from repro.utils.validation import check_positive_int
 
 
@@ -109,3 +110,26 @@ class ExactLevelSumBackend(LevelStoreBackend):
     def current_matrix(self) -> np.ndarray:
         units, part = self._unit_tables()
         return self._to_current_units(units, part)
+
+    def read_tables(self) -> ExactReadTables:
+        """Affine tables over the int64 unit/participation state.
+
+        The native read *is* already the affine GEMM, so the kernel
+        layer's tables reproduce it bit-for-bit (int64 accumulation is
+        order-independent; the per-element current map is shared) —
+        blocked fused reads keep the exact-tie guarantee.  Cached per
+        ``state_version`` like every derived read state; gated so only
+        subclasses declaring ``fused-read`` serve it.
+        """
+        self._require(
+            Capability.FUSED_READ,
+            "this exact backend does not declare the fused-read kernels",
+        )
+        cache = getattr(self, "_read_tables_cache", None)
+        if cache is None or cache[0] != self._version:
+            units, part = self._unit_tables()
+            tables = ExactReadTables(
+                units, part, self.spec.level_separation(), self.spec.i_min
+            )
+            self._read_tables_cache = (self._version, tables)
+        return self._read_tables_cache[1]

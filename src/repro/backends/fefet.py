@@ -22,7 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backends.base import ArrayBackend, Capability
+from repro.backends.base import ArrayBackend, Capability, CapabilityError
 from repro.backends.registry import register_backend
 from repro.crossbar.array import FeFETCrossbar
 from repro.crossbar.energy import EnergyModel
@@ -53,6 +53,10 @@ class FeFETBackend(ArrayBackend):
             # are analytic; with read noise configured the probe
             # reports that configuration's expected-read margin.
             Capability.MARGIN_PROBE,
+            # Affine tables over the cached (I_on, I_off) device-physics
+            # reads; refused at runtime when per-read noise is
+            # configured (tables would silently drop the noise).
+            Capability.FUSED_READ,
         }
     )
 
@@ -66,7 +70,13 @@ class FeFETBackend(ArrayBackend):
         variation: Optional[VariationModel] = None,
         seed: RngLike = None,
         spare_rows: int = 0,
+        kernel_dtype: str = "float64",
     ):
+        if kernel_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"kernel_dtype must be 'float64' or 'float32', "
+                f"got {kernel_dtype!r}"
+            )
         self.crossbar = FeFETCrossbar(
             rows=rows,
             cols=cols,
@@ -79,6 +89,11 @@ class FeFETBackend(ArrayBackend):
         )
         self.spec = self.crossbar.spec
         self.params = self.crossbar.params
+        # Compute dtype of the opt-in GEMM/fused kernel tables only —
+        # the native (reference) read path is untouched by it.  float32
+        # halves the table bandwidth where not even approximate
+        # current values are contractual; winners stay parity-gated.
+        self.kernel_dtype = kernel_dtype
         self._delay_model = DelayModel(self.params)
         self._energy_model = EnergyModel(self.params)
 
@@ -115,6 +130,32 @@ class FeFETBackend(ArrayBackend):
 
     def current_matrix(self) -> np.ndarray:
         return self.crossbar.current_matrix()
+
+    def read_tables(self):
+        """Affine tables over the cached ``(I_on, I_off)`` matrices.
+
+        Refused when the variation model configures per-read noise:
+        the tables describe the *noise-free* read, and serving them
+        would silently return expectation winners where the contract
+        is one stochastic draw per read.  Cached per crossbar
+        ``state_version`` alongside the read-current cache the tables
+        are derived from.
+        """
+        from repro.kernels.tables import FloatReadTables
+
+        if self.crossbar.variation.sigma_read > 0.0:
+            raise CapabilityError(
+                self.name,
+                Capability.FUSED_READ,
+                "per-read noise is configured (sigma_read > 0); the "
+                "fused kernels serve noise-free reads only",
+            )
+        cache = getattr(self, "_read_tables_cache", None)
+        if cache is None or cache[0] != self.crossbar.state_version:
+            i_on, i_off = self.crossbar.read_current_matrices()
+            tables = FloatReadTables(i_on, i_off, dtype=self.kernel_dtype)
+            self._read_tables_cache = (self.crossbar.state_version, tables)
+        return self._read_tables_cache[1]
 
     # ------------------------------------------------------------ cost model
     def inference_cost_batch(

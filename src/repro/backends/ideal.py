@@ -49,7 +49,9 @@ class IdealBackend(StuckFaultStore, ExactLevelSumBackend):
 
     name = "ideal"
     capabilities = frozenset(
-        {Capability.STUCK_FAULTS, Capability.MARGIN_PROBE}
+        # fused-read is exact here: the int64 affine tables reproduce
+        # the native read bit-for-bit, stuck-fault overlay included.
+        {Capability.STUCK_FAULTS, Capability.MARGIN_PROBE, Capability.FUSED_READ}
     )
 
     def __init__(

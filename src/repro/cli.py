@@ -136,6 +136,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         include_loop=not args.no_baseline,
         seed=args.seed,
         backend=args.backend,
+        kernel=args.kernel,
     )
     if args.json:
         print(json.dumps(throughput_to_dict(result), indent=2))
@@ -623,6 +624,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=0)
     add_backend_flag(bench)
+    bench.add_argument(
+        "--kernel",
+        default="reference",
+        choices=["reference", "gemm", "fused", "auto"],
+        help="read kernel: reference (bit-identical default), gemm, "
+        "fused, or auto (per-shape autotuner; choices land in --json)",
+    )
     bench.add_argument(
         "--json",
         action="store_true",

@@ -57,6 +57,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends.base import CapabilityError
 from repro.backends.registry import create as create_backend
 from repro.core.mapping import ProbabilityMapper, levels_to_currents
 from repro.core.quantization import QuantizedBayesianModel
@@ -64,6 +65,13 @@ from repro.crossbar.parameters import CircuitParameters
 from repro.crossbar.sensing import SensingModule
 from repro.devices.fefet import FeFET, MultiLevelCellSpec
 from repro.devices.variation import VariationModel
+from repro.kernels import (
+    KERNEL_CHOICES,
+    KernelAutotuner,
+    KernelContext,
+    default_pool,
+    get_kernel,
+)
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -166,7 +174,22 @@ class FeBiMEngine:
         registration).
     backend_options:
         Extra keyword arguments forwarded to the backend constructor
-        (e.g. ``{"n_cycles": 255}`` for ``"memristor"``).
+        (e.g. ``{"n_cycles": 255}`` for ``"memristor"``).  A
+        ``"kernel"`` entry is consumed by the engine itself (see
+        ``kernel``), so serving deployments can select a kernel purely
+        through their per-replica backend options.
+    kernel:
+        Read-kernel selection (:mod:`repro.kernels`):
+        ``"reference"`` (default — the backend's own elementwise read,
+        bit-identical to every golden), ``"gemm"`` (one BLAS matmul
+        over the backend's affine read tables), ``"fused"`` (blocked
+        read+decide, never materialising per-row currents on the
+        winners-only path), or ``"auto"`` (per-shape autotuner).  The
+        fast modes need the backend's ``fused-read`` capability and
+        are contractually argmax-parity-equal, not bit-identical, in
+        their reported currents; ``"auto"`` degrades to the reference
+        kernel where tables are unavailable (e.g. configured per-read
+        noise), explicit fast modes raise.
     """
 
     def __init__(
@@ -181,6 +204,7 @@ class FeBiMEngine:
         seed: RngLike = None,
         backend: str = "fefet",
         backend_options: Optional[dict] = None,
+        kernel: Optional[str] = None,
     ):
         self.model = model
         self.spec = spec or MultiLevelCellSpec(n_levels=model.quantizer.n_levels)
@@ -199,6 +223,20 @@ class FeBiMEngine:
         # ReplicaSpec provisioning spares on one replica) — it wins
         # over the constructor default rather than colliding with it.
         options = dict(backend_options or {})
+        # The kernel knob travels either as the explicit constructor
+        # argument or inside backend_options (the serving layer's
+        # per-replica channel); the explicit argument wins.  Popped
+        # before construction — it configures the engine's read path,
+        # not the backend.
+        options_kernel = options.pop("kernel", None)
+        if kernel is None:
+            kernel = options_kernel if options_kernel is not None else "reference"
+        kernel = str(kernel)
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from "
+                f"{', '.join(KERNEL_CHOICES)}"
+            )
         options.setdefault("spare_rows", spare_rows)
         self.backend = create_backend(
             self.backend_name,
@@ -218,6 +256,22 @@ class FeBiMEngine:
             mirror_gain_sigma=mirror_gain_sigma,
             seed=sensing_rng,
         )
+        # Resolve the kernel against the backend's capabilities now:
+        # an engine must fail (or degrade) at construction, not on the
+        # first read of a serving deployment.  The probe builds the
+        # read tables once and draws no randomness.
+        self._scratch_pool = default_pool()
+        self._autotuner: Optional[KernelAutotuner] = None
+        if kernel != "reference":
+            try:
+                self.backend.read_tables()
+            except CapabilityError:
+                if kernel != "auto":
+                    raise
+                kernel = "reference"
+        self.kernel_name = kernel
+        if kernel == "auto":
+            self._autotuner = KernelAutotuner()
 
     @property
     def crossbar(self):
@@ -261,24 +315,75 @@ class FeBiMEngine:
             evidence_levels = evidence_levels[None, :]
         return evidence_levels
 
+    def _kernel_context(self) -> KernelContext:
+        return KernelContext(
+            tables=self.backend.read_tables(),
+            pool=self._scratch_pool,
+            native_read=self.backend.wordline_currents_batch,
+        )
+
+    def _resolve_kernel(self, masks: np.ndarray) -> str:
+        """The concrete kernel for this batch (``auto`` -> tuned choice)."""
+        if self.kernel_name != "auto":
+            return self.kernel_name
+        return self._autotuner.choose(
+            self._kernel_context(), masks, self.sensing.mirrors.gains
+        )
+
     def read_batch(self, evidence_levels: np.ndarray) -> np.ndarray:
         """Measured I_WL for a batch of samples, shape ``(n, rows)``.
 
         The batch form of :meth:`wordline_currents`: masks for the whole
-        batch are derived in one shot and the array is read once through
-        its cached per-cell current matrices.
+        batch are derived in one shot and the array is read through the
+        selected kernel — the backend's own cached elementwise read on
+        the default ``reference`` kernel, the affine GEMM on the opt-in
+        fast modes.
         """
         masks = self.layout.active_columns_batch(self._batch_levels(evidence_levels))
-        return self.backend.wordline_currents_batch(masks)
+        kernel = self._resolve_kernel(masks)
+        if kernel == "reference":
+            return self.backend.wordline_currents_batch(masks)
+        return get_kernel(kernel).currents(self._kernel_context(), masks)
+
+    def winners_batch(self, evidence_levels: np.ndarray) -> np.ndarray:
+        """Winning wordline index per sample — the winners-only entry.
+
+        The fused read+decide path: masks are derived once and the
+        selected kernel returns the argmax directly, so callers that
+        only need decisions (:meth:`predict`, :meth:`score`) never
+        materialise per-row currents on the fast kernels.  On the
+        reference kernel this is exactly read + sensing decision,
+        bit-identical to the historical path.
+        """
+        masks = self.layout.active_columns_batch(self._batch_levels(evidence_levels))
+        kernel = self._resolve_kernel(masks)
+        if kernel == "reference":
+            return self.sensing.decide_batch(
+                self.backend.wordline_currents_batch(masks)
+            )
+        return get_kernel(kernel).winners(
+            self._kernel_context(), masks, row_scale=self.sensing.mirrors.gains
+        )
 
     def predict(self, evidence_levels: np.ndarray) -> np.ndarray:
         """In-memory MAP predictions for a batch of discretised samples.
 
-        Fully vectorised: one batched wordline read plus one batched WTA
-        decision, with no per-sample Python iteration.
+        Fully vectorised through :meth:`winners_batch`: one batched
+        (possibly fused) wordline read plus one batched WTA decision,
+        with no per-sample Python iteration.
         """
-        currents = self.read_batch(evidence_levels)
-        return self.model.classes[self.sensing.decide_batch(currents)]
+        return self.model.classes[self.winners_batch(evidence_levels)]
+
+    def kernel_report(self) -> dict:
+        """The active kernel and the autotuner's per-shape decisions.
+
+        ``kernel`` is the resolved selection mode; ``choices`` lists
+        one record per tuned shape class (empty unless ``auto``).
+        """
+        return {
+            "kernel": self.kernel_name,
+            "choices": self._autotuner.report() if self._autotuner else [],
+        }
 
     def infer_batch(self, evidence_levels: np.ndarray) -> BatchInferenceReport:
         """Batched inference with full circuit-level reporting.

@@ -47,11 +47,17 @@ import numpy as np
 
 from repro.crossbar.parameters import CircuitParameters
 from repro.devices.fefet import FeFET, MultiLevelCellSpec
+from repro.kernels.read import reference_cell_currents, reference_wordline_currents
+from repro.kernels.scratch import default_pool
 from repro.devices.preisach import _lognormal_cdf
 from repro.devices.programming import PulseProgrammer
 from repro.devices.variation import VariationModel
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive_int
+
+#: Peak elements per dense cell tensor in a noisy batched read (~8 MB
+#: of float64); the batch is blocked over samples to stay under it.
+_NOISY_BLOCK_ELEMS = 1 << 20
 
 
 class FeFETCrossbar:
@@ -523,18 +529,13 @@ class FeFETCrossbar:
         """
         masks = self._column_mask_batch(active_cols)
         if self.variation.sigma_read > 0.0:
-            v_gates = np.where(masks, self.params.v_on, self.params.v_off)
             rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
-            noise = self.variation.sample_read_noise(
-                (masks.shape[0], self._phys_rows, self.cols), rng
-            )
-            vth = self._vth_physical()[None, :, :] + noise
-            currents = self._apply_stuck_physical(
-                self.template.idvg.current(v_gates[:, None, :], vth)
-            )
-            return currents[:, self._row_map, :]
+            out = np.empty((masks.shape[0], self.rows, self.cols))
+            for lo, hi, block in self._noisy_read_blocks(masks, rng):
+                out[lo:hi] = block
+            return out
         i_on, i_off = self.read_current_matrices()
-        return np.where(masks[:, None, :], i_on[None, :, :], i_off[None, :, :])
+        return reference_cell_currents(i_on, i_off, masks)
 
     def wordline_currents_batch(
         self, active_cols: np.ndarray, read_noise_seed: RngLike = None
@@ -545,9 +546,50 @@ class FeFETCrossbar:
         pass over the cell-current matrices; equals stacking
         :meth:`wordline_currents` over the masks bit-for-bit (for noisy
         reads, with one RNG stream threaded through the loop — see
-        :meth:`current_matrix_batch` on seed semantics).
+        :meth:`current_matrix_batch` on seed semantics).  The noisy
+        path reduces block by block, so its peak footprint is one
+        sample block's cell tensor, never the whole batch's.
         """
-        return self.current_matrix_batch(active_cols, read_noise_seed).sum(axis=2)
+        masks = self._column_mask_batch(active_cols)
+        if self.variation.sigma_read > 0.0:
+            rng = ensure_rng(read_noise_seed) if read_noise_seed is not None else self._rng
+            out = np.empty((masks.shape[0], self.rows))
+            for lo, hi, block in self._noisy_read_blocks(masks, rng):
+                np.sum(block, axis=2, out=out[lo:hi])
+            return out
+        i_on, i_off = self.read_current_matrices()
+        return reference_wordline_currents(i_on, i_off, masks)
+
+    def _noisy_read_blocks(self, masks, rng):
+        """Yield ``(lo, hi, currents)`` sample blocks of a noisy read.
+
+        The dense per-cell evaluation — gate voltages, the per-read
+        noise draw, polarisation -> V_TH -> current — allocates several
+        ``(block, phys_rows, cols)`` tensors; blocking over samples
+        caps that peak at :data:`_NOISY_BLOCK_ELEMS` elements per
+        tensor regardless of batch size, with the V_TH scratch coming
+        from the shared kernel pool.  Bit-identity with the unblocked
+        draw holds because numpy Generators fill arrays in C order from
+        a single stream: consecutive block draws concatenate to exactly
+        the full-batch draw.
+        """
+        n = masks.shape[0]
+        cells = self._phys_rows * self.cols
+        block = max(1, min(n, _NOISY_BLOCK_ELEMS // max(cells, 1)))
+        vth_static = self._vth_physical()
+        pool = default_pool()
+        for lo in range(0, n, block):
+            hi = min(lo + block, n)
+            noise = self.variation.sample_read_noise(
+                (hi - lo, self._phys_rows, self.cols), rng
+            )
+            v_gates = np.where(masks[lo:hi], self.params.v_on, self.params.v_off)
+            with pool.borrow((hi - lo, self._phys_rows, self.cols)) as vth:
+                np.add(vth_static[None, :, :], noise, out=vth)
+                currents = self._apply_stuck_physical(
+                    self.template.idvg.current(v_gates[:, None, :], vth)
+                )
+            yield lo, hi, currents[:, self._row_map, :]
 
     def _column_mask_batch(self, active_cols: np.ndarray) -> np.ndarray:
         masks = np.asarray(active_cols)

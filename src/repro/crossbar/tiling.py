@@ -148,12 +148,17 @@ class TiledFeBiM:
         seed: RngLike = None,
         backend: str = "fefet",
         backend_options: Optional[dict] = None,
+        kernel: Optional[str] = None,
     ):
         self.max_rows = check_positive_int(max_rows, "max_rows")
         self.model = model
         self.params = params or CircuitParameters()
         self.backend_name = str(backend)
         self.backend_options = dict(backend_options or {})
+        # One kernel selection for every tile (each tile engine still
+        # autotunes its own shape under "auto" — tiles have different
+        # row counts, so per-tile choices can legitimately differ).
+        self.kernel = kernel
         # Kept for tile retirement: a retired tile is rebuilt with the
         # same spec/variation/backend configuration on fresh hardware.
         self._spec = spec
@@ -175,6 +180,7 @@ class TiledFeBiM:
                 seed=rng,
                 backend=self.backend_name,
                 backend_options=self.backend_options,
+                kernel=self.kernel,
             )
             for rows in self.tile_rows
         ]
@@ -217,6 +223,7 @@ class TiledFeBiM:
             seed=seed,
             backend=self.backend_name,
             backend_options=self.backend_options,
+            kernel=self.kernel,
         )
         self.tiles[index] = replacement
         return replacement
@@ -314,4 +321,5 @@ class TiledFeBiM:
             seed=seed,
             backend=self.backend_name,
             backend_options=self.backend_options,
+            kernel=self.kernel,
         )

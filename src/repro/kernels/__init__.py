@@ -1,0 +1,69 @@
+"""The raw-speed kernel layer: interchangeable read inner loops.
+
+Everything between a batch of activation masks and a batch of winners
+— masked select, reduce, mirror gains, argmax — lives here as three
+interchangeable kernels behind one registry:
+
+========== ==========================================================
+kernel     what it computes
+========== ==========================================================
+reference  the backend's own elementwise read (``np.where`` select +
+           reduce), bit-identical to the historical path; the default
+gemm       one BLAS matmul over precomputed affine tables — exact on
+           the int64 backends, rounding-different on FeFET (opt-in)
+fused      read+decide in one pass: row-blocked GEMM into pooled
+           scratch with a running argmax; the per-row current matrix
+           never materialises
+========== ==========================================================
+
+Supporting cast: :class:`ScratchPool` recycles kernel temporaries
+across micro-batches, :class:`KernelAutotuner` races the kernels per
+shape class at first use and remembers the winner (the engine's
+``kernel="auto"``), and :mod:`repro.kernels.tables` holds the affine
+read form backends expose through the ``fused-read`` capability.
+
+This package deliberately imports nothing from the crossbar, backend
+or engine layers — it is pure array math, and the layers above plug
+into it (see ARCHITECTURE.md, "writing a new kernel").
+"""
+
+from repro.kernels.autotune import KernelAutotuner
+from repro.kernels.read import (
+    KERNEL_CHOICES,
+    FusedKernel,
+    GemmKernel,
+    KernelContext,
+    ReadKernel,
+    ReferenceKernel,
+    get_kernel,
+    kernel_names,
+    reference_cell_currents,
+    reference_wordline_currents,
+    register_kernel,
+)
+from repro.kernels.scratch import ScratchPool, default_pool
+from repro.kernels.tables import (
+    AffineReadTables,
+    ExactReadTables,
+    FloatReadTables,
+)
+
+__all__ = [
+    "AffineReadTables",
+    "ExactReadTables",
+    "FloatReadTables",
+    "FusedKernel",
+    "GemmKernel",
+    "KERNEL_CHOICES",
+    "KernelAutotuner",
+    "KernelContext",
+    "ReadKernel",
+    "ReferenceKernel",
+    "ScratchPool",
+    "default_pool",
+    "get_kernel",
+    "kernel_names",
+    "reference_cell_currents",
+    "reference_wordline_currents",
+    "register_kernel",
+]

@@ -1,0 +1,127 @@
+"""Per-shape kernel selection: measure once, remember the winner.
+
+Which kernel wins depends on the read's shape — tiny batches are
+launch-overhead-bound and the BLAS setup can lose to the elementwise
+path, large batches are bandwidth-bound and the GEMM wins by an order
+of magnitude, and very tall arrays reward the fused row-blocking.
+Rather than hard-coding thresholds, :class:`KernelAutotuner` times the
+candidate kernels head-to-head the first time each shape class shows
+up and records the choice; every later read of that shape class uses
+the recorded winner with zero measurement overhead.
+
+Shape classes bucket the batch size to its next power of two (a
+micro-batch scheduler produces a spread of nearby sizes that should
+share one decision), and the record keeps the measured timings so
+``febim bench --json`` can report *why* a kernel was chosen.
+
+The tuner only ever arbitrates between argmax-parity-gated kernels, so
+a "wrong" timing decision costs speed, never correctness.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.kernels.read import KernelContext, get_kernel
+
+
+def _batch_bucket(n: int) -> int:
+    """Smallest power of two >= n (0 stays 0)."""
+    return 1 << (int(n) - 1).bit_length() if n > 0 else 0
+
+
+class KernelAutotuner:
+    """First-use, per-shape kernel selection with a recorded rationale.
+
+    Parameters
+    ----------
+    candidates:
+        Kernel names to race (registry names; ``auto`` is not a
+        kernel).  Defaults to the two fast modes — the reference
+        kernel is a deliberate candidate too, so a shape where the
+        elementwise path wins (single-sample reads on tiny arrays)
+        falls back to it.
+    trials:
+        Timing repetitions per candidate; best run wins (one warm-up
+        call per candidate is always paid first so BLAS thread-pool
+        spin-up is not billed to the first candidate).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str] = ("reference", "gemm", "fused"),
+        trials: int = 1,
+    ):
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        # Validate eagerly: a typo should fail at construction.
+        for name in candidates:
+            get_kernel(name)
+        self.candidates = tuple(candidates)
+        self.trials = int(trials)
+        self._lock = threading.Lock()
+        self._choices: dict = {}
+
+    def choose(
+        self,
+        ctx: KernelContext,
+        masks: np.ndarray,
+        row_scale=None,
+    ) -> str:
+        """The kernel name to use for this mask batch's shape class.
+
+        Cached per ``(batch bucket, rows, cols)``; the first call for a
+        new shape class races the candidates on the actual batch.  Two
+        threads hitting a new shape class simultaneously may both
+        measure — the first recorded decision wins, keeping the choice
+        stable.
+        """
+        rows = ctx.tables.rows if ctx.tables is not None else -1
+        key = (_batch_bucket(masks.shape[0]), rows, masks.shape[1])
+        with self._lock:
+            record = self._choices.get(key)
+        if record is not None:
+            return record["kernel"]
+
+        timings = {}
+        for name in self.candidates:
+            kernel = get_kernel(name)
+            kernel.winners(ctx, masks, row_scale)  # warm-up (untimed)
+            best = float("inf")
+            for _ in range(self.trials):
+                start = time.perf_counter()
+                kernel.winners(ctx, masks, row_scale)
+                best = min(best, time.perf_counter() - start)
+            timings[name] = best
+        winner = min(timings, key=timings.get)
+        record = {
+            "batch_bucket": key[0],
+            "rows": key[1],
+            "cols": key[2],
+            "kernel": winner,
+            "timings_us": {
+                name: round(seconds * 1e6, 3) for name, seconds in timings.items()
+            },
+        }
+        with self._lock:
+            return self._choices.setdefault(key, record)["kernel"]
+
+    def report(self) -> list:
+        """Every recorded per-shape decision (JSON-ready dicts)."""
+        with self._lock:
+            records = list(self._choices.values())
+        return sorted(
+            records, key=lambda r: (r["batch_bucket"], r["rows"], r["cols"])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelAutotuner(candidates={list(self.candidates)}, "
+            f"{len(self.report())} shapes tuned)"
+        )

@@ -1,0 +1,242 @@
+"""The read kernels: reference, GEMM, and fused read+decide.
+
+The inner loop of every inference is *mask -> wordline currents ->
+argmax*.  This module holds the three interchangeable implementations
+of that loop behind one tiny interface, plus the registry the engine
+and the autotuner select from:
+
+``reference``
+    Bit-identical to the historical elementwise path — select per cell
+    between the cached ``(I_on, I_off)`` matrices with ``np.where`` and
+    reduce over columns (:func:`reference_wordline_currents`, which is
+    the exact expression extracted from
+    :meth:`~repro.crossbar.array.FeFETCrossbar.current_matrix_batch`).
+    Stays the default; all goldens pin it.
+
+``gemm``
+    One BLAS matmul over the precomputed affine tables
+    (:mod:`repro.kernels.tables`).  Exact to the last bit on the int64
+    exact backends; float-summation-order-different on the FeFET
+    backend, which is why it is opt-in (``fused-read`` capability +
+    the engine's ``kernel`` knob) and contractually gated on 100 %
+    argmax parity rather than bit-identity.
+
+``fused``
+    Read *and* decide in one pass: GEMM the currents row-block by
+    row-block into a pooled scratch buffer, fold in the sensing
+    mirrors' per-row gains, and keep a running winner — the full
+    ``(n, rows)`` current matrix is never materialised.  The winners-
+    only entry point :meth:`~repro.core.engine.FeBiMEngine.predict`
+    rides this.
+
+Tie semantics match :class:`~repro.crossbar.wta.WinnerTakeAll`
+everywhere: the lowest-index row wins.  Within a block ``np.argmax``
+already picks the lowest index, and across blocks the running winner is
+only displaced by a *strictly* larger value, so earlier (lower-index)
+blocks keep ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.kernels.scratch import ScratchPool, default_pool
+from repro.kernels.tables import AffineReadTables
+
+#: Target elements per fused row-block buffer (~2 MB of float64) —
+#: big enough to keep the GEMM efficient, small enough to stay cache-
+#: resident per micro-batch.
+_FUSED_BLOCK_ELEMS = 256 * 1024
+
+
+# --------------------------------------------------------- reference ops
+def reference_cell_currents(
+    i_on: np.ndarray, i_off: np.ndarray, masks: np.ndarray
+) -> np.ndarray:
+    """Per-cell currents of a noise-free batched read, reference form.
+
+    The elementwise selection between the cached read matrices —
+    deliberately *not* a matmul: every sample's floating-point result
+    is bit-identical to a single-sample read.
+    """
+    return np.where(masks[:, None, :], i_on[None, :, :], i_off[None, :, :])
+
+
+def reference_wordline_currents(
+    i_on: np.ndarray, i_off: np.ndarray, masks: np.ndarray
+) -> np.ndarray:
+    """Accumulated ``(n, rows)`` wordline currents, reference form."""
+    return reference_cell_currents(i_on, i_off, masks).sum(axis=2)
+
+
+# ------------------------------------------------------------- interface
+@dataclass
+class KernelContext:
+    """Everything a kernel invocation needs, bundled.
+
+    Attributes
+    ----------
+    tables:
+        The backend's affine read tables (``None`` when the backend
+        does not declare ``fused-read`` — only the reference kernel
+        runs then).
+    pool:
+        Scratch-buffer pool for the kernel temporaries.
+    native_read:
+        The backend's own batched read ``masks -> (n, rows)`` currents;
+        the reference kernel *is* this call.
+    """
+
+    tables: Optional[AffineReadTables] = None
+    pool: ScratchPool = field(default_factory=default_pool)
+    native_read: Optional[Callable[[np.ndarray], np.ndarray]] = None
+
+
+class ReadKernel:
+    """One implementation of the mask -> currents / winners inner loop.
+
+    ``currents`` returns the full ``(n, rows)`` wordline currents;
+    ``winners`` the ``(n,)`` winning row indices, with ``row_scale``
+    (the sensing mirrors' per-row gains — scalar or ``(rows,)``)
+    applied before the argmax exactly as
+    :meth:`~repro.crossbar.sensing.SensingModule.decide_batch` would.
+    """
+
+    name: str = ""
+
+    def currents(self, ctx: KernelContext, masks: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def winners(
+        self,
+        ctx: KernelContext,
+        masks: np.ndarray,
+        row_scale=None,
+    ) -> np.ndarray:
+        currents = np.asarray(self.currents(ctx, masks), dtype=float)
+        if row_scale is not None:
+            currents = currents * row_scale
+        return np.argmax(currents, axis=1)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ReferenceKernel(ReadKernel):
+    """The backend's own elementwise read — the bit-identity anchor."""
+
+    name = "reference"
+
+    def currents(self, ctx: KernelContext, masks: np.ndarray) -> np.ndarray:
+        if ctx.native_read is None:
+            raise ValueError(
+                "reference kernel needs ctx.native_read (the backend's "
+                "batched read)"
+            )
+        return ctx.native_read(masks)
+
+
+class GemmKernel(ReadKernel):
+    """The affine read as one GEMM over the precomputed tables."""
+
+    name = "gemm"
+
+    def currents(self, ctx: KernelContext, masks: np.ndarray) -> np.ndarray:
+        if ctx.tables is None:
+            raise ValueError("gemm kernel needs ctx.tables (fused-read backend)")
+        return ctx.tables.currents(masks, ctx.pool)
+
+
+class FusedKernel(ReadKernel):
+    """Fused read+decide: blocked GEMM with a running argmax.
+
+    Parameters
+    ----------
+    block_rows:
+        Rows per GEMM block; ``None`` sizes blocks to
+        ``_FUSED_BLOCK_ELEMS`` elements for the batch at hand (tests
+        pin small blocks to exercise the cross-block winner merge).
+    """
+
+    name = "fused"
+
+    def __init__(self, block_rows: Optional[int] = None):
+        if block_rows is not None and block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        self.block_rows = block_rows
+
+    def currents(self, ctx: KernelContext, masks: np.ndarray) -> np.ndarray:
+        # A caller that wants the full current matrix gets the plain
+        # GEMM — fusion only pays when the currents never materialise.
+        return GemmKernel().currents(ctx, masks)
+
+    def winners(self, ctx, masks, row_scale=None):
+        tables = ctx.tables
+        if tables is None:
+            raise ValueError("fused kernel needs ctx.tables (fused-read backend)")
+        n = masks.shape[0]
+        block = self.block_rows or max(
+            1, min(tables.rows, _FUSED_BLOCK_ELEMS // max(n, 1))
+        )
+        scale = None if row_scale is None else np.asarray(row_scale, dtype=float)
+        winners = np.zeros(n, dtype=np.intp)
+        best = np.full(n, -np.inf)
+        sample_idx = np.arange(n)
+        operand = tables.prepare_masks(masks, ctx.pool)
+        try:
+            with ctx.pool.borrow((n, block), tables.out_dtype) as buf:
+                for row_lo in range(0, tables.rows, block):
+                    row_hi = min(row_lo + block, tables.rows)
+                    out = buf[:, : row_hi - row_lo]
+                    tables.currents_block(operand, row_lo, row_hi, out, ctx.pool)
+                    if scale is not None:
+                        out *= scale if scale.ndim == 0 else scale[row_lo:row_hi]
+                    block_arg = np.argmax(out, axis=1)
+                    block_val = out[sample_idx, block_arg]
+                    # Strictly greater: ties stay with the earlier
+                    # (lower-index) block, matching global argmax.
+                    better = block_val > best
+                    winners[better] = block_arg[better] + row_lo
+                    best[better] = block_val[better]
+        finally:
+            ctx.pool.give(operand)
+        return winners
+
+
+# -------------------------------------------------------------- registry
+_KERNELS = {
+    kernel.name: kernel
+    for kernel in (ReferenceKernel(), GemmKernel(), FusedKernel())
+}
+
+#: What the engine/CLI ``kernel`` knob accepts (``auto`` defers the
+#: choice to the per-shape autotuner).
+KERNEL_CHOICES = ("reference", "gemm", "fused", "auto")
+
+
+def kernel_names() -> tuple:
+    """Registered kernel implementation names (sorted)."""
+    return tuple(sorted(_KERNELS))
+
+
+def get_kernel(name: str) -> ReadKernel:
+    """Look a kernel up by name (``auto`` is a selection policy, not a
+    kernel — resolve it through the autotuner first)."""
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; known: {', '.join(kernel_names())}"
+        ) from None
+
+
+def register_kernel(kernel: ReadKernel) -> ReadKernel:
+    """Register a custom kernel implementation (see ARCHITECTURE.md,
+    "writing a new kernel")."""
+    if not kernel.name:
+        raise ValueError("kernel must set a non-empty name")
+    _KERNELS[kernel.name] = kernel
+    return kernel

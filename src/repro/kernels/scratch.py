@@ -1,0 +1,120 @@
+"""Reusable scratch buffers for the read kernels.
+
+The batched read path runs at a steady state — the
+:class:`~repro.serving.scheduler.MicroBatchScheduler` coalesces
+requests into micro-batches of a few recurring shapes and pushes one
+``infer_batch`` after another through the same engine.  Allocating the
+kernel temporaries (cast mask operands, per-row-block current buffers,
+stacked request levels) fresh on every batch makes the allocator a
+fixed tax on every read cycle; :class:`ScratchPool` amortises it by
+recycling buffers keyed on ``(shape, dtype)``.
+
+Correctness rules the kernels follow:
+
+* a buffer is *owned* by whoever took it until it is given back — the
+  pool pops under a lock, so two threads can never be handed the same
+  buffer (the conformance for the "interleaved shapes from concurrent
+  schedulers" scenario);
+* buffers hold **garbage** on :meth:`ScratchPool.take` — every kernel
+  fully overwrites before reading;
+* anything *returned to a caller* is freshly allocated, never pooled —
+  results must not be clobbered by the next batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+
+class ScratchPool:
+    """A thread-safe free-list of reusable numpy buffers.
+
+    Parameters
+    ----------
+    max_per_key:
+        Buffers retained per ``(shape, dtype)`` key; extras given back
+        beyond the cap are dropped to the allocator (bounds the pool's
+        footprint when shapes churn).
+    """
+
+    def __init__(self, max_per_key: int = 4):
+        if max_per_key < 1:
+            raise ValueError(f"max_per_key must be >= 1, got {max_per_key}")
+        self._max_per_key = int(max_per_key)
+        self._lock = threading.Lock()
+        self._free: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    def take(self, shape, dtype=np.float64) -> np.ndarray:
+        """A buffer of ``shape``/``dtype`` with undefined contents.
+
+        Reuses a previously given-back buffer when one of the exact
+        shape and dtype is free; otherwise allocates.
+        """
+        key = self._key(shape, dtype)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                self.hits += 1
+                return stack.pop()
+            self.misses += 1
+        return np.empty(shape, dtype=dtype)
+
+    def give(self, array: np.ndarray) -> None:
+        """Return a buffer to the pool (caller must drop its reference)."""
+        if not isinstance(array, np.ndarray) or array.base is not None:
+            # Views are never pooled: handing a view out later would
+            # alias whoever still owns the base buffer.
+            return
+        key = self._key(array.shape, array.dtype)
+        with self._lock:
+            stack = self._free.setdefault(key, [])
+            if len(stack) < self._max_per_key:
+                stack.append(array)
+
+    @contextmanager
+    def borrow(self, shape, dtype=np.float64):
+        """``with pool.borrow(shape) as buf:`` — auto-returned scratch."""
+        array = self.take(shape, dtype)
+        try:
+            yield array
+        finally:
+            self.give(array)
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (keeps the hit/miss counters)."""
+        with self._lock:
+            self._free.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and the current per-key population."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "pooled": sum(len(s) for s in self._free.values()),
+                "keys": len(self._free),
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"ScratchPool({s['pooled']} pooled over {s['keys']} keys, "
+            f"{s['hits']} hits / {s['misses']} misses)"
+        )
+
+
+_DEFAULT_POOL = ScratchPool()
+
+
+def default_pool() -> ScratchPool:
+    """The process-wide pool the engines and kernels share by default."""
+    return _DEFAULT_POOL

@@ -1,0 +1,178 @@
+"""Affine read tables: the algebraic form the fast kernels exploit.
+
+A noise-free batched read is affine in the activation mask: with
+``I_on``/``I_off`` the per-cell currents under an activated/inhibited
+gate, the accumulated wordline current of row ``r`` under mask ``m``
+is::
+
+    I_wl[r] = sum_c I_off[r, c]  +  sum_{c in m} (I_on[r, c] - I_off[r, c])
+            = base[r] + (m @ (I_on - I_off).T)[r]
+
+which turns the elementwise select-and-reduce of the reference path
+into one GEMM over a precomputed weight matrix.  The tables cache that
+weight/base pair per array state; backends declaring the ``fused-read``
+capability build one from their cached read state
+(:meth:`~repro.backends.base.ArrayBackend.read_tables`) and the kernels
+in :mod:`repro.kernels.read` consume it.
+
+Two flavours mirror the two read families in the tree:
+
+* :class:`FloatReadTables` — float weights from ``(I_on, I_off)``
+  matrices (the FeFET crossbar's cached device-physics reads).  The
+  GEMM accumulates in a different order than the reference elementwise
+  sum, so currents agree only to rounding — that is why the fast
+  kernels are opt-in and gated on 100 % argmax parity, not
+  bit-identity.  ``dtype=float32`` additionally downcasts the whole
+  pipeline where even approximate currents are not contractual.
+* :class:`ExactReadTables` — the exact backends' int64
+  ``(units, participation)`` tables with the affine current map applied
+  per element after the integer matmuls.  Integer accumulation is
+  order-independent, so a blocked kernel over these tables is
+  **bit-identical** to the native
+  :class:`~repro.backends.exact.ExactLevelSumBackend` read, exact ties
+  included.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.kernels.scratch import ScratchPool
+
+
+class AffineReadTables(ABC):
+    """Precomputed ``I = base + masks @ weight`` form of a read.
+
+    The kernel-facing surface is deliberately small: cast the boolean
+    mask batch into the table's operand dtype once
+    (:meth:`prepare_masks` — reusable across row blocks), then fill
+    per-row-block current buffers (:meth:`currents_block`).  Blocks are
+    column slices ``[row_lo, row_hi)`` of the full ``(n, rows)`` result
+    and must be elementwise-exact slices of the unblocked computation,
+    so a blocked argmax equals the unblocked one.
+    """
+
+    #: Logical wordline count (classes).
+    rows: int
+    #: Logical bitline count.
+    cols: int
+    #: dtype of the currents the tables produce.
+    out_dtype: np.dtype
+
+    @abstractmethod
+    def prepare_masks(self, masks: np.ndarray, pool: ScratchPool) -> np.ndarray:
+        """The mask batch cast to the GEMM operand dtype (pooled).
+
+        The caller owns the returned buffer and must
+        ``pool.give(...)`` it back when done with every block.
+        """
+
+    @abstractmethod
+    def currents_block(
+        self,
+        operand: np.ndarray,
+        row_lo: int,
+        row_hi: int,
+        out: np.ndarray,
+        pool: ScratchPool,
+    ) -> np.ndarray:
+        """Fill ``out`` with currents of rows ``[row_lo, row_hi)``.
+
+        ``out`` has shape ``(n, row_hi - row_lo)`` and dtype
+        :attr:`out_dtype`; its prior contents are ignored.
+        """
+
+    def currents(self, masks: np.ndarray, pool: ScratchPool) -> np.ndarray:
+        """Full ``(n, rows)`` wordline currents in one GEMM (allocated
+        fresh — results escape to callers and are never pooled)."""
+        operand = self.prepare_masks(masks, pool)
+        try:
+            out = np.empty((masks.shape[0], self.rows), dtype=self.out_dtype)
+            return self.currents_block(operand, 0, self.rows, out, pool)
+        finally:
+            pool.give(operand)
+
+
+class FloatReadTables(AffineReadTables):
+    """Affine tables over float ``(I_on, I_off)`` cell-current matrices."""
+
+    def __init__(self, i_on: np.ndarray, i_off: np.ndarray, dtype=np.float64):
+        i_on = np.asarray(i_on, dtype=np.float64)
+        i_off = np.asarray(i_off, dtype=np.float64)
+        if i_on.shape != i_off.shape or i_on.ndim != 2:
+            raise ValueError(
+                f"i_on/i_off must be matching (rows, cols) matrices, "
+                f"got {i_on.shape} and {i_off.shape}"
+            )
+        self.out_dtype = np.dtype(dtype)
+        if self.out_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {self.out_dtype}"
+            )
+        self.rows, self.cols = i_on.shape
+        # (cols, rows) so a mask batch right-multiplies without a
+        # transposed (strided) GEMM operand.
+        self._weight_t = np.ascontiguousarray((i_on - i_off).T, dtype=self.out_dtype)
+        # The off-leakage row sums are accumulated in float64 first so
+        # the float32 mode loses precision once, not per term.
+        self._base = i_off.sum(axis=1).astype(self.out_dtype)
+
+    def prepare_masks(self, masks: np.ndarray, pool: ScratchPool) -> np.ndarray:
+        operand = pool.take(masks.shape, self.out_dtype)
+        np.copyto(operand, masks)
+        return operand
+
+    def currents_block(self, operand, row_lo, row_hi, out, pool):
+        np.matmul(operand, self._weight_t[:, row_lo:row_hi], out=out)
+        out += self._base[row_lo:row_hi]
+        return out
+
+
+class ExactReadTables(AffineReadTables):
+    """Affine tables over exact int64 ``(units, participation)`` state.
+
+    Reproduces :meth:`~repro.backends.exact.ExactLevelSumBackend.
+    wordline_currents_batch` bit-for-bit:  both dot products accumulate
+    in int64 (order-independent), and the affine map to current units
+    ``sep * units + i_min * participation`` is applied per element
+    exactly as the native ``_to_current_units`` does — so blocked and
+    unblocked kernels, and the native read, all agree to the last bit.
+    """
+
+    out_dtype = np.dtype(np.float64)
+
+    def __init__(self, units: np.ndarray, part: np.ndarray, sep: float, i_min: float):
+        units = np.asarray(units, dtype=np.int64)
+        part = np.asarray(part, dtype=np.int64)
+        if units.shape != part.shape or units.ndim != 2:
+            raise ValueError(
+                f"units/participation must be matching (rows, cols) "
+                f"matrices, got {units.shape} and {part.shape}"
+            )
+        self.rows, self.cols = units.shape
+        self._units_t = np.ascontiguousarray(units.T)
+        self._part_t = np.ascontiguousarray(part.T)
+        self._sep = float(sep)
+        self._i_min = float(i_min)
+
+    def prepare_masks(self, masks: np.ndarray, pool: ScratchPool) -> np.ndarray:
+        operand = pool.take(masks.shape, np.int64)
+        np.copyto(operand, masks)
+        return operand
+
+    def currents_block(self, operand, row_lo, row_hi, out, pool):
+        n, width = operand.shape[0], row_hi - row_lo
+        with pool.borrow((n, width), np.int64) as unit_dots, pool.borrow(
+            (n, width), np.int64
+        ) as part_dots, pool.borrow((n, width), np.float64) as tmp:
+            np.matmul(operand, self._units_t[:, row_lo:row_hi], out=unit_dots)
+            np.matmul(operand, self._part_t[:, row_lo:row_hi], out=part_dots)
+            # out = sep * units + i_min * part, elementwise in float64 —
+            # int64 -> float64 is exact at these magnitudes, so this is
+            # the native _to_current_units map term for term.
+            np.multiply(unit_dots, self._sep, out=out)
+            np.multiply(part_dots, self._i_min, out=tmp)
+            out += tmp
+        return out

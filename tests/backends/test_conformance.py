@@ -181,6 +181,9 @@ MUTATION_HOOKS = {
     Capability.MARGIN_PROBE: [
         lambda b: b.read_margin_batch(_masks(2)),
     ],
+    Capability.FUSED_READ: [
+        lambda b: b.read_tables(),
+    ],
 }
 
 
@@ -231,6 +234,36 @@ class TestCapabilityHonesty:
         assert pair.shape == (4, 2)
         np.testing.assert_allclose(pair[:, 0], currents.max(axis=1))
         assert np.all(pair[:, 0] >= pair[:, 1])
+
+    def test_declared_read_tables_match_native_reads(self, backend):
+        if not backend.supports(Capability.FUSED_READ):
+            pytest.skip("undeclared")
+        masks = _masks(8)
+        native = backend.wordline_currents_batch(masks)
+        tables = backend.read_tables()
+        assert (tables.rows, tables.cols) == (ROWS, COLS)
+        from repro.kernels import ScratchPool
+
+        currents = tables.currents(masks, ScratchPool())
+        if backend.name == "fefet":
+            # Float tables accumulate in GEMM order: the fused-read
+            # contract is argmax parity, currents only to rounding.
+            np.testing.assert_allclose(currents, native, rtol=1e-9)
+        else:
+            # Exact backends: int64 accumulation is order-independent,
+            # the tables reproduce the native read to the last bit.
+            np.testing.assert_array_equal(currents, native)
+        np.testing.assert_array_equal(
+            np.argmax(currents, axis=1), np.argmax(native, axis=1)
+        )
+
+    def test_read_tables_cache_tracks_state_version(self, backend):
+        if not backend.supports(Capability.FUSED_READ):
+            pytest.skip("undeclared")
+        tables = backend.read_tables()
+        assert backend.read_tables() is tables  # cached per state
+        backend.program(backend.programmed_levels())
+        assert backend.read_tables() is not tables  # mutation refreshes
 
     def test_declared_spare_rows_remap(self):
         backend = create(

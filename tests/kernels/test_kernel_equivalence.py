@@ -1,0 +1,452 @@
+"""Kernel-equivalence suite: every fast kernel against the reference.
+
+The contract of :mod:`repro.kernels`, pinned parametrically over the
+backend registry and the kernel registry:
+
+* the ``reference`` kernel is *bit-identical* to the backend's own
+  batched read (it literally is that call);
+* ``gemm``/``fused`` agree with the reference to 100 % argmax parity on
+  every fused-read backend (bit-identity on the int64 exact backends,
+  rounding-level currents on the float FeFET tables);
+* the fused kernel's cross-block winner merge preserves the
+  lowest-index tie rule at any block size;
+* the scratch pool reuses buffers safely under interleaved shapes from
+  concurrent schedulers — no double handout, no pooled views;
+* the autotuner's per-shape decisions are stable and auditable;
+* engines degrade predictably where tables are unavailable (noisy
+  FeFET reads, the stochastic memristor): ``auto`` falls back to the
+  reference kernel, explicit fast modes raise ``CapabilityError``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.backends import Capability, CapabilityError, backend_names, create
+from repro.core.pipeline import FeBiMPipeline
+from repro.datasets import load_iris, train_test_split
+from repro.devices.fefet import MultiLevelCellSpec
+from repro.devices.variation import VariationModel
+from repro.kernels import (
+    ExactReadTables,
+    FloatReadTables,
+    FusedKernel,
+    KernelAutotuner,
+    KernelContext,
+    ReadKernel,
+    ScratchPool,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+)
+
+ALL_BACKENDS = backend_names()
+FAST_KERNELS = ("gemm", "fused")
+
+
+# ------------------------------------------------------------- scratch pool
+class TestScratchPool:
+    def test_take_give_reuses_the_same_buffer(self):
+        pool = ScratchPool()
+        a = pool.take((3, 4))
+        pool.give(a)
+        b = pool.take((3, 4))
+        assert b is a
+        assert pool.stats()["hits"] == 1
+
+    def test_shape_and_dtype_key_separately(self):
+        pool = ScratchPool()
+        a = pool.take((3, 4), np.float64)
+        pool.give(a)
+        assert pool.take((3, 4), np.int64) is not a
+        assert pool.take((4, 3), np.float64) is not a
+
+    def test_population_is_bounded_per_key(self):
+        pool = ScratchPool(max_per_key=2)
+        buffers = [np.empty((5,)) for _ in range(4)]
+        for buf in buffers:
+            pool.give(buf)
+        assert pool.stats()["pooled"] == 2
+
+    def test_views_are_never_pooled(self):
+        pool = ScratchPool()
+        base = np.empty((4, 4))
+        pool.give(base[:2])
+        assert pool.stats()["pooled"] == 0
+
+    def test_borrow_returns_on_exit_even_on_error(self):
+        pool = ScratchPool()
+        with pytest.raises(RuntimeError):
+            with pool.borrow((2, 2)) as buf:
+                raise RuntimeError("boom")
+        assert pool.take((2, 2)) is buf
+
+    def test_concurrent_takers_never_share_a_buffer(self):
+        pool = ScratchPool(max_per_key=4)
+        for _ in range(4):
+            pool.give(np.empty((8, 8)))
+        seen, lock = [], threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(200):
+                buf = pool.take((8, 8))
+                with lock:
+                    assert not any(buf is held for held in seen)
+                    seen.append(buf)
+                buf[:] = 1.0
+                with lock:
+                    seen.remove(buf)
+                pool.give(buf)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+
+# ------------------------------------------------- kernel-level equivalence
+def _float_ctx(rows=24, cols=40, seed=0):
+    rng = np.random.default_rng(seed)
+    i_off = rng.uniform(0.0, 1e-9, size=(rows, cols))
+    i_on = i_off + rng.uniform(1e-7, 1e-5, size=(rows, cols))
+    tables = FloatReadTables(i_on, i_off)
+    native = lambda masks: (i_off.sum(axis=1) + masks @ (i_on - i_off).T)
+    return KernelContext(tables=tables, pool=ScratchPool(), native_read=native)
+
+
+def _masks(n, cols, seed=1):
+    return np.random.default_rng(seed).random((n, cols)) < 0.4
+
+
+class TestKernelLevel:
+    def test_registry_lists_the_three_kernels(self):
+        assert set(kernel_names()) >= {"reference", "gemm", "fused"}
+        with pytest.raises(ValueError, match="unknown kernel.*reference"):
+            get_kernel("blas9000")
+
+    def test_gemm_currents_match_affine_identity(self):
+        ctx = _float_ctx()
+        masks = _masks(17, ctx.tables.cols)
+        np.testing.assert_allclose(
+            get_kernel("gemm").currents(ctx, masks),
+            ctx.native_read(masks),
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize("name", FAST_KERNELS)
+    @pytest.mark.parametrize("scale", [None, 2.5, "per_row"])
+    def test_fast_winners_match_reference_argmax(self, name, scale):
+        ctx = _float_ctx(seed=3)
+        masks = _masks(33, ctx.tables.cols, seed=4)
+        if scale == "per_row":
+            scale = np.random.default_rng(5).uniform(0.9, 1.1, ctx.tables.rows)
+        reference = get_kernel("reference").winners(ctx, masks, scale)
+        np.testing.assert_array_equal(
+            get_kernel(name).winners(ctx, masks, scale), reference
+        )
+
+    @pytest.mark.parametrize("block_rows", [1, 2, 5, 24, 100])
+    def test_fused_block_merge_any_block_size(self, block_rows):
+        ctx = _float_ctx(seed=7)
+        masks = _masks(20, ctx.tables.cols, seed=8)
+        np.testing.assert_array_equal(
+            FusedKernel(block_rows=block_rows).winners(ctx, masks),
+            get_kernel("reference").winners(ctx, masks),
+        )
+
+    def test_exact_tables_preserve_ties_lowest_index(self):
+        # Duplicate rows force exact int64 ties; every kernel and block
+        # size must hand them to the lowest-index row, like np.argmax.
+        rng = np.random.default_rng(11)
+        units = rng.integers(0, 50, size=(3, 12))
+        units = np.vstack([units, units])  # rows 0..2 tie with 3..5
+        part = np.ones_like(units)
+        tables = ExactReadTables(units, part, sep=1e-7, i_min=1e-9)
+        ctx = KernelContext(tables=tables, pool=ScratchPool())
+        masks = _masks(40, 12, seed=12)
+        expected = np.argmax(tables.currents(masks, ctx.pool), axis=1)
+        assert np.all(expected < 3)  # ties really resolved to the copy
+        for kernel in (get_kernel("gemm"), FusedKernel(block_rows=1),
+                       FusedKernel(block_rows=4)):
+            np.testing.assert_array_equal(kernel.winners(ctx, masks), expected)
+
+    def test_results_are_never_pooled_buffers(self):
+        ctx = _float_ctx()
+        masks = _masks(6, ctx.tables.cols)
+        first = get_kernel("gemm").currents(ctx, masks)
+        snapshot = first.copy()
+        get_kernel("gemm").currents(ctx, masks + False)  # same shape again
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_float32_tables_keep_argmax_parity(self):
+        rng = np.random.default_rng(13)
+        i_off = rng.uniform(0.0, 1e-9, size=(16, 30))
+        i_on = i_off + rng.uniform(1e-7, 1e-5, size=(16, 30))
+        ctx64 = KernelContext(
+            tables=FloatReadTables(i_on, i_off), pool=ScratchPool()
+        )
+        ctx32 = KernelContext(
+            tables=FloatReadTables(i_on, i_off, dtype=np.float32),
+            pool=ScratchPool(),
+        )
+        masks = _masks(25, 30, seed=14)
+        assert ctx32.tables.currents(masks, ctx32.pool).dtype == np.float32
+        np.testing.assert_array_equal(
+            get_kernel("fused").winners(ctx32, masks),
+            get_kernel("gemm").winners(ctx64, masks),
+        )
+
+    def test_register_kernel_round_trip(self):
+        class NegatedReference(ReadKernel):
+            name = "test-negated"
+
+            def currents(self, ctx, masks):
+                return -ctx.native_read(masks)
+
+        try:
+            register_kernel(NegatedReference())
+            assert "test-negated" in kernel_names()
+            ctx = _float_ctx()
+            masks = _masks(4, ctx.tables.cols)
+            np.testing.assert_array_equal(
+                get_kernel("test-negated").currents(ctx, masks),
+                -ctx.native_read(masks),
+            )
+        finally:
+            from repro.kernels.read import _KERNELS
+
+            _KERNELS.pop("test-negated", None)
+
+
+# --------------------------------------------- backend-table bit contracts
+class TestBackendTables:
+    @pytest.fixture(params=[n for n in ALL_BACKENDS
+                            if Capability.FUSED_READ
+                            in create(n, rows=2, cols=2,
+                                      spec=MultiLevelCellSpec(n_levels=4),
+                                      seed=0).capabilities])
+    def fused_backend(self, request):
+        b = create(
+            request.param,
+            rows=6,
+            cols=14,
+            spec=MultiLevelCellSpec(n_levels=4),
+            seed=0,
+        )
+        b.program(np.random.default_rng(2).integers(0, 4, size=(6, 14)))
+        return b
+
+    def test_exact_backends_are_bit_identical(self, fused_backend):
+        masks = _masks(12, 14, seed=3)
+        native = fused_backend.wordline_currents_batch(masks)
+        ctx = KernelContext(
+            tables=fused_backend.read_tables(),
+            pool=ScratchPool(),
+            native_read=fused_backend.wordline_currents_batch,
+        )
+        gemm = get_kernel("gemm").currents(ctx, masks)
+        if fused_backend.name in ("ideal", "cmos"):
+            np.testing.assert_array_equal(gemm, native)
+        else:
+            np.testing.assert_allclose(gemm, native, rtol=1e-9)
+        np.testing.assert_array_equal(
+            get_kernel("fused").winners(ctx, masks),
+            np.argmax(native, axis=1),
+        )
+
+
+# ------------------------------------------------------ engine integration
+@pytest.fixture(scope="module")
+def iris_split():
+    data = load_iris()
+    return train_test_split(data.data, data.target, test_size=0.7, seed=0)
+
+
+def _fit(iris_split, backend, seed=0, **options):
+    X_tr, X_te, y_tr, _ = iris_split
+    pipe = FeBiMPipeline(
+        q_f=4, q_l=2, seed=seed, backend=backend, backend_options=options or None
+    ).fit(X_tr, y_tr)
+    return pipe.engine_, pipe.transform_levels(X_te)
+
+
+class TestEngineKernels:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_reference_kernel_is_the_default_and_bit_identical(
+        self, iris_split, backend
+    ):
+        engine, levels = _fit(iris_split, backend)
+        assert engine.kernel_name == "reference"
+        np.testing.assert_array_equal(
+            engine.read_batch(levels),
+            engine.backend.wordline_currents_batch(
+                np.stack([engine.layout.active_columns(s) for s in levels])
+            ),
+        )
+
+    @pytest.mark.parametrize("backend", ["fefet", "ideal", "cmos"])
+    @pytest.mark.parametrize("kernel", ["gemm", "fused", "auto"])
+    def test_fast_kernels_keep_100pct_argmax_parity(
+        self, iris_split, backend, kernel
+    ):
+        reference_engine, levels = _fit(iris_split, backend)
+        fast_engine, _ = _fit(iris_split, backend, kernel=kernel)
+        assert fast_engine.kernel_name == kernel
+        np.testing.assert_array_equal(
+            fast_engine.predict(levels), reference_engine.predict(levels)
+        )
+        np.testing.assert_array_equal(
+            fast_engine.winners_batch(levels),
+            reference_engine.winners_batch(levels),
+        )
+
+    def test_gains_are_folded_in_like_decide_batch(self, iris_split):
+        X_tr, X_te, y_tr, _ = iris_split
+        reference = FeBiMPipeline(
+            q_f=4, q_l=2, seed=0, mirror_gain_sigma=0.05
+        ).fit(X_tr, y_tr)
+        fused = FeBiMPipeline(
+            q_f=4, q_l=2, seed=0, mirror_gain_sigma=0.05,
+            backend_options={"kernel": "fused"},
+        ).fit(X_tr, y_tr)
+        levels = reference.transform_levels(X_te)
+        assert fused.engine_.sensing.mirrors.gains.ndim == 1  # per-row
+        np.testing.assert_array_equal(
+            fused.engine_.predict(levels), reference.engine_.predict(levels)
+        )
+
+    def test_fefet_float32_kernel_dtype_parity(self, iris_split):
+        reference_engine, levels = _fit(iris_split, "fefet")
+        fast_engine, _ = _fit(
+            iris_split, "fefet", kernel="gemm", kernel_dtype="float32"
+        )
+        np.testing.assert_array_equal(
+            fast_engine.predict(levels), reference_engine.predict(levels)
+        )
+
+    def test_noisy_fefet_refuses_fast_kernels_and_auto_degrades(
+        self, iris_split
+    ):
+        X_tr, X_te, y_tr, _ = iris_split
+        noisy = VariationModel(sigma_vth=0.0, sigma_read=5e-3)
+        with pytest.raises(CapabilityError, match="sigma_read"):
+            FeBiMPipeline(
+                q_f=4, q_l=2, seed=0, variation=noisy,
+                backend_options={"kernel": "fused"},
+            ).fit(X_tr, y_tr)
+        auto = FeBiMPipeline(
+            q_f=4, q_l=2, seed=0, variation=noisy,
+            backend_options={"kernel": "auto"},
+        ).fit(X_tr, y_tr)
+        default = FeBiMPipeline(
+            q_f=4, q_l=2, seed=0, variation=noisy
+        ).fit(X_tr, y_tr)
+        assert auto.engine_.kernel_name == "reference"
+        levels = default.transform_levels(X_te)
+        # The construction-time capability probe draws no RNG, so the
+        # degraded engine is bit-identical to a default noisy engine.
+        np.testing.assert_array_equal(
+            auto.engine_.predict(levels), default.engine_.predict(levels)
+        )
+
+    def test_memristor_refuses_fast_kernels_and_auto_degrades(
+        self, iris_split
+    ):
+        with pytest.raises(CapabilityError, match="memristor.*fused-read"):
+            _fit(iris_split, "memristor", kernel="gemm")
+        engine, levels = _fit(iris_split, "memristor", kernel="auto")
+        assert engine.kernel_name == "reference"
+        reference_engine, _ = _fit(iris_split, "memristor")
+        np.testing.assert_array_equal(
+            engine.predict(levels), reference_engine.predict(levels)
+        )
+
+    def test_unknown_kernel_name_raises(self, iris_split):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            _fit(iris_split, "ideal", kernel="blas9000")
+
+    def test_kernel_report_records_autotuned_choices(self, iris_split):
+        engine, levels = _fit(iris_split, "ideal", kernel="auto")
+        engine.predict(levels[:8])
+        engine.predict(levels[:64])
+        report = engine.kernel_report()
+        assert report["kernel"] == "auto"
+        assert len(report["choices"]) >= 1
+        for choice in report["choices"]:
+            assert choice["kernel"] in kernel_names()
+            assert set(choice["timings_us"]) == {"reference", "gemm", "fused"}
+            assert choice["rows"] == engine.shape[0]
+
+    def test_concurrent_engines_interleaved_shapes_match_serial(
+        self, iris_split
+    ):
+        # Two schedulers' worth of engines hammering the shared default
+        # pool with interleaved batch shapes must reproduce the
+        # single-threaded predictions exactly.
+        engines = {}
+        expected = {}
+        batches = {}
+        for backend in ("ideal", "fefet"):
+            engine, levels = _fit(iris_split, backend, kernel="fused")
+            reference_engine, _ = _fit(iris_split, backend)
+            engines[backend] = engine
+            batches[backend] = [levels[:n] for n in (1, 7, 32, 11, 32, 7)]
+            expected[backend] = [
+                reference_engine.predict(b) for b in batches[backend]
+            ]
+        results = {name: [] for name in engines}
+        errors = []
+        barrier = threading.Barrier(len(engines))
+
+        def worker(name):
+            try:
+                barrier.wait()
+                for _ in range(10):
+                    results[name] = [
+                        engines[name].predict(b) for b in batches[name]
+                    ]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((name, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(name,)) for name in engines
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for name in engines:
+            for got, want in zip(results[name], expected[name]):
+                np.testing.assert_array_equal(got, want)
+
+
+# ---------------------------------------------------------------- autotuner
+class TestAutotuner:
+    def test_choice_is_recorded_once_and_stays_stable(self):
+        ctx = _float_ctx(rows=12, cols=20)
+        tuner = KernelAutotuner(trials=1)
+        masks = _masks(9, 20)
+        first = tuner.choose(ctx, masks)
+        assert first in ("reference", "gemm", "fused")
+        for _ in range(5):
+            assert tuner.choose(ctx, masks) == first
+        report = tuner.report()
+        assert len(report) == 1
+        assert report[0]["batch_bucket"] == 16  # 9 buckets up to 16
+        assert report[0]["kernel"] == first
+
+    def test_shape_classes_are_tuned_independently(self):
+        ctx = _float_ctx(rows=12, cols=20)
+        tuner = KernelAutotuner(trials=1)
+        tuner.choose(ctx, _masks(2, 20))
+        tuner.choose(ctx, _masks(200, 20))
+        assert len(tuner.report()) == 2
+
+    def test_unknown_candidate_fails_at_construction(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            KernelAutotuner(candidates=("reference", "blas9000"))
