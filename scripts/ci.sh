@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate (documented in ROADMAP.md).
 #
-# Eleven stages, strictly ordered so the cheapest failure fires first:
+# Twelve stages, strictly ordered so the cheapest failure fires first:
 #   1. compile-all  — every file under src/ must byte-compile;
 #   2. tier-1       — the fast default suite (slow marks skipped);
 #   3. slow-tier check — the --runslow split must stay wired: slow-marked
@@ -38,18 +38,22 @@
 #      (affine GEMM, fused read+decide) beat the reference elementwise
 #      path >= 3x on the synthetic shape at 100 % argmax parity, and
 #      backends without tables (memristor, noisy FeFET) refuse explicit
-#      fast kernels while "auto" degrades to the reference kernel.
+#      fast kernels while "auto" degrades to the reference kernel;
+#  12. cluster smoke — bench_cluster.py: a two-worker multi-process
+#      deployment absorbs the SIGKILL of one worker mid-burst with zero
+#      client-visible errors, the dead worker's replicas re-placed onto
+#      the survivor and the process respawned, all on the flight record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/11: compile-all =="
+echo "== stage 1/12: compile-all =="
 python -m compileall -q src
 
-echo "== stage 2/11: tier-1 (pytest -x -q) =="
+echo "== stage 2/12: tier-1 (pytest -x -q) =="
 python -m pytest -x -q
 
-echo "== stage 3/11: --runslow marker check =="
+echo "== stage 3/12: --runslow marker check =="
 # The slow tier must collect without errors and must not be empty —
 # an accidental marker rename would otherwise silently skip it forever.
 collected=$(python -m pytest --runslow -m slow --collect-only -q tests | tail -1)
@@ -66,28 +70,31 @@ if [[ "${CI_RUNSLOW:-0}" == "1" ]]; then
     python -m pytest --runslow -m slow -q tests
 fi
 
-echo "== stage 4/11: reliability smoke bench =="
+echo "== stage 4/12: reliability smoke bench =="
 python benchmarks/bench_reliability.py --smoke
 
-echo "== stage 5/11: campaign --workers determinism =="
+echo "== stage 5/12: campaign --workers determinism =="
 python benchmarks/bench_reliability.py --determinism
 
-echo "== stage 6/11: backend parity smoke =="
+echo "== stage 6/12: backend parity smoke =="
 python benchmarks/bench_backends.py --parity
 
-echo "== stage 7/11: router smoke gate =="
+echo "== stage 7/12: router smoke gate =="
 python benchmarks/bench_router.py
 
-echo "== stage 8/11: autoscale smoke gate =="
+echo "== stage 8/12: autoscale smoke gate =="
 python benchmarks/bench_autoscale.py --smoke
 
-echo "== stage 9/11: observability smoke gate =="
+echo "== stage 9/12: observability smoke gate =="
 python benchmarks/bench_observability.py --smoke
 
-echo "== stage 10/11: health smoke gate =="
+echo "== stage 10/12: health smoke gate =="
 python benchmarks/bench_health.py --smoke
 
-echo "== stage 11/11: kernel smoke gate =="
+echo "== stage 11/12: kernel smoke gate =="
 python benchmarks/bench_kernels.py --smoke
+
+echo "== stage 12/12: cluster smoke gate =="
+python benchmarks/bench_cluster.py
 
 echo "CI gate passed."

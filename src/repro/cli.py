@@ -29,6 +29,10 @@ Commands
              table (a dry-run apply).
 ``submit``   One-shot request against a registry directory: register
              (if needed), route, serve, print the result.
+``cluster``  Drive a workload through a multi-process deployment
+             (``placement: process`` — supervised worker subprocesses
+             behind the wire protocol); ``--kill-worker`` SIGKILLs a
+             worker mid-burst and reports the failover/respawn.
 ``reliability``  Run a Monte-Carlo fault or aging campaign (stuck
              cells, dead lines, retention bake) with a selectable
              mitigation strategy over a process pool.
@@ -473,6 +477,65 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.io import load_deployment
+    from repro.serving.deployment import PlacementSpec
+    from repro.serving.registry import ModelRegistry
+    from repro.serving.scheduler import BatchPolicy
+    from repro.serving.workload import format_cluster_run, run_cluster_workload
+
+    try:
+        deployment = load_deployment(args.spec)
+    except (ValueError, OSError) as exc:
+        print(f"error: invalid deployment spec: {exc}", file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        # Force a spec onto the process placement without editing the
+        # file — handy for trying a local spec across worker counts.
+        try:
+            placement = PlacementSpec(kind="process", workers=args.workers).validate()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        deployment = dataclasses.replace(deployment, placement=placement)
+    if deployment.placement is None or deployment.placement.kind != "process":
+        print(
+            "error: the cluster workload needs 'placement': {'kind': "
+            "'process'} in the spec (or --workers N to force it)",
+            file=sys.stderr,
+        )
+        return 2
+    registry = ModelRegistry(args.registry, backend=args.backend)
+    try:
+        result = run_cluster_workload(
+            registry,
+            deployment,
+            n_requests=args.requests,
+            submitters=args.submitters,
+            policy=BatchPolicy(
+                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+            ),
+            seed=args.seed,
+            kill_worker=args.kill_worker,
+        )
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"cluster run written to {args.out}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    elif not args.out:
+        print(format_cluster_run(result))
+    return 0 if result.errors == 0 else 1
+
+
 def _parse_float_list(text: str, flag: str) -> List[float]:
     try:
         values = [float(v) for v in text.split(",") if v.strip()]
@@ -830,6 +893,39 @@ def build_parser() -> argparse.ArgumentParser:
     add_backend_flag(submit)
     submit.add_argument("--json", action="store_true", help="emit JSON")
     submit.set_defaults(func=_cmd_submit)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="drive a workload through a multi-process (placement: "
+        "process) cluster, optionally SIGKILLing a worker mid-burst",
+    )
+    cluster.add_argument("registry", help="registry directory holding the model")
+    cluster.add_argument(
+        "spec", help="deployment spec JSON (see repro.io.save_deployment)"
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        help="force 'process' placement with this many workers, "
+        "overriding the spec's placement block",
+    )
+    cluster.add_argument("--requests", type=int, default=256)
+    cluster.add_argument("--submitters", type=int, default=4)
+    cluster.add_argument(
+        "--kill-worker",
+        action="store_true",
+        help="SIGKILL one worker a quarter into the burst and report "
+        "the supervised failover (the chaos acceptance scenario)",
+    )
+    cluster.add_argument("--max-batch", type=int, default=32)
+    cluster.add_argument("--max-wait-ms", type=float, default=2.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    add_backend_flag(cluster)
+    cluster.add_argument("--json", action="store_true", help="emit JSON")
+    cluster.add_argument(
+        "--out", metavar="PATH", help="write the run as JSON instead"
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     reliability = sub.add_parser(
         "reliability",

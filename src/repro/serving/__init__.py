@@ -35,6 +35,16 @@ two:
   that grows/shrinks the replica set against the SLO, placing new
   replicas on the least-worn spare hardware
   (:mod:`repro.serving.autoscale`);
+* :class:`PlacementSpec` / :func:`serve_deployment` /
+  :class:`ClusterServer` — the placement/transport layer
+  (:mod:`repro.serving.transport`, :mod:`repro.serving.cluster`):
+  ``placement: local`` hosts replicas in-process (the default,
+  bit-identical to the pre-placement behaviour), ``placement:
+  process`` hosts them in supervised worker subprocesses speaking a
+  versioned length-prefixed JSON wire protocol, with heartbeat
+  liveness, crash failover onto survivors, and respawn — routing
+  decisions shared verbatim with the in-process router through the
+  pure policy core (:mod:`repro.serving.policy`);
 * :class:`Observability` — the debugging plane
   (:mod:`repro.serving.observability`): sampled per-request
   :class:`Trace`/:class:`Span` decomposition of the admit -> queue ->
@@ -62,9 +72,11 @@ from repro.serving.autoscale import (
     HardwareSlot,
     ScaleDecision,
 )
+from repro.serving.cluster import ClusterServer, WorkerLost
 from repro.serving.deployment import (
     Deployment,
     DeploymentError,
+    PlacementSpec,
     ReplicaSpec,
     RoutingPolicy,
     SLOPolicy,
@@ -110,11 +122,19 @@ from repro.serving.scheduler import (
 )
 from repro.serving.server import FeBiMServer, MaintenanceThread, model_stream_seed
 from repro.serving.telemetry import Telemetry, TelemetrySnapshot
+from repro.serving.transport import (
+    MessageConnection,
+    ProtocolError,
+    RemoteServedResult,
+    RemoteWorkerError,
+    serve_deployment,
+)
 
 __all__ = [
     "AutoscaleController",
     "AutoscaleEvent",
     "BatchPolicy",
+    "ClusterServer",
     "Deployment",
     "DeploymentError",
     "DeploymentPressure",
@@ -129,12 +149,17 @@ __all__ = [
     "MaintenanceThread",
     "MetricsPoint",
     "MetricsRing",
+    "MessageConnection",
     "MetricsSampler",
     "MicroBatchScheduler",
     "MirroredResult",
     "ModelRegistry",
     "Observability",
     "Overloaded",
+    "PlacementSpec",
+    "ProtocolError",
+    "RemoteServedResult",
+    "RemoteWorkerError",
     "ReplicaHealthReport",
     "ReplicaSpec",
     "ReplicaStatus",
@@ -149,6 +174,7 @@ __all__ = [
     "TelemetrySnapshot",
     "Trace",
     "Tracer",
+    "WorkerLost",
     "format_events",
     "format_trace_dicts",
     "measure_agreement",
@@ -156,6 +182,7 @@ __all__ = [
     "model_stream_seed",
     "parse_prometheus",
     "replica_stream_seed",
+    "serve_deployment",
     "single_replica_deployment",
     "to_prometheus",
 ]

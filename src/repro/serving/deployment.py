@@ -35,6 +35,9 @@ from repro.backends.registry import backend_capabilities, get_backend_class
 #: Routing policy kinds shipped in-tree (see :mod:`repro.serving.router`).
 POLICY_KINDS = ("cost", "round_robin", "sticky", "mirror")
 
+#: Placement kinds: where a deployment's replicas are hosted.
+PLACEMENT_KINDS = ("local", "process")
+
 #: Backend constructor options that are only meaningful behind a
 #: declared capability: a spec naming one of these for a technology
 #: that does not declare the capability is invalid up front.
@@ -141,17 +144,27 @@ class RoutingPolicy:
         Canary agreement (vs each replica's own pristine baseline)
         below which a health check fails; relax below 1.0 for
         stochastic replicas (e.g. memristor with ``advance_streams``).
+    mirror_weighted:
+        Mirror only: weight each replica's vote by the winner/runner-up
+        read margin of its own answer (the ``read_margin_batch``
+        quantity, recovered from the serving read's sensed currents)
+        instead of one-replica-one-vote — a confident minority can
+        outvote a hesitant majority.  Deterministic tie-break (lower
+        class label) preserved; when every margin collapses to zero the
+        head count decides.
     """
 
     kind: str = "cost"
     mirror_fanout: int = 0
     min_agreement: float = 1.0
+    mirror_weighted: bool = False
 
     def to_dict(self) -> dict:
         return {
             "kind": self.kind,
             "mirror_fanout": self.mirror_fanout,
             "min_agreement": self.min_agreement,
+            "mirror_weighted": self.mirror_weighted,
         }
 
     @staticmethod
@@ -161,12 +174,15 @@ class RoutingPolicy:
                 f"routing policy must be a JSON object, got {type(data).__name__}"
             )
         _reject_unknown_keys(
-            data, {"kind", "mirror_fanout", "min_agreement"}, "routing policy"
+            data,
+            {"kind", "mirror_fanout", "min_agreement", "mirror_weighted"},
+            "routing policy",
         )
         return RoutingPolicy(
             kind=data.get("kind", "cost"),
             mirror_fanout=int(data.get("mirror_fanout", 0)),
             min_agreement=float(data.get("min_agreement", 1.0)),
+            mirror_weighted=bool(data.get("mirror_weighted", False)),
         )
 
 
@@ -343,6 +359,59 @@ class SLOPolicy:
 
 
 @dataclass(frozen=True)
+class PlacementSpec:
+    """Where a deployment's replicas are hosted.
+
+    Attributes
+    ----------
+    kind:
+        ``"local"`` — replicas live in the calling process, served by
+        the in-process :class:`~repro.serving.router.Router` exactly as
+        before (the default when no placement is written at all; the
+        submit hot path is untouched).  ``"process"`` — replicas are
+        partitioned across supervised worker subprocesses, each owning
+        its own schedulers and engines, reached over the versioned wire
+        protocol (:mod:`repro.serving.transport`) and served through a
+        :class:`~repro.serving.cluster.ClusterServer` front end.
+    workers:
+        Worker subprocesses to spawn for ``"process"`` placement
+        (replicas are spread round-robin across them); ignored by
+        ``"local"``.
+    """
+
+    kind: str = "local"
+    workers: int = 2
+
+    def validate(self) -> "PlacementSpec":
+        if self.kind not in PLACEMENT_KINDS:
+            raise DeploymentError(
+                f"unknown placement kind {self.kind!r} "
+                f"(known: {', '.join(PLACEMENT_KINDS)})"
+            )
+        if int(self.workers) < 1:
+            raise DeploymentError(
+                f"placement workers must be >= 1, got {self.workers}"
+            )
+        return self
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "workers": self.workers}
+
+    @staticmethod
+    def from_dict(data: dict) -> "PlacementSpec":
+        if not isinstance(data, dict):
+            raise DeploymentError(
+                f"placement spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        _reject_unknown_keys(data, {"kind", "workers"}, "placement spec")
+        return PlacementSpec(
+            kind=data.get("kind", "local"),
+            workers=int(data.get("workers", 2)),
+        )
+
+
+@dataclass(frozen=True)
 class Deployment:
     """A validated-on-apply serving plan for one model.
 
@@ -360,6 +429,10 @@ class Deployment:
     slo:
         Optional :class:`SLOPolicy`; enables admission control and
         autoscaling for this deployment.
+    placement:
+        Optional :class:`PlacementSpec`; ``None`` means local
+        (in-process) hosting, byte-for-byte the pre-placement
+        behaviour.
     """
 
     model: str
@@ -367,6 +440,7 @@ class Deployment:
     policy: RoutingPolicy = RoutingPolicy()
     version: Optional[int] = None
     slo: Optional[SLOPolicy] = None
+    placement: Optional[PlacementSpec] = None
 
     def __post_init__(self) -> None:
         # Normalise a list into the frozen tuple form so callers can
@@ -425,6 +499,13 @@ class Deployment:
                 raise DeploymentError(
                     "mirror_fanout=1 is a vote of one; use 0 (all) or >= 2"
                 )
+        elif self.policy.mirror_weighted:
+            raise DeploymentError(
+                f"mirror_weighted only applies to the mirror policy, "
+                f"not {self.policy.kind!r}"
+            )
+        if self.placement is not None:
+            self.placement.validate()
         return self
 
     # --------------------------------------------------------------- JSON IO
@@ -439,6 +520,8 @@ class Deployment:
         }
         if self.slo is not None:
             data["slo"] = self.slo.to_dict()
+        if self.placement is not None:
+            data["placement"] = self.placement.to_dict()
         return data
 
     @staticmethod
@@ -462,7 +545,10 @@ class Deployment:
             )
         _reject_unknown_keys(
             data,
-            {"format_version", "model", "version", "replicas", "policy", "slo"},
+            {
+                "format_version", "model", "version", "replicas",
+                "policy", "slo", "placement",
+            },
             "deployment spec",
         )
         replicas = data.get("replicas")
@@ -472,6 +558,7 @@ class Deployment:
             )
         version = data.get("version")
         slo = data.get("slo")
+        placement = data.get("placement")
         try:
             deployment = Deployment(
                 model=data.get("model", ""),
@@ -479,6 +566,11 @@ class Deployment:
                 policy=RoutingPolicy.from_dict(data.get("policy", {})),
                 version=None if version is None else int(version),
                 slo=None if slo is None else SLOPolicy.from_dict(slo),
+                placement=(
+                    None
+                    if placement is None
+                    else PlacementSpec.from_dict(placement)
+                ),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, DeploymentError):
@@ -507,9 +599,15 @@ class Deployment:
                 )
                 + "]"
             )
+        placement = ""
+        if self.placement is not None and self.placement.kind != "local":
+            placement = (
+                f" placement={self.placement.kind}"
+                f"x{self.placement.workers}"
+            )
         return (
             f"{self.model}@{pin} -> [{replicas}] policy={self.policy.kind}"
-            f"{slo}"
+            f"{slo}{placement}"
         )
 
 

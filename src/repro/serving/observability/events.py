@@ -59,6 +59,11 @@ EVENT_KINDS = frozenset(
         "drift_alarm",  # current-shift channel tripped with accuracy intact
         "bist_scan",  # maintenance verify scan found faulty cells
         "spare_repair",  # faulty rows remapped onto manufactured spares
+        # cluster plane (worker supervision — see repro.serving.cluster)
+        "worker_start",  # a worker process connected and said hello
+        "worker_heartbeat",  # supervision sweep saw the worker alive
+        "worker_lost",  # heartbeat/connection loss; replicas rescheduled
+        "worker_respawn",  # a lost worker's replacement process came up
     }
 )
 

@@ -65,6 +65,7 @@ from repro.reliability.observability import (
     DeviceHealthSample,
     MarginProbe,
     MarginReading,
+    sample_margin,
 )
 from repro.serving.deployment import (
     Deployment,
@@ -76,17 +77,19 @@ from repro.serving.health import (
     _report_currents,
     agreement_from_predictions,
 )
+from repro.serving import policy as routing_policy
+from repro.serving.policy import (
+    DOWN,
+    DRAINING,
+    EVICTED,
+    HEALTHY,
+    RETIRED,
+)
 from repro.serving.scheduler import (
     MicroBatchScheduler,
     Overloaded,
     ServedResult,
 )
-
-#: Replica lifecycle states.
-HEALTHY = "healthy"
-DOWN = "down"
-EVICTED = "evicted"
-RETIRED = "retired"
 
 #: Canary-set size probed per replica at apply time.
 N_CANARIES = 8
@@ -212,6 +215,11 @@ class _Replica:
         self.state = HEALTHY
         self.killed = False
         self.recoverable = True
+        # Gradual-drain progress (state == DRAINING only): sticky
+        # client cohorts below ``drain_step`` have been remapped; the
+        # replica finalises when the step reaches ``drain_steps``.
+        self.drain_step = 0
+        self.drain_steps = 0
         self.engine = None
         self.unit_delay = float("inf")
         self.baseline: Optional[np.ndarray] = None
@@ -230,6 +238,16 @@ class _Replica:
     @property
     def label(self) -> str:
         return f"{self.key}[{self.spec.backend}]"
+
+    # Duck-typed view attributes the pure policy core arbitrates on
+    # (shared with the cluster front end's replica handles).
+    @property
+    def weight(self) -> float:
+        return self.spec.weight
+
+    @property
+    def pending(self) -> int:
+        return self.scheduler.pending
 
     def resolve(self):
         """The engine serving this replica; raises when killed."""
@@ -290,6 +308,23 @@ def replica_stream_seed(
         int(replica),
     )
     return int(np.random.SeedSequence(entropy).generate_state(1)[0])
+
+
+def result_margin(result: ServedResult) -> float:
+    """One served sample's winner/runner-up read margin.
+
+    Recovered from the currents the serving read already sensed (the
+    same per-row signature ``read_margin_batch`` probes), so weighting
+    a mirror vote costs one partition over a handful of wordlines —
+    never an extra array read.  NaN when the report carries no usable
+    currents (degenerate geometry, wrapped engines).
+    """
+    try:
+        row = _report_currents(result._report)[result._index]
+        margin, _ = sample_margin(row)
+        return margin
+    except Exception:  # noqa: BLE001 — weighting must never fail a vote
+        return float("nan")
 
 
 class Router:
@@ -361,7 +396,11 @@ class Router:
             return None
         return dep
 
-    def apply(self, deployment: Deployment) -> _AppliedDeployment:
+    def apply(
+        self,
+        deployment: Deployment,
+        indices: Optional[List[int]] = None,
+    ) -> _AppliedDeployment:
         """Validate, program and install a deployment (replacing any
         previous deployment of the same model).
 
@@ -370,16 +409,35 @@ class Router:
         cannot serve fails here, not mid-traffic.  The resolved model
         version is pinned: re-apply to roll a deployment forward after
         registering a new version.
+
+        ``indices`` assigns explicit global replica indices (one per
+        spec replica, in order) instead of ``0..n-1``.  This is the
+        cluster worker's hosting hook: a worker applying the slice of a
+        deployment it owns must mint the *cluster-wide* indices, because
+        the per-replica stream seed — and therefore the engine's bits —
+        derives from them.
         """
         deployment.validate()
+        if indices is not None:
+            indices = [int(i) for i in indices]
+            if len(indices) != len(deployment.replicas):
+                raise DeploymentError(
+                    f"apply got {len(indices)} indices for "
+                    f"{len(deployment.replicas)} replicas"
+                )
+            if len(set(indices)) != len(indices) or min(indices) < 0:
+                raise DeploymentError(
+                    f"replica indices must be unique and >= 0, got {indices}"
+                )
         registry = self.server.registry
         version = registry.resolve_version(deployment.model, deployment.version)
         canaries = self._canary_levels(deployment, version)
 
         replicas: List[_Replica] = []
         for i, spec in enumerate(deployment.replicas):
-            key = ReplicaKey(deployment.model, version, i)
-            replica = _Replica(i, spec, key)
+            index = i if indices is None else indices[i]
+            key = ReplicaKey(deployment.model, version, index)
+            replica = _Replica(index, spec, key)
             replica.scheduler = self._make_scheduler(replica, deployment)
             try:
                 self._probe(deployment.model, version, replica, canaries)
@@ -394,6 +452,8 @@ class Router:
             replicas.append(replica)
 
         applied = _AppliedDeployment(deployment, version, replicas, canaries)
+        if indices is not None:
+            applied.next_index = max(indices) + 1
         with self._lock:
             previous = self._deployments.get(deployment.model)
             self._deployments[deployment.model] = applied
@@ -532,55 +592,35 @@ class Router:
 
     # ------------------------------------------------------------- arbitration
     def _candidates(self, dep: _AppliedDeployment) -> List[_Replica]:
-        healthy = [r for r in dep.replicas if r.state == HEALTHY]
-        if healthy:
-            return healthy
-        down = [r for r in dep.replicas if r.state == DOWN]
-        if down:
-            # Nothing healthy: trying a down replica beats rejecting the
-            # request outright (it may have recovered; if not, the
-            # failover chain surfaces the error).
-            return down
-        raise RuntimeError(
-            f"deployment {dep.name!r} v{dep.version} has no serviceable "
-            f"replicas (all evicted)"
-        )
+        candidates = routing_policy.serviceable(dep.replicas)
+        if not candidates:
+            raise RuntimeError(
+                f"deployment {dep.name!r} v{dep.version} has no serviceable "
+                f"replicas (all evicted)"
+            )
+        return candidates
 
     def _score(self, replica: _Replica) -> float:
-        """Cost-policy score: lower is better.
-
-        The replica's probed unit delay (its technology's own cost
-        model), scaled by live queue depth — a busy replica's next
-        request waits behind its backlog — and divided by the spec
-        weight.
-        """
-        occupancy = 1 + replica.scheduler.pending
-        return replica.unit_delay * occupancy / replica.spec.weight
+        """Cost-policy score: lower is better (see
+        :func:`repro.serving.policy.cost_score`)."""
+        return routing_policy.cost_score(replica)
 
     def _pick(
         self, dep: _AppliedDeployment, client: Optional[object]
     ) -> _Replica:
+        """Policy arbitration, delegated to the pure core
+        (:mod:`repro.serving.policy`) over the live replica objects —
+        the identical decision function the cluster front end runs over
+        worker-reported replica views."""
         candidates = self._candidates(dep)
         kind = dep.spec.policy.kind
-        if kind == "round_robin":
-            return candidates[next(dep.rr_counter) % len(candidates)]
         if kind == "sticky":
-            # Rendezvous (HRW) hashing: score every candidate against
-            # the client identity and take the max.  Per-(client,
-            # replica) scores never change, so losing a replica remaps
-            # only the clients whose top score it held (~1/N of them) —
-            # the modulo-anchor scheme this replaced reshuffled about
-            # half of all tenants on any membership change.
-            token = b"" if client is None else str(client).encode()
-            return max(
-                candidates,
-                key=lambda r: (
-                    zlib.crc32(token + b"|%d" % r.index),
-                    r.index,
-                ),
-            )
-        # "cost" (and the mirror primary ordering)
-        return min(candidates, key=self._score)
+            draining = [r for r in dep.replicas if r.state == DRAINING]
+            return routing_policy.pick_sticky(candidates, client, draining)
+        return routing_policy.pick_replica(
+            kind, candidates,
+            rr_tick=next(dep.rr_counter) if kind == "round_robin" else 0,
+        )
 
     # ---------------------------------------------------------------- submit
     def submit(
@@ -789,9 +829,9 @@ class Router:
         self, dep: _AppliedDeployment, levels: np.ndarray
     ) -> "Future[MirroredResult]":
         policy = dep.spec.policy
-        candidates = sorted(self._candidates(dep), key=self._score)
-        if policy.mirror_fanout > 0:
-            candidates = candidates[: policy.mirror_fanout]
+        candidates = routing_policy.mirror_candidates(
+            self._candidates(dep), policy.mirror_fanout
+        )
         client_future: "Future[MirroredResult]" = Future()
         votes: Dict[int, Optional[ServedResult]] = {}
         overloaded: set = set()
@@ -859,16 +899,29 @@ class Router:
                 overloaded is None or replica.index not in overloaded
             ):
                 self._mark_down(replica)
-        counts: Dict[int, int] = {}
-        for _, result in succeeded:
-            prediction = int(result.prediction)
-            counts[prediction] = counts.get(prediction, 0) + 1
-        # Majority; deterministic tie-break on the lower class label.
-        winner = min(counts, key=lambda p: (-counts[p], p))
-        # Agreement is over the *participants*, not the respondents: a
+        # Majority (optionally weighted by each answer's read margin —
+        # see RoutingPolicy.mirror_weighted); deterministic tie-break
+        # on the lower class label either way.
+        weighted = dep.spec.policy.mirror_weighted
+        winner, _ = routing_policy.resolve_votes(
+            [
+                (
+                    int(result.prediction),
+                    result_margin(result) if weighted else 1.0,
+                )
+                for _, result in succeeded
+            ],
+            weighted=weighted,
+        )
+        # Agreement is over the *participants*, not the respondents (a
         # dead replica is a lost vote, and a 2-way mirror with one
-        # corpse must read 0.5, never a unanimous vote of one.
-        agreement = counts[winner] / len(candidates)
+        # corpse must read 0.5, never a unanimous vote of one) — and it
+        # stays a head count under weighting: the margin decides the
+        # winner, not how united the replicas looked.
+        agreed = sum(
+            1 for _, result in succeeded if int(result.prediction) == winner
+        )
+        agreement = agreed / len(candidates)
         for replica, _ in succeeded:
             self.server.telemetry.record_replica_served(replica.label)
         self.server.telemetry.record_mirror_vote(unanimous=agreement == 1.0)
@@ -910,6 +963,7 @@ class Router:
         name: str,
         spec: ReplicaSpec,
         wear: Optional[WearState] = None,
+        index: Optional[int] = None,
     ) -> ReplicaStatus:
         """Grow ``name``'s deployment by one replica at runtime.
 
@@ -920,13 +974,28 @@ class Router:
         :class:`~repro.serving.autoscale.HardwareSlot`'s) seeds the
         replica's lifetime accounting.  Returns the new replica's
         status.
+
+        An explicit ``index`` re-hosts a specific global replica
+        identity (the cluster failover path moving a dead worker's
+        replica onto a survivor: same index + same stream seed = the
+        bit-identical engine).  Indices are never reused — a collision
+        with a live replica is an error.
         """
         dep = self.deployment_for(name)
         if dep is None:
             raise KeyError(f"no deployment for model {name!r}")
         with self._lock:
-            index = dep.next_index
-            dep.next_index += 1
+            if index is None:
+                index = dep.next_index
+                dep.next_index += 1
+            else:
+                index = int(index)
+                if any(r.index == index for r in dep.replicas):
+                    raise DeploymentError(
+                        f"deployment {name!r} already has a replica "
+                        f"with index {index}"
+                    )
+                dep.next_index = max(dep.next_index, index + 1)
         validate_replica_spec(spec, index, dep.spec.policy.min_agreement)
         key = ReplicaKey(dep.name, dep.version, index)
         replica = _Replica(index, spec, key, wear=wear)
@@ -944,7 +1013,11 @@ class Router:
         return self._status_of(replica)
 
     def retire_replica(
-        self, name: str, index: int, timeout: Optional[float] = None
+        self,
+        name: str,
+        index: int,
+        timeout: Optional[float] = None,
+        drain_steps: int = 1,
     ) -> ReplicaStatus:
         """Shrink ``name``'s deployment: drain and remove one replica.
 
@@ -953,10 +1026,26 @@ class Router:
         traffic), its queue then drains on its own engine, and only
         then does its scheduler shut down.  Refuses to retire the last
         serviceable replica.
+
+        ``drain_steps > 1`` (sticky policy only) retires *gradually*:
+        the replica enters the ``draining`` state and keeps serving its
+        HRW clients, who are remapped in ``drain_steps`` deterministic
+        cohorts — one per maintenance sweep (:meth:`advance_drains`) —
+        so a scale-down never steps every tenant's affinity at once.  A
+        ``retire`` flight event marks each step; the final step drains
+        the queue and removes the replica exactly as an immediate
+        retire would.
         """
+        drain_steps = int(drain_steps)
         dep = self.deployment_for(name)
         if dep is None:
             raise KeyError(f"no deployment for model {name!r}")
+        if drain_steps > 1 and dep.spec.policy.kind != "sticky":
+            raise DeploymentError(
+                f"drain_steps={drain_steps} is only meaningful under the "
+                f"sticky policy ({dep.spec.policy.kind!r} has no client "
+                f"affinity to remap gradually)"
+            )
         with self._lock:
             replica = self._replica_by_index(dep, index)
             survivors = [
@@ -969,13 +1058,65 @@ class Router:
                     f"cannot retire replica {index}: it is the last "
                     f"serviceable replica of {dep.name!r}"
                 )
-            replica.state = RETIRED
-            dep.replicas = [r for r in dep.replicas if r.index != index]
+            if drain_steps > 1:
+                replica.state = DRAINING
+                replica.drain_step = 0
+                replica.drain_steps = drain_steps
+            else:
+                replica.state = RETIRED
+                dep.replicas = [r for r in dep.replicas if r.index != index]
+        if drain_steps > 1:
+            self.server.telemetry.emit(
+                "retire",
+                model=name, replica=replica.label,
+                step=0, drain_steps=drain_steps,
+            )
+            return self._status_of(replica)
         self.server.telemetry.emit(
             "retire", model=name, replica=replica.label
         )
         replica.scheduler.shutdown(drain=True, timeout=timeout)
         return self._status_of(replica)
+
+    def advance_drains(self) -> List[ReplicaStatus]:
+        """Step every draining replica one cohort forward.
+
+        Runs at the top of each maintenance sweep (:meth:`check_all`):
+        each call remaps one more deterministic cohort of a draining
+        replica's sticky clients onto their next-best survivor
+        (:func:`repro.serving.policy.drain_moved`), emitting a
+        per-step ``retire`` event; a replica whose last cohort has
+        moved drains its queue and leaves the deployment.  Returns the
+        statuses of replicas that finalised this sweep.
+        """
+        finalised: List[_Replica] = []
+        with self._lock:
+            deployed = list(self._deployments.values())
+        for dep in deployed:
+            for replica in list(dep.replicas):
+                if replica.state != DRAINING:
+                    continue
+                with self._lock:
+                    if replica.state != DRAINING:
+                        continue
+                    replica.drain_step += 1
+                    done = replica.drain_step >= replica.drain_steps
+                    if done:
+                        replica.state = RETIRED
+                        dep.replicas = [
+                            r for r in dep.replicas if r.index != replica.index
+                        ]
+                self.server.telemetry.emit(
+                    "retire",
+                    model=dep.name, replica=replica.label,
+                    step=replica.drain_step,
+                    drain_steps=replica.drain_steps,
+                )
+                if done:
+                    finalised.append(replica)
+        for replica in finalised:
+            replica.scheduler.shutdown(drain=True)
+        return [self._status_of(r) for r in finalised]
 
     # ----------------------------------------------------------------- health
     def _status_of(self, replica: _Replica) -> ReplicaStatus:
@@ -1043,6 +1184,13 @@ class Router:
         if replica.state == EVICTED:
             return ReplicaHealthReport(
                 replica.label, EVICTED, 0.0, action="evict", healed=False
+            )
+        if replica.state == DRAINING:
+            # A draining replica is already leaving: running the heal
+            # ladder on it would waste repairs — or worse, flip it back
+            # to HEALTHY and resurrect a retirement in progress.
+            return ReplicaHealthReport(
+                replica.label, DRAINING, 1.0, action="ok", healed=True
             )
         min_agreement = dep.spec.policy.min_agreement
         telemetry = self.server.telemetry
@@ -1222,7 +1370,13 @@ class Router:
         return repaired
 
     def check_all(self) -> List[ReplicaHealthReport]:
-        """Heal-ladder sweep over every replica of every deployment."""
+        """Heal-ladder sweep over every replica of every deployment.
+
+        Gradual drains advance first: a draining replica steps one
+        client cohort per sweep, and one that finalises here is gone
+        before the ladder below would have probed it.
+        """
+        self.advance_drains()
         reports = []
         with self._lock:
             deployed = list(self._deployments.values())

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.core.quantization import QuantizedBayesianModel
 from repro.devices.fefet import MultiLevelCellSpec
-from repro.serving.deployment import Deployment
+from repro.serving.deployment import Deployment, DeploymentError
 from repro.serving.observability import (
     HardwareGauges,
     Observability,
@@ -301,6 +301,14 @@ class FeBiMServer:
         maintenance cadence once maintenance runs.
         Returns the applied deployment handle (status/introspection).
         """
+        placement = deployment.placement
+        if placement is not None and placement.kind == "process":
+            raise DeploymentError(
+                f"deployment {deployment.model!r} asks for process "
+                f"placement; host it on a ClusterServer (or "
+                f"repro.serving.transport.serve_deployment) — FeBiMServer "
+                f"hosts local placements only"
+            )
         applied = self.router.apply(deployment)
         self._autoscalers.pop(deployment.model, None)
         if deployment.slo is not None:

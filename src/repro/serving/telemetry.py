@@ -95,6 +95,10 @@ class TelemetrySnapshot:
     lane_depth:
         Currently queued requests per priority lane, across schedulers
         (lanes that drained back to zero are pruned).
+    workers_started / workers_lost / worker_respawns:
+        Cluster-plane supervision counters (process placement only):
+        worker processes that came up, were declared dead, and were
+        respawned by the :class:`~repro.serving.cluster.ClusterServer`.
     """
 
     submitted: int
@@ -122,6 +126,9 @@ class TelemetrySnapshot:
     scale_ups: int = 0
     scale_downs: int = 0
     lane_depth: Dict[int, int] = field(default_factory=dict)
+    workers_started: int = 0
+    workers_lost: int = 0
+    worker_respawns: int = 0
 
     @property
     def in_flight(self) -> int:
@@ -171,6 +178,9 @@ class TelemetrySnapshot:
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
             "lane_depth": {str(k): v for k, v in sorted(self.lane_depth.items())},
+            "workers_started": self.workers_started,
+            "workers_lost": self.workers_lost,
+            "worker_respawns": self.worker_respawns,
         }
 
     def format_lines(self) -> str:
@@ -203,6 +213,12 @@ class TelemetrySnapshot:
                 f"slo        {self.shed_requests} shed  "
                 f"{self.scale_ups} scale-ups  "
                 f"{self.scale_downs} scale-downs"
+            )
+        if self.workers_started or self.workers_lost or self.worker_respawns:
+            lines.append(
+                f"cluster    {self.workers_started} workers started  "
+                f"{self.workers_lost} lost  "
+                f"{self.worker_respawns} respawned"
             )
         for lane in sorted(self.lane_depth):
             lines.append(
@@ -259,6 +275,9 @@ class Telemetry:
         self._scale_ups = 0
         self._scale_downs = 0
         self._lane_depth: Dict[int, int] = {}
+        self._workers_started = 0
+        self._workers_lost = 0
+        self._worker_respawns = 0
 
     # ------------------------------------------------------------- recording
     def emit(self, kind: str, **detail) -> None:
@@ -344,6 +363,25 @@ class Telemetry:
             if latencies_s is not None:
                 self._latencies.extend(float(v) for v in latencies_s)
 
+    def record_completed(
+        self,
+        model: str,
+        n: int = 1,
+        latencies_s: Optional[np.ndarray] = None,
+    ) -> None:
+        """``n`` requests completed *without* a local micro-batch.
+
+        The cluster front end's accounting hook: the executing batch
+        ran in a worker process (counted in the worker's own
+        telemetry), so the front end records completion and end-to-end
+        latency only — never phantom batches or occupancy.
+        """
+        with self._lock:
+            self._completed += n
+            self._per_model[model] = self._per_model.get(model, 0) + n
+            if latencies_s is not None:
+                self._latencies.extend(float(v) for v in latencies_s)
+
     def record_failed(self, n: int) -> None:
         with self._lock:
             self._failed += n
@@ -399,6 +437,21 @@ class Telemetry:
             if not unanimous:
                 self._mirror_disagreements += 1
 
+    def record_worker_started(self) -> None:
+        """One cluster worker process connected and said hello."""
+        with self._lock:
+            self._workers_started += 1
+
+    def record_worker_lost(self) -> None:
+        """One cluster worker declared dead by the supervisor."""
+        with self._lock:
+            self._workers_lost += 1
+
+    def record_worker_respawn(self) -> None:
+        """One lost worker's replacement process came up."""
+        with self._lock:
+            self._worker_respawns += 1
+
     # --------------------------------------------------------------- reading
     def snapshot(self) -> TelemetrySnapshot:
         """Consistent snapshot of every counter."""
@@ -437,4 +490,7 @@ class Telemetry:
                 scale_ups=self._scale_ups,
                 scale_downs=self._scale_downs,
                 lane_depth=dict(self._lane_depth),
+                workers_started=self._workers_started,
+                workers_lost=self._workers_lost,
+                worker_respawns=self._worker_respawns,
             )

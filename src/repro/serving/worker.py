@@ -1,0 +1,337 @@
+"""Worker process host: one subprocess owning a slice of a deployment.
+
+A worker is a full in-process serving stack — registry, schedulers,
+router, engines — wrapped in a message loop.  The cluster front end
+(:mod:`repro.serving.cluster`) makes every *routing* decision; the
+worker only *executes*: it applies the sub-deployment it is told to
+own (with explicit cluster-wide replica indices, so the per-replica
+stream seeds — and therefore the engine bits — match what a
+single-process deployment would have materialised), serves the
+requests shipped to its replicas, and reports back.
+
+Three threads per worker:
+
+* the **message loop** (main thread) dispatches control and request
+  frames; request execution itself is asynchronous — the scheduler's
+  batch workers resolve futures whose done-callbacks send the
+  ``result``/``error`` frame, so a slow batch never blocks control
+  traffic;
+* the **heartbeat thread** sends per-replica liveness
+  (state/pending/unit delay) on the supervision cadence — the front
+  end's replica views, and the signal whose absence triggers failover;
+* the scheduler's own batch workers (inherited from the in-process
+  stack, untouched).
+
+Worker-side observability is not lost: a :class:`_EventForwarder`
+attached as the worker telemetry's flight recorder ships every emitted
+event (sheds, failovers, heal-ladder rungs) upstream as ``event``
+frames, which the front end replays into its own recorder tagged with
+the worker id — ``febim trace`` / ``febim events`` on the front end
+see the whole cluster.
+
+The module-level :func:`worker_main` entry point is what
+``multiprocessing`` (spawn context — no forked locks, a clean
+interpreter) launches; everything it needs travels in a picklable
+config dict.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+from typing import Dict, Optional
+
+from repro.serving.deployment import Deployment, ReplicaSpec
+from repro.serving.registry import ModelRegistry
+from repro.serving.router import Router, result_margin
+from repro.serving.scheduler import BatchPolicy
+from repro.serving.server import FeBiMServer
+from repro.serving.transport.protocol import (
+    MessageConnection,
+    ProtocolError,
+    encode_error,
+    encode_result,
+    make,
+)
+
+
+def _jsonable(value):
+    """Best-effort JSON-safe projection of an event detail value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        if isinstance(value, float) and value != value:
+            return None  # NaN has no strict-JSON spelling
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+class _EventForwarder:
+    """Duck-typed flight recorder that ships events upstream.
+
+    Attached as ``telemetry.recorder`` inside the worker: every
+    :meth:`~repro.serving.telemetry.Telemetry.emit` call site in the
+    scheduler/router/health layers transparently becomes an ``event``
+    frame.  Send failures are swallowed — a dying connection must not
+    take the serving path down with it; the front end notices the loss
+    through the heartbeat/reader channel instead.
+    """
+
+    def __init__(self, conn: MessageConnection, worker_id: str):
+        self._conn = conn
+        self._worker_id = worker_id
+
+    def record(self, kind: str, **detail) -> None:
+        try:
+            self._conn.send(make(
+                "event",
+                worker=self._worker_id,
+                event_kind=kind,
+                detail=_jsonable(detail),
+            ))
+        except Exception:
+            pass
+
+
+class WorkerHost:
+    """The message loop around one worker's in-process serving stack."""
+
+    def __init__(self, worker_id: str, conn: MessageConnection, config: dict):
+        self.worker_id = worker_id
+        self.conn = conn
+        self.config = config
+        policy = BatchPolicy(
+            max_batch=int(config.get("max_batch", 32)),
+            max_wait_ms=float(config.get("max_wait_ms", 2.0)),
+        )
+        registry = ModelRegistry(
+            config["registry_root"],
+            backend=config.get("backend", "fefet"),
+            backend_options=config.get("backend_options"),
+        )
+        self.server = FeBiMServer(
+            registry,
+            policy=policy,
+            seed=config.get("seed"),
+            max_rows=config.get("max_rows"),
+        )
+        self.server.telemetry.recorder = _EventForwarder(conn, worker_id)
+        self.heartbeat_period_s = float(config.get("heartbeat_period_s", 0.25))
+        self._closed = threading.Event()
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def run(self) -> None:
+        """Serve frames until ``shutdown`` or the connection dies."""
+        self.conn.send(make("hello", worker=self.worker_id, pid=os.getpid()))
+        self._heartbeat_thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"worker-{self.worker_id}-heartbeat",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+        try:
+            while not self._closed.is_set():
+                try:
+                    message = self.conn.recv()
+                except (ProtocolError, OSError):
+                    break
+                if message is None:  # front end went away; die with it
+                    break
+                if not self._dispatch(message):
+                    break
+        finally:
+            self._closed.set()
+            try:
+                self.server.close(drain=False)
+            except Exception:
+                pass
+            self.conn.close()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self.heartbeat_period_s):
+            try:
+                self.conn.send(make(
+                    "heartbeat",
+                    worker=self.worker_id,
+                    replicas=self._replica_views(),
+                ))
+            except Exception:
+                return  # connection gone; the message loop is dying too
+
+    def _replica_views(self) -> list:
+        views = []
+        for name in self.server.router.deployments():
+            try:
+                statuses = self.server.router.status(name)
+            except KeyError:
+                continue
+            for status in statuses:
+                views.append({
+                    "model": name,
+                    "index": status.index,
+                    "state": status.state,
+                    "pending": status.pending,
+                    "unit_delay_s": status.unit_delay_s,
+                })
+        return views
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, message: dict) -> bool:
+        """Handle one frame; ``False`` ends the message loop."""
+        kind = message["kind"]
+        handler = getattr(self, f"_on_{kind}", None)
+        if handler is None:
+            self._send_error(
+                message.get("id"),
+                ProtocolError(f"worker cannot handle {kind!r} frames"),
+            )
+            return True
+        try:
+            return handler(message) is not False
+        except Exception as exc:  # noqa: BLE001 — reply, never crash the loop
+            self._send_error(message.get("id"), exc)
+            return True
+
+    def _send_error(self, request_id, exc: BaseException) -> None:
+        try:
+            self.conn.send(make(
+                "error",
+                id=request_id,
+                worker=self.worker_id,
+                error=encode_error(exc),
+            ))
+        except Exception:
+            pass
+
+    # -------------------------------------------------- deployment control
+    def _on_apply(self, message: dict):
+        """Host a sub-deployment: this worker's replica slice, with the
+        cluster-wide indices that pin each replica's stream seed."""
+        spec = Deployment.from_dict(message["deployment"])
+        indices = [int(i) for i in message["indices"]]
+        applied = self.server.router.apply(spec, indices=indices)
+        if spec.slo is not None:
+            # The *front end* owns elasticity for the whole cluster; a
+            # worker-local autoscaler would fight it replica by replica.
+            self.server._autoscalers.pop(spec.model, None)
+        self.conn.send(make(
+            "applied",
+            id=message.get("id"),
+            worker=self.worker_id,
+            model=spec.model,
+            version=applied.version,
+            replicas=[
+                s.to_dict() for s in self.server.router.status(spec.model)
+            ],
+        ))
+
+    def _on_add_replica(self, message: dict):
+        spec = ReplicaSpec.from_dict(message["replica"])
+        status = self.server.router.add_replica(
+            message["model"], spec, index=int(message["index"])
+        )
+        self.conn.send(make(
+            "replica_added",
+            id=message.get("id"),
+            worker=self.worker_id,
+            model=message["model"],
+            replica=status.to_dict(),
+        ))
+
+    def _on_retire_replica(self, message: dict):
+        status = self.server.router.retire_replica(
+            message["model"],
+            int(message["index"]),
+            drain_steps=int(message.get("drain_steps", 1)),
+        )
+        self.conn.send(make(
+            "replica_retired",
+            id=message.get("id"),
+            worker=self.worker_id,
+            model=message["model"],
+            replica=status.to_dict(),
+        ))
+
+    # -------------------------------------------------------- request plane
+    def _on_request(self, message: dict):
+        """Execute one routed request on the replica the front end chose.
+
+        The reply is sent from the scheduler worker's done-callback —
+        the message loop is already back on ``recv`` while the batch
+        coalesces, so a worker pipelines many in-flight requests.
+        """
+        request_id = message["id"]
+        model = message["model"]
+        dep = self.server.router.deployment_for(model)
+        if dep is None:
+            raise KeyError(f"worker hosts no deployment for {model!r}")
+        replica = Router._replica_by_index(dep, int(message["replica_index"]))
+        levels = [int(v) for v in message["levels"]]
+        inner = replica.scheduler.submit(
+            replica.key, levels, priority=int(message.get("priority", 0))
+        )
+
+        def done(f) -> None:
+            if f.cancelled():
+                self._send_error(
+                    request_id, RuntimeError("request cancelled in worker")
+                )
+                return
+            exc = f.exception()
+            if exc is not None:
+                self._send_error(request_id, exc)
+                return
+            result = f.result()
+            margin = result_margin(result)
+            self.server.telemetry.record_replica_served(replica.label)
+            try:
+                self.conn.send(make(
+                    "result",
+                    id=request_id,
+                    worker=self.worker_id,
+                    result=encode_result(
+                        result,
+                        margin=margin,
+                        replica=replica.label,
+                        worker=self.worker_id,
+                    ),
+                ))
+            except Exception:
+                pass
+
+        inner.add_done_callback(done)
+
+    # ------------------------------------------------------------- shutdown
+    def _on_drain(self, message: dict):
+        drained = self.server.drain(timeout=message.get("timeout"))
+        self.conn.send(make(
+            "drained",
+            id=message.get("id"),
+            worker=self.worker_id,
+            complete=bool(drained),
+        ))
+
+    def _on_shutdown(self, message: dict):
+        return False  # run()'s finally closes the stack
+
+
+def worker_main(worker_id: str, address, config: dict) -> None:
+    """Spawn entry point: connect back to the front end and serve.
+
+    Runs in a fresh interpreter (spawn context), so everything arrives
+    through picklable arguments; exceptions escaping the host are
+    printed (the front end's reader sees the EOF and supervises).
+    """
+    sock = socket.create_connection(tuple(address))
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    conn = MessageConnection(sock)
+    try:
+        WorkerHost(worker_id, conn, config).run()
+    except Exception:
+        traceback.print_exc()
+        raise

@@ -1226,3 +1226,201 @@ def format_health_run(result: HealthRunResult) -> str:
     lines.append("")
     lines.append(format_health_timeline(result.ledger, result.events))
     return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# cluster (cross-process placement) workload
+
+
+@dataclass(frozen=True)
+class ClusterRunResult:
+    """Outcome of one traffic run against a ``placement: process`` cluster.
+
+    ``errors`` counts client-visible failures, exactly as in
+    :class:`DeploymentRunResult` — with ``killed_worker`` set the run
+    SIGKILLed a worker mid-burst, so a zero here means every orphaned
+    request failed over to a survivor.  ``event_counts`` tallies the
+    flight-recorder kinds the incident produced (``worker_lost``,
+    ``worker_respawn``, ``failover``, ``replace``, ...).
+    """
+
+    deployment: dict
+    version: int
+    workers: int
+    n_requests: int
+    submitters: int
+    wall_s: float
+    served_sps: float
+    errors: int
+    killed_worker: Optional[str]
+    workers_up_after: int
+    replicas: Tuple[dict, ...]
+    event_counts: Dict[str, int]
+    telemetry: TelemetrySnapshot
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (``febim cluster --json``)."""
+        return {
+            "bench": "cluster",
+            "deployment": dict(self.deployment),
+            "version": self.version,
+            "workers": self.workers,
+            "n_requests": self.n_requests,
+            "submitters": self.submitters,
+            "wall_s": self.wall_s,
+            "served_sps": self.served_sps,
+            "errors": self.errors,
+            "killed_worker": self.killed_worker,
+            "workers_up_after": self.workers_up_after,
+            "replicas": [dict(r) for r in self.replicas],
+            "event_counts": dict(self.event_counts),
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def run_cluster_workload(
+    registry: "ModelRegistry | str",
+    deployment,
+    n_requests: int = 512,
+    submitters: int = 4,
+    policy: Optional[BatchPolicy] = None,
+    n_clients: int = 8,
+    seed: int = 0,
+    kill_worker: bool = False,
+    heartbeat_period_s: float = 0.1,
+    maintenance_period_s: float = 0.1,
+) -> ClusterRunResult:
+    """Drive a request stream through a multi-process cluster.
+
+    The deployment must carry ``placement: process``.  With
+    ``kill_worker`` the run SIGKILLs one worker a quarter of the way
+    into the burst — the supervised-failover acceptance scenario: the
+    orphaned in-flight requests must fail over to survivors (zero
+    client-visible errors), the dead worker's replicas re-place, and
+    the supervisor respawns the process, all recorded in the flight
+    ring.  After the burst the run waits for the respawn to land so
+    ``workers_up_after`` reports the healed cluster.
+    """
+    from repro.serving.cluster import ClusterServer
+
+    check_positive_int(n_requests, "n_requests")
+    check_positive_int(submitters, "submitters")
+    check_positive_int(n_clients, "n_clients")
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry)
+    deployment.validate()
+    placement = deployment.placement
+    if placement is None or placement.kind != "process":
+        raise ValueError(
+            "run_cluster_workload needs a 'process' placement deployment"
+        )
+    if deployment.model not in registry:
+        raise KeyError(
+            f"deployment model {deployment.model!r} is not registered in "
+            f"{registry.root}"
+        )
+    policy = policy or BatchPolicy()
+    pool = request_pool(registry, deployment.model, deployment.version, seed=seed)
+    kill_at = n_requests // 4
+    killed: List[Optional[str]] = [None]
+
+    with ClusterServer(
+        registry,
+        policy=policy,
+        seed=seed,
+        heartbeat_period_s=heartbeat_period_s,
+        maintenance_period_s=maintenance_period_s,
+    ) as cluster:
+        applied = cluster.deploy(deployment)
+        cluster.enable_observability(trace_rate=0.0)
+
+        def submit_request(i: int):
+            if kill_worker and i == kill_at and killed[0] is None:
+                victim = sorted(cluster.worker_pids())[0]
+                killed[0] = victim
+                cluster.kill_worker(victim)
+            return cluster.submit(
+                deployment.model,
+                pool[i % pool.shape[0]],
+                client=f"client-{i % n_clients}",
+            )
+
+        futures, wall = _drive_submitters(
+            submit_request, n_requests, submitters, cluster.drain
+        )
+
+        errors = 0
+        for future in futures:
+            if (
+                future is None
+                or future.cancelled()
+                or future.exception(timeout=30.0) is not None
+            ):
+                errors += 1
+
+        if kill_worker:
+            # Wait out the supervision ladder: the killed worker must
+            # respawn (or exhaust its budget) before the report reads
+            # the healed cluster state.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if len(cluster.worker_pids()) >= placement.workers and (
+                    cluster.stats().worker_respawns > 0
+                ):
+                    break
+                time.sleep(0.05)
+
+        statuses = tuple(
+            s.to_dict() for s in cluster.status(deployment.model)
+        )
+        telemetry = cluster.stats()
+        event_counts: Dict[str, int] = {}
+        for event in cluster.observability.recorder.events():
+            event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
+        workers_up_after = len(cluster.worker_pids())
+
+    return ClusterRunResult(
+        deployment=deployment.to_dict(),
+        version=applied.version,
+        workers=placement.workers,
+        n_requests=n_requests,
+        submitters=submitters,
+        wall_s=wall,
+        served_sps=n_requests / max(wall, 1e-12),
+        errors=errors,
+        killed_worker=killed[0],
+        workers_up_after=workers_up_after,
+        replicas=statuses,
+        event_counts=event_counts,
+        telemetry=telemetry,
+    )
+
+
+def format_cluster_run(result: ClusterRunResult) -> str:
+    """Human-readable report (``febim cluster``)."""
+    spec = result.deployment
+    lines = [
+        f"cluster workload: {spec['model']}@v{result.version} "
+        f"[{spec['policy']['kind']}] — {result.workers} workers, "
+        f"{result.n_requests} requests, {result.submitters} submitters",
+        f"throughput served {result.served_sps:.0f} sps, "
+        f"{result.errors} client-visible errors",
+    ]
+    if result.killed_worker is not None:
+        counts = result.event_counts
+        lines.append(
+            f"chaos: SIGKILL {result.killed_worker} mid-burst — "
+            f"{counts.get('worker_lost', 0)} lost, "
+            f"{counts.get('replace', 0)} replicas re-placed, "
+            f"{counts.get('worker_respawn', 0)} respawned, "
+            f"{result.telemetry.failovers} failovers; "
+            f"{result.workers_up_after}/{result.workers} workers up after"
+        )
+    for replica in result.replicas:
+        lines.append(
+            f"  {replica['replica']:26s} {replica['state']:8s} "
+            f"unit delay {replica['unit_delay_s'] * 1e9:8.1f} ns  "
+            f"weight {replica['weight']:g}"
+        )
+    lines.append(result.telemetry.format_lines())
+    return "\n".join(lines)

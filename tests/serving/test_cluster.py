@@ -1,0 +1,290 @@
+"""Cross-process placement: bit-identity, supervision, failover.
+
+These tests spawn real worker subprocesses (multiprocessing spawn
+context), so they are grouped to reuse clusters where possible; the
+chaos scenario (SIGKILL mid-burst) is additionally exercised every CI
+run by ``benchmarks/bench_cluster.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import quantize_model
+from repro.serving import (
+    BatchPolicy,
+    ClusterServer,
+    Deployment,
+    DeploymentError,
+    FeBiMServer,
+    ModelRegistry,
+    PlacementSpec,
+    ReplicaSpec,
+    RoutingPolicy,
+    serve_deployment,
+)
+
+POLICY = BatchPolicy(max_batch=8, max_wait_ms=1.0)
+
+
+def make_model(k=3, m=4, seed=1):
+    rng = np.random.default_rng(seed)
+    tables = []
+    for _ in range(3):
+        t = rng.random((k, m)) + 1e-3
+        tables.append(t / t.sum(axis=1, keepdims=True))
+    prior = rng.random(k) + 0.5
+    return quantize_model(tables, prior / prior.sum(), n_levels=4)
+
+
+@pytest.fixture(scope="module")
+def registry_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cluster-reg")
+    ModelRegistry(root).register("iris", make_model())
+    return str(root)
+
+
+def process_deployment(*specs, policy=None, workers=2):
+    return Deployment(
+        "iris",
+        list(specs) or [ReplicaSpec("fefet"), ReplicaSpec("fefet")],
+        policy or RoutingPolicy("round_robin"),
+        placement=PlacementSpec(kind="process", workers=workers),
+    )
+
+
+class TestBitIdentity:
+    def test_process_placement_serves_local_bytes(self, registry_root):
+        """The acceptance gate: a 2-worker process placement serves the
+        byte-identical stream a local placement serves — same replica
+        stream seeds, same engines, same routing decisions."""
+        levels = np.random.default_rng(0).integers(0, 4, size=(24, 3))
+
+        local_dep = Deployment(
+            "iris",
+            [ReplicaSpec("fefet"), ReplicaSpec("fefet")],
+            RoutingPolicy("round_robin"),
+        )
+        with FeBiMServer(
+            ModelRegistry(registry_root), policy=POLICY, seed=7
+        ) as server:
+            server.deploy(local_dep)
+            local = [f.result(10) for f in server.submit_many("iris", levels)]
+
+        with ClusterServer(
+            registry_root, policy=POLICY, seed=7, maintenance_period_s=None
+        ) as cluster:
+            cluster.deploy(process_deployment())
+            remote = [
+                cluster.submit("iris", row).result(30) for row in levels
+            ]
+            assert sorted(cluster.worker_pids()) == ["w0", "w1"]
+
+        # The modeled quantities must match byte for byte (queue_wait_s
+        # is wall-clock bookkeeping, not part of the contract).
+        local_stream = [
+            (int(r.prediction), r.delay, r.energy_total) for r in local
+        ]
+        remote_stream = [
+            (int(r.prediction), r.delay, r.energy_total) for r in remote
+        ]
+        assert remote_stream == local_stream
+
+
+class TestClusterBehaviour:
+    def test_serving_supervision_and_observability(self, registry_root):
+        with serve_deployment(
+            ModelRegistry(registry_root),
+            process_deployment(
+                ReplicaSpec("fefet"), ReplicaSpec("ideal"),
+                policy=RoutingPolicy("cost"),
+            ),
+            policy=POLICY,
+            seed=0,
+            heartbeat_period_s=0.05,
+            maintenance_period_s=0.05,
+        ) as cluster:
+            assert isinstance(cluster, ClusterServer)
+            cluster.enable_observability(trace_rate=0.0)
+
+            futures = cluster.submit_many(
+                "iris",
+                np.random.default_rng(1).integers(0, 4, size=(32, 3)),
+            )
+            results = [f.result(30) for f in futures]
+            assert all(r.prediction in (0, 1, 2) for r in results)
+
+            # Per-replica status is live and front-end owned.
+            statuses = cluster.status("iris")
+            assert [s.index for s in statuses] == [0, 1]
+            assert all(s.state == "healthy" for s in statuses)
+
+            # Telemetry: every request completed on the front end's
+            # books, workers started, none lost.
+            snap = cluster.stats()
+            assert snap.completed == 32
+            assert snap.failed == 0
+            assert snap.workers_started == 2
+            assert snap.workers_lost == 0
+
+            # Heartbeats fold into the flight recorder on the
+            # supervision cadence (worker_start predates the recorder
+            # here — the spawn accounting is in the snapshot above).
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                kinds = {
+                    e.kind for e in cluster.observability.recorder.events()
+                }
+                if "worker_heartbeat" in kinds:
+                    break
+                time.sleep(0.02)
+            assert "worker_heartbeat" in kinds
+
+    def test_typed_overload_crosses_the_boundary(self, registry_root):
+        from repro.serving import Overloaded, SLOPolicy
+
+        dep = Deployment(
+            "iris",
+            [ReplicaSpec("fefet")],
+            RoutingPolicy("cost"),
+            slo=SLOPolicy(
+                max_queue_depth=1, min_replicas=1, max_replicas=1,
+            ),
+            placement=PlacementSpec(kind="process", workers=1),
+        )
+        with ClusterServer(
+            registry_root,
+            policy=BatchPolicy(max_batch=1, max_wait_ms=20.0),
+            seed=0,
+            maintenance_period_s=None,
+        ) as cluster:
+            cluster.deploy(dep)
+            rows = np.random.default_rng(2).integers(0, 4, size=(64, 3))
+            outcomes = [cluster.submit("iris", row) for row in rows]
+            shed = served = 0
+            for future in outcomes:
+                try:
+                    future.result(30)
+                    served += 1
+                except Overloaded as exc:
+                    # The typed exception survived the wire: key and
+                    # depth are the worker-side scheduler's own.
+                    assert exc.key is not None
+                    shed += 1
+            assert served >= 1
+            assert shed >= 1
+            assert cluster.stats().shed_requests == shed
+
+    def test_mirror_votes_across_workers(self, registry_root):
+        dep = process_deployment(
+            ReplicaSpec("fefet"), ReplicaSpec("ideal"), ReplicaSpec("cmos"),
+            policy=RoutingPolicy("mirror", mirror_weighted=True),
+        )
+        with ClusterServer(
+            registry_root, policy=POLICY, seed=0, maintenance_period_s=None
+        ) as cluster:
+            cluster.deploy(dep)
+            result = cluster.predict(
+                "iris", np.array([0, 1, 2]), timeout=30
+            )
+            assert len(result.votes) == 3
+            assert result.agreement == 1.0
+            assert cluster.stats().mirror_votes == 1
+
+
+class TestPlacementGuards:
+    def test_febim_server_refuses_process_placement(self, registry_root):
+        with FeBiMServer(
+            ModelRegistry(registry_root), policy=POLICY, seed=0
+        ) as server:
+            with pytest.raises(DeploymentError, match="ClusterServer"):
+                server.deploy(process_deployment())
+
+    def test_serve_deployment_defaults_to_local(self, registry_root):
+        dep = Deployment(
+            "iris", [ReplicaSpec("fefet")], RoutingPolicy("cost"),
+        )
+        with serve_deployment(
+            ModelRegistry(registry_root), dep, policy=POLICY, seed=0
+        ) as server:
+            assert isinstance(server, FeBiMServer)
+            result = server.predict("iris", np.array([0, 1, 2]), timeout=10)
+            assert result.prediction in (0, 1, 2)
+
+    def test_local_placement_rejects_cluster_kwargs(self, registry_root):
+        dep = Deployment(
+            "iris", [ReplicaSpec("fefet")], RoutingPolicy("cost"),
+        )
+        with pytest.raises(TypeError, match="cluster kwargs"):
+            serve_deployment(
+                ModelRegistry(registry_root), dep, heartbeat_period_s=0.1
+            )
+
+    def test_placement_spec_validation(self):
+        with pytest.raises(DeploymentError, match="placement"):
+            PlacementSpec(kind="cloud").validate()
+        with pytest.raises(DeploymentError, match="workers"):
+            PlacementSpec(kind="process", workers=0).validate()
+
+
+@pytest.mark.slow
+class TestChaos:
+    def test_sigkill_mid_burst_zero_errors_and_respawn(self, registry_root):
+        """The supervised-failover acceptance scenario, in-suite: kill a
+        worker with requests in flight; no client sees an error, the
+        dead worker's replicas re-place onto the survivor, and the
+        supervisor respawns the process."""
+        dep = Deployment(
+            "iris",
+            [ReplicaSpec("fefet")] * 4,
+            RoutingPolicy("cost"),
+            placement=PlacementSpec(kind="process", workers=2),
+        )
+        with ClusterServer(
+            registry_root, policy=POLICY, seed=7,
+            heartbeat_period_s=0.1, maintenance_period_s=0.1,
+        ) as cluster:
+            cluster.deploy(dep)
+            cluster.enable_observability(trace_rate=0.0)
+            rows = np.random.default_rng(3).integers(0, 4, size=(200, 3))
+            futures = []
+            for i, row in enumerate(rows):
+                futures.append(cluster.submit("iris", row))
+                if i == 50:
+                    cluster.kill_worker(sorted(cluster.worker_pids())[0])
+                time.sleep(0.001)
+            errors = sum(
+                1 for f in futures if f.exception(timeout=30) is not None
+            )
+            assert errors == 0
+
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                snap = cluster.stats()
+                if (
+                    snap.worker_respawns >= 1
+                    and len(cluster.worker_pids()) == 2
+                ):
+                    break
+                time.sleep(0.05)
+            snap = cluster.stats()
+            assert snap.workers_lost == 1
+            assert snap.worker_respawns >= 1
+            assert len(cluster.worker_pids()) == 2
+
+            kinds = {}
+            for event in cluster.observability.recorder.events():
+                kinds[event.kind] = kinds.get(event.kind, 0) + 1
+            assert kinds.get("worker_lost", 0) == 1
+            assert kinds.get("replace", 0) >= 1
+            assert kinds.get("worker_respawn", 0) >= 1
+
+            # The healed cluster still serves.
+            after = [
+                cluster.submit("iris", row).result(30) for row in rows[:8]
+            ]
+            assert all(r.prediction in (0, 1, 2) for r in after)
+            assert all(
+                s.state == "healthy" for s in cluster.status("iris")
+            )

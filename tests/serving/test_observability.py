@@ -358,4 +358,8 @@ def test_event_taxonomy_is_frozen_and_documented():
         "spare_repair",
         "drift_alarm",
         "margin_warning",
+        "worker_start",
+        "worker_heartbeat",
+        "worker_lost",
+        "worker_respawn",
     }

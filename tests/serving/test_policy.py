@@ -1,0 +1,202 @@
+"""Pure routing-policy core: decisions over snapshot state, no threads."""
+
+import pytest
+
+from repro.serving import policy
+
+
+class FakeReplica:
+    """Minimal duck-typed candidate (index/state/unit_delay/weight/pending)."""
+
+    def __init__(self, index, state=policy.HEALTHY, unit_delay=1.0,
+                 weight=1.0, pending=0, drain_step=0, drain_steps=0):
+        self.index = index
+        self.state = state
+        self.unit_delay = unit_delay
+        self.weight = weight
+        self.pending = pending
+        self.drain_step = drain_step
+        self.drain_steps = drain_steps
+
+    def __repr__(self):
+        return f"r{self.index}[{self.state}]"
+
+
+class TestServiceable:
+    def test_healthy_tier_wins(self):
+        healthy = FakeReplica(0)
+        down = FakeReplica(1, state=policy.DOWN)
+        assert policy.serviceable([down, healthy]) == [healthy]
+
+    def test_down_tier_when_nothing_healthy(self):
+        down = FakeReplica(0, state=policy.DOWN)
+        retired = FakeReplica(1, state=policy.RETIRED)
+        assert policy.serviceable([down, retired]) == [down]
+
+    def test_draining_evicted_retired_never_serve(self):
+        replicas = [
+            FakeReplica(0, state=policy.DRAINING),
+            FakeReplica(1, state=policy.EVICTED),
+            FakeReplica(2, state=policy.RETIRED),
+        ]
+        assert policy.serviceable(replicas) == []
+
+
+class TestCost:
+    def test_cheapest_wins(self):
+        cheap = FakeReplica(0, unit_delay=1.0)
+        dear = FakeReplica(1, unit_delay=5.0)
+        assert policy.pick_cost([dear, cheap]) is cheap
+
+    def test_queue_depth_raises_cost(self):
+        busy = FakeReplica(0, unit_delay=1.0, pending=10)
+        idle = FakeReplica(1, unit_delay=2.0, pending=0)
+        assert policy.pick_cost([busy, idle]) is idle
+
+    def test_weight_lowers_cost(self):
+        light = FakeReplica(0, unit_delay=1.0, weight=1.0)
+        heavy = FakeReplica(1, unit_delay=1.0, weight=4.0)
+        assert policy.pick_cost([light, heavy]) is heavy
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        replicas = [FakeReplica(i) for i in range(3)]
+        picks = [policy.pick_round_robin(replicas, t) for t in range(6)]
+        assert [r.index for r in picks] == [0, 1, 2, 0, 1, 2]
+
+
+class TestSticky:
+    def test_deterministic_per_client(self):
+        replicas = [FakeReplica(i) for i in range(4)]
+        for client in ("alice", "bob", 42, None):
+            first = policy.pick_sticky(replicas, client)
+            assert all(
+                policy.pick_sticky(replicas, client) is first
+                for _ in range(5)
+            )
+
+    def test_losing_a_replica_only_remaps_its_clients(self):
+        replicas = [FakeReplica(i) for i in range(4)]
+        clients = [f"client-{i}" for i in range(64)]
+        before = {c: policy.pick_sticky(replicas, c).index for c in clients}
+        survivors = replicas[:-1]
+        moved = sum(
+            1
+            for c in clients
+            if policy.pick_sticky(survivors, c).index != before[c]
+        )
+        # Exactly the lost replica's clients move, nobody else.
+        assert moved == sum(1 for c in clients if before[c] == 3)
+
+
+class TestGradualDrain:
+    def test_cohorts_move_monotonically(self):
+        clients = [f"c{i}" for i in range(100)]
+        steps = 4
+        moved_per_step = [
+            {c for c in clients if policy.drain_moved(c, step, steps)}
+            for step in range(steps + 1)
+        ]
+        assert moved_per_step[0] == set()
+        assert moved_per_step[-1] == set(clients)
+        for earlier, later in zip(moved_per_step, moved_per_step[1:]):
+            assert earlier <= later  # nobody moves back
+
+    def test_zero_steps_means_moved(self):
+        assert policy.drain_moved("anyone", 0, 0)
+
+    def test_draining_replica_keeps_unmoved_clients(self):
+        replicas = [FakeReplica(i) for i in range(3)]
+        clients = [f"c{i}" for i in range(64)]
+        sticky_to_2 = [
+            c for c in clients if policy.pick_sticky(replicas, c).index == 2
+        ]
+        assert sticky_to_2  # the fixture must exercise the draining path
+        draining = replicas[2]
+        draining.state = policy.DRAINING
+        draining.drain_steps = 4
+        survivors = replicas[:2]
+
+        draining.drain_step = 0
+        kept = [
+            c for c in sticky_to_2
+            if policy.pick_sticky(survivors, c, [draining]) is draining
+        ]
+        assert kept == sticky_to_2  # step 0: nobody has moved yet
+
+        draining.drain_step = 4
+        kept = [
+            c for c in sticky_to_2
+            if policy.pick_sticky(survivors, c, [draining]) is draining
+        ]
+        assert kept == []  # final step: everyone has moved
+
+    def test_moved_clients_land_on_final_home(self):
+        """A drained client lands where the post-retirement mapping puts
+        it — the handover happens exactly once."""
+        replicas = [FakeReplica(i) for i in range(3)]
+        draining = replicas[2]
+        draining.state = policy.DRAINING
+        draining.drain_steps = 2
+        draining.drain_step = 2
+        survivors = replicas[:2]
+        for client in (f"c{i}" for i in range(32)):
+            during = policy.pick_sticky(survivors, client, [draining])
+            after = policy.pick_sticky(survivors, client)
+            assert during is after
+
+
+class TestMirror:
+    def test_fanout_caps_cheapest_first(self):
+        replicas = [
+            FakeReplica(0, unit_delay=3.0),
+            FakeReplica(1, unit_delay=1.0),
+            FakeReplica(2, unit_delay=2.0),
+        ]
+        picked = policy.mirror_candidates(replicas, 2)
+        assert [r.index for r in picked] == [1, 2]
+
+    def test_fanout_zero_means_all(self):
+        replicas = [FakeReplica(i) for i in range(3)]
+        assert len(policy.mirror_candidates(replicas, 0)) == 3
+
+    def test_vote_weight_guards(self):
+        assert policy.vote_weight(None) == 0.0
+        assert policy.vote_weight(float("nan")) == 0.0
+        assert policy.vote_weight(-1.0) == 0.0
+        assert policy.vote_weight(0.25) == 0.25
+
+
+class TestResolveVotes:
+    def test_unweighted_majority(self):
+        winner, tally = policy.resolve_votes([(1, 0.1), (1, 0.1), (2, 9.0)])
+        assert winner == 1
+        assert tally == {1: 2.0, 2: 1.0}
+
+    def test_weighted_confidence_beats_head_count(self):
+        """Two hesitant replicas must not outvote one confident one."""
+        winner, tally = policy.resolve_votes(
+            [(1, 0.01), (1, 0.02), (2, 0.9)], weighted=True
+        )
+        assert winner == 2
+        assert tally[2] == pytest.approx(0.9)
+
+    def test_all_zero_weights_fall_back_to_head_count(self):
+        winner, tally = policy.resolve_votes(
+            [(1, 0.0), (1, None), (2, float("nan"))], weighted=True
+        )
+        assert winner == 1
+        assert tally == {1: 2.0, 2: 1.0}
+
+    def test_exact_tie_breaks_on_lower_label(self):
+        winner, _ = policy.resolve_votes([(3, 1.0), (1, 1.0)])
+        assert winner == 1
+        winner, _ = policy.resolve_votes(
+            [(3, 0.5), (1, 0.5)], weighted=True
+        )
+        assert winner == 1
+
+    def test_empty_vote_rejected(self):
+        with pytest.raises(ValueError):
+            policy.resolve_votes([])

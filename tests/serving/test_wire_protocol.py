@@ -1,0 +1,247 @@
+"""Wire protocol: framing, round-trips, typed errors, malformed input."""
+
+import json
+import math
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.backends.base import CapabilityError
+from repro.serving.router import MirroredResult
+from repro.serving.scheduler import Overloaded
+from repro.serving.transport import (
+    HEADER,
+    MAGIC,
+    MAX_FRAME,
+    MESSAGE_KINDS,
+    WIRE_VERSION,
+    FrameDecoder,
+    MessageConnection,
+    ProtocolError,
+    RemoteServedResult,
+    RemoteWorkerError,
+    decode_error,
+    decode_mirrored,
+    decode_result,
+    encode_error,
+    encode_frame,
+    encode_mirrored,
+    encode_result,
+    make,
+)
+
+
+def roundtrip(message: dict) -> dict:
+    decoder = FrameDecoder()
+    (out,) = decoder.feed(encode_frame(message))
+    decoder.close()
+    return out
+
+
+SAMPLE_BODIES = {
+    "hello": {"worker": "w0", "pid": 1234},
+    "apply": {"id": "c1", "deployment": {"model": "iris"}, "indices": [0, 2]},
+    "applied": {"id": "c1", "worker": "w0", "model": "iris", "version": 1,
+                "replicas": []},
+    "add_replica": {"id": "c2", "model": "iris", "replica": {"backend": "fefet"},
+                    "index": 3},
+    "replica_added": {"id": "c2", "worker": "w0", "model": "iris",
+                      "replica": {}},
+    "retire_replica": {"id": "c3", "model": "iris", "index": 1,
+                       "drain_steps": 2},
+    "replica_retired": {"id": "c3", "worker": "w0", "model": "iris",
+                        "replica": {}},
+    "request": {"id": "r1", "model": "iris", "replica_index": 0,
+                "levels": [3, 0, 1], "priority": 1},
+    "result": {"id": "r1", "worker": "w0", "result": {"model": "iris"}},
+    "mirrored_result": {"id": "r2", "result": {"model": "iris"}},
+    "error": {"id": "r1", "worker": "w0", "error": {"type": "runtime"}},
+    "heartbeat": {"worker": "w0", "replicas": []},
+    "event": {"worker": "w0", "event_kind": "shed", "detail": {}},
+    "drain": {"id": "c4", "timeout": 5.0},
+    "drained": {"id": "c4", "worker": "w0", "complete": True},
+    "shutdown": {},
+}
+
+
+class TestFraming:
+    def test_every_message_kind_round_trips(self):
+        # The taxonomy and the sample table must stay in lockstep.
+        assert set(SAMPLE_BODIES) == set(MESSAGE_KINDS)
+        for kind, body in SAMPLE_BODIES.items():
+            message = make(kind, **body)
+            assert roundtrip(message) == message
+
+    def test_unknown_kind_rejected_at_both_ends(self):
+        with pytest.raises(ProtocolError):
+            make("telepathy")
+        with pytest.raises(ProtocolError):
+            encode_frame({"kind": "telepathy"})
+        frame = HEADER.pack(MAGIC, WIRE_VERSION, 20) + b'{"kind": "gossip"}  '
+        with pytest.raises(ProtocolError, match="unknown message kind"):
+            FrameDecoder().feed(frame)
+
+    def test_bad_magic_rejected(self):
+        frame = HEADER.pack(0x1234, WIRE_VERSION, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameDecoder().feed(frame)
+
+    def test_unknown_version_rejected(self):
+        frame = HEADER.pack(MAGIC, WIRE_VERSION + 1, 2) + b"{}"
+        with pytest.raises(ProtocolError, match="version"):
+            FrameDecoder().feed(frame)
+
+    def test_oversize_length_rejected_before_buffering(self):
+        frame = HEADER.pack(MAGIC, WIRE_VERSION, MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            FrameDecoder().feed(frame)
+
+    def test_truncated_frame_detected_at_eof(self):
+        frame = encode_frame(make("heartbeat", worker="w0", replicas=[]))
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-3]) == []
+        with pytest.raises(ProtocolError, match="truncated"):
+            decoder.close()
+
+    def test_byte_at_a_time_reassembly(self):
+        message = make("event", worker="w9", event_kind="shed",
+                       detail={"depth": 4})
+        frame = encode_frame(message)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i:i + 1]))
+        decoder.close()
+        assert out == [message]
+
+    def test_many_frames_in_one_chunk(self):
+        messages = [
+            make("heartbeat", worker=f"w{i}", replicas=[]) for i in range(5)
+        ]
+        blob = b"".join(encode_frame(m) for m in messages)
+        assert FrameDecoder().feed(blob) == messages
+
+    def test_non_object_body_rejected(self):
+        body = b"[1, 2, 3]"
+        frame = HEADER.pack(MAGIC, WIRE_VERSION, len(body)) + body
+        with pytest.raises(ProtocolError, match="keyed message"):
+            FrameDecoder().feed(frame)
+
+    def test_garbage_json_rejected(self):
+        body = b"{nope"
+        frame = HEADER.pack(MAGIC, WIRE_VERSION, len(body)) + body
+        with pytest.raises(ProtocolError, match="JSON"):
+            FrameDecoder().feed(frame)
+
+    def test_nan_never_reaches_the_wire(self):
+        result = RemoteServedResult(
+            model="iris", prediction=1, delay=1e-9, energy_total=1e-15,
+            queue_wait_s=0.0, batch_size=1, margin=float("nan"),
+        )
+        payload = encode_result(result)
+        assert payload["margin"] is None
+        # The full frame must be strict JSON (allow_nan=False holds).
+        frame = encode_frame(make("result", id="r1", result=payload))
+        json.loads(frame[HEADER.size:])
+
+
+class TestTypedErrors:
+    def test_overloaded_survives_the_boundary(self):
+        original = Overloaded(
+            "queue full for iris", key="iris", depth=32, lane=1
+        )
+        rebuilt = decode_error(roundtrip(
+            make("error", id="r1", error=encode_error(original))
+        )["error"])
+        assert isinstance(rebuilt, Overloaded)
+        assert rebuilt.key == "iris"
+        assert rebuilt.depth == 32
+        assert rebuilt.lane == 1
+        assert str(rebuilt) == str(original)
+
+    def test_capability_error_survives_the_boundary(self):
+        original = CapabilityError("memristor", "margin_probe")
+        rebuilt = decode_error(roundtrip(
+            make("error", id="r1", error=encode_error(original))
+        )["error"])
+        assert isinstance(rebuilt, CapabilityError)
+        assert rebuilt.backend == "memristor"
+        assert rebuilt.capability == "margin_probe"
+        assert str(rebuilt) == str(original)
+
+    def test_anything_else_degrades_to_remote_worker_error(self):
+        rebuilt = decode_error(encode_error(KeyError("no such model")))
+        assert isinstance(rebuilt, RemoteWorkerError)
+        assert rebuilt.exc_type == "KeyError"
+        assert "no such model" in str(rebuilt)
+
+
+class TestResultCodecs:
+    def test_result_round_trip(self):
+        result = RemoteServedResult(
+            model="iris", prediction=2, delay=3.2e-9, energy_total=4.5e-15,
+            queue_wait_s=1.5e-3, batch_size=8, margin=0.125,
+            replica="iris@v1#r0[fefet]", worker="w0",
+        )
+        assert decode_result(encode_result(result)) == result
+
+    def test_degenerate_margin_round_trips_as_none(self):
+        result = RemoteServedResult(
+            model="iris", prediction=0, delay=1e-9, energy_total=1e-15,
+            queue_wait_s=0.0, batch_size=1, margin=float("nan"),
+        )
+        back = decode_result(encode_result(result))
+        assert back.margin is None
+
+    def test_mirrored_round_trip(self):
+        mirrored = MirroredResult(
+            model="iris", prediction=1,
+            votes=(("iris@v1#r0[fefet]", 1), ("iris@v1#r1[cmos]", None)),
+            agreement=0.5, delay=2e-9, energy_total=3e-15,
+            queue_wait_s=1e-3, batch_size=4,
+        )
+        back = decode_mirrored(roundtrip(
+            make("mirrored_result", id="r2", result=encode_mirrored(mirrored))
+        )["result"])
+        assert back == mirrored
+
+
+class TestMessageConnection:
+    def test_framed_messages_over_a_real_socket(self):
+        left_sock, right_sock = socket.socketpair()
+        left = MessageConnection(left_sock)
+        right = MessageConnection(right_sock)
+        received = []
+
+        def reader():
+            while True:
+                message = right.recv()
+                if message is None:
+                    return
+                received.append(message)
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        sent = [
+            make("heartbeat", worker="w0", replicas=[{"index": i}])
+            for i in range(20)
+        ]
+        for message in sent:
+            left.send(message)
+        left.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert received == sent
+        right.close()
+
+    def test_peer_dying_mid_frame_raises(self):
+        left_sock, right_sock = socket.socketpair()
+        frame = encode_frame(make("heartbeat", worker="w0", replicas=[]))
+        left_sock.sendall(frame[:-1])
+        left_sock.close()
+        right = MessageConnection(right_sock)
+        with pytest.raises(ProtocolError, match="truncated"):
+            right.recv()
+        right.close()
